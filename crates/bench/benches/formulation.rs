@@ -1,0 +1,57 @@
+//! Benchmarks of ILP model construction (Eqs. 3–7 build time) across
+//! network scales and linking modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use croxmap_core::{FormulationConfig, Linking, MappingIlp, MappingObjective};
+use croxmap_gen::calibrated::{generate, NetworkSpec};
+use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarPool};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formulation_build");
+    group.sample_size(20);
+    for scale in [16usize, 8, 4] {
+        let net = generate(&NetworkSpec::scaled_a(scale));
+        let pool = CrossbarPool::for_network_capped(
+            &ArchitectureSpec::table_ii_heterogeneous(),
+            &AreaModel::memristor_count(),
+            net.node_count(),
+            2,
+        );
+        for (label, linking) in [("aggregated", Linking::Aggregated), ("strong", Linking::Strong)]
+        {
+            let cfg = FormulationConfig {
+                linking,
+                ..FormulationConfig::new()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, net.node_count()),
+                &(&net, &pool, &cfg),
+                |b, (net, pool, cfg)| {
+                    b.iter(|| MappingIlp::build(net, pool, &MappingObjective::Area, cfg));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_warm_start_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warm_start_encode");
+    group.sample_size(20);
+    let net = generate(&NetworkSpec::scaled_a(8));
+    let pool = CrossbarPool::for_network_capped(
+        &ArchitectureSpec::table_ii_heterogeneous(),
+        &AreaModel::memristor_count(),
+        net.node_count(),
+        2,
+    );
+    let ilp = MappingIlp::build(&net, &pool, &MappingObjective::Area, &FormulationConfig::new());
+    let mapping = croxmap_core::baseline::greedy_first_fit(&net, &pool).expect("mappable");
+    group.bench_function("scaled_a_8", |b| {
+        b.iter(|| ilp.warm_start(&net, &mapping));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_warm_start_encoding);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! End-to-end mapping benchmarks: the machinery behind Figs. 2–9 at
+//! several scales and with both objectives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use croxmap_core::pipeline::{
+    optimize_area, optimize_routes_after_area, PipelineConfig,
+};
+use croxmap_gen::calibrated::{generate, NetworkSpec};
+use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarPool};
+
+fn het_pool(n: usize) -> CrossbarPool {
+    CrossbarPool::for_network_capped(
+        &ArchitectureSpec::table_ii_heterogeneous(),
+        &AreaModel::memristor_count(),
+        n,
+        2,
+    )
+}
+
+fn bench_area(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_area");
+    group.sample_size(10);
+    for scale in [20usize, 14] {
+        let net = generate(&NetworkSpec::scaled_a(scale));
+        let pool = het_pool(net.node_count());
+        let cfg = PipelineConfig::with_budget(2.0);
+        group.bench_with_input(
+            BenchmarkId::new("heterogeneous", net.node_count()),
+            &(&net, &pool, &cfg),
+            |b, (net, pool, cfg)| {
+                b.iter(|| optimize_area(net, pool, cfg));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_snu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_snu_after_area");
+    group.sample_size(10);
+    let net = generate(&NetworkSpec::scaled_a(14));
+    let pool = het_pool(net.node_count());
+    let cfg = PipelineConfig::with_budget(4.0);
+    let base = optimize_area(&net, &pool, &cfg)
+        .best_mapping()
+        .expect("mappable")
+        .clone();
+    let snu_cfg = PipelineConfig::with_budget(2.0);
+    group.bench_function("network_a_14", |b| {
+        b.iter(|| optimize_routes_after_area(&net, &pool, &base, &snu_cfg));
+    });
+    group.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_first_fit");
+    group.sample_size(30);
+    for scale in [8usize, 4, 2] {
+        let net = generate(&NetworkSpec::scaled_a(scale));
+        let pool = het_pool(net.node_count());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(net.node_count()),
+            &(&net, &pool),
+            |b, (net, pool)| {
+                b.iter(|| croxmap_core::baseline::greedy_first_fit(net, pool));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_area, bench_snu, bench_greedy);
+criterion_main!(benches);

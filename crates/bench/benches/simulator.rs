@@ -1,0 +1,56 @@
+//! Simulator throughput benchmarks: LIF stepping, spike-profile
+//! extraction, and packet accounting on mapped networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use croxmap_core::baseline::greedy_first_fit;
+use croxmap_gen::calibrated::{generate, NetworkSpec};
+use croxmap_gen::smartpixel::{encode, EventSet, SmartPixelConfig};
+use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarPool};
+use croxmap_sim::{count_packets, LifSimulator, SpikeProfile};
+
+fn bench_lif(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lif_simulation");
+    group.sample_size(20);
+    let events = EventSet::generate(&SmartPixelConfig::default(), 1);
+    let event = &events.events()[0];
+    for scale in [8usize, 4, 1] {
+        let net = generate(&NetworkSpec::scaled_a(scale));
+        let stim = encode(&net, event, 32);
+        let sim = LifSimulator::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(net.node_count()),
+            &(&net, &stim),
+            |b, (net, stim)| {
+                b.iter(|| sim.run(net, stim, 32));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_packets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_accounting");
+    group.sample_size(20);
+    let events = EventSet::generate(&SmartPixelConfig::default(), 1);
+    let event = &events.events()[0];
+    let net = generate(&NetworkSpec::scaled_a(4));
+    let pool = CrossbarPool::for_network_capped(
+        &ArchitectureSpec::table_ii_heterogeneous(),
+        &AreaModel::memristor_count(),
+        net.node_count(),
+        3,
+    );
+    let mapping = greedy_first_fit(&net, &pool).expect("mappable");
+    let stim = encode(&net, event, 32);
+    let record = LifSimulator::default().run(&net, &stim, 32);
+    group.bench_function("count_packets", |b| {
+        b.iter(|| count_packets(&net, mapping.assignment(), &record));
+    });
+    group.bench_function("profile_extraction", |b| {
+        b.iter(|| SpikeProfile::from_record(&record));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lif, bench_packets);
+criterion_main!(benches);

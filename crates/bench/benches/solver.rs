@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the ILP engine: LP relaxations and full
+//! branch-and-bound solves on classic 0/1 families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use croxmap_ilp::{simplex, Model, Solver, SolverConfig};
+
+/// Set-cover instance over a ring: n elements, each covered by 2 sets.
+fn ring_cover(n: usize) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+    for e in 0..n {
+        m.add_constraint(
+            format!("e{e}"),
+            m.expr([(vars[e], 1.0), (vars[(e + 1) % n], 1.0)]).geq(1.0),
+        );
+    }
+    m.set_objective(m.expr(vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + (i % 3) as f64))));
+    m
+}
+
+/// Multi-knapsack: n items, 3 resource constraints.
+fn knapsack(n: usize) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+    for r in 0..3 {
+        let cap = (n as f64) * 1.5;
+        m.add_constraint(
+            format!("r{r}"),
+            m.expr(
+                vars.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, 1.0 + ((i + r) % 5) as f64)),
+            )
+            .leq(cap),
+        );
+    }
+    m.set_objective(m.expr(
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| (v, -(2.0 + ((i * 7) % 11) as f64))),
+    ));
+    m
+}
+
+fn bench_lp_relaxation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_relaxation");
+    group.sample_size(20);
+    for n in [16usize, 48, 96] {
+        let model = ring_cover(n);
+        group.bench_with_input(BenchmarkId::new("ring_cover", n), &model, |b, m| {
+            b.iter(|| simplex::solve_model_relaxation(m, &simplex::LpConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_branch_and_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_and_bound");
+    group.sample_size(10);
+    let cfg = SolverConfig::default().with_det_time_limit(5.0);
+    for n in [12usize, 24] {
+        let model = ring_cover(n);
+        group.bench_with_input(BenchmarkId::new("ring_cover", n), &model, |b, m| {
+            b.iter(|| Solver::new(cfg.clone()).solve(m));
+        });
+        let model = knapsack(n);
+        group.bench_with_input(BenchmarkId::new("knapsack", n), &model, |b, m| {
+            b.iter(|| Solver::new(cfg.clone()).solve(m));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp_relaxation, bench_branch_and_bound);
+criterion_main!(benches);

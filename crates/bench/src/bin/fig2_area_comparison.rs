@@ -1,0 +1,94 @@
+//! Regenerates **Fig. 2**: relative improvements in area optimisation.
+//!
+//! Four configurations per network, exactly as in the paper:
+//! `{MCC (SpikeHard, iterated), axon-sharing (ours)} × {homogeneous,
+//! heterogeneous}`. Improvement is reported relative to the network's best
+//! MCC result on the homogeneous architecture (the paper's baseline), and
+//! every configuration's incumbent stream (area vs deterministic time) is
+//! printed so the time-to-quality trade-off of Fig. 2 is visible.
+
+use croxmap_bench::{improvement_pct, section, ExperimentScale};
+use croxmap_core::baseline::{naive_sequential, spikehard_iterate};
+use croxmap_core::pipeline::optimize_area;
+use croxmap_ilp::SolverConfig;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    section(&format!(
+        "Fig. 2: Relative Improvements in Area Optimization (scale 1/{}, budget {} det-s)",
+        scale.scale, scale.budget
+    ));
+
+    for (name, network) in scale.networks() {
+        let stats = network.stats();
+        println!(
+            "\n--- network {name}: {} neurons, {} edges, max fan-in {} ---",
+            stats.node_count, stats.edge_count, stats.max_fan_in
+        );
+        let hom_pool = scale.homogeneous_pool(&network);
+        let het_pool = scale.heterogeneous_pool(&network);
+        let solver_cfg = SolverConfig::default().with_det_time_limit(scale.budget);
+
+        let mut results: Vec<(&str, f64, f64)> = Vec::new(); // (config, area, det_time)
+
+        for (arch_label, pool) in [("hom", &hom_pool), ("het", &het_pool)] {
+            // MCC baseline: greedy initial + iterated SpikeHard packing.
+            // SpikeHard *requires* the initial solution (the paper's §III
+            // criticism); when greedy fails, it simply cannot run.
+            let label: &str = match arch_label {
+                "hom" => "MCC  hom",
+                _ => "MCC  het",
+            };
+            match naive_sequential(&network, pool) {
+                Ok(initial) => {
+                    let sh = spikehard_iterate(&network, pool, &initial, &solver_cfg, 16)
+                        .expect("initial is valid");
+                    let (mcc_area, mcc_time) = sh
+                        .best()
+                        .map_or((initial.area(pool), sh.total_det_time), |r| {
+                            (r.area, sh.total_det_time)
+                        });
+                    results.push((label, mcc_area, mcc_time));
+                }
+                Err(e) => {
+                    println!("  {label}: SpikeHard inapplicable — no initial solution ({e})");
+                    results.push((label, f64::INFINITY, 0.0));
+                }
+            }
+
+            // Axon-sharing ILP (ours).
+            let run = optimize_area(&network, pool, &scale.pipeline());
+            let label: &str = match arch_label {
+                "hom" => "axon hom",
+                _ => "axon het",
+            };
+            let area = run.best_objective().unwrap_or(f64::INFINITY);
+            results.push((label, area, run.det_time));
+            println!("  {label} incumbent stream:");
+            for inc in &run.incumbents {
+                println!("    t={:9.4}s  area={}", inc.det_time, inc.objective);
+            }
+        }
+
+        let baseline = results
+            .iter()
+            .find(|(l, _, _)| *l == "MCC  hom")
+            .map(|&(_, a, _)| a)
+            .expect("baseline present");
+        println!(
+            "\n  {:<9} {:>10} {:>12} {:>22}",
+            "config", "area", "det-time(s)", "improvement vs MCC-hom"
+        );
+        for (label, area, time) in &results {
+            println!(
+                "  {:<9} {:>10} {:>12.3} {:>21.1}%",
+                label,
+                area,
+                time,
+                improvement_pct(baseline, *area)
+            );
+        }
+    }
+    println!("\nPaper reference: axon sharing gains 16.7-27.6% over MCC on homogeneous");
+    println!("MCAs and a further 66.9-72.7% on the heterogeneous configuration.");
+}

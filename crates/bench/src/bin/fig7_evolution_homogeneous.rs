@@ -1,0 +1,51 @@
+//! Regenerates **Fig. 7**: area/SNU evolution for network A targeting the
+//! homogeneous MCA. Every intermediate area solution is re-optimised for
+//! SNU, charting the trade-off frontier over deterministic time. The
+//! hypothetical one-neuron-per-minimal-crossbar bound is marked, as in the
+//! paper.
+
+use croxmap_bench::{section, ExperimentScale};
+use croxmap_core::baseline::naive_sequential;
+use croxmap_core::pipeline::area_snu_evolution_from;
+use croxmap_mca::CrossbarDim;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let (name, network) = scale.networks().remove(0);
+    section(&format!(
+        "Fig. 7: Area/SNU evolution for network {name}, homogeneous MCA (scale 1/{})",
+        scale.scale
+    ));
+    let pool = scale.homogeneous_pool(&network);
+    let snu_budget = (scale.budget / 4.0).max(2.0);
+    // Seed with the naive sequential mapping and chart the optimiser's
+    // refinement trajectory from there, as in the paper's evolution plots.
+    let seed = naive_sequential(&network, &pool).expect("network mappable");
+    let points =
+        area_snu_evolution_from(&network, &pool, &seed, &scale.pipeline(), snu_budget);
+
+    println!(
+        "{:>12} {:>10} {:>12} {:>12}",
+        "det-time(s)", "area", "SNU before", "SNU after"
+    );
+    for p in &points {
+        println!(
+            "{:>12.4} {:>10} {:>12} {:>12}",
+            p.det_time, p.area, p.snu_before, p.snu_after
+        );
+    }
+
+    // Hypothetical bound: one neuron per minimally sized crossbar — every
+    // route global. Not achievable in the target architecture (the paper
+    // marks it as a solution-space bound).
+    let min_dim = CrossbarDim::square(4);
+    let bound_area = network.node_count() as u64 * min_dim.memristors();
+    // One neuron per crossbar makes every synapse a global route, modulo
+    // axon sharing between same-target edges (none: one target per slot).
+    let bound_routes = network.edge_count();
+    println!(
+        "\nhypothetical 1-neuron-per-{min_dim} bound: area {bound_area}, SNU {bound_routes} (all routes global)"
+    );
+    println!("total deterministic time: {:.3}s over {} evolution points",
+        points.last().map_or(0.0, |p| p.det_time), points.len());
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Table II**: the utilized crossbar dimension catalog.
+
+use croxmap_bench::section;
+use croxmap_mca::{ArchitectureSpec, CrossbarDim};
+
+fn main() {
+    section("Table II: Utilized Crossbar Dimensions");
+    println!(
+        "{:<16} {:>14} {:>14} {:>14}",
+        "Base Dimension", "Multi-Macro 2x", "Multi-Macro 4x", "Multi-Macro 8x"
+    );
+    for base in [4u32, 8, 16, 32] {
+        let mut row = format!("{:<16}", CrossbarDim::square(base).to_string());
+        for factor in [2u32, 4, 8] {
+            let dim = CrossbarDim::multi_macro(base, factor);
+            let cell = if dim.inputs() <= 32 {
+                dim.to_string()
+            } else {
+                "-".to_string()
+            };
+            row.push_str(&format!(" {cell:>14}"));
+        }
+        println!("{row}");
+    }
+    let arch = ArchitectureSpec::table_ii_heterogeneous();
+    println!("\ncatalog as used by the heterogeneous experiments ({} dims):", arch.catalog().len());
+    for dim in arch.catalog() {
+        println!("  {dim}  ({} memristors)", dim.memristors());
+    }
+}

@@ -1,0 +1,831 @@
+//! Baselines: greedy first-fit construction and the SpikeHard-style MCC
+//! bin-packing ILP the paper compares against.
+//!
+//! SpikeHard (reference \[24\] of the paper) groups neurons of an *initial
+//! solution* into Minimally Connected Components (MCCs) and bin-packs the
+//! MCCs' aggregate dimension requirements. Two properties matter for the
+//! comparison:
+//!
+//! 1. it **requires** an initial valid mapping (our greedy first-fit
+//!    provides one, as the paper's §III notes this is inhibitive), and
+//! 2. it does **not model axon sharing across MCCs**: packing two MCCs that
+//!    read the same presynaptic neuron double-counts that word line
+//!    (Fig. 1), so its "optimal" packings waste input capacity.
+//!
+//! Applying the packing repeatedly — each round's crossbars become the next
+//! round's MCCs — reproduces the paper's "SpikeHard applied repeatedly until
+//! convergence" protocol (§V-D).
+
+use crate::{Mapping, MappingError};
+use croxmap_ilp::{LinExpr, Model, SolveStatus, Solver, SolverConfig, VarId};
+use croxmap_mca::CrossbarPool;
+use croxmap_snn::{Network, NeuronId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Error from the greedy first-fit constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GreedyError {
+    /// No pool slot can host this neuron (fan-in exceeds every slot's
+    /// input capacity, or the pool ran out of slots).
+    Unplaceable {
+        /// The neuron that could not be placed.
+        neuron: NeuronId,
+        /// Its fan-in.
+        fan_in: usize,
+    },
+}
+
+impl fmt::Display for GreedyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GreedyError::Unplaceable { neuron, fan_in } => {
+                write!(f, "no pool slot can host neuron {neuron} with fan-in {fan_in}")
+            }
+        }
+    }
+}
+
+impl Error for GreedyError {}
+
+/// Greedy first-fit-decreasing mapping: neurons in decreasing fan-in order,
+/// each placed on the first already-open slot with room (outputs *and*
+/// axon-shared inputs), opening the cheapest feasible new slot otherwise.
+///
+/// This provides the "initial solution" SpikeHard needs and the warm start
+/// our own formulations merely benefit from.
+///
+/// # Errors
+///
+/// Returns [`GreedyError::Unplaceable`] if some neuron fits nowhere.
+pub fn greedy_first_fit(network: &Network, pool: &CrossbarPool) -> Result<Mapping, GreedyError> {
+    let n = network.node_count();
+    let mut order: Vec<NeuronId> = network.neuron_ids().collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(network.in_degree(i)));
+
+    let mut assignment = vec![usize::MAX; n];
+    let mut open: Vec<usize> = Vec::new();
+    let mut outputs_used = vec![0usize; pool.len()];
+    let mut inputs: Vec<BTreeSet<NeuronId>> = vec![BTreeSet::new(); pool.len()];
+
+    'place: for i in order {
+        let sources: BTreeSet<NeuronId> = network.fan_in(i).map(|e| e.source).collect();
+        // Try open slots first (first fit).
+        for &j in &open {
+            if fits(pool, j, outputs_used[j], &inputs[j], &sources) {
+                place(i, j, &mut assignment, &mut outputs_used, &mut inputs, &sources);
+                continue 'place;
+            }
+        }
+        // Open the cheapest unopened slot that can host the neuron alone.
+        let mut candidates: Vec<usize> = (0..pool.len())
+            .filter(|j| !open.contains(j))
+            .filter(|&j| pool.slot(j).dim.admits_fan_in(sources.len()))
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            pool.slot(a)
+                .cost
+                .partial_cmp(&pool.slot(b).cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        match candidates.first() {
+            Some(&j) => {
+                open.push(j);
+                place(i, j, &mut assignment, &mut outputs_used, &mut inputs, &sources);
+            }
+            None => {
+                return Err(GreedyError::Unplaceable {
+                    neuron: i,
+                    fan_in: sources.len(),
+                })
+            }
+        }
+    }
+    Ok(Mapping::new(assignment))
+}
+
+fn fits(
+    pool: &CrossbarPool,
+    j: usize,
+    outputs_used: usize,
+    inputs: &BTreeSet<NeuronId>,
+    sources: &BTreeSet<NeuronId>,
+) -> bool {
+    let dim = pool.slot(j).dim;
+    if outputs_used + 1 > dim.outputs() as usize {
+        return false;
+    }
+    let new_inputs = sources.iter().filter(|s| !inputs.contains(s)).count();
+    inputs.len() + new_inputs <= dim.inputs() as usize
+}
+
+fn place(
+    i: NeuronId,
+    j: usize,
+    assignment: &mut [usize],
+    outputs_used: &mut [usize],
+    inputs: &mut [BTreeSet<NeuronId>],
+    sources: &BTreeSet<NeuronId>,
+) {
+    assignment[i.index()] = j;
+    outputs_used[j] += 1;
+    inputs[j].extend(sources.iter().copied());
+}
+
+/// Naive sequential first-fit: neurons in index order, slots in pool
+/// order, no sorting or cost awareness. This is the kind of "known valid
+/// solution" a SpikeHard user starts from (the paper's §III notes the
+/// initial-solution requirement is the method's key limitation — MCC
+/// groups derived from the initial can be merged but never split).
+///
+/// # Errors
+///
+/// Returns [`GreedyError::Unplaceable`] if some neuron fits nowhere.
+pub fn naive_sequential(network: &Network, pool: &CrossbarPool) -> Result<Mapping, GreedyError> {
+    let n = network.node_count();
+    let mut assignment = vec![usize::MAX; n];
+    let mut outputs_used = vec![0usize; pool.len()];
+    let mut inputs: Vec<BTreeSet<NeuronId>> = vec![BTreeSet::new(); pool.len()];
+    'place: for i in network.neuron_ids() {
+        let sources: BTreeSet<NeuronId> = network.fan_in(i).map(|e| e.source).collect();
+        for j in 0..pool.len() {
+            if fits(pool, j, outputs_used[j], &inputs[j], &sources) {
+                place(i, j, &mut assignment, &mut outputs_used, &mut inputs, &sources);
+                continue 'place;
+            }
+        }
+        return Err(GreedyError::Unplaceable {
+            neuron: i,
+            fan_in: sources.len(),
+        });
+    }
+    Ok(Mapping::new(assignment))
+}
+
+/// Deterministic local search on the area objective, used as a warm-start
+/// polisher in the optimisation pipeline (CP-SAT runs comparable internal
+/// heuristics around its ILP core).
+///
+/// Two move kinds, applied to a first-improvement fixed point:
+///
+/// 1. **Empty a slot**: relocate every neuron of an under-filled crossbar
+///    into the remaining used crossbars (axon-sharing-aware capacity
+///    checks); frees the whole slot's cost.
+/// 2. **Downsize a slot**: move a crossbar's entire content onto a cheaper
+///    unused slot whose dimensions still fit.
+///
+/// The result never has higher area than `initial` and always validates.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `initial` is invalid for the pool.
+#[must_use]
+pub fn local_search_area(
+    network: &Network,
+    pool: &CrossbarPool,
+    initial: &Mapping,
+    max_passes: usize,
+) -> Mapping {
+    debug_assert!(initial.validate(network, pool).is_ok());
+    let mut assignment = initial.assignment().to_vec();
+
+    let members_of = |assignment: &[usize], j: usize| -> Vec<usize> {
+        assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == j)
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let inputs_of = |assignment: &[usize], j: usize| -> BTreeSet<NeuronId> {
+        let mut set = BTreeSet::new();
+        for (i, &s) in assignment.iter().enumerate() {
+            if s == j {
+                for e in network.fan_in(NeuronId::new(i)) {
+                    set.insert(e.source);
+                }
+            }
+        }
+        set
+    };
+
+    for _ in 0..max_passes {
+        let mut improved = false;
+        let mut used: Vec<usize> = {
+            let set: BTreeSet<usize> = assignment.iter().copied().collect();
+            set.into_iter().collect()
+        };
+        // Try to empty sparsely-filled, expensive slots first.
+        used.sort_by(|&a, &b| {
+            let fill_a = members_of(&assignment, a).len();
+            let fill_b = members_of(&assignment, b).len();
+            fill_a.cmp(&fill_b).then(
+                pool.slot(b)
+                    .cost
+                    .partial_cmp(&pool.slot(a).cost)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+
+        // Move 1: empty a slot.
+        'empty: for &j in &used {
+            let members = members_of(&assignment, j);
+            let mut trial = assignment.clone();
+            for &i in &members {
+                let sources: BTreeSet<NeuronId> =
+                    network.fan_in(NeuronId::new(i)).map(|e| e.source).collect();
+                let mut placed = false;
+                for &j2 in &used {
+                    if j2 == j {
+                        continue;
+                    }
+                    let dim = pool.slot(j2).dim;
+                    let outputs_used = members_of(&trial, j2).len();
+                    if outputs_used + 1 > dim.outputs() as usize {
+                        continue;
+                    }
+                    let mut inputs = inputs_of(&trial, j2);
+                    inputs.extend(sources.iter().copied());
+                    if inputs.len() <= dim.inputs() as usize {
+                        trial[i] = j2;
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    continue 'empty;
+                }
+            }
+            assignment = trial;
+            improved = true;
+            break;
+        }
+        if improved {
+            continue;
+        }
+
+        // Move 2: downsize a slot onto a cheaper unused one.
+        let used_set: BTreeSet<usize> = assignment.iter().copied().collect();
+        'downsize: for &j in &used {
+            let members = members_of(&assignment, j);
+            let need_out = members.len();
+            let need_in = inputs_of(&assignment, j).len();
+            let current_cost = pool.slot(j).cost;
+            for j2 in 0..pool.len() {
+                if used_set.contains(&j2) || pool.slot(j2).cost >= current_cost {
+                    continue;
+                }
+                let dim = pool.slot(j2).dim;
+                if need_out <= dim.outputs() as usize && need_in <= dim.inputs() as usize {
+                    for &i in &members {
+                        assignment[i] = j2;
+                    }
+                    improved = true;
+                    break 'downsize;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    let result = Mapping::new(assignment);
+    debug_assert!(result.validate(network, pool).is_ok());
+    result
+}
+
+/// Deterministic local search on the (optionally profile-weighted) global
+/// route objective over a *fixed* slot set: neurons move between the
+/// mapping's used crossbars, or swap pairwise, whenever capacities allow
+/// and the number of inter-crossbar routes (Eq. 11) — or profile-weighted
+/// packets (Eq. 12) when `weights` is given — strictly decreases.
+///
+/// Area is untouched: no new slots are opened. Used as the warm-start
+/// polisher for the SNU/PGO pipelines.
+#[must_use]
+pub fn local_search_routes(
+    network: &Network,
+    pool: &CrossbarPool,
+    initial: &Mapping,
+    weights: Option<&[u64]>,
+    max_passes: usize,
+) -> Mapping {
+    debug_assert!(initial.validate(network, pool).is_ok());
+    let ones: Vec<u64>;
+    let w: &[u64] = match weights {
+        Some(w) => w,
+        None => {
+            ones = vec![1; network.node_count()];
+            &ones
+        }
+    };
+    let score = |assignment: &[usize]| -> u64 {
+        croxmap_sim::predicted_global_packets(network, assignment, w)
+    };
+    let valid = |assignment: &[usize]| -> bool {
+        Mapping::new(assignment.to_vec()).validate(network, pool).is_ok()
+    };
+
+    let mut assignment = initial.assignment().to_vec();
+    let mut best = score(&assignment);
+    let used: Vec<usize> = initial.used_slots();
+    let n = network.node_count();
+    let try_swaps = n <= 128;
+
+    for _ in 0..max_passes {
+        let mut improved = false;
+        // Single moves.
+        for i in 0..n {
+            let from = assignment[i];
+            for &to in &used {
+                if to == from {
+                    continue;
+                }
+                assignment[i] = to;
+                if valid(&assignment) {
+                    let s = score(&assignment);
+                    if s < best {
+                        best = s;
+                        improved = true;
+                        break;
+                    }
+                }
+                assignment[i] = from;
+            }
+        }
+        // Pairwise swaps.
+        if try_swaps {
+            for i in 0..n {
+                for k in i + 1..n {
+                    if assignment[i] == assignment[k] {
+                        continue;
+                    }
+                    assignment.swap(i, k);
+                    if valid(&assignment) {
+                        let s = score(&assignment);
+                        if s < best {
+                            best = s;
+                            improved = true;
+                            continue;
+                        }
+                    }
+                    assignment.swap(i, k);
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    let result = Mapping::new(assignment);
+    debug_assert!(result.validate(network, pool).is_ok());
+    result
+}
+
+/// One Minimally Connected Component: a neuron group with its aggregate
+/// dimension requirement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mcc {
+    /// Member neurons.
+    pub neurons: Vec<NeuronId>,
+    /// Output lines the group needs (its size).
+    pub outputs: usize,
+    /// Word lines the group needs: distinct presynaptic sources *of the
+    /// group* — sharing is modelled inside an MCC but not across MCCs.
+    pub inputs: usize,
+}
+
+/// Derives the MCCs of an existing mapping: each used crossbar's neuron set
+/// becomes one component.
+#[must_use]
+pub fn mccs_of(network: &Network, mapping: &Mapping) -> Vec<Mcc> {
+    mapping
+        .used_slots()
+        .into_iter()
+        .map(|slot| {
+            let neurons = mapping.neurons_on(slot);
+            let inputs = mapping.inputs_of(network, slot).len();
+            Mcc {
+                outputs: neurons.len(),
+                inputs,
+                neurons,
+            }
+        })
+        .collect()
+}
+
+/// Result of one SpikeHard packing round.
+#[derive(Debug, Clone)]
+pub struct PackingRound {
+    /// The mapping after this round.
+    pub mapping: Mapping,
+    /// Its area under the pool's cost model.
+    pub area: f64,
+    /// Deterministic seconds consumed by this round's solve.
+    pub det_time: f64,
+    /// Whether the round's ILP was solved to optimality.
+    pub proved_optimal: bool,
+}
+
+/// Full trace of iterated SpikeHard packing.
+#[derive(Debug, Clone)]
+pub struct SpikeHardRun {
+    /// Rounds in order, starting from the first re-packing of the initial
+    /// solution. Empty if the initial mapping was already a fixed point.
+    pub rounds: Vec<PackingRound>,
+    /// Total deterministic seconds across all rounds.
+    pub total_det_time: f64,
+}
+
+impl SpikeHardRun {
+    /// The best (final) mapping of the run, or `None` if no round ran.
+    #[must_use]
+    pub fn best(&self) -> Option<&PackingRound> {
+        self.rounds.last()
+    }
+}
+
+/// Packs `mccs` onto `pool` with the SpikeHard bin-packing ILP (no
+/// cross-MCC axon sharing) and decodes the result.
+///
+/// Returns the mapping and the deterministic time spent, or `None` if the
+/// packing ILP found no feasible solution within budget.
+#[must_use]
+pub fn pack_mccs(
+    network: &Network,
+    pool: &CrossbarPool,
+    mccs: &[Mcc],
+    solver_config: &SolverConfig,
+) -> Option<(Mapping, f64, bool)> {
+    let g_count = mccs.len();
+    let j_count = pool.len();
+    let mut model = Model::new();
+    let z: Vec<Vec<VarId>> = (0..g_count)
+        .map(|g| {
+            (0..j_count)
+                .map(|j| model.add_binary(format!("z_{g}_{j}")))
+                .collect()
+        })
+        .collect();
+    let y: Vec<VarId> = (0..j_count)
+        .map(|j| model.add_binary(format!("y_{j}")))
+        .collect();
+    for (g, zg) in z.iter().enumerate() {
+        // Pre-fix slots the MCC cannot fit alone.
+        for (j, &zgj) in zg.iter().enumerate() {
+            let dim = pool.slot(j).dim;
+            if mccs[g].outputs > dim.outputs() as usize
+                || mccs[g].inputs > dim.inputs() as usize
+            {
+                model.fix_binary(zgj, false);
+            }
+        }
+        let expr = LinExpr::from_terms(zg.iter().map(|&v| (v, 1.0)));
+        model.add_constraint(format!("assign_{g}"), expr.eq(1.0));
+    }
+    for j in 0..j_count {
+        let dim = pool.slot(j).dim;
+        let mut out_expr = LinExpr::new();
+        let mut in_expr = LinExpr::new();
+        for (g, zg) in z.iter().enumerate() {
+            out_expr.push(zg[j], mccs[g].outputs as f64);
+            // The SpikeHard flaw: input requirements ADD across MCCs even
+            // when they read the same presynaptic neuron.
+            in_expr.push(zg[j], mccs[g].inputs as f64);
+        }
+        out_expr.push(y[j], -f64::from(dim.outputs()));
+        in_expr.push(y[j], -f64::from(dim.inputs()));
+        model.add_constraint(format!("out_{j}"), out_expr.leq(0.0));
+        model.add_constraint(format!("in_{j}"), in_expr.leq(0.0));
+    }
+    // Symmetry breaking mirrors the main formulation.
+    for grp in pool.symmetry_groups() {
+        for j in grp.start..grp.start + grp.len - 1 {
+            let expr = LinExpr::from_terms([(y[j], 1.0), (y[j + 1], -1.0)]);
+            model.add_constraint(format!("sym_{j}"), expr.geq(0.0));
+        }
+    }
+    model.set_objective(LinExpr::from_terms(
+        y.iter().enumerate().map(|(j, &v)| (v, pool.slot(j).cost)),
+    ));
+
+    let result = Solver::new(solver_config.clone()).solve(&model);
+    let best = result.best?;
+    let mut assignment = vec![usize::MAX; network.node_count()];
+    for (g, zg) in z.iter().enumerate() {
+        let j = zg
+            .iter()
+            .position(|&v| best.is_one(v))
+            .expect("every MCC placed in feasible solution");
+        for &i in &mccs[g].neurons {
+            assignment[i.index()] = j;
+        }
+    }
+    Some((
+        Mapping::new(assignment),
+        result.det_time,
+        result.status == SolveStatus::Optimal,
+    ))
+}
+
+/// Applies SpikeHard packing repeatedly until the area stops improving,
+/// reproducing the paper's §V-D protocol.
+///
+/// # Errors
+///
+/// Returns the initial mapping's validation error if it is invalid.
+pub fn spikehard_iterate(
+    network: &Network,
+    pool: &CrossbarPool,
+    initial: &Mapping,
+    solver_config: &SolverConfig,
+    max_rounds: usize,
+) -> Result<SpikeHardRun, MappingError> {
+    initial.validate(network, pool)?;
+    let mut current = initial.clone();
+    let mut current_area = current.area(pool);
+    let mut rounds = Vec::new();
+    let mut total_det_time = 0.0;
+    for _ in 0..max_rounds {
+        let mccs = mccs_of(network, &current);
+        let Some((mapping, det_time, proved)) = pack_mccs(network, pool, &mccs, solver_config)
+        else {
+            break;
+        };
+        total_det_time += det_time;
+        let area = mapping.area(pool);
+        if area >= current_area - 1e-9 {
+            break; // converged
+        }
+        current = mapping.clone();
+        current_area = area;
+        rounds.push(PackingRound {
+            mapping,
+            area,
+            det_time,
+            proved_optimal: proved,
+        });
+    }
+    Ok(SpikeHardRun {
+        rounds,
+        total_det_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarDim};
+    use croxmap_snn::{NetworkBuilder, NodeRole};
+
+    fn chain(n: usize) -> Network {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<_> = (0..n)
+            .map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0))
+            .collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 1.0, 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn pool(dim: CrossbarDim, n: usize) -> CrossbarPool {
+        let arch = ArchitectureSpec::homogeneous(dim);
+        CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), n, 4)
+    }
+
+    #[test]
+    fn greedy_produces_valid_mapping() {
+        let net = chain(10);
+        let pool = pool(CrossbarDim::new(4, 4), 10);
+        let m = greedy_first_fit(&net, &pool).unwrap();
+        m.validate(&net, &pool).unwrap();
+    }
+
+    #[test]
+    fn greedy_respects_input_capacity_with_sharing() {
+        // Star source → 6 targets on 4-output crossbars: needs 2 crossbars
+        // for targets; source shares a word line on each.
+        let mut b = NetworkBuilder::new();
+        let src = b.add_neuron(NodeRole::Input, 1.0, 0.0);
+        for _ in 0..6 {
+            let t = b.add_neuron(NodeRole::Hidden, 1.0, 0.0);
+            b.add_edge(src, t, 1.0, 1).unwrap();
+        }
+        let net = b.build().unwrap();
+        let pool = pool(CrossbarDim::new(4, 4), 7);
+        let m = greedy_first_fit(&net, &pool).unwrap();
+        m.validate(&net, &pool).unwrap();
+    }
+
+    #[test]
+    fn greedy_fails_on_impossible_fan_in() {
+        let mut b = NetworkBuilder::new();
+        let hub = b.add_neuron(NodeRole::Output, 1.0, 0.0);
+        for _ in 0..5 {
+            let l = b.add_neuron(NodeRole::Input, 1.0, 0.0);
+            b.add_edge(l, hub, 1.0, 1).unwrap();
+        }
+        let net = b.build().unwrap();
+        let pool = pool(CrossbarDim::new(4, 4), 6); // max 4 inputs < fan-in 5
+        let err = greedy_first_fit(&net, &pool).unwrap_err();
+        assert!(matches!(err, GreedyError::Unplaceable { fan_in: 5, .. }));
+    }
+
+    #[test]
+    fn mccs_capture_group_requirements() {
+        let net = chain(4);
+        let m = Mapping::new(vec![0, 0, 1, 1]);
+        let mccs = mccs_of(&net, &m);
+        assert_eq!(mccs.len(), 2);
+        // Group {0,1}: inputs = {0} (1 feeds from 0), outputs = 2.
+        assert_eq!(mccs[0].outputs, 2);
+        assert_eq!(mccs[0].inputs, 1);
+        // Group {2,3}: inputs = {1, 2}.
+        assert_eq!(mccs[1].inputs, 2);
+    }
+
+    #[test]
+    fn spikehard_improves_fragmented_initial() {
+        // 8-neuron chain initially scattered across 8 slots; packing should
+        // consolidate substantially.
+        let net = chain(8);
+        let pool = CrossbarPool::from_counts(
+            &AreaModel::memristor_count(),
+            [(CrossbarDim::new(8, 8), 8)],
+        );
+        let initial = greedy_first_fit(&net, &pool).unwrap();
+        // Fragment: one neuron per slot.
+        let fragmented = Mapping::new((0..8).collect());
+        fragmented.validate(&net, &pool).unwrap();
+        let cfg = SolverConfig::default().with_det_time_limit(5.0);
+        let run = spikehard_iterate(&net, &pool, &fragmented, &cfg, 10).unwrap();
+        let best = run.best().expect("at least one improving round");
+        assert!(best.area < fragmented.area(&pool));
+        best.mapping.validate(&net, &pool).unwrap();
+        let _ = initial;
+    }
+
+    #[test]
+    fn spikehard_overcounts_shared_axons() {
+        // Fig. 1 scenario: two MCCs reading the same source. True need: the
+        // shared source occupies ONE word line; SpikeHard charges two.
+        let mut b = NetworkBuilder::new();
+        let src = b.add_neuron(NodeRole::Input, 1.0, 0.0);
+        let t1 = b.add_neuron(NodeRole::Hidden, 1.0, 0.0);
+        let t2 = b.add_neuron(NodeRole::Hidden, 1.0, 0.0);
+        b.add_edge(src, t1, 1.0, 1).unwrap();
+        b.add_edge(src, t2, 1.0, 1).unwrap();
+        let net = b.build().unwrap();
+        // Crossbar with 2 inputs and 2 outputs.
+        let pool = pool(CrossbarDim::new(2, 2), 3);
+        // MCCs {t1} and {t2}, each needing 1 input line from src.
+        let mccs = vec![
+            Mcc {
+                neurons: vec![t1],
+                outputs: 1,
+                inputs: 1,
+            },
+            Mcc {
+                neurons: vec![t2],
+                outputs: 1,
+                inputs: 1,
+            },
+            Mcc {
+                neurons: vec![src],
+                outputs: 1,
+                inputs: 0,
+            },
+        ];
+        let cfg = SolverConfig::default().with_det_time_limit(5.0);
+        let (m, _, _) = pack_mccs(&net, &pool, &mccs, &cfg).unwrap();
+        // SpikeHard thinks {t1, t2, src} needs 1+1+0 = 2 inputs ≤ 2 — here
+        // it happens to fit. The overcounting shows when capacities are
+        // tighter: force it by checking the *model's* input accounting via
+        // a 1-input crossbar where the true mapping fits but MCC says no.
+        m.validate(&net, &pool).unwrap();
+        let tight = CrossbarPool::from_counts(
+            &AreaModel::memristor_count(),
+            [(CrossbarDim::new(1, 3), 1)],
+        );
+        // True feasibility: all three on the 1×3 crossbar — src is the only
+        // axon source, one word line suffices.
+        let true_mapping = Mapping::new(vec![0, 0, 0]);
+        assert!(true_mapping.validate(&net, &tight).is_ok());
+        // SpikeHard's packing refuses: 1+1 = 2 input lines demanded > 1.
+        let packed = pack_mccs(&net, &tight, &mccs, &cfg);
+        assert!(packed.is_none(), "MCC packing must overcount and fail");
+    }
+
+    #[test]
+    fn spikehard_converges() {
+        let net = chain(6);
+        let pool = CrossbarPool::from_counts(
+            &AreaModel::memristor_count(),
+            [(CrossbarDim::new(4, 4), 6)],
+        );
+        let fragmented = Mapping::new((0..6).collect());
+        let cfg = SolverConfig::default().with_det_time_limit(5.0);
+        let run = spikehard_iterate(&net, &pool, &fragmented, &cfg, 20).unwrap();
+        // Areas strictly decrease across rounds.
+        let mut last = fragmented.area(&pool);
+        for r in &run.rounds {
+            assert!(r.area < last);
+            last = r.area;
+        }
+    }
+
+    #[test]
+    fn naive_sequential_is_valid_but_not_better_than_greedy() {
+        let net = chain(10);
+        let pool = CrossbarPool::from_counts(
+            &AreaModel::memristor_count(),
+            [(CrossbarDim::new(4, 2), 5), (CrossbarDim::new(8, 8), 2)],
+        );
+        let naive = naive_sequential(&net, &pool).unwrap();
+        naive.validate(&net, &pool).unwrap();
+        let greedy = greedy_first_fit(&net, &pool).unwrap();
+        assert!(naive.area(&pool) >= greedy.area(&pool) - 1e-9);
+    }
+
+    #[test]
+    fn local_search_empties_fragmented_slots() {
+        let net = chain(6);
+        let pool = CrossbarPool::from_counts(
+            &AreaModel::memristor_count(),
+            [(CrossbarDim::new(8, 8), 6)],
+        );
+        let fragmented = Mapping::new((0..6).collect());
+        let improved = local_search_area(&net, &pool, &fragmented, 20);
+        improved.validate(&net, &pool).unwrap();
+        // A 6-chain fits on one 8x8 crossbar (5 internal sources).
+        assert_eq!(improved.used_slots().len(), 1);
+        assert!(improved.area(&pool) < fragmented.area(&pool));
+    }
+
+    #[test]
+    fn local_search_downsizes_oversized_slot() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_neuron(NodeRole::Input, 1.0, 0.0);
+        let c = b.add_neuron(NodeRole::Output, 1.0, 0.0);
+        b.add_edge(a, c, 1.0, 1).unwrap();
+        let net = b.build().unwrap();
+        let pool = CrossbarPool::from_counts(
+            &AreaModel::memristor_count(),
+            [(CrossbarDim::new(4, 2), 1), (CrossbarDim::new(16, 16), 1)],
+        );
+        // Start on the big slot (index 1 after sorting: 4x2 < 16x16).
+        let big = Mapping::new(vec![1, 1]);
+        big.validate(&net, &pool).unwrap();
+        let improved = local_search_area(&net, &pool, &big, 10);
+        assert_eq!(improved.used_slots(), vec![0]);
+        assert_eq!(improved.area(&pool), 8.0);
+    }
+
+    #[test]
+    fn local_search_never_increases_area() {
+        let net = chain(8);
+        let pool = CrossbarPool::from_counts(
+            &AreaModel::memristor_count(),
+            [(CrossbarDim::new(4, 2), 4), (CrossbarDim::new(8, 8), 2)],
+        );
+        let initial = greedy_first_fit(&net, &pool).unwrap();
+        let improved = local_search_area(&net, &pool, &initial, 20);
+        improved.validate(&net, &pool).unwrap();
+        assert!(improved.area(&pool) <= initial.area(&pool));
+    }
+
+    #[test]
+    fn local_search_respects_axon_sharing_capacity() {
+        // Two targets of one source on a 1-input crossbar: moving both in
+        // is fine (shared line), a third independent source is not.
+        let mut b = NetworkBuilder::new();
+        let s1 = b.add_neuron(NodeRole::Input, 1.0, 0.0);
+        let t1 = b.add_neuron(NodeRole::Hidden, 1.0, 0.0);
+        let t2 = b.add_neuron(NodeRole::Hidden, 1.0, 0.0);
+        b.add_edge(s1, t1, 1.0, 1).unwrap();
+        b.add_edge(s1, t2, 1.0, 1).unwrap();
+        let net = b.build().unwrap();
+        let pool = CrossbarPool::from_counts(
+            &AreaModel::memristor_count(),
+            [(CrossbarDim::new(1, 3), 2)],
+        );
+        let spread = Mapping::new(vec![0, 0, 1]);
+        let improved = local_search_area(&net, &pool, &spread, 10);
+        improved.validate(&net, &pool).unwrap();
+        assert_eq!(improved.used_slots().len(), 1);
+    }
+
+    #[test]
+    fn spikehard_rejects_invalid_initial() {
+        let net = chain(4);
+        let pool = pool(CrossbarDim::new(4, 2), 4);
+        let bad = Mapping::new(vec![0, 0, 0, 0]); // 4 > 2 outputs
+        let cfg = SolverConfig::default();
+        assert!(spikehard_iterate(&net, &pool, &bad, &cfg, 5).is_err());
+    }
+}

@@ -1,0 +1,628 @@
+//! The paper's ILP formulations (Eqs. 3–12).
+//!
+//! Variables (paper notation → here):
+//!
+//! * `x_ij` — neuron `i` mapped to crossbar `j` (binary),
+//! * `s_kj` — axon source `k` feeds crossbar `j` (binary, only for neurons
+//!   with outgoing synapses),
+//! * `y_j` — crossbar `j` enabled (binary),
+//! * `b_kj` — `k` is both input and output of `j` (Eq. 10); modelled as a
+//!   *continuous* variable in `[0,1]` with `b ≤ s` and `b ≤ x`, which is
+//!   exact for the minimisation objectives that use it.
+//!
+//! Constraints: Eq. 3 (one crossbar per neuron), Eq. 4 (output capacity),
+//! Eqs. 5/6 (axon-sharing linking, see [`Linking`]), Eq. 7 (input
+//! capacity).
+
+use crate::Mapping;
+use croxmap_ilp::{LinExpr, Model, Solution, VarId};
+use croxmap_mca::CrossbarPool;
+use croxmap_snn::{Network, NeuronId};
+use std::collections::BTreeSet;
+
+/// How Eq. 6 (`s_kj ≥ x_ij ∧ m_ik`) is linearised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Linking {
+    /// One row per synapse and crossbar: `x_ij ≤ s_kj` for every edge
+    /// `k → i`. Tightest LP relaxation, largest model.
+    Strong,
+    /// One row per source and crossbar:
+    /// `Σ_{i ∈ fanout(k)} x_ij ≤ |fanout(k)| · s_kj`. Equivalent for
+    /// integer solutions, weaker LP bound, far fewer rows.
+    #[default]
+    Aggregated,
+}
+
+/// Optimisation objective attached to the constraint system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingObjective {
+    /// Minimise enabled-crossbar cost `Σ y_j C_j` (Eq. 8).
+    Area,
+    /// Minimise total routes `Σ s_kj` (Eq. 9).
+    TotalRoutes,
+    /// Minimise global (inter-crossbar) routes `Σ s_kj − b_kj` (Eq. 11),
+    /// the paper's Static Network Utilisation.
+    GlobalRoutes,
+    /// Minimise profile-weighted global routes `Σ W_k (s_kj − b_kj)`
+    /// (Eq. 12). Sources with `W_k = 0` drop out of the objective, which
+    /// is what makes PGO solves fast.
+    PgoPackets(Vec<u64>),
+}
+
+/// Structural options of the formulation.
+#[derive(Debug, Clone, Default)]
+pub struct FormulationConfig {
+    /// Axon-sharing linearisation.
+    pub linking: Linking,
+    /// Order `y_j ≥ y_{j+1}` within identical-slot symmetry groups.
+    pub symmetry_breaking: bool,
+    /// If set, only these slots may be enabled; every other slot's `y` and
+    /// `x` variables are fixed to zero. Used to re-optimise routes without
+    /// increasing area (§V-F).
+    pub restrict_to_slots: Option<Vec<usize>>,
+}
+
+impl FormulationConfig {
+    /// The paper's default: aggregated linking with symmetry breaking.
+    #[must_use]
+    pub fn new() -> Self {
+        FormulationConfig {
+            linking: Linking::Aggregated,
+            symmetry_breaking: true,
+            restrict_to_slots: None,
+        }
+    }
+
+    /// Returns a copy restricted to the used slots of `mapping`.
+    #[must_use]
+    pub fn restricted_to(mut self, mapping: &Mapping) -> Self {
+        self.restrict_to_slots = Some(mapping.used_slots());
+        self
+    }
+}
+
+/// A built mapping ILP: the [`Model`] plus the variable maps needed to
+/// decode solutions and encode warm starts.
+///
+/// ```
+/// use croxmap_core::{FormulationConfig, MappingIlp, MappingObjective};
+/// use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarDim, CrossbarPool};
+/// use croxmap_snn::{NetworkBuilder, NodeRole};
+///
+/// # fn main() -> Result<(), croxmap_snn::BuildNetworkError> {
+/// let mut b = NetworkBuilder::new();
+/// let a = b.add_neuron(NodeRole::Input, 1.0, 0.0);
+/// let c = b.add_neuron(NodeRole::Output, 1.0, 0.0);
+/// b.add_edge(a, c, 1.0, 1)?;
+/// let net = b.build()?;
+/// let arch = ArchitectureSpec::homogeneous(CrossbarDim::square(4));
+/// let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 2, 1);
+/// let ilp = MappingIlp::build(&net, &pool, &MappingObjective::Area, &FormulationConfig::new());
+/// assert!(ilp.model().num_vars() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MappingIlp {
+    model: Model,
+    /// `x[i][j]`.
+    x: Vec<Vec<VarId>>,
+    /// `s[k][j]`, `None` for neurons without outgoing synapses.
+    s: Vec<Option<Vec<VarId>>>,
+    /// `y[j]`.
+    y: Vec<VarId>,
+    /// `(k, j, b_kj)` triples for the localisation variables of Eq. 10.
+    b: Vec<(usize, usize, VarId)>,
+    n_slots: usize,
+}
+
+impl MappingIlp {
+    /// Builds the constraint system (Eqs. 3–7) over `pool` and attaches
+    /// `objective`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty.
+    #[must_use]
+    pub fn build(
+        network: &Network,
+        pool: &CrossbarPool,
+        objective: &MappingObjective,
+        config: &FormulationConfig,
+    ) -> Self {
+        assert!(!pool.is_empty(), "crossbar pool must not be empty");
+        let n = network.node_count();
+        let j_count = pool.len();
+        let mut model = Model::new();
+
+        // Variables.
+        let x: Vec<Vec<VarId>> = (0..n)
+            .map(|i| {
+                (0..j_count)
+                    .map(|j| model.add_binary(format!("x_{i}_{j}")))
+                    .collect()
+            })
+            .collect();
+        let y: Vec<VarId> = (0..j_count)
+            .map(|j| model.add_binary(format!("y_{j}")))
+            .collect();
+        let s: Vec<Option<Vec<VarId>>> = (0..n)
+            .map(|k| {
+                if network.out_degree(NeuronId::new(k)) > 0 {
+                    Some(
+                        (0..j_count)
+                            .map(|j| model.add_binary(format!("s_{k}_{j}")))
+                            .collect(),
+                    )
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        // Branching priorities: placement decisions imply everything else,
+        // so solvers should settle x first, then y, then the s indicators.
+        for xi in &x {
+            for &v in xi {
+                model.set_branch_priority(v, 2);
+            }
+        }
+        for &v in &y {
+            model.set_branch_priority(v, 1);
+        }
+
+        // Pre-fix impossible placements: neuron i cannot live on a slot
+        // whose input capacity is below i's fan-in even when alone.
+        #[allow(clippy::needless_range_loop)] // i indexes x and the network
+        for i in 0..n {
+            let fan_in = network.in_degree(NeuronId::new(i));
+            for j in 0..j_count {
+                if !pool.slot(j).dim.admits_fan_in(fan_in) {
+                    model.fix_binary(x[i][j], false);
+                }
+            }
+        }
+
+        // Slot restriction (route re-optimisation mode).
+        if let Some(allowed) = &config.restrict_to_slots {
+            let allowed: BTreeSet<usize> = allowed.iter().copied().collect();
+            for j in 0..j_count {
+                if !allowed.contains(&j) {
+                    model.fix_binary(y[j], false);
+                    for xi in &x {
+                        model.fix_binary(xi[j], false);
+                    }
+                }
+            }
+        }
+
+        // Eq. 3: every neuron on exactly one crossbar.
+        for (i, xi) in x.iter().enumerate() {
+            let expr = LinExpr::from_terms(xi.iter().map(|&v| (v, 1.0)));
+            model.add_constraint(format!("place_{i}"), expr.eq(1.0));
+        }
+
+        // Eq. 4: output capacity.
+        for j in 0..j_count {
+            let mut expr = LinExpr::from_terms(x.iter().map(|xi| (xi[j], 1.0)));
+            expr.push(y[j], -f64::from(pool.slot(j).dim.outputs()));
+            model.add_constraint(format!("outputs_{j}"), expr.leq(0.0));
+        }
+
+        // Eqs. 5 & 6: axon-sharing linking.
+        #[allow(clippy::needless_range_loop)] // k indexes s and the network
+        for k in 0..n {
+            let Some(sk) = &s[k] else { continue };
+            let fanout: Vec<usize> = network
+                .fan_out(NeuronId::new(k))
+                .map(|e| e.target.index())
+                .collect();
+            for (j, &skj) in sk.iter().enumerate() {
+                // Eq. 5: s_kj ≤ Σ_{i∈fanout(k)} x_ij.
+                let mut le = LinExpr::term(skj, 1.0);
+                for &i in &fanout {
+                    le.push(x[i][j], -1.0);
+                }
+                model.add_constraint(format!("share_ub_{k}_{j}"), le.leq(0.0));
+                // Eq. 6.
+                match config.linking {
+                    Linking::Strong => {
+                        for &i in &fanout {
+                            let expr = LinExpr::from_terms([(x[i][j], 1.0), (skj, -1.0)]);
+                            model.add_constraint(format!("share_lb_{k}_{i}_{j}"), expr.leq(0.0));
+                        }
+                    }
+                    Linking::Aggregated => {
+                        let mut expr = LinExpr::term(skj, -(fanout.len() as f64));
+                        for &i in &fanout {
+                            expr.push(x[i][j], 1.0);
+                        }
+                        model.add_constraint(format!("share_lb_{k}_{j}"), expr.leq(0.0));
+                    }
+                }
+            }
+        }
+
+        // Eq. 7: input capacity.
+        for j in 0..j_count {
+            let mut expr = LinExpr::new();
+            for sk in s.iter().flatten() {
+                expr.push(sk[j], 1.0);
+            }
+            expr.push(y[j], -f64::from(pool.slot(j).dim.inputs()));
+            model.add_constraint(format!("inputs_{j}"), expr.leq(0.0));
+        }
+
+        // Symmetry breaking within identical-slot groups.
+        if config.symmetry_breaking {
+            for g in pool.symmetry_groups() {
+                for j in g.start..g.start + g.len - 1 {
+                    let expr = LinExpr::from_terms([(y[j], 1.0), (y[j + 1], -1.0)]);
+                    model.add_constraint(format!("sym_{j}"), expr.geq(0.0));
+                }
+            }
+        }
+
+        // Objective.
+        let mut b: Vec<(usize, usize, VarId)> = Vec::new();
+        match objective {
+            MappingObjective::Area => {
+                let expr =
+                    LinExpr::from_terms(y.iter().enumerate().map(|(j, &v)| (v, pool.slot(j).cost)));
+                model.set_objective(expr);
+            }
+            MappingObjective::TotalRoutes => {
+                let mut expr = LinExpr::new();
+                for sk in s.iter().flatten() {
+                    for &v in sk {
+                        expr.push(v, 1.0);
+                    }
+                }
+                model.set_objective(expr);
+            }
+            MappingObjective::GlobalRoutes | MappingObjective::PgoPackets(_) => {
+                let weights: Option<&[u64]> = match objective {
+                    MappingObjective::PgoPackets(w) => {
+                        assert!(
+                            w.len() >= n,
+                            "PGO weights must cover every neuron ({} < {n})",
+                            w.len()
+                        );
+                        Some(w)
+                    }
+                    _ => None,
+                };
+                let mut expr = LinExpr::new();
+                for (k, sk) in s.iter().enumerate() {
+                    let Some(sk) = sk else { continue };
+                    let w = weights.map_or(1.0, |w| w[k] as f64);
+                    if w == 0.0 {
+                        continue; // dropped term: the PGO speed-up of §IV-D
+                    }
+                    for (j, &skj) in sk.iter().enumerate() {
+                        expr.push(skj, w);
+                        // b_kj: continuous, b ≤ s and b ≤ x_kj (Eq. 10);
+                        // the minimiser pushes b to min(s, x).
+                        let bkj = model.add_continuous(format!("b_{k}_{j}"), 0.0, 1.0);
+                        model.add_constraint(
+                            format!("local_s_{k}_{j}"),
+                            LinExpr::from_terms([(bkj, 1.0), (skj, -1.0)]).leq(0.0),
+                        );
+                        model.add_constraint(
+                            format!("local_x_{k}_{j}"),
+                            LinExpr::from_terms([(bkj, 1.0), (x[k][j], -1.0)]).leq(0.0),
+                        );
+                        expr.push(bkj, -w);
+                        b.push((k, j, bkj));
+                    }
+                }
+                model.set_objective(expr);
+            }
+        }
+
+        MappingIlp {
+            model,
+            x,
+            s,
+            y,
+            b,
+            n_slots: j_count,
+        }
+    }
+
+    /// The underlying ILP model.
+    #[must_use]
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Mutable access to the model (e.g. to add side constraints).
+    #[must_use]
+    pub fn model_mut(&mut self) -> &mut Model {
+        &mut self.model
+    }
+
+    /// Placement variable `x_ij`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[must_use]
+    pub fn x(&self, neuron: NeuronId, slot: usize) -> VarId {
+        self.x[neuron.index()][slot]
+    }
+
+    /// Enable variable `y_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn y(&self, slot: usize) -> VarId {
+        self.y[slot]
+    }
+
+    /// Axon-input variable `s_kj`, if neuron `k` has outgoing synapses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[must_use]
+    pub fn s(&self, source: NeuronId, slot: usize) -> Option<VarId> {
+        self.s[source.index()].as_ref().map(|sk| sk[slot])
+    }
+
+    /// Decodes a solver solution into a [`Mapping`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution does not place every neuron (i.e. it was not
+    /// produced from this model).
+    #[must_use]
+    pub fn decode(&self, solution: &Solution) -> Mapping {
+        let assignment = self
+            .x
+            .iter()
+            .enumerate()
+            .map(|(i, xi)| {
+                xi.iter()
+                    .position(|&v| solution.is_one(v))
+                    .unwrap_or_else(|| panic!("neuron n{i} unplaced in solution"))
+            })
+            .collect();
+        Mapping::new(assignment)
+    }
+
+    /// Encodes `mapping` as a full warm-start assignment vector for the
+    /// model (x, y, s and b all set consistently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping references slots outside the pool this model
+    /// was built for.
+    #[must_use]
+    pub fn warm_start(&self, network: &Network, mapping: &Mapping) -> Vec<f64> {
+        let mut values = vec![0.0f64; self.model.num_vars()];
+        for (i, xi) in self.x.iter().enumerate() {
+            let j = mapping.crossbar_of(NeuronId::new(i));
+            assert!(j < self.n_slots, "mapping slot {j} outside pool");
+            values[xi[j].index()] = 1.0;
+            values[self.y[j].index()] = 1.0;
+        }
+        for (k, sk) in self.s.iter().enumerate() {
+            let Some(sk) = sk else { continue };
+            let targets: BTreeSet<usize> = network
+                .fan_out(NeuronId::new(k))
+                .map(|e| mapping.crossbar_of(e.target))
+                .collect();
+            for j in targets {
+                values[sk[j].index()] = 1.0;
+            }
+        }
+        // b variables: continuous with b = min(s, x) at the optimum.
+        for &(k, j, bkj) in &self.b {
+            let s_on = self.s[k]
+                .as_ref()
+                .is_some_and(|sk| values[sk[j].index()] > 0.5);
+            let x_on = values[self.x[k][j].index()] > 0.5;
+            values[bkj.index()] = if s_on && x_on { 1.0 } else { 0.0 };
+        }
+        values
+    }
+
+    /// Number of pool slots this model was built over.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.n_slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croxmap_ilp::{SolveStatus, Solver, SolverConfig};
+    use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarDim};
+    use croxmap_snn::{NetworkBuilder, NodeRole};
+
+    /// 0 → {1, 2}, 1 → 3, 2 → 3.
+    fn diamond() -> Network {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..4)
+            .map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0))
+            .collect();
+        b.add_edge(n[0], n[1], 1.0, 1).unwrap();
+        b.add_edge(n[0], n[2], 1.0, 1).unwrap();
+        b.add_edge(n[1], n[3], 1.0, 1).unwrap();
+        b.add_edge(n[2], n[3], 1.0, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    fn solver() -> Solver {
+        Solver::new(SolverConfig::default().with_det_time_limit(10.0))
+    }
+
+    #[test]
+    fn area_optimal_uses_one_crossbar_when_possible() {
+        let net = diamond();
+        let arch = ArchitectureSpec::homogeneous(CrossbarDim::square(4));
+        let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 4, 2);
+        let ilp = MappingIlp::build(&net, &pool, &MappingObjective::Area, &FormulationConfig::new());
+        let r = solver().solve(ilp.model());
+        assert_eq!(r.status, SolveStatus::Optimal);
+        let m = ilp.decode(&r.best.unwrap());
+        m.validate(&net, &pool).unwrap();
+        assert_eq!(m.used_slots().len(), 1);
+        assert_eq!(m.area(&pool), 16.0);
+    }
+
+    #[test]
+    fn axon_sharing_beats_naive_input_count() {
+        // Star: one source feeding 3 targets. With axon sharing, a 1-input
+        // 4-output crossbar hosts everything (source + 3 targets share one
+        // word line... source itself needs no input). Use 2x4 to be safe.
+        let mut b = NetworkBuilder::new();
+        let src = b.add_neuron(NodeRole::Input, 1.0, 0.0);
+        let t: Vec<_> = (0..3)
+            .map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0))
+            .collect();
+        for &ti in &t {
+            b.add_edge(src, ti, 1.0, 1).unwrap();
+        }
+        let net = b.build().unwrap();
+        let arch = ArchitectureSpec::homogeneous(CrossbarDim::new(2, 4));
+        let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 4, 1);
+        let ilp = MappingIlp::build(&net, &pool, &MappingObjective::Area, &FormulationConfig::new());
+        let r = solver().solve(ilp.model());
+        assert_eq!(r.status, SolveStatus::Optimal);
+        let m = ilp.decode(&r.best.unwrap());
+        m.validate(&net, &pool).unwrap();
+        // All four neurons share one crossbar: src occupies ONE word line.
+        assert_eq!(m.used_slots().len(), 1);
+    }
+
+    #[test]
+    fn strong_and_aggregated_agree_on_optimum() {
+        let net = diamond();
+        let arch = ArchitectureSpec::homogeneous(CrossbarDim::new(4, 2));
+        let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 4, 2);
+        let mut objectives = Vec::new();
+        for linking in [Linking::Strong, Linking::Aggregated] {
+            let cfg = FormulationConfig {
+                linking,
+                ..FormulationConfig::new()
+            };
+            let ilp = MappingIlp::build(&net, &pool, &MappingObjective::Area, &cfg);
+            let r = solver().solve(ilp.model());
+            assert_eq!(r.status, SolveStatus::Optimal);
+            objectives.push(r.best.unwrap().objective());
+        }
+        assert!((objectives[0] - objectives[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decode_round_trips_through_warm_start() {
+        let net = diamond();
+        let arch = ArchitectureSpec::homogeneous(CrossbarDim::new(4, 2));
+        let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 4, 2);
+        let ilp = MappingIlp::build(&net, &pool, &MappingObjective::Area, &FormulationConfig::new());
+        let m = Mapping::new(vec![0, 0, 1, 1]);
+        m.validate(&net, &pool).unwrap();
+        let warm = ilp.warm_start(&net, &m);
+        assert!(ilp.model().is_feasible(&warm, 1e-6), "warm start must be feasible");
+        let sol = croxmap_ilp::Solution::new(warm.clone(), 0.0);
+        assert_eq!(ilp.decode(&sol), m);
+    }
+
+    #[test]
+    fn global_route_objective_counts_crossings() {
+        let net = diamond();
+        let arch = ArchitectureSpec::homogeneous(CrossbarDim::new(4, 2));
+        let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 4, 2);
+        let ilp = MappingIlp::build(
+            &net,
+            &pool,
+            &MappingObjective::GlobalRoutes,
+            &FormulationConfig::new(),
+        );
+        // Evaluate the objective on a known mapping: {0,1} on slot0, {2,3}
+        // on slot1. Routes: 0→slot0(local via 1), 0→slot1(global via 2),
+        // 1→slot1(global via 3), 2→slot1(local via 3): 2 global routes.
+        let m = Mapping::new(vec![0, 0, 1, 1]);
+        let warm = ilp.warm_start(&net, &m);
+        let obj = ilp.model().objective_value(&warm);
+        assert!((obj - 2.0).abs() < 1e-9, "objective {obj}");
+    }
+
+    #[test]
+    fn pgo_weights_scale_objective() {
+        let net = diamond();
+        let arch = ArchitectureSpec::homogeneous(CrossbarDim::new(4, 2));
+        let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 4, 2);
+        let weights = vec![10, 1, 1, 0];
+        let ilp = MappingIlp::build(
+            &net,
+            &pool,
+            &MappingObjective::PgoPackets(weights),
+            &FormulationConfig::new(),
+        );
+        let m = Mapping::new(vec![0, 0, 1, 1]);
+        let warm = ilp.warm_start(&net, &m);
+        // Global routes: 0→slot1 (W=10), 1→slot1 (W=1) → 11.
+        let obj = ilp.model().objective_value(&warm);
+        assert!((obj - 11.0).abs() < 1e-9, "objective {obj}");
+    }
+
+    #[test]
+    fn restriction_forbids_other_slots() {
+        let net = diamond();
+        let arch = ArchitectureSpec::homogeneous(CrossbarDim::new(4, 2));
+        let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 4, 2);
+        let base = Mapping::new(vec![0, 0, 1, 1]);
+        let cfg = FormulationConfig::new().restricted_to(&base);
+        let ilp = MappingIlp::build(&net, &pool, &MappingObjective::GlobalRoutes, &cfg);
+        let r = solver().solve(ilp.model());
+        assert_eq!(r.status, SolveStatus::Optimal);
+        let m = ilp.decode(&r.best.unwrap());
+        m.validate(&net, &pool).unwrap();
+        for &slot in m.assignment() {
+            assert!(slot <= 1, "slot {slot} outside restriction");
+        }
+    }
+
+    #[test]
+    fn infeasible_when_pool_too_small() {
+        let net = diamond();
+        // One 4x2 crossbar for four neurons: impossible.
+        let pool = CrossbarPool::from_counts(
+            &AreaModel::memristor_count(),
+            [(CrossbarDim::new(4, 2), 1)],
+        );
+        let ilp = MappingIlp::build(&net, &pool, &MappingObjective::Area, &FormulationConfig::new());
+        let r = solver().solve(ilp.model());
+        assert_eq!(r.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn fan_in_prefixing_blocks_small_slots() {
+        // Hub with fan-in 5 cannot sit on a 4-input crossbar.
+        let mut b = NetworkBuilder::new();
+        let hub = b.add_neuron(NodeRole::Output, 1.0, 0.0);
+        for _ in 0..5 {
+            let l = b.add_neuron(NodeRole::Input, 1.0, 0.0);
+            b.add_edge(l, hub, 1.0, 1).unwrap();
+        }
+        let net = b.build().unwrap();
+        let arch = ArchitectureSpec::new(
+            "mixed",
+            [CrossbarDim::new(4, 4), CrossbarDim::new(8, 4)],
+        );
+        let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 6, 5);
+        let ilp = MappingIlp::build(&net, &pool, &MappingObjective::Area, &FormulationConfig::new());
+        let r = solver().solve(ilp.model());
+        assert_eq!(r.status, SolveStatus::Optimal);
+        let m = ilp.decode(&r.best.unwrap());
+        m.validate(&net, &pool).unwrap();
+        let hub_slot = m.crossbar_of(NeuronId::new(0));
+        assert!(pool.slot(hub_slot).dim.inputs() >= 5);
+    }
+}

@@ -1,0 +1,60 @@
+//! # croxmap-core — SNN-to-crossbar mapping with axon-sharing ILP
+//!
+//! This crate implements the paper's contribution: Integer Linear
+//! Programming formulations that map a spiking neural network onto a
+//! (possibly heterogeneous) pool of memristor crossbars while modelling
+//! **axon sharing** — the fact that one crossbar word line can feed every
+//! synapse of a presynaptic neuron mapped to that crossbar.
+//!
+//! ## Layout
+//!
+//! * [`Mapping`] — a concrete neuron→crossbar assignment with validation
+//!   and derived metrics (area, per-slot occupancy, dimension histogram).
+//! * [`MappingIlp`] — builds the constraint system of Eqs. 3–7 over a
+//!   [`croxmap_mca::CrossbarPool`] and attaches one of the paper's
+//!   objectives: area (Eq. 8), total routes (Eq. 9), global routes
+//!   (Eq. 11) or profile-weighted global routes (Eq. 12).
+//! * [`baseline`] — the SpikeHard-style MCC bin-packing ILP (no axon
+//!   sharing, requires an initial solution) and a greedy first-fit
+//!   constructor used for warm starts.
+//! * [`pipeline`] — the experiment flows of §V: area optimisation with an
+//!   incumbent stream, SNU re-optimisation over a frozen crossbar set, and
+//!   profile-guided packet minimisation.
+//!
+//! ## Example
+//!
+//! ```
+//! use croxmap_core::pipeline;
+//! use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarPool};
+//! use croxmap_snn::{NetworkBuilder, NodeRole};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 4-neuron toy network.
+//! let mut b = NetworkBuilder::new();
+//! let n: Vec<_> = (0..4).map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0)).collect();
+//! b.add_edge(n[0], n[1], 1.0, 1)?;
+//! b.add_edge(n[0], n[2], 1.0, 1)?;
+//! b.add_edge(n[1], n[3], 1.0, 1)?;
+//! let net = b.build()?;
+//!
+//! let arch = ArchitectureSpec::table_ii_heterogeneous();
+//! let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 4, 2);
+//! let run = pipeline::optimize_area(&net, &pool, &pipeline::PipelineConfig::default());
+//! let best = run.best_mapping().expect("mappable");
+//! best.validate(&net, &pool)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+mod formulation;
+mod mapping;
+mod metrics;
+pub mod pipeline;
+
+pub use formulation::{FormulationConfig, Linking, MappingIlp, MappingObjective};
+pub use mapping::{Mapping, MappingError};
+pub use metrics::MappingMetrics;

@@ -1,0 +1,325 @@
+//! Concrete neuron→crossbar assignments.
+
+use croxmap_mca::{CrossbarDim, CrossbarPool};
+use croxmap_snn::{Network, NeuronId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+/// Validation failure of a [`Mapping`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MappingError {
+    /// The assignment vector does not cover every neuron.
+    WrongArity {
+        /// Neurons in the network.
+        expected: usize,
+        /// Entries in the assignment.
+        actual: usize,
+    },
+    /// A neuron was assigned to a slot index outside the pool.
+    SlotOutOfRange {
+        /// The offending neuron.
+        neuron: NeuronId,
+        /// The out-of-range slot index.
+        slot: usize,
+        /// Pool size.
+        pool_len: usize,
+    },
+    /// More neurons were placed on a slot than it has output lines.
+    OutputCapacityExceeded {
+        /// Slot index.
+        slot: usize,
+        /// Neurons placed there.
+        used: usize,
+        /// Its output capacity `N_j`.
+        capacity: u32,
+    },
+    /// A slot needs more distinct axonal inputs than it has word lines.
+    InputCapacityExceeded {
+        /// Slot index.
+        slot: usize,
+        /// Distinct sources feeding the slot.
+        used: usize,
+        /// Its input capacity `A_j`.
+        capacity: u32,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::WrongArity { expected, actual } => {
+                write!(f, "assignment covers {actual} neurons, network has {expected}")
+            }
+            MappingError::SlotOutOfRange { neuron, slot, pool_len } => {
+                write!(f, "neuron {neuron} assigned to slot {slot} outside pool of {pool_len}")
+            }
+            MappingError::OutputCapacityExceeded { slot, used, capacity } => {
+                write!(f, "slot {slot} hosts {used} neurons but has {capacity} output lines")
+            }
+            MappingError::InputCapacityExceeded { slot, used, capacity } => {
+                write!(f, "slot {slot} needs {used} axon inputs but has {capacity} word lines")
+            }
+        }
+    }
+}
+
+impl Error for MappingError {}
+
+/// A total assignment of neurons to crossbar-pool slots.
+///
+/// The mapping is the decoded form of a solved ILP (or the output of the
+/// greedy baseline). It knows nothing about how it was produced; use
+/// [`Mapping::validate`] to check it against a network and pool.
+///
+/// ```
+/// use croxmap_core::Mapping;
+/// use croxmap_snn::NeuronId;
+/// let m = Mapping::new(vec![0, 0, 1]);
+/// assert_eq!(m.crossbar_of(NeuronId::new(2)), 1);
+/// assert_eq!(m.used_slots(), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    assignment: Vec<usize>,
+}
+
+impl Mapping {
+    /// Wraps a raw assignment (`assignment[i]` = slot of neuron `i`).
+    #[must_use]
+    pub fn new(assignment: Vec<usize>) -> Self {
+        Mapping { assignment }
+    }
+
+    /// The raw assignment vector.
+    #[must_use]
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Slot hosting `neuron`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neuron` is out of range.
+    #[must_use]
+    pub fn crossbar_of(&self, neuron: NeuronId) -> usize {
+        self.assignment[neuron.index()]
+    }
+
+    /// Sorted list of slots that host at least one neuron.
+    #[must_use]
+    pub fn used_slots(&self) -> Vec<usize> {
+        let set: BTreeSet<usize> = self.assignment.iter().copied().collect();
+        set.into_iter().collect()
+    }
+
+    /// Neurons hosted on `slot`.
+    #[must_use]
+    pub fn neurons_on(&self, slot: usize) -> Vec<NeuronId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == slot)
+            .map(|(i, _)| NeuronId::new(i))
+            .collect()
+    }
+
+    /// Distinct axon sources feeding `slot` (the crossbar's word lines).
+    #[must_use]
+    pub fn inputs_of(&self, network: &Network, slot: usize) -> BTreeSet<NeuronId> {
+        let mut inputs = BTreeSet::new();
+        for (i, &s) in self.assignment.iter().enumerate() {
+            if s == slot {
+                for e in network.fan_in(NeuronId::new(i)) {
+                    inputs.insert(e.source);
+                }
+            }
+        }
+        inputs
+    }
+
+    /// Total area of the used slots under the pool's cost model (Eq. 8
+    /// evaluated on this mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping references slots outside the pool.
+    #[must_use]
+    pub fn area(&self, pool: &CrossbarPool) -> f64 {
+        self.used_slots().iter().map(|&j| pool.slot(j).cost).sum()
+    }
+
+    /// Histogram of used crossbar dimensions, as shown in Fig. 3 of the
+    /// paper ("Dimension (In x Out) … #Count").
+    #[must_use]
+    pub fn dimension_histogram(&self, pool: &CrossbarPool) -> BTreeMap<CrossbarDim, usize> {
+        let mut hist = BTreeMap::new();
+        for j in self.used_slots() {
+            *hist.entry(pool.slot(j).dim).or_insert(0) += 1;
+        }
+        hist
+    }
+
+    /// Checks output and input capacities of every used slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated condition as a [`MappingError`].
+    pub fn validate(&self, network: &Network, pool: &CrossbarPool) -> Result<(), MappingError> {
+        if self.assignment.len() != network.node_count() {
+            return Err(MappingError::WrongArity {
+                expected: network.node_count(),
+                actual: self.assignment.len(),
+            });
+        }
+        for (i, &slot) in self.assignment.iter().enumerate() {
+            if slot >= pool.len() {
+                return Err(MappingError::SlotOutOfRange {
+                    neuron: NeuronId::new(i),
+                    slot,
+                    pool_len: pool.len(),
+                });
+            }
+        }
+        for slot in self.used_slots() {
+            let dim = pool.slot(slot).dim;
+            let outputs = self.neurons_on(slot).len();
+            if outputs > dim.outputs() as usize {
+                return Err(MappingError::OutputCapacityExceeded {
+                    slot,
+                    used: outputs,
+                    capacity: dim.outputs(),
+                });
+            }
+            let inputs = self.inputs_of(network, slot).len();
+            if inputs > dim.inputs() as usize {
+                return Err(MappingError::InputCapacityExceeded {
+                    slot,
+                    used: inputs,
+                    capacity: dim.inputs(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarDim};
+    use croxmap_snn::{NetworkBuilder, NodeRole};
+
+    fn diamond() -> Network {
+        // 0 → {1, 2} → 3
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..4)
+            .map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0))
+            .collect();
+        b.add_edge(n[0], n[1], 1.0, 1).unwrap();
+        b.add_edge(n[0], n[2], 1.0, 1).unwrap();
+        b.add_edge(n[1], n[3], 1.0, 1).unwrap();
+        b.add_edge(n[2], n[3], 1.0, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    fn small_pool() -> CrossbarPool {
+        let arch = ArchitectureSpec::homogeneous(CrossbarDim::new(4, 2));
+        CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 4, 2)
+    }
+
+    #[test]
+    fn valid_mapping_passes() {
+        let net = diamond();
+        let pool = small_pool();
+        let m = Mapping::new(vec![0, 0, 1, 1]);
+        m.validate(&net, &pool).unwrap();
+        assert_eq!(m.area(&pool), 16.0);
+        assert_eq!(m.used_slots(), vec![0, 1]);
+    }
+
+    #[test]
+    fn output_capacity_violation_detected() {
+        let net = diamond();
+        let pool = small_pool(); // 2 outputs per slot
+        let m = Mapping::new(vec![0, 0, 0, 1]);
+        assert!(matches!(
+            m.validate(&net, &pool),
+            Err(MappingError::OutputCapacityExceeded { slot: 0, used: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn input_capacity_violation_detected() {
+        // Hub with fan-in 3 on a 2-input crossbar.
+        let mut b = NetworkBuilder::new();
+        let hub = b.add_neuron(NodeRole::Hidden, 1.0, 0.0);
+        for _ in 0..3 {
+            let leaf = b.add_neuron(NodeRole::Hidden, 1.0, 0.0);
+            b.add_edge(leaf, hub, 1.0, 1).unwrap();
+        }
+        let net = b.build().unwrap();
+        let arch = ArchitectureSpec::homogeneous(CrossbarDim::new(2, 4));
+        let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 4, 3);
+        let m = Mapping::new(vec![0, 0, 0, 0]);
+        assert!(matches!(
+            m.validate(&net, &pool),
+            Err(MappingError::InputCapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn axon_sharing_in_input_count() {
+        // Neuron 0 feeds both 1 and 2; on a shared crossbar it occupies ONE
+        // word line (the SpikeHard bug from Fig. 1 would count two).
+        let net = diamond();
+        let m = Mapping::new(vec![1, 0, 0, 1]);
+        let inputs = m.inputs_of(&net, 0);
+        assert_eq!(inputs.len(), 1);
+        assert!(inputs.contains(&NeuronId::new(0)));
+    }
+
+    #[test]
+    fn wrong_arity_detected() {
+        let net = diamond();
+        let pool = small_pool();
+        let m = Mapping::new(vec![0, 0]);
+        assert!(matches!(
+            m.validate(&net, &pool),
+            Err(MappingError::WrongArity { expected: 4, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn slot_out_of_range_detected() {
+        let net = diamond();
+        let pool = small_pool();
+        let m = Mapping::new(vec![0, 0, 1, 99]);
+        assert!(matches!(
+            m.validate(&net, &pool),
+            Err(MappingError::SlotOutOfRange { slot: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_histogram_counts_used() {
+        let net = diamond();
+        let pool = small_pool();
+        let m = Mapping::new(vec![0, 0, 1, 1]);
+        let hist = m.dimension_histogram(&pool);
+        assert_eq!(hist.get(&CrossbarDim::new(4, 2)), Some(&2));
+        let _ = net;
+    }
+
+    #[test]
+    fn neurons_on_lists_members() {
+        let m = Mapping::new(vec![0, 1, 0, 1]);
+        assert_eq!(
+            m.neurons_on(0),
+            vec![NeuronId::new(0), NeuronId::new(2)]
+        );
+    }
+}

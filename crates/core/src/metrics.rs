@@ -1,0 +1,148 @@
+//! Evaluation metrics of a concrete mapping.
+
+use crate::Mapping;
+use croxmap_mca::CrossbarPool;
+use croxmap_snn::Network;
+use serde::{Deserialize, Serialize};
+
+/// All quantities the paper reports for a mapping: area (Eq. 8), route
+/// counts (Eqs. 9/11) and — when a spike profile is supplied — predicted
+/// inter-crossbar packets (Eq. 12).
+///
+/// ```
+/// use croxmap_core::{Mapping, MappingMetrics};
+/// use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarDim, CrossbarPool};
+/// use croxmap_snn::{NetworkBuilder, NodeRole};
+///
+/// # fn main() -> Result<(), croxmap_snn::BuildNetworkError> {
+/// let mut b = NetworkBuilder::new();
+/// let a = b.add_neuron(NodeRole::Input, 1.0, 0.0);
+/// let c = b.add_neuron(NodeRole::Output, 1.0, 0.0);
+/// b.add_edge(a, c, 1.0, 1)?;
+/// let net = b.build()?;
+/// let arch = ArchitectureSpec::homogeneous(CrossbarDim::square(4));
+/// let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 2, 1);
+/// let m = Mapping::new(vec![0, 0]);
+/// let metrics = MappingMetrics::of(&net, &pool, &m);
+/// assert_eq!(metrics.area, 16.0);
+/// assert_eq!(metrics.global_routes, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingMetrics {
+    /// Enabled-crossbar cost (Eq. 8 on this mapping).
+    pub area: f64,
+    /// Number of enabled crossbars.
+    pub crossbars_used: usize,
+    /// Total routes `Σ s_kj` (Eq. 9).
+    pub total_routes: u64,
+    /// Routes whose source lives on the target crossbar.
+    pub local_routes: u64,
+    /// Inter-crossbar routes (Eq. 11, the SNU quantity).
+    pub global_routes: u64,
+    /// Profile-predicted inter-crossbar packets (Eq. 12), when weights
+    /// were supplied.
+    pub predicted_packets: Option<u64>,
+}
+
+impl MappingMetrics {
+    /// Computes the static metrics of `mapping`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping does not cover the network or references
+    /// slots outside the pool.
+    #[must_use]
+    pub fn of(network: &Network, pool: &CrossbarPool, mapping: &Mapping) -> Self {
+        let routes = croxmap_sim::count_routes(network, mapping.assignment());
+        MappingMetrics {
+            area: mapping.area(pool),
+            crossbars_used: mapping.used_slots().len(),
+            total_routes: routes.total(),
+            local_routes: routes.local,
+            global_routes: routes.global,
+            predicted_packets: None,
+        }
+    }
+
+    /// Computes static metrics plus the profile-weighted packet prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is shorter than the neuron count.
+    #[must_use]
+    pub fn with_profile(
+        network: &Network,
+        pool: &CrossbarPool,
+        mapping: &Mapping,
+        weights: &[u64],
+    ) -> Self {
+        let mut metrics = Self::of(network, pool, mapping);
+        metrics.predicted_packets = Some(croxmap_sim::predicted_global_packets(
+            network,
+            mapping.assignment(),
+            weights,
+        ));
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarDim};
+    use croxmap_snn::{NetworkBuilder, NodeRole};
+
+    fn fixture() -> (Network, CrossbarPool, Mapping) {
+        // 0 → {1, 2}, 1 → 2; place {0,1} on slot 0, {2} on slot 1.
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..3)
+            .map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0))
+            .collect();
+        b.add_edge(n[0], n[1], 1.0, 1).unwrap();
+        b.add_edge(n[0], n[2], 1.0, 1).unwrap();
+        b.add_edge(n[1], n[2], 1.0, 1).unwrap();
+        let net = b.build().unwrap();
+        let arch = ArchitectureSpec::homogeneous(CrossbarDim::new(4, 2));
+        let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 3, 2);
+        (net, pool, Mapping::new(vec![0, 0, 1]))
+    }
+
+    #[test]
+    fn static_metrics() {
+        let (net, pool, m) = fixture();
+        let metrics = MappingMetrics::of(&net, &pool, &m);
+        assert_eq!(metrics.area, 16.0);
+        assert_eq!(metrics.crossbars_used, 2);
+        // Routes: 0→slot0 (local), 0→slot1 (global), 1→slot1 (global).
+        assert_eq!(metrics.total_routes, 3);
+        assert_eq!(metrics.local_routes, 1);
+        assert_eq!(metrics.global_routes, 2);
+        assert_eq!(metrics.predicted_packets, None);
+    }
+
+    #[test]
+    fn profile_weighted_packets() {
+        let (net, pool, m) = fixture();
+        let metrics = MappingMetrics::with_profile(&net, &pool, &m, &[7, 2, 0]);
+        // 0→slot1 weighted 7, 1→slot1 weighted 2 → 9.
+        assert_eq!(metrics.predicted_packets, Some(9));
+    }
+
+    #[test]
+    fn metrics_agree_with_formulation_objective() {
+        use crate::{FormulationConfig, MappingIlp, MappingObjective};
+        let (net, pool, m) = fixture();
+        let ilp = MappingIlp::build(
+            &net,
+            &pool,
+            &MappingObjective::GlobalRoutes,
+            &FormulationConfig::new(),
+        );
+        let warm = ilp.warm_start(&net, &m);
+        let obj = ilp.model().objective_value(&warm);
+        let metrics = MappingMetrics::of(&net, &pool, &m);
+        assert!((obj - metrics.global_routes as f64).abs() < 1e-9);
+    }
+}

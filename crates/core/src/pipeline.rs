@@ -1,0 +1,795 @@
+//! High-level optimisation flows reproducing the paper's experiments.
+//!
+//! * [`optimize_area`] — §V-D/V-E: area minimisation with the full
+//!   incumbent stream (every intermediate solution, timestamped in
+//!   deterministic seconds).
+//! * [`optimize_routes_after_area`] — §V-F: SNU minimisation restricted to
+//!   the crossbars of an area-optimal mapping, so area cannot increase.
+//! * [`optimize_pgo_after_area`] — §V-H: profile-weighted packet
+//!   minimisation over the same restriction.
+//! * [`area_snu_evolution`] — §V-G: re-optimise SNU from *every* area
+//!   incumbent to chart the area/SNU trade-off (Figs. 7/8).
+
+use crate::baseline::{greedy_first_fit, local_search_area};
+use crate::{FormulationConfig, Mapping, MappingIlp, MappingObjective};
+use croxmap_ilp::{LinExpr, Model, SolveStatus, Solver, SolverConfig, VarId};
+use croxmap_mca::CrossbarPool;
+use croxmap_snn::{Network, NeuronId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration shared by all pipeline entry points.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    /// Formulation options (linking, symmetry breaking).
+    pub formulation: FormulationConfig,
+    /// ILP solver configuration (budget, seed, heuristics).
+    pub solver: SolverConfig,
+    /// Seed the solver with a greedy first-fit mapping. The formulations do
+    /// not *need* one (unlike SpikeHard); it only accelerates the anytime
+    /// stream.
+    pub warm_start: bool,
+}
+
+impl PipelineConfig {
+    /// Default pipeline configuration with the given solver budget.
+    #[must_use]
+    pub fn with_budget(det_time_limit: f64) -> Self {
+        PipelineConfig {
+            formulation: FormulationConfig::new(),
+            solver: SolverConfig::default().with_det_time_limit(det_time_limit),
+            warm_start: true,
+        }
+    }
+}
+
+/// One timestamped mapping in an optimisation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedMapping {
+    /// Deterministic seconds at which this incumbent was found.
+    pub det_time: f64,
+    /// Its objective value under the run's objective.
+    pub objective: f64,
+    /// The decoded mapping.
+    pub mapping: Mapping,
+}
+
+/// Result of a pipeline optimisation run: the full anytime stream plus
+/// final solver state.
+#[derive(Debug, Clone)]
+pub struct OptimizationRun {
+    /// Improving mappings in discovery order.
+    pub incumbents: Vec<TimedMapping>,
+    /// Final solver status.
+    pub status: SolveStatus,
+    /// Best proven objective bound.
+    pub best_bound: f64,
+    /// Total deterministic seconds consumed.
+    pub det_time: f64,
+}
+
+impl OptimizationRun {
+    /// The best mapping found, if any.
+    #[must_use]
+    pub fn best_mapping(&self) -> Option<&Mapping> {
+        self.incumbents.last().map(|t| &t.mapping)
+    }
+
+    /// The best objective value, if any solution was found.
+    #[must_use]
+    pub fn best_objective(&self) -> Option<f64> {
+        self.incumbents.last().map(|t| t.objective)
+    }
+}
+
+fn run_ilp(
+    network: &Network,
+    ilp: &MappingIlp,
+    warm: Option<&Mapping>,
+    solver_config: &SolverConfig,
+) -> OptimizationRun {
+    let warm_vec = warm.map(|m| ilp.warm_start(network, m));
+    let solver = Solver::new(solver_config.clone());
+    let result = solver.solve_with_callback(ilp.model(), warm_vec.as_deref(), |_| {});
+    let incumbents = result
+        .incumbents
+        .iter()
+        .map(|ev| TimedMapping {
+            det_time: ev.det_time,
+            objective: ev.objective,
+            mapping: ilp.decode(&ev.solution),
+        })
+        .collect();
+    OptimizationRun {
+        incumbents,
+        status: result.status,
+        best_bound: result.best_bound,
+        det_time: result.det_time,
+    }
+}
+
+/// Re-solves the axon-sharing ILP exactly on the neurons of a small group
+/// of *freed* slots. Freed neurons may land back on the freed slots, on a
+/// fresh (cheaper) unused slot, or join the remaining *host* crossbars
+/// within their residual output/input capacities — slot capacity needs
+/// depend only on a slot's own members, so the rest of the mapping stays
+/// untouched. Returns an improved mapping and the deterministic time
+/// spent, if an improvement was found.
+fn resolve_slot_group(
+    network: &Network,
+    pool: &CrossbarPool,
+    mapping: &Mapping,
+    group: &[usize],
+    solver_config: &SolverConfig,
+) -> (Option<Mapping>, f64) {
+    let freed: Vec<NeuronId> = group
+        .iter()
+        .flat_map(|&j| mapping.neurons_on(j))
+        .collect();
+    if freed.is_empty() {
+        return (None, 0.0);
+    }
+    let freed_set: BTreeSet<NeuronId> = freed.iter().copied().collect();
+    let group_set: BTreeSet<usize> = group.iter().copied().collect();
+    let used: BTreeSet<usize> = mapping.used_slots().into_iter().collect();
+    let hosts: Vec<usize> = used.iter().copied().filter(|j| !group_set.contains(j)).collect();
+
+    // Sub-pool: freed slots, then hosts, then one unused representative of
+    // every dimension cheaper than the freed group (a dearer one can never
+    // reduce area).
+    let max_freed_cost = group
+        .iter()
+        .map(|&j| pool.slot(j).cost)
+        .fold(0.0f64, f64::max);
+    let mut sub_slots: Vec<usize> = group.to_vec();
+    let host_start = sub_slots.len();
+    sub_slots.extend(hosts.iter().copied());
+    let rep_start = sub_slots.len();
+    let mut seen_dims: BTreeSet<croxmap_mca::CrossbarDim> = BTreeSet::new();
+    for j in 0..pool.len() {
+        if !used.contains(&j)
+            && pool.slot(j).cost < max_freed_cost
+            && seen_dims.insert(pool.slot(j).dim)
+        {
+            sub_slots.push(j);
+        }
+    }
+
+    // Residual capacities: hosts keep their fixed members and the word
+    // lines of those members' sources.
+    let mut fixed_outputs = vec![0usize; sub_slots.len()];
+    let mut fixed_inputs: Vec<BTreeSet<NeuronId>> = vec![BTreeSet::new(); sub_slots.len()];
+    for (sj, &j) in sub_slots.iter().enumerate().skip(host_start).take(rep_start - host_start) {
+        let fixed_members: Vec<NeuronId> = mapping
+            .neurons_on(j)
+            .into_iter()
+            .filter(|m| !freed_set.contains(m))
+            .collect();
+        fixed_outputs[sj] = fixed_members.len();
+        for &m in &fixed_members {
+            for e in network.fan_in(m) {
+                fixed_inputs[sj].insert(e.source);
+            }
+        }
+    }
+
+    // Manual sub-ILP: x only for freed neurons; s for every source feeding
+    // a freed neuron (internal or external — a source occupies a word line
+    // on a slot iff it feeds a member of that slot).
+    let mut model = Model::new();
+    let x: BTreeMap<NeuronId, Vec<VarId>> = freed
+        .iter()
+        .map(|&i| {
+            let vars = (0..sub_slots.len())
+                .map(|sj| model.add_binary(format!("x_{i}_{sj}")))
+                .collect();
+            (i, vars)
+        })
+        .collect();
+    // y only for freed + representative slots (hosts are sunk cost).
+    let y: BTreeMap<usize, VarId> = (0..sub_slots.len())
+        .filter(|&sj| sj < host_start || sj >= rep_start)
+        .map(|sj| (sj, model.add_binary(format!("y_{sj}"))))
+        .collect();
+    // Sources feeding freed neurons, with their freed fan-out.
+    let mut fanin_sources: BTreeMap<NeuronId, Vec<NeuronId>> = BTreeMap::new();
+    for &i in &freed {
+        for e in network.fan_in(i) {
+            fanin_sources.entry(e.source).or_default().push(i);
+        }
+    }
+    // s vars; for host slots, sources already on the host's word lines are
+    // free (no variable, no capacity use).
+    let s: BTreeMap<NeuronId, Vec<Option<VarId>>> = fanin_sources
+        .keys()
+        .map(|&k| {
+            let vars = (0..sub_slots.len())
+                .map(|sj| {
+                    if fixed_inputs[sj].contains(&k) {
+                        None // already wired on this host
+                    } else {
+                        Some(model.add_binary(format!("s_{k}_{sj}")))
+                    }
+                })
+                .collect();
+            (k, vars)
+        })
+        .collect();
+
+    for (&i, xi) in &x {
+        let fan_in = network.in_degree(i);
+        for (sj, &v) in xi.iter().enumerate() {
+            model.set_branch_priority(v, 2);
+            if !pool.slot(sub_slots[sj]).dim.admits_fan_in(fan_in) {
+                model.fix_binary(v, false);
+            }
+        }
+        model.add_constraint(
+            format!("place_{i}"),
+            LinExpr::from_terms(xi.iter().map(|&v| (v, 1.0))).eq(1.0),
+        );
+    }
+    for &yj in y.values() {
+        model.set_branch_priority(yj, 1);
+    }
+    for (sj, &j) in sub_slots.iter().enumerate() {
+        let dim = pool.slot(j).dim;
+        let mut out_expr = LinExpr::new();
+        for xi in x.values() {
+            out_expr.push(xi[sj], 1.0);
+        }
+        let mut in_expr = LinExpr::new();
+        for sk in s.values() {
+            if let Some(v) = sk[sj] {
+                in_expr.push(v, 1.0);
+            }
+        }
+        match y.get(&sj) {
+            Some(&yj) => {
+                out_expr.push(yj, -f64::from(dim.outputs()));
+                in_expr.push(yj, -f64::from(dim.inputs()));
+                model.add_constraint(format!("out_{sj}"), out_expr.leq(0.0));
+                model.add_constraint(format!("in_{sj}"), in_expr.leq(0.0));
+            }
+            None => {
+                // Host: residual capacities.
+                let out_cap = (dim.outputs() as usize).saturating_sub(fixed_outputs[sj]);
+                let in_cap = (dim.inputs() as usize).saturating_sub(fixed_inputs[sj].len());
+                model.add_constraint(format!("out_{sj}"), out_expr.leq(out_cap as f64));
+                model.add_constraint(format!("in_{sj}"), in_expr.leq(in_cap as f64));
+            }
+        }
+    }
+    for (&k, sk) in &s {
+        let targets: Vec<NeuronId> = fanin_sources[&k]
+            .iter()
+            .copied()
+            .filter(|t| freed_set.contains(t))
+            .collect();
+        for (sj, skj) in sk.iter().enumerate() {
+            let Some(skj) = *skj else {
+                continue; // source pre-wired on this host: no constraint
+            };
+            let mut ub = LinExpr::term(skj, 1.0);
+            for &t in &targets {
+                ub.push(x[&t][sj], -1.0);
+            }
+            model.add_constraint(format!("share_ub_{k}_{sj}"), ub.leq(0.0));
+            let mut lb = LinExpr::term(skj, -(targets.len() as f64));
+            for &t in &targets {
+                lb.push(x[&t][sj], 1.0);
+            }
+            model.add_constraint(format!("share_lb_{k}_{sj}"), lb.leq(0.0));
+        }
+    }
+    model.set_objective(LinExpr::from_terms(
+        y.iter().map(|(&sj, &v)| (v, pool.slot(sub_slots[sj]).cost)),
+    ));
+
+    // Warm start: current placement (all freed neurons on freed slots).
+    let mut warm = vec![0.0; model.num_vars()];
+    for (&i, xi) in &x {
+        let sj = sub_slots
+            .iter()
+            .position(|&j| j == mapping.crossbar_of(i))
+            .expect("freed neuron lives on a freed slot");
+        warm[xi[sj].index()] = 1.0;
+        if let Some(&yj) = y.get(&sj) {
+            warm[yj.index()] = 1.0;
+        }
+    }
+    for (&k, sk) in &s {
+        let targets: BTreeSet<usize> = fanin_sources[&k]
+            .iter()
+            .filter(|t| freed_set.contains(t))
+            .map(|&t| {
+                sub_slots
+                    .iter()
+                    .position(|&j| j == mapping.crossbar_of(t))
+                    .expect("freed target on freed slot")
+            })
+            .collect();
+        for sj in targets {
+            if let Some(v) = sk[sj] {
+                warm[v.index()] = 1.0;
+            }
+        }
+    }
+
+    let current_area: f64 = group.iter().map(|&j| pool.slot(j).cost).sum();
+    let result = Solver::new(solver_config.clone()).solve_with_warm_start(&model, &warm);
+    let det_time = result.det_time;
+    let Some(best) = result.best else {
+        return (None, det_time);
+    };
+    if best.objective() >= current_area - 1e-9 {
+        return (None, det_time);
+    }
+    let mut assignment = mapping.assignment().to_vec();
+    for (&i, xi) in &x {
+        let sj = xi
+            .iter()
+            .position(|&v| best.is_one(v))
+            .expect("feasible solutions place every neuron");
+        assignment[i.index()] = sub_slots[sj];
+    }
+    (Some(Mapping::new(assignment)), det_time)
+}
+
+/// Iterative pairwise refinement: repeatedly re-solve the exact
+/// axon-sharing ILP on pairs of used crossbars (plus fresh candidate
+/// dimensions) until no pair improves or the budget runs out. This is the
+/// "iterative swapping" decomposition the paper's §V-E observes its data
+/// validates.
+///
+/// Returns improving mappings with cumulative deterministic timestamps.
+#[must_use]
+pub fn refine_pairwise(
+    network: &Network,
+    pool: &CrossbarPool,
+    start: &Mapping,
+    solver_config: &SolverConfig,
+    det_budget: f64,
+) -> (Vec<TimedMapping>, f64) {
+    let mut current = start.clone();
+    let mut improvements = Vec::new();
+    let mut spent = 0.0;
+    let sub_cfg = SolverConfig {
+        det_time_limit: (det_budget / 8.0).clamp(0.5, 10.0),
+        enable_lns: false,
+        ..solver_config.clone()
+    };
+    let mut stale = false;
+    while spent < det_budget && !stale {
+        stale = true;
+        let used = current.used_slots();
+        let fill = |j: usize| -> f64 {
+            current.neurons_on(j).len() as f64 / f64::from(pool.slot(j).dim.outputs())
+        };
+        // Candidate groups: every single slot (exact "empty or shrink this
+        // crossbar, spilling into the rest"), then every pair; most slack
+        // first.
+        let mut groups: Vec<Vec<usize>> = used.iter().map(|&j| vec![j]).collect();
+        for (a_idx, &a) in used.iter().enumerate() {
+            for &b in &used[a_idx + 1..] {
+                groups.push(vec![a, b]);
+            }
+        }
+        groups.sort_by(|g1, g2| {
+            let f1 = g1.iter().map(|&j| fill(j)).sum::<f64>() / g1.len() as f64;
+            let f2 = g2.iter().map(|&j| fill(j)).sum::<f64>() / g2.len() as f64;
+            g1.len()
+                .cmp(&g2.len())
+                .then(f1.partial_cmp(&f2).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        for group in groups {
+            if spent >= det_budget {
+                break;
+            }
+            let (improved, det) = resolve_slot_group(network, pool, &current, &group, &sub_cfg);
+            spent += det;
+            if let Some(m) = improved {
+                debug_assert!(m.validate(network, pool).is_ok());
+                current = local_search_area(network, pool, &m, 16);
+                improvements.push(TimedMapping {
+                    det_time: spent,
+                    objective: current.area(pool),
+                    mapping: current.clone(),
+                });
+                stale = false;
+                break; // restart the scan on the improved mapping
+            }
+        }
+    }
+    (improvements, spent)
+}
+
+/// Area optimisation (objective Eq. 8) over the full pool.
+///
+/// The solve is a portfolio around the axon-sharing formulation, mirroring
+/// what CP-SAT does internally for the paper: greedy construction + local
+/// search prime the incumbent, exact pairwise sub-ILPs refine it, and the
+/// global branch-and-bound spends the remaining budget on further
+/// improvement and bound proving. All stages share one deterministic
+/// clock; the returned incumbent stream is cumulative.
+#[must_use]
+pub fn optimize_area(
+    network: &Network,
+    pool: &CrossbarPool,
+    config: &PipelineConfig,
+) -> OptimizationRun {
+    let seed = if config.warm_start {
+        greedy_first_fit(network, pool)
+            .ok()
+            .map(|g| local_search_area(network, pool, &g, 64))
+    } else {
+        None
+    };
+    optimize_area_seeded(network, pool, seed, config)
+}
+
+/// Area optimisation starting from a caller-supplied seed mapping instead
+/// of the internal greedy construction. Useful to chart the refinement
+/// process from a known (e.g. naive) starting point, as in Figs. 7/8.
+#[must_use]
+pub fn optimize_area_from(
+    network: &Network,
+    pool: &CrossbarPool,
+    seed: &Mapping,
+    config: &PipelineConfig,
+) -> OptimizationRun {
+    optimize_area_seeded(network, pool, Some(seed.clone()), config)
+}
+
+fn optimize_area_seeded(
+    network: &Network,
+    pool: &CrossbarPool,
+    seed: Option<Mapping>,
+    config: &PipelineConfig,
+) -> OptimizationRun {
+    let ilp = MappingIlp::build(network, pool, &MappingObjective::Area, &config.formulation);
+    // Warm start: the seed mapping (greedy + local search by default). The
+    // formulation needs neither (unlike SpikeHard); they only prime the
+    // anytime stream, as CP-SAT's internal heuristics do.
+    let mut incumbents: Vec<TimedMapping> = Vec::new();
+    let mut refine_time = 0.0;
+    let warm = {
+        match seed {
+            None => None,
+            Some(seed) => {
+                incumbents.push(TimedMapping {
+                    det_time: 0.0,
+                    objective: seed.area(pool),
+                    mapping: seed.clone(),
+                });
+                let (improvements, spent) = refine_pairwise(
+                    network,
+                    pool,
+                    &seed,
+                    &config.solver,
+                    config.solver.det_time_limit * 0.5,
+                );
+                refine_time = spent;
+                let best = improvements
+                    .last()
+                    .map_or(seed, |t| t.mapping.clone());
+                incumbents.extend(improvements);
+                Some(best)
+            }
+        }
+    };
+    let remaining = SolverConfig {
+        det_time_limit: (config.solver.det_time_limit - refine_time).max(0.1),
+        ..config.solver.clone()
+    };
+    let mut run = run_ilp(network, &ilp, warm.as_ref(), &remaining);
+    // Merge streams: ILP events start after the refinement time; drop ILP
+    // echoes of the warm start itself (same objective).
+    let best_so_far = incumbents.last().map(|t| t.objective);
+    for inc in run.incumbents {
+        if best_so_far.is_some_and(|b| inc.objective >= b - 1e-9) {
+            continue;
+        }
+        incumbents.push(TimedMapping {
+            det_time: inc.det_time + refine_time,
+            objective: inc.objective,
+            mapping: inc.mapping,
+        });
+    }
+    run.incumbents = incumbents;
+    run.det_time += refine_time;
+    run
+}
+
+/// SNU optimisation (objective Eq. 11) restricted to `base`'s crossbars so
+/// that area cannot increase (§V-F).
+#[must_use]
+pub fn optimize_routes_after_area(
+    network: &Network,
+    pool: &CrossbarPool,
+    base: &Mapping,
+    config: &PipelineConfig,
+) -> OptimizationRun {
+    let formulation = config.formulation.clone().restricted_to(base);
+    let ilp = MappingIlp::build(network, pool, &MappingObjective::GlobalRoutes, &formulation);
+    let warm = if config.warm_start {
+        crate::baseline::local_search_routes(network, pool, base, None, 32)
+    } else {
+        base.clone()
+    };
+    run_ilp(network, &ilp, Some(&warm), &config.solver)
+}
+
+/// Total-route optimisation (objective Eq. 9) under the same restriction.
+#[must_use]
+pub fn optimize_total_routes_after_area(
+    network: &Network,
+    pool: &CrossbarPool,
+    base: &Mapping,
+    config: &PipelineConfig,
+) -> OptimizationRun {
+    let formulation = config.formulation.clone().restricted_to(base);
+    let ilp = MappingIlp::build(network, pool, &MappingObjective::TotalRoutes, &formulation);
+    run_ilp(network, &ilp, Some(base), &config.solver)
+}
+
+/// Profile-guided packet optimisation (objective Eq. 12) restricted to
+/// `base`'s crossbars (§V-H). `weights` are per-neuron spike counts from a
+/// profiling run.
+#[must_use]
+pub fn optimize_pgo_after_area(
+    network: &Network,
+    pool: &CrossbarPool,
+    base: &Mapping,
+    weights: &[u64],
+    config: &PipelineConfig,
+) -> OptimizationRun {
+    let formulation = config.formulation.clone().restricted_to(base);
+    let ilp = MappingIlp::build(
+        network,
+        pool,
+        &MappingObjective::PgoPackets(weights.to_vec()),
+        &formulation,
+    );
+    let warm = if config.warm_start {
+        crate::baseline::local_search_routes(network, pool, base, Some(weights), 32)
+    } else {
+        base.clone()
+    };
+    run_ilp(network, &ilp, Some(&warm), &config.solver)
+}
+
+/// One point of the area/SNU evolution chart (Figs. 7/8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvolutionPoint {
+    /// Cumulative deterministic seconds (area search + SNU re-solve).
+    pub det_time: f64,
+    /// Area of the area-incumbent this point derives from.
+    pub area: f64,
+    /// Global routes of the raw area incumbent.
+    pub snu_before: u64,
+    /// Global routes after SNU re-optimisation over its crossbars.
+    pub snu_after: u64,
+}
+
+/// Charts the area/SNU trade-off: every area incumbent is re-optimised for
+/// SNU over its own crossbar set.
+///
+/// `snu_budget` is the deterministic budget per SNU re-solve.
+#[must_use]
+pub fn area_snu_evolution(
+    network: &Network,
+    pool: &CrossbarPool,
+    config: &PipelineConfig,
+    snu_budget: f64,
+) -> Vec<EvolutionPoint> {
+    let area_run = optimize_area(network, pool, config);
+    evolution_points(network, pool, config, snu_budget, &area_run)
+}
+
+/// [`area_snu_evolution`] starting from an explicit seed mapping, so the
+/// chart shows the full refinement trajectory from a known (e.g. naive)
+/// solution — the presentation used by the paper's Figs. 7/8.
+#[must_use]
+pub fn area_snu_evolution_from(
+    network: &Network,
+    pool: &CrossbarPool,
+    seed: &Mapping,
+    config: &PipelineConfig,
+    snu_budget: f64,
+) -> Vec<EvolutionPoint> {
+    let area_run = optimize_area_from(network, pool, seed, config);
+    evolution_points(network, pool, config, snu_budget, &area_run)
+}
+
+fn evolution_points(
+    network: &Network,
+    pool: &CrossbarPool,
+    config: &PipelineConfig,
+    snu_budget: f64,
+    area_run: &OptimizationRun,
+) -> Vec<EvolutionPoint> {
+    let mut points = Vec::new();
+    let mut extra_time = 0.0;
+    for inc in &area_run.incumbents {
+        let before = croxmap_sim::count_routes(network, inc.mapping.assignment()).global;
+        let snu_cfg = PipelineConfig {
+            formulation: config.formulation.clone(),
+            solver: config.solver.clone().with_det_time_limit(snu_budget),
+            warm_start: true,
+        };
+        let snu_run = optimize_routes_after_area(network, pool, &inc.mapping, &snu_cfg);
+        extra_time += snu_run.det_time;
+        let after = snu_run
+            .best_mapping()
+            .map_or(before, |m| croxmap_sim::count_routes(network, m.assignment()).global);
+        points.push(EvolutionPoint {
+            det_time: inc.det_time + extra_time,
+            area: inc.mapping.area(pool),
+            snu_before: before,
+            snu_after: after.min(before),
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarDim};
+    use croxmap_snn::{NetworkBuilder, NodeRole};
+
+    /// Two loosely-coupled clusters of 3 neurons each.
+    fn clustered() -> Network {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..6)
+            .map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0))
+            .collect();
+        // Dense inside clusters {0,1,2} and {3,4,5}.
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(n[u], n[v], 1.0, 1).unwrap();
+        }
+        // One cross edge.
+        b.add_edge(n[2], n[3], 1.0, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    fn pool() -> CrossbarPool {
+        let arch = ArchitectureSpec::homogeneous(CrossbarDim::new(4, 4));
+        CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 6, 3)
+    }
+
+    fn config() -> PipelineConfig {
+        PipelineConfig::with_budget(10.0)
+    }
+
+    #[test]
+    fn area_pipeline_finds_two_crossbars() {
+        let net = clustered();
+        let pool = pool();
+        let run = optimize_area(&net, &pool, &config());
+        let best = run.best_mapping().expect("feasible");
+        best.validate(&net, &pool).unwrap();
+        assert_eq!(best.used_slots().len(), 2);
+        assert_eq!(run.best_objective(), Some(32.0));
+    }
+
+    #[test]
+    fn incumbents_improve_monotonically() {
+        let net = clustered();
+        let pool = pool();
+        let run = optimize_area(&net, &pool, &config());
+        for w in run.incumbents.windows(2) {
+            assert!(w[1].objective < w[0].objective);
+        }
+    }
+
+    #[test]
+    fn snu_after_area_does_not_increase_area() {
+        let net = clustered();
+        let pool = pool();
+        let area_run = optimize_area(&net, &pool, &config());
+        let base = area_run.best_mapping().unwrap().clone();
+        let base_area = base.area(&pool);
+        let snu_run = optimize_routes_after_area(&net, &pool, &base, &config());
+        let refined = snu_run.best_mapping().expect("restriction keeps base feasible");
+        refined.validate(&net, &pool).unwrap();
+        assert!(refined.area(&pool) <= base_area + 1e-9);
+        // Routes must not be worse than the warm start.
+        let before = croxmap_sim::count_routes(&net, base.assignment()).global;
+        let after = croxmap_sim::count_routes(&net, refined.assignment()).global;
+        assert!(after <= before);
+    }
+
+    #[test]
+    fn snu_optimum_keeps_clusters_together() {
+        let net = clustered();
+        let pool = pool();
+        // Deliberately bad split mixing the clusters.
+        let bad = Mapping::new(vec![0, 1, 0, 1, 0, 1]);
+        bad.validate(&net, &pool).unwrap();
+        let run = optimize_routes_after_area(&net, &pool, &bad, &config());
+        let refined = run.best_mapping().unwrap();
+        let after = croxmap_sim::count_routes(&net, refined.assignment()).global;
+        // Optimal split has exactly 1 global route (the cross edge).
+        assert_eq!(after, 1, "assignment {:?}", refined.assignment());
+    }
+
+    #[test]
+    fn pgo_prioritises_hot_route() {
+        // Chain 0→1, 2→3 with a shared middle: make one route hot.
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..4)
+            .map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0))
+            .collect();
+        b.add_edge(n[0], n[1], 1.0, 1).unwrap();
+        b.add_edge(n[1], n[2], 1.0, 1).unwrap();
+        b.add_edge(n[2], n[3], 1.0, 1).unwrap();
+        let net = b.build().unwrap();
+        let arch = ArchitectureSpec::homogeneous(CrossbarDim::new(4, 2));
+        let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 4, 2);
+        let base = Mapping::new(vec![0, 1, 0, 1]); // awful: every edge global
+        base.validate(&net, &pool).unwrap();
+        // Neuron 1 fires constantly; others rarely.
+        let weights = vec![1, 100, 1, 0];
+        let run = optimize_pgo_after_area(&net, &pool, &base, &weights, &config());
+        let refined = run.best_mapping().unwrap();
+        // The hot axon (1→2) must be local.
+        assert_eq!(
+            refined.crossbar_of(n[1]),
+            refined.crossbar_of(n[2]),
+            "hot route must be intra-crossbar: {:?}",
+            refined.assignment()
+        );
+    }
+
+    #[test]
+    fn refine_pairwise_consolidates_fragmented_mapping() {
+        let net = clustered();
+        let pool = CrossbarPool::from_counts(
+            &AreaModel::memristor_count(),
+            [(CrossbarDim::new(4, 4), 3)],
+        );
+        // One neuron per slot needs 6 slots; pool has only 3, so fragment
+        // pairwise instead: 3 slots of 2 neurons across cluster lines.
+        let fragmented = Mapping::new(vec![0, 1, 2, 0, 1, 2]);
+        fragmented.validate(&net, &pool).unwrap();
+        let cfg = crate::pipeline::PipelineConfig::with_budget(10.0);
+        let (improvements, spent) =
+            refine_pairwise(&net, &pool, &fragmented, &cfg.solver, 10.0);
+        assert!(spent > 0.0);
+        let best = improvements.last().expect("refinement finds the 2-slot packing");
+        best.mapping.validate(&net, &pool).unwrap();
+        assert!(best.objective < fragmented.area(&pool));
+        assert_eq!(best.mapping.used_slots().len(), 2);
+    }
+
+    #[test]
+    fn optimize_area_from_improves_naive_seed() {
+        let net = clustered();
+        let pool = pool();
+        let seed = crate::baseline::naive_sequential(&net, &pool).unwrap();
+        let run = optimize_area_from(&net, &pool, &seed, &config());
+        let best = run.best_mapping().expect("feasible");
+        best.validate(&net, &pool).unwrap();
+        assert!(best.area(&pool) <= seed.area(&pool));
+        // The seed itself is the first incumbent.
+        assert_eq!(run.incumbents[0].objective, seed.area(&pool));
+    }
+
+    #[test]
+    fn evolution_points_track_area_stream() {
+        let net = clustered();
+        let pool = pool();
+        let points = area_snu_evolution(&net, &pool, &config(), 2.0);
+        assert!(!points.is_empty());
+        for p in &points {
+            assert!(p.snu_after <= p.snu_before);
+            assert!(p.det_time >= 0.0);
+        }
+        // Times are non-decreasing along the stream.
+        for w in points.windows(2) {
+            assert!(w[1].det_time >= w[0].det_time);
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! EONS-lite: evolutionary optimisation for spiking networks.
+//!
+//! A compact reimplementation of the ideas behind EONS (Evolutionary
+//! Optimization for Neuromorphic Systems, Schuman et al. — references
+//! \[37\]/\[38\] of the paper): a population of network genomes evolves under
+//! tournament selection with structural mutations (edge add/remove,
+//! parameter perturbation) and uniform edge crossover. A parsimony term
+//! penalises edge count, which is precisely the pressure that produces the
+//! structurally sparse networks motivating heterogeneous crossbars.
+//!
+//! The node set is fixed per run (inputs/outputs/hidden budget); structure
+//! evolves in the edge set. Fitness is supplied by the caller, typically
+//! classification accuracy on a [`crate::smartpixel::EventSet`].
+
+use croxmap_snn::{Network, NetworkBuilder, NeuronId, NodeRole};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Evolution hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EonsConfig {
+    /// Number of input neurons.
+    pub input_count: usize,
+    /// Number of output neurons.
+    pub output_count: usize,
+    /// Hidden-neuron budget (all present; unused ones simply stay
+    /// disconnected and are harmless for mapping experiments).
+    pub hidden_count: usize,
+    /// Population size.
+    pub population: usize,
+    /// Generations to run.
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Individuals copied unchanged each generation.
+    pub elitism: usize,
+    /// Probability of each mutation kind per offspring.
+    pub mutation_rate: f64,
+    /// Fitness penalty per edge (parsimony pressure towards sparsity).
+    pub edge_penalty: f64,
+    /// Initial edges per genome.
+    pub initial_edges: usize,
+    /// Hard cap on any neuron's fan-in (keeps networks mappable).
+    pub max_fan_in: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EonsConfig {
+    fn default() -> Self {
+        EonsConfig {
+            input_count: 4,
+            output_count: 2,
+            hidden_count: 10,
+            population: 16,
+            generations: 12,
+            tournament: 3,
+            elitism: 2,
+            mutation_rate: 0.7,
+            edge_penalty: 0.002,
+            initial_edges: 12,
+            max_fan_in: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// One evolvable genome: fixed node set, variable edge set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Genome {
+    thresholds: Vec<f64>,
+    leaks: Vec<f64>,
+    /// `(src, dst, weight, delay)` with unique `(src, dst)` pairs.
+    edges: Vec<(usize, usize, f64, u32)>,
+}
+
+impl Genome {
+    fn node_count(cfg: &EonsConfig) -> usize {
+        cfg.input_count + cfg.hidden_count + cfg.output_count
+    }
+
+    fn role(cfg: &EonsConfig, i: usize) -> NodeRole {
+        if i < cfg.input_count {
+            NodeRole::Input
+        } else if i >= cfg.input_count + cfg.hidden_count {
+            NodeRole::Output
+        } else {
+            NodeRole::Hidden
+        }
+    }
+
+    fn random(cfg: &EonsConfig, rng: &mut SmallRng) -> Self {
+        let n = Self::node_count(cfg);
+        let thresholds = (0..n).map(|_| rng.gen_range(0.3..1.2)).collect();
+        let leaks = (0..n).map(|_| rng.gen_range(0.0..0.3)).collect();
+        let mut genome = Genome {
+            thresholds,
+            leaks,
+            edges: Vec::new(),
+        };
+        for _ in 0..cfg.initial_edges {
+            genome.mutate_add_edge(cfg, rng);
+        }
+        genome
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn has_edge(&self, src: usize, dst: usize) -> bool {
+        self.edges.iter().any(|&(s, d, _, _)| s == src && d == dst)
+    }
+
+    fn in_degree(&self, dst: usize) -> usize {
+        self.edges.iter().filter(|&&(_, d, _, _)| d == dst).count()
+    }
+
+    fn mutate_add_edge(&mut self, cfg: &EonsConfig, rng: &mut SmallRng) {
+        let n = Self::node_count(cfg);
+        for _ in 0..16 {
+            let src = rng.gen_range(0..n - cfg.output_count); // outputs are sinks
+            let dst = rng.gen_range(cfg.input_count..n); // inputs are sources
+            if src == dst || self.has_edge(src, dst) || self.in_degree(dst) >= cfg.max_fan_in {
+                continue;
+            }
+            let weight = if rng.gen_bool(0.8) {
+                rng.gen_range(0.3..1.2)
+            } else {
+                -rng.gen_range(0.3..1.2)
+            };
+            self.edges.push((src, dst, weight, rng.gen_range(1..=3)));
+            return;
+        }
+    }
+
+    fn mutate_remove_edge(&mut self, rng: &mut SmallRng) {
+        if !self.edges.is_empty() {
+            let idx = rng.gen_range(0..self.edges.len());
+            self.edges.swap_remove(idx);
+        }
+    }
+
+    fn mutate_perturb(&mut self, rng: &mut SmallRng) {
+        if rng.gen_bool(0.5) && !self.edges.is_empty() {
+            let idx = rng.gen_range(0..self.edges.len());
+            self.edges[idx].2 += rng.gen_range(-0.3..0.3);
+        } else {
+            let idx = rng.gen_range(0..self.thresholds.len());
+            self.thresholds[idx] = (self.thresholds[idx] + rng.gen_range(-0.2..0.2)).max(0.1);
+        }
+    }
+
+    /// Uniform edge crossover: child takes the union of parents' edges,
+    /// each kept with probability ½ (always keeping at least one), subject
+    /// to the fan-in cap.
+    fn crossover(a: &Genome, b: &Genome, cfg: &EonsConfig, rng: &mut SmallRng) -> Genome {
+        let mut child = Genome {
+            thresholds: a.thresholds.clone(),
+            leaks: b.leaks.clone(),
+            edges: Vec::new(),
+        };
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut pool: Vec<(usize, usize, f64, u32)> =
+            a.edges.iter().chain(b.edges.iter()).copied().collect();
+        pool.shuffle(rng);
+        for e in pool {
+            if seen.contains(&(e.0, e.1)) || child.in_degree(e.1) >= cfg.max_fan_in {
+                continue;
+            }
+            if rng.gen_bool(0.5) || child.edges.is_empty() {
+                seen.insert((e.0, e.1));
+                child.edges.push(e);
+            }
+        }
+        child
+    }
+
+    /// Decodes the genome into a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal inconsistency (duplicate edges), which the
+    /// mutation operators prevent.
+    #[must_use]
+    pub fn to_network(&self, cfg: &EonsConfig) -> Network {
+        let n = Self::node_count(cfg);
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<NeuronId> = (0..n)
+            .map(|i| b.add_neuron(Self::role(cfg, i), self.thresholds[i], self.leaks[i]))
+            .collect();
+        for &(src, dst, w, d) in &self.edges {
+            b.add_edge(ids[src], ids[dst], w, d).expect("genome ids valid");
+        }
+        b.build().expect("genome decodes to valid network")
+    }
+}
+
+/// Progress of one generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationStats {
+    /// Generation index.
+    pub generation: usize,
+    /// Best raw fitness (before parsimony penalty).
+    pub best_fitness: f64,
+    /// Mean edge count of the population.
+    pub mean_edges: f64,
+}
+
+/// Result of an evolution run.
+#[derive(Debug, Clone)]
+pub struct EonsRun {
+    /// The champion genome.
+    pub best: Genome,
+    /// Its raw fitness.
+    pub best_fitness: f64,
+    /// Per-generation progress.
+    pub history: Vec<GenerationStats>,
+}
+
+/// Runs EONS-lite with caller-supplied fitness.
+///
+/// `fitness` receives a decoded network and returns a score to maximise
+/// (e.g. classification accuracy in `[0, 1]`). The effective selection
+/// score is `fitness − edge_penalty · edges`, the parsimony pressure that
+/// drives structural sparsity.
+#[must_use]
+pub fn evolve(config: &EonsConfig, mut fitness: impl FnMut(&Network) -> f64) -> EonsRun {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut population: Vec<Genome> = (0..config.population)
+        .map(|_| Genome::random(config, &mut rng))
+        .collect();
+    let mut history = Vec::new();
+    let mut scored: Vec<(f64, f64, Genome)> = Vec::new(); // (selection, raw, genome)
+
+    for generation in 0..config.generations {
+        scored = population
+            .iter()
+            .map(|g| {
+                let raw = fitness(&g.to_network(config));
+                let sel = raw - config.edge_penalty * g.edge_count() as f64;
+                (sel, raw, g.clone())
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        history.push(GenerationStats {
+            generation,
+            best_fitness: scored[0].1,
+            mean_edges: scored.iter().map(|(_, _, g)| g.edge_count() as f64).sum::<f64>()
+                / scored.len() as f64,
+        });
+
+        let mut next: Vec<Genome> = scored
+            .iter()
+            .take(config.elitism)
+            .map(|(_, _, g)| g.clone())
+            .collect();
+        while next.len() < config.population {
+            let pa = tournament(&scored, config.tournament, &mut rng);
+            let pb = tournament(&scored, config.tournament, &mut rng);
+            let mut child = Genome::crossover(pa, pb, config, &mut rng);
+            if rng.gen_bool(config.mutation_rate) {
+                match rng.gen_range(0..3) {
+                    0 => child.mutate_add_edge(config, &mut rng),
+                    1 => child.mutate_remove_edge(&mut rng),
+                    _ => child.mutate_perturb(&mut rng),
+                }
+            }
+            next.push(child);
+        }
+        population = next;
+    }
+    // Final scoring pass to pick the champion.
+    let mut final_scored: Vec<(f64, f64, Genome)> = population
+        .iter()
+        .map(|g| {
+            let raw = fitness(&g.to_network(config));
+            (raw - config.edge_penalty * g.edge_count() as f64, raw, g.clone())
+        })
+        .collect();
+    final_scored.extend(scored);
+    final_scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let (_, best_fitness, best) = final_scored.swap_remove(0);
+    EonsRun {
+        best,
+        best_fitness,
+        history,
+    }
+}
+
+fn tournament<'a>(
+    scored: &'a [(f64, f64, Genome)],
+    k: usize,
+    rng: &mut SmallRng,
+) -> &'a Genome {
+    let mut best: Option<&(f64, f64, Genome)> = None;
+    for _ in 0..k.max(1) {
+        let cand = &scored[rng.gen_range(0..scored.len())];
+        if best.is_none_or(|b| cand.0 > b.0) {
+            best = Some(cand);
+        }
+    }
+    &best.expect("non-empty population").2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smartpixel::{accuracy, EventSet, SmartPixelConfig};
+    use croxmap_sim::LifSimulator;
+
+    fn tiny_config() -> EonsConfig {
+        EonsConfig {
+            population: 8,
+            generations: 4,
+            hidden_count: 6,
+            initial_edges: 8,
+            ..EonsConfig::default()
+        }
+    }
+
+    #[test]
+    fn evolution_is_deterministic() {
+        let cfg = tiny_config();
+        let f = |n: &Network| 1.0 / (1.0 + n.edge_count() as f64);
+        let a = evolve(&cfg, f);
+        let b = evolve(&cfg, f);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn parsimony_shrinks_networks() {
+        // Fitness constant: only the edge penalty differentiates genomes,
+        // so mean edges must fall over generations.
+        let cfg = EonsConfig {
+            edge_penalty: 0.05,
+            generations: 10,
+            ..tiny_config()
+        };
+        let run = evolve(&cfg, |_| 0.5);
+        let first = run.history.first().unwrap().mean_edges;
+        let last = run.history.last().unwrap().mean_edges;
+        assert!(last < first, "mean edges {first} → {last}");
+    }
+
+    #[test]
+    fn genomes_decode_to_valid_networks() {
+        let cfg = tiny_config();
+        let run = evolve(&cfg, |n| n.edge_count() as f64 * 0.01);
+        let net = run.best.to_network(&cfg);
+        assert_eq!(
+            net.node_count(),
+            cfg.input_count + cfg.hidden_count + cfg.output_count
+        );
+        let stats = net.stats();
+        assert!(stats.max_fan_in <= cfg.max_fan_in);
+    }
+
+    #[test]
+    fn fitness_improves_on_smartpixel_task() {
+        let cfg = EonsConfig {
+            population: 10,
+            generations: 6,
+            input_count: 4,
+            hidden_count: 6,
+            seed: 3,
+            ..EonsConfig::default()
+        };
+        let events = EventSet::generate(
+            &SmartPixelConfig {
+                width: 8,
+                ..SmartPixelConfig::default()
+            },
+            20,
+        );
+        let simulator = LifSimulator::default();
+        let run = evolve(&cfg, |net| accuracy(net, &simulator, &events, 12));
+        let first = run.history.first().unwrap().best_fitness;
+        let last = run.best_fitness;
+        assert!(
+            last >= first,
+            "fitness must not regress: {first} → {last}"
+        );
+        assert!(last > 0.4, "champion should beat random-ish: {last}");
+    }
+
+    #[test]
+    fn outputs_never_source_edges() {
+        let cfg = tiny_config();
+        let run = evolve(&cfg, |_| 0.0);
+        let net = run.best.to_network(&cfg);
+        for o in net.output_ids() {
+            assert_eq!(net.out_degree(o), 0);
+        }
+    }
+
+    #[test]
+    fn inputs_never_receive_edges() {
+        let cfg = tiny_config();
+        let run = evolve(&cfg, |_| 0.0);
+        let net = run.best.to_network(&cfg);
+        for i in net.input_ids() {
+            assert_eq!(net.in_degree(i), 0);
+        }
+    }
+}

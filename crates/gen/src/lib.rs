@@ -1,0 +1,38 @@
+//! # croxmap-gen — network generators and synthetic workloads
+//!
+//! The paper evaluates on five EONS-trained SNNs for a high-energy-physics
+//! SmartPixel filtering task. Neither the trained networks nor the 5 GB
+//! dataset are redistributable, so this crate regenerates equivalents:
+//!
+//! * [`calibrated`] — a stochastic sparse-graph generator whose outputs
+//!   match the published Table I statistics (node/edge counts, max fan-in,
+//!   edge density, in/out Gini sparsity index). These are the workloads the
+//!   mapping experiments consume.
+//! * [`eons`] — a compact evolutionary optimiser in the spirit of EONS
+//!   (Schuman et al.): tournament selection and structural mutation over
+//!   edge sets with a parsimony pressure that yields sparse networks. Used
+//!   by the end-to-end example to show the full train→map pipeline.
+//! * [`smartpixel`] — a synthetic pixel-detector event generator: charged
+//!   particle tracks deposit charge clusters on a pixel matrix, which are
+//!   encoded as spike trains. Binary "keep/filter" labels follow the track
+//!   inclination, mirroring the on-sensor filtering task of the paper's
+//!   reference \[35\].
+//!
+//! ## Example
+//!
+//! ```
+//! use croxmap_gen::calibrated::{NetworkSpec, generate};
+//!
+//! let spec = NetworkSpec::table_i_a();
+//! let net = generate(&spec);
+//! assert_eq!(net.node_count(), 229);
+//! let stats = net.stats();
+//! assert!(stats.max_fan_in <= 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrated;
+pub mod eons;
+pub mod smartpixel;

@@ -1,0 +1,57 @@
+//! # croxmap-ilp — an anytime 0/1 integer linear programming toolkit
+//!
+//! The paper solves its mapping formulations with Google OR-Tools' CP-SAT
+//! (`SAT_INTEGER_PROGRAMMING`). No solver bindings are available in this
+//! reproduction, so this crate implements the required machinery from
+//! scratch:
+//!
+//! * a [`Model`] builder for variables, linear constraints and a
+//!   minimisation objective,
+//! * a bounded-variable two-phase **primal simplex** for LP relaxations
+//!   ([`simplex`]),
+//! * **branch and bound** with best-first exploration, LP-guided diving and
+//!   most-fractional / pseudo-cost branching,
+//! * **large-neighbourhood search** for anytime improvement on instances
+//!   too large to enumerate,
+//! * an *incumbent stream*: every improving solution is reported through a
+//!   callback together with its [`DeterministicClock`] timestamp, mirroring
+//!   the deterministic timing OR-Tools exposes and the paper reports.
+//!
+//! The solver is deliberately single-threaded and fully deterministic for a
+//! fixed seed: identical inputs produce identical incumbent streams, which
+//! the experiment harness relies on.
+//!
+//! ## Example
+//!
+//! ```
+//! use croxmap_ilp::{Model, SolveStatus, Solver, SolverConfig};
+//!
+//! // Minimise x + 2y subject to x + y >= 1, x,y binary.
+//! let mut m = Model::new();
+//! let x = m.add_binary("x");
+//! let y = m.add_binary("y");
+//! m.add_constraint("cover", m.expr([(x, 1.0), (y, 1.0)]).geq(1.0));
+//! m.set_objective(m.expr([(x, 1.0), (y, 2.0)]));
+//!
+//! let result = Solver::new(SolverConfig::default()).solve(&m);
+//! assert_eq!(result.status, SolveStatus::Optimal);
+//! let best = result.best.expect("feasible");
+//! assert_eq!(best.value(x), 1.0);
+//! assert_eq!(best.value(y), 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod expr;
+mod model;
+mod solution;
+pub mod simplex;
+mod solver;
+
+pub use clock::DeterministicClock;
+pub use expr::{Comparison, ConstraintSense, LinExpr, VarId};
+pub use model::{Constraint, Model, ModelError, VarType, Variable};
+pub use solution::{IncumbentEvent, Solution};
+pub use solver::{BranchRule, SolveResult, SolveStatus, Solver, SolverConfig};

@@ -1,0 +1,462 @@
+//! The ILP model: variables, constraints and objective.
+
+use crate::expr::{Comparison, ConstraintSense, LinExpr, VarId};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Integrality class of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VarType {
+    /// Binary variable in `{0, 1}`.
+    Binary,
+    /// Continuous variable within its bounds.
+    Continuous,
+}
+
+/// A decision variable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Variable {
+    /// Human-readable name (for diagnostics).
+    pub name: String,
+    /// Integrality class.
+    pub ty: VarType,
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+}
+
+/// A stored linear constraint (normalised expression).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Human-readable name (for diagnostics).
+    pub name: String,
+    /// Left-hand side terms, normalised (sorted, merged, constant folded
+    /// into `rhs`).
+    pub terms: Vec<(VarId, f64)>,
+    /// Sense.
+    pub sense: ConstraintSense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Evaluates the left-hand side on an assignment.
+    #[must_use]
+    pub fn lhs_value(&self, values: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .map(|&(v, c)| c * values[v.index()])
+            .sum()
+    }
+
+    /// Returns `true` if the constraint holds on `values` within `tol`.
+    #[must_use]
+    pub fn is_satisfied(&self, values: &[f64], tol: f64) -> bool {
+        let lhs = self.lhs_value(values);
+        match self.sense {
+            ConstraintSense::Le => lhs <= self.rhs + tol,
+            ConstraintSense::Ge => lhs >= self.rhs - tol,
+            ConstraintSense::Eq => (lhs - self.rhs).abs() <= tol,
+        }
+    }
+}
+
+/// Errors raised by model validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A bound pair is inverted or non-finite.
+    BadBounds {
+        /// Offending variable.
+        var: VarId,
+        /// Its lower bound.
+        lower: f64,
+        /// Its upper bound.
+        upper: f64,
+    },
+    /// A coefficient or right-hand side is not finite.
+    NonFiniteCoefficient {
+        /// Name of the offending constraint, or `"objective"`.
+        location: String,
+    },
+    /// The model has no variables.
+    Empty,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadBounds { var, lower, upper } => {
+                write!(f, "variable {var} has invalid bounds [{lower}, {upper}]")
+            }
+            ModelError::NonFiniteCoefficient { location } => {
+                write!(f, "non-finite coefficient in {location}")
+            }
+            ModelError::Empty => write!(f, "model has no variables"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// A minimisation integer linear program.
+///
+/// Build variables with [`Model::add_binary`] / [`Model::add_continuous`],
+/// add constraints, set a linear objective and hand the model to a
+/// [`Solver`](crate::Solver).
+///
+/// ```
+/// use croxmap_ilp::Model;
+/// let mut m = Model::new();
+/// let x = m.add_binary("x");
+/// let y = m.add_binary("y");
+/// m.add_constraint("sum", m.expr([(x, 1.0), (y, 1.0)]).leq(1.0));
+/// m.set_objective(m.expr([(x, -1.0), (y, -2.0)])); // maximise x + 2y
+/// assert_eq!(m.num_vars(), 2);
+/// assert_eq!(m.num_constraints(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Model {
+    vars: Vec<Variable>,
+    constraints: Vec<Constraint>,
+    objective: Vec<(VarId, f64)>,
+    objective_offset: f64,
+    /// Branching priority per variable (higher = decided first); absent
+    /// entries default to 0.
+    priorities: Vec<(VarId, i32)>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    #[must_use]
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Adds a binary variable and returns its id.
+    pub fn add_binary(&mut self, name: impl Into<String>) -> VarId {
+        let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
+        self.vars.push(Variable {
+            name: name.into(),
+            ty: VarType::Binary,
+            lower: 0.0,
+            upper: 1.0,
+        });
+        id
+    }
+
+    /// Adds a continuous variable with the given bounds and returns its id.
+    pub fn add_continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
+        let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
+        self.vars.push(Variable {
+            name: name.into(),
+            ty: VarType::Continuous,
+            lower,
+            upper,
+        });
+        id
+    }
+
+    /// Convenience builder for an expression over this model's variables.
+    ///
+    /// Purely syntactic sugar — the terms are not validated until
+    /// [`Model::validate`].
+    #[must_use]
+    pub fn expr(&self, terms: impl IntoIterator<Item = (VarId, f64)>) -> LinExpr {
+        LinExpr::from_terms(terms)
+    }
+
+    /// Adds a constraint; the comparison's expression is normalised and its
+    /// constant folded into the right-hand side.
+    pub fn add_constraint(&mut self, name: impl Into<String>, cmp: Comparison) {
+        let expr = cmp.expr.normalize();
+        let rhs = cmp.rhs - expr.constant_part();
+        self.constraints.push(Constraint {
+            name: name.into(),
+            terms: expr.terms().to_vec(),
+            sense: cmp.sense,
+            rhs,
+        });
+    }
+
+    /// Sets the (minimisation) objective.
+    pub fn set_objective(&mut self, expr: LinExpr) {
+        let expr = expr.normalize();
+        self.objective_offset = expr.constant_part();
+        self.objective = expr.terms().to_vec();
+    }
+
+    /// Overrides the bounds of `v` (e.g. to fix a binary to a constant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn set_bounds(&mut self, v: VarId, lower: f64, upper: f64) {
+        let var = &mut self.vars[v.index()];
+        var.lower = lower;
+        var.upper = upper;
+    }
+
+    /// Fixes a binary variable to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn fix_binary(&mut self, v: VarId, value: bool) {
+        let x = if value { 1.0 } else { 0.0 };
+        self.set_bounds(v, x, x);
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The variable table.
+    #[must_use]
+    pub fn variables(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// The variable with id `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn variable(&self, v: VarId) -> &Variable {
+        &self.vars[v.index()]
+    }
+
+    /// The constraint table.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Objective terms (without offset).
+    #[must_use]
+    pub fn objective(&self) -> &[(VarId, f64)] {
+        &self.objective
+    }
+
+    /// Constant offset of the objective.
+    #[must_use]
+    pub fn objective_offset(&self) -> f64 {
+        self.objective_offset
+    }
+
+    /// Objective coefficient of `v` (0 if absent).
+    #[must_use]
+    pub fn objective_coefficient(&self, v: VarId) -> f64 {
+        self.objective
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map_or(0.0, |&(_, c)| c)
+    }
+
+    /// Evaluates the objective on an assignment.
+    #[must_use]
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        self.objective_offset
+            + self
+                .objective
+                .iter()
+                .map(|&(v, c)| c * values[v.index()])
+                .sum::<f64>()
+    }
+
+    /// Checks an assignment for feasibility: bounds, integrality of binary
+    /// variables and every constraint, all within `tol`.
+    #[must_use]
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (i, var) in self.vars.iter().enumerate() {
+            let x = values[i];
+            if x < var.lower - tol || x > var.upper + tol {
+                return false;
+            }
+            if var.ty == VarType::Binary && (x - x.round()).abs() > tol {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| c.is_satisfied(values, tol))
+    }
+
+    /// Index of the first violated constraint, if any.
+    #[must_use]
+    pub fn first_violated(&self, values: &[f64], tol: f64) -> Option<usize> {
+        self.constraints
+            .iter()
+            .position(|c| !c.is_satisfied(values, tol))
+    }
+
+    /// Validates variable bounds and coefficient finiteness.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.vars.is_empty() {
+            return Err(ModelError::Empty);
+        }
+        for (i, var) in self.vars.iter().enumerate() {
+            let bad = var.lower > var.upper
+                || var.lower.is_nan()
+                || var.upper.is_nan()
+                || var.lower == f64::INFINITY
+                || var.upper == f64::NEG_INFINITY;
+            if bad {
+                return Err(ModelError::BadBounds {
+                    var: VarId(i as u32),
+                    lower: var.lower,
+                    upper: var.upper,
+                });
+            }
+        }
+        for c in &self.constraints {
+            if !c.rhs.is_finite() || c.terms.iter().any(|&(_, co)| !co.is_finite()) {
+                return Err(ModelError::NonFiniteCoefficient {
+                    location: c.name.clone(),
+                });
+            }
+        }
+        if self
+            .objective
+            .iter()
+            .any(|&(_, c)| !c.is_finite())
+            || !self.objective_offset.is_finite()
+        {
+            return Err(ModelError::NonFiniteCoefficient {
+                location: "objective".to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Sets the branching priority of `v`. Solvers decide fractional
+    /// variables of the highest priority class first; the default priority
+    /// is 0. Use this to mark "decision" variables whose fixation implies
+    /// the rest (e.g. placement variables in an assignment model).
+    pub fn set_branch_priority(&mut self, v: VarId, priority: i32) {
+        self.priorities.push((v, priority));
+    }
+
+    /// Dense per-variable branching priorities.
+    #[must_use]
+    pub fn branch_priorities(&self) -> Vec<i32> {
+        let mut p = vec![0; self.vars.len()];
+        for &(v, pr) in &self.priorities {
+            if v.index() < p.len() {
+                p[v.index()] = pr;
+            }
+        }
+        p
+    }
+
+    /// Ids of all binary variables.
+    pub fn binary_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.ty == VarType::Binary)
+            .map(|(i, _)| VarId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint("c", m.expr([(x, 1.0), (y, 2.0)]).leq(5.0));
+        m.set_objective(m.expr([(x, 3.0), (y, 1.0)]));
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.variable(x).ty, VarType::Binary);
+        assert_eq!(m.variable(y).upper, 10.0);
+        assert_eq!(m.objective_coefficient(x), 3.0);
+        assert_eq!(m.objective_coefficient(y), 1.0);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn constant_folds_into_rhs() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let mut e = m.expr([(x, 1.0)]);
+        e.add_constant(2.0);
+        m.add_constraint("c", e.leq(5.0));
+        assert_eq!(m.constraints()[0].rhs, 3.0);
+    }
+
+    #[test]
+    fn feasibility_checks_bounds_integrality_constraints() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("c", m.expr([(x, 1.0), (y, 1.0)]).geq(1.0));
+        assert!(m.is_feasible(&[1.0, 0.0], 1e-9));
+        assert!(!m.is_feasible(&[0.0, 0.0], 1e-9)); // violates c
+        assert!(!m.is_feasible(&[0.5, 1.0], 1e-9)); // fractional binary
+        assert!(!m.is_feasible(&[2.0, 0.0], 1e-9)); // out of bounds
+        assert!(!m.is_feasible(&[1.0], 1e-9)); // wrong arity
+    }
+
+    #[test]
+    fn validate_rejects_bad_bounds() {
+        let mut m = Model::new();
+        let _ = m.add_continuous("y", 3.0, 1.0);
+        assert!(matches!(m.validate(), Err(ModelError::BadBounds { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.add_constraint("c", m.expr([(x, f64::NAN)]).leq(1.0));
+        assert!(matches!(
+            m.validate(),
+            Err(ModelError::NonFiniteCoefficient { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        assert_eq!(Model::new().validate(), Err(ModelError::Empty));
+    }
+
+    #[test]
+    fn objective_value_includes_offset() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let mut e = m.expr([(x, 2.0)]);
+        e.add_constant(7.0);
+        m.set_objective(e);
+        assert_eq!(m.objective_value(&[1.0]), 9.0);
+    }
+
+    #[test]
+    fn binary_vars_iterator() {
+        let mut m = Model::new();
+        let _x = m.add_binary("x");
+        let _y = m.add_continuous("y", 0.0, 1.0);
+        let _z = m.add_binary("z");
+        let bins: Vec<_> = m.binary_vars().map(|v| v.index()).collect();
+        assert_eq!(bins, vec![0, 2]);
+    }
+}

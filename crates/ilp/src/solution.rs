@@ -1,0 +1,72 @@
+//! Solutions and the incumbent stream.
+
+use crate::expr::VarId;
+use serde::{Deserialize, Serialize};
+
+/// A feasible assignment together with its objective value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    values: Vec<f64>,
+    objective: f64,
+}
+
+impl Solution {
+    /// Creates a solution from raw values and a pre-computed objective.
+    #[must_use]
+    pub fn new(values: Vec<f64>, objective: f64) -> Self {
+        Solution { values, objective }
+    }
+
+    /// Objective value of this solution.
+    #[must_use]
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the solved model.
+    #[must_use]
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// Returns `true` if the binary-rounded value of `v` is 1.
+    #[must_use]
+    pub fn is_one(&self, v: VarId) -> bool {
+        self.value(v) > 0.5
+    }
+
+    /// The full assignment vector, indexed by variable.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// One improving solution in the solver's anytime stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncumbentEvent {
+    /// Objective value of the new incumbent.
+    pub objective: f64,
+    /// Deterministic time (seconds) at which it was found.
+    pub det_time: f64,
+    /// The solution itself.
+    pub solution: Solution,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_lookup() {
+        let s = Solution::new(vec![0.0, 1.0, 0.5], 3.0);
+        assert_eq!(s.objective(), 3.0);
+        assert!(!s.is_one(VarId(0)));
+        assert!(s.is_one(VarId(1)));
+        assert_eq!(s.values().len(), 3);
+    }
+}

@@ -1,0 +1,919 @@
+//! Anytime branch-and-bound solver with diving and LNS heuristics.
+
+use crate::clock::DeterministicClock;
+use crate::expr::VarId;
+use crate::model::{Model, VarType};
+use crate::simplex::{solve_relaxation, LpConfig, LpStatus};
+use crate::solution::{IncumbentEvent, Solution};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Tolerance under which a relaxation value counts as integral.
+const INT_TOL: f64 = 1e-6;
+/// Feasibility tolerance for accepting solutions.
+const FEAS_TOL: f64 = 1e-6;
+
+/// Branching variable selection rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BranchRule {
+    /// Branch on the binary whose relaxation value is closest to 0.5.
+    #[default]
+    MostFractional,
+    /// Branch on the binary with the best pseudo-cost score, falling back
+    /// to most-fractional until history accumulates.
+    PseudoCost,
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Deterministic-time budget in seconds (see
+    /// [`DeterministicClock`]). The solver stops improving when exhausted.
+    pub det_time_limit: f64,
+    /// Maximum number of branch-and-bound nodes to expand.
+    pub node_limit: u64,
+    /// Relative optimality gap at which the search stops and reports
+    /// [`SolveStatus::Optimal`].
+    pub gap_tolerance: f64,
+    /// RNG seed; fixes the entire solve deterministically.
+    pub seed: u64,
+    /// Enables periodic large-neighbourhood search around the incumbent.
+    pub enable_lns: bool,
+    /// Fraction of binaries released per LNS round.
+    pub lns_destroy_fraction: f64,
+    /// Branching rule.
+    pub branch_rule: BranchRule,
+    /// LP subsolver configuration.
+    pub lp: LpConfig,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            det_time_limit: 30.0,
+            node_limit: 200_000,
+            gap_tolerance: 1e-6,
+            seed: 0,
+            enable_lns: true,
+            lns_destroy_fraction: 0.3,
+            branch_rule: BranchRule::MostFractional,
+            lp: LpConfig::default(),
+        }
+    }
+}
+
+impl SolverConfig {
+    /// Returns a copy with the given deterministic-time budget.
+    #[must_use]
+    pub fn with_det_time_limit(mut self, seconds: f64) -> Self {
+        self.det_time_limit = seconds;
+        self
+    }
+
+    /// Returns a copy with the given seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Final status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// Optimality proved (tree exhausted or gap closed).
+    Optimal,
+    /// A feasible solution exists but optimality was not proved.
+    Feasible,
+    /// The model was proved infeasible.
+    Infeasible,
+    /// Budget exhausted with no feasible solution and no infeasibility proof.
+    Unknown,
+}
+
+/// Result of [`Solver::solve`].
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// Final status.
+    pub status: SolveStatus,
+    /// Best solution found, if any.
+    pub best: Option<Solution>,
+    /// Best proven lower bound on the objective.
+    pub best_bound: f64,
+    /// Deterministic time consumed, in seconds.
+    pub det_time: f64,
+    /// Branch-and-bound nodes expanded.
+    pub nodes: u64,
+    /// Every improving solution in discovery order with timestamps.
+    pub incumbents: Vec<IncumbentEvent>,
+}
+
+impl SolveResult {
+    /// Relative gap between incumbent and bound (`inf` without incumbent).
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        match &self.best {
+            None => f64::INFINITY,
+            Some(s) => {
+                let inc = s.objective();
+                if inc.abs() < 1e-12 {
+                    (inc - self.best_bound).abs()
+                } else {
+                    (inc - self.best_bound).abs() / inc.abs().max(1e-12)
+                }
+            }
+        }
+    }
+}
+
+/// The anytime 0/1 ILP solver.
+///
+/// See the [crate-level docs](crate) for an end-to-end example.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    config: SolverConfig,
+}
+
+#[derive(Debug)]
+struct Node {
+    /// Index of the parent in the arena, `usize::MAX` for the root.
+    parent: usize,
+    /// Branching decision applied on top of the parent's bounds.
+    var: u32,
+    lower: f64,
+    upper: f64,
+    /// LP bound inherited from the parent at creation time.
+    bound: f64,
+    depth: u32,
+}
+
+/// Heap entry ordered so the smallest bound pops first.
+struct OpenNode {
+    bound: f64,
+    seq: u64,
+    node: usize,
+}
+
+impl PartialEq for OpenNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.seq == other.seq
+    }
+}
+impl Eq for OpenNode {}
+impl PartialOrd for OpenNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OpenNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the lowest bound wins;
+        // tie-break on recency for a mild plunging bias.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+struct Search<'a> {
+    model: &'a Model,
+    cfg: &'a SolverConfig,
+    clock: DeterministicClock,
+    incumbent: Option<Solution>,
+    events: Vec<IncumbentEvent>,
+    rng: SmallRng,
+    /// True when every objective coefficient is integral, enabling the
+    /// stronger `incumbent − 1` cutoff.
+    integral_objective: bool,
+    pseudo_up: Vec<(f64, u32)>,
+    pseudo_down: Vec<(f64, u32)>,
+    /// Per-variable branching priority (higher = decided first).
+    priorities: Vec<i32>,
+    nodes: u64,
+}
+
+impl<'a> Search<'a> {
+    fn new(model: &'a Model, cfg: &'a SolverConfig) -> Self {
+        let integral_objective = model
+            .objective()
+            .iter()
+            .all(|&(_, c)| (c - c.round()).abs() < 1e-9)
+            && (model.objective_offset() - model.objective_offset().round()).abs() < 1e-9;
+        Search {
+            model,
+            cfg,
+            clock: DeterministicClock::new(),
+            incumbent: None,
+            events: Vec::new(),
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            integral_objective,
+            pseudo_up: vec![(0.0, 0); model.num_vars()],
+            pseudo_down: vec![(0.0, 0); model.num_vars()],
+            priorities: model.branch_priorities(),
+            nodes: 0,
+        }
+    }
+
+    /// Highest branching priority among fractional binaries, if any.
+    fn top_fractional_priority(&self, values: &[f64]) -> Option<i32> {
+        self.model
+            .binary_vars()
+            .filter(|v| {
+                let x = values[v.index()];
+                (x - x.round()).abs() > INT_TOL
+            })
+            .map(|v| self.priorities[v.index()])
+            .max()
+    }
+
+    fn out_of_budget(&self) -> bool {
+        self.clock.seconds() >= self.cfg.det_time_limit || self.nodes >= self.cfg.node_limit
+    }
+
+    /// LP configuration whose iteration cap cannot blow the remaining
+    /// deterministic budget: one pivot costs ≈ `2·m·n_cols` ticks, so the
+    /// cap is `remaining_ticks / pivot_cost` (with a small floor so tiny
+    /// subproblems always make progress).
+    fn lp_config(&self) -> LpConfig {
+        let remaining = (self.cfg.det_time_limit - self.clock.seconds()).max(0.0);
+        let m = self.model.num_constraints().max(1);
+        let n_cols = self.model.num_vars() + 2 * m;
+        let per_pivot = (2 * m * n_cols) as f64 / 1e9;
+        let iters = (remaining / per_pivot.max(1e-12)) as u64;
+        LpConfig {
+            max_iterations: iters.clamp(64, self.cfg.lp.max_iterations),
+        }
+    }
+
+    /// Objective value any new incumbent must beat.
+    fn cutoff(&self) -> f64 {
+        match &self.incumbent {
+            None => f64::INFINITY,
+            Some(s) => {
+                if self.integral_objective {
+                    s.objective() - 1.0 + 1e-6
+                } else {
+                    s.objective() - 1e-9
+                }
+            }
+        }
+    }
+
+    fn try_accept(&mut self, values: Vec<f64>, callback: &mut dyn FnMut(&IncumbentEvent)) -> bool {
+        // Round binaries defensively before the feasibility check.
+        let mut values = values;
+        for v in self.model.binary_vars() {
+            let x = values[v.index()];
+            values[v.index()] = x.round().clamp(0.0, 1.0);
+        }
+        if !self.model.is_feasible(&values, FEAS_TOL) {
+            return false;
+        }
+        let obj = self.model.objective_value(&values);
+        if self
+            .incumbent
+            .as_ref()
+            .is_some_and(|s| obj >= s.objective() - 1e-9)
+        {
+            return false;
+        }
+        let sol = Solution::new(values, obj);
+        let event = IncumbentEvent {
+            objective: obj,
+            det_time: self.clock.seconds(),
+            solution: sol.clone(),
+        };
+        callback(&event);
+        self.events.push(event);
+        self.incumbent = Some(sol);
+        true
+    }
+
+    /// LP-guided dive: repeatedly fix the most integral fractional binary
+    /// to its rounded value until the relaxation is integral or infeasible.
+    fn dive(
+        &mut self,
+        base_bounds: &[(f64, f64)],
+        deadline: f64,
+        callback: &mut dyn FnMut(&IncumbentEvent),
+    ) -> bool {
+        let mut bounds = base_bounds.to_vec();
+        for _ in 0..self.model.num_vars() + 1 {
+            if self.out_of_budget() || self.clock.seconds() >= deadline {
+                return false;
+            }
+            let lp = solve_relaxation(self.model, &bounds, &self.lp_config());
+            self.clock.charge(lp.work_ticks);
+            if lp.status != LpStatus::Optimal {
+                return false;
+            }
+            if lp.objective >= self.cutoff() {
+                return false;
+            }
+            // Batch-fix every near-integral binary at once, then the single
+            // most integral fractional one; one LP per round instead of one
+            // LP per variable.
+            let mut fractional = Vec::new();
+            for v in self.model.binary_vars() {
+                let x = lp.values[v.index()];
+                let frac = (x - x.round()).abs();
+                let (l, u) = bounds[v.index()];
+                if (u - l).abs() < 1e-12 {
+                    continue; // already fixed
+                }
+                if frac <= 0.02 {
+                    let r = x.round().clamp(0.0, 1.0);
+                    bounds[v.index()] = (r, r);
+                } else {
+                    fractional.push((v, x, frac));
+                }
+            }
+            match fractional
+                .iter()
+                .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+            {
+                None => {
+                    return self.try_accept(lp.values, callback);
+                }
+                Some(&(v, x, _)) => {
+                    let r = x.round().clamp(0.0, 1.0);
+                    bounds[v.index()] = (r, r);
+                }
+            }
+        }
+        false
+    }
+
+    /// Assignment dive: repeatedly drive the *largest* fractional binary to
+    /// 1 (backtracking to 0 when that turns infeasible). Far more robust
+    /// than batch rounding on partition-structured models, where every
+    /// neuron must pick exactly one slot.
+    fn dive_assign(
+        &mut self,
+        base_bounds: &[(f64, f64)],
+        callback: &mut dyn FnMut(&IncumbentEvent),
+    ) -> bool {
+        let mut bounds = base_bounds.to_vec();
+        let mut lp = solve_relaxation(self.model, &bounds, &self.lp_config());
+        self.clock.charge(lp.work_ticks);
+        if lp.status != LpStatus::Optimal || lp.objective >= self.cutoff() {
+            return false;
+        }
+        for _ in 0..2 * self.model.num_vars() {
+            if self.out_of_budget() {
+                return false;
+            }
+            // Largest fractional binary in the top priority class.
+            let top = self.top_fractional_priority(&lp.values);
+            let mut pick: Option<(VarId, f64)> = None;
+            for v in self.model.binary_vars() {
+                if Some(self.priorities[v.index()]) != top {
+                    continue;
+                }
+                let x = lp.values[v.index()];
+                let frac = (x - x.round()).abs();
+                if frac > INT_TOL && pick.is_none_or(|(_, best)| x > best) {
+                    pick = Some((v, x));
+                }
+            }
+            let Some((v, _)) = pick else {
+                return self.try_accept(lp.values, callback);
+            };
+            bounds[v.index()] = (1.0, 1.0);
+            let trial = solve_relaxation(self.model, &bounds, &self.lp_config());
+            self.clock.charge(trial.work_ticks);
+            if trial.status == LpStatus::Optimal && trial.objective < self.cutoff() {
+                lp = trial;
+                continue;
+            }
+            // Backtrack: force the variable off instead.
+            bounds[v.index()] = (0.0, 0.0);
+            let trial = solve_relaxation(self.model, &bounds, &self.lp_config());
+            self.clock.charge(trial.work_ticks);
+            if trial.status == LpStatus::Optimal && trial.objective < self.cutoff() {
+                lp = trial;
+            } else {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Chooses the branching variable among fractional binaries of the
+    /// highest priority class.
+    fn choose_branch(&self, values: &[f64]) -> Option<(VarId, f64)> {
+        let top = self.top_fractional_priority(values);
+        let mut best: Option<(VarId, f64, f64)> = None;
+        for v in self.model.binary_vars() {
+            if Some(self.priorities[v.index()]) != top {
+                continue;
+            }
+            let x = values[v.index()];
+            let frac = x - x.floor();
+            if !(INT_TOL..=1.0 - INT_TOL).contains(&frac) {
+                continue;
+            }
+            let score = match self.cfg.branch_rule {
+                BranchRule::MostFractional => 0.5 - (frac - 0.5).abs(),
+                BranchRule::PseudoCost => {
+                    let (up_sum, up_n) = self.pseudo_up[v.index()];
+                    let (dn_sum, dn_n) = self.pseudo_down[v.index()];
+                    if up_n == 0 || dn_n == 0 {
+                        // Uninitialised: fall back to fractionality.
+                        0.5 - (frac - 0.5).abs()
+                    } else {
+                        let up = (up_sum / f64::from(up_n)) * (1.0 - frac);
+                        let dn = (dn_sum / f64::from(dn_n)) * frac;
+                        up.max(1e-6) * dn.max(1e-6)
+                    }
+                }
+            };
+            if best.is_none_or(|(_, _, s)| score > s) {
+                best = Some((v, x, score));
+            }
+        }
+        best.map(|(v, x, _)| (v, x))
+    }
+
+    fn record_pseudo_cost(&mut self, var: VarId, frac: f64, up: bool, gain: f64) {
+        let slot = if up {
+            &mut self.pseudo_up[var.index()]
+        } else {
+            &mut self.pseudo_down[var.index()]
+        };
+        let denom = if up { 1.0 - frac } else { frac };
+        if denom > 1e-6 && gain.is_finite() {
+            slot.0 += (gain / denom).max(0.0);
+            slot.1 += 1;
+        }
+    }
+
+    /// Large-neighbourhood search: release a random subset of binaries and
+    /// re-optimise the rest around the incumbent.
+    fn lns_round(&mut self, base_bounds: &[(f64, f64)], callback: &mut dyn FnMut(&IncumbentEvent)) {
+        let Some(incumbent) = self.incumbent.clone() else {
+            return;
+        };
+        let binaries: Vec<VarId> = self.model.binary_vars().collect();
+        if binaries.is_empty() {
+            return;
+        }
+        let mut released = binaries.clone();
+        released.shuffle(&mut self.rng);
+        let keep = ((1.0 - self.cfg.lns_destroy_fraction) * binaries.len() as f64) as usize;
+        let frozen = &released[..keep.min(released.len())];
+
+        let mut bounds = base_bounds.to_vec();
+        for &v in frozen {
+            let x = incumbent.value(v).round().clamp(0.0, 1.0);
+            // Respect node bounds: only freeze if compatible.
+            let (l, u) = bounds[v.index()];
+            if x >= l - FEAS_TOL && x <= u + FEAS_TOL {
+                bounds[v.index()] = (x, x);
+            }
+        }
+        // Mini branch-and-bound on the restricted problem.
+        let budget = (self.cfg.det_time_limit - self.clock.seconds()).max(0.0);
+        let mini_budget = (budget * 0.2).min(2.0);
+        self.branch_and_bound(&bounds, 256, mini_budget, callback);
+    }
+
+    /// Core branch-and-bound over the given root bounds. Returns the best
+    /// proven bound for that subtree.
+    #[allow(clippy::too_many_lines)]
+    fn branch_and_bound(
+        &mut self,
+        root_bounds: &[(f64, f64)],
+        node_cap: u64,
+        det_budget: f64,
+        callback: &mut dyn FnMut(&IncumbentEvent),
+    ) -> f64 {
+        let start_time = self.clock.seconds();
+        let deadline = (start_time + det_budget).min(self.cfg.det_time_limit);
+        let mut arena: Vec<Node> = vec![Node {
+            parent: usize::MAX,
+            var: 0,
+            lower: 0.0,
+            upper: 0.0,
+            bound: f64::NEG_INFINITY,
+            depth: 0,
+        }];
+        let mut heap = BinaryHeap::new();
+        let mut seq = 0u64;
+        heap.push(OpenNode {
+            bound: f64::NEG_INFINITY,
+            seq,
+            node: 0,
+        });
+        let mut local_nodes = 0u64;
+        let mut subtree_bound = f64::INFINITY; // min over pruned-open bounds
+        let mut bounds_buf = root_bounds.to_vec();
+
+        while let Some(open) = heap.pop() {
+            if self.clock.seconds() >= deadline
+                || local_nodes >= node_cap
+                || self.out_of_budget()
+            {
+                // Remaining open nodes bound the subtree.
+                subtree_bound = subtree_bound.min(open.bound);
+                for rest in heap {
+                    subtree_bound = subtree_bound.min(rest.bound);
+                }
+                return subtree_bound;
+            }
+            if open.bound >= self.cutoff() {
+                continue; // pruned by a newer incumbent
+            }
+            // Reconstruct bounds along the ancestor chain.
+            bounds_buf.copy_from_slice(root_bounds);
+            {
+                let mut at = open.node;
+                while at != usize::MAX {
+                    let n = &arena[at];
+                    if n.parent != usize::MAX {
+                        let (l, u) = bounds_buf[n.var as usize];
+                        bounds_buf[n.var as usize] = (l.max(n.lower), u.min(n.upper));
+                    }
+                    at = n.parent;
+                }
+            }
+            let lp = solve_relaxation(self.model, &bounds_buf, &self.lp_config());
+            self.clock.charge(lp.work_ticks);
+            self.nodes += 1;
+            local_nodes += 1;
+            match lp.status {
+                LpStatus::Infeasible => continue,
+                LpStatus::Unbounded => {
+                    // A bounded-binary model cannot be unbounded unless it
+                    // has unbounded continuous vars; treat as no information.
+                    subtree_bound = f64::NEG_INFINITY;
+                    continue;
+                }
+                LpStatus::IterLimit => {
+                    // No valid bound; keep the subtree conservatively open.
+                    subtree_bound = subtree_bound.min(open.bound.max(f64::NEG_INFINITY));
+                    continue;
+                }
+                LpStatus::Optimal => {}
+            }
+            let node_bound = lp.objective;
+            if node_bound >= self.cutoff() {
+                continue;
+            }
+            // Update parent pseudo costs from the realised bound change.
+            if open.node != 0 {
+                let n = &arena[open.node];
+                let parent_bound = n.bound;
+                if parent_bound.is_finite() {
+                    let gain = (node_bound - parent_bound).max(0.0);
+                    let up = n.lower > 0.5;
+                    let var = VarId(n.var);
+                    // The fraction at branching is unknown here; approximate
+                    // with 0.5 which keeps scores comparable.
+                    self.record_pseudo_cost(var, 0.5, up, gain);
+                }
+            }
+            match self.choose_branch(&lp.values) {
+                None => {
+                    // Integral relaxation: candidate incumbent.
+                    self.try_accept(lp.values, callback);
+                    subtree_bound = subtree_bound.min(node_bound);
+                }
+                Some((v, _x)) => {
+                    for (lo, hi) in [(0.0, 0.0), (1.0, 1.0)] {
+                        arena.push(Node {
+                            parent: open.node,
+                            var: v.0,
+                            lower: lo,
+                            upper: hi,
+                            bound: node_bound,
+                            depth: arena[open.node].depth + 1,
+                        });
+                        seq += 1;
+                        heap.push(OpenNode {
+                            bound: node_bound,
+                            seq,
+                            node: arena.len() - 1,
+                        });
+                    }
+                }
+            }
+        }
+        // Tree exhausted: the subtree bound is the incumbent (or +inf).
+        subtree_bound.min(
+            self.incumbent
+                .as_ref()
+                .map_or(f64::INFINITY, Solution::objective),
+        )
+    }
+}
+
+impl Solver {
+    /// Creates a solver with the given configuration.
+    #[must_use]
+    pub fn new(config: SolverConfig) -> Self {
+        Solver { config }
+    }
+
+    /// The solver's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Solves `model` to the configured budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model fails validation; call
+    /// [`Model::validate`] first for a recoverable error.
+    #[must_use]
+    pub fn solve(&self, model: &Model) -> SolveResult {
+        self.solve_with_callback(model, None, |_| {})
+    }
+
+    /// Solves with an optional warm-start assignment.
+    #[must_use]
+    pub fn solve_with_warm_start(&self, model: &Model, warm: &[f64]) -> SolveResult {
+        self.solve_with_callback(model, Some(warm), |_| {})
+    }
+
+    /// Solves, invoking `callback` for every improving incumbent as it is
+    /// discovered (the paper's "intermediate solutions" stream).
+    #[must_use]
+    pub fn solve_with_callback(
+        &self,
+        model: &Model,
+        warm: Option<&[f64]>,
+        mut callback: impl FnMut(&IncumbentEvent),
+    ) -> SolveResult {
+        model.validate().expect("model must validate");
+        let mut search = Search::new(model, &self.config);
+        let root_bounds: Vec<(f64, f64)> = model
+            .variables()
+            .iter()
+            .map(|v| match v.ty {
+                VarType::Binary => (v.lower.max(0.0), v.upper.min(1.0)),
+                VarType::Continuous => (v.lower, v.upper),
+            })
+            .collect();
+
+        // 1. Warm start.
+        if let Some(w) = warm {
+            search.try_accept(w.to_vec(), &mut callback);
+        }
+
+        // 2. Root dives for a first incumbent: fast batch rounding on a
+        //    quarter of the budget, then the more robust assignment dive.
+        if search.incumbent.is_none() {
+            let deadline = search.clock.seconds() + 0.25 * self.config.det_time_limit;
+            search.dive(&root_bounds, deadline, &mut callback);
+        }
+        if search.incumbent.is_none() {
+            search.dive_assign(&root_bounds, &mut callback);
+        }
+
+        // 3. Main branch-and-bound with periodic LNS.
+        let mut proved = f64::NEG_INFINITY;
+        let mut infeasible_proved = false;
+        {
+            let remaining = self.config.det_time_limit - search.clock.seconds();
+            if remaining > 0.0 {
+                let bound = search.branch_and_bound(
+                    &root_bounds,
+                    self.config.node_limit,
+                    remaining,
+                    &mut callback,
+                );
+                proved = proved.max(bound.min(f64::INFINITY));
+                if bound == f64::INFINITY && search.incumbent.is_none() {
+                    infeasible_proved = true;
+                }
+            }
+        }
+        // 4. LNS polishing while budget remains.
+        if self.config.enable_lns {
+            let mut stale_rounds = 0u32;
+            while !search.out_of_budget() && search.incumbent.is_some() && stale_rounds < 8 {
+                let before = search.incumbent.as_ref().map(Solution::objective);
+                search.lns_round(&root_bounds, &mut callback);
+                let after = search.incumbent.as_ref().map(Solution::objective);
+                if after >= before {
+                    stale_rounds += 1;
+                } else {
+                    stale_rounds = 0;
+                }
+                // LNS rounds always consume clock; guard against zero-cost loops.
+                search.clock.charge(1_000);
+            }
+        }
+
+        let det_time = search.clock.seconds();
+        let nodes = search.nodes;
+        let best = search.incumbent.clone();
+        let status = match (&best, infeasible_proved) {
+            (None, true) => SolveStatus::Infeasible,
+            (None, false) => SolveStatus::Unknown,
+            (Some(sol), _) => {
+                let gap_closed = proved.is_finite()
+                    && (sol.objective() - proved).abs()
+                        <= self.config.gap_tolerance * sol.objective().abs().max(1.0);
+                let exhausted = proved >= sol.objective() - 1e-9;
+                if gap_closed || exhausted {
+                    SolveStatus::Optimal
+                } else {
+                    SolveStatus::Feasible
+                }
+            }
+        };
+        SolveResult {
+            status,
+            best,
+            best_bound: if proved.is_finite() {
+                proved
+            } else {
+                f64::NEG_INFINITY
+            },
+            det_time,
+            nodes,
+            incumbents: search.events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+
+    fn quick_config() -> SolverConfig {
+        SolverConfig {
+            det_time_limit: 5.0,
+            ..SolverConfig::default()
+        }
+    }
+
+    #[test]
+    fn trivial_binary_min() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.set_objective(m.expr([(x, 1.0)]));
+        let r = Solver::new(quick_config()).solve(&m);
+        assert_eq!(r.status, SolveStatus::Optimal);
+        assert_eq!(r.best.unwrap().value(x), 0.0);
+    }
+
+    #[test]
+    fn covering_instance() {
+        // Odd-cycle cover needs 2 vertices even though LP says 1.5.
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint("e1", m.expr([(a, 1.0), (b, 1.0)]).geq(1.0));
+        m.add_constraint("e2", m.expr([(b, 1.0), (c, 1.0)]).geq(1.0));
+        m.add_constraint("e3", m.expr([(a, 1.0), (c, 1.0)]).geq(1.0));
+        m.set_objective(m.expr([(a, 1.0), (b, 1.0), (c, 1.0)]));
+        let r = Solver::new(quick_config()).solve(&m);
+        assert_eq!(r.status, SolveStatus::Optimal);
+        assert!((r.best.unwrap().objective() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knapsack_instance() {
+        // max 10a + 13b + 7c st 3a + 4b + 2c <= 6 → b + c = 20.
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint("w", m.expr([(a, 3.0), (b, 4.0), (c, 2.0)]).leq(6.0));
+        m.set_objective(m.expr([(a, -10.0), (b, -13.0), (c, -7.0)]));
+        let r = Solver::new(quick_config()).solve(&m);
+        assert_eq!(r.status, SolveStatus::Optimal);
+        let s = r.best.unwrap();
+        assert!((s.objective() + 20.0).abs() < 1e-6, "obj {}", s.objective());
+        assert!(s.is_one(b) && s.is_one(c) && !s.is_one(a));
+    }
+
+    #[test]
+    fn infeasible_model() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.add_constraint("c1", m.expr([(x, 1.0)]).geq(1.0));
+        m.add_constraint("c2", m.expr([(x, 1.0)]).leq(0.0));
+        m.set_objective(m.expr([(x, 1.0)]));
+        let r = Solver::new(quick_config()).solve(&m);
+        assert_eq!(r.status, SolveStatus::Infeasible);
+        assert!(r.best.is_none());
+    }
+
+    #[test]
+    fn warm_start_is_used() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("c", m.expr([(x, 1.0), (y, 1.0)]).geq(1.0));
+        m.set_objective(m.expr([(x, 5.0), (y, 9.0)]));
+        let warm = vec![0.0, 1.0]; // feasible but suboptimal
+        let r = Solver::new(quick_config()).solve_with_warm_start(&m, &warm);
+        assert_eq!(r.status, SolveStatus::Optimal);
+        // First incumbent must be the warm start, later improved.
+        assert!((r.incumbents[0].objective - 9.0).abs() < 1e-9);
+        assert!((r.best.unwrap().objective() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incumbent_stream_is_monotone() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..12).map(|i| m.add_binary(format!("x{i}"))).collect();
+        // Partition 12 items into pairs; cover each of 6 "elements" once.
+        for e in 0..6 {
+            m.add_constraint(
+                format!("cover{e}"),
+                m.expr([(vars[e], 1.0), (vars[e + 6], 1.0)]).geq(1.0),
+            );
+        }
+        m.set_objective(m.expr(vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + i as f64))));
+        let r = Solver::new(quick_config()).solve(&m);
+        assert!(!r.incumbents.is_empty());
+        for w in r.incumbents.windows(2) {
+            assert!(w[1].objective < w[0].objective);
+            assert!(w[1].det_time >= w[0].det_time);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..10).map(|i| m.add_binary(format!("x{i}"))).collect();
+        for i in 0..5 {
+            m.add_constraint(
+                format!("c{i}"),
+                m.expr([(vars[2 * i], 1.0), (vars[2 * i + 1], 1.0)]).geq(1.0),
+            );
+        }
+        m.set_objective(m.expr(vars.iter().enumerate().map(|(i, &v)| (v, (i % 3 + 1) as f64))));
+        let r1 = Solver::new(quick_config()).solve(&m);
+        let r2 = Solver::new(quick_config()).solve(&m);
+        assert_eq!(r1.nodes, r2.nodes);
+        assert_eq!(r1.det_time, r2.det_time);
+        assert_eq!(
+            r1.best.as_ref().map(Solution::objective),
+            r2.best.as_ref().map(Solution::objective)
+        );
+    }
+
+    #[test]
+    fn equality_partition() {
+        // x + y + z = 2 minimising x+2y+3z → x=y=1.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary("z");
+        m.add_constraint("eq", m.expr([(x, 1.0), (y, 1.0), (z, 1.0)]).eq(2.0));
+        m.set_objective(m.expr([(x, 1.0), (y, 2.0), (z, 3.0)]));
+        let r = Solver::new(quick_config()).solve(&m);
+        let s = r.best.unwrap();
+        assert!((s.objective() - 3.0).abs() < 1e-6);
+        assert!(s.is_one(x) && s.is_one(y) && !s.is_one(z));
+    }
+
+    #[test]
+    fn pseudo_cost_rule_solves_too() {
+        let cfg = SolverConfig {
+            branch_rule: BranchRule::PseudoCost,
+            ..quick_config()
+        };
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint("e1", m.expr([(a, 1.0), (b, 1.0)]).geq(1.0));
+        m.add_constraint("e2", m.expr([(b, 1.0), (c, 1.0)]).geq(1.0));
+        m.add_constraint("e3", m.expr([(a, 1.0), (c, 1.0)]).geq(1.0));
+        m.set_objective(m.expr([(a, 1.0), (b, 1.0), (c, 1.0)]));
+        let r = Solver::new(cfg).solve(&m);
+        assert!((r.best.unwrap().objective() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // Binary gate y pays fixed cost 10 to allow continuous x ≤ 5y.
+        // Need x ≥ 3 → y = 1, x = 3, obj = 10 + 3.
+        let mut m = Model::new();
+        let y = m.add_binary("y");
+        let x = m.add_continuous("x", 0.0, 5.0);
+        m.add_constraint("gate", m.expr([(x, 1.0), (y, -5.0)]).leq(0.0));
+        m.add_constraint("demand", m.expr([(x, 1.0)]).geq(3.0));
+        m.set_objective(m.expr([(y, 10.0), (x, 1.0)]));
+        let r = Solver::new(quick_config()).solve(&m);
+        let s = r.best.unwrap();
+        assert!(s.is_one(y));
+        assert!((s.objective() - 13.0).abs() < 1e-6);
+    }
+}

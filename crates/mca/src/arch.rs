@@ -1,0 +1,157 @@
+//! Architecture specifications: the catalog of crossbar dimensions a target
+//! platform offers.
+
+use crate::CrossbarDim;
+use serde::{Deserialize, Serialize};
+
+/// A target architecture, described by the set of crossbar dimensions it can
+/// instantiate.
+///
+/// A *homogeneous* architecture offers a single dimension (the paper's
+/// baseline uses 16×16, the smallest power-of-two square that fits the most
+/// fan-in-intense network of Table I). A *heterogeneous* architecture offers
+/// several dimensions simultaneously; the paper's Table II combines square
+/// crossbars 4×4 … 32×32 with multi-macro stacked variants up to 32 input
+/// channels.
+///
+/// ```
+/// use croxmap_mca::{ArchitectureSpec, CrossbarDim};
+/// let hom = ArchitectureSpec::homogeneous(CrossbarDim::square(16));
+/// assert_eq!(hom.catalog(), &[CrossbarDim::square(16)]);
+/// assert!(hom.is_homogeneous());
+/// let het = ArchitectureSpec::table_ii_heterogeneous();
+/// assert!(!het.is_homogeneous());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchitectureSpec {
+    name: String,
+    catalog: Vec<CrossbarDim>,
+}
+
+impl ArchitectureSpec {
+    /// Creates an architecture from a name and a catalog of dimensions.
+    ///
+    /// Duplicate dimensions are merged and the catalog is sorted for
+    /// deterministic downstream behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `catalog` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, catalog: impl IntoIterator<Item = CrossbarDim>) -> Self {
+        let mut catalog: Vec<CrossbarDim> = catalog.into_iter().collect();
+        assert!(!catalog.is_empty(), "architecture catalog must not be empty");
+        catalog.sort();
+        catalog.dedup();
+        ArchitectureSpec {
+            name: name.into(),
+            catalog,
+        }
+    }
+
+    /// A homogeneous architecture offering a single crossbar dimension.
+    #[must_use]
+    pub fn homogeneous(dim: CrossbarDim) -> Self {
+        ArchitectureSpec::new(format!("homogeneous-{dim}"), [dim])
+    }
+
+    /// The paper's homogeneous baseline: 16×16 crossbars (§V-C).
+    #[must_use]
+    pub fn paper_homogeneous() -> Self {
+        ArchitectureSpec::homogeneous(CrossbarDim::square(16))
+    }
+
+    /// The paper's heterogeneous configuration (Table II): power-of-two
+    /// square crossbars 4×4 through 32×32 plus multi-macro 2×/4×/8× stacked
+    /// variants, excluding anything above 32 input channels.
+    #[must_use]
+    pub fn table_ii_heterogeneous() -> Self {
+        let mut dims = Vec::new();
+        for base in [4u32, 8, 16, 32] {
+            for factor in [1u32, 2, 4, 8] {
+                let dim = CrossbarDim::multi_macro(base, factor);
+                if dim.inputs() <= 32 {
+                    dims.push(dim);
+                }
+            }
+        }
+        ArchitectureSpec::new("table-ii-heterogeneous", dims)
+    }
+
+    /// The architecture's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sorted, de-duplicated catalog of offered dimensions.
+    #[must_use]
+    pub fn catalog(&self) -> &[CrossbarDim] {
+        &self.catalog
+    }
+
+    /// Returns `true` if the catalog has exactly one dimension.
+    #[must_use]
+    pub fn is_homogeneous(&self) -> bool {
+        self.catalog.len() == 1
+    }
+
+    /// The largest number of input lines any catalog member offers. A
+    /// network whose maximum fan-in exceeds this cannot be mapped.
+    #[must_use]
+    pub fn max_inputs(&self) -> u32 {
+        self.catalog.iter().map(|d| d.inputs()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_matches_paper() {
+        let arch = ArchitectureSpec::table_ii_heterogeneous();
+        let expected: Vec<CrossbarDim> = [
+            (4, 4),
+            (8, 4),
+            (16, 4),
+            (32, 4),
+            (8, 8),
+            (16, 8),
+            (32, 8),
+            (16, 16),
+            (32, 16),
+            (32, 32),
+        ]
+        .into_iter()
+        .map(|(i, o)| CrossbarDim::new(i, o))
+        .collect();
+        let mut expected = expected;
+        expected.sort();
+        assert_eq!(arch.catalog(), expected.as_slice());
+        assert_eq!(arch.catalog().len(), 10);
+        assert_eq!(arch.max_inputs(), 32);
+    }
+
+    #[test]
+    fn homogeneous_baseline() {
+        let arch = ArchitectureSpec::paper_homogeneous();
+        assert!(arch.is_homogeneous());
+        assert_eq!(arch.catalog(), &[CrossbarDim::square(16)]);
+    }
+
+    #[test]
+    fn duplicates_are_merged() {
+        let arch = ArchitectureSpec::new(
+            "dup",
+            [CrossbarDim::square(8), CrossbarDim::square(8)],
+        );
+        assert_eq!(arch.catalog().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_catalog_panics() {
+        let _ = ArchitectureSpec::new("empty", []);
+    }
+}

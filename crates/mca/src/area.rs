@@ -1,0 +1,112 @@
+//! Crossbar area cost model (the `C_j` coefficients of objective Eq. 8).
+
+use crate::CrossbarDim;
+use serde::{Deserialize, Serialize};
+
+/// Computes the area cost `C_j` of enabling a crossbar.
+///
+/// The paper's experiments "only consider memristor count to focus on the
+/// effectiveness of our method absent of hardware specifics", but the
+/// formulation explicitly supports a per-crossbar overhead term for
+/// peripheral circuitry (drivers, ADCs, routers) that scales super-linearly
+/// with nothing — it is a constant per enabled unit. Both knobs are exposed:
+///
+/// `cost(dim) = per_memristor · inputs · outputs + per_crossbar`
+///
+/// ```
+/// use croxmap_mca::{AreaModel, CrossbarDim};
+/// let paper = AreaModel::memristor_count();
+/// assert_eq!(paper.cost(CrossbarDim::new(16, 4)), 64.0);
+/// let with_overhead = AreaModel::new(1.0, 100.0);
+/// assert_eq!(with_overhead.cost(CrossbarDim::new(16, 4)), 164.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    per_memristor: f64,
+    per_crossbar: f64,
+}
+
+impl AreaModel {
+    /// Creates an area model with the given per-device and per-crossbar costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cost is negative or not finite.
+    #[must_use]
+    pub fn new(per_memristor: f64, per_crossbar: f64) -> Self {
+        assert!(
+            per_memristor.is_finite() && per_memristor >= 0.0,
+            "per-memristor cost must be finite and non-negative"
+        );
+        assert!(
+            per_crossbar.is_finite() && per_crossbar >= 0.0,
+            "per-crossbar cost must be finite and non-negative"
+        );
+        AreaModel {
+            per_memristor,
+            per_crossbar,
+        }
+    }
+
+    /// The paper's experimental model: cost equals memristor count.
+    #[must_use]
+    pub fn memristor_count() -> Self {
+        AreaModel::new(1.0, 0.0)
+    }
+
+    /// Area cost `C_j` of a crossbar of dimension `dim`.
+    #[must_use]
+    pub fn cost(&self, dim: CrossbarDim) -> f64 {
+        self.per_memristor * dim.memristors() as f64 + self.per_crossbar
+    }
+
+    /// Per-memristor cost component.
+    #[must_use]
+    pub fn per_memristor(&self) -> f64 {
+        self.per_memristor
+    }
+
+    /// Per-crossbar constant overhead component.
+    #[must_use]
+    pub fn per_crossbar(&self) -> f64 {
+        self.per_crossbar
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::memristor_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_memristor_count() {
+        assert_eq!(AreaModel::default(), AreaModel::memristor_count());
+    }
+
+    #[test]
+    fn cost_is_monotone_in_dimensions() {
+        let m = AreaModel::memristor_count();
+        assert!(m.cost(CrossbarDim::new(8, 8)) < m.cost(CrossbarDim::new(16, 8)));
+        assert!(m.cost(CrossbarDim::new(16, 8)) < m.cost(CrossbarDim::new(16, 16)));
+    }
+
+    #[test]
+    fn overhead_penalises_many_small_crossbars() {
+        // With overhead, two 8x8s cost more than one 16x8.
+        let m = AreaModel::new(1.0, 50.0);
+        let two_small = 2.0 * m.cost(CrossbarDim::new(8, 8));
+        let one_tall = m.cost(CrossbarDim::new(16, 8));
+        assert!(two_small > one_tall);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_panics() {
+        let _ = AreaModel::new(-1.0, 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Crossbar dimensions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The dimensions of a single memristor crossbar: `inputs × outputs`
+/// (`A_j × N_j` in the paper's notation, printed "In x Out" as in Fig. 3).
+///
+/// * `inputs` — word lines; each carries the spikes of one *axon source*
+///   (a neuron feeding at least one neuron mapped to this crossbar).
+///   Thanks to axon sharing one word line can drive many synapses.
+/// * `outputs` — bit lines; each accumulates into exactly one neuron mapped
+///   to this crossbar.
+///
+/// The paper's multi-macro stacking technique (reference \[11\]) produces
+/// *tall* rectangular crossbars: stacking `f` square `b×b` macros yields a
+/// `(f·b)×b` crossbar — see [`CrossbarDim::multi_macro`].
+///
+/// ```
+/// use croxmap_mca::CrossbarDim;
+/// let dim = CrossbarDim::new(16, 4);
+/// assert_eq!(dim.inputs(), 16);
+/// assert_eq!(dim.outputs(), 4);
+/// assert_eq!(dim.memristors(), 64);
+/// assert_eq!(format!("{dim}"), "16x4");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CrossbarDim {
+    inputs: u32,
+    outputs: u32,
+}
+
+impl CrossbarDim {
+    /// Creates a crossbar dimension of `inputs` word lines × `outputs` bit lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(inputs: u32, outputs: u32) -> Self {
+        assert!(inputs > 0 && outputs > 0, "crossbar dimensions must be positive");
+        CrossbarDim { inputs, outputs }
+    }
+
+    /// A square `side × side` crossbar.
+    #[must_use]
+    pub fn square(side: u32) -> Self {
+        CrossbarDim::new(side, side)
+    }
+
+    /// Vertically stacks `factor` square `base × base` macros into a
+    /// `(factor·base) × base` crossbar (the multi-macro technique of
+    /// reference \[11\] of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` or `factor` is zero.
+    #[must_use]
+    pub fn multi_macro(base: u32, factor: u32) -> Self {
+        assert!(factor > 0, "multi-macro factor must be positive");
+        CrossbarDim::new(base * factor, base)
+    }
+
+    /// Number of input (word) lines: `A_j`.
+    #[must_use]
+    pub fn inputs(self) -> u32 {
+        self.inputs
+    }
+
+    /// Number of output (bit) lines: `N_j`.
+    #[must_use]
+    pub fn outputs(self) -> u32 {
+        self.outputs
+    }
+
+    /// Number of memristor devices in this crossbar (`inputs · outputs`),
+    /// the paper's default area measure.
+    #[must_use]
+    pub fn memristors(self) -> u64 {
+        u64::from(self.inputs) * u64::from(self.outputs)
+    }
+
+    /// Returns `true` if a neuron with the given fan-in could ever be placed
+    /// alone on this crossbar (its presynaptic sources all fit as inputs).
+    #[must_use]
+    pub fn admits_fan_in(self, fan_in: usize) -> bool {
+        fan_in <= self.inputs as usize
+    }
+}
+
+impl fmt::Display for CrossbarDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.inputs, self.outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_and_multi_macro() {
+        assert_eq!(CrossbarDim::square(8), CrossbarDim::new(8, 8));
+        assert_eq!(CrossbarDim::multi_macro(4, 8), CrossbarDim::new(32, 4));
+        assert_eq!(CrossbarDim::multi_macro(16, 2), CrossbarDim::new(32, 16));
+    }
+
+    #[test]
+    fn memristor_count() {
+        assert_eq!(CrossbarDim::new(32, 4).memristors(), 128);
+        assert_eq!(CrossbarDim::square(16).memristors(), 256);
+    }
+
+    #[test]
+    fn admits_fan_in() {
+        let dim = CrossbarDim::new(16, 4);
+        assert!(dim.admits_fan_in(16));
+        assert!(!dim.admits_fan_in(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dimension_panics() {
+        let _ = CrossbarDim::new(0, 4);
+    }
+
+    #[test]
+    fn ordering_is_by_inputs_then_outputs() {
+        assert!(CrossbarDim::new(8, 8) < CrossbarDim::new(16, 4));
+        assert!(CrossbarDim::new(16, 4) < CrossbarDim::new(16, 8));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CrossbarDim::new(32, 8).to_string(), "32x8");
+    }
+}

@@ -1,0 +1,33 @@
+//! # croxmap-mca — memristor crossbar architecture model
+//!
+//! Models the hardware side of the mapping problem: crossbar dimensions
+//! (input lines `A_j` × output lines `N_j`), the area cost `C_j` of an
+//! enabled crossbar, architecture catalogs (the homogeneous 16×16 baseline
+//! and the heterogeneous Table II set of the paper), and the finite
+//! *crossbar pool* the ILP optimises over.
+//!
+//! ## Example
+//!
+//! ```
+//! use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarPool};
+//!
+//! let arch = ArchitectureSpec::table_ii_heterogeneous();
+//! assert_eq!(arch.catalog().len(), 10); // Table II has 10 dimensions
+//! let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 32, 8);
+//! assert!(pool.len() > 0);
+//! // Every slot can hold at least one neuron output.
+//! assert!(pool.slots().iter().all(|s| s.dim.outputs() >= 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arch;
+mod area;
+mod dim;
+mod pool;
+
+pub use arch::ArchitectureSpec;
+pub use area::AreaModel;
+pub use dim::CrossbarDim;
+pub use pool::{CrossbarPool, CrossbarSlot, SymmetryGroup};

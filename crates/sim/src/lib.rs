@@ -1,0 +1,49 @@
+//! # croxmap-sim — spiking network and mapped-processor simulation
+//!
+//! This crate substitutes for the TENNLab simulation infrastructure the
+//! paper relies on. It provides:
+//!
+//! * a discrete-time **leaky integrate-and-fire simulator** ([`LifSimulator`])
+//!   that executes a [`croxmap_snn::Network`] against external spike-train
+//!   stimulus,
+//! * **spike profiles** ([`SpikeProfile`]): the per-neuron fire counts `W_i`
+//!   consumed by the paper's profile-guided optimisation (Eq. 12),
+//! * a **mapped multi-crossbar processor model** ([`processor`]): given a
+//!   neuron→crossbar assignment, counts the router packets a mapped
+//!   execution generates, with the paper's axon-sharing packet semantics
+//!   (one packet per firing neuron per *target crossbar*, §IV-D).
+//!
+//! ## Example
+//!
+//! ```
+//! use croxmap_snn::{NetworkBuilder, NodeRole};
+//! use croxmap_sim::{LifConfig, LifSimulator, SpikeTrain, Stimulus};
+//!
+//! # fn main() -> Result<(), croxmap_snn::BuildNetworkError> {
+//! let mut b = NetworkBuilder::new();
+//! let inp = b.add_neuron(NodeRole::Input, 0.5, 0.0);
+//! let out = b.add_neuron(NodeRole::Output, 0.5, 0.0);
+//! b.add_edge(inp, out, 1.0, 1)?;
+//! let net = b.build()?;
+//!
+//! let stimulus = Stimulus::new([(inp, SpikeTrain::periodic(0, 2, 10))]);
+//! let record = LifSimulator::new(LifConfig::default()).run(&net, &stimulus, 10);
+//! assert!(record.fire_count(out) > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lif;
+pub mod processor;
+mod profile;
+mod train;
+
+pub use lif::{LifConfig, LifSimulator, SimRecord, Stimulus};
+pub use processor::{
+    count_packets, count_routes, predicted_global_packets, PacketStats, RouteStats,
+};
+pub use profile::SpikeProfile;
+pub use train::SpikeTrain;

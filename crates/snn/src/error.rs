@@ -1,0 +1,70 @@
+//! Error types for network construction.
+
+use crate::NeuronId;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when [`NetworkBuilder`](crate::NetworkBuilder) is asked to
+/// construct an invalid network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildNetworkError {
+    /// An edge references a neuron id that was never added.
+    UnknownNeuron {
+        /// The offending id.
+        id: NeuronId,
+        /// Number of neurons actually present.
+        node_count: usize,
+    },
+    /// The same (source, target) synapse was added twice.
+    ///
+    /// The crossbar mapping model treats the connectivity matrix `m_ik` as
+    /// boolean, so parallel synapses must be merged by the caller first.
+    DuplicateEdge {
+        /// Source neuron.
+        source: NeuronId,
+        /// Target neuron.
+        target: NeuronId,
+    },
+    /// The network has no neurons at all.
+    Empty,
+}
+
+impl fmt::Display for BuildNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildNetworkError::UnknownNeuron { id, node_count } => write!(
+                f,
+                "edge references neuron {id} but only {node_count} neurons exist"
+            ),
+            BuildNetworkError::DuplicateEdge { source, target } => {
+                write!(f, "duplicate synapse from {source} to {target}")
+            }
+            BuildNetworkError::Empty => write!(f, "network contains no neurons"),
+        }
+    }
+}
+
+impl Error for BuildNetworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = BuildNetworkError::DuplicateEdge {
+            source: NeuronId::new(1),
+            target: NeuronId::new(2),
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("duplicate"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BuildNetworkError>();
+    }
+}

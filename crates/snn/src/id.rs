@@ -1,0 +1,114 @@
+//! Strongly typed identifiers for network elements.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a neuron inside a [`Network`](crate::Network).
+///
+/// Neuron ids are dense indices `0..node_count()` assigned in insertion
+/// order by [`NetworkBuilder`](crate::NetworkBuilder). They are stable for
+/// the lifetime of the network.
+///
+/// ```
+/// use croxmap_snn::NeuronId;
+/// let id = NeuronId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(format!("{id}"), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NeuronId(u32);
+
+impl NeuronId {
+    /// Creates a neuron id from a dense index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        NeuronId(u32::try_from(index).expect("neuron index exceeds u32 range"))
+    }
+
+    /// Returns the dense index of this neuron.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NeuronId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NeuronId> for usize {
+    fn from(id: NeuronId) -> usize {
+        id.index()
+    }
+}
+
+/// Identifier of a directed synapse (edge) inside a [`Network`](crate::Network).
+///
+/// Edge ids are dense indices `0..edge_count()` assigned in insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a dense index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index exceeds u32 range"))
+    }
+
+    /// Returns the dense index of this edge.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<EdgeId> for usize {
+    fn from(id: EdgeId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neuron_id_round_trip() {
+        for i in [0usize, 1, 17, 65_535] {
+            assert_eq!(NeuronId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn edge_id_round_trip() {
+        for i in [0usize, 1, 17, 65_535] {
+            assert_eq!(EdgeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NeuronId::new(1) < NeuronId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(9));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NeuronId::new(5).to_string(), "n5");
+        assert_eq!(EdgeId::new(7).to_string(), "e7");
+    }
+
+    #[test]
+    #[should_panic(expected = "neuron index exceeds u32 range")]
+    fn neuron_id_overflow_panics() {
+        let _ = NeuronId::new(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! # croxmap-snn — spiking neural network graph model
+//!
+//! This crate provides the network substrate used throughout `croxmap`: a
+//! directed graph of integrate-and-fire neurons with weighted, delayed
+//! synapses, together with the sparsity statistics the paper reports in
+//! Table I (edge density, maximum fan-in, and the Gini sparsity index of the
+//! in-/out-degree distributions).
+//!
+//! The model intentionally mirrors the TENNLab network abstraction the paper
+//! builds on: every node is a neuron with a threshold and leak, nodes can be
+//! flagged as network inputs and/or outputs, and edges carry an integer
+//! delay plus a signed weight.
+//!
+//! ## Example
+//!
+//! ```
+//! use croxmap_snn::{Network, NetworkBuilder, NodeRole};
+//!
+//! # fn main() -> Result<(), croxmap_snn::BuildNetworkError> {
+//! let mut b = NetworkBuilder::new();
+//! let a = b.add_neuron(NodeRole::Input, 1.0, 0.0);
+//! let h = b.add_neuron(NodeRole::Hidden, 1.5, 0.1);
+//! let o = b.add_neuron(NodeRole::Output, 1.0, 0.0);
+//! b.add_edge(a, h, 1.0, 1)?;
+//! b.add_edge(h, o, 2.0, 1)?;
+//! let net: Network = b.build()?;
+//! assert_eq!(net.node_count(), 3);
+//! assert_eq!(net.edge_count(), 2);
+//! let stats = net.stats();
+//! assert_eq!(stats.max_fan_in, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod id;
+mod network;
+mod stats;
+
+pub use error::BuildNetworkError;
+pub use id::{EdgeId, NeuronId};
+pub use network::{Edge, Network, NetworkBuilder, Node, NodeRole};
+pub use stats::{gini_index, NetworkStats};

@@ -1,0 +1,178 @@
+//! Network sparsity statistics (Table I of the paper).
+
+use crate::Network;
+use serde::{Deserialize, Serialize};
+
+/// The per-network attributes the paper reports in Table I.
+///
+/// * `node_count`, `edge_count` — graph size,
+/// * `max_fan_in` — the largest in-degree, which lower-bounds the number of
+///   crossbar input lines any valid architecture must provide,
+/// * `edge_density` — `edges / nodes²`, the fill ratio of the boolean
+///   connectivity matrix `m_ik`,
+/// * `gini_incoming` / `gini_outgoing` — the Gini sparsity index of the
+///   in-/out-degree distributions (Goswami et al., reference \[40\] of the
+///   paper). Higher values mean degree mass is concentrated on few neurons,
+///   which is exactly the structure heterogeneous crossbars exploit.
+///
+/// ```
+/// use croxmap_snn::{NetworkBuilder, NodeRole};
+/// # fn main() -> Result<(), croxmap_snn::BuildNetworkError> {
+/// let mut b = NetworkBuilder::new();
+/// let n: Vec<_> = (0..4).map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0)).collect();
+/// b.add_edge(n[0], n[3], 1.0, 1)?;
+/// b.add_edge(n[1], n[3], 1.0, 1)?;
+/// b.add_edge(n[2], n[3], 1.0, 1)?;
+/// let stats = b.build()?.stats();
+/// assert_eq!(stats.max_fan_in, 3);
+/// assert!((stats.edge_density - 3.0 / 16.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Number of neurons.
+    pub node_count: usize,
+    /// Number of synapses.
+    pub edge_count: usize,
+    /// Maximum in-degree over all neurons.
+    pub max_fan_in: usize,
+    /// Maximum out-degree over all neurons.
+    pub max_fan_out: usize,
+    /// `edge_count / node_count²`.
+    pub edge_density: f64,
+    /// Gini sparsity index of the in-degree distribution.
+    pub gini_incoming: f64,
+    /// Gini sparsity index of the out-degree distribution.
+    pub gini_outgoing: f64,
+}
+
+impl NetworkStats {
+    /// Computes the statistics of `network`.
+    #[must_use]
+    pub fn of(network: &Network) -> Self {
+        let n = network.node_count();
+        let in_degrees: Vec<f64> = network
+            .neuron_ids()
+            .map(|i| network.in_degree(i) as f64)
+            .collect();
+        let out_degrees: Vec<f64> = network
+            .neuron_ids()
+            .map(|i| network.out_degree(i) as f64)
+            .collect();
+        NetworkStats {
+            node_count: n,
+            edge_count: network.edge_count(),
+            max_fan_in: in_degrees.iter().fold(0.0f64, |a, &b| a.max(b)) as usize,
+            max_fan_out: out_degrees.iter().fold(0.0f64, |a, &b| a.max(b)) as usize,
+            edge_density: network.edge_count() as f64 / (n as f64 * n as f64),
+            gini_incoming: gini_index(&in_degrees),
+            gini_outgoing: gini_index(&out_degrees),
+        }
+    }
+}
+
+/// Computes the Gini index of a non-negative sample.
+///
+/// Uses the standard mean-absolute-difference formulation
+/// `G = Σᵢ Σⱼ |xᵢ − xⱼ| / (2 n Σ x)`, evaluated in O(n log n) via the
+/// sorted-rank identity. Returns `0.0` for empty or all-zero input
+/// (a perfectly equal distribution).
+///
+/// ```
+/// use croxmap_snn::gini_index;
+/// assert_eq!(gini_index(&[1.0, 1.0, 1.0, 1.0]), 0.0);
+/// // All mass on one element of n=4 gives G = 3/4.
+/// assert!((gini_index(&[0.0, 0.0, 0.0, 8.0]) - 0.75).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn gini_index(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = values.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("gini input must not contain NaN"));
+    // G = (2 Σ_i i·x_(i) / (n Σ x)) − (n+1)/n  with 1-based ranks i.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted / (n as f64 * total)) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetworkBuilder, NodeRole};
+
+    #[test]
+    fn gini_of_equal_distribution_is_zero() {
+        assert!(gini_index(&[2.0; 10]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_of_empty_and_zero_is_zero() {
+        assert_eq!(gini_index(&[]), 0.0);
+        assert_eq!(gini_index(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = [1.0, 2.0, 3.0, 5.0, 13.0];
+        let b: Vec<f64> = a.iter().map(|x| x * 42.0).collect();
+        assert!((gini_index(&a) - gini_index(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_is_permutation_invariant() {
+        let a = [4.0, 1.0, 7.0, 2.0];
+        let b = [7.0, 4.0, 2.0, 1.0];
+        assert!((gini_index(&a) - gini_index(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_concentrated_approaches_one() {
+        let mut values = vec![0.0; 1000];
+        values[0] = 1.0;
+        let g = gini_index(&values);
+        assert!(g > 0.99, "got {g}");
+    }
+
+    #[test]
+    fn stats_of_star_graph() {
+        // Hub receives from 4 leaves: max fan-in 4, high incoming Gini.
+        let mut b = NetworkBuilder::new();
+        let hub = b.add_neuron(NodeRole::Output, 1.0, 0.0);
+        for _ in 0..4 {
+            let leaf = b.add_neuron(NodeRole::Input, 1.0, 0.0);
+            b.add_edge(leaf, hub, 1.0, 1).unwrap();
+        }
+        let stats = b.build().unwrap().stats();
+        assert_eq!(stats.node_count, 5);
+        assert_eq!(stats.edge_count, 4);
+        assert_eq!(stats.max_fan_in, 4);
+        assert_eq!(stats.max_fan_out, 1);
+        assert!((stats.edge_density - 4.0 / 25.0).abs() < 1e-12);
+        assert!(stats.gini_incoming > stats.gini_outgoing);
+    }
+
+    #[test]
+    fn stats_match_manual_density() {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..10)
+            .map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0))
+            .collect();
+        for i in 0..9 {
+            b.add_edge(n[i], n[i + 1], 1.0, 1).unwrap();
+        }
+        let stats = b.build().unwrap().stats();
+        assert!((stats.edge_density - 9.0 / 100.0).abs() < 1e-12);
+        assert_eq!(stats.max_fan_in, 1);
+    }
+}

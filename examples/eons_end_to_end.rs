@@ -1,0 +1,73 @@
+//! End-to-end: evolve a sparse SNN with EONS-lite on the synthetic
+//! SmartPixel task, then map the champion onto heterogeneous crossbars —
+//! the full train→compile flow the paper's toolchain implements.
+//!
+//! Run with: `cargo run --release --example eons_end_to_end`
+
+use croxmap::gen::smartpixel;
+use croxmap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Task data.
+    let events = EventSet::generate(
+        &SmartPixelConfig {
+            width: 12,
+            ..SmartPixelConfig::default()
+        },
+        60,
+    );
+    let simulator = LifSimulator::default();
+
+    // Evolve: fitness is classification accuracy, parsimony pressure keeps
+    // networks sparse (the trend motivating heterogeneous crossbars).
+    let cfg = EonsConfig {
+        input_count: 6,
+        hidden_count: 14,
+        output_count: 2,
+        population: 20,
+        generations: 15,
+        edge_penalty: 0.003,
+        ..EonsConfig::default()
+    };
+    let run = evolve(&cfg, |net| smartpixel::accuracy(net, &simulator, &events, 16));
+    println!("evolution history:");
+    for g in &run.history {
+        println!(
+            "  gen {:2}: best accuracy {:.2}, mean edges {:.1}",
+            g.generation, g.best_fitness, g.mean_edges
+        );
+    }
+    let network = run.best.to_network(&cfg);
+    let stats = network.stats();
+    println!(
+        "\nchampion: accuracy {:.2}, {} neurons, {} edges, density {:.4}, gini in/out {:.2}/{:.2}",
+        run.best_fitness,
+        stats.node_count,
+        stats.edge_count,
+        stats.edge_density,
+        stats.gini_incoming,
+        stats.gini_outgoing
+    );
+
+    // Map the champion.
+    let arch = ArchitectureSpec::table_ii_heterogeneous();
+    let pool = CrossbarPool::for_network_capped(
+        &arch,
+        &AreaModel::memristor_count(),
+        stats.node_count,
+        3,
+    );
+    let pipeline = PipelineConfig::with_budget(5.0);
+    let area_run = optimize_area(&network, &pool, &pipeline);
+    let mapping = area_run.best_mapping().expect("mappable");
+    mapping.validate(&network, &pool)?;
+    let metrics = MappingMetrics::of(&network, &pool, mapping);
+    println!(
+        "\nmapped: {} memristors on {} crossbars, {} global routes",
+        metrics.area, metrics.crossbars_used, metrics.global_routes
+    );
+    for (dim, count) in mapping.dimension_histogram(&pool) {
+        println!("  {count}x {dim}");
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! The full profile-guided optimisation pipeline of §V-H: generate
+//! synthetic SmartPixel events, profile the network on a 1 % sample,
+//! area-optimise, then minimise inter-crossbar packets with PGO, and
+//! finally *measure* packets on the held-out 99 % to validate the profile.
+//!
+//! Run with: `cargo run --release --example pgo_pipeline`
+
+use croxmap::prelude::*;
+use croxmap::gen::smartpixel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Network and workload.
+    let spec = NetworkSpec::scaled_a(10);
+    let network = generate(&spec);
+    let events = EventSet::generate(&SmartPixelConfig::default(), 400);
+    let (profile_set, eval_set) = events.split(0.01);
+    println!(
+        "events: {} profiling / {} evaluation",
+        profile_set.len(),
+        eval_set.len()
+    );
+
+    // Spike profile from the small sample (the paper's 1 % / 51 MB split).
+    let simulator = LifSimulator::default();
+    let window = 24;
+    let mut profile = SpikeProfile::with_len(network.node_count());
+    for event in profile_set.events() {
+        let stim = smartpixel::encode(&network, event, window);
+        let record = simulator.run(&network, &stim, window);
+        profile.merge(&SpikeProfile::from_record(&record));
+    }
+    println!(
+        "profile: {} total spikes, {}/{} neurons active",
+        profile.total(),
+        profile.active_neurons(),
+        network.node_count()
+    );
+
+    // Area-optimal mapping on the heterogeneous architecture.
+    let arch = ArchitectureSpec::table_ii_heterogeneous();
+    let pool = CrossbarPool::for_network_capped(
+        &arch,
+        &AreaModel::memristor_count(),
+        network.node_count(),
+        3,
+    );
+    let config = PipelineConfig::with_budget(6.0);
+    let area_run = optimize_area(&network, &pool, &config);
+    let base = area_run.best_mapping().expect("mappable").clone();
+    println!("\narea-optimal: {} memristors on {} crossbars", base.area(&pool), base.used_slots().len());
+
+    // SNU (static) vs PGO (profile-guided) over the same crossbars.
+    let snu_run = optimize_routes_after_area(&network, &pool, &base, &config);
+    let snu_map = snu_run.best_mapping().unwrap_or(&base).clone();
+    let pgo_run = optimize_pgo_after_area(&network, &pool, &base, profile.counts(), &config);
+    let pgo_map = pgo_run.best_mapping().unwrap_or(&base).clone();
+    println!("SNU solve:  {:.3} det-s", snu_run.det_time);
+    println!("PGO solve:  {:.3} det-s", pgo_run.det_time);
+
+    // Measure real packets on the held-out evaluation data.
+    let mut totals = [0u64; 3];
+    for event in eval_set.events() {
+        let stim = smartpixel::encode(&network, event, window);
+        let record = simulator.run(&network, &stim, window);
+        for (t, mapping) in [(&base, 0usize), (&snu_map, 1), (&pgo_map, 2)]
+            .map(|(m, i)| (i, m))
+        {
+            let stats = count_packets(&network, mapping.assignment(), &record);
+            totals[t] += stats.global;
+        }
+    }
+    println!("\nmeasured inter-crossbar packets over evaluation set:");
+    println!("  area-only mapping: {}", totals[0]);
+    println!("  SNU-optimised:     {}", totals[1]);
+    println!("  PGO-optimised:     {}", totals[2]);
+    if totals[1] > 0 {
+        println!(
+            "  PGO vs SNU: {:.1}% fewer packets",
+            100.0 * (totals[1] as f64 - totals[2] as f64) / totals[1] as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: map a small hand-built SNN onto heterogeneous crossbars.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use croxmap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a small spiking network by hand: 2 inputs driving a hidden
+    //    layer of 4, converging on 2 outputs.
+    let mut b = NetworkBuilder::new();
+    let inputs: Vec<_> = (0..2).map(|_| b.add_neuron(NodeRole::Input, 0.8, 0.1)).collect();
+    let hidden: Vec<_> = (0..4).map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.1)).collect();
+    let outputs: Vec<_> = (0..2).map(|_| b.add_neuron(NodeRole::Output, 1.0, 0.0)).collect();
+    for (hi, &h) in hidden.iter().enumerate() {
+        b.add_edge(inputs[hi % 2], h, 0.9, 1)?;
+    }
+    for (oi, &o) in outputs.iter().enumerate() {
+        for &h in &hidden[oi * 2..oi * 2 + 2] {
+            b.add_edge(h, o, 0.7, 1)?;
+        }
+    }
+    let network = b.build()?;
+    let stats = network.stats();
+    println!(
+        "network: {} neurons, {} synapses, max fan-in {}, density {:.4}",
+        stats.node_count, stats.edge_count, stats.max_fan_in, stats.edge_density
+    );
+
+    // 2. Target the paper's heterogeneous architecture (Table II).
+    let arch = ArchitectureSpec::table_ii_heterogeneous();
+    let pool = CrossbarPool::for_network_capped(
+        &arch,
+        &AreaModel::memristor_count(),
+        network.node_count(),
+        2,
+    );
+    println!("pool: {} candidate crossbar slots from {} dimensions", pool.len(), arch.catalog().len());
+
+    // 3. Area-optimise with the axon-sharing ILP (Eq. 8 objective).
+    let config = PipelineConfig::with_budget(5.0);
+    let run = optimize_area(&network, &pool, &config);
+    let mapping = run.best_mapping().expect("network is mappable");
+    mapping.validate(&network, &pool)?;
+
+    println!("\nsolver status: {:?} after {:.3} det-seconds", run.status, run.det_time);
+    println!("incumbent stream:");
+    for inc in &run.incumbents {
+        println!("  t={:8.4}s  area={}", inc.det_time, inc.objective);
+    }
+
+    // 4. Inspect the result.
+    let metrics = MappingMetrics::of(&network, &pool, mapping);
+    println!("\nbest mapping:");
+    println!("  area (memristors): {}", metrics.area);
+    println!("  crossbars used:    {}", metrics.crossbars_used);
+    println!("  routes total/local/global: {}/{}/{}",
+        metrics.total_routes, metrics.local_routes, metrics.global_routes);
+    for (dim, count) in mapping.dimension_histogram(&pool) {
+        println!("  {count}x crossbar {dim}");
+    }
+    for slot in mapping.used_slots() {
+        let members: Vec<String> = mapping.neurons_on(slot).iter().map(|n| n.to_string()).collect();
+        println!("  slot {slot}: {}", members.join(", "));
+    }
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! # croxmap — mapping spiking neural networks to heterogeneous crossbars
+//!
+//! A Rust reproduction of *"Mapping Spiking Neural Networks to
+//! Heterogeneous Crossbar Architectures using Integer Linear Programming"*
+//! (DATE 2025). This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`snn`] | `croxmap-snn` | network graph model and sparsity statistics |
+//! | [`mca`] | `croxmap-mca` | crossbar dimensions, area model, architecture catalogs, pools |
+//! | [`ilp`] | `croxmap-ilp` | from-scratch anytime 0/1 ILP solver (simplex + branch & bound + LNS) |
+//! | [`sim`] | `croxmap-sim` | LIF simulator, spike profiles, mapped-processor packet accounting |
+//! | [`gen`] | `croxmap-gen` | calibrated network generators, EONS-lite, synthetic SmartPixel workload |
+//! | [`core`] | `croxmap-core` | the paper's formulations, baselines, metrics and pipelines |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use croxmap::prelude::*;
+//!
+//! // 1. A sparse network (scaled-down Table I analog).
+//! let spec = NetworkSpec::scaled_a(16);
+//! let network = generate(&spec);
+//!
+//! // 2. A heterogeneous crossbar pool (Table II catalog).
+//! let arch = ArchitectureSpec::table_ii_heterogeneous();
+//! let pool = CrossbarPool::for_network_capped(
+//!     &arch,
+//!     &AreaModel::memristor_count(),
+//!     network.node_count(),
+//!     2,
+//! );
+//!
+//! // 3. Area-optimise with the axon-sharing ILP.
+//! let config = PipelineConfig::with_budget(2.0);
+//! let run = optimize_area(&network, &pool, &config);
+//! let mapping = run.best_mapping().expect("mappable");
+//! mapping.validate(&network, &pool).expect("valid");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use croxmap_core as core;
+pub use croxmap_gen as gen;
+pub use croxmap_ilp as ilp;
+pub use croxmap_mca as mca;
+pub use croxmap_sim as sim;
+pub use croxmap_snn as snn;
+
+/// Everything you need for the common flows, in one import.
+pub mod prelude {
+    pub use croxmap_core::baseline::{
+        greedy_first_fit, local_search_area, local_search_routes, naive_sequential,
+        spikehard_iterate,
+    };
+    pub use croxmap_core::pipeline::{
+        area_snu_evolution, optimize_area, optimize_pgo_after_area, optimize_routes_after_area,
+        OptimizationRun, PipelineConfig,
+    };
+    pub use croxmap_core::{
+        FormulationConfig, Linking, Mapping, MappingIlp, MappingMetrics, MappingObjective,
+    };
+    pub use croxmap_gen::calibrated::{generate, NetworkSpec};
+    pub use croxmap_gen::eons::{evolve, EonsConfig};
+    pub use croxmap_gen::smartpixel::{EventSet, SmartPixelConfig};
+    pub use croxmap_ilp::{Model, SolveStatus, Solver, SolverConfig};
+    pub use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarDim, CrossbarPool};
+    pub use croxmap_sim::{
+        count_packets, count_routes, LifConfig, LifSimulator, SpikeProfile, SpikeTrain, Stimulus,
+    };
+    pub use croxmap_snn::{Network, NetworkBuilder, NetworkStats, NeuronId, NodeRole};
+}

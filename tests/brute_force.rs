@@ -1,0 +1,174 @@
+//! Cross-checks the ILP formulations against exhaustive enumeration on
+//! tiny instances: the ground truth for area (Eq. 8) and global routes
+//! (Eq. 11) is computed by trying every neuron→slot assignment.
+
+use croxmap::prelude::*;
+use croxmap_core::pipeline;
+
+/// Enumerates every total assignment and returns the minimum area and the
+/// minimum global-route count among *valid* mappings.
+fn brute_force(network: &Network, pool: &CrossbarPool) -> Option<(f64, u64)> {
+    let n = network.node_count();
+    let j = pool.len();
+    let mut best_area = f64::INFINITY;
+    let mut best_routes = u64::MAX;
+    let mut assignment = vec![0usize; n];
+    let total = (j as u64).pow(n as u32);
+    for code in 0..total {
+        let mut c = code;
+        for slot in assignment.iter_mut() {
+            *slot = (c % j as u64) as usize;
+            c /= j as u64;
+        }
+        let mapping = Mapping::new(assignment.clone());
+        if mapping.validate(network, pool).is_ok() {
+            best_area = best_area.min(mapping.area(pool));
+            best_routes = best_routes.min(count_routes(network, mapping.assignment()).global);
+        }
+    }
+    if best_area.is_finite() {
+        Some((best_area, best_routes))
+    } else {
+        None
+    }
+}
+
+fn tiny_networks() -> Vec<Network> {
+    let mut nets = Vec::new();
+    // Chain of 4.
+    {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<_> = (0..4).map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0)).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 1.0, 1).unwrap();
+        }
+        nets.push(b.build().unwrap());
+    }
+    // Diamond.
+    {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<_> = (0..4).map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0)).collect();
+        for &(u, v) in &[(0, 1), (0, 2), (1, 3), (2, 3)] {
+            b.add_edge(ids[u], ids[v], 1.0, 1).unwrap();
+        }
+        nets.push(b.build().unwrap());
+    }
+    // Star + tail with a self loop.
+    {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<_> = (0..5).map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0)).collect();
+        for &(u, v) in &[(0, 1), (0, 2), (0, 3), (3, 4), (4, 4)] {
+            b.add_edge(ids[u], ids[v], 1.0, 1).unwrap();
+        }
+        nets.push(b.build().unwrap());
+    }
+    // Dense 5-node with inhibition pattern (structure only matters).
+    {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<_> = (0..5).map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0)).collect();
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 0), (1, 4)] {
+            b.add_edge(ids[u], ids[v], 1.0, 1).unwrap();
+        }
+        nets.push(b.build().unwrap());
+    }
+    nets
+}
+
+fn tiny_pools() -> Vec<CrossbarPool> {
+    let area = AreaModel::memristor_count();
+    vec![
+        CrossbarPool::from_counts(&area, [(CrossbarDim::new(4, 2), 3)]),
+        CrossbarPool::from_counts(
+            &area,
+            [(CrossbarDim::new(2, 2), 2), (CrossbarDim::new(4, 4), 2)],
+        ),
+        CrossbarPool::from_counts(
+            &area,
+            [(CrossbarDim::new(3, 1), 2), (CrossbarDim::new(6, 3), 2)],
+        ),
+    ]
+}
+
+#[test]
+fn ilp_area_matches_brute_force() {
+    let config = pipeline::PipelineConfig::with_budget(20.0);
+    for (ni, net) in tiny_networks().iter().enumerate() {
+        for (pi, pool) in tiny_pools().iter().enumerate() {
+            let truth = brute_force(net, pool);
+            let run = pipeline::optimize_area(net, pool, &config);
+            match truth {
+                None => assert!(
+                    run.best_mapping().is_none(),
+                    "net {ni} pool {pi}: ILP found a mapping where none exists"
+                ),
+                Some((best_area, _)) => {
+                    let m = run
+                        .best_mapping()
+                        .unwrap_or_else(|| panic!("net {ni} pool {pi}: ILP found nothing"));
+                    m.validate(net, pool).unwrap();
+                    assert_eq!(run.status, SolveStatus::Optimal, "net {ni} pool {pi}");
+                    assert!(
+                        (m.area(pool) - best_area).abs() < 1e-9,
+                        "net {ni} pool {pi}: ILP {} vs brute force {best_area}",
+                        m.area(pool)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ilp_global_routes_match_brute_force() {
+    // Unrestricted GlobalRoutes optimisation must reach the brute-force
+    // minimum when every slot is admissible.
+    let config = pipeline::PipelineConfig::with_budget(20.0);
+    for (ni, net) in tiny_networks().iter().enumerate() {
+        let pool = CrossbarPool::from_counts(
+            &AreaModel::memristor_count(),
+            [(CrossbarDim::new(8, 3), 2)],
+        );
+        let Some((_, best_routes)) = brute_force(net, &pool) else {
+            continue;
+        };
+        // Optimise routes over the full pool (restrict_to_slots = all).
+        let base = greedy_first_fit(net, &pool).expect("greedy");
+        let all_slots = Mapping::new(
+            base.assignment().to_vec(),
+        );
+        let mut cfg = config.clone();
+        cfg.formulation.restrict_to_slots = Some((0..pool.len()).collect());
+        let run = pipeline::optimize_routes_after_area(net, &pool, &all_slots, &cfg);
+        let m = run.best_mapping().expect("feasible");
+        let got = count_routes(net, m.assignment()).global;
+        assert_eq!(
+            got, best_routes,
+            "net {ni}: ILP routes {got} vs brute force {best_routes}"
+        );
+    }
+}
+
+#[test]
+fn spikehard_never_beats_axon_sharing_on_area() {
+    // The MCC relaxation over-constrains inputs, so its optimum can never
+    // be better than the axon-sharing optimum.
+    let config = pipeline::PipelineConfig::with_budget(20.0);
+    let solver_cfg = SolverConfig::default().with_det_time_limit(10.0);
+    for net in tiny_networks() {
+        for pool in tiny_pools() {
+            let Ok(initial) = greedy_first_fit(&net, &pool) else {
+                continue;
+            };
+            let sh = spikehard_iterate(&net, &pool, &initial, &solver_cfg, 8).expect("valid initial");
+            let sh_area = sh.best().map_or_else(|| initial.area(&pool), |r| r.area);
+            let ours = pipeline::optimize_area(&net, &pool, &config);
+            if let Some(m) = ours.best_mapping() {
+                assert!(
+                    m.area(&pool) <= sh_area + 1e-9,
+                    "axon sharing must not lose: {} vs {sh_area}",
+                    m.area(&pool)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! End-to-end integration tests spanning every crate: generated networks,
+//! area → SNU → PGO pipelines, and cross-validation of the static metrics
+//! against the packet-level processor simulation.
+
+use croxmap::gen::smartpixel;
+use croxmap::prelude::*;
+use croxmap_core::pipeline;
+
+fn scaled_network() -> Network {
+    generate(&NetworkSpec::scaled_a(14))
+}
+
+fn het_pool(n: usize) -> CrossbarPool {
+    CrossbarPool::for_network_capped(
+        &ArchitectureSpec::table_ii_heterogeneous(),
+        &AreaModel::memristor_count(),
+        n,
+        2,
+    )
+}
+
+#[test]
+fn area_pipeline_on_generated_network() {
+    let net = scaled_network();
+    let pool = het_pool(net.node_count());
+    let run = pipeline::optimize_area(&net, &pool, &pipeline::PipelineConfig::with_budget(15.0));
+    let m = run.best_mapping().expect("mappable");
+    m.validate(&net, &pool).unwrap();
+    // The incumbent stream is strictly improving and time-ordered.
+    for w in run.incumbents.windows(2) {
+        assert!(w[1].objective < w[0].objective);
+        assert!(w[1].det_time >= w[0].det_time);
+    }
+}
+
+#[test]
+fn heterogeneous_beats_homogeneous_area() {
+    // The paper's headline: on sparse networks, a heterogeneous catalog
+    // yields (much) lower area than homogeneous 16×16.
+    let net = scaled_network();
+    let hom_pool = CrossbarPool::for_network(
+        &ArchitectureSpec::paper_homogeneous(),
+        &AreaModel::memristor_count(),
+        net.node_count(),
+        16,
+    );
+    let het_pool = het_pool(net.node_count());
+    let cfg = pipeline::PipelineConfig::with_budget(15.0);
+    let hom = pipeline::optimize_area(&net, &hom_pool, &cfg);
+    let het = pipeline::optimize_area(&net, &het_pool, &cfg);
+    let hom_area = hom.best_objective().expect("hom feasible");
+    let het_area = het.best_objective().expect("het feasible");
+    assert!(
+        het_area < hom_area,
+        "heterogeneous {het_area} must beat homogeneous {hom_area}"
+    );
+}
+
+#[test]
+fn snu_then_pgo_chain_preserves_area_and_improves_routes() {
+    let net = scaled_network();
+    let pool = het_pool(net.node_count());
+    let cfg = pipeline::PipelineConfig::with_budget(10.0);
+    let area_run = pipeline::optimize_area(&net, &pool, &cfg);
+    let base = area_run.best_mapping().expect("mappable").clone();
+    let base_area = base.area(&pool);
+    let base_routes = count_routes(&net, base.assignment()).global;
+
+    let snu_run = pipeline::optimize_routes_after_area(&net, &pool, &base, &cfg);
+    let snu = snu_run.best_mapping().expect("base stays feasible");
+    assert!(snu.area(&pool) <= base_area + 1e-9);
+    let snu_routes = count_routes(&net, snu.assignment()).global;
+    assert!(snu_routes <= base_routes);
+
+    // PGO with uniform weights is equivalent to SNU up to solver budget.
+    let weights = vec![1u64; net.node_count()];
+    let pgo_run = pipeline::optimize_pgo_after_area(&net, &pool, &base, &weights, &cfg);
+    let pgo = pgo_run.best_mapping().expect("base stays feasible");
+    assert!(pgo.area(&pool) <= base_area + 1e-9);
+}
+
+#[test]
+fn metrics_match_processor_simulation() {
+    // Static route metrics and the packet-level simulation must agree:
+    // measured global packets == Σ W_k · (global targets of k) when W is
+    // the profile of the same run.
+    let net = scaled_network();
+    let pool = het_pool(net.node_count());
+    let cfg = pipeline::PipelineConfig::with_budget(8.0);
+    let mapping = pipeline::optimize_area(&net, &pool, &cfg)
+        .best_mapping()
+        .expect("mappable")
+        .clone();
+
+    let events = EventSet::generate(&SmartPixelConfig::default(), 20);
+    let sim = LifSimulator::default();
+    let mut measured = 0u64;
+    let mut profile = SpikeProfile::with_len(net.node_count());
+    for e in events.events() {
+        let stim = smartpixel::encode(&net, e, 16);
+        let rec = sim.run(&net, &stim, 16);
+        measured += count_packets(&net, mapping.assignment(), &rec).global;
+        profile.merge(&SpikeProfile::from_record(&rec));
+    }
+    let metrics = MappingMetrics::with_profile(&net, &pool, &mapping, profile.counts());
+    assert_eq!(metrics.predicted_packets, Some(measured));
+}
+
+#[test]
+fn pgo_beats_or_ties_snu_on_predicted_packets() {
+    // On a small instance with generous budget, PGO's optimum for Eq. 12
+    // must be at least as good as evaluating Eq. 12 on the SNU mapping.
+    let net = generate(&NetworkSpec::scaled_a(20));
+    let pool = het_pool(net.node_count());
+    let cfg = pipeline::PipelineConfig::with_budget(20.0);
+    let base = pipeline::optimize_area(&net, &pool, &cfg)
+        .best_mapping()
+        .expect("mappable")
+        .clone();
+
+    // Skewed profile: a couple of hot neurons.
+    let mut weights = vec![1u64; net.node_count()];
+    weights[0] = 50;
+    weights[net.node_count() / 2] = 30;
+
+    let snu = pipeline::optimize_routes_after_area(&net, &pool, &base, &cfg)
+        .best_mapping()
+        .expect("feasible")
+        .clone();
+    let pgo = pipeline::optimize_pgo_after_area(&net, &pool, &base, &weights, &cfg)
+        .best_mapping()
+        .expect("feasible")
+        .clone();
+    let snu_packets =
+        croxmap::sim::predicted_global_packets(&net, snu.assignment(), &weights);
+    let pgo_packets =
+        croxmap::sim::predicted_global_packets(&net, pgo.assignment(), &weights);
+    assert!(
+        pgo_packets <= snu_packets,
+        "PGO {pgo_packets} must not lose to SNU {snu_packets} on its own objective"
+    );
+}
+
+#[test]
+fn eons_champion_is_mappable() {
+    let cfg = EonsConfig {
+        population: 8,
+        generations: 4,
+        hidden_count: 8,
+        ..EonsConfig::default()
+    };
+    let events = EventSet::generate(&SmartPixelConfig::default(), 10);
+    let sim = LifSimulator::default();
+    let run = evolve(&cfg, |n| smartpixel::accuracy(n, &sim, &events, 12));
+    let net = run.best.to_network(&cfg);
+    let pool = het_pool(net.node_count());
+    let mapping = pipeline::optimize_area(&net, &pool, &pipeline::PipelineConfig::with_budget(10.0))
+        .best_mapping()
+        .expect("evolved networks are mappable")
+        .clone();
+    mapping.validate(&net, &pool).unwrap();
+}
+
+#[test]
+fn deterministic_pipeline_runs() {
+    let net = scaled_network();
+    let pool = het_pool(net.node_count());
+    let cfg = pipeline::PipelineConfig::with_budget(5.0);
+    let a = pipeline::optimize_area(&net, &pool, &cfg);
+    let b = pipeline::optimize_area(&net, &pool, &cfg);
+    assert_eq!(a.det_time, b.det_time);
+    assert_eq!(a.incumbents.len(), b.incumbents.len());
+    for (x, y) in a.incumbents.iter().zip(&b.incumbents) {
+        assert_eq!(x.mapping, y.mapping);
+        assert_eq!(x.det_time, y.det_time);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests over randomly generated networks, pools and
+//! solver inputs.
+
+use croxmap::prelude::*;
+use croxmap_core::pipeline;
+use proptest::prelude::*;
+
+/// Strategy: a random simple digraph with `n` in 3..=8 nodes.
+fn arb_network() -> impl Strategy<Value = Network> {
+    (3usize..=8)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::btree_set((0..n, 0..n), 1..=(n * 2).min(12));
+            (Just(n), edges)
+        })
+        .prop_map(|(n, edges)| {
+            let mut b = NetworkBuilder::new();
+            let ids: Vec<_> = (0..n)
+                .map(|i| {
+                    let role = if i == 0 {
+                        NodeRole::Input
+                    } else if i == n - 1 {
+                        NodeRole::Output
+                    } else {
+                        NodeRole::Hidden
+                    };
+                    b.add_neuron(role, 1.0, 0.1)
+                })
+                .collect();
+            for (u, v) in edges {
+                b.add_edge(ids[u], ids[v], 0.8, 1).unwrap();
+            }
+            b.build().unwrap()
+        })
+}
+
+fn arb_pool() -> impl Strategy<Value = CrossbarPool> {
+    (2u32..=6, 2u32..=4, 2usize..=4).prop_map(|(inputs, outputs, count)| {
+        CrossbarPool::from_counts(
+            &AreaModel::memristor_count(),
+            [
+                (CrossbarDim::new(inputs, outputs), count),
+                (CrossbarDim::new(inputs * 2, outputs), 2),
+            ],
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn greedy_mapping_always_validates(net in arb_network(), pool in arb_pool()) {
+        if let Ok(m) = greedy_first_fit(&net, &pool) {
+            prop_assert!(m.validate(&net, &pool).is_ok());
+        }
+    }
+
+    #[test]
+    fn ilp_solutions_always_validate(net in arb_network(), pool in arb_pool()) {
+        let cfg = pipeline::PipelineConfig::with_budget(3.0);
+        let run = pipeline::optimize_area(&net, &pool, &cfg);
+        if let Some(m) = run.best_mapping() {
+            prop_assert!(m.validate(&net, &pool).is_ok());
+        }
+    }
+
+    #[test]
+    fn warm_start_encoding_is_feasible(net in arb_network(), pool in arb_pool()) {
+        if let Ok(m) = greedy_first_fit(&net, &pool) {
+            let ilp = MappingIlp::build(
+                &net,
+                &pool,
+                &MappingObjective::Area,
+                &FormulationConfig::new(),
+            );
+            let warm = ilp.warm_start(&net, &m);
+            prop_assert!(ilp.model().is_feasible(&warm, 1e-6));
+            // Decoding the warm start recovers the mapping.
+            let sol = croxmap::ilp::Solution::new(warm, 0.0);
+            prop_assert_eq!(ilp.decode(&sol), m);
+        }
+    }
+
+    #[test]
+    fn route_objective_equals_metric(net in arb_network(), pool in arb_pool()) {
+        if let Ok(m) = greedy_first_fit(&net, &pool) {
+            let ilp = MappingIlp::build(
+                &net,
+                &pool,
+                &MappingObjective::GlobalRoutes,
+                &FormulationConfig::new(),
+            );
+            let warm = ilp.warm_start(&net, &m);
+            let obj = ilp.model().objective_value(&warm);
+            let routes = count_routes(&net, m.assignment());
+            prop_assert!((obj - routes.global as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn total_route_objective_equals_metric(net in arb_network(), pool in arb_pool()) {
+        if let Ok(m) = greedy_first_fit(&net, &pool) {
+            let ilp = MappingIlp::build(
+                &net,
+                &pool,
+                &MappingObjective::TotalRoutes,
+                &FormulationConfig::new(),
+            );
+            let warm = ilp.warm_start(&net, &m);
+            let obj = ilp.model().objective_value(&warm);
+            let routes = count_routes(&net, m.assignment());
+            prop_assert!((obj - routes.total() as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn packets_never_below_weighted_routes_lower_bound(net in arb_network(), pool in arb_pool()) {
+        // For any mapping and any profile, measured packets from a real
+        // simulation equal the Eq. 12 prediction on that simulation's
+        // own profile.
+        if let Ok(m) = greedy_first_fit(&net, &pool) {
+            let input = net.input_ids().next().unwrap();
+            let stim = Stimulus::new([(input, SpikeTrain::periodic(0, 2, 12))]);
+            let rec = LifSimulator::default().run(&net, &stim, 12);
+            let profile = SpikeProfile::from_record(&rec);
+            let measured = count_packets(&net, m.assignment(), &rec).global;
+            let predicted = croxmap::sim::predicted_global_packets(
+                &net,
+                m.assignment(),
+                profile.counts(),
+            );
+            prop_assert_eq!(measured, predicted);
+        }
+    }
+
+    #[test]
+    fn gini_index_bounded(values in proptest::collection::vec(0.0f64..100.0, 1..40)) {
+        let g = croxmap::snn::gini_index(&values);
+        prop_assert!((0.0..=1.0).contains(&g), "gini {}", g);
+    }
+
+    #[test]
+    fn simulator_fire_counts_bounded_by_steps(net in arb_network(), steps in 1u32..20) {
+        let input = net.input_ids().next().unwrap();
+        let stim = Stimulus::new([(input, SpikeTrain::periodic(0, 1, steps))]);
+        let rec = LifSimulator::default().run(&net, &stim, steps);
+        for i in net.neuron_ids() {
+            prop_assert!(rec.fire_count(i) <= u64::from(steps));
+        }
+    }
+}

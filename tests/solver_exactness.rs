@@ -1,0 +1,141 @@
+//! Property-based exactness check of the ILP engine itself: random small
+//! 0/1 models are solved both by `croxmap-ilp` and by exhaustive
+//! enumeration, and the optima must agree.
+
+use croxmap::ilp::{Model, SolveStatus, Solver, SolverConfig, VarId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomIlp {
+    n: usize,
+    /// (coeffs per var, sense_le, rhs) rows; coeffs in -3..=3.
+    rows: Vec<(Vec<i32>, bool, i32)>,
+    objective: Vec<i32>,
+}
+
+fn arb_ilp() -> impl Strategy<Value = RandomIlp> {
+    (2usize..=7)
+        .prop_flat_map(|n| {
+            let row = (
+                proptest::collection::vec(-3i32..=3, n),
+                any::<bool>(),
+                -4i32..=6,
+            );
+            let rows = proptest::collection::vec(row, 1..=5);
+            let objective = proptest::collection::vec(-5i32..=5, n);
+            (Just(n), rows, objective)
+        })
+        .prop_map(|(n, rows, objective)| RandomIlp { n, rows, objective })
+}
+
+fn build(ilp: &RandomIlp) -> (Model, Vec<VarId>) {
+    let mut m = Model::new();
+    let vars: Vec<VarId> = (0..ilp.n).map(|i| m.add_binary(format!("x{i}"))).collect();
+    for (r, (coeffs, le, rhs)) in ilp.rows.iter().enumerate() {
+        let expr = m.expr(
+            vars.iter()
+                .zip(coeffs)
+                .map(|(&v, &c)| (v, f64::from(c))),
+        );
+        let cmp = if *le {
+            expr.leq(f64::from(*rhs))
+        } else {
+            expr.geq(f64::from(*rhs))
+        };
+        m.add_constraint(format!("r{r}"), cmp);
+    }
+    m.set_objective(m.expr(
+        vars.iter()
+            .zip(&ilp.objective)
+            .map(|(&v, &c)| (v, f64::from(c))),
+    ));
+    (m, vars)
+}
+
+/// Exhaustive optimum over all 2^n assignments, if any is feasible.
+fn brute_force(ilp: &RandomIlp) -> Option<i64> {
+    let mut best: Option<i64> = None;
+    for code in 0u32..(1 << ilp.n) {
+        let assignment: Vec<i64> = (0..ilp.n).map(|i| i64::from((code >> i) & 1)).collect();
+        let feasible = ilp.rows.iter().all(|(coeffs, le, rhs)| {
+            let lhs: i64 = coeffs
+                .iter()
+                .zip(&assignment)
+                .map(|(&c, &x)| i64::from(c) * x)
+                .sum();
+            if *le {
+                lhs <= i64::from(*rhs)
+            } else {
+                lhs >= i64::from(*rhs)
+            }
+        });
+        if feasible {
+            let obj: i64 = ilp
+                .objective
+                .iter()
+                .zip(&assignment)
+                .map(|(&c, &x)| i64::from(c) * x)
+                .sum();
+            best = Some(best.map_or(obj, |b: i64| b.min(obj)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn solver_matches_brute_force(ilp in arb_ilp()) {
+        let (model, _) = build(&ilp);
+        let truth = brute_force(&ilp);
+        let result = Solver::new(SolverConfig::default().with_det_time_limit(10.0))
+            .solve(&model);
+        match truth {
+            None => {
+                prop_assert_eq!(result.status, SolveStatus::Infeasible);
+                prop_assert!(result.best.is_none());
+            }
+            Some(opt) => {
+                let best = result.best.expect("solver must find a solution");
+                prop_assert_eq!(result.status, SolveStatus::Optimal);
+                prop_assert!((best.objective() - opt as f64).abs() < 1e-6,
+                    "solver {} vs brute force {}", best.objective(), opt);
+                // And the reported solution must really be feasible.
+                prop_assert!(model.is_feasible(best.values(), 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn warm_started_solver_matches_brute_force(ilp in arb_ilp()) {
+        let (model, _) = build(&ilp);
+        let Some(opt) = brute_force(&ilp) else { return Ok(()); };
+        // Find any feasible point to warm start from.
+        let warm = (0u32..(1 << ilp.n)).find_map(|code| {
+            let v: Vec<f64> = (0..ilp.n).map(|i| f64::from((code >> i) & 1)).collect();
+            model.is_feasible(&v, 1e-9).then_some(v)
+        });
+        let solver = Solver::new(SolverConfig::default().with_det_time_limit(10.0));
+        let result = match warm {
+            Some(w) => solver.solve_with_warm_start(&model, &w),
+            None => solver.solve(&model),
+        };
+        let best = result.best.expect("feasible by construction");
+        prop_assert!((best.objective() - opt as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn branch_priorities_do_not_change_the_optimum(ilp in arb_ilp()) {
+        let (mut model, vars) = build(&ilp);
+        let Some(opt) = brute_force(&ilp) else { return Ok(()); };
+        // Arbitrary priority spread must not affect correctness.
+        for (i, &v) in vars.iter().enumerate() {
+            model.set_branch_priority(v, (i % 3) as i32);
+        }
+        let result = Solver::new(SolverConfig::default().with_det_time_limit(10.0))
+            .solve(&model);
+        let best = result.best.expect("feasible");
+        prop_assert!((best.objective() - opt as f64).abs() < 1e-6);
+    }
+}
