@@ -21,12 +21,7 @@ fn fixture() -> (croxmap_snn::Network, CrossbarPool) {
     (net, pool)
 }
 
-fn config(
-    linking: Linking,
-    symmetry: bool,
-    warm: bool,
-    rule: BranchRule,
-) -> PipelineConfig {
+fn config(linking: Linking, symmetry: bool, warm: bool, rule: BranchRule) -> PipelineConfig {
     PipelineConfig {
         formulation: FormulationConfig {
             linking,

@@ -17,8 +17,10 @@ fn bench_build(c: &mut Criterion) {
             net.node_count(),
             2,
         );
-        for (label, linking) in [("aggregated", Linking::Aggregated), ("strong", Linking::Strong)]
-        {
+        for (label, linking) in [
+            ("aggregated", Linking::Aggregated),
+            ("strong", Linking::Strong),
+        ] {
             let cfg = FormulationConfig {
                 linking,
                 ..FormulationConfig::new()
@@ -45,7 +47,12 @@ fn bench_warm_start_encoding(c: &mut Criterion) {
         net.node_count(),
         2,
     );
-    let ilp = MappingIlp::build(&net, &pool, &MappingObjective::Area, &FormulationConfig::new());
+    let ilp = MappingIlp::build(
+        &net,
+        &pool,
+        &MappingObjective::Area,
+        &FormulationConfig::new(),
+    );
     let mapping = croxmap_core::baseline::greedy_first_fit(&net, &pool).expect("mappable");
     group.bench_function("scaled_a_8", |b| {
         b.iter(|| ilp.warm_start(&net, &mapping));

@@ -2,9 +2,7 @@
 //! several scales and with both objectives.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use croxmap_core::pipeline::{
-    optimize_area, optimize_routes_after_area, PipelineConfig,
-};
+use croxmap_core::pipeline::{optimize_area, optimize_routes_after_area, PipelineConfig};
 use croxmap_gen::calibrated::{generate, NetworkSpec};
 use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarPool};
 

@@ -1,8 +1,18 @@
-//! Micro-benchmarks of the ILP engine: LP relaxations and full
-//! branch-and-bound solves on classic 0/1 families.
+//! Micro-benchmarks of the ILP engine: LP relaxations, full
+//! branch-and-bound solves, and the warm-vs-cold comparison that tracks
+//! the revised-simplex warm-start win across PRs.
+//!
+//! Besides the criterion groups, `warm_vs_cold` writes a machine-readable
+//! `BENCH_solver.json` at the repository root: one record per
+//! (instance, mode) with node counts, deterministic work and throughput,
+//! so future PRs can diff the solver's perf trajectory without parsing
+//! human-oriented bench output.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use croxmap_ilp::{simplex, Model, Solver, SolverConfig};
+use croxmap_ilp::simplex::{self, LpSolver, LpStatus};
+use croxmap_ilp::{Model, Solver, SolverConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
 
 /// Set-cover instance over a ring: n elements, each covered by 2 sets.
 fn ring_cover(n: usize) -> Model {
@@ -14,7 +24,13 @@ fn ring_cover(n: usize) -> Model {
             m.expr([(vars[e], 1.0), (vars[(e + 1) % n], 1.0)]).geq(1.0),
         );
     }
-    m.set_objective(m.expr(vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + (i % 3) as f64))));
+    m.set_objective(
+        m.expr(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i % 3) as f64)),
+        ),
+    );
     m
 }
 
@@ -34,11 +50,13 @@ fn knapsack(n: usize) -> Model {
             .leq(cap),
         );
     }
-    m.set_objective(m.expr(
-        vars.iter()
-            .enumerate()
-            .map(|(i, &v)| (v, -(2.0 + ((i * 7) % 11) as f64))),
-    ));
+    m.set_objective(
+        m.expr(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, -(2.0 + ((i * 7) % 11) as f64))),
+        ),
+    );
     m
 }
 
@@ -71,5 +89,174 @@ fn bench_branch_and_bound(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lp_relaxation, bench_branch_and_bound);
+/// One record of the machine-readable perf log.
+struct WarmColdRecord {
+    instance: String,
+    mode: &'static str,
+    nodes: u64,
+    det_seconds: f64,
+    work_ticks: u64,
+    wall_seconds: f64,
+    objective: Option<f64>,
+}
+
+impl WarmColdRecord {
+    fn nodes_per_sec(&self) -> f64 {
+        self.nodes as f64 / self.wall_seconds.max(1e-9)
+    }
+}
+
+/// Full branch-and-bound, warm vs cold LPs.
+fn measure_bb(name: &str, model: &Model, warm_lp: bool) -> WarmColdRecord {
+    let cfg = SolverConfig {
+        det_time_limit: 5.0,
+        enable_lns: false,
+        warm_lp,
+        ..SolverConfig::default()
+    };
+    let start = Instant::now();
+    let result = Solver::new(cfg).solve(model);
+    let wall = start.elapsed().as_secs_f64();
+    WarmColdRecord {
+        instance: format!("bb/{name}"),
+        mode: if warm_lp { "warm" } else { "cold" },
+        nodes: result.nodes,
+        det_seconds: result.det_time,
+        work_ticks: (result.det_time * 1e9) as u64,
+        wall_seconds: wall,
+        objective: result.best.as_ref().map(croxmap_ilp::Solution::objective),
+    }
+}
+
+/// A branching workload at the LP level: solve the root, then re-solve one
+/// child per binary (fixing it to 1), warm-starting each child from the
+/// previous optimal basis — exactly what a branch-and-bound plunge does.
+/// `warm` toggles basis reuse; cold mode re-solves every child from
+/// scratch.
+fn measure_lp_chain(name: &str, model: &Model, warm: bool) -> WarmColdRecord {
+    let lp_cfg = simplex::LpConfig::default();
+    let mut bounds: Vec<(f64, f64)> = model
+        .variables()
+        .iter()
+        .map(|v| (v.lower, v.upper))
+        .collect();
+    let mut solver = LpSolver::new();
+    let start = Instant::now();
+    let root = solver.solve(model, &bounds, &lp_cfg, None);
+    let mut basis = root.basis;
+    let mut ticks = root.result.work_ticks;
+    let mut solves = 1u64;
+    let mut last_obj = root.result.objective;
+    for j in 0..model.num_vars() {
+        bounds[j] = (1.0, 1.0);
+        let out = solver.solve(
+            model,
+            &bounds,
+            &lp_cfg,
+            if warm { basis.as_ref() } else { None },
+        );
+        ticks += out.result.work_ticks;
+        solves += 1;
+        if out.result.status != LpStatus::Optimal {
+            break;
+        }
+        last_obj = out.result.objective;
+        if warm {
+            basis = out.basis;
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    WarmColdRecord {
+        instance: format!("lp_chain/{name}"),
+        mode: if warm { "warm" } else { "cold" },
+        nodes: solves,
+        det_seconds: ticks as f64 / 1e9,
+        work_ticks: ticks,
+        wall_seconds: wall,
+        objective: Some(last_obj),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(records: &[WarmColdRecord]) {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let obj = r
+            .objective
+            .map_or_else(|| "null".to_owned(), |o| format!("{o}"));
+        let _ = write!(
+            out,
+            "  {{\"instance\": \"{}\", \"mode\": \"{}\", \"nodes\": {}, \
+             \"det_seconds\": {:.6}, \"work_ticks\": {}, \"wall_seconds\": {:.6}, \
+             \"nodes_per_sec\": {:.1}, \"objective\": {}}}",
+            json_escape(&r.instance),
+            r.mode,
+            r.nodes,
+            r.det_seconds,
+            r.work_ticks,
+            r.wall_seconds,
+            r.nodes_per_sec(),
+            obj,
+        );
+        out.push_str(if i + 1 == records.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warm_vs_cold: could not write {path}: {e}");
+    } else {
+        println!("warm_vs_cold: wrote {path}");
+    }
+}
+
+/// Warm-vs-cold comparison across the bench families, plus the JSON log.
+fn bench_warm_vs_cold(c: &mut Criterion) {
+    let mut records = Vec::new();
+    let mut group = c.benchmark_group("warm_vs_cold");
+    group.sample_size(10);
+    for n in [48usize, 96] {
+        for (name, model) in [
+            (format!("ring_cover/{n}"), ring_cover(n)),
+            (format!("knapsack/{n}"), knapsack(n)),
+        ] {
+            for warm in [true, false] {
+                let mode = if warm { "warm" } else { "cold" };
+                group.bench_with_input(
+                    BenchmarkId::new(format!("lp_chain/{name}"), mode),
+                    &model,
+                    |b, m| {
+                        b.iter(|| measure_lp_chain(&name, m, warm));
+                    },
+                );
+                records.push(measure_lp_chain(&name, &model, warm));
+                records.push(measure_bb(&name, &model, warm));
+            }
+        }
+    }
+    group.finish();
+
+    // Headline ratios, printed for humans; the JSON carries the raw data.
+    for pair in records.chunks(4) {
+        if let [lw, bw, lc, bc] = pair {
+            println!(
+                "warm_vs_cold {}: lp_chain warm/cold ticks {:.1}x, bb nodes/det-sec {:.1}x",
+                lw.instance,
+                lc.work_ticks as f64 / lw.work_ticks.max(1) as f64,
+                (bw.nodes as f64 / bw.det_seconds.max(1e-9))
+                    / (bc.nodes as f64 / bc.det_seconds.max(1e-9)),
+            );
+        }
+    }
+    write_json(&records);
+}
+
+criterion_group!(
+    benches,
+    bench_lp_relaxation,
+    bench_branch_and_bound,
+    bench_warm_vs_cold
+);
 criterion_main!(benches);

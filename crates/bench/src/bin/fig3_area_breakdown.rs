@@ -18,7 +18,10 @@ fn main() {
         let pool = scale.heterogeneous_pool(&network);
         let run = optimize_area(&network, &pool, &scale.pipeline());
         let Some(best) = run.best_mapping() else {
-            println!("\n(3{}) network {name}: no feasible mapping found", (b'b' + idx as u8) as char);
+            println!(
+                "\n(3{}) network {name}: no feasible mapping found",
+                (b'b' + idx as u8) as char
+            );
             continue;
         };
 

@@ -20,8 +20,7 @@ fn main() {
     // Seed with the naive sequential mapping and chart the optimiser's
     // refinement trajectory from there, as in the paper's evolution plots.
     let seed = naive_sequential(&network, &pool).expect("network mappable");
-    let points =
-        area_snu_evolution_from(&network, &pool, &seed, &scale.pipeline(), snu_budget);
+    let points = area_snu_evolution_from(&network, &pool, &seed, &scale.pipeline(), snu_budget);
 
     println!(
         "{:>12} {:>10} {:>12} {:>12}",
@@ -42,6 +41,9 @@ fn main() {
     println!(
         "\nhypothetical 1-neuron-per-{min_dim} bound: area {bound_area}, SNU {bound_routes} (all routes global)"
     );
-    println!("total deterministic time: {:.3}s over {} evolution points",
-        points.last().map_or(0.0, |p| p.det_time), points.len());
+    println!(
+        "total deterministic time: {:.3}s over {} evolution points",
+        points.last().map_or(0.0, |p| p.det_time),
+        points.len()
+    );
 }

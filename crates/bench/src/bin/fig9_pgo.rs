@@ -83,10 +83,16 @@ fn main() {
             continue;
         };
         let snu_run = optimize_routes_after_area(&network, &pool, &base, &scale.pipeline());
-        let snu_map = snu_run.best_mapping().cloned().unwrap_or_else(|| base.clone());
+        let snu_map = snu_run
+            .best_mapping()
+            .cloned()
+            .unwrap_or_else(|| base.clone());
         let pgo_run =
             optimize_pgo_after_area(&network, &pool, &base, profile.counts(), &scale.pipeline());
-        let pgo_map = pgo_run.best_mapping().cloned().unwrap_or_else(|| base.clone());
+        let pgo_map = pgo_run
+            .best_mapping()
+            .cloned()
+            .unwrap_or_else(|| base.clone());
 
         // Solver-effort comparison: solve the bare restricted ILPs with no
         // warm start and record the deterministic time to the first

@@ -23,7 +23,10 @@ fn main() {
         println!("{row}");
     }
     let arch = ArchitectureSpec::table_ii_heterogeneous();
-    println!("\ncatalog as used by the heterogeneous experiments ({} dims):", arch.catalog().len());
+    println!(
+        "\ncatalog as used by the heterogeneous experiments ({} dims):",
+        arch.catalog().len()
+    );
     for dim in arch.catalog() {
         println!("  {dim}  ({} memristors)", dim.memristors());
     }

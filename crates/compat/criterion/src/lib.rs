@@ -1,0 +1,174 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the subset of criterion's API the croxmap benches use
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], the `criterion_group!`/`criterion_main!` macros) with
+//! a plain wall-clock timer: each benchmark runs a warm-up iteration and a
+//! small number of timed samples, and prints the per-iteration mean. There
+//! is no statistics engine — the numbers are indicative, not rigorous —
+//! but the harness keeps every bench target compiling and runnable without
+//! registry access.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevents the optimiser from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&name.into(), 10, &mut f);
+    }
+}
+
+/// Identifier of one parameterised benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, &mut |b| f(b, input));
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, name.into());
+        run_one(&label, self.sample_size, &mut f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // One warm-up pass, then `samples` timed passes of one iteration each:
+    // the stub optimises for total suite time, not statistical power.
+    let samples = sample_size.clamp(1, 10);
+    let mut bencher = Bencher {
+        elapsed_ns: 0,
+        iters: 0,
+    };
+    f(&mut bencher); // warm-up
+    bencher.elapsed_ns = 0;
+    bencher.iters = 0;
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    let mean = if bencher.iters == 0 {
+        0
+    } else {
+        bencher.elapsed_ns / bencher.iters
+    };
+    println!(
+        "bench {label:<60} {mean:>12} ns/iter ({} iters)",
+        bencher.iters
+    );
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u128,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (criterion would time many batches).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iters += 1;
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("f", 1), &2u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible API subset).
+//!
+//! Implements exactly the surface the croxmap workspace uses —
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen_range`],
+//! [`Rng::gen_bool`] and [`seq::SliceRandom::shuffle`] — backed by a
+//! deterministic xoshiro256++ generator. Streams differ from the real
+//! crate, but every croxmap consumer only requires *determinism for a
+//! fixed seed*, which this provides.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i32, i64, u32, u64, usize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, as the real crate does.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice shuffling (Fisher–Yates).
+    pub trait SliceRandom {
+        /// Shuffles the slice in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u64), b.gen_range(0..1000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&x));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let u = rng.gen_range(0..5usize);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Re-exports the no-op derive macros from the sibling `serde_derive` stub
+//! and provides empty marker traits under the usual names so trait bounds
+//! written against `serde::Serialize` / `serde::Deserialize` still compile.
+//! Nothing in the workspace serialises data yet; replace with the real
+//! crates when registry access is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,23 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `serde_derive` cannot be fetched. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations — no
+//! code path actually serialises anything yet — so these derives accept the
+//! same syntax (including `#[serde(...)]` helper attributes) and expand to
+//! nothing. Swap the `[patch]`-style path dependency for the real crates
+//! once registry access is available.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -43,7 +43,10 @@ impl fmt::Display for GreedyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GreedyError::Unplaceable { neuron, fan_in } => {
-                write!(f, "no pool slot can host neuron {neuron} with fan-in {fan_in}")
+                write!(
+                    f,
+                    "no pool slot can host neuron {neuron} with fan-in {fan_in}"
+                )
             }
         }
     }
@@ -76,7 +79,14 @@ pub fn greedy_first_fit(network: &Network, pool: &CrossbarPool) -> Result<Mappin
         // Try open slots first (first fit).
         for &j in &open {
             if fits(pool, j, outputs_used[j], &inputs[j], &sources) {
-                place(i, j, &mut assignment, &mut outputs_used, &mut inputs, &sources);
+                place(
+                    i,
+                    j,
+                    &mut assignment,
+                    &mut outputs_used,
+                    &mut inputs,
+                    &sources,
+                );
                 continue 'place;
             }
         }
@@ -95,7 +105,14 @@ pub fn greedy_first_fit(network: &Network, pool: &CrossbarPool) -> Result<Mappin
         match candidates.first() {
             Some(&j) => {
                 open.push(j);
-                place(i, j, &mut assignment, &mut outputs_used, &mut inputs, &sources);
+                place(
+                    i,
+                    j,
+                    &mut assignment,
+                    &mut outputs_used,
+                    &mut inputs,
+                    &sources,
+                );
             }
             None => {
                 return Err(GreedyError::Unplaceable {
@@ -154,7 +171,14 @@ pub fn naive_sequential(network: &Network, pool: &CrossbarPool) -> Result<Mappin
         let sources: BTreeSet<NeuronId> = network.fan_in(i).map(|e| e.source).collect();
         for j in 0..pool.len() {
             if fits(pool, j, outputs_used[j], &inputs[j], &sources) {
-                place(i, j, &mut assignment, &mut outputs_used, &mut inputs, &sources);
+                place(
+                    i,
+                    j,
+                    &mut assignment,
+                    &mut outputs_used,
+                    &mut inputs,
+                    &sources,
+                );
                 continue 'place;
             }
         }
@@ -327,7 +351,9 @@ pub fn local_search_routes(
         croxmap_sim::predicted_global_packets(network, assignment, w)
     };
     let valid = |assignment: &[usize]| -> bool {
-        Mapping::new(assignment.to_vec()).validate(network, pool).is_ok()
+        Mapping::new(assignment.to_vec())
+            .validate(network, pool)
+            .is_ok()
     };
 
     let mut assignment = initial.assignment().to_vec();
@@ -478,9 +504,7 @@ pub fn pack_mccs(
         // Pre-fix slots the MCC cannot fit alone.
         for (j, &zgj) in zg.iter().enumerate() {
             let dim = pool.slot(j).dim;
-            if mccs[g].outputs > dim.outputs() as usize
-                || mccs[g].inputs > dim.inputs() as usize
-            {
+            if mccs[g].outputs > dim.outputs() as usize || mccs[g].inputs > dim.inputs() as usize {
                 model.fix_binary(zgj, false);
             }
         }
@@ -654,10 +678,8 @@ mod tests {
         // 8-neuron chain initially scattered across 8 slots; packing should
         // consolidate substantially.
         let net = chain(8);
-        let pool = CrossbarPool::from_counts(
-            &AreaModel::memristor_count(),
-            [(CrossbarDim::new(8, 8), 8)],
-        );
+        let pool =
+            CrossbarPool::from_counts(&AreaModel::memristor_count(), [(CrossbarDim::new(8, 8), 8)]);
         let initial = greedy_first_fit(&net, &pool).unwrap();
         // Fragment: one neuron per slot.
         let fragmented = Mapping::new((0..8).collect());
@@ -708,10 +730,8 @@ mod tests {
         // tighter: force it by checking the *model's* input accounting via
         // a 1-input crossbar where the true mapping fits but MCC says no.
         m.validate(&net, &pool).unwrap();
-        let tight = CrossbarPool::from_counts(
-            &AreaModel::memristor_count(),
-            [(CrossbarDim::new(1, 3), 1)],
-        );
+        let tight =
+            CrossbarPool::from_counts(&AreaModel::memristor_count(), [(CrossbarDim::new(1, 3), 1)]);
         // True feasibility: all three on the 1×3 crossbar — src is the only
         // axon source, one word line suffices.
         let true_mapping = Mapping::new(vec![0, 0, 0]);
@@ -724,10 +744,8 @@ mod tests {
     #[test]
     fn spikehard_converges() {
         let net = chain(6);
-        let pool = CrossbarPool::from_counts(
-            &AreaModel::memristor_count(),
-            [(CrossbarDim::new(4, 4), 6)],
-        );
+        let pool =
+            CrossbarPool::from_counts(&AreaModel::memristor_count(), [(CrossbarDim::new(4, 4), 6)]);
         let fragmented = Mapping::new((0..6).collect());
         let cfg = SolverConfig::default().with_det_time_limit(5.0);
         let run = spikehard_iterate(&net, &pool, &fragmented, &cfg, 20).unwrap();
@@ -755,10 +773,8 @@ mod tests {
     #[test]
     fn local_search_empties_fragmented_slots() {
         let net = chain(6);
-        let pool = CrossbarPool::from_counts(
-            &AreaModel::memristor_count(),
-            [(CrossbarDim::new(8, 8), 6)],
-        );
+        let pool =
+            CrossbarPool::from_counts(&AreaModel::memristor_count(), [(CrossbarDim::new(8, 8), 6)]);
         let fragmented = Mapping::new((0..6).collect());
         let improved = local_search_area(&net, &pool, &fragmented, 20);
         improved.validate(&net, &pool).unwrap();
@@ -810,10 +826,8 @@ mod tests {
         b.add_edge(s1, t1, 1.0, 1).unwrap();
         b.add_edge(s1, t2, 1.0, 1).unwrap();
         let net = b.build().unwrap();
-        let pool = CrossbarPool::from_counts(
-            &AreaModel::memristor_count(),
-            [(CrossbarDim::new(1, 3), 2)],
-        );
+        let pool =
+            CrossbarPool::from_counts(&AreaModel::memristor_count(), [(CrossbarDim::new(1, 3), 2)]);
         let spread = Mapping::new(vec![0, 0, 1]);
         let improved = local_search_area(&net, &pool, &spread, 10);
         improved.validate(&net, &pool).unwrap();

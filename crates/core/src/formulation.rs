@@ -466,7 +466,12 @@ mod tests {
         let net = diamond();
         let arch = ArchitectureSpec::homogeneous(CrossbarDim::square(4));
         let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 4, 2);
-        let ilp = MappingIlp::build(&net, &pool, &MappingObjective::Area, &FormulationConfig::new());
+        let ilp = MappingIlp::build(
+            &net,
+            &pool,
+            &MappingObjective::Area,
+            &FormulationConfig::new(),
+        );
         let r = solver().solve(ilp.model());
         assert_eq!(r.status, SolveStatus::Optimal);
         let m = ilp.decode(&r.best.unwrap());
@@ -491,7 +496,12 @@ mod tests {
         let net = b.build().unwrap();
         let arch = ArchitectureSpec::homogeneous(CrossbarDim::new(2, 4));
         let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 4, 1);
-        let ilp = MappingIlp::build(&net, &pool, &MappingObjective::Area, &FormulationConfig::new());
+        let ilp = MappingIlp::build(
+            &net,
+            &pool,
+            &MappingObjective::Area,
+            &FormulationConfig::new(),
+        );
         let r = solver().solve(ilp.model());
         assert_eq!(r.status, SolveStatus::Optimal);
         let m = ilp.decode(&r.best.unwrap());
@@ -524,11 +534,19 @@ mod tests {
         let net = diamond();
         let arch = ArchitectureSpec::homogeneous(CrossbarDim::new(4, 2));
         let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 4, 2);
-        let ilp = MappingIlp::build(&net, &pool, &MappingObjective::Area, &FormulationConfig::new());
+        let ilp = MappingIlp::build(
+            &net,
+            &pool,
+            &MappingObjective::Area,
+            &FormulationConfig::new(),
+        );
         let m = Mapping::new(vec![0, 0, 1, 1]);
         m.validate(&net, &pool).unwrap();
         let warm = ilp.warm_start(&net, &m);
-        assert!(ilp.model().is_feasible(&warm, 1e-6), "warm start must be feasible");
+        assert!(
+            ilp.model().is_feasible(&warm, 1e-6),
+            "warm start must be feasible"
+        );
         let sol = croxmap_ilp::Solution::new(warm.clone(), 0.0);
         assert_eq!(ilp.decode(&sol), m);
     }
@@ -593,11 +611,14 @@ mod tests {
     fn infeasible_when_pool_too_small() {
         let net = diamond();
         // One 4x2 crossbar for four neurons: impossible.
-        let pool = CrossbarPool::from_counts(
-            &AreaModel::memristor_count(),
-            [(CrossbarDim::new(4, 2), 1)],
+        let pool =
+            CrossbarPool::from_counts(&AreaModel::memristor_count(), [(CrossbarDim::new(4, 2), 1)]);
+        let ilp = MappingIlp::build(
+            &net,
+            &pool,
+            &MappingObjective::Area,
+            &FormulationConfig::new(),
         );
-        let ilp = MappingIlp::build(&net, &pool, &MappingObjective::Area, &FormulationConfig::new());
         let r = solver().solve(ilp.model());
         assert_eq!(r.status, SolveStatus::Infeasible);
     }
@@ -612,12 +633,14 @@ mod tests {
             b.add_edge(l, hub, 1.0, 1).unwrap();
         }
         let net = b.build().unwrap();
-        let arch = ArchitectureSpec::new(
-            "mixed",
-            [CrossbarDim::new(4, 4), CrossbarDim::new(8, 4)],
-        );
+        let arch = ArchitectureSpec::new("mixed", [CrossbarDim::new(4, 4), CrossbarDim::new(8, 4)]);
         let pool = CrossbarPool::for_network(&arch, &AreaModel::memristor_count(), 6, 5);
-        let ilp = MappingIlp::build(&net, &pool, &MappingObjective::Area, &FormulationConfig::new());
+        let ilp = MappingIlp::build(
+            &net,
+            &pool,
+            &MappingObjective::Area,
+            &FormulationConfig::new(),
+        );
         let r = solver().solve(ilp.model());
         assert_eq!(r.status, SolveStatus::Optimal);
         let m = ilp.decode(&r.best.unwrap());

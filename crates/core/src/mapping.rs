@@ -51,16 +51,40 @@ impl fmt::Display for MappingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MappingError::WrongArity { expected, actual } => {
-                write!(f, "assignment covers {actual} neurons, network has {expected}")
+                write!(
+                    f,
+                    "assignment covers {actual} neurons, network has {expected}"
+                )
             }
-            MappingError::SlotOutOfRange { neuron, slot, pool_len } => {
-                write!(f, "neuron {neuron} assigned to slot {slot} outside pool of {pool_len}")
+            MappingError::SlotOutOfRange {
+                neuron,
+                slot,
+                pool_len,
+            } => {
+                write!(
+                    f,
+                    "neuron {neuron} assigned to slot {slot} outside pool of {pool_len}"
+                )
             }
-            MappingError::OutputCapacityExceeded { slot, used, capacity } => {
-                write!(f, "slot {slot} hosts {used} neurons but has {capacity} output lines")
+            MappingError::OutputCapacityExceeded {
+                slot,
+                used,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "slot {slot} hosts {used} neurons but has {capacity} output lines"
+                )
             }
-            MappingError::InputCapacityExceeded { slot, used, capacity } => {
-                write!(f, "slot {slot} needs {used} axon inputs but has {capacity} word lines")
+            MappingError::InputCapacityExceeded {
+                slot,
+                used,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "slot {slot} needs {used} axon inputs but has {capacity} word lines"
+                )
             }
         }
     }
@@ -248,7 +272,11 @@ mod tests {
         let m = Mapping::new(vec![0, 0, 0, 1]);
         assert!(matches!(
             m.validate(&net, &pool),
-            Err(MappingError::OutputCapacityExceeded { slot: 0, used: 3, .. })
+            Err(MappingError::OutputCapacityExceeded {
+                slot: 0,
+                used: 3,
+                ..
+            })
         ));
     }
 
@@ -289,7 +317,10 @@ mod tests {
         let m = Mapping::new(vec![0, 0]);
         assert!(matches!(
             m.validate(&net, &pool),
-            Err(MappingError::WrongArity { expected: 4, actual: 2 })
+            Err(MappingError::WrongArity {
+                expected: 4,
+                actual: 2
+            })
         ));
     }
 
@@ -317,9 +348,6 @@ mod tests {
     #[test]
     fn neurons_on_lists_members() {
         let m = Mapping::new(vec![0, 1, 0, 1]);
-        assert_eq!(
-            m.neurons_on(0),
-            vec![NeuronId::new(0), NeuronId::new(2)]
-        );
+        assert_eq!(m.neurons_on(0), vec![NeuronId::new(0), NeuronId::new(2)]);
     }
 }

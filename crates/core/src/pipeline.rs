@@ -122,17 +122,18 @@ fn resolve_slot_group(
     group: &[usize],
     solver_config: &SolverConfig,
 ) -> (Option<Mapping>, f64) {
-    let freed: Vec<NeuronId> = group
-        .iter()
-        .flat_map(|&j| mapping.neurons_on(j))
-        .collect();
+    let freed: Vec<NeuronId> = group.iter().flat_map(|&j| mapping.neurons_on(j)).collect();
     if freed.is_empty() {
         return (None, 0.0);
     }
     let freed_set: BTreeSet<NeuronId> = freed.iter().copied().collect();
     let group_set: BTreeSet<usize> = group.iter().copied().collect();
     let used: BTreeSet<usize> = mapping.used_slots().into_iter().collect();
-    let hosts: Vec<usize> = used.iter().copied().filter(|j| !group_set.contains(j)).collect();
+    let hosts: Vec<usize> = used
+        .iter()
+        .copied()
+        .filter(|j| !group_set.contains(j))
+        .collect();
 
     // Sub-pool: freed slots, then hosts, then one unused representative of
     // every dimension cheaper than the freed group (a dearer one can never
@@ -159,7 +160,12 @@ fn resolve_slot_group(
     // lines of those members' sources.
     let mut fixed_outputs = vec![0usize; sub_slots.len()];
     let mut fixed_inputs: Vec<BTreeSet<NeuronId>> = vec![BTreeSet::new(); sub_slots.len()];
-    for (sj, &j) in sub_slots.iter().enumerate().skip(host_start).take(rep_start - host_start) {
+    for (sj, &j) in sub_slots
+        .iter()
+        .enumerate()
+        .skip(host_start)
+        .take(rep_start - host_start)
+    {
         let fixed_members: Vec<NeuronId> = mapping
             .neurons_on(j)
             .into_iter()
@@ -470,9 +476,7 @@ fn optimize_area_seeded(
                     config.solver.det_time_limit * 0.5,
                 );
                 refine_time = spent;
-                let best = improvements
-                    .last()
-                    .map_or(seed, |t| t.mapping.clone());
+                let best = improvements.last().map_or(seed, |t| t.mapping.clone());
                 incumbents.extend(improvements);
                 Some(best)
             }
@@ -620,9 +624,9 @@ fn evolution_points(
         };
         let snu_run = optimize_routes_after_area(network, pool, &inc.mapping, &snu_cfg);
         extra_time += snu_run.det_time;
-        let after = snu_run
-            .best_mapping()
-            .map_or(before, |m| croxmap_sim::count_routes(network, m.assignment()).global);
+        let after = snu_run.best_mapping().map_or(before, |m| {
+            croxmap_sim::count_routes(network, m.assignment()).global
+        });
         points.push(EvolutionPoint {
             det_time: inc.det_time + extra_time,
             area: inc.mapping.area(pool),
@@ -692,7 +696,9 @@ mod tests {
         let base = area_run.best_mapping().unwrap().clone();
         let base_area = base.area(&pool);
         let snu_run = optimize_routes_after_area(&net, &pool, &base, &config());
-        let refined = snu_run.best_mapping().expect("restriction keeps base feasible");
+        let refined = snu_run
+            .best_mapping()
+            .expect("restriction keeps base feasible");
         refined.validate(&net, &pool).unwrap();
         assert!(refined.area(&pool) <= base_area + 1e-9);
         // Routes must not be worse than the warm start.
@@ -746,19 +752,18 @@ mod tests {
     #[test]
     fn refine_pairwise_consolidates_fragmented_mapping() {
         let net = clustered();
-        let pool = CrossbarPool::from_counts(
-            &AreaModel::memristor_count(),
-            [(CrossbarDim::new(4, 4), 3)],
-        );
+        let pool =
+            CrossbarPool::from_counts(&AreaModel::memristor_count(), [(CrossbarDim::new(4, 4), 3)]);
         // One neuron per slot needs 6 slots; pool has only 3, so fragment
         // pairwise instead: 3 slots of 2 neurons across cluster lines.
         let fragmented = Mapping::new(vec![0, 1, 2, 0, 1, 2]);
         fragmented.validate(&net, &pool).unwrap();
         let cfg = crate::pipeline::PipelineConfig::with_budget(10.0);
-        let (improvements, spent) =
-            refine_pairwise(&net, &pool, &fragmented, &cfg.solver, 10.0);
+        let (improvements, spent) = refine_pairwise(&net, &pool, &fragmented, &cfg.solver, 10.0);
         assert!(spent > 0.0);
-        let best = improvements.last().expect("refinement finds the 2-slot packing");
+        let best = improvements
+            .last()
+            .expect("refinement finds the 2-slot packing");
         best.mapping.validate(&net, &pool).unwrap();
         assert!(best.objective < fragmented.area(&pool));
         assert_eq!(best.mapping.used_slots().len(), 2);

@@ -195,7 +195,8 @@ impl Genome {
             .map(|i| b.add_neuron(Self::role(cfg, i), self.thresholds[i], self.leaks[i]))
             .collect();
         for &(src, dst, w, d) in &self.edges {
-            b.add_edge(ids[src], ids[dst], w, d).expect("genome ids valid");
+            b.add_edge(ids[src], ids[dst], w, d)
+                .expect("genome ids valid");
         }
         b.build().expect("genome decodes to valid network")
     }
@@ -251,7 +252,10 @@ pub fn evolve(config: &EonsConfig, mut fitness: impl FnMut(&Network) -> f64) -> 
         history.push(GenerationStats {
             generation,
             best_fitness: scored[0].1,
-            mean_edges: scored.iter().map(|(_, _, g)| g.edge_count() as f64).sum::<f64>()
+            mean_edges: scored
+                .iter()
+                .map(|(_, _, g)| g.edge_count() as f64)
+                .sum::<f64>()
                 / scored.len() as f64,
         });
 
@@ -280,7 +284,11 @@ pub fn evolve(config: &EonsConfig, mut fitness: impl FnMut(&Network) -> f64) -> 
         .iter()
         .map(|g| {
             let raw = fitness(&g.to_network(config));
-            (raw - config.edge_penalty * g.edge_count() as f64, raw, g.clone())
+            (
+                raw - config.edge_penalty * g.edge_count() as f64,
+                raw,
+                g.clone(),
+            )
         })
         .collect();
     final_scored.extend(scored);
@@ -293,11 +301,7 @@ pub fn evolve(config: &EonsConfig, mut fitness: impl FnMut(&Network) -> f64) -> 
     }
 }
 
-fn tournament<'a>(
-    scored: &'a [(f64, f64, Genome)],
-    k: usize,
-    rng: &mut SmallRng,
-) -> &'a Genome {
+fn tournament<'a>(scored: &'a [(f64, f64, Genome)], k: usize, rng: &mut SmallRng) -> &'a Genome {
     let mut best: Option<&(f64, f64, Genome)> = None;
     for _ in 0..k.max(1) {
         let cand = &scored[rng.gen_range(0..scored.len())];
@@ -383,10 +387,7 @@ mod tests {
         let run = evolve(&cfg, |net| accuracy(net, &simulator, &events, 12));
         let first = run.history.first().unwrap().best_fitness;
         let last = run.best_fitness;
-        assert!(
-            last >= first,
-            "fitness must not regress: {first} → {last}"
-        );
+        assert!(last >= first, "fitness must not regress: {first} → {last}");
         assert!(last > 0.4, "champion should beat random-ish: {last}");
     }
 

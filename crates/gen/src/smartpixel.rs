@@ -70,7 +70,9 @@ impl EventSet {
     #[must_use]
     pub fn generate(config: &SmartPixelConfig, count: usize) -> Self {
         let mut rng = SmallRng::seed_from_u64(config.seed);
-        let events = (0..count).map(|_| generate_event(config, &mut rng)).collect();
+        let events = (0..count)
+            .map(|_| generate_event(config, &mut rng))
+            .collect();
         EventSet { events }
     }
 
@@ -101,7 +103,10 @@ impl EventSet {
     /// Panics if `fraction` is not in `(0, 1]`.
     #[must_use]
     pub fn split(&self, fraction: f64) -> (EventSet, EventSet) {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let stride = (1.0 / fraction).round().max(1.0) as usize;
         let mut profile = Vec::new();
         let mut eval = Vec::new();
@@ -157,7 +162,10 @@ fn generate_event(config: &SmartPixelConfig, rng: &mut SmallRng) -> Event {
 #[must_use]
 pub fn encode(network: &Network, event: &Event, window: u32) -> Stimulus {
     let inputs: Vec<NeuronId> = network.input_ids().collect();
-    assert!(!inputs.is_empty(), "network needs input neurons for encoding");
+    assert!(
+        !inputs.is_empty(),
+        "network needs input neurons for encoding"
+    );
     let mut per_input: Vec<Vec<u32>> = vec![Vec::new(); inputs.len()];
     for (c, &q) in event.column_charge.iter().enumerate() {
         let spikes = q.round().max(0.0) as u32;

@@ -7,10 +7,18 @@
 //!
 //! * a [`Model`] builder for variables, linear constraints and a
 //!   minimisation objective,
-//! * a bounded-variable two-phase **primal simplex** for LP relaxations
-//!   ([`simplex`]),
-//! * **branch and bound** with best-first exploration, LP-guided diving and
-//!   most-fractional / pseudo-cost branching,
+//! * a **sparse revised simplex** for LP relaxations ([`simplex`]): the
+//!   constraint matrix is stored once in CSC form ([`sparse`]), the basis
+//!   inverse is maintained explicitly, and columns are priced by sparse
+//!   dot products — with the original dense two-phase tableau kept as a
+//!   robustness fallback,
+//! * a **warm-start API** ([`Basis`]): optimal solves return a basis
+//!   snapshot that related solves (same matrix and objective, different
+//!   bounds) resume from via dual-simplex reoptimisation, skipping phase 1
+//!   entirely,
+//! * **branch and bound** with best-first exploration, LP-guided diving
+//!   and most-fractional / pseudo-cost branching — every child node
+//!   re-optimises from its parent's basis,
 //! * **large-neighbourhood search** for anytime improvement on instances
 //!   too large to enumerate,
 //! * an *incumbent stream*: every improving solution is reported through a
@@ -20,6 +28,37 @@
 //! The solver is deliberately single-threaded and fully deterministic for a
 //! fixed seed: identical inputs produce identical incumbent streams, which
 //! the experiment harness relies on.
+//!
+//! ## Warm-starting LP relaxations
+//!
+//! [`simplex::solve_relaxation_warm`] accepts an optional [`Basis`] and
+//! returns a new snapshot on optimal solves:
+//!
+//! ```
+//! use croxmap_ilp::simplex::{solve_relaxation_warm, LpConfig, LpStatus};
+//! use croxmap_ilp::Model;
+//!
+//! let mut m = Model::new();
+//! let x = m.add_binary("x");
+//! let y = m.add_binary("y");
+//! m.add_constraint("cover", m.expr([(x, 1.0), (y, 1.0)]).geq(1.0));
+//! m.set_objective(m.expr([(x, 1.0), (y, 2.0)]));
+//!
+//! // Root relaxation, cold.
+//! let root = solve_relaxation_warm(&m, &[(0.0, 1.0), (0.0, 1.0)], &LpConfig::default(), None);
+//! assert_eq!(root.result.status, LpStatus::Optimal);
+//! let basis = root.basis.expect("optimal solves return a basis");
+//!
+//! // Child node (x fixed to 0) re-optimises from the parent's basis.
+//! let child = solve_relaxation_warm(
+//!     &m,
+//!     &[(0.0, 0.0), (0.0, 1.0)],
+//!     &LpConfig::default(),
+//!     Some(&basis),
+//! );
+//! assert_eq!(child.result.status, LpStatus::Optimal);
+//! assert!((child.result.objective - 2.0).abs() < 1e-6);
+//! ```
 //!
 //! ## Example
 //!
@@ -43,15 +82,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod basis;
 mod clock;
 mod expr;
 mod model;
-mod solution;
+mod revised;
 pub mod simplex;
+mod solution;
 mod solver;
+pub mod sparse;
 
+pub use basis::{Basis, VarStatus};
 pub use clock::DeterministicClock;
 pub use expr::{Comparison, ConstraintSense, LinExpr, VarId};
 pub use model::{Constraint, Model, ModelError, VarType, Variable};
 pub use solution::{IncumbentEvent, Solution};
 pub use solver::{BranchRule, SolveResult, SolveStatus, Solver, SolverConfig};
+pub use sparse::CscMatrix;

@@ -1,9 +1,11 @@
 //! The ILP model: variables, constraints and objective.
 
 use crate::expr::{Comparison, ConstraintSense, LinExpr, VarId};
+use crate::sparse::CscMatrix;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Integrality class of a variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -45,10 +47,7 @@ impl Constraint {
     /// Evaluates the left-hand side on an assignment.
     #[must_use]
     pub fn lhs_value(&self, values: &[f64]) -> f64 {
-        self.terms
-            .iter()
-            .map(|&(v, c)| c * values[v.index()])
-            .sum()
+        self.terms.iter().map(|&(v, c)| c * values[v.index()]).sum()
     }
 
     /// Returns `true` if the constraint holds on `values` within `tol`.
@@ -126,6 +125,11 @@ pub struct Model {
     /// Branching priority per variable (higher = decided first); absent
     /// entries default to 0.
     priorities: Vec<(VarId, i32)>,
+    /// Lazily built CSC form of the constraint matrix, shared by every LP
+    /// relaxation of this model. Reset by any mutation that changes the
+    /// matrix shape or entries (new variables or constraints).
+    #[serde(skip)]
+    csc_cache: OnceLock<Arc<CscMatrix>>,
 }
 
 impl Model {
@@ -137,6 +141,7 @@ impl Model {
 
     /// Adds a binary variable and returns its id.
     pub fn add_binary(&mut self, name: impl Into<String>) -> VarId {
+        self.csc_cache = OnceLock::new();
         let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
         self.vars.push(Variable {
             name: name.into(),
@@ -149,6 +154,7 @@ impl Model {
 
     /// Adds a continuous variable with the given bounds and returns its id.
     pub fn add_continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
+        self.csc_cache = OnceLock::new();
         let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
         self.vars.push(Variable {
             name: name.into(),
@@ -171,6 +177,7 @@ impl Model {
     /// Adds a constraint; the comparison's expression is normalised and its
     /// constant folded into the right-hand side.
     pub fn add_constraint(&mut self, name: impl Into<String>, cmp: Comparison) {
+        self.csc_cache = OnceLock::new();
         let expr = cmp.expr.normalize();
         let rhs = cmp.rhs - expr.constant_part();
         self.constraints.push(Constraint {
@@ -241,6 +248,27 @@ impl Model {
     #[must_use]
     pub fn constraints(&self) -> &[Constraint] {
         &self.constraints
+    }
+
+    /// The constraint matrix in CSC form (structural columns only),
+    /// built on first use and cached until the model is mutated.
+    ///
+    /// Every LP relaxation of this model shares the returned matrix; the
+    /// revised simplex prices columns through it instead of materialising
+    /// a dense tableau.
+    #[must_use]
+    pub fn csc(&self) -> Arc<CscMatrix> {
+        self.csc_cache
+            .get_or_init(|| {
+                let mut columns: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.vars.len()];
+                for (i, con) in self.constraints.iter().enumerate() {
+                    for &(v, c) in &con.terms {
+                        columns[v.index()].push((i, c));
+                    }
+                }
+                Arc::new(CscMatrix::from_columns(self.constraints.len(), &columns))
+            })
+            .clone()
     }
 
     /// Objective terms (without offset).
@@ -332,11 +360,7 @@ impl Model {
                 });
             }
         }
-        if self
-            .objective
-            .iter()
-            .any(|&(_, c)| !c.is_finite())
-            || !self.objective_offset.is_finite()
+        if self.objective.iter().any(|&(_, c)| !c.is_finite()) || !self.objective_offset.is_finite()
         {
             return Err(ModelError::NonFiniteCoefficient {
                 location: "objective".to_owned(),

@@ -1,0 +1,986 @@
+//! Sparse revised simplex with bounded-variable dual reoptimisation.
+//!
+//! This is the fast path behind [`crate::simplex::solve_relaxation_warm`].
+//! Instead of the dense `B⁻¹A` tableau of the fallback engine, it keeps:
+//!
+//! * the constraint matrix `A` once, in CSC form (shared via
+//!   [`Model::csc`]),
+//! * an explicit dense basis inverse `B⁻¹` (`m × m`), updated in `O(m²)`
+//!   per pivot,
+//! * reduced costs priced through sparse columns (`O(nnz)` per pivot).
+//!
+//! The engine always starts **dual feasible** and drives out primal
+//! infeasibility with the dual simplex:
+//!
+//! * **cold start** — the all-slack basis with every structural column on
+//!   its cost-preferred bound is dual feasible by construction, so phase 1
+//!   is never needed;
+//! * **warm start** — a parent node's optimal [`Basis`] stays dual
+//!   feasible after any bound change (branch-and-bound never touches the
+//!   objective or the matrix), so a child re-optimises in a handful of
+//!   dual pivots.
+//!
+//! Warm starts come in two flavours. A [`LpContext`] keeps the engine of
+//! the previous solve alive; when the caller's warm basis is exactly the
+//! context's current basis (the common case on branch-and-bound plunges
+//! and diving loops, where consecutive solves differ by one bound), the
+//! context applies the bound deltas directly to `β` in `O(m·nnz)` — no
+//! factorisation at all. Otherwise the basis is reinstalled from the
+//! snapshot with one `O(m³)` refactorisation, still far cheaper than a
+//! cold two-phase tableau solve.
+//!
+//! Any situation the engine cannot handle — a dual-infeasible start (e.g.
+//! an improving direction with an infinite bound), a singular warm basis,
+//! numerical trouble, or a final solution that fails verification — makes
+//! it bail out, and the caller falls back to the robust dense two-phase
+//! primal simplex.
+
+use crate::basis::{Basis, VarStatus};
+use crate::expr::ConstraintSense;
+use crate::model::Model;
+use crate::simplex::{LpConfig, LpResult, LpStatus, TOL};
+use crate::sparse::CscMatrix;
+use std::sync::Arc;
+
+/// Primal feasibility tolerance for basic values.
+const PFEAS: f64 = 1e-7;
+/// Dual feasibility tolerance when accepting a warm basis.
+const DFEAS: f64 = 1e-6;
+/// Post-solve verification tolerance against the original constraints.
+const VERIFY_TOL: f64 = 1e-5;
+/// Consecutive non-improving iterations before anti-cycling kicks in.
+const STALL_LIMIT: u32 = 64;
+/// Hot in-place reuses before a hygiene refactorisation is forced.
+const REFACTOR_EVERY: u32 = 64;
+
+/// Outcome of one dual-simplex run.
+enum RunStatus {
+    Optimal,
+    Infeasible,
+    IterLimit,
+    /// Numerical trouble (tiny pivot / inconsistent row): caller must fall
+    /// back to a colder, more robust path.
+    Unstable,
+}
+
+/// Bounded-variable revised simplex working set.
+///
+/// Owns everything it needs (the CSC matrix is shared via `Arc`), so a
+/// [`LpContext`] can keep it alive between solves.
+struct Engine {
+    a: Arc<CscMatrix>,
+    m: usize,
+    /// Structural column count.
+    n: usize,
+    /// Structural + logical column count.
+    n_total: usize,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Phase cost per column (structural objective; logicals are free).
+    cost: Vec<f64>,
+    /// Non-zero entries in the structural cost (for objective-change
+    /// detection on the hot path).
+    cost_nnz: usize,
+    rhs: Vec<f64>,
+    status: Vec<VarStatus>,
+    /// Basic column per row.
+    basis: Vec<usize>,
+    /// Inverse map: column -> row, or `usize::MAX` when nonbasic.
+    in_row: Vec<usize>,
+    /// Dense row-major `m × m` basis inverse.
+    binv: Vec<f64>,
+    /// Values of basic variables per row.
+    beta: Vec<f64>,
+    /// Reduced costs per column (zero on basic columns).
+    d: Vec<f64>,
+    /// Scratch: tableau row `α = e_r B⁻¹ A` of the leaving row.
+    alpha: Vec<f64>,
+    /// Scratch: pivot column `w = B⁻¹ A_q`.
+    w: Vec<f64>,
+    /// Hot reuses since the last factorisation (numerical hygiene).
+    age: u32,
+    iterations: u64,
+    work: u64,
+}
+
+/// Normalises one structural bound pair: free variables are pinned at a
+/// pseudo lower bound of zero (croxmap models never produce them; this
+/// mirrors the dense engine).
+fn norm_bounds(l: f64, u: f64) -> (f64, f64) {
+    if !l.is_finite() && !u.is_finite() {
+        (0.0, u)
+    } else {
+        (l, u)
+    }
+}
+
+impl Engine {
+    fn new(model: &Model, bounds: &[(f64, f64)]) -> Self {
+        let a = model.csc();
+        let m = model.num_constraints();
+        let n = model.num_vars();
+        let n_total = n + m;
+        let mut lower = vec![0.0f64; n_total];
+        let mut upper = vec![f64::INFINITY; n_total];
+        for j in 0..n {
+            (lower[j], upper[j]) = norm_bounds(bounds[j].0, bounds[j].1);
+        }
+        let mut rhs = vec![0.0f64; m];
+        for (i, con) in model.constraints().iter().enumerate() {
+            rhs[i] = con.rhs;
+            let s = n + i;
+            match con.sense {
+                ConstraintSense::Le => {
+                    lower[s] = 0.0;
+                    upper[s] = f64::INFINITY;
+                }
+                ConstraintSense::Ge => {
+                    lower[s] = f64::NEG_INFINITY;
+                    upper[s] = 0.0;
+                }
+                ConstraintSense::Eq => {
+                    lower[s] = 0.0;
+                    upper[s] = 0.0;
+                }
+            }
+        }
+        let mut cost = vec![0.0f64; n_total];
+        for &(v, c) in model.objective() {
+            cost[v.index()] = c;
+        }
+        let cost_nnz = cost.iter().filter(|&&c| c != 0.0).count();
+        Engine {
+            a,
+            m,
+            n,
+            n_total,
+            lower,
+            upper,
+            cost,
+            cost_nnz,
+            rhs,
+            status: vec![VarStatus::AtLower; n_total],
+            basis: vec![0; m],
+            in_row: vec![usize::MAX; n_total],
+            binv: vec![0.0; m * m],
+            beta: vec![0.0; m],
+            d: vec![0.0; n_total],
+            alpha: vec![0.0; n_total],
+            w: vec![0.0; m],
+            age: 0,
+            iterations: 0,
+            work: 0,
+        }
+    }
+
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            VarStatus::AtLower => self.lower[j],
+            VarStatus::AtUpper => self.upper[j],
+            VarStatus::Basic => unreachable!("basic column has no bound value"),
+        }
+    }
+
+    /// Returns `true` if this engine's live state is exactly the snapshot
+    /// `warm` for the same constraint matrix *and* objective. The cost
+    /// check matters: the hot path reuses the engine's reduced costs, so a
+    /// caller that mutated the objective between solves must not land here
+    /// (it falls through to the install path, which reprices).
+    fn matches(&self, model: &Model, warm: &Basis) -> bool {
+        Arc::ptr_eq(&self.a, &model.csc())
+            && warm.cols == self.basis
+            && warm.status == self.status
+            && self.cost_matches(model)
+    }
+
+    /// Checks that the engine's structural cost vector still equals the
+    /// model's objective (terms are normalised: merged, zeros dropped).
+    fn cost_matches(&self, model: &Model) -> bool {
+        model
+            .objective()
+            .iter()
+            .all(|&(v, c)| self.cost[v.index()] == c)
+            && self.cost_nnz == model.objective().len()
+    }
+
+    /// Hot warm start: the basis is already installed and factorised; only
+    /// variable bounds changed. Applies `β -= Δx · B⁻¹ A_j` per changed
+    /// nonbasic column, leaving reduced costs untouched (dual feasibility
+    /// is unaffected by bound *values*). Returns `false` when a bound
+    /// change forced a nonbasic column onto its other side and the stored
+    /// reduced cost is dual infeasible there — the caller must then
+    /// reinstall (and reprice) instead.
+    fn retarget_bounds(&mut self, bounds: &[(f64, f64)]) -> bool {
+        let mut flips_ok = true;
+        for j in 0..self.n {
+            let (nl, nu) = norm_bounds(bounds[j].0, bounds[j].1);
+            if nl == self.lower[j] && nu == self.upper[j] {
+                continue;
+            }
+            let was_fixed = self.upper[j] - self.lower[j] <= TOL;
+            let old = match self.status[j] {
+                VarStatus::Basic => {
+                    // Basic columns carry no bound value; the dual simplex
+                    // simply sees any new violation through `violation`.
+                    self.lower[j] = nl;
+                    self.upper[j] = nu;
+                    continue;
+                }
+                VarStatus::AtLower => self.lower[j],
+                VarStatus::AtUpper => self.upper[j],
+            };
+            self.lower[j] = nl;
+            self.upper[j] = nu;
+            // Fixed columns are exempt from every dual-feasibility check
+            // (they can never enter), so a column widening back out of
+            // fixedness may carry a stale, infeasible reduced cost — only
+            // a reprice can vouch for it.
+            if was_fixed && nu - nl > TOL {
+                flips_ok &= match self.status[j] {
+                    VarStatus::AtLower => self.d[j] >= -DFEAS,
+                    VarStatus::AtUpper => self.d[j] <= DFEAS,
+                    VarStatus::Basic => unreachable!(),
+                };
+            }
+            // Keep the nonbasic column on a finite side; a side switch is
+            // only dual feasible if the reduced cost sign allows it.
+            if self.status[j] == VarStatus::AtLower && !nl.is_finite() {
+                self.status[j] = VarStatus::AtUpper;
+                flips_ok &= self.d[j] <= DFEAS;
+            } else if self.status[j] == VarStatus::AtUpper && !nu.is_finite() {
+                self.status[j] = VarStatus::AtLower;
+                flips_ok &= self.d[j] >= -DFEAS;
+            }
+            let new = self.nonbasic_value(j);
+            let dx = new - old;
+            if dx != 0.0 {
+                // β -= Δx · B⁻¹ A_j, priced through the sparse column.
+                let (rows, vals) = self.a.col(j);
+                for (i, bi) in self.beta.iter_mut().enumerate() {
+                    let row = &self.binv[i * self.m..(i + 1) * self.m];
+                    let wij: f64 = rows.iter().zip(vals).map(|(&k, &v)| row[k] * v).sum();
+                    *bi -= dx * wij;
+                }
+                self.work += (self.m * self.a.col_nnz(j).max(1)) as u64;
+            }
+        }
+        self.age += 1;
+        flips_ok
+    }
+
+    /// All-slack dual-feasible start. Returns `false` when no dual-feasible
+    /// nonbasic point exists (improving direction with an infinite bound).
+    fn cold_start(&mut self) -> bool {
+        for j in 0..self.n {
+            let c = self.cost[j];
+            self.status[j] = if c > TOL {
+                if !self.lower[j].is_finite() {
+                    return false;
+                }
+                VarStatus::AtLower
+            } else if c < -TOL {
+                if !self.upper[j].is_finite() {
+                    return false;
+                }
+                VarStatus::AtUpper
+            } else if self.lower[j].is_finite() {
+                VarStatus::AtLower
+            } else {
+                VarStatus::AtUpper
+            };
+        }
+        for i in 0..self.m {
+            let s = self.n + i;
+            self.basis[i] = s;
+            self.status[s] = VarStatus::Basic;
+            self.in_row[s] = i;
+            self.binv[i * self.m + i] = 1.0;
+        }
+        // β = b − N x_N; with B = I (slacks) no solve is needed.
+        self.beta.copy_from_slice(&self.rhs);
+        let mut acc = std::mem::take(&mut self.beta);
+        for j in 0..self.n {
+            let x = self.nonbasic_value(j);
+            self.a.axpy_col(&mut acc, -x, j);
+        }
+        self.beta = acc;
+        // Slack costs are zero, so y = 0 and d = c.
+        self.d.copy_from_slice(&self.cost);
+        self.age = 0;
+        self.work += (self.a.nnz() + self.n_total) as u64;
+        true
+    }
+
+    /// Installs a basis snapshot: refactorises `B⁻¹`, reprices, and checks
+    /// dual feasibility. Returns `false` if the snapshot is unusable.
+    fn install(&mut self, warm: &Basis) -> bool {
+        if !warm.is_consistent(self.m, self.n_total) {
+            return false;
+        }
+        self.status.copy_from_slice(&warm.status);
+        self.basis.copy_from_slice(&warm.cols);
+        for j in 0..self.n_total {
+            self.in_row[j] = usize::MAX;
+        }
+        for (i, &c) in self.basis.iter().enumerate() {
+            self.in_row[c] = i;
+        }
+        // Nonbasic statuses must sit on finite bounds.
+        for j in 0..self.n_total {
+            match self.status[j] {
+                VarStatus::Basic => {}
+                VarStatus::AtLower if !self.lower[j].is_finite() => {
+                    if self.upper[j].is_finite() {
+                        self.status[j] = VarStatus::AtUpper;
+                    } else {
+                        self.lower[j] = 0.0;
+                    }
+                }
+                VarStatus::AtUpper if !self.upper[j].is_finite() => {
+                    if self.lower[j].is_finite() {
+                        self.status[j] = VarStatus::AtLower;
+                    } else {
+                        self.lower[j] = 0.0;
+                        self.status[j] = VarStatus::AtLower;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !self.refactorize() {
+            return false;
+        }
+        if !self.reprice() {
+            return false;
+        }
+        self.refresh_beta();
+        true
+    }
+
+    /// Recomputes reduced costs `d = c − c_B B⁻¹ A` and gates on dual
+    /// feasibility. Returns `false` when the basis is dual infeasible.
+    fn reprice(&mut self) -> bool {
+        let mut y = vec![0.0f64; self.m];
+        for (r, &b) in self.basis.iter().enumerate() {
+            let cb = self.cost[b];
+            if cb != 0.0 {
+                let row = &self.binv[r * self.m..(r + 1) * self.m];
+                for (yi, &v) in y.iter_mut().zip(row) {
+                    *yi += cb * v;
+                }
+            }
+        }
+        for j in 0..self.n_total {
+            if self.status[j] == VarStatus::Basic {
+                self.d[j] = 0.0;
+                continue;
+            }
+            self.d[j] = if j < self.n {
+                self.cost[j] - self.a.dot_col(&y, j)
+            } else {
+                -y[j - self.n]
+            };
+            if self.upper[j] - self.lower[j] <= TOL {
+                continue; // fixed columns cannot move; their sign is moot
+            }
+            let ok = match self.status[j] {
+                VarStatus::AtLower => self.d[j] >= -DFEAS,
+                VarStatus::AtUpper => self.d[j] <= DFEAS,
+                VarStatus::Basic => unreachable!(),
+            };
+            if !ok {
+                return false;
+            }
+        }
+        self.work += (self.m * self.m + self.a.nnz()) as u64;
+        true
+    }
+
+    /// Recomputes `β = B⁻¹ (b − N x_N)` from scratch.
+    fn refresh_beta(&mut self) {
+        let mut acc = self.rhs.clone();
+        for j in 0..self.n_total {
+            if self.status[j] == VarStatus::Basic {
+                continue;
+            }
+            let x = self.nonbasic_value(j);
+            if x == 0.0 {
+                continue;
+            }
+            if j < self.n {
+                self.a.axpy_col(&mut acc, -x, j);
+            } else {
+                acc[j - self.n] -= x;
+            }
+        }
+        for i in 0..self.m {
+            let row = &self.binv[i * self.m..(i + 1) * self.m];
+            self.beta[i] = row.iter().zip(&acc).map(|(&v, &r)| v * r).sum();
+        }
+        self.work += (self.m * self.m + self.a.nnz()) as u64;
+    }
+
+    /// Gauss–Jordan inversion of the basis matrix with partial pivoting.
+    fn refactorize(&mut self) -> bool {
+        let m = self.m;
+        let mut b = vec![0.0f64; m * m];
+        for (r, &c) in self.basis.iter().enumerate() {
+            if c < self.n {
+                let (rows, vals) = self.a.col(c);
+                for (&i, &v) in rows.iter().zip(vals) {
+                    b[i * m + r] = v;
+                }
+            } else {
+                b[(c - self.n) * m + r] = 1.0;
+            }
+        }
+        for v in &mut self.binv {
+            *v = 0.0;
+        }
+        for i in 0..m {
+            self.binv[i * m + i] = 1.0;
+        }
+        for k in 0..m {
+            // Partial pivot: largest magnitude in column k at or below row k.
+            let mut p = k;
+            let mut best = b[k * m + k].abs();
+            for i in k + 1..m {
+                let v = b[i * m + k].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-10 {
+                return false; // singular (or hopelessly ill-conditioned)
+            }
+            if p != k {
+                for j in 0..m {
+                    b.swap(k * m + j, p * m + j);
+                    self.binv.swap(k * m + j, p * m + j);
+                }
+            }
+            let inv = 1.0 / b[k * m + k];
+            for j in 0..m {
+                b[k * m + j] *= inv;
+                self.binv[k * m + j] *= inv;
+            }
+            for i in 0..m {
+                if i == k {
+                    continue;
+                }
+                let f = b[i * m + k];
+                if f != 0.0 {
+                    for j in 0..m {
+                        let bv = b[k * m + j];
+                        let nv = self.binv[k * m + j];
+                        b[i * m + j] -= f * bv;
+                        self.binv[i * m + j] -= f * nv;
+                    }
+                }
+            }
+        }
+        self.age = 0;
+        self.work += (m * m * m) as u64;
+        true
+    }
+
+    /// Violation of row `i`'s basic variable: `(amount, below_lower)`.
+    fn violation(&self, i: usize) -> (f64, bool) {
+        let b = self.basis[i];
+        if self.beta[i] < self.lower[b] - PFEAS {
+            (self.lower[b] - self.beta[i], true)
+        } else if self.beta[i] > self.upper[b] + PFEAS {
+            (self.beta[i] - self.upper[b], false)
+        } else {
+            (0.0, false)
+        }
+    }
+
+    /// Dual simplex main loop. Dual feasibility is an invariant; the loop
+    /// ends when primal feasibility is reached (optimal), a violated row
+    /// admits no entering column (infeasible), or a budget/stability limit
+    /// trips.
+    #[allow(clippy::too_many_lines)]
+    fn dual_simplex(&mut self, max_iterations: u64) -> RunStatus {
+        let mut stall = 0u32;
+        let mut last_infeasibility = f64::INFINITY;
+        loop {
+            // --- Leaving row: largest violation; under stall, the violated
+            // row with the smallest basic column index (Bland-like). ---
+            let bland = stall > STALL_LIMIT;
+            let mut leave: Option<(usize, f64)> = None; // (row, score)
+            let mut total_infeasibility = 0.0;
+            for i in 0..self.m {
+                let (v, _) = self.violation(i);
+                if v <= 0.0 {
+                    continue;
+                }
+                total_infeasibility += v;
+                let better = if bland {
+                    leave.is_none_or(|(r, _)| self.basis[i] < self.basis[r])
+                } else {
+                    leave.is_none_or(|(_, s)| v > s)
+                };
+                if better {
+                    leave = Some((i, v));
+                }
+            }
+            self.work += self.m as u64;
+            let Some((r, _)) = leave else {
+                return RunStatus::Optimal;
+            };
+            if self.iterations >= max_iterations {
+                return RunStatus::IterLimit;
+            }
+            if total_infeasibility < last_infeasibility - 1e-9 {
+                stall = 0;
+                last_infeasibility = total_infeasibility;
+            } else {
+                stall += 1;
+            }
+
+            let bcol = self.basis[r];
+            let (_, below) = self.violation(r);
+            let delta = if below {
+                self.beta[r] - self.lower[bcol] // < 0
+            } else {
+                self.beta[r] - self.upper[bcol] // > 0
+            };
+
+            // --- Entering column: min dual ratio over eligible nonbasics.
+            // α is the leaving row of the tableau, priced sparsely. ---
+            let rho = &self.binv[r * self.m..(r + 1) * self.m];
+            let mut enter: Option<(usize, f64)> = None; // (col, ratio)
+            for j in 0..self.n_total {
+                if self.status[j] == VarStatus::Basic {
+                    self.alpha[j] = 0.0;
+                    continue;
+                }
+                let aj = if j < self.n {
+                    self.a.dot_col(rho, j)
+                } else {
+                    rho[j - self.n]
+                };
+                self.alpha[j] = aj;
+                if self.upper[j] - self.lower[j] <= TOL {
+                    continue; // fixed: can never enter
+                }
+                // Sign-normalised entry: positive means "x_j must rise".
+                let ap = if delta > 0.0 { aj } else { -aj };
+                let eligible = match self.status[j] {
+                    VarStatus::AtLower => ap > TOL,
+                    VarStatus::AtUpper => ap < -TOL,
+                    VarStatus::Basic => unreachable!(),
+                };
+                if !eligible {
+                    continue;
+                }
+                let ratio = self.d[j] / ap;
+                if enter.is_none_or(|(_, best)| ratio < best - 1e-12) {
+                    enter = Some((j, ratio));
+                }
+            }
+            self.work += (self.a.nnz() + self.n_total) as u64;
+            let Some((q, _)) = enter else {
+                // The violated row proves the bound system inconsistent.
+                return RunStatus::Infeasible;
+            };
+
+            // --- Pivot. w = B⁻¹ A_q gives the primal update column. ---
+            let mut w = std::mem::take(&mut self.w);
+            if q < self.n {
+                let (rows, vals) = self.a.col(q);
+                for (i, wi) in w.iter_mut().enumerate() {
+                    let row = &self.binv[i * self.m..(i + 1) * self.m];
+                    *wi = rows.iter().zip(vals).map(|(&k, &v)| row[k] * v).sum();
+                }
+            } else {
+                let k = q - self.n;
+                for (i, wi) in w.iter_mut().enumerate() {
+                    *wi = self.binv[i * self.m + k];
+                }
+            }
+            let wr = w[r];
+            if wr.abs() < 1e-9 {
+                self.w = w;
+                return RunStatus::Unstable;
+            }
+
+            // Dual price update keeps d consistent without repricing.
+            let theta_d = self.d[q] / self.alpha[q];
+            if theta_d != 0.0 {
+                for j in 0..self.n_total {
+                    if self.status[j] != VarStatus::Basic {
+                        self.d[j] -= theta_d * self.alpha[j];
+                    }
+                }
+            }
+            self.d[q] = 0.0;
+            self.d[bcol] = -theta_d;
+
+            // Primal step: entering moves by t, basics move against w.
+            let t = delta / wr;
+            let x_q = self.nonbasic_value(q);
+            for (bi, &wi) in self.beta.iter_mut().zip(w.iter()) {
+                *bi -= t * wi;
+            }
+            self.beta[r] = x_q + t;
+
+            // Rank-one basis inverse update.
+            let inv = 1.0 / wr;
+            for j in 0..self.m {
+                self.binv[r * self.m + j] *= inv;
+            }
+            for i in 0..self.m {
+                if i == r {
+                    continue;
+                }
+                let f = w[i];
+                if f != 0.0 {
+                    for j in 0..self.m {
+                        let v = self.binv[r * self.m + j];
+                        self.binv[i * self.m + j] -= f * v;
+                    }
+                }
+            }
+            self.w = w;
+
+            self.status[bcol] = if below {
+                VarStatus::AtLower
+            } else {
+                VarStatus::AtUpper
+            };
+            self.in_row[bcol] = usize::MAX;
+            self.status[q] = VarStatus::Basic;
+            self.in_row[q] = r;
+            self.basis[r] = q;
+            self.iterations += 1;
+            self.work += (self.m * self.m + 2 * self.m + self.n_total) as u64;
+        }
+    }
+
+    /// Structural variable values at the current basis, clamped to bounds.
+    fn extract_values(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|j| {
+                let x = match self.status[j] {
+                    VarStatus::AtLower => self.lower[j],
+                    VarStatus::AtUpper => self.upper[j],
+                    VarStatus::Basic => self.beta[self.in_row[j]],
+                };
+                x.clamp(self.lower[j], self.upper[j])
+            })
+            .collect()
+    }
+
+    /// Cheap exactness gate: the solution the engine reports must satisfy
+    /// the original rows. Guards against silent numerical drift in `B⁻¹`.
+    fn verify(&self, model: &Model, values: &[f64]) -> bool {
+        model
+            .constraints()
+            .iter()
+            .all(|c| c.is_satisfied(values, VERIFY_TOL))
+    }
+
+    fn snapshot(&self) -> Basis {
+        Basis {
+            cols: self.basis.clone(),
+            status: self.status.clone(),
+        }
+    }
+}
+
+/// A reusable revised-simplex context.
+///
+/// Keeps the engine of the most recent *optimal* solve alive so that the
+/// next solve can warm-start without refactorising when its warm basis is
+/// the context's live basis — the common case in diving loops and
+/// branch-and-bound plunges, where consecutive LPs differ by one or a few
+/// bound changes.
+#[derive(Default)]
+pub(crate) struct LpContext {
+    engine: Option<Engine>,
+}
+
+impl LpContext {
+    /// Attempts a revised-simplex solve; `Err(spent_ticks)` means "use the
+    /// dense fallback", with the deterministic work already burnt by the
+    /// failed attempts so the caller can charge it anyway. On optimal
+    /// solves the second tuple element carries the basis snapshot for
+    /// warm-starting related solves.
+    pub(crate) fn solve(
+        &mut self,
+        model: &Model,
+        bounds: &[(f64, f64)],
+        config: &LpConfig,
+        warm: Option<&Basis>,
+    ) -> Result<(LpResult, Option<Basis>), u64> {
+        let mut carried_work = 0u64;
+
+        // Hot path: the previous engine is exactly the requested basis.
+        enum Hot {
+            Miss,
+            Done(Option<(LpResult, Option<Basis>)>, u64),
+        }
+        let hot = if let (Some(basis), Some(engine)) = (warm, self.engine.as_mut()) {
+            if engine.age < REFACTOR_EVERY && engine.matches(model, basis) {
+                engine.iterations = 0;
+                engine.work = 0;
+                let outcome = if engine.retarget_bounds(bounds) {
+                    run(engine, model, config)
+                } else {
+                    // A bound change flipped a nonbasic column onto a dual
+                    // infeasible side: must reinstall and reprice.
+                    None
+                };
+                let spent = engine.work;
+                Hot::Done(outcome, spent)
+            } else {
+                Hot::Miss
+            }
+        } else {
+            Hot::Miss
+        };
+        match hot {
+            Hot::Done(Some(out), spent) => {
+                if out.0.status == LpStatus::Infeasible {
+                    // A drifted B⁻¹ (rank-one updates + retarget deltas)
+                    // can fabricate infeasibility, and branch-and-bound
+                    // prunes on it permanently. Confirm with a freshly
+                    // factorised install of the same snapshot below.
+                    carried_work = spent;
+                    self.engine = None;
+                } else {
+                    if out.0.status != LpStatus::Optimal {
+                        self.engine = None;
+                    }
+                    return Ok(out);
+                }
+            }
+            Hot::Done(None, spent) => {
+                // Numerical drift (or an infeasible flip): discard and
+                // restart below, carrying the spent work so deterministic
+                // budgets stay honest.
+                carried_work = spent;
+                self.engine = None;
+            }
+            Hot::Miss => {}
+        }
+
+        // Warm path: reinstall the snapshot with a refactorisation.
+        if let Some(basis) = warm {
+            let mut engine = Engine::new(model, bounds);
+            engine.work += carried_work;
+            if engine.install(basis) {
+                if let Some(out) = run(&mut engine, model, config) {
+                    self.keep_if_optimal(engine, out.0.status);
+                    return Ok(out);
+                }
+            }
+            // Unusable or unstable warm basis: retry cold before giving
+            // up, carrying the spent work so budgets stay honest.
+            carried_work = engine.work;
+        }
+
+        // Cold path: all-slack dual-feasible start.
+        let mut engine = Engine::new(model, bounds);
+        engine.work += carried_work;
+        if !engine.cold_start() {
+            self.engine = None;
+            return Err(engine.work);
+        }
+        match run(&mut engine, model, config) {
+            Some(ok) => {
+                self.keep_if_optimal(engine, ok.0.status);
+                Ok(ok)
+            }
+            None => {
+                self.engine = None;
+                Err(engine.work)
+            }
+        }
+    }
+
+    fn keep_if_optimal(&mut self, engine: Engine, status: LpStatus) {
+        self.engine = if status == LpStatus::Optimal {
+            Some(engine)
+        } else {
+            None
+        };
+    }
+}
+
+/// One-shot convenience over [`LpContext::solve`] (no state reuse).
+#[cfg(test)]
+pub(crate) fn solve(
+    model: &Model,
+    bounds: &[(f64, f64)],
+    config: &LpConfig,
+    warm: Option<&Basis>,
+) -> Option<(LpResult, Option<Basis>)> {
+    LpContext::default().solve(model, bounds, config, warm).ok()
+}
+
+/// Runs the dual simplex and packages the outcome; `None` requests the
+/// caller to fall back (numerical trouble or failed verification).
+fn run(engine: &mut Engine, model: &Model, config: &LpConfig) -> Option<(LpResult, Option<Basis>)> {
+    match engine.dual_simplex(config.max_iterations) {
+        RunStatus::Optimal => {
+            let values = engine.extract_values();
+            if !engine.verify(model, &values) {
+                return None;
+            }
+            let objective = model.objective_value(&values);
+            let result = LpResult {
+                status: LpStatus::Optimal,
+                objective,
+                values,
+                iterations: engine.iterations,
+                work_ticks: engine.work,
+            };
+            let basis = engine.snapshot();
+            Some((result, Some(basis)))
+        }
+        RunStatus::Infeasible => Some((
+            LpResult {
+                status: LpStatus::Infeasible,
+                objective: f64::INFINITY,
+                values: Vec::new(),
+                iterations: engine.iterations,
+                work_ticks: engine.work,
+            },
+            None,
+        )),
+        RunStatus::IterLimit => {
+            let values = engine.extract_values();
+            let objective = model.objective_value(&values);
+            Some((
+                LpResult {
+                    status: LpStatus::IterLimit,
+                    objective,
+                    values,
+                    iterations: engine.iterations,
+                    work_ticks: engine.work,
+                },
+                None,
+            ))
+        }
+        RunStatus::Unstable => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::solve_relaxation_warm;
+    use crate::Model;
+
+    fn cfg() -> LpConfig {
+        LpConfig::default()
+    }
+
+    fn two_var_model() -> Model {
+        // min -(x + y) s.t. x + 2y <= 4, 3x + y <= 6; optimum (1.6, 1.2).
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint("c1", m.expr([(x, 1.0), (y, 2.0)]).leq(4.0));
+        m.add_constraint("c2", m.expr([(x, 3.0), (y, 1.0)]).leq(6.0));
+        m.set_objective(m.expr([(x, -1.0), (y, -1.0)]));
+        m
+    }
+
+    #[test]
+    fn cold_revised_matches_known_optimum() {
+        let m = two_var_model();
+        let bounds = vec![(0.0, 10.0), (0.0, 10.0)];
+        let (res, basis) = solve(&m, &bounds, &cfg(), None).expect("revised path");
+        assert_eq!(res.status, LpStatus::Optimal);
+        assert!(
+            (res.objective + 14.0 / 5.0).abs() < 1e-6,
+            "{}",
+            res.objective
+        );
+        assert!(basis.expect("basis on optimal").is_consistent(2, 4));
+    }
+
+    #[test]
+    fn warm_start_reoptimises_after_bound_change() {
+        let m = two_var_model();
+        let root = vec![(0.0, 10.0), (0.0, 10.0)];
+        let (_, basis) = solve(&m, &root, &cfg(), None).expect("root solve");
+        let basis = basis.expect("optimal basis");
+        // Tighten x to [0, 1]: warm solve must agree with a cold solve.
+        let child = vec![(0.0, 1.0), (0.0, 10.0)];
+        let (warm_res, _) = solve(&m, &child, &cfg(), Some(&basis)).expect("warm path");
+        let (cold_res, _) = solve(&m, &child, &cfg(), None).expect("cold path");
+        assert_eq!(warm_res.status, LpStatus::Optimal);
+        assert!((warm_res.objective - cold_res.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hot_context_skips_refactorisation() {
+        let m = two_var_model();
+        let root = vec![(0.0, 10.0), (0.0, 10.0)];
+        let mut ctx = LpContext::default();
+        let (root_res, basis) = ctx.solve(&m, &root, &cfg(), None).expect("root");
+        assert_eq!(root_res.status, LpStatus::Optimal);
+        let basis = basis.expect("basis");
+        // The context still holds the engine for `basis`: the child solve
+        // must take the in-place path, whose ticks are far below a
+        // refactorisation (m³ = 8 here, but the telltale is no m³ term —
+        // compare against a fresh context's warm solve).
+        let child = vec![(0.0, 1.0), (0.0, 10.0)];
+        let (hot, _) = ctx.solve(&m, &child, &cfg(), Some(&basis)).expect("hot");
+        let (refac, _) = solve(&m, &child, &cfg(), Some(&basis)).expect("refactor");
+        assert_eq!(hot.status, LpStatus::Optimal);
+        assert!((hot.objective - refac.objective).abs() < 1e-6);
+        assert!(
+            hot.work_ticks < refac.work_ticks,
+            "{} vs {}",
+            hot.work_ticks,
+            refac.work_ticks
+        );
+    }
+
+    #[test]
+    fn warm_start_detects_child_infeasibility() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("need2", m.expr([(x, 1.0), (y, 1.0)]).geq(2.0));
+        m.set_objective(m.expr([(x, 1.0), (y, 1.0)]));
+        let root = vec![(0.0, 1.0), (0.0, 1.0)];
+        let out = solve_relaxation_warm(&m, &root, &cfg(), None);
+        let basis = out.basis.expect("root optimal");
+        // Fixing x = 0 makes the cover impossible.
+        let child = vec![(0.0, 0.0), (0.0, 1.0)];
+        let warm = solve_relaxation_warm(&m, &child, &cfg(), Some(&basis));
+        assert_eq!(warm.result.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn equality_rows_solved_without_phase_one() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 2.0);
+        let y = m.add_continuous("y", 0.0, 2.0);
+        m.add_constraint("eq", m.expr([(x, 1.0), (y, 1.0)]).eq(3.0));
+        m.set_objective(m.expr([(x, 1.0), (y, 1.0)]));
+        let (res, _) = solve(&m, &[(0.0, 2.0), (0.0, 2.0)], &cfg(), None).expect("revised");
+        assert_eq!(res.status, LpStatus::Optimal);
+        assert!((res.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bails_on_unbounded_direction() {
+        // y has negative cost and no upper bound: no dual-feasible start.
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("c", m.expr([(x, 1.0), (y, -1.0)]).leq(1.0));
+        m.set_objective(m.expr([(y, -1.0)]));
+        let bounds = vec![(0.0, f64::INFINITY); 2];
+        assert!(solve(&m, &bounds, &cfg(), None).is_none());
+    }
+}

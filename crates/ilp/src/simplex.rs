@@ -1,19 +1,33 @@
-//! Bounded-variable two-phase primal simplex for LP relaxations.
+//! LP relaxations: sparse revised simplex fast path, dense fallback.
 //!
-//! This is a dense tableau implementation: the working matrix `T = B⁻¹A` is
-//! updated by Gauss–Jordan pivots, variables live between finite lower and
-//! possibly infinite upper bounds, and bound flips are handled inside the
-//! ratio test. Phase 1 minimises the sum of per-row artificials; phase 2
-//! minimises the real objective with artificials pinned at zero.
+//! Two engines sit behind [`solve_relaxation`] / [`solve_relaxation_warm`]:
 //!
-//! The implementation favours robustness over speed: Dantzig pricing with a
-//! permanent switch to Bland's rule when the objective stalls (cycling
-//! protection), and explicit tolerance handling throughout. It is intended
-//! for the moderate relaxations produced by the croxmap mapping
-//! formulations (hundreds to a few thousand rows/columns).
+//! 1. **Sparse revised simplex** ([`crate::revised`], the default): the
+//!    constraint matrix lives once in CSC form on the [`Model`]
+//!    ([`Model::csc`]), the basis inverse `B⁻¹` is maintained explicitly
+//!    (`O(m²)` per pivot) and columns are priced by sparse dot products.
+//!    It always starts *dual feasible* — from the all-slack basis on a cold
+//!    start, or from a caller-supplied [`Basis`] snapshot on a warm start —
+//!    and reaches the optimum with the bounded-variable **dual simplex**,
+//!    so phase 1 is never run. Branch-and-bound exploits this heavily:
+//!    a parent's optimal basis stays dual feasible for its children (only
+//!    bounds change), and each child re-optimises in a few dual pivots.
+//!
+//! 2. **Dense two-phase primal simplex** (fallback): the original tableau
+//!    implementation, kept for the cases the revised engine declines —
+//!    unbounded directions, singular or dual-infeasible warm bases, and
+//!    numerical trouble. Dantzig pricing with a switch to Bland's rule on
+//!    stalls, artificials in phase 1, bound flips in the ratio test.
+//!
+//! Both engines meter deterministic [`work_ticks`](LpResult::work_ticks)
+//! proportional to the floating-point work performed, so
+//! [`DeterministicClock`](crate::DeterministicClock) budgets remain
+//! reproducible no matter which path a solve takes.
 
+use crate::basis::Basis;
 use crate::expr::ConstraintSense;
 use crate::model::Model;
+use crate::revised;
 
 /// Numerical tolerance for feasibility and pricing decisions.
 pub const TOL: f64 = 1e-7;
@@ -83,6 +97,9 @@ struct Tableau {
     beta: Vec<f64>,
     /// Basis: column occupying each row.
     basis: Vec<usize>,
+    /// Inverse of `basis`: row occupied by each column, `usize::MAX` when
+    /// nonbasic. Kept in lockstep with `basis` so value lookups are O(1).
+    row_of: Vec<usize>,
     /// Status per column.
     status: Vec<ColStatus>,
     /// Lower bound per column.
@@ -103,14 +120,7 @@ impl Tableau {
         match self.status[j] {
             ColStatus::AtLower => self.lower[j],
             ColStatus::AtUpper => self.upper[j],
-            ColStatus::Basic => {
-                let row = self
-                    .basis
-                    .iter()
-                    .position(|&b| b == j)
-                    .expect("basic column must appear in basis");
-                self.beta[row]
-            }
+            ColStatus::Basic => self.beta[self.row_of[j]],
         }
     }
 
@@ -274,7 +284,9 @@ impl Tableau {
                         self.zrow[j] -= zfac * self.t[r * self.n_cols + j];
                     }
                 }
+                self.row_of[leaving] = usize::MAX;
                 self.basis[r] = q;
+                self.row_of[q] = r;
                 self.beta[r] = enter_val;
                 self.status[q] = ColStatus::Basic;
             }
@@ -293,9 +305,7 @@ impl Tableau {
             // Find a non-artificial column with a usable pivot in this row.
             let mut replacement = None;
             for j in 0..self.art_start {
-                if self.status[j] != ColStatus::Basic
-                    && self.t[r * self.n_cols + j].abs() > 1e-6
-                {
+                if self.status[j] != ColStatus::Basic && self.t[r * self.n_cols + j].abs() > 1e-6 {
                     replacement = Some(j);
                     break;
                 }
@@ -325,7 +335,9 @@ impl Tableau {
                     self.status[self.basis[r]] = ColStatus::AtLower;
                     self.lower[b] = 0.0;
                     self.upper[b] = 0.0;
+                    self.row_of[b] = usize::MAX;
                     self.basis[r] = q;
+                    self.row_of[q] = r;
                     self.beta[r] = enter_val;
                     self.status[q] = ColStatus::Basic;
                     self.work_ticks += (self.m * self.n_cols) as u64;
@@ -342,13 +354,141 @@ impl Tableau {
     }
 }
 
+/// Result of [`solve_relaxation_warm`]: the LP outcome plus, on optimal
+/// solves, the basis snapshot to warm-start related solves from.
+#[derive(Debug, Clone)]
+pub struct WarmLpResult {
+    /// The LP outcome.
+    pub result: LpResult,
+    /// Optimal basis for reuse (present only for [`LpStatus::Optimal`]
+    /// solves handled by the revised engine).
+    pub basis: Option<Basis>,
+}
+
 /// Solves the LP relaxation of `model` with per-variable bound overrides.
 ///
 /// `bounds` must have one `(lower, upper)` pair per model variable; it is
 /// how branch-and-bound tightens and fixes binaries without rebuilding the
 /// model. Integrality is ignored — binaries are relaxed to their bounds.
+///
+/// Compatibility wrapper over [`solve_relaxation_warm`] with no warm basis
+/// and the snapshot discarded.
 #[must_use]
 pub fn solve_relaxation(model: &Model, bounds: &[(f64, f64)], config: &LpConfig) -> LpResult {
+    solve_relaxation_warm(model, bounds, config, None).result
+}
+
+/// Solves the LP relaxation, optionally warm-starting from a [`Basis`].
+///
+/// The revised simplex handles the solve whenever it can (always starting
+/// dual feasible — see the module docs); the dense two-phase primal
+/// simplex picks up anything the revised engine declines. A warm basis
+/// from a *related* solve of the same model (same matrix and objective,
+/// any bounds) lets the engine skip straight to dual reoptimisation.
+#[must_use]
+pub fn solve_relaxation_warm(
+    model: &Model,
+    bounds: &[(f64, f64)],
+    config: &LpConfig,
+    warm: Option<&Basis>,
+) -> WarmLpResult {
+    LpSolver::new().solve(model, bounds, config, warm)
+}
+
+/// A stateful LP solver handle that keeps the revised-simplex engine warm
+/// between solves.
+///
+/// When consecutive [`LpSolver::solve`] calls pass a warm [`Basis`] that is
+/// exactly the engine's live basis (the usual case when each solve's warm
+/// basis comes from the previous solve), the engine re-optimises *in
+/// place*: only the changed bounds are applied to the primal values and the
+/// dual simplex runs from there — no refactorisation, no rebuild. This is
+/// what makes branch-and-bound nodes cheap; the solver threads one
+/// `LpSolver` through an entire search.
+#[derive(Default)]
+pub struct LpSolver {
+    ctx: revised::LpContext,
+}
+
+impl LpSolver {
+    /// Creates a solver with no live engine.
+    #[must_use]
+    pub fn new() -> Self {
+        LpSolver::default()
+    }
+
+    /// Solves one relaxation, warm-starting from `warm` when provided.
+    ///
+    /// Semantics are identical to [`solve_relaxation_warm`]; the only
+    /// difference is engine reuse across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds.len() != model.num_vars()`.
+    #[must_use]
+    pub fn solve(
+        &mut self,
+        model: &Model,
+        bounds: &[(f64, f64)],
+        config: &LpConfig,
+        warm: Option<&Basis>,
+    ) -> WarmLpResult {
+        solve_relaxation_in(&mut self.ctx, model, bounds, config, warm)
+    }
+}
+
+/// Context-reusing variant of [`solve_relaxation_warm`].
+///
+/// The [`revised::LpContext`] keeps the previous solve's engine alive, so
+/// a warm basis matching the context's live state re-optimises in place
+/// without any refactorisation. The solver threads one context through a
+/// whole branch-and-bound search.
+pub(crate) fn solve_relaxation_in(
+    ctx: &mut revised::LpContext,
+    model: &Model,
+    bounds: &[(f64, f64)],
+    config: &LpConfig,
+    warm: Option<&Basis>,
+) -> WarmLpResult {
+    let n = model.num_vars();
+    assert_eq!(bounds.len(), n, "one bound pair per variable required");
+    let m = model.num_constraints();
+
+    // Quick bound-sanity: crossed overrides mean an infeasible node.
+    for &(l, u) in bounds {
+        if l > u + TOL {
+            return WarmLpResult {
+                result: LpResult {
+                    status: LpStatus::Infeasible,
+                    objective: f64::INFINITY,
+                    values: Vec::new(),
+                    iterations: 0,
+                    work_ticks: 1,
+                },
+                basis: None,
+            };
+        }
+    }
+    let mut revised_spent = 0;
+    if m > 0 {
+        match ctx.solve(model, bounds, config, warm) {
+            Ok((result, basis)) => return WarmLpResult { result, basis },
+            // The revised engine declined but already burnt deterministic
+            // work; charge it on top of the dense solve below.
+            Err(spent) => revised_spent = spent,
+        }
+    }
+    let mut result = solve_relaxation_dense(model, bounds, config);
+    result.work_ticks += revised_spent;
+    WarmLpResult {
+        result,
+        basis: None,
+    }
+}
+
+/// Dense two-phase primal fallback (the original engine).
+#[must_use]
+fn solve_relaxation_dense(model: &Model, bounds: &[(f64, f64)], config: &LpConfig) -> LpResult {
     let n = model.num_vars();
     assert_eq!(bounds.len(), n, "one bound pair per variable required");
     let m = model.num_constraints();
@@ -485,6 +625,10 @@ pub fn solve_relaxation(model: &Model, bounds: &[(f64, f64)], config: &LpConfig)
         status[art] = ColStatus::Basic;
     }
 
+    let mut row_of = vec![usize::MAX; n_cols];
+    for (i, &b) in basis.iter().enumerate() {
+        row_of[b] = i;
+    }
     let mut tab = Tableau {
         m,
         n_cols,
@@ -493,6 +637,7 @@ pub fn solve_relaxation(model: &Model, bounds: &[(f64, f64)], config: &LpConfig)
         t: a,
         beta,
         basis,
+        row_of,
         status,
         lower,
         upper,
@@ -511,13 +656,20 @@ pub fn solve_relaxation(model: &Model, bounds: &[(f64, f64)], config: &LpConfig)
     let mut stall = 0u32;
     let mut last_obj = f64::INFINITY;
     loop {
-        let phase1_obj: f64 = tab.beta.iter().zip(tab.basis.iter()).fold(0.0, |acc, (&b, &col)| {
-            if col >= art_start {
-                acc + b
-            } else {
-                acc
-            }
-        });
+        let phase1_obj: f64 = tab
+            .beta
+            .iter()
+            .zip(tab.basis.iter())
+            .fold(
+                0.0,
+                |acc, (&b, &col)| {
+                    if col >= art_start {
+                        acc + b
+                    } else {
+                        acc
+                    }
+                },
+            );
         if phase1_obj <= TOL * (1.0 + m as f64) {
             break;
         }
@@ -541,7 +693,10 @@ pub fn solve_relaxation(model: &Model, bounds: &[(f64, f64)], config: &LpConfig)
         .beta
         .iter()
         .zip(tab.basis.iter())
-        .fold(0.0, |acc, (&b, &col)| if col >= art_start { acc + b } else { acc });
+        .fold(
+            0.0,
+            |acc, (&b, &col)| if col >= art_start { acc + b } else { acc },
+        );
     if phase1_obj > 1e-6 {
         return finish(model, &tab, LpStatus::Infeasible);
     }
@@ -601,16 +756,12 @@ fn current_objective(_model: &Model, tab: &Tableau) -> f64 {
 }
 
 fn extract_values(tab: &Tableau) -> Vec<f64> {
-    let mut row_of = vec![usize::MAX; tab.n_cols];
-    for (i, &b) in tab.basis.iter().enumerate() {
-        row_of[b] = i;
-    }
     let mut values = vec![0.0f64; tab.n_struct];
     for (j, val) in values.iter_mut().enumerate() {
         *val = match tab.status[j] {
             ColStatus::AtLower => tab.lower[j],
             ColStatus::AtUpper => tab.upper[j],
-            ColStatus::Basic => tab.beta[row_of[j]],
+            ColStatus::Basic => tab.beta[tab.row_of[j]],
         };
     }
     values
@@ -664,7 +815,11 @@ mod tests {
         m.set_objective(m.expr([(x, -1.0), (y, -1.0)]));
         let r = solve_model_relaxation(&m, &cfg());
         assert_eq!(r.status, LpStatus::Optimal);
-        assert!((r.objective + 14.0 / 5.0).abs() < 1e-6, "obj {}", r.objective);
+        assert!(
+            (r.objective + 14.0 / 5.0).abs() < 1e-6,
+            "obj {}",
+            r.objective
+        );
         assert!((r.values[0] - 1.6).abs() < 1e-6);
         assert!((r.values[1] - 1.2).abs() < 1e-6);
     }

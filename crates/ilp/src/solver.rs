@@ -1,15 +1,17 @@
 //! Anytime branch-and-bound solver with diving and LNS heuristics.
 
+use crate::basis::Basis;
 use crate::clock::DeterministicClock;
 use crate::expr::VarId;
 use crate::model::{Model, VarType};
-use crate::simplex::{solve_relaxation, LpConfig, LpStatus};
+use crate::simplex::{LpConfig, LpSolver, LpStatus, WarmLpResult};
 use crate::solution::{IncumbentEvent, Solution};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 /// Tolerance under which a relaxation value counts as integral.
 const INT_TOL: f64 = 1e-6;
@@ -48,6 +50,10 @@ pub struct SolverConfig {
     pub branch_rule: BranchRule,
     /// LP subsolver configuration.
     pub lp: LpConfig,
+    /// Warm-starts every child LP from its parent's optimal basis (dual
+    /// simplex reoptimisation). Disable to force cold solves everywhere —
+    /// useful only for benchmarking the warm-start win itself.
+    pub warm_lp: bool,
 }
 
 impl Default for SolverConfig {
@@ -61,6 +67,7 @@ impl Default for SolverConfig {
             lns_destroy_fraction: 0.3,
             branch_rule: BranchRule::MostFractional,
             lp: LpConfig::default(),
+            warm_lp: true,
         }
     }
 }
@@ -148,6 +155,9 @@ struct Node {
     /// LP bound inherited from the parent at creation time.
     bound: f64,
     depth: u32,
+    /// The parent's optimal LP basis, shared by both children: the warm
+    /// start for this node's relaxation.
+    warm: Option<Rc<Basis>>,
 }
 
 /// Heap entry ordered so the smallest bound pops first.
@@ -194,6 +204,11 @@ struct Search<'a> {
     pseudo_down: Vec<(f64, u32)>,
     /// Per-variable branching priority (higher = decided first).
     priorities: Vec<i32>,
+    /// Reusable LP engine: consecutive solves that share a basis skip
+    /// refactorisation entirely.
+    lp: LpSolver,
+    /// Non-zero count of the constraint matrix (for pivot cost estimates).
+    nnz: usize,
     nodes: u64,
 }
 
@@ -215,8 +230,20 @@ impl<'a> Search<'a> {
             pseudo_up: vec![(0.0, 0); model.num_vars()],
             pseudo_down: vec![(0.0, 0); model.num_vars()],
             priorities: model.branch_priorities(),
+            lp: LpSolver::new(),
+            nnz: model.csc().nnz(),
             nodes: 0,
         }
+    }
+
+    /// Solves one LP relaxation, warm-starting from `warm` when enabled,
+    /// and charges its deterministic work to the clock.
+    fn solve_lp(&mut self, bounds: &[(f64, f64)], warm: Option<&Basis>) -> WarmLpResult {
+        let config = self.lp_config();
+        let warm = if self.cfg.warm_lp { warm } else { None };
+        let out = self.lp.solve(self.model, bounds, &config, warm);
+        self.clock.charge(out.result.work_ticks);
+        out
     }
 
     /// Highest branching priority among fractional binaries, if any.
@@ -236,14 +263,20 @@ impl<'a> Search<'a> {
     }
 
     /// LP configuration whose iteration cap cannot blow the remaining
-    /// deterministic budget: one pivot costs ≈ `2·m·n_cols` ticks, so the
-    /// cap is `remaining_ticks / pivot_cost` (with a small floor so tiny
+    /// deterministic budget: one revised-simplex pivot costs
+    /// ≈ `m² + nnz + n` ticks, so the cap is
+    /// `remaining_ticks / pivot_cost` (with a small floor so tiny
     /// subproblems always make progress).
     fn lp_config(&self) -> LpConfig {
         let remaining = (self.cfg.det_time_limit - self.clock.seconds()).max(0.0);
         let m = self.model.num_constraints().max(1);
-        let n_cols = self.model.num_vars() + 2 * m;
-        let per_pivot = (2 * m * n_cols) as f64 / 1e9;
+        let n_total = self.model.num_vars() + m;
+        // Size by the *more expensive* engine so neither can overshoot the
+        // budget: revised pivots cost ≈ m² + nnz + n ticks, dense-fallback
+        // pivots ≈ 2·m·n_cols (n_cols ≤ n + 2m with slacks + artificials).
+        let revised_pivot = m * m + self.nnz + n_total;
+        let dense_pivot = 2 * m * (n_total + m);
+        let per_pivot = revised_pivot.max(dense_pivot) as f64 / 1e9;
         let iters = (remaining / per_pivot.max(1e-12)) as u64;
         LpConfig {
             max_iterations: iters.clamp(64, self.cfg.lp.max_iterations),
@@ -303,12 +336,16 @@ impl<'a> Search<'a> {
         callback: &mut dyn FnMut(&IncumbentEvent),
     ) -> bool {
         let mut bounds = base_bounds.to_vec();
+        // Each round differs from the last by a few bound fixings, so the
+        // previous optimal basis is the natural warm start.
+        let mut warm: Option<Basis> = None;
         for _ in 0..self.model.num_vars() + 1 {
             if self.out_of_budget() || self.clock.seconds() >= deadline {
                 return false;
             }
-            let lp = solve_relaxation(self.model, &bounds, &self.lp_config());
-            self.clock.charge(lp.work_ticks);
+            let out = self.solve_lp(&bounds, warm.as_ref());
+            let lp = out.result;
+            warm = out.basis;
             if lp.status != LpStatus::Optimal {
                 return false;
             }
@@ -359,8 +396,9 @@ impl<'a> Search<'a> {
         callback: &mut dyn FnMut(&IncumbentEvent),
     ) -> bool {
         let mut bounds = base_bounds.to_vec();
-        let mut lp = solve_relaxation(self.model, &bounds, &self.lp_config());
-        self.clock.charge(lp.work_ticks);
+        let out = self.solve_lp(&bounds, None);
+        let mut lp = out.result;
+        let mut warm = out.basis;
         if lp.status != LpStatus::Optimal || lp.objective >= self.cutoff() {
             return false;
         }
@@ -385,18 +423,20 @@ impl<'a> Search<'a> {
                 return self.try_accept(lp.values, callback);
             };
             bounds[v.index()] = (1.0, 1.0);
-            let trial = solve_relaxation(self.model, &bounds, &self.lp_config());
-            self.clock.charge(trial.work_ticks);
+            let out = self.solve_lp(&bounds, warm.as_ref());
+            let trial = out.result;
             if trial.status == LpStatus::Optimal && trial.objective < self.cutoff() {
                 lp = trial;
+                warm = out.basis;
                 continue;
             }
             // Backtrack: force the variable off instead.
             bounds[v.index()] = (0.0, 0.0);
-            let trial = solve_relaxation(self.model, &bounds, &self.lp_config());
-            self.clock.charge(trial.work_ticks);
+            let out = self.solve_lp(&bounds, warm.as_ref());
+            let trial = out.result;
             if trial.status == LpStatus::Optimal && trial.objective < self.cutoff() {
                 lp = trial;
+                warm = out.basis;
             } else {
                 return false;
             }
@@ -502,6 +542,7 @@ impl<'a> Search<'a> {
             upper: 0.0,
             bound: f64::NEG_INFINITY,
             depth: 0,
+            warm: None,
         }];
         let mut heap = BinaryHeap::new();
         let mut seq = 0u64;
@@ -515,10 +556,7 @@ impl<'a> Search<'a> {
         let mut bounds_buf = root_bounds.to_vec();
 
         while let Some(open) = heap.pop() {
-            if self.clock.seconds() >= deadline
-                || local_nodes >= node_cap
-                || self.out_of_budget()
-            {
+            if self.clock.seconds() >= deadline || local_nodes >= node_cap || self.out_of_budget() {
                 // Remaining open nodes bound the subtree.
                 subtree_bound = subtree_bound.min(open.bound);
                 for rest in heap {
@@ -526,6 +564,10 @@ impl<'a> Search<'a> {
                 }
                 return subtree_bound;
             }
+            // Release this node's warm snapshot from the arena: each node
+            // is popped at most once, so holding the Rc any longer only
+            // delays freeing O(n + m) memory per expanded node.
+            let warm = arena[open.node].warm.take();
             if open.bound >= self.cutoff() {
                 continue; // pruned by a newer incumbent
             }
@@ -542,8 +584,8 @@ impl<'a> Search<'a> {
                     at = n.parent;
                 }
             }
-            let lp = solve_relaxation(self.model, &bounds_buf, &self.lp_config());
-            self.clock.charge(lp.work_ticks);
+            let out = self.solve_lp(&bounds_buf, warm.as_deref());
+            let lp = out.result;
             self.nodes += 1;
             local_nodes += 1;
             match lp.status {
@@ -585,6 +627,7 @@ impl<'a> Search<'a> {
                     subtree_bound = subtree_bound.min(node_bound);
                 }
                 Some((v, _x)) => {
+                    let snapshot = out.basis.map(Rc::new);
                     for (lo, hi) in [(0.0, 0.0), (1.0, 1.0)] {
                         arena.push(Node {
                             parent: open.node,
@@ -593,6 +636,7 @@ impl<'a> Search<'a> {
                             upper: hi,
                             bound: node_bound,
                             depth: arena[open.node].depth + 1,
+                            warm: snapshot.clone(),
                         });
                         seq += 1;
                         heap.push(OpenNode {
@@ -854,10 +898,17 @@ mod tests {
         for i in 0..5 {
             m.add_constraint(
                 format!("c{i}"),
-                m.expr([(vars[2 * i], 1.0), (vars[2 * i + 1], 1.0)]).geq(1.0),
+                m.expr([(vars[2 * i], 1.0), (vars[2 * i + 1], 1.0)])
+                    .geq(1.0),
             );
         }
-        m.set_objective(m.expr(vars.iter().enumerate().map(|(i, &v)| (v, (i % 3 + 1) as f64))));
+        m.set_objective(
+            m.expr(
+                vars.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, (i % 3 + 1) as f64)),
+            ),
+        );
         let r1 = Solver::new(quick_config()).solve(&m);
         let r2 = Solver::new(quick_config()).solve(&m);
         assert_eq!(r1.nodes, r2.nodes);

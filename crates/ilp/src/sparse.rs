@@ -1,0 +1,151 @@
+//! Compressed sparse column (CSC) storage for the constraint matrix.
+//!
+//! The revised simplex ([`crate::simplex`]) prices candidate columns via
+//! sparse dot products instead of materialising the dense `B⁻¹A` tableau.
+//! The matrix covers the *structural* columns only — logical (slack)
+//! columns are unit vectors and are handled implicitly by the engine.
+//!
+//! [`crate::Model`] builds its CSC form once on first use and caches it;
+//! every branch-and-bound node then shares the same matrix, which is what
+//! makes per-node LP solves cheap.
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse `m × n` matrix in compressed sparse column form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CscMatrix {
+    m: usize,
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from per-column `(row, value)` entry lists.
+    ///
+    /// Duplicate rows within a column must already be merged; zero values
+    /// are dropped. Entries are stored sorted by row within each column.
+    #[must_use]
+    pub fn from_columns(m: usize, columns: &[Vec<(usize, f64)>]) -> Self {
+        let n = columns.len();
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        for col in columns {
+            let mut entries: Vec<(usize, f64)> = col
+                .iter()
+                .copied()
+                .filter(|&(i, v)| {
+                    assert!(i < m, "row index out of range");
+                    v != 0.0
+                })
+                .collect();
+            entries.sort_unstable_by_key(|&(i, _)| i);
+            for (i, v) in entries {
+                row_idx.push(i);
+                values.push(v);
+            }
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix {
+            m,
+            n,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(row_indices, values)` slices of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Non-zero count of column `j`.
+    #[must_use]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// Sparse dot product `dense · column_j`.
+    #[must_use]
+    pub fn dot_col(&self, dense: &[f64], j: usize) -> f64 {
+        let (rows, vals) = self.col(j);
+        rows.iter().zip(vals).map(|(&i, &v)| dense[i] * v).sum()
+    }
+
+    /// Accumulates `out += scale * column_j` into a dense vector.
+    pub fn axpy_col(&self, out: &mut [f64], scale: f64, j: usize) {
+        if scale == 0.0 {
+            return;
+        }
+        let (rows, vals) = self.col(j);
+        for (&i, &v) in rows.iter().zip(vals) {
+            out[i] += scale * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CscMatrix {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        CscMatrix::from_columns(2, &[vec![(0, 1.0)], vec![(1, 3.0)], vec![(0, 2.0)]])
+    }
+
+    #[test]
+    fn shape_and_nnz() {
+        let a = sample();
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.cols(), 3);
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.col_nnz(1), 1);
+    }
+
+    #[test]
+    fn columns_sorted_and_zero_dropped() {
+        let a = CscMatrix::from_columns(3, &[vec![(2, 1.0), (0, 4.0), (1, 0.0)]]);
+        let (rows, vals) = a.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[4.0, 1.0]);
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        let a = sample();
+        assert_eq!(a.dot_col(&[10.0, 100.0], 1), 300.0);
+        let mut out = vec![0.0; 2];
+        a.axpy_col(&mut out, 2.0, 2);
+        assert_eq!(out, vec![4.0, 0.0]);
+    }
+}

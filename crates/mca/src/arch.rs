@@ -40,7 +40,10 @@ impl ArchitectureSpec {
     #[must_use]
     pub fn new(name: impl Into<String>, catalog: impl IntoIterator<Item = CrossbarDim>) -> Self {
         let mut catalog: Vec<CrossbarDim> = catalog.into_iter().collect();
-        assert!(!catalog.is_empty(), "architecture catalog must not be empty");
+        assert!(
+            !catalog.is_empty(),
+            "architecture catalog must not be empty"
+        );
         catalog.sort();
         catalog.dedup();
         ArchitectureSpec {
@@ -142,10 +145,7 @@ mod tests {
 
     #[test]
     fn duplicates_are_merged() {
-        let arch = ArchitectureSpec::new(
-            "dup",
-            [CrossbarDim::square(8), CrossbarDim::square(8)],
-        );
+        let arch = ArchitectureSpec::new("dup", [CrossbarDim::square(8), CrossbarDim::square(8)]);
         assert_eq!(arch.catalog().len(), 1);
     }
 

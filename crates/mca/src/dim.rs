@@ -38,7 +38,10 @@ impl CrossbarDim {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(inputs: u32, outputs: u32) -> Self {
-        assert!(inputs > 0 && outputs > 0, "crossbar dimensions must be positive");
+        assert!(
+            inputs > 0 && outputs > 0,
+            "crossbar dimensions must be positive"
+        );
         CrossbarDim { inputs, outputs }
     }
 

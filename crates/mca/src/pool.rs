@@ -216,7 +216,10 @@ mod tests {
         let pool = CrossbarPool::for_network(&arch, &area(), 100, 10);
         // ceil(100/16) = 7 slots of 16x16.
         assert_eq!(pool.len(), 7);
-        assert!(pool.slots().iter().all(|s| s.dim == CrossbarDim::square(16)));
+        assert!(pool
+            .slots()
+            .iter()
+            .all(|s| s.dim == CrossbarDim::square(16)));
         assert_eq!(pool.total_outputs(), 7 * 16);
     }
 
@@ -266,10 +269,7 @@ mod tests {
     fn zero_count_dimensions_dropped() {
         let pool = CrossbarPool::from_counts(
             &area(),
-            [
-                (CrossbarDim::square(4), 0),
-                (CrossbarDim::square(8), 2),
-            ],
+            [(CrossbarDim::square(4), 0), (CrossbarDim::square(8), 2)],
         );
         assert_eq!(pool.len(), 2);
         assert_eq!(pool.symmetry_groups().len(), 1);

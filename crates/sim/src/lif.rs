@@ -122,12 +122,7 @@ impl LifSimulator {
     #[must_use]
     pub fn run(&self, network: &Network, stimulus: &Stimulus, steps: u32) -> SimRecord {
         let n = network.node_count();
-        let max_delay = network
-            .edges()
-            .map(|e| e.delay)
-            .max()
-            .unwrap_or(1)
-            .max(1) as usize;
+        let max_delay = network.edges().map(|e| e.delay).max().unwrap_or(1).max(1) as usize;
         // Ring buffer of pending charge: pending[t mod (max_delay+1)][i].
         let ring = max_delay + 1;
         let mut pending = vec![vec![0.0f64; n]; ring];

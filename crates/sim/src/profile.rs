@@ -29,9 +29,7 @@ impl SpikeProfile {
     /// An all-zero profile for `n` neurons.
     #[must_use]
     pub fn with_len(n: usize) -> Self {
-        SpikeProfile {
-            counts: vec![0; n],
-        }
+        SpikeProfile { counts: vec![0; n] }
     }
 
     /// Extracts the profile of a single simulation run.

@@ -295,10 +295,11 @@ impl NetworkBuilder {
         // iteration regardless of insertion order.
         for (i, adj) in out_adj.iter_mut().enumerate() {
             adj.sort_by_key(|&e| self.edges[e.index()].target);
-            debug_assert!(adj
-                .windows(2)
-                .all(|w| self.edges[w[0].index()].target < self.edges[w[1].index()].target),
-                "out adjacency of n{i} not strictly sorted");
+            debug_assert!(
+                adj.windows(2)
+                    .all(|w| self.edges[w[0].index()].target < self.edges[w[1].index()].target),
+                "out adjacency of n{i} not strictly sorted"
+            );
         }
         for adj in &mut in_adj {
             adj.sort_by_key(|&e| self.edges[e.index()].source);

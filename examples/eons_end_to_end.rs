@@ -29,7 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         edge_penalty: 0.003,
         ..EonsConfig::default()
     };
-    let run = evolve(&cfg, |net| smartpixel::accuracy(net, &simulator, &events, 16));
+    let run = evolve(&cfg, |net| {
+        smartpixel::accuracy(net, &simulator, &events, 16)
+    });
     println!("evolution history:");
     for g in &run.history {
         println!(
@@ -51,12 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Map the champion.
     let arch = ArchitectureSpec::table_ii_heterogeneous();
-    let pool = CrossbarPool::for_network_capped(
-        &arch,
-        &AreaModel::memristor_count(),
-        stats.node_count,
-        3,
-    );
+    let pool =
+        CrossbarPool::for_network_capped(&arch, &AreaModel::memristor_count(), stats.node_count, 3);
     let pipeline = PipelineConfig::with_budget(5.0);
     let area_run = optimize_area(&network, &pool, &pipeline);
     let mapping = area_run.best_mapping().expect("mappable");

@@ -19,16 +19,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hom = ArchitectureSpec::paper_homogeneous();
     let het = ArchitectureSpec::table_ii_heterogeneous();
 
-    for (label, arch, cap) in [("homogeneous 16x16", &hom, 8), ("heterogeneous Table II", &het, 3)] {
-        let pool = CrossbarPool::for_network_capped(&arch.clone(), &area_model, stats.node_count, cap);
+    for (label, arch, cap) in [
+        ("homogeneous 16x16", &hom, 8),
+        ("heterogeneous Table II", &het, 3),
+    ] {
+        let pool =
+            CrossbarPool::for_network_capped(&arch.clone(), &area_model, stats.node_count, cap);
 
         // Baseline: greedy initial solution + iterated SpikeHard MCC packing.
         let initial = greedy_first_fit(&network, &pool)?;
         let solver_cfg = SolverConfig::default().with_det_time_limit(4.0);
         let sh = spikehard_iterate(&network, &pool, &initial, &solver_cfg, 10)?;
-        let sh_area = sh
-            .best()
-            .map_or_else(|| initial.area(&pool), |r| r.area);
+        let sh_area = sh.best().map_or_else(|| initial.area(&pool), |r| r.area);
 
         // Ours: axon-sharing ILP.
         let config = PipelineConfig::with_budget(8.0);
@@ -39,8 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         println!("\n=== {label} ===");
         println!("  greedy initial area:        {}", initial.area(&pool));
-        println!("  SpikeHard (MCC, iterated):  {sh_area}  [{:.3} det-s]", sh.total_det_time);
-        println!("  axon-sharing ILP (ours):    {our_area}  [{:.3} det-s, {:?}]", run.det_time, run.status);
+        println!(
+            "  SpikeHard (MCC, iterated):  {sh_area}  [{:.3} det-s]",
+            sh.total_det_time
+        );
+        println!(
+            "  axon-sharing ILP (ours):    {our_area}  [{:.3} det-s, {:?}]",
+            run.det_time, run.status
+        );
         let reduction = 100.0 * (sh_area - our_area) / sh_area;
         println!("  area reduction vs SpikeHard: {reduction:.1}%");
         println!("  crossbar histogram (ours):");

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example pgo_pipeline`
 
-use croxmap::prelude::*;
 use croxmap::gen::smartpixel;
+use croxmap::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Network and workload.
@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = PipelineConfig::with_budget(6.0);
     let area_run = optimize_area(&network, &pool, &config);
     let base = area_run.best_mapping().expect("mappable").clone();
-    println!("\narea-optimal: {} memristors on {} crossbars", base.area(&pool), base.used_slots().len());
+    println!(
+        "\narea-optimal: {} memristors on {} crossbars",
+        base.area(&pool),
+        base.used_slots().len()
+    );
 
     // SNU (static) vs PGO (profile-guided) over the same crossbars.
     let snu_run = optimize_routes_after_area(&network, &pool, &base, &config);
@@ -62,9 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for event in eval_set.events() {
         let stim = smartpixel::encode(&network, event, window);
         let record = simulator.run(&network, &stim, window);
-        for (t, mapping) in [(&base, 0usize), (&snu_map, 1), (&pgo_map, 2)]
-            .map(|(m, i)| (i, m))
-        {
+        for (t, mapping) in [(&base, 0usize), (&snu_map, 1), (&pgo_map, 2)].map(|(m, i)| (i, m)) {
             let stats = count_packets(&network, mapping.assignment(), &record);
             totals[t] += stats.global;
         }

@@ -8,9 +8,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build a small spiking network by hand: 2 inputs driving a hidden
     //    layer of 4, converging on 2 outputs.
     let mut b = NetworkBuilder::new();
-    let inputs: Vec<_> = (0..2).map(|_| b.add_neuron(NodeRole::Input, 0.8, 0.1)).collect();
-    let hidden: Vec<_> = (0..4).map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.1)).collect();
-    let outputs: Vec<_> = (0..2).map(|_| b.add_neuron(NodeRole::Output, 1.0, 0.0)).collect();
+    let inputs: Vec<_> = (0..2)
+        .map(|_| b.add_neuron(NodeRole::Input, 0.8, 0.1))
+        .collect();
+    let hidden: Vec<_> = (0..4)
+        .map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.1))
+        .collect();
+    let outputs: Vec<_> = (0..2)
+        .map(|_| b.add_neuron(NodeRole::Output, 1.0, 0.0))
+        .collect();
     for (hi, &h) in hidden.iter().enumerate() {
         b.add_edge(inputs[hi % 2], h, 0.9, 1)?;
     }
@@ -34,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         network.node_count(),
         2,
     );
-    println!("pool: {} candidate crossbar slots from {} dimensions", pool.len(), arch.catalog().len());
+    println!(
+        "pool: {} candidate crossbar slots from {} dimensions",
+        pool.len(),
+        arch.catalog().len()
+    );
 
     // 3. Area-optimise with the axon-sharing ILP (Eq. 8 objective).
     let config = PipelineConfig::with_budget(5.0);
@@ -42,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mapping = run.best_mapping().expect("network is mappable");
     mapping.validate(&network, &pool)?;
 
-    println!("\nsolver status: {:?} after {:.3} det-seconds", run.status, run.det_time);
+    println!(
+        "\nsolver status: {:?} after {:.3} det-seconds",
+        run.status, run.det_time
+    );
     println!("incumbent stream:");
     for inc in &run.incumbents {
         println!("  t={:8.4}s  area={}", inc.det_time, inc.objective);
@@ -53,13 +66,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nbest mapping:");
     println!("  area (memristors): {}", metrics.area);
     println!("  crossbars used:    {}", metrics.crossbars_used);
-    println!("  routes total/local/global: {}/{}/{}",
-        metrics.total_routes, metrics.local_routes, metrics.global_routes);
+    println!(
+        "  routes total/local/global: {}/{}/{}",
+        metrics.total_routes, metrics.local_routes, metrics.global_routes
+    );
     for (dim, count) in mapping.dimension_histogram(&pool) {
         println!("  {count}x crossbar {dim}");
     }
     for slot in mapping.used_slots() {
-        let members: Vec<String> = mapping.neurons_on(slot).iter().map(|n| n.to_string()).collect();
+        let members: Vec<String> = mapping
+            .neurons_on(slot)
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
         println!("  slot {slot}: {}", members.join(", "));
     }
     Ok(())

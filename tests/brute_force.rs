@@ -38,7 +38,9 @@ fn tiny_networks() -> Vec<Network> {
     // Chain of 4.
     {
         let mut b = NetworkBuilder::new();
-        let ids: Vec<_> = (0..4).map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0)).collect();
+        let ids: Vec<_> = (0..4)
+            .map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0))
+            .collect();
         for w in ids.windows(2) {
             b.add_edge(w[0], w[1], 1.0, 1).unwrap();
         }
@@ -47,7 +49,9 @@ fn tiny_networks() -> Vec<Network> {
     // Diamond.
     {
         let mut b = NetworkBuilder::new();
-        let ids: Vec<_> = (0..4).map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0)).collect();
+        let ids: Vec<_> = (0..4)
+            .map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0))
+            .collect();
         for &(u, v) in &[(0, 1), (0, 2), (1, 3), (2, 3)] {
             b.add_edge(ids[u], ids[v], 1.0, 1).unwrap();
         }
@@ -56,7 +60,9 @@ fn tiny_networks() -> Vec<Network> {
     // Star + tail with a self loop.
     {
         let mut b = NetworkBuilder::new();
-        let ids: Vec<_> = (0..5).map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0)).collect();
+        let ids: Vec<_> = (0..5)
+            .map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0))
+            .collect();
         for &(u, v) in &[(0, 1), (0, 2), (0, 3), (3, 4), (4, 4)] {
             b.add_edge(ids[u], ids[v], 1.0, 1).unwrap();
         }
@@ -65,7 +71,9 @@ fn tiny_networks() -> Vec<Network> {
     // Dense 5-node with inhibition pattern (structure only matters).
     {
         let mut b = NetworkBuilder::new();
-        let ids: Vec<_> = (0..5).map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0)).collect();
+        let ids: Vec<_> = (0..5)
+            .map(|_| b.add_neuron(NodeRole::Hidden, 1.0, 0.0))
+            .collect();
         for &(u, v) in &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 0), (1, 4)] {
             b.add_edge(ids[u], ids[v], 1.0, 1).unwrap();
         }
@@ -124,18 +132,14 @@ fn ilp_global_routes_match_brute_force() {
     // minimum when every slot is admissible.
     let config = pipeline::PipelineConfig::with_budget(20.0);
     for (ni, net) in tiny_networks().iter().enumerate() {
-        let pool = CrossbarPool::from_counts(
-            &AreaModel::memristor_count(),
-            [(CrossbarDim::new(8, 3), 2)],
-        );
+        let pool =
+            CrossbarPool::from_counts(&AreaModel::memristor_count(), [(CrossbarDim::new(8, 3), 2)]);
         let Some((_, best_routes)) = brute_force(net, &pool) else {
             continue;
         };
         // Optimise routes over the full pool (restrict_to_slots = all).
         let base = greedy_first_fit(net, &pool).expect("greedy");
-        let all_slots = Mapping::new(
-            base.assignment().to_vec(),
-        );
+        let all_slots = Mapping::new(base.assignment().to_vec());
         let mut cfg = config.clone();
         cfg.formulation.restrict_to_slots = Some((0..pool.len()).collect());
         let run = pipeline::optimize_routes_after_area(net, &pool, &all_slots, &cfg);
@@ -159,7 +163,8 @@ fn spikehard_never_beats_axon_sharing_on_area() {
             let Ok(initial) = greedy_first_fit(&net, &pool) else {
                 continue;
             };
-            let sh = spikehard_iterate(&net, &pool, &initial, &solver_cfg, 8).expect("valid initial");
+            let sh =
+                spikehard_iterate(&net, &pool, &initial, &solver_cfg, 8).expect("valid initial");
             let sh_area = sh.best().map_or_else(|| initial.area(&pool), |r| r.area);
             let ours = pipeline::optimize_area(&net, &pool, &config);
             if let Some(m) = ours.best_mapping() {

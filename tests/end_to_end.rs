@@ -131,10 +131,8 @@ fn pgo_beats_or_ties_snu_on_predicted_packets() {
         .best_mapping()
         .expect("feasible")
         .clone();
-    let snu_packets =
-        croxmap::sim::predicted_global_packets(&net, snu.assignment(), &weights);
-    let pgo_packets =
-        croxmap::sim::predicted_global_packets(&net, pgo.assignment(), &weights);
+    let snu_packets = croxmap::sim::predicted_global_packets(&net, snu.assignment(), &weights);
+    let pgo_packets = croxmap::sim::predicted_global_packets(&net, pgo.assignment(), &weights);
     assert!(
         pgo_packets <= snu_packets,
         "PGO {pgo_packets} must not lose to SNU {snu_packets} on its own objective"
@@ -154,10 +152,11 @@ fn eons_champion_is_mappable() {
     let run = evolve(&cfg, |n| smartpixel::accuracy(n, &sim, &events, 12));
     let net = run.best.to_network(&cfg);
     let pool = het_pool(net.node_count());
-    let mapping = pipeline::optimize_area(&net, &pool, &pipeline::PipelineConfig::with_budget(10.0))
-        .best_mapping()
-        .expect("evolved networks are mappable")
-        .clone();
+    let mapping =
+        pipeline::optimize_area(&net, &pool, &pipeline::PipelineConfig::with_budget(10.0))
+            .best_mapping()
+            .expect("evolved networks are mappable")
+            .clone();
     mapping.validate(&net, &pool).unwrap();
 }
 

@@ -32,11 +32,7 @@ fn build(ilp: &RandomIlp) -> (Model, Vec<VarId>) {
     let mut m = Model::new();
     let vars: Vec<VarId> = (0..ilp.n).map(|i| m.add_binary(format!("x{i}"))).collect();
     for (r, (coeffs, le, rhs)) in ilp.rows.iter().enumerate() {
-        let expr = m.expr(
-            vars.iter()
-                .zip(coeffs)
-                .map(|(&v, &c)| (v, f64::from(c))),
-        );
+        let expr = m.expr(vars.iter().zip(coeffs).map(|(&v, &c)| (v, f64::from(c))));
         let cmp = if *le {
             expr.leq(f64::from(*rhs))
         } else {
@@ -44,11 +40,13 @@ fn build(ilp: &RandomIlp) -> (Model, Vec<VarId>) {
         };
         m.add_constraint(format!("r{r}"), cmp);
     }
-    m.set_objective(m.expr(
-        vars.iter()
-            .zip(&ilp.objective)
-            .map(|(&v, &c)| (v, f64::from(c))),
-    ));
+    m.set_objective(
+        m.expr(
+            vars.iter()
+                .zip(&ilp.objective)
+                .map(|(&v, &c)| (v, f64::from(c))),
+        ),
+    );
     (m, vars)
 }
 
