@@ -6,13 +6,37 @@
 //! `BENCH_solver.json` at the repository root: one record per
 //! (instance, mode) with node counts, deterministic work and throughput,
 //! so future PRs can diff the solver's perf trajectory without parsing
-//! human-oriented bench output.
+//! human-oriented bench output. Reported objectives are rounded to
+//! [`OBJECTIVE_DECIMALS`] decimal places (1e-6, comfortably above the
+//! solver's 1e-9 duality tolerances) so warm/cold rows diff cleanly
+//! instead of disagreeing in the 15th digit.
+//!
+//! The instance families are ring covers and multi-knapsacks at
+//! n ∈ {48, 96, 192, 384} plus a set-partitioning family built from the
+//! *real* core mapping formulation (Eqs. 3–7 over a generated SNN and a
+//! heterogeneous crossbar pool) — the workload the ROADMAP cares about.
+//!
+//! ## CI smoke mode
+//!
+//! With `CROXMAP_BENCH_SMOKE=1` the harness skips the criterion timing
+//! loops and the large instances, re-measures the committed n ∈ {48, 96}
+//! `lp_chain` workloads, and **fails (exit 1) if any warm `work_ticks`
+//! regresses more than 1.5× against the committed `BENCH_solver.json`**.
+//! The committed file is left untouched in this mode.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use croxmap_core::{FormulationConfig, MappingIlp, MappingObjective};
+use croxmap_gen::calibrated::{generate, NetworkSpec};
 use croxmap_ilp::simplex::{self, LpSolver, LpStatus};
-use croxmap_ilp::{Model, Solver, SolverConfig};
+use croxmap_ilp::{Model, Solver, SolverConfig, TICKS_PER_SECOND};
+use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarPool};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Decimal places kept on reported objectives (documented tolerance).
+const OBJECTIVE_DECIMALS: i32 = 6;
+/// Warm `work_ticks` regression factor at which the smoke run fails.
+const SMOKE_REGRESSION_LIMIT: f64 = 1.5;
 
 /// Set-cover instance over a ring: n elements, each covered by 2 sets.
 fn ring_cover(n: usize) -> Model {
@@ -58,6 +82,26 @@ fn knapsack(n: usize) -> Model {
         ),
     );
     m
+}
+
+/// Set-partitioning family drawn from the core mapping formulation: the
+/// area ILP (one-slot-per-neuron partition rows, capacity rows, linking)
+/// over a calibrated network and the Table-II heterogeneous pool.
+fn set_partition(scale: usize) -> Model {
+    let net = generate(&NetworkSpec::scaled_a(scale));
+    let pool = CrossbarPool::for_network_capped(
+        &ArchitectureSpec::table_ii_heterogeneous(),
+        &AreaModel::memristor_count(),
+        net.node_count(),
+        2,
+    );
+    let ilp = MappingIlp::build(
+        &net,
+        &pool,
+        &MappingObjective::Area,
+        &FormulationConfig::new(),
+    );
+    ilp.model().clone()
 }
 
 fn bench_lp_relaxation(c: &mut Criterion) {
@@ -106,6 +150,13 @@ impl WarmColdRecord {
     }
 }
 
+/// Rounds a reported objective to the documented tolerance so warm/cold
+/// rows (and runs across PRs) diff cleanly.
+fn round_objective(o: f64) -> f64 {
+    let scale = 10f64.powi(OBJECTIVE_DECIMALS);
+    (o * scale).round() / scale
+}
+
 /// Full branch-and-bound, warm vs cold LPs.
 fn measure_bb(name: &str, model: &Model, warm_lp: bool) -> WarmColdRecord {
     let cfg = SolverConfig {
@@ -122,18 +173,35 @@ fn measure_bb(name: &str, model: &Model, warm_lp: bool) -> WarmColdRecord {
         mode: if warm_lp { "warm" } else { "cold" },
         nodes: result.nodes,
         det_seconds: result.det_time,
-        work_ticks: (result.det_time * 1e9) as u64,
+        work_ticks: (result.det_time * TICKS_PER_SECOND as f64) as u64,
         wall_seconds: wall,
         objective: result.best.as_ref().map(croxmap_ilp::Solution::objective),
     }
 }
 
+/// How an LP-chain workload fixes the next variable.
+#[derive(Clone, Copy)]
+enum FixRule {
+    /// Fix every variable to 1 in turn (the original covering/knapsack
+    /// chain; all-ones stays feasible on those families).
+    Ones,
+    /// Fix each variable to its rounded LP value (diving-style; required
+    /// on partition rows, where all-ones is instantly infeasible).
+    Round,
+}
+
 /// A branching workload at the LP level: solve the root, then re-solve one
-/// child per binary (fixing it to 1), warm-starting each child from the
-/// previous optimal basis — exactly what a branch-and-bound plunge does.
-/// `warm` toggles basis reuse; cold mode re-solves every child from
-/// scratch.
-fn measure_lp_chain(name: &str, model: &Model, warm: bool) -> WarmColdRecord {
+/// child per binary (fixing it per `rule`), warm-starting each child from
+/// the previous optimal basis — exactly what a branch-and-bound plunge
+/// does. `warm` toggles basis reuse; cold mode re-solves every child from
+/// scratch. At most `max_steps` children keep huge instances bounded.
+fn measure_lp_chain(
+    name: &str,
+    model: &Model,
+    warm: bool,
+    rule: FixRule,
+    max_steps: usize,
+) -> WarmColdRecord {
     let lp_cfg = simplex::LpConfig::default();
     let mut bounds: Vec<(f64, f64)> = model
         .variables()
@@ -147,8 +215,15 @@ fn measure_lp_chain(name: &str, model: &Model, warm: bool) -> WarmColdRecord {
     let mut ticks = root.result.work_ticks;
     let mut solves = 1u64;
     let mut last_obj = root.result.objective;
-    for j in 0..model.num_vars() {
-        bounds[j] = (1.0, 1.0);
+    let mut last_values = root.result.values.clone();
+    for j in 0..model.num_vars().min(max_steps) {
+        let fix = match rule {
+            FixRule::Ones => 1.0,
+            FixRule::Round => last_values
+                .get(j)
+                .map_or(0.0, |&x| x.round().clamp(0.0, 1.0)),
+        };
+        bounds[j] = (fix, fix);
         let out = solver.solve(
             model,
             &bounds,
@@ -161,6 +236,7 @@ fn measure_lp_chain(name: &str, model: &Model, warm: bool) -> WarmColdRecord {
             break;
         }
         last_obj = out.result.objective;
+        last_values = out.result.values;
         if warm {
             basis = out.basis;
         }
@@ -170,7 +246,7 @@ fn measure_lp_chain(name: &str, model: &Model, warm: bool) -> WarmColdRecord {
         instance: format!("lp_chain/{name}"),
         mode: if warm { "warm" } else { "cold" },
         nodes: solves,
-        det_seconds: ticks as f64 / 1e9,
+        det_seconds: ticks as f64 / TICKS_PER_SECOND as f64,
         work_ticks: ticks,
         wall_seconds: wall,
         objective: Some(last_obj),
@@ -181,12 +257,12 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn write_json(records: &[WarmColdRecord]) {
+fn render_json(records: &[WarmColdRecord]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         let obj = r
             .objective
-            .map_or_else(|| "null".to_owned(), |o| format!("{o}"));
+            .map_or_else(|| "null".to_owned(), |o| format!("{}", round_objective(o)));
         let _ = write!(
             out,
             "  {{\"instance\": \"{}\", \"mode\": \"{}\", \"nodes\": {}, \
@@ -204,19 +280,131 @@ fn write_json(records: &[WarmColdRecord]) {
         out.push_str(if i + 1 == records.len() { "\n" } else { ",\n" });
     }
     out.push_str("]\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
-    if let Err(e) = std::fs::write(path, out) {
+    out
+}
+
+fn bench_json_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json")
+}
+
+fn write_json(records: &[WarmColdRecord]) {
+    let path = bench_json_path();
+    if let Err(e) = std::fs::write(path, render_json(records)) {
         eprintln!("warm_vs_cold: could not write {path}: {e}");
     } else {
         println!("warm_vs_cold: wrote {path}");
     }
 }
 
+/// Minimal parser for the committed `BENCH_solver.json` (our own writer's
+/// format — one record per line): returns `(instance, mode, work_ticks)`.
+fn parse_committed(json: &str) -> Vec<(String, String, u64)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let tag = format!("\"{key}\": ");
+        let at = line.find(&tag)? + tag.len();
+        let rest = &line[at..];
+        let rest = rest.strip_prefix('"').map_or(rest, |r| r);
+        let end = rest.find(['"', ',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].to_owned())
+    };
+    json.lines()
+        .filter_map(|line| {
+            Some((
+                field(line, "instance")?,
+                field(line, "mode")?,
+                field(line, "work_ticks")?.parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+/// All instance measurements for the JSON log. `smoke` restricts the run
+/// to the small, committed lp_chain/bb sizes.
+fn collect_records(smoke: bool) -> Vec<WarmColdRecord> {
+    let mut records = Vec::new();
+    let sizes: &[usize] = if smoke {
+        &[48, 96]
+    } else {
+        &[48, 96, 192, 384]
+    };
+    for &n in sizes {
+        for (name, model) in [
+            (format!("ring_cover/{n}"), ring_cover(n)),
+            (format!("knapsack/{n}"), knapsack(n)),
+        ] {
+            for warm in [true, false] {
+                records.push(measure_lp_chain(
+                    &name,
+                    &model,
+                    warm,
+                    FixRule::Ones,
+                    usize::MAX,
+                ));
+                records.push(measure_bb(&name, &model, warm));
+            }
+        }
+    }
+    if !smoke {
+        // Scale divisors: 16 ≈ 14 neurons, 8 ≈ 28 neurons (larger models
+        // explode the cold chain's wall time without adding signal). The
+        // chain is capped: a diving plunge rarely exceeds a few dozen
+        // fixings before integrality or infeasibility anyway.
+        for scale in [16usize, 8] {
+            let model = set_partition(scale);
+            let name = format!("set_partition/scaled_a_{scale}");
+            for warm in [true, false] {
+                records.push(measure_lp_chain(&name, &model, warm, FixRule::Round, 32));
+                records.push(measure_bb(&name, &model, warm));
+            }
+        }
+    }
+    records
+}
+
+/// CI smoke: re-measure the committed small instances and fail on a
+/// >1.5× warm work_ticks regression. Returns `false` on regression.
+fn smoke_check() -> bool {
+    let committed = match std::fs::read_to_string(bench_json_path()) {
+        Ok(s) => parse_committed(&s),
+        Err(e) => {
+            eprintln!("bench-smoke: no committed BENCH_solver.json ({e}); nothing to compare");
+            return true;
+        }
+    };
+    let records = collect_records(true);
+    let mut ok = true;
+    for r in &records {
+        if r.mode != "warm" || !r.instance.starts_with("lp_chain/") {
+            continue;
+        }
+        let Some((_, _, old_ticks)) = committed
+            .iter()
+            .find(|(inst, mode, _)| *inst == r.instance && mode == "warm")
+        else {
+            println!("bench-smoke: {:<32} new instance, skipped", r.instance);
+            continue;
+        };
+        let ratio = r.work_ticks as f64 / (*old_ticks).max(1) as f64;
+        let verdict = if ratio > SMOKE_REGRESSION_LIMIT {
+            ok = false;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench-smoke: {:<32} warm ticks {:>12} vs committed {:>12} ({ratio:.2}x) {verdict}",
+            r.instance, r.work_ticks, old_ticks
+        );
+    }
+    ok
+}
+
 /// Warm-vs-cold comparison across the bench families, plus the JSON log.
 fn bench_warm_vs_cold(c: &mut Criterion) {
-    let mut records = Vec::new();
     let mut group = c.benchmark_group("warm_vs_cold");
     group.sample_size(10);
+    // Criterion timing loops only on the small committed sizes; the large
+    // instances are measured once for the JSON log below.
     for n in [48usize, 96] {
         for (name, model) in [
             (format!("ring_cover/{n}"), ring_cover(n)),
@@ -228,16 +416,15 @@ fn bench_warm_vs_cold(c: &mut Criterion) {
                     BenchmarkId::new(format!("lp_chain/{name}"), mode),
                     &model,
                     |b, m| {
-                        b.iter(|| measure_lp_chain(&name, m, warm));
+                        b.iter(|| measure_lp_chain(&name, m, warm, FixRule::Ones, usize::MAX));
                     },
                 );
-                records.push(measure_lp_chain(&name, &model, warm));
-                records.push(measure_bb(&name, &model, warm));
             }
         }
     }
     group.finish();
 
+    let records = collect_records(false);
     // Headline ratios, printed for humans; the JSON carries the raw data.
     for pair in records.chunks(4) {
         if let [lw, bw, lc, bc] = pair {
@@ -259,4 +446,16 @@ criterion_group!(
     bench_branch_and_bound,
     bench_warm_vs_cold
 );
-criterion_main!(benches);
+
+fn main() {
+    if std::env::var("CROXMAP_BENCH_SMOKE").is_ok() {
+        if smoke_check() {
+            println!("bench-smoke: warm work_ticks within {SMOKE_REGRESSION_LIMIT}x of committed");
+        } else {
+            eprintln!("bench-smoke: warm work_ticks regression detected");
+            std::process::exit(1);
+        }
+        return;
+    }
+    benches();
+}

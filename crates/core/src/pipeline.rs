@@ -41,6 +41,16 @@ impl PipelineConfig {
             warm_start: true,
         }
     }
+
+    /// Returns a copy with the given solver configuration. This is how
+    /// callers reach the LP-level knobs — engine selection (sparse LU vs
+    /// the dense oracles), pricing rule, and refactorisation cadence —
+    /// e.g. `cfg.with_solver(cfg.solver.clone().with_pricing(...))`.
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
 }
 
 /// One timestamped mapping in an optimisation run.
@@ -676,6 +686,28 @@ mod tests {
         best.validate(&net, &pool).unwrap();
         assert_eq!(best.used_slots().len(), 2);
         assert_eq!(run.best_objective(), Some(32.0));
+    }
+
+    #[test]
+    fn lp_engine_options_plumb_through_pipeline() {
+        // Every LP engine behind `PipelineConfig::with_solver` must reach
+        // the same area optimum on the clustered instance.
+        use croxmap_ilp::LpEngine;
+        let net = clustered();
+        let pool = pool();
+        for engine in [
+            LpEngine::SparseLu,
+            LpEngine::DenseInverse,
+            LpEngine::DenseTableau,
+        ] {
+            let cfg = PipelineConfig::with_budget(10.0).with_solver(
+                SolverConfig::default()
+                    .with_det_time_limit(10.0)
+                    .with_lp_engine(engine),
+            );
+            let run = optimize_area(&net, &pool, &cfg);
+            assert_eq!(run.best_objective(), Some(32.0), "engine {engine:?}");
+        }
     }
 
     #[test]

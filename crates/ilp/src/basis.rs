@@ -8,6 +8,13 @@
 //! feasible** for both children; re-installing it and running the dual
 //! simplex typically re-optimises in a handful of pivots instead of a full
 //! two-phase cold solve.
+//!
+//! A snapshot is representation-agnostic: it stores only column indices
+//! and statuses, never factors. Installing one re-factorises the basis in
+//! whatever representation the engine is configured with — the sparse LU
+//! of [`crate::factor::LuFactors`] by default, or the explicit dense
+//! inverse oracle — so snapshots taken under one engine warm-start the
+//! other freely.
 
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,834 @@
+//! Sparse LU basis factorisation with product-form eta updates.
+//!
+//! The revised simplex needs four linear-algebra primitives on the basis
+//! matrix `B` (one column per constraint row, drawn from the structural
+//! CSC matrix or the implicit slack identity):
+//!
+//! * **FTRAN** — solve `B x = b` (pivot columns, primal updates),
+//! * **BTRAN** — solve `Bᵀ y = c` (dual prices, tableau rows),
+//! * **update** — replace the basic column of one row after a pivot,
+//! * **refactorise** — rebuild the representation from the basis columns.
+//!
+//! Two interchangeable representations implement them:
+//!
+//! 1. [`LuFactors`] (the default): a sparse LU factorisation `B·Q = L·U`
+//!    (columns permuted by `Q`, rows by partial pivoting) computed with a
+//!    left-looking elimination in the style of Gilbert–Peierls. Columns
+//!    are eliminated in a **static Markowitz order** — ascending non-zero
+//!    count, the column half of the Markowitz merit — and within each
+//!    column the pivot row is chosen by *threshold partial pivoting*
+//!    biased towards sparse rows: among rows within 10× of the largest
+//!    eligible magnitude, the row with the fewest non-zeros in `B` wins.
+//!    Pivots are recorded as **product-form eta vectors**: after a pivot
+//!    with transformed column `w = B⁻¹ a_q` entering at row `r`, the new
+//!    basis satisfies `B' = B·E` with `E = I` except column `r = w`, so
+//!    FTRAN appends `E⁻¹` and BTRAN prepends `E⁻ᵀ`. The eta file grows
+//!    with every pivot; [`Factorization::needs_refactor`] triggers a
+//!    fresh factorisation when the file gets long
+//!    ([`FactorOpts::refactor_interval`]) or fat
+//!    ([`FactorOpts::eta_fill_factor`] × the LU fill). Solves skip work
+//!    on zero multipliers, so hyper-sparse right-hand sides (unit vectors
+//!    in BTRAN, single columns in FTRAN) touch only the non-zeros they
+//!    reach.
+//!
+//! 2. [`DenseInverse`]: the explicit dense `m × m` basis inverse of the
+//!    original engine — `O(m³)` refactorisation (Gauss–Jordan with
+//!    partial pivoting), `O(m²)` rank-one pivot updates. Kept as the
+//!    correctness oracle behind
+//!    [`LpEngine::DenseInverse`](crate::simplex::LpEngine) and as the
+//!    reference implementation for the property tests.
+//!
+//! Both meter deterministic work: every elementary floating-point
+//! operation charges ticks (see [`crate::DeterministicClock`]), harvested
+//! by the engine through [`take_work`](LuFactors::take_work), so budgets
+//! stay reproducible whichever representation runs.
+//!
+//! The remaining distance to a production factorisation — Forrest–Tomlin
+//! updates that modify `U` in place instead of appending etas, dynamic
+//! Markowitz ordering on the active submatrix, and topological-order
+//! hyper-sparse solves — is recorded in `ROADMAP.md`.
+
+use crate::sparse::CscMatrix;
+
+/// Magnitude below which a pivot candidate counts as numerically zero.
+const PIVOT_TOL: f64 = 1e-10;
+/// Threshold-pivoting relaxation: rows within this factor of the largest
+/// eligible magnitude may be preferred for sparsity.
+const PIVOT_THRESHOLD: f64 = 0.1;
+
+/// Policy knobs for folding the eta file back into a fresh factorisation.
+///
+/// Reached through [`LpConfig`](crate::simplex::LpConfig) (and from there
+/// [`SolverConfig`](crate::SolverConfig)); replaces the engine's old
+/// hard-coded `REFACTOR_EVERY = 64` constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FactorOpts {
+    /// Pivot (eta) updates tolerated — and hot basis reuses across solves
+    /// — before a hygiene refactorisation is forced.
+    pub refactor_interval: u32,
+    /// Refactorise when the eta-file non-zeros exceed this multiple of
+    /// the LU fill (`nnz(L) + nnz(U) + m`).
+    pub eta_fill_factor: f64,
+}
+
+impl Default for FactorOpts {
+    fn default() -> Self {
+        FactorOpts {
+            refactor_interval: 64,
+            eta_fill_factor: 3.0,
+        }
+    }
+}
+
+/// One product-form eta transformation: the basis column of row `r` was
+/// replaced by a column whose transformed form (`B⁻¹ a_q`) had `pivot` at
+/// position `r` and `entries` elsewhere.
+#[derive(Debug, Clone)]
+struct Eta {
+    r: usize,
+    pivot: f64,
+    /// `(position, value)` pairs excluding the pivot position.
+    entries: Vec<(usize, f64)>,
+}
+
+/// Sparse LU factorisation of a simplex basis with an eta-file of
+/// product-form pivot updates. See the [module docs](self) for the
+/// algorithm and the update calculus.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    m: usize,
+    /// Pivot row (original row index) per elimination step.
+    p: Vec<usize>,
+    /// Inverse of `p`: elimination step of each original row.
+    pinv: Vec<usize>,
+    /// Basis position eliminated at each step (column permutation `Q`).
+    q: Vec<usize>,
+    /// Columns of unit-lower-triangular `L`: `(original_row, value)`
+    /// pairs over rows not yet pivoted at that step.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// Columns of `U` above the diagonal: `(earlier_step, value)` pairs.
+    u_cols: Vec<Vec<(usize, f64)>>,
+    /// Diagonal of `U`, per step.
+    u_diag: Vec<f64>,
+    /// Product-form pivot updates since the last refactorisation,
+    /// applied after the LU solves in FTRAN order.
+    etas: Vec<Eta>,
+    /// `nnz(L) + nnz(U)` including the diagonals, at last factorisation.
+    lu_nnz: usize,
+    /// Total entries across the eta file.
+    eta_nnz: usize,
+    /// Step-indexed scratch for the permuted triangular solves.
+    scratch: Vec<f64>,
+    /// Deterministic work accrued since the last harvest.
+    work: u64,
+}
+
+impl LuFactors {
+    /// An identity factorisation for an `m`-row basis (the all-slack
+    /// basis `B = I`).
+    #[must_use]
+    pub fn identity(m: usize) -> Self {
+        let mut lu = LuFactors {
+            m,
+            p: Vec::new(),
+            pinv: Vec::new(),
+            q: Vec::new(),
+            l_cols: Vec::new(),
+            u_cols: Vec::new(),
+            u_diag: Vec::new(),
+            etas: Vec::new(),
+            lu_nnz: m,
+            eta_nnz: 0,
+            scratch: vec![0.0; m],
+            work: 0,
+        };
+        lu.reset_identity();
+        lu
+    }
+
+    /// Resets to the identity basis without a factorisation pass.
+    pub fn reset_identity(&mut self) {
+        let m = self.m;
+        self.p = (0..m).collect();
+        self.pinv = (0..m).collect();
+        self.q = (0..m).collect();
+        self.l_cols = vec![Vec::new(); m];
+        self.u_cols = vec![Vec::new(); m];
+        self.u_diag = vec![1.0; m];
+        self.etas.clear();
+        self.lu_nnz = m;
+        self.eta_nnz = 0;
+        self.work += m as u64;
+    }
+
+    /// Number of eta updates accumulated since the last factorisation.
+    #[must_use]
+    pub fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Non-zeros across the eta file.
+    #[must_use]
+    pub fn eta_nnz(&self) -> usize {
+        self.eta_nnz
+    }
+
+    /// `nnz(L) + nnz(U)` of the last factorisation (diagonals included).
+    #[must_use]
+    pub fn lu_nnz(&self) -> usize {
+        self.lu_nnz
+    }
+
+    /// Drains the deterministic work metered since the last call.
+    pub fn take_work(&mut self) -> u64 {
+        std::mem::take(&mut self.work)
+    }
+
+    /// Factorises the basis whose column for row position `k` is
+    /// `cols[k]`: structural CSC column `cols[k]` when `cols[k] <
+    /// n_struct`, else the slack unit vector `e_{cols[k] − n_struct}`.
+    /// Clears the eta file. Returns `false` when the basis is singular
+    /// (or hopelessly ill-conditioned); the factors are then unusable
+    /// until the next successful call.
+    pub fn factorize(&mut self, cols: &[usize], a: &CscMatrix, n_struct: usize) -> bool {
+        let m = self.m;
+        assert_eq!(cols.len(), m, "one basis column per row required");
+        self.etas.clear();
+        self.eta_nnz = 0;
+        self.p.resize(m, 0);
+        self.q.resize(m, 0);
+        self.pinv.clear();
+        self.pinv.resize(m, usize::MAX);
+        self.l_cols.clear();
+        self.l_cols.resize(m, Vec::new());
+        self.u_cols.clear();
+        self.u_cols.resize(m, Vec::new());
+        self.u_diag.clear();
+        self.u_diag.resize(m, 0.0);
+
+        // Static Markowitz data: column non-zero counts order the
+        // elimination; row counts break pivot ties towards sparse rows.
+        let col_nnz = |pos: usize| {
+            if cols[pos] < n_struct {
+                a.col_nnz(cols[pos])
+            } else {
+                1
+            }
+        };
+        let mut row_count = vec![0usize; m];
+        for k in 0..m {
+            if cols[k] < n_struct {
+                for &i in a.col(cols[k]).0 {
+                    row_count[i] += 1;
+                }
+            } else {
+                row_count[cols[k] - n_struct] += 1;
+            }
+        }
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_unstable_by_key(|&pos| (col_nnz(pos), pos));
+
+        let mut x = vec![0.0f64; m];
+        let mut ops = a.nnz() as u64 + m as u64;
+        for (step, &pos) in order.iter().enumerate() {
+            // Scatter the basis column into the dense work vector.
+            let c = cols[pos];
+            if c < n_struct {
+                a.scatter_col(&mut x, c);
+                ops += a.col_nnz(c) as u64;
+            } else {
+                x[c - n_struct] = 1.0;
+                ops += 1;
+            }
+            // Sparse lower solve `x ← L⁻¹ x` over the steps so far; zero
+            // multipliers are skipped, which is what keeps sparse columns
+            // cheap (hyper-sparsity by value rather than by pattern).
+            for k in 0..step {
+                let t = x[self.p[k]];
+                if t == 0.0 {
+                    continue;
+                }
+                for &(row, val) in &self.l_cols[k] {
+                    x[row] -= val * t;
+                }
+                ops += self.l_cols[k].len() as u64;
+            }
+            ops += step as u64;
+            // Threshold partial pivoting with a Markowitz row bias: the
+            // sparsest row within PIVOT_THRESHOLD of the largest eligible
+            // magnitude becomes the pivot.
+            let mut max_abs = 0.0f64;
+            for row in 0..m {
+                if self.pinv[row] == usize::MAX {
+                    let v = x[row].abs();
+                    if v > max_abs {
+                        max_abs = v;
+                    }
+                }
+            }
+            ops += m as u64;
+            if max_abs < PIVOT_TOL {
+                x.fill(0.0);
+                return false; // singular in exact or floating arithmetic
+            }
+            let cutoff = max_abs * PIVOT_THRESHOLD;
+            let mut prow = usize::MAX;
+            let mut best_count = usize::MAX;
+            for row in 0..m {
+                if self.pinv[row] == usize::MAX && x[row].abs() >= cutoff {
+                    let count = row_count[row];
+                    if count < best_count {
+                        best_count = count;
+                        prow = row;
+                    }
+                }
+            }
+            debug_assert_ne!(prow, usize::MAX);
+            self.p[step] = prow;
+            self.pinv[prow] = step;
+            self.q[step] = pos;
+            let diag = x[prow];
+            self.u_diag[step] = diag;
+            // Split the eliminated column into U (pivoted rows) and L
+            // (remaining rows, scaled by the pivot); reset the scratch.
+            let inv = 1.0 / diag;
+            for row in 0..m {
+                let v = x[row];
+                if v == 0.0 {
+                    continue;
+                }
+                x[row] = 0.0;
+                if row == prow {
+                    continue;
+                }
+                let k = self.pinv[row];
+                if k == usize::MAX {
+                    self.l_cols[step].push((row, v * inv));
+                } else {
+                    self.u_cols[step].push((k, v));
+                }
+            }
+            ops += m as u64;
+        }
+        self.lu_nnz = m + self
+            .l_cols
+            .iter()
+            .zip(&self.u_cols)
+            .map(|(l, u)| l.len() + u.len())
+            .sum::<usize>();
+        self.work += ops;
+        true
+    }
+
+    /// FTRAN: overwrites `x` (indexed by constraint row) with `B⁻¹ x`
+    /// (indexed by basis position).
+    pub fn ftran(&mut self, x: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(x.len(), m);
+        let mut ops = 0u64;
+        let LuFactors {
+            p,
+            q,
+            l_cols,
+            u_cols,
+            u_diag,
+            etas,
+            scratch: z,
+            ..
+        } = self;
+        // Forward solve L y = x, in place in pivot order.
+        for k in 0..m {
+            let t = x[p[k]];
+            if t == 0.0 {
+                continue;
+            }
+            for &(row, val) in &l_cols[k] {
+                x[row] -= val * t;
+            }
+            ops += l_cols[k].len() as u64;
+        }
+        // Backward solve U z = y in step space.
+        for k in 0..m {
+            z[k] = x[p[k]];
+        }
+        for k in (0..m).rev() {
+            let zk = z[k] / u_diag[k];
+            z[k] = zk;
+            if zk == 0.0 {
+                continue;
+            }
+            for &(i, val) in &u_cols[k] {
+                z[i] -= val * zk;
+            }
+            ops += u_cols[k].len() as u64;
+        }
+        // Undo the column permutation into basis-position space.
+        for k in 0..m {
+            x[q[k]] = z[k];
+        }
+        ops += 3 * m as u64;
+        // Apply the eta file in pivot order: x ← E⁻¹ x per eta.
+        for eta in etas.iter() {
+            let t = x[eta.r] / eta.pivot;
+            x[eta.r] = t;
+            if t == 0.0 {
+                continue;
+            }
+            for &(i, val) in &eta.entries {
+                x[i] -= val * t;
+            }
+            ops += eta.entries.len() as u64;
+        }
+        ops += etas.len() as u64;
+        self.work += ops;
+    }
+
+    /// BTRAN: overwrites `x` (indexed by basis position) with `B⁻ᵀ x`
+    /// (indexed by constraint row).
+    pub fn btran(&mut self, x: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(x.len(), m);
+        let mut ops = 0u64;
+        let LuFactors {
+            p,
+            q,
+            l_cols,
+            u_cols,
+            u_diag,
+            etas,
+            scratch: z,
+            ..
+        } = self;
+        // Eta transposes first, in reverse pivot order.
+        for eta in etas.iter().rev() {
+            let mut dot = 0.0;
+            for &(i, val) in &eta.entries {
+                dot += val * x[i];
+            }
+            x[eta.r] = (x[eta.r] - dot) / eta.pivot;
+            ops += eta.entries.len() as u64 + 1;
+        }
+        // Uᵀ z = Q x, forward in step space (gather form).
+        for k in 0..m {
+            let mut v = x[q[k]];
+            for &(i, val) in &u_cols[k] {
+                v -= val * z[i];
+            }
+            z[k] = v / u_diag[k];
+            ops += u_cols[k].len() as u64;
+        }
+        // Lᵀ y = z, backward; every original row is written exactly once.
+        for k in (0..m).rev() {
+            let mut v = z[k];
+            for &(row, val) in &l_cols[k] {
+                v -= val * x[row];
+            }
+            x[p[k]] = v;
+            ops += l_cols[k].len() as u64;
+        }
+        ops += 2 * m as u64;
+        self.work += ops;
+    }
+
+    /// Records a pivot: the basic column at position `r` is replaced by a
+    /// column whose FTRANed form is `w` (so `w[r]` is the pivot element).
+    /// Appends one eta to the file; `O(nnz(w))`.
+    pub fn update(&mut self, r: usize, w: &[f64]) {
+        debug_assert_eq!(w.len(), self.m);
+        debug_assert!(w[r] != 0.0, "pivot element must be non-zero");
+        let entries: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != r && v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.work += entries.len() as u64 + 1;
+        self.eta_nnz += entries.len() + 1;
+        self.etas.push(Eta {
+            r,
+            pivot: w[r],
+            entries,
+        });
+    }
+
+    /// Refactorisation trigger: a long eta file costs every solve, a fat
+    /// one costs memory and accuracy; either pays for a fresh LU.
+    #[must_use]
+    pub fn needs_refactor(&self, opts: &FactorOpts) -> bool {
+        self.etas.len() >= opts.refactor_interval as usize
+            || self.eta_nnz as f64 > opts.eta_fill_factor * (self.lu_nnz + self.m) as f64
+    }
+}
+
+/// Explicit dense `m × m` basis inverse — the original engine's
+/// representation, kept as the correctness oracle for [`LuFactors`] and
+/// selectable via [`LpEngine::DenseInverse`](crate::simplex::LpEngine).
+#[derive(Debug, Clone)]
+pub struct DenseInverse {
+    m: usize,
+    /// Row-major `m × m` basis inverse: `binv[i·m + k] = (B⁻¹)[i, k]`
+    /// maps constraint row `k` to basis position `i`.
+    binv: Vec<f64>,
+    scratch: Vec<f64>,
+    work: u64,
+}
+
+impl DenseInverse {
+    /// The identity inverse for an `m`-row basis.
+    #[must_use]
+    pub fn identity(m: usize) -> Self {
+        let mut inv = DenseInverse {
+            m,
+            binv: vec![0.0; m * m],
+            scratch: vec![0.0; m],
+            work: 0,
+        };
+        inv.reset_identity();
+        inv
+    }
+
+    /// Resets to the identity basis.
+    pub fn reset_identity(&mut self) {
+        self.binv.fill(0.0);
+        for i in 0..self.m {
+            self.binv[i * self.m + i] = 1.0;
+        }
+        self.work += self.m as u64;
+    }
+
+    /// Drains the deterministic work metered since the last call.
+    pub fn take_work(&mut self) -> u64 {
+        std::mem::take(&mut self.work)
+    }
+
+    /// Gauss–Jordan inversion of the basis matrix with partial pivoting;
+    /// the column convention matches [`LuFactors::factorize`]. Returns
+    /// `false` on a singular basis.
+    pub fn factorize(&mut self, cols: &[usize], a: &CscMatrix, n_struct: usize) -> bool {
+        let m = self.m;
+        assert_eq!(cols.len(), m, "one basis column per row required");
+        let mut b = vec![0.0f64; m * m];
+        for (r, &c) in cols.iter().enumerate() {
+            if c < n_struct {
+                let (rows, vals) = a.col(c);
+                for (&i, &v) in rows.iter().zip(vals) {
+                    b[i * m + r] = v;
+                }
+            } else {
+                b[(c - n_struct) * m + r] = 1.0;
+            }
+        }
+        self.binv.fill(0.0);
+        for i in 0..m {
+            self.binv[i * m + i] = 1.0;
+        }
+        for k in 0..m {
+            let mut p = k;
+            let mut best = b[k * m + k].abs();
+            for i in k + 1..m {
+                let v = b[i * m + k].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < PIVOT_TOL {
+                return false;
+            }
+            if p != k {
+                for j in 0..m {
+                    b.swap(k * m + j, p * m + j);
+                    self.binv.swap(k * m + j, p * m + j);
+                }
+            }
+            let inv = 1.0 / b[k * m + k];
+            for j in 0..m {
+                b[k * m + j] *= inv;
+                self.binv[k * m + j] *= inv;
+            }
+            for i in 0..m {
+                if i == k {
+                    continue;
+                }
+                let f = b[i * m + k];
+                if f != 0.0 {
+                    for j in 0..m {
+                        let bv = b[k * m + j];
+                        let nv = self.binv[k * m + j];
+                        b[i * m + j] -= f * bv;
+                        self.binv[i * m + j] -= f * nv;
+                    }
+                }
+            }
+        }
+        self.work += (m * m * m) as u64;
+        true
+    }
+
+    /// FTRAN: overwrites `x` (row-indexed) with `B⁻¹ x`
+    /// (position-indexed); dense `O(m²)`.
+    pub fn ftran(&mut self, x: &mut [f64]) {
+        let m = self.m;
+        for i in 0..m {
+            let row = &self.binv[i * m..(i + 1) * m];
+            self.scratch[i] = row.iter().zip(x.iter()).map(|(&v, &r)| v * r).sum();
+        }
+        x.copy_from_slice(&self.scratch);
+        self.work += (m * m) as u64;
+    }
+
+    /// BTRAN: overwrites `x` (position-indexed) with `B⁻ᵀ x`
+    /// (row-indexed); dense `O(m²)`.
+    pub fn btran(&mut self, x: &mut [f64]) {
+        let m = self.m;
+        self.scratch.fill(0.0);
+        for r in 0..m {
+            let xr = x[r];
+            if xr != 0.0 {
+                let row = &self.binv[r * m..(r + 1) * m];
+                for (acc, &v) in self.scratch.iter_mut().zip(row) {
+                    *acc += xr * v;
+                }
+            }
+        }
+        x.copy_from_slice(&self.scratch);
+        self.work += (m * m) as u64;
+    }
+
+    /// Copies row `r` of `B⁻¹` (`= e_rᵀ B⁻¹`) into `out`.
+    pub fn btran_unit(&mut self, r: usize, out: &mut [f64]) {
+        out.copy_from_slice(&self.binv[r * self.m..(r + 1) * self.m]);
+        self.work += self.m as u64;
+    }
+
+    /// Rank-one basis-inverse update after a pivot at row `r` with
+    /// transformed entering column `w`; dense `O(m²)`.
+    pub fn update(&mut self, r: usize, w: &[f64]) {
+        let m = self.m;
+        let inv = 1.0 / w[r];
+        for j in 0..m {
+            self.binv[r * m + j] *= inv;
+        }
+        for i in 0..m {
+            if i == r {
+                continue;
+            }
+            let f = w[i];
+            if f != 0.0 {
+                for j in 0..m {
+                    let v = self.binv[r * m + j];
+                    self.binv[i * m + j] -= f * v;
+                }
+            }
+        }
+        self.work += (m * m) as u64;
+    }
+}
+
+/// The engine-facing dispatch over the two representations.
+#[derive(Debug, Clone)]
+pub(crate) enum Factorization {
+    /// Sparse LU with an eta file.
+    Lu(LuFactors),
+    /// Explicit dense inverse (oracle / fallback representation).
+    Dense(DenseInverse),
+}
+
+impl Factorization {
+    pub(crate) fn reset_identity(&mut self) {
+        match self {
+            Factorization::Lu(f) => f.reset_identity(),
+            Factorization::Dense(f) => f.reset_identity(),
+        }
+    }
+
+    pub(crate) fn factorize(&mut self, cols: &[usize], a: &CscMatrix, n_struct: usize) -> bool {
+        match self {
+            Factorization::Lu(f) => f.factorize(cols, a, n_struct),
+            Factorization::Dense(f) => f.factorize(cols, a, n_struct),
+        }
+    }
+
+    pub(crate) fn ftran(&mut self, x: &mut [f64]) {
+        match self {
+            Factorization::Lu(f) => f.ftran(x),
+            Factorization::Dense(f) => f.ftran(x),
+        }
+    }
+
+    pub(crate) fn btran(&mut self, x: &mut [f64]) {
+        match self {
+            Factorization::Lu(f) => f.btran(x),
+            Factorization::Dense(f) => f.btran(x),
+        }
+    }
+
+    /// `out ← e_rᵀ B⁻¹` (the tableau row's dual direction).
+    pub(crate) fn btran_unit(&mut self, r: usize, out: &mut [f64]) {
+        match self {
+            Factorization::Lu(f) => {
+                out.fill(0.0);
+                out[r] = 1.0;
+                f.btran(out);
+            }
+            Factorization::Dense(f) => f.btran_unit(r, out),
+        }
+    }
+
+    pub(crate) fn update(&mut self, r: usize, w: &[f64]) {
+        match self {
+            Factorization::Lu(f) => f.update(r, w),
+            Factorization::Dense(f) => f.update(r, w),
+        }
+    }
+
+    /// Whether the accumulated updates warrant a fresh factorisation.
+    /// The dense inverse is updated in place and never refactorises
+    /// mid-run (matching the original engine); the LU representation
+    /// follows the eta-file policy in `opts`.
+    pub(crate) fn needs_refactor(&self, opts: &FactorOpts) -> bool {
+        match self {
+            Factorization::Lu(f) => f.needs_refactor(opts),
+            Factorization::Dense(_) => false,
+        }
+    }
+
+    pub(crate) fn take_work(&mut self) -> u64 {
+        match self {
+            Factorization::Lu(f) => f.take_work(),
+            Factorization::Dense(f) => f.take_work(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3×3 matrix with a sparse structure and a known inverse action.
+    fn sample_csc() -> CscMatrix {
+        // [ 2 0 1 ]
+        // [ 0 3 0 ]
+        // [ 1 0 1 ]
+        CscMatrix::from_columns(
+            3,
+            &[
+                vec![(0, 2.0), (2, 1.0)],
+                vec![(1, 3.0)],
+                vec![(0, 1.0), (2, 1.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn lu_matches_dense_on_structural_basis() {
+        let a = sample_csc();
+        let cols = vec![0, 1, 2];
+        let mut lu = LuFactors::identity(3);
+        let mut dense = DenseInverse::identity(3);
+        assert!(lu.factorize(&cols, &a, 3));
+        assert!(dense.factorize(&cols, &a, 3));
+        let rhs = [1.0, 2.0, 3.0];
+        let mut x1 = rhs;
+        let mut x2 = rhs;
+        lu.ftran(&mut x1);
+        dense.ftran(&mut x2);
+        for (a, b) in x1.iter().zip(&x2) {
+            assert!((a - b).abs() < 1e-12, "{x1:?} vs {x2:?}");
+        }
+        let mut y1 = rhs;
+        let mut y2 = rhs;
+        lu.btran(&mut y1);
+        dense.btran(&mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-12, "{y1:?} vs {y2:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_slack_basis_and_unit_btran() {
+        let a = sample_csc();
+        // Basis: structural col 0, slack of row 1, structural col 2.
+        let cols = vec![0, 4, 2];
+        let mut lu = LuFactors::identity(3);
+        let mut dense = DenseInverse::identity(3);
+        assert!(lu.factorize(&cols, &a, 3));
+        assert!(dense.factorize(&cols, &a, 3));
+        for r in 0..3 {
+            let mut u1 = vec![0.0; 3];
+            let mut u2 = vec![0.0; 3];
+            u1[r] = 1.0;
+            lu.btran(&mut u1);
+            dense.btran_unit(r, &mut u2);
+            for (a, b) in u1.iter().zip(&u2) {
+                assert!((a - b).abs() < 1e-12, "row {r}: {u1:?} vs {u2:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_basis_rejected() {
+        let a = sample_csc();
+        // Column 0 twice: linearly dependent.
+        let cols = vec![0, 0, 2];
+        let mut lu = LuFactors::identity(3);
+        let mut dense = DenseInverse::identity(3);
+        assert!(!lu.factorize(&cols, &a, 3));
+        assert!(!dense.factorize(&cols, &a, 3));
+    }
+
+    #[test]
+    fn eta_update_tracks_dense_rank_one() {
+        let a = sample_csc();
+        let cols = vec![3, 4, 5]; // all-slack identity basis
+        let mut lu = LuFactors::identity(3);
+        let mut dense = DenseInverse::identity(3);
+        assert!(lu.factorize(&cols, &a, 3));
+        assert!(dense.factorize(&cols, &a, 3));
+        // Pivot structural column 0 into row 0.
+        let mut w1 = vec![0.0; 3];
+        a.axpy_col(&mut w1, 1.0, 0);
+        let mut w2 = w1.clone();
+        lu.ftran(&mut w1);
+        dense.ftran(&mut w2);
+        lu.update(0, &w1);
+        dense.update(0, &w2);
+        assert_eq!(lu.eta_count(), 1);
+        let rhs = [5.0, -1.0, 2.0];
+        let mut x1 = rhs;
+        let mut x2 = rhs;
+        lu.ftran(&mut x1);
+        dense.ftran(&mut x2);
+        for (a, b) in x1.iter().zip(&x2) {
+            assert!((a - b).abs() < 1e-12, "{x1:?} vs {x2:?}");
+        }
+        let mut y1 = rhs;
+        let mut y2 = rhs;
+        lu.btran(&mut y1);
+        dense.btran(&mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-12, "{y1:?} vs {y2:?}");
+        }
+    }
+
+    #[test]
+    fn refactor_policy_triggers() {
+        let lu = LuFactors::identity(4);
+        let tight = FactorOpts {
+            refactor_interval: 0,
+            eta_fill_factor: 0.0,
+        };
+        assert!(lu.needs_refactor(&tight));
+        let loose = FactorOpts::default();
+        assert!(!lu.needs_refactor(&loose));
+    }
+
+    #[test]
+    fn work_is_metered_and_drained() {
+        let a = sample_csc();
+        let mut lu = LuFactors::identity(3);
+        assert!(lu.factorize(&[0, 1, 2], &a, 3));
+        assert!(lu.take_work() > 0);
+        assert_eq!(lu.take_work(), 0);
+    }
+}

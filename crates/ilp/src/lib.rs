@@ -85,6 +85,7 @@
 pub mod basis;
 mod clock;
 mod expr;
+pub mod factor;
 mod model;
 mod revised;
 pub mod simplex;
@@ -93,9 +94,11 @@ mod solver;
 pub mod sparse;
 
 pub use basis::{Basis, VarStatus};
-pub use clock::DeterministicClock;
+pub use clock::{DeterministicClock, TICKS_PER_SECOND};
 pub use expr::{Comparison, ConstraintSense, LinExpr, VarId};
+pub use factor::{DenseInverse, FactorOpts, LuFactors};
 pub use model::{Constraint, Model, ModelError, VarType, Variable};
+pub use simplex::{LpEngine, PricingRule};
 pub use solution::{IncumbentEvent, Solution};
 pub use solver::{BranchRule, SolveResult, SolveStatus, Solver, SolverConfig};
 pub use sparse::CscMatrix;

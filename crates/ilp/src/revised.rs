@@ -5,9 +5,20 @@
 //!
 //! * the constraint matrix `A` once, in CSC form (shared via
 //!   [`Model::csc`]),
-//! * an explicit dense basis inverse `B⁻¹` (`m × m`), updated in `O(m²)`
-//!   per pivot,
+//! * the basis in factorised form ([`crate::factor`]): a sparse LU with
+//!   product-form eta updates by default (`O(nnz)`-flavoured FTRAN/BTRAN
+//!   solves, one eta per pivot, periodic refactorisation), or the
+//!   explicit dense `m × m` inverse of the original engine behind
+//!   [`LpEngine::DenseInverse`] (the correctness oracle),
 //! * reduced costs priced through sparse columns (`O(nnz)` per pivot).
+//!
+//! The dual simplex selects its leaving row with **Devex
+//! reference-framework pricing** (violation² over an evolving row weight;
+//! Dantzig largest-violation selectable via [`PricingRule`], Bland-style
+//! lowest-index selection under stalls) and runs a **bound-flipping dual
+//! ratio test**: boxed candidates whose dual ratio is passed by the step
+//! are flipped to their other bound — one FTRAN folds all flips into `β`
+//! — which lets one iteration absorb many would-be degenerate pivots.
 //!
 //! The engine always starts **dual feasible** and drives out primal
 //! infeasibility with the dual simplex:
@@ -24,10 +35,11 @@
 //! the previous solve alive; when the caller's warm basis is exactly the
 //! context's current basis (the common case on branch-and-bound plunges
 //! and diving loops, where consecutive solves differ by one bound), the
-//! context applies the bound deltas directly to `β` in `O(m·nnz)` — no
-//! factorisation at all. Otherwise the basis is reinstalled from the
-//! snapshot with one `O(m³)` refactorisation, still far cheaper than a
-//! cold two-phase tableau solve.
+//! context applies the bound deltas directly to `β` with a single FTRAN —
+//! no factorisation at all. Otherwise the basis is reinstalled from the
+//! snapshot with one refactorisation (sparse LU by default, `O(m³)` only
+//! on the dense oracle path), still far cheaper than a cold two-phase
+//! tableau solve.
 //!
 //! Any situation the engine cannot handle — a dual-infeasible start (e.g.
 //! an improving direction with an infinite bound), a singular warm basis,
@@ -37,8 +49,9 @@
 
 use crate::basis::{Basis, VarStatus};
 use crate::expr::ConstraintSense;
+use crate::factor::{DenseInverse, FactorOpts, Factorization, LuFactors};
 use crate::model::Model;
-use crate::simplex::{LpConfig, LpResult, LpStatus, TOL};
+use crate::simplex::{LpConfig, LpEngine, LpResult, LpStatus, PricingRule, TOL};
 use crate::sparse::CscMatrix;
 use std::sync::Arc;
 
@@ -50,8 +63,11 @@ const DFEAS: f64 = 1e-6;
 const VERIFY_TOL: f64 = 1e-5;
 /// Consecutive non-improving iterations before anti-cycling kicks in.
 const STALL_LIMIT: u32 = 64;
-/// Hot in-place reuses before a hygiene refactorisation is forced.
-const REFACTOR_EVERY: u32 = 64;
+/// Devex weights above this trigger a reference-framework reset.
+const DEVEX_RESET: f64 = 1e8;
+/// Remaining-slope floor for accepting another bound flip in the dual
+/// ratio test.
+const FLIP_SLOPE_TOL: f64 = 1e-9;
 
 /// Outcome of one dual-simplex run.
 enum RunStatus {
@@ -87,8 +103,16 @@ struct Engine {
     basis: Vec<usize>,
     /// Inverse map: column -> row, or `usize::MAX` when nonbasic.
     in_row: Vec<usize>,
-    /// Dense row-major `m × m` basis inverse.
-    binv: Vec<f64>,
+    /// Basis factorisation (sparse LU + eta file, or dense inverse).
+    factor: Factorization,
+    /// Engine/pricing options this engine was built with; a hot reuse
+    /// with different options must miss and rebuild.
+    kind: LpEngine,
+    opts: FactorOpts,
+    pricing: PricingRule,
+    bound_flips: bool,
+    /// Devex reference-framework weight per row.
+    devex: Vec<f64>,
     /// Values of basic variables per row.
     beta: Vec<f64>,
     /// Reduced costs per column (zero on basic columns).
@@ -97,6 +121,16 @@ struct Engine {
     alpha: Vec<f64>,
     /// Scratch: pivot column `w = B⁻¹ A_q`.
     w: Vec<f64>,
+    /// Scratch: `ρ = e_r B⁻¹` (row space), also reused for BTRAN rhs.
+    rho: Vec<f64>,
+    /// Scratch: accumulated bound-change right-hand side (kept zeroed
+    /// between uses).
+    flip_rhs: Vec<f64>,
+    /// Scratch: dual ratio-test candidates `(ratio, column, sign-normalised
+    /// alpha)`.
+    cands: Vec<(f64, usize, f64)>,
+    /// Scratch: columns flipped by the long-step ratio test.
+    flips: Vec<usize>,
     /// Hot reuses since the last factorisation (numerical hygiene).
     age: u32,
     iterations: u64,
@@ -115,7 +149,7 @@ fn norm_bounds(l: f64, u: f64) -> (f64, f64) {
 }
 
 impl Engine {
-    fn new(model: &Model, bounds: &[(f64, f64)]) -> Self {
+    fn new(model: &Model, bounds: &[(f64, f64)], config: &LpConfig) -> Self {
         let a = model.csc();
         let m = model.num_constraints();
         let n = model.num_vars();
@@ -149,6 +183,15 @@ impl Engine {
             cost[v.index()] = c;
         }
         let cost_nnz = cost.iter().filter(|&&c| c != 0.0).count();
+        let factor = match config.engine {
+            LpEngine::SparseLu => Factorization::Lu(LuFactors::identity(m)),
+            // The tableau-only engine never reaches this code path (it is
+            // gated in `solve_relaxation_in`); map it to the dense oracle
+            // so a stray construction still behaves.
+            LpEngine::DenseInverse | LpEngine::DenseTableau => {
+                Factorization::Dense(DenseInverse::identity(m))
+            }
+        };
         Engine {
             a,
             m,
@@ -162,11 +205,20 @@ impl Engine {
             status: vec![VarStatus::AtLower; n_total],
             basis: vec![0; m],
             in_row: vec![usize::MAX; n_total],
-            binv: vec![0.0; m * m],
+            factor,
+            kind: config.engine,
+            opts: config.factor_opts(),
+            pricing: config.pricing,
+            bound_flips: config.bound_flips,
+            devex: vec![1.0; m],
             beta: vec![0.0; m],
             d: vec![0.0; n_total],
             alpha: vec![0.0; n_total],
             w: vec![0.0; m],
+            rho: vec![0.0; m],
+            flip_rhs: vec![0.0; m],
+            cands: Vec::new(),
+            flips: Vec::new(),
             age: 0,
             iterations: 0,
             work: 0,
@@ -182,12 +234,17 @@ impl Engine {
     }
 
     /// Returns `true` if this engine's live state is exactly the snapshot
-    /// `warm` for the same constraint matrix *and* objective. The cost
-    /// check matters: the hot path reuses the engine's reduced costs, so a
-    /// caller that mutated the objective between solves must not land here
-    /// (it falls through to the install path, which reprices).
-    fn matches(&self, model: &Model, warm: &Basis) -> bool {
-        Arc::ptr_eq(&self.a, &model.csc())
+    /// `warm` for the same constraint matrix *and* objective, under the
+    /// same engine options. The cost check matters: the hot path reuses
+    /// the engine's reduced costs, so a caller that mutated the objective
+    /// between solves must not land here (it falls through to the install
+    /// path, which reprices).
+    fn matches(&self, model: &Model, warm: &Basis, config: &LpConfig) -> bool {
+        self.kind == config.engine
+            && self.opts == config.factor_opts()
+            && self.pricing == config.pricing
+            && self.bound_flips == config.bound_flips
+            && Arc::ptr_eq(&self.a, &model.csc())
             && warm.cols == self.basis
             && warm.status == self.status
             && self.cost_matches(model)
@@ -204,14 +261,16 @@ impl Engine {
     }
 
     /// Hot warm start: the basis is already installed and factorised; only
-    /// variable bounds changed. Applies `β -= Δx · B⁻¹ A_j` per changed
-    /// nonbasic column, leaving reduced costs untouched (dual feasibility
-    /// is unaffected by bound *values*). Returns `false` when a bound
-    /// change forced a nonbasic column onto its other side and the stored
-    /// reduced cost is dual infeasible there — the caller must then
-    /// reinstall (and reprice) instead.
+    /// variable bounds changed. Folds every `Δx · A_j` into one right-hand
+    /// side and applies a single FTRAN (`β -= B⁻¹ Σ Δx_j A_j`), leaving
+    /// reduced costs untouched (dual feasibility is unaffected by bound
+    /// *values*). Returns `false` when a bound change forced a nonbasic
+    /// column onto its other side and the stored reduced cost is dual
+    /// infeasible there — the caller must then reinstall (and reprice)
+    /// instead.
     fn retarget_bounds(&mut self, bounds: &[(f64, f64)]) -> bool {
         let mut flips_ok = true;
+        let mut any = false;
         for j in 0..self.n {
             let (nl, nu) = norm_bounds(bounds[j].0, bounds[j].1);
             if nl == self.lower[j] && nu == self.upper[j] {
@@ -254,15 +313,19 @@ impl Engine {
             let new = self.nonbasic_value(j);
             let dx = new - old;
             if dx != 0.0 {
-                // β -= Δx · B⁻¹ A_j, priced through the sparse column.
-                let (rows, vals) = self.a.col(j);
-                for (i, bi) in self.beta.iter_mut().enumerate() {
-                    let row = &self.binv[i * self.m..(i + 1) * self.m];
-                    let wij: f64 = rows.iter().zip(vals).map(|(&k, &v)| row[k] * v).sum();
-                    *bi -= dx * wij;
-                }
-                self.work += (self.m * self.a.col_nnz(j).max(1)) as u64;
+                self.a.axpy_col(&mut self.flip_rhs, dx, j);
+                any = true;
+                self.work += self.a.col_nnz(j).max(1) as u64;
             }
+        }
+        if any {
+            // β -= B⁻¹ Σ Δx_j A_j: one solve for the whole bound batch.
+            self.factor.ftran(&mut self.flip_rhs);
+            for (bi, dv) in self.beta.iter_mut().zip(self.flip_rhs.iter()) {
+                *bi -= dv;
+            }
+            self.flip_rhs.fill(0.0);
+            self.work += self.m as u64 + self.factor.take_work();
         }
         self.age += 1;
         flips_ok
@@ -294,8 +357,9 @@ impl Engine {
             self.basis[i] = s;
             self.status[s] = VarStatus::Basic;
             self.in_row[s] = i;
-            self.binv[i * self.m + i] = 1.0;
         }
+        self.factor.reset_identity();
+        self.devex.fill(1.0);
         // β = b − N x_N; with B = I (slacks) no solve is needed.
         self.beta.copy_from_slice(&self.rhs);
         let mut acc = std::mem::take(&mut self.beta);
@@ -307,12 +371,13 @@ impl Engine {
         // Slack costs are zero, so y = 0 and d = c.
         self.d.copy_from_slice(&self.cost);
         self.age = 0;
-        self.work += (self.a.nnz() + self.n_total) as u64;
+        self.work += (self.a.nnz() + self.n_total) as u64 + self.factor.take_work();
         true
     }
 
-    /// Installs a basis snapshot: refactorises `B⁻¹`, reprices, and checks
-    /// dual feasibility. Returns `false` if the snapshot is unusable.
+    /// Installs a basis snapshot: refactorises the basis, reprices, and
+    /// checks dual feasibility. Returns `false` if the snapshot is
+    /// unusable.
     fn install(&mut self, warm: &Basis) -> bool {
         if !warm.is_consistent(self.m, self.n_total) {
             return false;
@@ -350,6 +415,7 @@ impl Engine {
         if !self.refactorize() {
             return false;
         }
+        self.devex.fill(1.0);
         if !self.reprice() {
             return false;
         }
@@ -360,15 +426,18 @@ impl Engine {
     /// Recomputes reduced costs `d = c − c_B B⁻¹ A` and gates on dual
     /// feasibility. Returns `false` when the basis is dual infeasible.
     fn reprice(&mut self) -> bool {
-        let mut y = vec![0.0f64; self.m];
+        // y = B⁻ᵀ c_B via one BTRAN on the basic-cost vector.
+        self.rho.fill(0.0);
+        let mut any = false;
         for (r, &b) in self.basis.iter().enumerate() {
             let cb = self.cost[b];
             if cb != 0.0 {
-                let row = &self.binv[r * self.m..(r + 1) * self.m];
-                for (yi, &v) in y.iter_mut().zip(row) {
-                    *yi += cb * v;
-                }
+                self.rho[r] = cb;
+                any = true;
             }
+        }
+        if any {
+            self.factor.btran(&mut self.rho);
         }
         for j in 0..self.n_total {
             if self.status[j] == VarStatus::Basic {
@@ -376,9 +445,9 @@ impl Engine {
                 continue;
             }
             self.d[j] = if j < self.n {
-                self.cost[j] - self.a.dot_col(&y, j)
+                self.cost[j] - self.a.dot_col(&self.rho, j)
             } else {
-                -y[j - self.n]
+                -self.rho[j - self.n]
             };
             if self.upper[j] - self.lower[j] <= TOL {
                 continue; // fixed columns cannot move; their sign is moot
@@ -392,13 +461,13 @@ impl Engine {
                 return false;
             }
         }
-        self.work += (self.m * self.m + self.a.nnz()) as u64;
+        self.work += (self.m + self.a.nnz() + self.n_total) as u64 + self.factor.take_work();
         true
     }
 
     /// Recomputes `β = B⁻¹ (b − N x_N)` from scratch.
     fn refresh_beta(&mut self) {
-        let mut acc = self.rhs.clone();
+        self.rho.copy_from_slice(&self.rhs);
         for j in 0..self.n_total {
             if self.status[j] == VarStatus::Basic {
                 continue;
@@ -408,81 +477,24 @@ impl Engine {
                 continue;
             }
             if j < self.n {
-                self.a.axpy_col(&mut acc, -x, j);
+                self.a.axpy_col(&mut self.rho, -x, j);
             } else {
-                acc[j - self.n] -= x;
+                self.rho[j - self.n] -= x;
             }
         }
-        for i in 0..self.m {
-            let row = &self.binv[i * self.m..(i + 1) * self.m];
-            self.beta[i] = row.iter().zip(&acc).map(|(&v, &r)| v * r).sum();
-        }
-        self.work += (self.m * self.m + self.a.nnz()) as u64;
+        self.factor.ftran(&mut self.rho);
+        self.beta.copy_from_slice(&self.rho);
+        self.work += (self.m + self.a.nnz()) as u64 + self.factor.take_work();
     }
 
-    /// Gauss–Jordan inversion of the basis matrix with partial pivoting.
+    /// Rebuilds the factorisation from the current basis columns.
     fn refactorize(&mut self) -> bool {
-        let m = self.m;
-        let mut b = vec![0.0f64; m * m];
-        for (r, &c) in self.basis.iter().enumerate() {
-            if c < self.n {
-                let (rows, vals) = self.a.col(c);
-                for (&i, &v) in rows.iter().zip(vals) {
-                    b[i * m + r] = v;
-                }
-            } else {
-                b[(c - self.n) * m + r] = 1.0;
-            }
+        let ok = self.factor.factorize(&self.basis, &self.a, self.n);
+        self.work += self.factor.take_work();
+        if ok {
+            self.age = 0;
         }
-        for v in &mut self.binv {
-            *v = 0.0;
-        }
-        for i in 0..m {
-            self.binv[i * m + i] = 1.0;
-        }
-        for k in 0..m {
-            // Partial pivot: largest magnitude in column k at or below row k.
-            let mut p = k;
-            let mut best = b[k * m + k].abs();
-            for i in k + 1..m {
-                let v = b[i * m + k].abs();
-                if v > best {
-                    best = v;
-                    p = i;
-                }
-            }
-            if best < 1e-10 {
-                return false; // singular (or hopelessly ill-conditioned)
-            }
-            if p != k {
-                for j in 0..m {
-                    b.swap(k * m + j, p * m + j);
-                    self.binv.swap(k * m + j, p * m + j);
-                }
-            }
-            let inv = 1.0 / b[k * m + k];
-            for j in 0..m {
-                b[k * m + j] *= inv;
-                self.binv[k * m + j] *= inv;
-            }
-            for i in 0..m {
-                if i == k {
-                    continue;
-                }
-                let f = b[i * m + k];
-                if f != 0.0 {
-                    for j in 0..m {
-                        let bv = b[k * m + j];
-                        let nv = self.binv[k * m + j];
-                        b[i * m + j] -= f * bv;
-                        self.binv[i * m + j] -= f * nv;
-                    }
-                }
-            }
-        }
-        self.age = 0;
-        self.work += (m * m * m) as u64;
-        true
+        ok
     }
 
     /// Violation of row `i`'s basic variable: `(amount, below_lower)`.
@@ -506,8 +518,9 @@ impl Engine {
         let mut stall = 0u32;
         let mut last_infeasibility = f64::INFINITY;
         loop {
-            // --- Leaving row: largest violation; under stall, the violated
-            // row with the smallest basic column index (Bland-like). ---
+            // --- Leaving row: Devex-weighted (or plain largest) violation;
+            // under stall, the violated row with the smallest basic column
+            // index (Bland-like). ---
             let bland = stall > STALL_LIMIT;
             let mut leave: Option<(usize, f64)> = None; // (row, score)
             let mut total_infeasibility = 0.0;
@@ -517,13 +530,17 @@ impl Engine {
                     continue;
                 }
                 total_infeasibility += v;
+                let score = match self.pricing {
+                    PricingRule::Devex => v * v / self.devex[i],
+                    PricingRule::Dantzig => v,
+                };
                 let better = if bland {
                     leave.is_none_or(|(r, _)| self.basis[i] < self.basis[r])
                 } else {
-                    leave.is_none_or(|(_, s)| v > s)
+                    leave.is_none_or(|(_, s)| score > s)
                 };
                 if better {
-                    leave = Some((i, v));
+                    leave = Some((i, score));
                 }
             }
             self.work += self.m as u64;
@@ -542,68 +559,132 @@ impl Engine {
 
             let bcol = self.basis[r];
             let (_, below) = self.violation(r);
-            let delta = if below {
+            let delta0 = if below {
                 self.beta[r] - self.lower[bcol] // < 0
             } else {
                 self.beta[r] - self.upper[bcol] // > 0
             };
 
-            // --- Entering column: min dual ratio over eligible nonbasics.
-            // α is the leaving row of the tableau, priced sparsely. ---
-            let rho = &self.binv[r * self.m..(r + 1) * self.m];
-            let mut enter: Option<(usize, f64)> = None; // (col, ratio)
+            // --- Entering column: dual ratio test over eligible nonbasics.
+            // α is the leaving row of the tableau: ρ = e_r B⁻¹ via BTRAN,
+            // then priced sparsely. ---
+            self.factor.btran_unit(r, &mut self.rho);
+            self.cands.clear();
             for j in 0..self.n_total {
                 if self.status[j] == VarStatus::Basic {
                     self.alpha[j] = 0.0;
                     continue;
                 }
                 let aj = if j < self.n {
-                    self.a.dot_col(rho, j)
+                    self.a.dot_col(&self.rho, j)
                 } else {
-                    rho[j - self.n]
+                    self.rho[j - self.n]
                 };
                 self.alpha[j] = aj;
                 if self.upper[j] - self.lower[j] <= TOL {
                     continue; // fixed: can never enter
                 }
                 // Sign-normalised entry: positive means "x_j must rise".
-                let ap = if delta > 0.0 { aj } else { -aj };
+                let ap = if delta0 > 0.0 { aj } else { -aj };
                 let eligible = match self.status[j] {
                     VarStatus::AtLower => ap > TOL,
                     VarStatus::AtUpper => ap < -TOL,
                     VarStatus::Basic => unreachable!(),
                 };
-                if !eligible {
-                    continue;
-                }
-                let ratio = self.d[j] / ap;
-                if enter.is_none_or(|(_, best)| ratio < best - 1e-12) {
-                    enter = Some((j, ratio));
+                if eligible {
+                    self.cands.push((self.d[j] / ap, j, ap));
                 }
             }
-            self.work += (self.a.nnz() + self.n_total) as u64;
-            let Some((q, _)) = enter else {
+            self.work += (self.a.nnz() + self.n_total) as u64 + self.factor.take_work();
+            if self.cands.is_empty() {
                 // The violated row proves the bound system inconsistent.
                 return RunStatus::Infeasible;
+            }
+
+            // --- Entering selection. The bound-flipping (long-step) ratio
+            // test walks candidates by ascending ratio: while the leaving
+            // row's infeasibility can absorb a boxed candidate's full
+            // bound span, flip it instead of entering it; the first
+            // candidate that exhausts the slope (or is unboxed) enters.
+            // Under the Bland guard the plain min-ratio test runs. ---
+            self.flips.clear();
+            let q = if self.bound_flips && !bland && self.cands.len() > 1 {
+                self.cands.sort_unstable_by(|x, y| {
+                    x.0.partial_cmp(&y.0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(x.1.cmp(&y.1))
+                });
+                let mut slope = delta0.abs();
+                let mut chosen = None;
+                for (idx, &(_, j, ap)) in self.cands.iter().enumerate() {
+                    let span = self.upper[j] - self.lower[j];
+                    if idx + 1 == self.cands.len() || !span.is_finite() {
+                        chosen = Some(j);
+                        break;
+                    }
+                    let next = slope - ap.abs() * span;
+                    if next > FLIP_SLOPE_TOL {
+                        self.flips.push(j);
+                        slope = next;
+                    } else {
+                        chosen = Some(j);
+                        break;
+                    }
+                }
+                chosen.expect("candidate walk always selects an entering column")
+            } else {
+                let mut best: Option<(f64, usize)> = None;
+                for &(ratio, j, _) in &self.cands {
+                    if best.is_none_or(|(br, _)| ratio < br - 1e-12) {
+                        best = Some((ratio, j));
+                    }
+                }
+                best.expect("candidates are non-empty").1
             };
 
-            // --- Pivot. w = B⁻¹ A_q gives the primal update column. ---
-            let mut w = std::mem::take(&mut self.w);
-            if q < self.n {
-                let (rows, vals) = self.a.col(q);
-                for (i, wi) in w.iter_mut().enumerate() {
-                    let row = &self.binv[i * self.m..(i + 1) * self.m];
-                    *wi = rows.iter().zip(vals).map(|(&k, &v)| row[k] * v).sum();
+            // Apply the flips: statuses switch sides and one FTRAN folds
+            // every Δx into β (their reduced costs are corrected by the
+            // dual update below, which runs over all nonbasic columns).
+            if !self.flips.is_empty() {
+                let mut nnz_work = 0u64;
+                for k in 0..self.flips.len() {
+                    let j = self.flips[k];
+                    let old = self.nonbasic_value(j);
+                    self.status[j] = match self.status[j] {
+                        VarStatus::AtLower => VarStatus::AtUpper,
+                        VarStatus::AtUpper => VarStatus::AtLower,
+                        VarStatus::Basic => unreachable!("flip candidates are nonbasic"),
+                    };
+                    let dx = self.nonbasic_value(j) - old;
+                    if dx != 0.0 {
+                        if j < self.n {
+                            self.a.axpy_col(&mut self.flip_rhs, dx, j);
+                            nnz_work += self.a.col_nnz(j) as u64;
+                        } else {
+                            self.flip_rhs[j - self.n] += dx;
+                            nnz_work += 1;
+                        }
+                    }
                 }
-            } else {
-                let k = q - self.n;
-                for (i, wi) in w.iter_mut().enumerate() {
-                    *wi = self.binv[i * self.m + k];
+                self.factor.ftran(&mut self.flip_rhs);
+                for (bi, dv) in self.beta.iter_mut().zip(self.flip_rhs.iter()) {
+                    *bi -= dv;
                 }
+                self.flip_rhs.fill(0.0);
+                self.work += nnz_work + self.m as u64 + self.factor.take_work();
             }
-            let wr = w[r];
+
+            // --- Pivot. w = B⁻¹ A_q gives the primal update column. ---
+            self.w.fill(0.0);
+            if q < self.n {
+                self.a.axpy_col(&mut self.w, 1.0, q);
+            } else {
+                self.w[q - self.n] = 1.0;
+            }
+            self.factor.ftran(&mut self.w);
+            self.work += self.factor.take_work();
+            let wr = self.w[r];
             if wr.abs() < 1e-9 {
-                self.w = w;
                 return RunStatus::Unstable;
             }
 
@@ -619,32 +700,46 @@ impl Engine {
             self.d[q] = 0.0;
             self.d[bcol] = -theta_d;
 
-            // Primal step: entering moves by t, basics move against w.
+            // Primal step from the post-flip violation: entering moves by
+            // t, basics move against w.
+            let delta = if below {
+                self.beta[r] - self.lower[bcol]
+            } else {
+                self.beta[r] - self.upper[bcol]
+            };
             let t = delta / wr;
             let x_q = self.nonbasic_value(q);
-            for (bi, &wi) in self.beta.iter_mut().zip(w.iter()) {
+            for (bi, &wi) in self.beta.iter_mut().zip(self.w.iter()) {
                 *bi -= t * wi;
             }
             self.beta[r] = x_q + t;
 
-            // Rank-one basis inverse update.
-            let inv = 1.0 / wr;
-            for j in 0..self.m {
-                self.binv[r * self.m + j] *= inv;
-            }
-            for i in 0..self.m {
-                if i == r {
-                    continue;
-                }
-                let f = w[i];
-                if f != 0.0 {
-                    for j in 0..self.m {
-                        let v = self.binv[r * self.m + j];
-                        self.binv[i * self.m + j] -= f * v;
+            // Devex weight maintenance within the reference framework.
+            if self.pricing == PricingRule::Devex {
+                let wr2 = wr * wr;
+                let gr = self.devex[r].max(1.0);
+                let mut max_w = 0.0f64;
+                for (i, wi) in self.w.iter().enumerate() {
+                    if i != r && *wi != 0.0 {
+                        let cand = (wi * wi / wr2) * gr;
+                        if cand > self.devex[i] {
+                            self.devex[i] = cand;
+                        }
+                    }
+                    if self.devex[i] > max_w {
+                        max_w = self.devex[i];
                     }
                 }
+                self.devex[r] = (gr / wr2).max(1.0);
+                if max_w > DEVEX_RESET {
+                    self.devex.fill(1.0); // new reference framework
+                }
+                self.work += self.m as u64;
             }
-            self.w = w;
+
+            // Representation update: one eta (LU) or a rank-one sweep
+            // (dense oracle).
+            self.factor.update(r, &self.w);
 
             self.status[bcol] = if below {
                 VarStatus::AtLower
@@ -656,7 +751,16 @@ impl Engine {
             self.in_row[q] = r;
             self.basis[r] = q;
             self.iterations += 1;
-            self.work += (self.m * self.m + 2 * self.m + self.n_total) as u64;
+            self.work += (2 * self.m + self.n_total) as u64 + self.factor.take_work();
+
+            // Periodic refactorisation folds the eta file back into a
+            // fresh LU and recomputes β against it.
+            if self.factor.needs_refactor(&self.opts) {
+                if !self.refactorize() {
+                    return RunStatus::Unstable;
+                }
+                self.refresh_beta();
+            }
         }
     }
 
@@ -675,7 +779,8 @@ impl Engine {
     }
 
     /// Cheap exactness gate: the solution the engine reports must satisfy
-    /// the original rows. Guards against silent numerical drift in `B⁻¹`.
+    /// the original rows. Guards against silent numerical drift in the
+    /// factorised basis.
     fn verify(&self, model: &Model, values: &[f64]) -> bool {
         model
             .constraints()
@@ -724,7 +829,7 @@ impl LpContext {
             Done(Option<(LpResult, Option<Basis>)>, u64),
         }
         let hot = if let (Some(basis), Some(engine)) = (warm, self.engine.as_mut()) {
-            if engine.age < REFACTOR_EVERY && engine.matches(model, basis) {
+            if engine.age < config.refactor_interval && engine.matches(model, basis, config) {
                 engine.iterations = 0;
                 engine.work = 0;
                 let outcome = if engine.retarget_bounds(bounds) {
@@ -745,10 +850,11 @@ impl LpContext {
         match hot {
             Hot::Done(Some(out), spent) => {
                 if out.0.status == LpStatus::Infeasible {
-                    // A drifted B⁻¹ (rank-one updates + retarget deltas)
-                    // can fabricate infeasibility, and branch-and-bound
-                    // prunes on it permanently. Confirm with a freshly
-                    // factorised install of the same snapshot below.
+                    // A drifted factorisation (eta updates + retarget
+                    // deltas) can fabricate infeasibility, and
+                    // branch-and-bound prunes on it permanently. Confirm
+                    // with a freshly factorised install of the same
+                    // snapshot below.
                     carried_work = spent;
                     self.engine = None;
                 } else {
@@ -770,7 +876,7 @@ impl LpContext {
 
         // Warm path: reinstall the snapshot with a refactorisation.
         if let Some(basis) = warm {
-            let mut engine = Engine::new(model, bounds);
+            let mut engine = Engine::new(model, bounds, config);
             engine.work += carried_work;
             if engine.install(basis) {
                 if let Some(out) = run(&mut engine, model, config) {
@@ -784,7 +890,7 @@ impl LpContext {
         }
 
         // Cold path: all-slack dual-feasible start.
-        let mut engine = Engine::new(model, bounds);
+        let mut engine = Engine::new(model, bounds, config);
         engine.work += carried_work;
         if !engine.cold_start() {
             self.engine = None;
@@ -906,6 +1012,25 @@ mod tests {
     }
 
     #[test]
+    fn cold_solve_agrees_across_engines() {
+        let m = two_var_model();
+        let bounds = vec![(0.0, 10.0), (0.0, 10.0)];
+        for engine in [LpEngine::SparseLu, LpEngine::DenseInverse] {
+            let config = LpConfig {
+                engine,
+                ..LpConfig::default()
+            };
+            let (res, _) = solve(&m, &bounds, &config, None).expect("revised path");
+            assert_eq!(res.status, LpStatus::Optimal);
+            assert!(
+                (res.objective + 14.0 / 5.0).abs() < 1e-6,
+                "{engine:?}: {}",
+                res.objective
+            );
+        }
+    }
+
+    #[test]
     fn warm_start_reoptimises_after_bound_change() {
         let m = two_var_model();
         let root = vec![(0.0, 10.0), (0.0, 10.0)];
@@ -928,9 +1053,9 @@ mod tests {
         assert_eq!(root_res.status, LpStatus::Optimal);
         let basis = basis.expect("basis");
         // The context still holds the engine for `basis`: the child solve
-        // must take the in-place path, whose ticks are far below a
-        // refactorisation (m³ = 8 here, but the telltale is no m³ term —
-        // compare against a fresh context's warm solve).
+        // must take the in-place path, which skips the install-path
+        // refactorisation and reprice — compare against a fresh context's
+        // warm solve.
         let child = vec![(0.0, 1.0), (0.0, 10.0)];
         let (hot, _) = ctx.solve(&m, &child, &cfg(), Some(&basis)).expect("hot");
         let (refac, _) = solve(&m, &child, &cfg(), Some(&basis)).expect("refactor");
@@ -982,5 +1107,33 @@ mod tests {
         m.set_objective(m.expr([(y, -1.0)]));
         let bounds = vec![(0.0, f64::INFINITY); 2];
         assert!(solve(&m, &bounds, &cfg(), None).is_none());
+    }
+
+    #[test]
+    fn dantzig_pricing_without_flips_still_optimal() {
+        let m = two_var_model();
+        let bounds = vec![(0.0, 10.0), (0.0, 10.0)];
+        let config = LpConfig {
+            pricing: PricingRule::Dantzig,
+            bound_flips: false,
+            ..LpConfig::default()
+        };
+        let (res, _) = solve(&m, &bounds, &config, None).expect("revised path");
+        assert_eq!(res.status, LpStatus::Optimal);
+        assert!((res.objective + 14.0 / 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tight_refactor_interval_still_optimal() {
+        // Force a refactorisation after every pivot: results must match.
+        let m = two_var_model();
+        let bounds = vec![(0.0, 10.0), (0.0, 10.0)];
+        let config = LpConfig {
+            refactor_interval: 1,
+            ..LpConfig::default()
+        };
+        let (res, _) = solve(&m, &bounds, &config, None).expect("revised path");
+        assert_eq!(res.status, LpStatus::Optimal);
+        assert!((res.objective + 14.0 / 5.0).abs() < 1e-6);
     }
 }

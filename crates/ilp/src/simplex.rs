@@ -4,20 +4,25 @@
 //!
 //! 1. **Sparse revised simplex** ([`crate::revised`], the default): the
 //!    constraint matrix lives once in CSC form on the [`Model`]
-//!    ([`Model::csc`]), the basis inverse `B⁻¹` is maintained explicitly
-//!    (`O(m²)` per pivot) and columns are priced by sparse dot products.
-//!    It always starts *dual feasible* — from the all-slack basis on a cold
-//!    start, or from a caller-supplied [`Basis`] snapshot on a warm start —
-//!    and reaches the optimum with the bounded-variable **dual simplex**,
-//!    so phase 1 is never run. Branch-and-bound exploits this heavily:
-//!    a parent's optimal basis stays dual feasible for its children (only
-//!    bounds change), and each child re-optimises in a few dual pivots.
+//!    ([`Model::csc`]); the basis is held as a sparse LU factorisation
+//!    with product-form eta updates ([`crate::factor`]) — or, behind
+//!    [`LpEngine::DenseInverse`], as the explicit dense inverse of the
+//!    original engine — and columns are priced by sparse dot products.
+//!    The dual simplex selects leaving rows by Devex reference-framework
+//!    pricing (Dantzig selectable, Bland guard on stalls) and runs a
+//!    bound-flipping dual ratio test. It always starts *dual feasible* —
+//!    from the all-slack basis on a cold start, or from a caller-supplied
+//!    [`Basis`] snapshot on a warm start — so phase 1 is never run.
+//!    Branch-and-bound exploits this heavily: a parent's optimal basis
+//!    stays dual feasible for its children (only bounds change), and each
+//!    child re-optimises in a few dual pivots.
 //!
-//! 2. **Dense two-phase primal simplex** (fallback): the original tableau
-//!    implementation, kept for the cases the revised engine declines —
-//!    unbounded directions, singular or dual-infeasible warm bases, and
-//!    numerical trouble. Dantzig pricing with a switch to Bland's rule on
-//!    stalls, artificials in phase 1, bound flips in the ratio test.
+//! 2. **Dense two-phase primal simplex** (fallback, or forced via
+//!    [`LpEngine::DenseTableau`]): the original tableau implementation,
+//!    kept for the cases the revised engine declines — unbounded
+//!    directions, singular or dual-infeasible warm bases, and numerical
+//!    trouble. Dantzig pricing with a switch to Bland's rule on stalls,
+//!    artificials in phase 1, bound flips in the ratio test.
 //!
 //! Both engines meter deterministic [`work_ticks`](LpResult::work_ticks)
 //! proportional to the floating-point work performed, so
@@ -60,17 +65,76 @@ pub struct LpResult {
     pub work_ticks: u64,
 }
 
+/// Which LP engine handles a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LpEngine {
+    /// Revised simplex over a sparse LU factorisation with eta-file
+    /// updates ([`crate::factor::LuFactors`]) — the default.
+    #[default]
+    SparseLu,
+    /// Revised simplex over the explicit dense basis inverse
+    /// ([`crate::factor::DenseInverse`]) — the previous engine, kept as a
+    /// correctness oracle and numerical cross-check.
+    DenseInverse,
+    /// The dense two-phase primal tableau only (skips the revised engine
+    /// entirely) — the slowest, most battle-tested path.
+    DenseTableau,
+}
+
+/// Pricing rule for the dual simplex leaving-row selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PricingRule {
+    /// Devex reference-framework weights: rows are scored by
+    /// `violation² / weight`, approximating dual steepest edge at a
+    /// fraction of the cost. Weights reset when they outgrow the
+    /// reference framework. The default.
+    #[default]
+    Devex,
+    /// Classic Dantzig pricing: the largest violation leaves. Cheapest
+    /// per iteration, often more iterations overall.
+    Dantzig,
+}
+
 /// Configuration for the simplex.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LpConfig {
     /// Hard cap on simplex iterations across both phases.
     pub max_iterations: u64,
+    /// Engine selection (sparse LU, explicit inverse, or dense tableau).
+    pub engine: LpEngine,
+    /// Dual pricing rule; a Bland-style anti-cycling guard overrides
+    /// either rule when the objective stalls.
+    pub pricing: PricingRule,
+    /// Eta updates / hot basis reuses tolerated before a refactorisation
+    /// (replaces the old hard-coded `REFACTOR_EVERY = 64`).
+    pub refactor_interval: u32,
+    /// Refactorise when the eta file outgrows this multiple of the LU
+    /// fill-in (see [`crate::factor::FactorOpts`]).
+    pub eta_fill_factor: f64,
+    /// Enables the bound-flipping (long-step) dual ratio test.
+    pub bound_flips: bool,
 }
 
 impl Default for LpConfig {
     fn default() -> Self {
         LpConfig {
             max_iterations: 200_000,
+            engine: LpEngine::SparseLu,
+            pricing: PricingRule::Devex,
+            refactor_interval: 64,
+            eta_fill_factor: 3.0,
+            bound_flips: true,
+        }
+    }
+}
+
+impl LpConfig {
+    /// The factorisation policy carried by this configuration.
+    #[must_use]
+    pub fn factor_opts(&self) -> crate::factor::FactorOpts {
+        crate::factor::FactorOpts {
+            refactor_interval: self.refactor_interval,
+            eta_fill_factor: self.eta_fill_factor,
         }
     }
 }
@@ -470,7 +534,7 @@ pub(crate) fn solve_relaxation_in(
         }
     }
     let mut revised_spent = 0;
-    if m > 0 {
+    if m > 0 && config.engine != LpEngine::DenseTableau {
         match ctx.solve(model, bounds, config, warm) {
             Ok((result, basis)) => return WarmLpResult { result, basis },
             // The revised engine declined but already burnt deterministic

@@ -2,9 +2,10 @@
 
 use crate::basis::Basis;
 use crate::clock::DeterministicClock;
+use crate::clock::TICKS_PER_SECOND;
 use crate::expr::VarId;
 use crate::model::{Model, VarType};
-use crate::simplex::{LpConfig, LpSolver, LpStatus, WarmLpResult};
+use crate::simplex::{LpConfig, LpEngine, LpSolver, LpStatus, PricingRule, WarmLpResult};
 use crate::solution::{IncumbentEvent, Solution};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -84,6 +85,37 @@ impl SolverConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with the given LP subsolver configuration (engine
+    /// selection, pricing rule, refactorisation policy, iteration cap).
+    #[must_use]
+    pub fn with_lp(mut self, lp: LpConfig) -> Self {
+        self.lp = lp;
+        self
+    }
+
+    /// Returns a copy with the given LP engine (sparse LU, explicit
+    /// dense inverse, or the dense tableau oracle).
+    #[must_use]
+    pub fn with_lp_engine(mut self, engine: LpEngine) -> Self {
+        self.lp.engine = engine;
+        self
+    }
+
+    /// Returns a copy with the given dual pricing rule.
+    #[must_use]
+    pub fn with_pricing(mut self, pricing: PricingRule) -> Self {
+        self.lp.pricing = pricing;
+        self
+    }
+
+    /// Returns a copy with the given refactorisation cadence (eta updates
+    /// / hot basis reuses tolerated before a fresh factorisation).
+    #[must_use]
+    pub fn with_refactor_interval(mut self, interval: u32) -> Self {
+        self.lp.refactor_interval = interval;
         self
     }
 }
@@ -263,23 +295,31 @@ impl<'a> Search<'a> {
     }
 
     /// LP configuration whose iteration cap cannot blow the remaining
-    /// deterministic budget: one revised-simplex pivot costs
-    /// ≈ `m² + nnz + n` ticks, so the cap is
-    /// `remaining_ticks / pivot_cost` (with a small floor so tiny
+    /// deterministic budget: the cap is `remaining_ticks / pivot_cost`
+    /// for a worst-case per-pivot cost (with a small floor so tiny
     /// subproblems always make progress).
     fn lp_config(&self) -> LpConfig {
         let remaining = (self.cfg.det_time_limit - self.clock.seconds()).max(0.0);
         let m = self.model.num_constraints().max(1);
         let n_total = self.model.num_vars() + m;
-        // Size by the *more expensive* engine so neither can overshoot the
-        // budget: revised pivots cost ≈ m² + nnz + n ticks, dense-fallback
-        // pivots ≈ 2·m·n_cols (n_cols ≤ n + 2m with slacks + artificials).
+        // Size by the *most expensive* engine so none can overshoot the
+        // budget. Explicit-inverse revised pivots cost ≈ m² + nnz + n
+        // ticks; sparse-LU pivots are usually far cheaper, but in the
+        // dense-fill worst case their eta-file solves reach a small
+        // multiple of the LU fill (≤ m²) per pivot and the periodic
+        // refactorisation amortises to ≤ m³/interval per pivot, so both
+        // terms are budgeted explicitly. Dense-fallback pivots are
+        // ≈ 2·m·n_cols (n_cols ≤ n + 2m with slacks + artificials).
+        let interval = (self.cfg.lp.refactor_interval as usize).max(1);
+        let lu_pivot = 12 * m * m + m * m * m / interval + self.nnz + n_total;
         let revised_pivot = m * m + self.nnz + n_total;
         let dense_pivot = 2 * m * (n_total + m);
-        let per_pivot = revised_pivot.max(dense_pivot) as f64 / 1e9;
+        let worst = lu_pivot.max(revised_pivot).max(dense_pivot);
+        let per_pivot = worst as f64 / TICKS_PER_SECOND as f64;
         let iters = (remaining / per_pivot.max(1e-12)) as u64;
         LpConfig {
             max_iterations: iters.clamp(64, self.cfg.lp.max_iterations),
+            ..self.cfg.lp
         }
     }
 

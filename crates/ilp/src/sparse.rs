@@ -111,6 +111,17 @@ impl CscMatrix {
             out[i] += scale * v;
         }
     }
+
+    /// Writes column `j`'s entries into a dense work vector (`out[i] = v`
+    /// for each stored `(i, v)`; untouched entries keep their value). The
+    /// basis factorisation uses this to stage one column at a time into a
+    /// scratch vector it resets itself.
+    pub fn scatter_col(&self, out: &mut [f64], j: usize) {
+        let (rows, vals) = self.col(j);
+        for (&i, &v) in rows.iter().zip(vals) {
+            out[i] = v;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +158,13 @@ mod tests {
         let mut out = vec![0.0; 2];
         a.axpy_col(&mut out, 2.0, 2);
         assert_eq!(out, vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn scatter_overwrites_only_stored_rows() {
+        let a = sample();
+        let mut out = vec![7.0; 2];
+        a.scatter_col(&mut out, 0);
+        assert_eq!(out, vec![1.0, 7.0]);
     }
 }

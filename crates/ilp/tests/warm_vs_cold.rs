@@ -4,7 +4,7 @@
 //! warm-started branch-and-bound must reach the same optima as the cold
 //! one.
 
-use croxmap_ilp::simplex::{solve_relaxation_warm, LpConfig, LpSolver, LpStatus};
+use croxmap_ilp::simplex::{solve_relaxation_warm, LpConfig, LpEngine, LpSolver, LpStatus};
 use croxmap_ilp::{Model, Solver, SolverConfig, VarId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -144,6 +144,87 @@ fn warm_bb_matches_cold_bb_on_random_models() {
                 );
             }
             _ => panic!("seed {seed}: incumbent presence mismatch"),
+        }
+    }
+}
+
+#[test]
+fn lp_engines_agree_on_random_relaxations() {
+    // The sparse-LU engine, the explicit-inverse oracle, and the dense
+    // two-phase tableau must report identical LP statuses and optima.
+    let engines = [
+        LpEngine::SparseLu,
+        LpEngine::DenseInverse,
+        LpEngine::DenseTableau,
+    ];
+    let mut compared = 0u32;
+    for seed in 0..120u64 {
+        let model = random_model(seed);
+        let bounds = root_bounds(&model);
+        let results: Vec<_> = engines
+            .iter()
+            .map(|&engine| {
+                let cfg = LpConfig {
+                    engine,
+                    ..LpConfig::default()
+                };
+                solve_relaxation_warm(&model, &bounds, &cfg, None).result
+            })
+            .collect();
+        for (engine, r) in engines.iter().zip(&results).skip(1) {
+            assert_eq!(
+                r.status, results[0].status,
+                "seed {seed}: {engine:?} status vs SparseLu"
+            );
+            if r.status == LpStatus::Optimal {
+                assert!(
+                    (r.objective - results[0].objective).abs() <= 1e-6,
+                    "seed {seed}: {engine:?} {} vs SparseLu {}",
+                    r.objective,
+                    results[0].objective
+                );
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared > 100, "too few optimal comparisons: {compared}");
+}
+
+#[test]
+fn engines_reach_identical_bb_optima() {
+    // Full branch-and-bound through every engine: the incumbents the
+    // search settles on must be identical across representations.
+    let engines = [
+        LpEngine::SparseLu,
+        LpEngine::DenseInverse,
+        LpEngine::DenseTableau,
+    ];
+    for seed in 0..16u64 {
+        let model = random_model(seed);
+        let outcomes: Vec<_> = engines
+            .iter()
+            .map(|&engine| {
+                let cfg = SolverConfig {
+                    det_time_limit: 5.0,
+                    seed,
+                    ..SolverConfig::default()
+                }
+                .with_lp_engine(engine);
+                Solver::new(cfg).solve(&model)
+            })
+            .collect();
+        for (engine, r) in engines.iter().zip(&outcomes).skip(1) {
+            assert_eq!(r.status, outcomes[0].status, "seed {seed}: {engine:?}");
+            match (&r.best, &outcomes[0].best) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert!(
+                    (a.objective() - b.objective()).abs() <= 1e-6,
+                    "seed {seed}: {engine:?} {} vs SparseLu {}",
+                    a.objective(),
+                    b.objective()
+                ),
+                _ => panic!("seed {seed}: {engine:?} incumbent presence mismatch"),
+            }
         }
     }
 }
