@@ -15,18 +15,27 @@
 //! n ∈ {48, 96, 192, 384} plus a set-partitioning family built from the
 //! *real* core mapping formulation (Eqs. 3–7 over a generated SNN and a
 //! heterogeneous crossbar pool) — the workload the ROADMAP cares about.
+//! The family includes a degenerate `cold_root/*` group (single cold root
+//! LPs, raw vs unperturbed vs presolved, with rows/cols/nnz removed in
+//! the JSON) and `presolve_bb/*` rows toggling presolve over the full
+//! branch-and-bound.
 //!
 //! ## CI smoke mode
 //!
 //! With `CROXMAP_BENCH_SMOKE=1` the harness skips the criterion timing
 //! loops and the large instances, re-measures the committed n ∈ {48, 96}
-//! `lp_chain` workloads, and **fails (exit 1) if any warm `work_ticks`
-//! regresses more than 1.5× against the committed `BENCH_solver.json`**.
-//! The committed file is left untouched in this mode.
+//! `lp_chain` workloads plus the `cold_root` group, and **fails (exit 1)
+//! if any guarded `work_ticks` (warm lp_chain, or cold_root with presolve
+//! / perturbation enabled) regresses more than 1.5× against the committed
+//! `BENCH_solver.json`**, or if a presolve-enabled cold root pays a
+//! dense-tableau fallback. The committed file is left untouched in this
+//! mode.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
+use croxmap_core::baseline::greedy_first_fit;
 use croxmap_core::{FormulationConfig, MappingIlp, MappingObjective};
 use croxmap_gen::calibrated::{generate, NetworkSpec};
+use croxmap_ilp::presolve::{presolve, PresolveConfig, PresolveOutcome, PresolveStats};
 use croxmap_ilp::simplex::{self, LpSolver, LpStatus};
 use croxmap_ilp::{Model, Solver, SolverConfig, TICKS_PER_SECOND};
 use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarPool};
@@ -89,18 +98,34 @@ fn knapsack(n: usize) -> Model {
 /// over a calibrated network and the Table-II heterogeneous pool.
 fn set_partition(scale: usize) -> Model {
     let net = generate(&NetworkSpec::scaled_a(scale));
-    let pool = CrossbarPool::for_network_capped(
-        &ArchitectureSpec::table_ii_heterogeneous(),
-        &AreaModel::memristor_count(),
-        net.node_count(),
-        2,
-    );
+    let pool = table_ii_pool(net.node_count());
     let ilp = MappingIlp::build(
         &net,
         &pool,
         &MappingObjective::Area,
         &FormulationConfig::new(),
     );
+    ilp.model().clone()
+}
+
+fn table_ii_pool(node_count: usize) -> CrossbarPool {
+    CrossbarPool::for_network_capped(
+        &ArchitectureSpec::table_ii_heterogeneous(),
+        &AreaModel::memristor_count(),
+        node_count,
+        2,
+    )
+}
+
+/// The slot-restricted SNU re-optimisation member of the family (§V-F /
+/// LNS resolves): the `fix_binary` cascades make it the degenerate cold
+/// solve the ROADMAP's degeneracy item is about.
+fn set_partition_restricted(scale: usize) -> Model {
+    let net = generate(&NetworkSpec::scaled_a(scale));
+    let pool = table_ii_pool(net.node_count());
+    let mapping = greedy_first_fit(&net, &pool).expect("greedy mapping exists");
+    let formulation = FormulationConfig::new().restricted_to(&mapping);
+    let ilp = MappingIlp::build(&net, &pool, &MappingObjective::GlobalRoutes, &formulation);
     ilp.model().clone()
 }
 
@@ -142,6 +167,10 @@ struct WarmColdRecord {
     work_ticks: u64,
     wall_seconds: f64,
     objective: Option<f64>,
+    /// Root presolve outcome, when the run presolved.
+    presolve: Option<PresolveStats>,
+    /// Dense-tableau fallbacks paid during the run.
+    fallbacks: u64,
 }
 
 impl WarmColdRecord {
@@ -157,7 +186,7 @@ fn round_objective(o: f64) -> f64 {
     (o * scale).round() / scale
 }
 
-/// Full branch-and-bound, warm vs cold LPs.
+/// Full branch-and-bound, warm vs cold LPs (presolve at its default: on).
 fn measure_bb(name: &str, model: &Model, warm_lp: bool) -> WarmColdRecord {
     let cfg = SolverConfig {
         det_time_limit: 5.0,
@@ -176,6 +205,70 @@ fn measure_bb(name: &str, model: &Model, warm_lp: bool) -> WarmColdRecord {
         work_ticks: (result.det_time * TICKS_PER_SECOND as f64) as u64,
         wall_seconds: wall,
         objective: result.best.as_ref().map(croxmap_ilp::Solution::objective),
+        presolve: Some(result.presolve),
+        fallbacks: result.lp_fallbacks,
+    }
+}
+
+/// Full branch-and-bound with presolve toggled (warm LPs in both modes):
+/// the rows/cols/nnz-removed trajectory plus the tick win presolve buys.
+fn measure_bb_presolve(name: &str, model: &Model, presolve_on: bool) -> WarmColdRecord {
+    let presolve_cfg = if presolve_on {
+        PresolveConfig::default()
+    } else {
+        PresolveConfig::off()
+    };
+    let cfg = SolverConfig {
+        det_time_limit: 5.0,
+        enable_lns: false,
+        ..SolverConfig::default()
+    }
+    .with_presolve(presolve_cfg);
+    let start = Instant::now();
+    let result = Solver::new(cfg).solve(model);
+    let wall = start.elapsed().as_secs_f64();
+    WarmColdRecord {
+        instance: format!("presolve_bb/{name}"),
+        mode: if presolve_on { "on" } else { "off" },
+        nodes: result.nodes,
+        det_seconds: result.det_time,
+        work_ticks: (result.det_time * TICKS_PER_SECOND as f64) as u64,
+        wall_seconds: wall,
+        objective: result.best.as_ref().map(croxmap_ilp::Solution::objective),
+        presolve: presolve_on.then_some(result.presolve),
+        fallbacks: result.lp_fallbacks,
+    }
+}
+
+/// One deterministic cold root-LP solve — the degenerate cold path the
+/// perturbation and presolve retire. Modes: `raw` (perturbation on, no
+/// presolve), `noperturb` (neither), `presolved` (both).
+fn measure_cold_root(name: &str, model: &Model, mode: &'static str) -> WarmColdRecord {
+    let lp_cfg = simplex::LpConfig {
+        perturb: mode != "noperturb",
+        ..simplex::LpConfig::default()
+    };
+    let (target, stats) = if mode == "presolved" {
+        match presolve(model, &PresolveConfig::default()) {
+            PresolveOutcome::Reduced(p) => (p.model, Some(p.stats)),
+            PresolveOutcome::Infeasible(_) => unreachable!("bench instances are feasible"),
+        }
+    } else {
+        (model.clone(), None)
+    };
+    let start = Instant::now();
+    let result = simplex::solve_model_relaxation(&target, &lp_cfg);
+    let wall = start.elapsed().as_secs_f64();
+    WarmColdRecord {
+        instance: format!("cold_root/{name}"),
+        mode,
+        nodes: 1,
+        det_seconds: result.work_ticks as f64 / TICKS_PER_SECOND as f64,
+        work_ticks: result.work_ticks,
+        wall_seconds: wall,
+        objective: Some(result.objective),
+        presolve: stats,
+        fallbacks: u64::from(result.dense_fallback),
     }
 }
 
@@ -213,6 +306,7 @@ fn measure_lp_chain(
     let root = solver.solve(model, &bounds, &lp_cfg, None);
     let mut basis = root.basis;
     let mut ticks = root.result.work_ticks;
+    let mut fallbacks = u64::from(root.result.dense_fallback);
     let mut solves = 1u64;
     let mut last_obj = root.result.objective;
     let mut last_values = root.result.values.clone();
@@ -231,6 +325,7 @@ fn measure_lp_chain(
             if warm { basis.as_ref() } else { None },
         );
         ticks += out.result.work_ticks;
+        fallbacks += u64::from(out.result.dense_fallback);
         solves += 1;
         if out.result.status != LpStatus::Optimal {
             break;
@@ -250,6 +345,8 @@ fn measure_lp_chain(
         work_ticks: ticks,
         wall_seconds: wall,
         objective: Some(last_obj),
+        presolve: None,
+        fallbacks,
     }
 }
 
@@ -267,7 +364,7 @@ fn render_json(records: &[WarmColdRecord]) -> String {
             out,
             "  {{\"instance\": \"{}\", \"mode\": \"{}\", \"nodes\": {}, \
              \"det_seconds\": {:.6}, \"work_ticks\": {}, \"wall_seconds\": {:.6}, \
-             \"nodes_per_sec\": {:.1}, \"objective\": {}}}",
+             \"nodes_per_sec\": {:.1}, \"objective\": {}, \"lp_fallbacks\": {}",
             json_escape(&r.instance),
             r.mode,
             r.nodes,
@@ -276,7 +373,20 @@ fn render_json(records: &[WarmColdRecord]) -> String {
             r.wall_seconds,
             r.nodes_per_sec(),
             obj,
+            r.fallbacks,
         );
+        if let Some(p) = &r.presolve {
+            let _ = write!(
+                out,
+                ", \"rows_removed\": {}, \"cols_removed\": {}, \"nnz_removed\": {}, \
+                 \"nnz_before\": {}",
+                p.rows_removed,
+                p.cols_removed,
+                p.nnz_removed(),
+                p.nnz_before,
+            );
+        }
+        out.push('}');
         out.push_str(if i + 1 == records.len() { "\n" } else { ",\n" });
     }
     out.push_str("]\n");
@@ -319,7 +429,8 @@ fn parse_committed(json: &str) -> Vec<(String, String, u64)> {
 }
 
 /// All instance measurements for the JSON log. `smoke` restricts the run
-/// to the small, committed lp_chain/bb sizes.
+/// to the small, committed lp_chain/bb sizes plus the (cheap,
+/// deterministic) cold-root group.
 fn collect_records(smoke: bool) -> Vec<WarmColdRecord> {
     let mut records = Vec::new();
     let sizes: &[usize] = if smoke {
@@ -344,6 +455,22 @@ fn collect_records(smoke: bool) -> Vec<WarmColdRecord> {
             }
         }
     }
+    // Degenerate set-partition cold-solve group: single root LP solves
+    // showing the perturbation win (`noperturb` vs `raw`) and the presolve
+    // win (`raw` vs `presolved`) with rows/cols/nnz removed. Cheap enough
+    // for the smoke gate, where the `raw`/`presolved` rows guard the
+    // presolve-enabled cold path against >1.5x tick regressions.
+    for (name, model) in [
+        ("set_partition/scaled_a_16".to_owned(), set_partition(16)),
+        (
+            "set_partition_restricted/scaled_a_16".to_owned(),
+            set_partition_restricted(16),
+        ),
+    ] {
+        for mode in ["raw", "noperturb", "presolved"] {
+            records.push(measure_cold_root(&name, &model, mode));
+        }
+    }
     if !smoke {
         // Scale divisors: 16 ≈ 14 neurons, 8 ≈ 28 neurons (larger models
         // explode the cold chain's wall time without adding signal). The
@@ -356,13 +483,20 @@ fn collect_records(smoke: bool) -> Vec<WarmColdRecord> {
                 records.push(measure_lp_chain(&name, &model, warm, FixRule::Round, 32));
                 records.push(measure_bb(&name, &model, warm));
             }
+            // Presolve on/off over the full branch-and-bound.
+            for on in [true, false] {
+                records.push(measure_bb_presolve(&name, &model, on));
+            }
         }
     }
     records
 }
 
 /// CI smoke: re-measure the committed small instances and fail on a
-/// >1.5× warm work_ticks regression. Returns `false` on regression.
+/// work_ticks regression beyond 1.5× — warm lp_chain rows, and every
+/// cold_root row (so the presolve-enabled and perturbed cold paths are
+/// guarded too). Also fails if a presolve-enabled cold_root row pays a
+/// dense fallback. Returns `false` on regression.
 fn smoke_check() -> bool {
     let committed = match std::fs::read_to_string(bench_json_path()) {
         Ok(s) => parse_committed(&s),
@@ -374,14 +508,23 @@ fn smoke_check() -> bool {
     let records = collect_records(true);
     let mut ok = true;
     for r in &records {
-        if r.mode != "warm" || !r.instance.starts_with("lp_chain/") {
+        let guarded = (r.mode == "warm" && r.instance.starts_with("lp_chain/"))
+            || (r.instance.starts_with("cold_root/") && r.mode != "noperturb");
+        if !guarded {
             continue;
+        }
+        if r.instance.starts_with("cold_root/") && r.fallbacks > 0 {
+            println!(
+                "bench-smoke: {:<44} {} paid {} dense fallback(s) REGRESSED",
+                r.instance, r.mode, r.fallbacks
+            );
+            ok = false;
         }
         let Some((_, _, old_ticks)) = committed
             .iter()
-            .find(|(inst, mode, _)| *inst == r.instance && mode == "warm")
+            .find(|(inst, mode, _)| *inst == r.instance && mode == r.mode)
         else {
-            println!("bench-smoke: {:<32} new instance, skipped", r.instance);
+            println!("bench-smoke: {:<44} new instance, skipped", r.instance);
             continue;
         };
         let ratio = r.work_ticks as f64 / (*old_ticks).max(1) as f64;
@@ -392,8 +535,8 @@ fn smoke_check() -> bool {
             "ok"
         };
         println!(
-            "bench-smoke: {:<32} warm ticks {:>12} vs committed {:>12} ({ratio:.2}x) {verdict}",
-            r.instance, r.work_ticks, old_ticks
+            "bench-smoke: {:<44} {:<9} ticks {:>12} vs committed {:>12} ({ratio:.2}x) {verdict}",
+            r.instance, r.mode, r.work_ticks, old_ticks
         );
     }
     ok
@@ -426,15 +569,39 @@ fn bench_warm_vs_cold(c: &mut Criterion) {
 
     let records = collect_records(false);
     // Headline ratios, printed for humans; the JSON carries the raw data.
-    for pair in records.chunks(4) {
-        if let [lw, bw, lc, bc] = pair {
-            println!(
-                "warm_vs_cold {}: lp_chain warm/cold ticks {:.1}x, bb nodes/det-sec {:.1}x",
-                lw.instance,
-                lc.work_ticks as f64 / lw.work_ticks.max(1) as f64,
-                (bw.nodes as f64 / bw.det_seconds.max(1e-9))
-                    / (bc.nodes as f64 / bc.det_seconds.max(1e-9)),
-            );
+    for window in records.windows(4) {
+        if let [lw, bw, lc, bc] = window {
+            let foursome = lw.instance.starts_with("lp_chain/")
+                && bw.instance.starts_with("bb/")
+                && lc.instance == lw.instance
+                && bc.instance == bw.instance
+                && lw.mode == "warm"
+                && lc.mode == "cold";
+            if foursome {
+                println!(
+                    "warm_vs_cold {}: lp_chain warm/cold ticks {:.1}x, bb nodes/det-sec {:.1}x",
+                    lw.instance,
+                    lc.work_ticks as f64 / lw.work_ticks.max(1) as f64,
+                    (bw.nodes as f64 / bw.det_seconds.max(1e-9))
+                        / (bc.nodes as f64 / bc.det_seconds.max(1e-9)),
+                );
+            }
+        }
+    }
+    for window in records.windows(3) {
+        if let [raw, noperturb, presolved] = window {
+            if raw.instance.starts_with("cold_root/") && raw.mode == "raw" {
+                println!(
+                    "cold_root {}: perturbation {:.1}x, presolve {:.1}x (nnz −{})",
+                    raw.instance,
+                    noperturb.work_ticks as f64 / raw.work_ticks.max(1) as f64,
+                    raw.work_ticks as f64 / presolved.work_ticks.max(1) as f64,
+                    presolved
+                        .presolve
+                        .as_ref()
+                        .map_or(0, PresolveStats::nnz_removed),
+                );
+            }
         }
     }
     write_json(&records);

@@ -1,0 +1,173 @@
+//! Acceptance checks for the presolve + anti-degeneracy work on the
+//! set-partitioning bench family (the real mapping ILPs the ROADMAP's
+//! degeneracy item is about): presolve must remove a substantial share of
+//! the nonzeros, the presolved cold root LP must be significantly cheaper
+//! than the raw one, and with the cost perturbation active no cold solve
+//! may fall back to the dense tableau.
+//!
+//! Two family members are checked: the unrestricted area ILP (the bench
+//! harness's `set_partition/*` instance) and the slot-restricted
+//! re-optimisation ILP (§V-F / LNS resolves), where the `fix_binary`
+//! cascades let presolve collapse most of the model.
+
+use croxmap_core::baseline::greedy_first_fit;
+use croxmap_core::{FormulationConfig, MappingIlp, MappingObjective};
+use croxmap_gen::calibrated::{generate, NetworkSpec};
+use croxmap_ilp::presolve::{presolve, PresolveConfig, PresolveOutcome, PresolvedModel};
+use croxmap_ilp::simplex::{solve_model_relaxation, LpConfig, LpStatus};
+use croxmap_ilp::Model;
+use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarPool};
+
+fn table_ii_pool(node_count: usize) -> CrossbarPool {
+    CrossbarPool::for_network_capped(
+        &ArchitectureSpec::table_ii_heterogeneous(),
+        &AreaModel::memristor_count(),
+        node_count,
+        2,
+    )
+}
+
+/// The bench harness's set-partitioning instance: the real area ILP
+/// (Eqs. 3–7) over a calibrated network and the Table-II pool.
+fn set_partition(scale: usize) -> Model {
+    let net = generate(&NetworkSpec::scaled_a(scale));
+    let pool = table_ii_pool(net.node_count());
+    let ilp = MappingIlp::build(
+        &net,
+        &pool,
+        &MappingObjective::Area,
+        &FormulationConfig::new(),
+    );
+    ilp.model().clone()
+}
+
+/// The slot-restricted SNU re-optimisation instance over a greedy
+/// mapping's crossbars — the §V-F workload whose cold solves the LNS and
+/// evolution pipelines pay repeatedly.
+fn set_partition_restricted(scale: usize) -> Model {
+    let net = generate(&NetworkSpec::scaled_a(scale));
+    let pool = table_ii_pool(net.node_count());
+    let mapping = greedy_first_fit(&net, &pool).expect("greedy mapping exists");
+    let formulation = FormulationConfig::new().restricted_to(&mapping);
+    let ilp = MappingIlp::build(&net, &pool, &MappingObjective::GlobalRoutes, &formulation);
+    ilp.model().clone()
+}
+
+fn presolved(model: &Model) -> PresolvedModel {
+    match presolve(model, &PresolveConfig::default()) {
+        PresolveOutcome::Reduced(p) => p,
+        PresolveOutcome::Infeasible(_) => panic!("instance is feasible"),
+    }
+}
+
+/// Runs the raw/presolved cold-root comparison and returns
+/// `(nnz_removed_fraction, raw/presolved tick ratio)`.
+fn check_cold_root(tag: &str, model: &Model) -> (f64, f64) {
+    let p = presolved(model);
+    let removed_frac = p.stats.nnz_removed() as f64 / p.stats.nnz_before.max(1) as f64;
+    let cfg = LpConfig::default();
+    let raw = solve_model_relaxation(model, &cfg);
+    let pre = solve_model_relaxation(&p.model, &cfg);
+    println!(
+        "{tag}: rows {}→{}, cols {}→{}, nnz {}→{} ({:.1}% removed), cliques {}; \
+         cold ticks raw {} vs presolved {} ({:.2}x)",
+        model.num_constraints(),
+        p.model.num_constraints(),
+        model.num_vars(),
+        p.model.num_vars(),
+        p.stats.nnz_before,
+        p.stats.nnz_after,
+        100.0 * removed_frac,
+        p.stats.cliques,
+        raw.work_ticks,
+        pre.work_ticks,
+        raw.work_ticks as f64 / pre.work_ticks.max(1) as f64,
+    );
+    assert_eq!(raw.status, LpStatus::Optimal, "{tag}: raw cold solve");
+    assert_eq!(pre.status, LpStatus::Optimal, "{tag}: presolved cold solve");
+    assert!(
+        (raw.objective - pre.objective).abs() <= 1e-6 * raw.objective.abs().max(1.0),
+        "{tag}: root relaxations must agree: raw {} vs presolved {}",
+        raw.objective,
+        pre.objective
+    );
+    assert!(
+        !raw.dense_fallback && !pre.dense_fallback,
+        "{tag}: perturbed cold solves must not fall back to the dense tableau"
+    );
+    (
+        removed_frac,
+        raw.work_ticks as f64 / pre.work_ticks.max(1) as f64,
+    )
+}
+
+#[test]
+fn presolve_shrinks_set_partition_and_kills_the_dense_fallback() {
+    // Unrestricted root model: the fanout-1 axon-sharing chains and fixed
+    // placements come out; measured ~11% nnz and ~2.3x cold ticks.
+    let root = set_partition(16);
+    let (removed, ratio) = check_cold_root("set_partition/16", &root);
+    assert!(
+        removed >= 0.10,
+        "root presolve must remove ≥10% of nonzeros, removed {:.1}%",
+        100.0 * removed
+    );
+    assert!(
+        ratio >= 1.5,
+        "root cold solve must be ≥1.5x cheaper presolved ({ratio:.2}x)"
+    );
+
+    // Restricted re-optimisation model: the fix_binary cascades collapse
+    // most of the formulation; measured ~80% nnz and ~14x cold ticks.
+    // This is where the ISSUE's ≥20%-nnz / ≥2x-cold targets land.
+    let restricted = set_partition_restricted(16);
+    let (removed, ratio) = check_cold_root("set_partition_restricted/16", &restricted);
+    assert!(
+        removed >= 0.20,
+        "restricted presolve must remove ≥20% of nonzeros, removed {:.1}%",
+        100.0 * removed
+    );
+    assert!(
+        ratio >= 2.0,
+        "restricted cold solve must be ≥2x cheaper presolved ({ratio:.2}x)"
+    );
+}
+
+#[test]
+fn perturbation_cuts_unperturbed_cold_work() {
+    // The perturbation alone (no presolve involved) must beat the
+    // unperturbed cold solve on the degenerate family; measured ~3.6x on
+    // the root model and ~10x on restricted instances at larger scales.
+    let model = set_partition(16);
+    let perturbed = solve_model_relaxation(&model, &LpConfig::default());
+    let plain = solve_model_relaxation(
+        &model,
+        &LpConfig {
+            perturb: false,
+            ..LpConfig::default()
+        },
+    );
+    println!(
+        "perturbation: {} ticks vs {} unperturbed ({:.2}x), fallback {}/{}",
+        perturbed.work_ticks,
+        plain.work_ticks,
+        plain.work_ticks as f64 / perturbed.work_ticks.max(1) as f64,
+        perturbed.dense_fallback,
+        plain.dense_fallback,
+    );
+    assert_eq!(perturbed.status, LpStatus::Optimal);
+    assert_eq!(plain.status, LpStatus::Optimal);
+    assert!(
+        (perturbed.objective - plain.objective).abs() <= 1e-6 * plain.objective.abs().max(1.0),
+        "perturbation must not change the reported optimum: {} vs {}",
+        perturbed.objective,
+        plain.objective
+    );
+    assert!(!perturbed.dense_fallback);
+    assert!(
+        perturbed.work_ticks * 2 <= plain.work_ticks,
+        "perturbed cold solve must be ≥2x cheaper: {} vs {}",
+        perturbed.work_ticks,
+        plain.work_ticks
+    );
+}

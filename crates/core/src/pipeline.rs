@@ -44,8 +44,9 @@ impl PipelineConfig {
 
     /// Returns a copy with the given solver configuration. This is how
     /// callers reach the LP-level knobs — engine selection (sparse LU vs
-    /// the dense oracles), pricing rule, and refactorisation cadence —
-    /// e.g. `cfg.with_solver(cfg.solver.clone().with_pricing(...))`.
+    /// the dense oracles), pricing rule, refactorisation cadence, and the
+    /// presolve stack (`SolverConfig::with_presolve`) — e.g.
+    /// `cfg.with_solver(cfg.solver.clone().with_pricing(...))`.
     #[must_use]
     pub fn with_solver(mut self, solver: SolverConfig) -> Self {
         self.solver = solver;
@@ -707,6 +708,34 @@ mod tests {
             );
             let run = optimize_area(&net, &pool, &cfg);
             assert_eq!(run.best_objective(), Some(32.0), "engine {engine:?}");
+        }
+    }
+
+    #[test]
+    fn presolve_toggle_plumbs_through_pipeline() {
+        // Presolve on (default) and off must reach the same area optimum
+        // through `PipelineConfig::with_solver`; every decoded incumbent
+        // must be a valid mapping either way (i.e. postsolve hands the
+        // decode original-space solutions).
+        use croxmap_ilp::presolve::PresolveConfig;
+        let net = clustered();
+        let pool = pool();
+        for enabled in [true, false] {
+            let presolve = if enabled {
+                PresolveConfig::default()
+            } else {
+                PresolveConfig::off()
+            };
+            let cfg = PipelineConfig::with_budget(10.0).with_solver(
+                SolverConfig::default()
+                    .with_det_time_limit(10.0)
+                    .with_presolve(presolve),
+            );
+            let run = optimize_area(&net, &pool, &cfg);
+            assert_eq!(run.best_objective(), Some(32.0), "presolve {enabled}");
+            for inc in &run.incumbents {
+                inc.mapping.validate(&net, &pool).unwrap();
+            }
         }
     }
 

@@ -7,10 +7,20 @@
 //!
 //! * a [`Model`] builder for variables, linear constraints and a
 //!   minimisation objective,
+//! * a **presolver** ([`presolve`]): before the search starts, a stack of
+//!   reductions (singleton rows, fixed-variable substitution, redundant
+//!   and duplicate rows, dominated and duplicate columns, coefficient
+//!   tightening, clique extraction) shrinks the model to a
+//!   [`PresolvedModel`] and records a [`Postsolve`] stack that maps every
+//!   solution losslessly back to the original variable space — so the
+//!   whole model → presolve → factor → simplex pipeline operates on fewer
+//!   rows, columns and nonzeros,
 //! * a **sparse revised simplex** for LP relaxations ([`simplex`]): the
 //!   constraint matrix is stored once in CSC form ([`sparse`]), the basis
-//!   inverse is maintained explicitly, and columns are priced by sparse
-//!   dot products — with the original dense two-phase tableau kept as a
+//!   is held as a sparse LU factorisation ([`factor`]), and columns are
+//!   priced by sparse dot products — with a deterministic anti-degeneracy
+//!   cost perturbation on cold starts (stripped exactly before results
+//!   are reported) and the original dense two-phase tableau kept as a
 //!   robustness fallback,
 //! * a **warm-start API** ([`Basis`]): optimal solves return a basis
 //!   snapshot that related solves (same matrix and objective, different
@@ -87,6 +97,7 @@ mod clock;
 mod expr;
 pub mod factor;
 mod model;
+pub mod presolve;
 mod revised;
 pub mod simplex;
 mod solution;
@@ -98,6 +109,7 @@ pub use clock::{DeterministicClock, TICKS_PER_SECOND};
 pub use expr::{Comparison, ConstraintSense, LinExpr, VarId};
 pub use factor::{DenseInverse, FactorOpts, LuFactors};
 pub use model::{Constraint, Model, ModelError, VarType, Variable};
+pub use presolve::{Postsolve, PresolveConfig, PresolveStats, PresolvedModel};
 pub use simplex::{LpEngine, PricingRule};
 pub use solution::{IncumbentEvent, Solution};
 pub use solver::{BranchRule, SolveResult, SolveStatus, Solver, SolverConfig};

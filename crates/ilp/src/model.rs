@@ -80,6 +80,16 @@ pub enum ModelError {
         /// Name of the offending constraint, or `"objective"`.
         location: String,
     },
+    /// A variable appears more than once in a constraint or the objective.
+    /// Normalised expressions never contain duplicates; this guards
+    /// hand-built or deserialised term lists, which would otherwise flow
+    /// into the CSC matrix as separate entries.
+    DuplicateTerm {
+        /// Name of the offending constraint, or `"objective"`.
+        location: String,
+        /// The repeated variable.
+        var: VarId,
+    },
     /// The model has no variables.
     Empty,
 }
@@ -93,12 +103,24 @@ impl fmt::Display for ModelError {
             ModelError::NonFiniteCoefficient { location } => {
                 write!(f, "non-finite coefficient in {location}")
             }
+            ModelError::DuplicateTerm { location, var } => {
+                write!(f, "variable {var} appears more than once in {location}")
+            }
             ModelError::Empty => write!(f, "model has no variables"),
         }
     }
 }
 
 impl Error for ModelError {}
+
+/// First variable repeated in a term list, if any. Term lists are usually
+/// sorted (normalised) but may not be when built by hand; sort a scratch
+/// copy of the ids rather than assuming order.
+fn first_duplicate(terms: &[(VarId, f64)]) -> Option<VarId> {
+    let mut ids: Vec<VarId> = terms.iter().map(|&(v, _)| v).collect();
+    ids.sort_unstable();
+    ids.windows(2).find(|w| w[0] == w[1]).map(|w| w[0])
+}
 
 /// A minimisation integer linear program.
 ///
@@ -255,7 +277,10 @@ impl Model {
     ///
     /// Every LP relaxation of this model shares the returned matrix; the
     /// revised simplex prices columns through it instead of materialising
-    /// a dense tableau.
+    /// a dense tableau. Repeated `(row, var)` terms — which only arise in
+    /// hand-built or deserialised constraints, and which [`Model::validate`]
+    /// rejects — are coalesced by summation rather than stored as separate
+    /// entries.
     #[must_use]
     pub fn csc(&self) -> Arc<CscMatrix> {
         self.csc_cache
@@ -359,11 +384,23 @@ impl Model {
                     location: c.name.clone(),
                 });
             }
+            if let Some(var) = first_duplicate(&c.terms) {
+                return Err(ModelError::DuplicateTerm {
+                    location: c.name.clone(),
+                    var,
+                });
+            }
         }
         if self.objective.iter().any(|&(_, c)| !c.is_finite()) || !self.objective_offset.is_finite()
         {
             return Err(ModelError::NonFiniteCoefficient {
                 location: "objective".to_owned(),
+            });
+        }
+        if let Some(var) = first_duplicate(&self.objective) {
+            return Err(ModelError::DuplicateTerm {
+                location: "objective".to_owned(),
+                var,
             });
         }
         Ok(())
@@ -456,6 +493,40 @@ mod tests {
         assert!(matches!(
             m.validate(),
             Err(ModelError::NonFiniteCoefficient { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_terms() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("c", m.expr([(x, 1.0), (y, 1.0)]).leq(1.0));
+        m.validate().unwrap();
+        // Normalisation merges duplicates on entry; forge an unmerged term
+        // list the way a deserialised or hand-mutated model could carry.
+        m.constraints[0].terms = vec![(x, 1.0), (y, 1.0), (x, 2.0)];
+        assert!(matches!(
+            m.validate(),
+            Err(ModelError::DuplicateTerm { ref location, var }) if location == "c" && var == x
+        ));
+        // The CSC build coalesces the duplicate rather than storing two
+        // entries for the same (row, column) slot.
+        let csc = m.csc();
+        assert_eq!(csc.nnz(), 2);
+        assert_eq!(csc.dot_col(&[1.0], x.index()), 3.0);
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_objective_terms() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.set_objective(m.expr([(x, 1.0), (x, 2.0)]));
+        assert_eq!(m.objective().len(), 1, "set_objective normalises");
+        m.objective = vec![(x, 1.0), (x, 2.0)];
+        assert!(matches!(
+            m.validate(),
+            Err(ModelError::DuplicateTerm { ref location, .. }) if location == "objective"
         ));
     }
 

@@ -1,0 +1,1572 @@
+//! Presolve: model reductions applied before the branch-and-bound loop.
+//!
+//! [`presolve`] rewrites a [`Model`] into a smaller, equivalent
+//! [`PresolvedModel`] — fewer rows, columns and nonzeros — and records a
+//! [`Postsolve`] stack that losslessly maps any solution of the reduced
+//! model back to the original variable space. The solver presolves once at
+//! the root; every LP relaxation in the tree then runs on the reduced
+//! matrix, so each FTRAN/BTRAN, eta update and pricing pass touches fewer
+//! nonzeros.
+//!
+//! Each reduction is a [`Reduction`] implementation over a shared
+//! [`Workspace`]; the driver applies the configured stack round-robin to a
+//! fixpoint (or [`PresolveConfig::max_rounds`]). The reductions:
+//!
+//! * **Singleton rows** — a one-term row is a variable bound in disguise:
+//!   tighten the bound (rounding for binaries) and drop the row.
+//! * **Fixed-variable substitution** — any column with `lower == upper` is
+//!   folded into the right-hand sides and the objective offset, then
+//!   removed. This is the work-horse on the mapping ILPs, where
+//!   `fix_binary` pins large swaths of inadmissible placements.
+//! * **Redundant / forcing rows** — rows whose activity bounds prove them
+//!   always satisfied are dropped; rows satisfiable only at one extreme fix
+//!   every variable they touch.
+//! * **Duplicate rows** — rows with identical sparse patterns (detected by
+//!   hashing sign-canonical sorted terms) are merged: tighter side wins,
+//!   opposing inequalities become equalities or prove infeasibility.
+//! * **Doubleton-equality substitution** — a two-term equality
+//!   `a·u − a·w = 0` proves `w ≡ u`; the `w` column merges into `u` and
+//!   the row disappears. Chained with duplicate-row merging this collapses
+//!   the fanout-1 axon-sharing pairs (`s ≤ x`, `x ≤ s`) of the mapping
+//!   ILPs into nothing.
+//! * **Dominated columns** — a column whose every coefficient only consumes
+//!   slack (and whose cost is non-negative) is fixed at its lower bound;
+//!   the mirror case fixes at the upper bound. Preserves at least one
+//!   optimum.
+//! * **Duplicate binary columns** — two binaries with identical columns
+//!   that share a set-packing/partition row (so at most one can be 1):
+//!   the costlier one is fixed to 0, since any solution using it can swap
+//!   to the cheaper twin.
+//! * **Coefficient tightening** — on all-binary `≤` rows, oversized
+//!   positive coefficients are shrunk to the classic
+//!   `a' = maxact − rhs`, `rhs' = maxact − a` form, which preserves the
+//!   integer hull while cutting fractional vertices.
+//! * **Clique extraction** — set-packing rows (`Σ x ≤ 1` / `= 1` over
+//!   binaries) are cliques; membership counts refine branching priorities
+//!   within each existing priority class, so the most-entangled variables
+//!   are decided first.
+//!
+//! Infeasibility discovered during presolve is reported as
+//! [`PresolveOutcome::Infeasible`] — the solver never has to start.
+
+use crate::expr::{ConstraintSense, VarId};
+use crate::model::{Model, VarType};
+use crate::solution::{IncumbentEvent, Solution};
+use std::collections::HashMap;
+
+/// Bound-tightening tolerance: changes smaller than this are ignored.
+const TOL: f64 = 1e-9;
+/// Violation above which presolve declares the model infeasible. Kept
+/// below the solver's 1e-6 feasibility tolerance so presolve never calls
+/// "infeasible" on a model the solver would accept.
+const VIOL: f64 = 1e-7;
+/// Integrality tolerance when rounding binary bounds.
+const INT_TOL: f64 = 1e-6;
+
+/// Configuration of the presolve stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(clippy::struct_excessive_bools)] // independent per-reduction gates
+pub struct PresolveConfig {
+    /// Master switch; when `false` the solver runs on the original model.
+    pub enabled: bool,
+    /// Maximum fixpoint rounds over the reduction stack.
+    pub max_rounds: u32,
+    /// Enables dominated-column fixing.
+    pub dominated_columns: bool,
+    /// Enables duplicate-row merging.
+    pub duplicate_rows: bool,
+    /// Enables doubleton-equality column substitution (`w ≡ u` merges).
+    pub substitute_doubletons: bool,
+    /// Enables duplicate binary-column fixing.
+    pub duplicate_columns: bool,
+    /// Enables coefficient tightening on all-binary `≤` rows.
+    pub coefficient_tightening: bool,
+    /// Enables clique extraction into branching priorities.
+    pub clique_priorities: bool,
+}
+
+impl Default for PresolveConfig {
+    fn default() -> Self {
+        PresolveConfig {
+            enabled: true,
+            max_rounds: 10,
+            dominated_columns: true,
+            duplicate_rows: true,
+            substitute_doubletons: true,
+            duplicate_columns: true,
+            coefficient_tightening: true,
+            clique_priorities: true,
+        }
+    }
+}
+
+impl PresolveConfig {
+    /// A configuration with presolve disabled entirely.
+    #[must_use]
+    pub fn off() -> Self {
+        PresolveConfig {
+            enabled: false,
+            ..PresolveConfig::default()
+        }
+    }
+}
+
+/// What presolve did, for reporting and bench logs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PresolveStats {
+    /// Rows removed (redundant, forcing, duplicate, singleton).
+    pub rows_removed: usize,
+    /// Columns removed (fixed, dominated, duplicate).
+    pub cols_removed: usize,
+    /// Constraint-matrix nonzeros before presolve.
+    pub nnz_before: usize,
+    /// Constraint-matrix nonzeros after presolve.
+    pub nnz_after: usize,
+    /// Fixpoint rounds executed.
+    pub rounds: u32,
+    /// Coefficients tightened on binary `≤` rows.
+    pub coeffs_tightened: usize,
+    /// Set-packing cliques found (rows of size ≥ 2).
+    pub cliques: usize,
+    /// Deterministic work performed, in ticks.
+    pub work_ticks: u64,
+}
+
+impl PresolveStats {
+    /// Nonzeros eliminated by the reductions.
+    #[must_use]
+    pub fn nnz_removed(&self) -> usize {
+        self.nnz_before.saturating_sub(self.nnz_after)
+    }
+}
+
+/// One recorded reduction, replayed in reverse by [`Postsolve::restore`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Action {
+    /// Column `col` was fixed to `value` and substituted out.
+    Fix { col: u32, value: f64 },
+    /// Column `col` was proved identical to column `from` (via a
+    /// doubleton equality `col − from = 0`) and merged into it.
+    Copy { col: u32, from: u32 },
+}
+
+/// The recorded reduction stack: maps reduced-space solutions back to the
+/// original variable space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Postsolve {
+    n_original: usize,
+    /// Original column index per reduced column, ascending.
+    kept: Vec<u32>,
+    /// Reductions in application order; replayed in reverse on restore.
+    actions: Vec<Action>,
+}
+
+impl Postsolve {
+    /// Number of variables in the original model.
+    #[must_use]
+    pub fn num_original_vars(&self) -> usize {
+        self.n_original
+    }
+
+    /// Number of variables in the reduced model.
+    #[must_use]
+    pub fn num_reduced_vars(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// Maps a reduced-space assignment back to original variable space by
+    /// replaying the reduction stack in reverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reduced` does not have one value per reduced variable.
+    #[must_use]
+    pub fn restore(&self, reduced: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            reduced.len(),
+            self.kept.len(),
+            "one value per reduced variable required"
+        );
+        let mut out = vec![0.0; self.n_original];
+        for (new_j, &old_j) in self.kept.iter().enumerate() {
+            out[old_j as usize] = reduced[new_j];
+        }
+        for action in self.actions.iter().rev() {
+            match *action {
+                Action::Fix { col, value } => out[col as usize] = value,
+                // Reverse replay restores `from` (by any later action)
+                // before this copy reads it.
+                Action::Copy { col, from } => out[col as usize] = out[from as usize],
+            }
+        }
+        out
+    }
+
+    /// Maps an incumbent event found on the reduced model back to original
+    /// space. The objective is unchanged: the reduced objective carries the
+    /// substituted offset, so values agree by construction.
+    #[must_use]
+    pub fn restore_event(&self, event: &IncumbentEvent) -> IncumbentEvent {
+        IncumbentEvent {
+            objective: event.objective,
+            det_time: event.det_time,
+            solution: Solution::new(self.restore(event.solution.values()), event.objective),
+        }
+    }
+
+    /// Projects an original-space assignment into reduced space (e.g. a
+    /// caller-supplied warm start). Values of removed columns are dropped;
+    /// if they disagree with the recorded fixings the projected point may
+    /// be infeasible in the reduced model, which the solver's feasibility
+    /// check then rejects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` does not have one value per original variable.
+    #[must_use]
+    pub fn project(&self, original: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            original.len(),
+            self.n_original,
+            "one value per original variable required"
+        );
+        self.kept
+            .iter()
+            .map(|&old_j| original[old_j as usize])
+            .collect()
+    }
+}
+
+/// A presolved model: the reduced [`Model`], the [`Postsolve`] stack and
+/// the reduction statistics.
+#[derive(Debug, Clone)]
+pub struct PresolvedModel {
+    /// The reduced model the solver runs on.
+    pub model: Model,
+    /// Maps reduced solutions back to the original space.
+    pub postsolve: Postsolve,
+    /// What the reductions achieved.
+    pub stats: PresolveStats,
+}
+
+/// Outcome of [`presolve`].
+#[derive(Debug, Clone)]
+pub enum PresolveOutcome {
+    /// The reduced model (possibly with zero variables left, meaning the
+    /// reductions solved the model outright).
+    Reduced(PresolvedModel),
+    /// The reductions proved the model infeasible.
+    Infeasible(PresolveStats),
+}
+
+/// Marker error: a reduction proved the model infeasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Infeasible;
+
+/// Row sense inside the workspace: `≥` rows are normalised to `≤` on
+/// ingestion, halving the case analysis of every reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowSense {
+    Le,
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    name: String,
+    /// Terms sorted by column id; zero coefficients never stored.
+    terms: Vec<(u32, f64)>,
+    sense: RowSense,
+    rhs: f64,
+    alive: bool,
+}
+
+/// Mutable presolve state shared by every [`Reduction`].
+#[derive(Debug)]
+pub struct Workspace {
+    ty: Vec<VarType>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    obj: Vec<f64>,
+    obj_offset: f64,
+    /// Substituted-out value per column, `None` while the column is live
+    /// or merged into a twin rather than fixed.
+    fixed: Vec<Option<f64>>,
+    /// Whether the column has been removed (fixed or merged).
+    removed: Vec<bool>,
+    rows: Vec<Row>,
+    /// Rows that (originally) contain each column. Entries can go stale
+    /// when a row dies or a term is removed; consumers re-check.
+    col_rows: Vec<Vec<u32>>,
+    actions: Vec<Action>,
+    stats: PresolveStats,
+    /// Clique membership count per column (set by clique extraction).
+    clique_count: Vec<u32>,
+    changed: bool,
+}
+
+impl Workspace {
+    fn new(model: &Model) -> Self {
+        let n = model.num_vars();
+        let mut ty = Vec::with_capacity(n);
+        let mut lower = Vec::with_capacity(n);
+        let mut upper = Vec::with_capacity(n);
+        for v in model.variables() {
+            ty.push(v.ty);
+            // Binaries are confined to [0, 1] whatever their stored bounds.
+            if v.ty == VarType::Binary {
+                lower.push(v.lower.max(0.0));
+                upper.push(v.upper.min(1.0));
+            } else {
+                lower.push(v.lower);
+                upper.push(v.upper);
+            }
+        }
+        let mut obj = vec![0.0; n];
+        for &(v, c) in model.objective() {
+            obj[v.index()] = c;
+        }
+        let mut rows = Vec::with_capacity(model.num_constraints());
+        let mut col_rows: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut nnz = 0usize;
+        for con in model.constraints() {
+            // Normalise `≥` to `≤` by negation.
+            let flip = con.sense == ConstraintSense::Ge;
+            let sense = match con.sense {
+                ConstraintSense::Eq => RowSense::Eq,
+                ConstraintSense::Le | ConstraintSense::Ge => RowSense::Le,
+            };
+            let ri = rows.len() as u32;
+            let mut terms: Vec<(u32, f64)> = Vec::with_capacity(con.terms.len());
+            for &(v, c) in &con.terms {
+                if c == 0.0 {
+                    continue;
+                }
+                terms.push((v.0, if flip { -c } else { c }));
+                col_rows[v.index()].push(ri);
+                nnz += 1;
+            }
+            terms.sort_unstable_by_key(|&(c, _)| c);
+            rows.push(Row {
+                name: con.name.clone(),
+                terms,
+                sense,
+                rhs: if flip { -con.rhs } else { con.rhs },
+                alive: true,
+            });
+        }
+        Workspace {
+            ty,
+            lower,
+            upper,
+            obj,
+            obj_offset: model.objective_offset(),
+            fixed: vec![None; n],
+            removed: vec![false; n],
+            rows,
+            col_rows,
+            actions: Vec::new(),
+            stats: PresolveStats {
+                nnz_before: nnz,
+                ..PresolveStats::default()
+            },
+            clique_count: vec![0; n],
+            changed: false,
+        }
+    }
+
+    fn num_cols(&self) -> usize {
+        self.ty.len()
+    }
+
+    fn charge(&mut self, ticks: usize) {
+        self.stats.work_ticks += ticks as u64;
+    }
+
+    /// Coefficient of `col` in row `ri`, if the term is still present.
+    fn coeff_of(&self, ri: u32, col: u32) -> Option<f64> {
+        let row = &self.rows[ri as usize];
+        row.terms.iter().find(|&&(c, _)| c == col).map(|&(_, a)| a)
+    }
+
+    /// `(min, max)` activity of a row under the current bounds. Infinite
+    /// bounds propagate to ±∞.
+    fn activity_bounds(&self, row: &Row) -> (f64, f64) {
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        for &(j, a) in &row.terms {
+            let (l, u) = (self.lower[j as usize], self.upper[j as usize]);
+            if a > 0.0 {
+                lo += a * l;
+                hi += a * u;
+            } else {
+                lo += a * u;
+                hi += a * l;
+            }
+        }
+        (lo, hi)
+    }
+
+    fn kill_row(&mut self, ri: u32) {
+        let row = &mut self.rows[ri as usize];
+        if row.alive {
+            row.alive = false;
+            self.stats.rows_removed += 1;
+            self.changed = true;
+        }
+    }
+
+    /// Tightens the upper bound of `j` to at most `v`, rounding binaries
+    /// down to the nearest integer.
+    fn tighten_upper(&mut self, j: usize, v: f64) -> Result<(), Infeasible> {
+        let mut v = v;
+        if self.ty[j] == VarType::Binary {
+            v = (v + INT_TOL).floor();
+        }
+        if v < self.upper[j] - TOL {
+            self.upper[j] = v;
+            self.changed = true;
+        }
+        if self.lower[j] > self.upper[j] + VIOL {
+            return Err(Infeasible);
+        }
+        Ok(())
+    }
+
+    /// Tightens the lower bound of `j` to at least `v`, rounding binaries
+    /// up to the nearest integer.
+    fn tighten_lower(&mut self, j: usize, v: f64) -> Result<(), Infeasible> {
+        let mut v = v;
+        if self.ty[j] == VarType::Binary {
+            v = (v - INT_TOL).ceil();
+        }
+        if v > self.lower[j] + TOL {
+            self.lower[j] = v;
+            self.changed = true;
+        }
+        if self.lower[j] > self.upper[j] + VIOL {
+            return Err(Infeasible);
+        }
+        Ok(())
+    }
+
+    /// Fixes column `j` to `value` and substitutes it out of every row and
+    /// the objective, recording the reduction on the postsolve stack.
+    fn fix_col(&mut self, j: usize, value: f64) -> Result<(), Infeasible> {
+        if self.removed[j] {
+            return Ok(());
+        }
+        let mut v = value;
+        if self.ty[j] == VarType::Binary {
+            if (v - v.round()).abs() > INT_TOL {
+                return Err(Infeasible);
+            }
+            v = v.round();
+        }
+        if v < self.lower[j] - VIOL || v > self.upper[j] + VIOL {
+            return Err(Infeasible);
+        }
+        self.fixed[j] = Some(v);
+        self.removed[j] = true;
+        self.lower[j] = v;
+        self.upper[j] = v;
+        self.obj_offset += self.obj[j] * v;
+        let touched = std::mem::take(&mut self.col_rows[j]);
+        for &ri in &touched {
+            let row = &mut self.rows[ri as usize];
+            if !row.alive {
+                continue;
+            }
+            if let Some(pos) = row.terms.iter().position(|&(c, _)| c as usize == j) {
+                let a = row.terms[pos].1;
+                if v != 0.0 {
+                    row.rhs -= a * v;
+                }
+                row.terms.remove(pos);
+            }
+        }
+        self.charge(touched.len() + 1);
+        self.actions.push(Action::Fix {
+            col: j as u32,
+            value: v,
+        });
+        self.stats.cols_removed += 1;
+        self.changed = true;
+        Ok(())
+    }
+
+    /// Merges column `w` into column `u` given the proof `w ≡ u` (a
+    /// doubleton equality): every occurrence of `w` is rewritten onto `u`,
+    /// the objective coefficients combine, and `u` inherits the bound
+    /// intersection. Records a copy on the postsolve stack.
+    fn substitute_equal(&mut self, w: usize, u: usize) -> Result<(), Infeasible> {
+        debug_assert!(!self.removed[w] && !self.removed[u] && w != u);
+        self.tighten_lower(u, self.lower[w])?;
+        self.tighten_upper(u, self.upper[w])?;
+        self.removed[w] = true;
+        self.obj[u] += self.obj[w];
+        let touched = std::mem::take(&mut self.col_rows[w]);
+        for &ri in &touched {
+            let row = &mut self.rows[ri as usize];
+            if !row.alive {
+                continue;
+            }
+            let Some(pos_w) = row.terms.iter().position(|&(c, _)| c as usize == w) else {
+                continue;
+            };
+            let aw = row.terms[pos_w].1;
+            row.terms.remove(pos_w);
+            match row.terms.iter().position(|&(c, _)| c as usize == u) {
+                Some(pos_u) => {
+                    row.terms[pos_u].1 += aw;
+                    if row.terms[pos_u].1 == 0.0 {
+                        row.terms.remove(pos_u);
+                    }
+                }
+                None => {
+                    let at = row.terms.partition_point(|&(c, _)| (c as usize) < u);
+                    row.terms.insert(at, (u as u32, aw));
+                    self.col_rows[u].push(ri);
+                }
+            }
+        }
+        self.charge(touched.len() + 1);
+        self.actions.push(Action::Copy {
+            col: w as u32,
+            from: u as u32,
+        });
+        self.stats.cols_removed += 1;
+        self.changed = true;
+        Ok(())
+    }
+}
+
+/// One model reduction, applied repeatedly until the stack reaches a
+/// fixpoint. Implementations mutate the shared [`Workspace`] and report
+/// whether they changed anything.
+pub trait Reduction {
+    /// Diagnostic name of the reduction.
+    fn name(&self) -> &'static str;
+
+    /// Applies the reduction once over the whole workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Infeasible`] when the reduction proves the model has no
+    /// feasible solution.
+    fn apply(&mut self, ws: &mut Workspace) -> Result<bool, Infeasible>;
+}
+
+/// Singleton rows become variable bounds.
+struct SingletonRows;
+
+impl Reduction for SingletonRows {
+    fn name(&self) -> &'static str {
+        "singleton-rows"
+    }
+
+    fn apply(&mut self, ws: &mut Workspace) -> Result<bool, Infeasible> {
+        ws.changed = false;
+        for ri in 0..ws.rows.len() as u32 {
+            let row = &ws.rows[ri as usize];
+            if !row.alive || row.terms.len() != 1 {
+                continue;
+            }
+            let (j, a) = row.terms[0];
+            let j = j as usize;
+            if a.abs() < 1e-12 {
+                continue; // degenerate coefficient: leave to redundancy pass
+            }
+            let bound = row.rhs / a;
+            let sense = row.sense;
+            match sense {
+                RowSense::Le => {
+                    if a > 0.0 {
+                        ws.tighten_upper(j, bound)?;
+                    } else {
+                        ws.tighten_lower(j, bound)?;
+                    }
+                }
+                RowSense::Eq => {
+                    ws.tighten_upper(j, bound)?;
+                    ws.tighten_lower(j, bound)?;
+                }
+            }
+            ws.kill_row(ri);
+            ws.charge(1);
+        }
+        Ok(ws.changed)
+    }
+}
+
+/// Columns with collapsed bounds are substituted out.
+struct FixedColumns;
+
+impl Reduction for FixedColumns {
+    fn name(&self) -> &'static str {
+        "fixed-columns"
+    }
+
+    fn apply(&mut self, ws: &mut Workspace) -> Result<bool, Infeasible> {
+        ws.changed = false;
+        for j in 0..ws.num_cols() {
+            if !ws.removed[j] && ws.upper[j] - ws.lower[j] <= TOL {
+                let v = 0.5 * (ws.lower[j] + ws.upper[j]);
+                ws.fix_col(j, v)?;
+            }
+        }
+        Ok(ws.changed)
+    }
+}
+
+/// Redundant rows are dropped; forcing rows fix their variables.
+struct RedundantRows;
+
+impl Reduction for RedundantRows {
+    fn name(&self) -> &'static str {
+        "redundant-rows"
+    }
+
+    fn apply(&mut self, ws: &mut Workspace) -> Result<bool, Infeasible> {
+        ws.changed = false;
+        for ri in 0..ws.rows.len() as u32 {
+            let row = &ws.rows[ri as usize];
+            if !row.alive {
+                continue;
+            }
+            if row.terms.is_empty() {
+                match row.sense {
+                    RowSense::Le => {
+                        if row.rhs < -VIOL {
+                            return Err(Infeasible);
+                        }
+                        if row.rhs >= -TOL {
+                            ws.kill_row(ri);
+                        }
+                    }
+                    RowSense::Eq => {
+                        if row.rhs.abs() > VIOL {
+                            return Err(Infeasible);
+                        }
+                        ws.kill_row(ri);
+                    }
+                }
+                continue;
+            }
+            let (lo, hi) = ws.activity_bounds(row);
+            let rhs = row.rhs;
+            let sense = row.sense;
+            let nterms = row.terms.len();
+            ws.charge(nterms);
+            let force = |ws: &mut Workspace, ri: u32, at_min: bool| -> Result<(), Infeasible> {
+                let fixes: Vec<(usize, f64)> = ws.rows[ri as usize]
+                    .terms
+                    .iter()
+                    .map(|&(j, a)| {
+                        let j = j as usize;
+                        let v = if (a > 0.0) == at_min {
+                            ws.lower[j]
+                        } else {
+                            ws.upper[j]
+                        };
+                        (j, v)
+                    })
+                    .collect();
+                ws.kill_row(ri);
+                for (j, v) in fixes {
+                    ws.fix_col(j, v)?;
+                }
+                Ok(())
+            };
+            match sense {
+                RowSense::Le => {
+                    if lo > rhs + VIOL {
+                        return Err(Infeasible);
+                    }
+                    if hi <= rhs + TOL {
+                        ws.kill_row(ri); // never binding
+                    } else if lo >= rhs - TOL && lo.is_finite() {
+                        // Satisfiable only at minimum activity.
+                        force(ws, ri, true)?;
+                    }
+                }
+                RowSense::Eq => {
+                    if lo > rhs + VIOL || hi < rhs - VIOL {
+                        return Err(Infeasible);
+                    }
+                    if lo >= rhs - TOL && lo.is_finite() {
+                        force(ws, ri, true)?;
+                    } else if hi <= rhs + TOL && hi.is_finite() {
+                        force(ws, ri, false)?;
+                    }
+                }
+            }
+        }
+        Ok(ws.changed)
+    }
+}
+
+/// Hash of a sign-canonical sparse row pattern.
+fn pattern_hash<'a>(terms: impl Iterator<Item = &'a (u32, f64)>, flip: bool) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &(c, a) in terms {
+        let a = if flip { -a } else { a };
+        h ^= u64::from(c).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = h.wrapping_mul(0x100_0000_01b3);
+        h ^= a.to_bits();
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Whether row `a`'s canonical terms equal row `b`'s canonical terms.
+fn canon_terms_equal(ra: &Row, fa: bool, rb: &Row, fb: bool) -> bool {
+    ra.terms.len() == rb.terms.len()
+        && ra
+            .terms
+            .iter()
+            .zip(rb.terms.iter())
+            .all(|(&(ca, aa), &(cb, ab))| {
+                let aa = if fa { -aa } else { aa };
+                let ab = if fb { -ab } else { ab };
+                ca == cb && aa == ab
+            })
+}
+
+/// Duplicate rows merge; opposing duplicates become equalities.
+struct DuplicateRows;
+
+impl Reduction for DuplicateRows {
+    fn name(&self) -> &'static str {
+        "duplicate-rows"
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn apply(&mut self, ws: &mut Workspace) -> Result<bool, Infeasible> {
+        ws.changed = false;
+        // Canonical orientation: flip so the first coefficient is positive.
+        let canon_flip = |row: &Row| -> bool { row.terms.first().is_some_and(|&(_, a)| a < 0.0) };
+        let mut buckets: HashMap<u64, Vec<(u32, bool)>> = HashMap::new();
+        for ri in 0..ws.rows.len() as u32 {
+            if !ws.rows[ri as usize].alive || ws.rows[ri as usize].terms.is_empty() {
+                continue;
+            }
+            let flip_r = canon_flip(&ws.rows[ri as usize]);
+            let key = pattern_hash(ws.rows[ri as usize].terms.iter(), flip_r);
+            ws.charge(ws.rows[ri as usize].terms.len());
+            let bucket = buckets.entry(key).or_default();
+            let mut merged = false;
+            for &(pi, flip_p) in bucket.iter() {
+                let (prev, cur) = (&ws.rows[pi as usize], &ws.rows[ri as usize]);
+                if !prev.alive || !canon_terms_equal(prev, flip_p, cur, flip_r) {
+                    continue;
+                }
+                // Canonical-space view: Eq pins the canonical activity,
+                // an unflipped Le caps it above, a flipped Le caps below.
+                let canon_rhs = |row: &Row, flip: bool| if flip { -row.rhs } else { row.rhs };
+                let (crp, crr) = (canon_rhs(prev, flip_p), canon_rhs(cur, flip_r));
+                match (prev.sense, cur.sense) {
+                    (RowSense::Eq, RowSense::Eq) => {
+                        if (crp - crr).abs() > VIOL {
+                            return Err(Infeasible);
+                        }
+                        ws.kill_row(ri);
+                        merged = true;
+                    }
+                    (RowSense::Eq, RowSense::Le) | (RowSense::Le, RowSense::Eq) => {
+                        let (eq_rhs, le_rhs, le_flipped, le_row) = if prev.sense == RowSense::Eq {
+                            (crp, crr, flip_r, ri)
+                        } else {
+                            (crr, crp, flip_p, pi)
+                        };
+                        // A flipped Le bounds canonical activity from
+                        // below (its canonical rhs *is* that lower bound);
+                        // an unflipped one caps it from above.
+                        let ok = if le_flipped {
+                            eq_rhs >= le_rhs - VIOL
+                        } else {
+                            eq_rhs <= le_rhs + VIOL
+                        };
+                        if !ok {
+                            return Err(Infeasible);
+                        }
+                        ws.kill_row(le_row);
+                        if le_row == ri {
+                            merged = true;
+                        }
+                    }
+                    (RowSense::Le, RowSense::Le) => {
+                        if flip_p == flip_r {
+                            // Same orientation: tighter right-hand side wins.
+                            let tighter = ws.rows[pi as usize].rhs.min(ws.rows[ri as usize].rhs);
+                            if (tighter - ws.rows[pi as usize].rhs).abs() > 0.0 {
+                                ws.rows[pi as usize].rhs = tighter;
+                                ws.changed = true;
+                            }
+                            ws.kill_row(ri);
+                            merged = true;
+                        } else {
+                            // Opposing pair: lower ≤ canonical activity ≤ upper.
+                            let (upper, lower) = if flip_p {
+                                (crr, -ws.rows[pi as usize].rhs)
+                            } else {
+                                (crp, -ws.rows[ri as usize].rhs)
+                            };
+                            if lower > upper + VIOL {
+                                return Err(Infeasible);
+                            }
+                            if (upper - lower).abs() <= TOL {
+                                ws.rows[pi as usize].sense = RowSense::Eq;
+                                ws.kill_row(ri);
+                                merged = true;
+                                ws.changed = true;
+                            }
+                        }
+                    }
+                }
+                if merged {
+                    break;
+                }
+            }
+            if !merged && ws.rows[ri as usize].alive {
+                buckets.entry(key).or_default().push((ri, flip_r));
+            }
+        }
+        Ok(ws.changed)
+    }
+}
+
+/// Doubleton equalities `a·u − a·w = 0` prove `w ≡ u`: merge the columns.
+///
+/// This is what collapses the fanout-1 axon-sharing pairs of the mapping
+/// ILPs: `s ≤ x` and `x ≤ s` first fuse into `s − x = 0` (duplicate-row
+/// merging), then the `s` column dissolves into `x` here, taking the
+/// equality row with it.
+struct DoubletonEquations;
+
+impl Reduction for DoubletonEquations {
+    fn name(&self) -> &'static str {
+        "doubleton-equations"
+    }
+
+    fn apply(&mut self, ws: &mut Workspace) -> Result<bool, Infeasible> {
+        ws.changed = false;
+        for ri in 0..ws.rows.len() as u32 {
+            let row = &ws.rows[ri as usize];
+            if !row.alive || row.sense != RowSense::Eq || row.terms.len() != 2 || row.rhs != 0.0 {
+                continue;
+            }
+            let ((c1, a1), (c2, a2)) = (row.terms[0], row.terms[1]);
+            // Only the exact `w = u` shape (equal magnitude, opposite
+            // sign, same variable class) merges; anything else would need
+            // scaling or complement bookkeeping.
+            if a1 != -a2 || ws.ty[c1 as usize] != ws.ty[c2 as usize] {
+                continue;
+            }
+            ws.kill_row(ri);
+            ws.substitute_equal(c2 as usize, c1 as usize)?;
+        }
+        Ok(ws.changed)
+    }
+}
+
+/// Dominated columns are fixed at their cost-preferred bound.
+struct DominatedColumns;
+
+impl Reduction for DominatedColumns {
+    fn name(&self) -> &'static str {
+        "dominated-columns"
+    }
+
+    fn apply(&mut self, ws: &mut Workspace) -> Result<bool, Infeasible> {
+        ws.changed = false;
+        for j in 0..ws.num_cols() {
+            if ws.removed[j] {
+                continue;
+            }
+            // Orientation over the live rows: "consuming" columns only eat
+            // `≤` slack as they grow; "helping" columns only create it.
+            let mut consuming = true;
+            let mut helping = true;
+            for k in 0..ws.col_rows[j].len() {
+                let ri = ws.col_rows[j][k];
+                if !ws.rows[ri as usize].alive {
+                    continue;
+                }
+                let Some(a) = ws.coeff_of(ri, j as u32) else {
+                    continue;
+                };
+                ws.charge(1);
+                if ws.rows[ri as usize].sense == RowSense::Eq {
+                    consuming = false;
+                    helping = false;
+                    break;
+                }
+                if a > 0.0 {
+                    helping = false;
+                } else if a < 0.0 {
+                    consuming = false;
+                }
+                if !consuming && !helping {
+                    break;
+                }
+            }
+            let c = ws.obj[j];
+            if consuming && c >= 0.0 && ws.lower[j].is_finite() {
+                ws.fix_col(j, ws.lower[j])?;
+            } else if helping && c <= 0.0 && ws.upper[j].is_finite() {
+                ws.fix_col(j, ws.upper[j])?;
+            }
+        }
+        Ok(ws.changed)
+    }
+}
+
+/// Duplicate binary columns under a packing row: fix the costlier twin.
+struct DuplicateColumns;
+
+impl DuplicateColumns {
+    /// Live `(row, coeff)` pattern of column `j`, sorted by row.
+    fn pattern(ws: &Workspace, j: usize) -> Vec<(u32, f64)> {
+        let mut pat: Vec<(u32, f64)> = ws.col_rows[j]
+            .iter()
+            .filter(|&&ri| ws.rows[ri as usize].alive)
+            .filter_map(|&ri| ws.coeff_of(ri, j as u32).map(|a| (ri, a)))
+            .collect();
+        pat.sort_unstable_by_key(|&(ri, _)| ri);
+        pat.dedup_by_key(|&mut (ri, _)| ri);
+        pat
+    }
+
+    /// Whether some shared row caps `x_j + x_k ≤ 1`: a `≤`/`=` row with
+    /// right-hand side ≤ 1, both coefficients ≥ 1, and every other term's
+    /// contribution provably non-negative.
+    fn has_cap_row(ws: &Workspace, pat: &[(u32, f64)], j: u32, k: u32) -> bool {
+        pat.iter().any(|&(ri, a)| {
+            let row = &ws.rows[ri as usize];
+            if a < 1.0 - TOL || row.rhs > 1.0 + TOL {
+                return false;
+            }
+            row.terms.iter().all(|&(c, ac)| {
+                if c == j || c == k {
+                    ac >= 1.0 - TOL
+                } else {
+                    ac >= -TOL && ws.lower[c as usize] >= -TOL
+                }
+            })
+        })
+    }
+}
+
+impl Reduction for DuplicateColumns {
+    fn name(&self) -> &'static str {
+        "duplicate-columns"
+    }
+
+    fn apply(&mut self, ws: &mut Workspace) -> Result<bool, Infeasible> {
+        ws.changed = false;
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        for j in 0..ws.num_cols() {
+            if ws.removed[j] || ws.ty[j] != VarType::Binary {
+                continue;
+            }
+            let pat = Self::pattern(ws, j);
+            if pat.is_empty() {
+                continue;
+            }
+            ws.charge(pat.len());
+            let key = pattern_hash(pat.iter(), false);
+            let bucket = buckets.entry(key).or_default();
+            let mut fixed_self = false;
+            for &k in bucket.iter() {
+                if ws.removed[k] {
+                    continue;
+                }
+                let pk = Self::pattern(ws, k);
+                if pk != pat || !Self::has_cap_row(ws, &pat, j as u32, k as u32) {
+                    continue;
+                }
+                // At most one of the twins can be 1; drop the costlier
+                // (ties keep the earlier column).
+                if ws.obj[k] <= ws.obj[j] {
+                    ws.fix_col(j, 0.0)?;
+                    fixed_self = true;
+                } else {
+                    ws.fix_col(k, 0.0)?;
+                }
+                break;
+            }
+            if !fixed_self {
+                buckets.entry(key).or_default().push(j);
+            }
+        }
+        Ok(ws.changed)
+    }
+}
+
+/// Coefficient tightening and implied fixing on all-binary `≤` rows.
+struct CoefficientTightening;
+
+impl Reduction for CoefficientTightening {
+    fn name(&self) -> &'static str {
+        "coefficient-tightening"
+    }
+
+    fn apply(&mut self, ws: &mut Workspace) -> Result<bool, Infeasible> {
+        ws.changed = false;
+        for ri in 0..ws.rows.len() {
+            let row = &ws.rows[ri];
+            if !row.alive || row.sense != RowSense::Le || row.terms.is_empty() {
+                continue;
+            }
+            let all_binary = row.terms.iter().all(|&(j, _)| {
+                let j = j as usize;
+                ws.ty[j] == VarType::Binary && !ws.removed[j]
+            });
+            if !all_binary {
+                continue;
+            }
+            let (lo, hi) = ws.activity_bounds(row);
+            let rhs = row.rhs;
+            if hi <= rhs + TOL {
+                ws.charge(ws.rows[ri].terms.len());
+                continue; // redundant: the row pass removes it
+            }
+            // Implied fixing: a term whose forced side overshoots the
+            // right-hand side even at minimum activity elsewhere.
+            let mut fixes: Vec<(usize, f64)> = Vec::new();
+            for &(j, a) in &row.terms {
+                if a > 0.0 && lo + a > rhs + VIOL {
+                    fixes.push((j as usize, 0.0)); // x_j = 1 impossible
+                } else if a < 0.0 && lo - a > rhs + VIOL {
+                    fixes.push((j as usize, 1.0)); // x_j = 0 impossible
+                }
+            }
+            ws.charge(ws.rows[ri].terms.len());
+            if !fixes.is_empty() {
+                for (j, v) in fixes {
+                    ws.fix_col(j, v)?;
+                }
+                continue; // row changed: revisit next round
+            }
+            // Classic tightening: a' = maxact − rhs, rhs' = maxact − a
+            // preserves the 0/1 solution set exactly (both cases of x_j
+            // reduce to the same residual constraint) while shrinking the
+            // LP-feasible region.
+            let row = &mut ws.rows[ri];
+            let mut hi = hi;
+            for t in 0..row.terms.len() {
+                let (_, a) = row.terms[t];
+                if a > 0.0 && hi > row.rhs + TOL && hi - a < row.rhs - TOL {
+                    let a_new = hi - row.rhs;
+                    let rhs_new = hi - a;
+                    row.terms[t].1 = a_new;
+                    row.rhs = rhs_new;
+                    hi += a_new - a;
+                    ws.stats.coeffs_tightened += 1;
+                    ws.changed = true;
+                }
+            }
+        }
+        Ok(ws.changed)
+    }
+}
+
+/// Counts set-packing cliques into per-column membership counts.
+struct CliqueExtraction;
+
+impl Reduction for CliqueExtraction {
+    fn name(&self) -> &'static str {
+        "clique-extraction"
+    }
+
+    fn apply(&mut self, ws: &mut Workspace) -> Result<bool, Infeasible> {
+        ws.stats.cliques = 0;
+        for count in &mut ws.clique_count {
+            *count = 0;
+        }
+        for row in &ws.rows {
+            if !row.alive || row.terms.len() < 2 || row.rhs > 1.0 + TOL {
+                continue;
+            }
+            let clique = row.terms.iter().all(|&(j, a)| {
+                ws.ty[j as usize] == VarType::Binary && !ws.removed[j as usize] && a >= 1.0 - TOL
+            });
+            if !clique {
+                continue;
+            }
+            ws.stats.cliques += 1;
+            for &(j, _) in &row.terms {
+                ws.clique_count[j as usize] += 1;
+            }
+        }
+        ws.stats.work_ticks += ws.rows.len() as u64;
+        Ok(false) // analysis only: never re-triggers the fixpoint
+    }
+}
+
+/// Runs the configured reduction stack to a fixpoint and builds the
+/// reduced model.
+#[must_use]
+pub fn presolve(model: &Model, config: &PresolveConfig) -> PresolveOutcome {
+    let mut ws = Workspace::new(model);
+    if !config.enabled {
+        let stats = PresolveStats {
+            nnz_after: ws.stats.nnz_before,
+            ..ws.stats
+        };
+        ws.stats = stats;
+        return PresolveOutcome::Reduced(build_reduced(model, ws, config));
+    }
+    let mut stack: Vec<Box<dyn Reduction>> = vec![
+        Box::new(SingletonRows),
+        Box::new(FixedColumns),
+        Box::new(RedundantRows),
+    ];
+    if config.duplicate_rows {
+        stack.push(Box::new(DuplicateRows));
+    }
+    if config.substitute_doubletons {
+        stack.push(Box::new(DoubletonEquations));
+    }
+    if config.dominated_columns {
+        stack.push(Box::new(DominatedColumns));
+    }
+    if config.duplicate_columns {
+        stack.push(Box::new(DuplicateColumns));
+    }
+    if config.coefficient_tightening {
+        stack.push(Box::new(CoefficientTightening));
+    }
+    for _ in 0..config.max_rounds {
+        let mut any = false;
+        for reduction in &mut stack {
+            match reduction.apply(&mut ws) {
+                Ok(changed) => any |= changed,
+                Err(Infeasible) => {
+                    finish_stats(&mut ws);
+                    return PresolveOutcome::Infeasible(ws.stats);
+                }
+            }
+        }
+        ws.stats.rounds += 1;
+        if !any {
+            break;
+        }
+    }
+    if config.clique_priorities {
+        // Analysis pass: never fails, never re-triggers the fixpoint.
+        let _ = CliqueExtraction.apply(&mut ws);
+    }
+    finish_stats(&mut ws);
+    PresolveOutcome::Reduced(build_reduced(model, ws, config))
+}
+
+fn finish_stats(ws: &mut Workspace) {
+    ws.stats.nnz_after = ws
+        .rows
+        .iter()
+        .filter(|r| r.alive)
+        .map(|r| r.terms.len())
+        .sum();
+}
+
+/// Materialises the reduced [`Model`] and the [`Postsolve`] stack.
+fn build_reduced(model: &Model, ws: Workspace, config: &PresolveConfig) -> PresolvedModel {
+    let n = ws.num_cols();
+    let mut kept: Vec<u32> = Vec::with_capacity(n);
+    let mut col_map: Vec<u32> = vec![u32::MAX; n];
+    let mut reduced = Model::new();
+    for j in 0..n {
+        if ws.removed[j] {
+            continue;
+        }
+        col_map[j] = kept.len() as u32;
+        kept.push(j as u32);
+        let name = model.variables()[j].name.clone();
+        match ws.ty[j] {
+            VarType::Binary => {
+                let id = reduced.add_binary(name);
+                // Carry surviving bound tightenings (a collapsed pair the
+                // fixpoint did not get to substitute, or a caller's
+                // fix_binary passing through with presolve disabled) —
+                // add_binary alone would silently widen back to [0, 1].
+                if ws.lower[j] > 0.0 || ws.upper[j] < 1.0 {
+                    reduced.set_bounds(id, ws.lower[j], ws.upper[j]);
+                }
+            }
+            VarType::Continuous => {
+                let _ = reduced.add_continuous(name, ws.lower[j], ws.upper[j]);
+            }
+        }
+    }
+    for row in ws.rows.iter().filter(|r| r.alive) {
+        let terms = row
+            .terms
+            .iter()
+            .map(|&(j, a)| (VarId(col_map[j as usize]), a));
+        let expr = reduced.expr(terms);
+        let cmp = match row.sense {
+            RowSense::Le => expr.leq(row.rhs),
+            RowSense::Eq => expr.eq(row.rhs),
+        };
+        reduced.add_constraint(row.name.clone(), cmp);
+    }
+    let mut obj = reduced.expr(
+        kept.iter()
+            .enumerate()
+            .map(|(new_j, &old_j)| (VarId(new_j as u32), ws.obj[old_j as usize]))
+            .filter(|&(_, c)| c != 0.0),
+    );
+    obj.add_constant(ws.obj_offset);
+    reduced.set_objective(obj);
+    // Branching priorities carry over; clique membership refines the order
+    // *within* each priority class (the multiplier keeps classes intact).
+    let priorities = model.branch_priorities();
+    let use_cliques = config.clique_priorities && ws.stats.cliques > 0;
+    for (new_j, &old_j) in kept.iter().enumerate() {
+        let base = priorities[old_j as usize];
+        let p = if use_cliques {
+            base.saturating_mul(1024)
+                .saturating_add(ws.clique_count[old_j as usize].min(1023) as i32)
+        } else {
+            base
+        };
+        if p != 0 {
+            reduced.set_branch_priority(VarId(new_j as u32), p);
+        }
+    }
+    PresolvedModel {
+        model: reduced,
+        postsolve: Postsolve {
+            n_original: n,
+            kept,
+            actions: ws.actions,
+        },
+        stats: ws.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+
+    fn reduced(model: &Model) -> PresolvedModel {
+        match presolve(model, &PresolveConfig::default()) {
+            PresolveOutcome::Reduced(p) => p,
+            PresolveOutcome::Infeasible(_) => panic!("unexpected infeasibility"),
+        }
+    }
+
+    #[test]
+    fn singleton_row_tightens_and_disappears() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint("cap", m.expr([(x, 2.0)]).leq(6.0));
+        m.add_constraint("mix", m.expr([(x, 1.0), (y, 1.0)]).leq(8.0));
+        // Negative costs keep both columns alive (neither dominated).
+        m.set_objective(m.expr([(x, -1.0), (y, -1.0)]));
+        let p = reduced(&m);
+        assert_eq!(p.model.num_constraints(), 1);
+        let xv = p
+            .model
+            .variables()
+            .iter()
+            .find(|v| v.name == "x")
+            .expect("x kept");
+        assert!((xv.upper - 3.0).abs() < 1e-12);
+        assert!(p.stats.rows_removed >= 1);
+    }
+
+    #[test]
+    fn fixed_binary_substituted_out() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.fix_binary(x, true);
+        m.add_constraint("c", m.expr([(x, 2.0), (y, 1.0)]).leq(2.5));
+        m.set_objective(m.expr([(x, 3.0), (y, 1.0)]));
+        let p = reduced(&m);
+        // x = 1 substitutes to y ≤ 0.5 → y fixed 0 → everything folds away.
+        assert_eq!(p.postsolve.num_reduced_vars(), 0);
+        let restored = p.postsolve.restore(&[]);
+        assert_eq!(restored, vec![1.0, 0.0]);
+        assert!(m.is_feasible(&restored, 1e-9));
+    }
+
+    #[test]
+    fn duplicate_rows_merge_to_tighter_rhs() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint("a", m.expr([(x, 1.0), (y, 2.0)]).leq(9.0));
+        m.add_constraint("b", m.expr([(x, 1.0), (y, 2.0)]).leq(5.0));
+        m.add_constraint("keep", m.expr([(x, 1.0), (y, 1.0)]).geq(1.0));
+        m.set_objective(m.expr([(x, 1.0), (y, 1.0)]));
+        let p = reduced(&m);
+        assert_eq!(p.model.num_constraints(), 2);
+        let merged = p
+            .model
+            .constraints()
+            .iter()
+            .find(|c| c.name == "a")
+            .expect("first duplicate kept");
+        assert!((merged.rhs - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposing_duplicates_become_equality() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint("up", m.expr([(x, 1.0), (y, 1.0)]).leq(4.0));
+        m.add_constraint("dn", m.expr([(x, 1.0), (y, 1.0)]).geq(4.0));
+        m.set_objective(m.expr([(x, 1.0)]));
+        let p = reduced(&m);
+        assert_eq!(p.model.num_constraints(), 1);
+        assert_eq!(
+            p.model.constraints()[0].sense,
+            crate::ConstraintSense::Eq,
+            "opposing ≤/≥ pair must fuse into an equality"
+        );
+    }
+
+    #[test]
+    fn equality_contradicting_flipped_le_is_infeasible() {
+        // x + y = 2 with x + y ≥ 3 (a flipped-≤ duplicate of the same
+        // pattern): the equality violates the lower bound → infeasible.
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint("eq", m.expr([(x, 1.0), (y, 1.0)]).eq(2.0));
+        m.add_constraint("lb", m.expr([(x, 1.0), (y, 1.0)]).geq(3.0));
+        m.set_objective(m.expr([(x, 1.0)]));
+        assert!(matches!(
+            presolve(&m, &PresolveConfig::default()),
+            PresolveOutcome::Infeasible(_)
+        ));
+        // The mirror case is implied, not contradictory: the ≥ −3 row is
+        // absorbed and the model stays feasible.
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint("eq", m.expr([(x, 1.0), (y, 1.0)]).eq(2.0));
+        m.add_constraint("lb", m.expr([(x, 1.0), (y, 1.0)]).geq(-3.0));
+        m.set_objective(m.expr([(x, 1.0)]));
+        let p = reduced(&m);
+        assert_eq!(p.model.num_constraints(), 1);
+        assert_eq!(p.model.constraints()[0].sense, crate::ConstraintSense::Eq);
+    }
+
+    #[test]
+    fn surviving_binary_bounds_carry_into_reduced_model() {
+        // With presolve disabled no reduction substitutes the fixing, so
+        // the bound itself must survive into the rebuilt model.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.fix_binary(x, true);
+        m.add_constraint("c", m.expr([(x, 1.0), (y, 1.0)]).leq(2.0));
+        m.set_objective(m.expr([(x, 1.0), (y, 1.0)]));
+        let p = match presolve(&m, &PresolveConfig::off()) {
+            PresolveOutcome::Reduced(p) => p,
+            PresolveOutcome::Infeasible(_) => panic!("feasible model"),
+        };
+        assert_eq!(p.postsolve.num_reduced_vars(), 2);
+        let xv = &p.model.variables()[x.index()];
+        assert_eq!((xv.lower, xv.upper), (1.0, 1.0));
+        assert!(
+            !p.model.is_feasible(&[0.0, 0.0], 1e-9),
+            "x=0 violates fixing"
+        );
+        assert!(p.model.is_feasible(&[1.0, 0.0], 1e-9));
+    }
+
+    #[test]
+    fn contradictory_duplicates_are_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint("a", m.expr([(x, 1.0), (y, 1.0)]).eq(2.0));
+        m.add_constraint("b", m.expr([(x, 1.0), (y, 1.0)]).eq(5.0));
+        m.set_objective(m.expr([(x, 1.0)]));
+        assert!(matches!(
+            presolve(&m, &PresolveConfig::default()),
+            PresolveOutcome::Infeasible(_)
+        ));
+    }
+
+    #[test]
+    fn crossed_singletons_are_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.add_constraint("ge", m.expr([(x, 1.0)]).geq(1.0));
+        m.add_constraint("le", m.expr([(x, 1.0)]).leq(0.0));
+        m.set_objective(m.expr([(x, 1.0)]));
+        assert!(matches!(
+            presolve(&m, &PresolveConfig::default()),
+            PresolveOutcome::Infeasible(_)
+        ));
+    }
+
+    #[test]
+    fn dominated_column_fixed_at_preferred_bound() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        // x only consumes knapsack slack and costs ≥ 0: at least one
+        // optimum has x = 0.
+        m.add_constraint("cap", m.expr([(x, 1.0), (y, 1.0)]).leq(1.0));
+        m.set_objective(m.expr([(x, 2.0), (y, -1.0)]));
+        let p = reduced(&m);
+        let restored = p
+            .postsolve
+            .restore(&vec![1.0; p.postsolve.num_reduced_vars()][..]);
+        assert_eq!(restored[x.index()], 0.0);
+        // y helps nothing but costs −1 and only consumes: stays free (its
+        // coefficient is positive) — or is fixed to 1? It consumes with
+        // c < 0, so neither rule applies and it must survive.
+        assert!(p.postsolve.num_reduced_vars() >= 1 || restored[y.index()] == 1.0);
+    }
+
+    #[test]
+    fn forcing_row_fixes_all_members() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        // x + y ≥ 2 forces both to 1.
+        m.add_constraint("force", m.expr([(x, 1.0), (y, 1.0)]).geq(2.0));
+        m.set_objective(m.expr([(x, 1.0), (y, 1.0)]));
+        let p = reduced(&m);
+        assert_eq!(p.postsolve.num_reduced_vars(), 0);
+        assert_eq!(p.postsolve.restore(&[]), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn coefficient_tightening_shrinks_oversized_terms() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        // 5x + y ≤ 5: x = 1 forces y = 0; tightening yields x + ... with
+        // the same 0/1 solutions but a tighter LP. Duplicate-column
+        // merging is off here: it would (validly) fix one of the twins
+        // the tightening creates, which this test is not about.
+        m.add_constraint("k", m.expr([(x, 5.0), (y, 1.0)]).leq(5.0));
+        m.set_objective(m.expr([(x, -1.0), (y, -1.0)]));
+        let cfg = PresolveConfig {
+            duplicate_columns: false,
+            ..PresolveConfig::default()
+        };
+        let p = match presolve(&m, &cfg) {
+            PresolveOutcome::Reduced(p) => p,
+            PresolveOutcome::Infeasible(_) => panic!("feasible model"),
+        };
+        assert!(p.stats.coeffs_tightened >= 1, "stats: {:?}", p.stats);
+        // The 0/1 solution set must be preserved.
+        for (xv, yv) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            let original_ok = m.is_feasible(&[xv, yv], 1e-9);
+            let projected = p.postsolve.project(&[xv, yv]);
+            let reduced_ok = p.model.is_feasible(&projected, 1e-9);
+            assert_eq!(original_ok, reduced_ok, "({xv}, {yv})");
+        }
+    }
+
+    #[test]
+    fn duplicate_binary_columns_under_packing_row() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary("z");
+        // x and y have identical columns and share the packing row; the
+        // costlier y is fixed to 0.
+        m.add_constraint("pack", m.expr([(x, 1.0), (y, 1.0), (z, 1.0)]).leq(1.0));
+        m.add_constraint("cap", m.expr([(x, 2.0), (y, 2.0), (z, 1.0)]).leq(4.0));
+        m.set_objective(m.expr([(x, 1.0), (y, 3.0), (z, -5.0)]));
+        let p = reduced(&m);
+        let restored = p
+            .postsolve
+            .restore(&vec![0.0; p.postsolve.num_reduced_vars()][..]);
+        assert_eq!(restored[y.index()], 0.0, "costlier duplicate fixed to 0");
+    }
+
+    #[test]
+    fn clique_extraction_counts_packing_rows() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..4).map(|i| m.add_binary(format!("x{i}"))).collect();
+        m.add_constraint(
+            "c1",
+            m.expr([(vars[0], 1.0), (vars[1], 1.0), (vars[2], 1.0)])
+                .eq(1.0),
+        );
+        m.add_constraint("c2", m.expr([(vars[2], 1.0), (vars[3], 1.0)]).leq(1.0));
+        // Binding knapsack with distinct coefficients keeps the columns
+        // distinguishable (no duplicate-column fixing); negative costs
+        // keep them undominated.
+        m.add_constraint(
+            "c3",
+            m.expr(vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + i as f64)))
+                .leq(4.0),
+        );
+        m.set_objective(m.expr(vars.iter().map(|&v| (v, -1.0))));
+        let p = reduced(&m);
+        assert_eq!(p.stats.cliques, 2, "stats: {:?}", p.stats);
+    }
+
+    #[test]
+    fn postsolve_roundtrips_reduced_solutions() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary("z");
+        m.fix_binary(x, true);
+        m.add_constraint("cover", m.expr([(x, 1.0), (y, 1.0), (z, 1.0)]).geq(2.0));
+        m.set_objective(m.expr([(y, 1.0), (z, 2.0)]));
+        let p = reduced(&m);
+        // Any reduced-feasible point must restore to an original-feasible one.
+        let nr = p.postsolve.num_reduced_vars();
+        for mask in 0..(1u32 << nr) {
+            let reduced_point: Vec<f64> = (0..nr).map(|j| f64::from((mask >> j) & 1)).collect();
+            if p.model.is_feasible(&reduced_point, 1e-9) {
+                let restored = p.postsolve.restore(&reduced_point);
+                assert!(m.is_feasible(&restored, 1e-9), "mask {mask}");
+                assert!(
+                    (m.objective_value(&restored) - p.model.objective_value(&reduced_point)).abs()
+                        < 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_presolve_is_identity() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.fix_binary(x, true);
+        m.set_objective(m.expr([(x, 1.0)]));
+        let p = match presolve(&m, &PresolveConfig::off()) {
+            PresolveOutcome::Reduced(p) => p,
+            PresolveOutcome::Infeasible(_) => panic!("must not run reductions"),
+        };
+        assert_eq!(p.postsolve.num_reduced_vars(), 1);
+        assert_eq!(p.stats.cols_removed, 0);
+    }
+
+    #[test]
+    fn stats_track_nonzeros() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.fix_binary(x, false);
+        m.add_constraint("c", m.expr([(x, 1.0), (y, 1.0)]).leq(1.0));
+        m.set_objective(m.expr([(x, 1.0), (y, -1.0)]));
+        let p = reduced(&m);
+        assert_eq!(p.stats.nnz_before, 2);
+        assert!(p.stats.nnz_after < p.stats.nnz_before);
+        assert_eq!(
+            p.stats.nnz_removed(),
+            p.stats.nnz_before - p.stats.nnz_after
+        );
+    }
+}

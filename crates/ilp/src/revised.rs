@@ -68,6 +68,28 @@ const DEVEX_RESET: f64 = 1e8;
 /// Remaining-slope floor for accepting another bound flip in the dual
 /// ratio test.
 const FLIP_SLOPE_TOL: f64 = 1e-9;
+/// Relative scale of the anti-degeneracy cost perturbation applied on
+/// cold starts (see [`Engine::apply_perturbation`]). Large enough to
+/// break exact reduced-cost ties in the dual ratio test, small enough
+/// that the perturbed optimum is (in practice) also an optimum of the
+/// true costs — which [`Engine::strip_perturbation`] verifies exactly
+/// before any result is reported.
+const PERTURB_SCALE: f64 = 1e-7;
+
+/// SplitMix64: cheap, high-quality deterministic hash for the per-column
+/// perturbation stream.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic uniform in `[0, 1)` for column `j` under `seed`.
+fn perturb_unit(seed: u64, j: usize) -> f64 {
+    let h = splitmix64(seed ^ (j as u64).wrapping_mul(0xd6e8_feb8_6659_fd93));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
 
 /// Outcome of one dual-simplex run.
 enum RunStatus {
@@ -97,6 +119,11 @@ struct Engine {
     /// Non-zero entries in the structural cost (for objective-change
     /// detection on the hot path).
     cost_nnz: usize,
+    /// The unperturbed structural costs while an anti-degeneracy cost
+    /// perturbation is active; `None` once stripped (or never applied).
+    /// Restoring from this copy (rather than subtracting the perturbation)
+    /// keeps the true costs bit-exact.
+    base_cost: Option<Vec<f64>>,
     rhs: Vec<f64>,
     status: Vec<VarStatus>,
     /// Basic column per row.
@@ -201,6 +228,7 @@ impl Engine {
             upper,
             cost,
             cost_nnz,
+            base_cost: None,
             rhs,
             status: vec![VarStatus::AtLower; n_total],
             basis: vec![0; m],
@@ -329,6 +357,37 @@ impl Engine {
         }
         self.age += 1;
         flips_ok
+    }
+
+    /// Applies the anti-degeneracy cost perturbation: every structural
+    /// cost gains a tiny positive, seed-derived amount, breaking the
+    /// reduced-cost ties that make set-partitioning cold solves stall on
+    /// degenerate dual pivots (and bail out to the dense tableau). The
+    /// original costs are kept aside for an exact restore.
+    fn apply_perturbation(&mut self, seed: u64) {
+        if self.base_cost.is_some() {
+            return;
+        }
+        self.base_cost = Some(self.cost.clone());
+        for j in 0..self.n {
+            let eps = PERTURB_SCALE * (1.0 + self.cost[j].abs()) * (0.5 + perturb_unit(seed, j));
+            self.cost[j] += eps;
+        }
+        self.work += self.n as u64;
+    }
+
+    /// Removes an active cost perturbation and re-verifies the basis
+    /// against the true costs. Returns `false` when the perturbed-optimal
+    /// basis is dual infeasible for the true objective — the caller must
+    /// then restart unperturbed; `true` means the current basis is exactly
+    /// optimal for the unperturbed problem (primal feasibility is
+    /// untouched by cost changes).
+    fn strip_perturbation(&mut self) -> bool {
+        let Some(base) = self.base_cost.take() else {
+            return true;
+        };
+        self.cost = base;
+        self.reprice()
     }
 
     /// All-slack dual-feasible start. Returns `false` when no dual-feasible
@@ -889,21 +948,43 @@ impl LpContext {
             carried_work = engine.work;
         }
 
-        // Cold path: all-slack dual-feasible start.
-        let mut engine = Engine::new(model, bounds, config);
-        engine.work += carried_work;
-        if !engine.cold_start() {
-            self.engine = None;
-            return Err(engine.work);
-        }
-        match run(&mut engine, model, config) {
-            Some(ok) => {
-                self.keep_if_optimal(engine, ok.0.status);
-                Ok(ok)
+        // Cold path: all-slack dual-feasible start, with the
+        // anti-degeneracy cost perturbation on the first attempt. If the
+        // perturbed run fails (numerical trouble, or the perturbation
+        // cannot be stripped exactly), one unperturbed retry runs before
+        // the dense fallback, carrying the spent work.
+        let mut perturb = config.perturb;
+        loop {
+            let mut engine = Engine::new(model, bounds, config);
+            engine.work += carried_work;
+            if perturb {
+                engine.apply_perturbation(config.perturb_seed);
             }
-            None => {
+            if !engine.cold_start() {
+                // Perturbed costs can flip a free column's preferred bound
+                // onto an infinite side; the unperturbed retry decides.
+                carried_work = engine.work;
+                if perturb {
+                    perturb = false;
+                    continue;
+                }
                 self.engine = None;
-                Err(engine.work)
+                return Err(carried_work);
+            }
+            match run(&mut engine, model, config) {
+                Some(ok) => {
+                    self.keep_if_optimal(engine, ok.0.status);
+                    return Ok(ok);
+                }
+                None => {
+                    carried_work = engine.work;
+                    if perturb {
+                        perturb = false;
+                        continue;
+                    }
+                    self.engine = None;
+                    return Err(carried_work);
+                }
             }
         }
     }
@@ -933,6 +1014,13 @@ pub(crate) fn solve(
 fn run(engine: &mut Engine, model: &Model, config: &LpConfig) -> Option<(LpResult, Option<Basis>)> {
     match engine.dual_simplex(config.max_iterations) {
         RunStatus::Optimal => {
+            // An active cost perturbation must come off before anything is
+            // reported: restoring the true costs and repricing proves the
+            // basis optimal for the *unperturbed* objective. Failure sends
+            // the caller back for an unperturbed restart.
+            if !engine.strip_perturbation() {
+                return None;
+            }
             let values = engine.extract_values();
             if !engine.verify(model, &values) {
                 return None;
@@ -944,6 +1032,7 @@ fn run(engine: &mut Engine, model: &Model, config: &LpConfig) -> Option<(LpResul
                 values,
                 iterations: engine.iterations,
                 work_ticks: engine.work,
+                dense_fallback: false,
             };
             let basis = engine.snapshot();
             Some((result, Some(basis)))
@@ -955,6 +1044,7 @@ fn run(engine: &mut Engine, model: &Model, config: &LpConfig) -> Option<(LpResul
                 values: Vec::new(),
                 iterations: engine.iterations,
                 work_ticks: engine.work,
+                dense_fallback: false,
             },
             None,
         )),
@@ -968,6 +1058,7 @@ fn run(engine: &mut Engine, model: &Model, config: &LpConfig) -> Option<(LpResul
                     values,
                     iterations: engine.iterations,
                     work_ticks: engine.work,
+                    dense_fallback: false,
                 },
                 None,
             ))

@@ -63,6 +63,11 @@ pub struct LpResult {
     pub iterations: u64,
     /// Deterministic work performed, in ticks.
     pub work_ticks: u64,
+    /// `true` when the dense two-phase tableau produced this result —
+    /// either because the revised engine declined the solve (the costly
+    /// fallback the degeneracy work targets) or because the caller forced
+    /// [`LpEngine::DenseTableau`].
+    pub dense_fallback: bool,
 }
 
 /// Which LP engine handles a solve.
@@ -113,6 +118,17 @@ pub struct LpConfig {
     pub eta_fill_factor: f64,
     /// Enables the bound-flipping (long-step) dual ratio test.
     pub bound_flips: bool,
+    /// Anti-degeneracy cost perturbation on *cold* revised-simplex starts:
+    /// a tiny deterministic, seed-derived amount is added to every
+    /// structural cost before the dual simplex runs, breaking the massive
+    /// reduced-cost ties of set-partitioning models. The perturbation is
+    /// removed (and the basis re-verified dual feasible) before any result
+    /// is reported, so objectives stay exact; if removal fails the engine
+    /// silently retries the cold solve unperturbed.
+    pub perturb: bool,
+    /// Seed the perturbation amounts derive from (the solver forwards its
+    /// own seed, keeping whole solves reproducible).
+    pub perturb_seed: u64,
 }
 
 impl Default for LpConfig {
@@ -124,6 +140,8 @@ impl Default for LpConfig {
             refactor_interval: 64,
             eta_fill_factor: 3.0,
             bound_flips: true,
+            perturb: true,
+            perturb_seed: 0,
         }
     }
 }
@@ -528,6 +546,7 @@ pub(crate) fn solve_relaxation_in(
                     values: Vec::new(),
                     iterations: 0,
                     work_ticks: 1,
+                    dense_fallback: false,
                 },
                 basis: None,
             };
@@ -566,6 +585,7 @@ fn solve_relaxation_dense(model: &Model, bounds: &[(f64, f64)], config: &LpConfi
                 values: Vec::new(),
                 iterations: 0,
                 work_ticks: 1,
+                dense_fallback: false,
             };
         }
     }
@@ -589,6 +609,7 @@ fn solve_relaxation_dense(model: &Model, bounds: &[(f64, f64)], config: &LpConfi
                     values: Vec::new(),
                     iterations: 0,
                     work_ticks: 1,
+                    dense_fallback: false,
                 };
             };
         }
@@ -599,6 +620,7 @@ fn solve_relaxation_dense(model: &Model, bounds: &[(f64, f64)], config: &LpConfi
             values,
             iterations: 0,
             work_ticks: n as u64,
+            dense_fallback: false,
         };
     }
 
@@ -844,6 +866,7 @@ fn finish(model: &Model, tab: &Tableau, status: LpStatus) -> LpResult {
         values,
         iterations: tab.iterations,
         work_ticks: tab.work_ticks,
+        dense_fallback: true,
     }
 }
 

@@ -5,6 +5,7 @@ use crate::clock::DeterministicClock;
 use crate::clock::TICKS_PER_SECOND;
 use crate::expr::VarId;
 use crate::model::{Model, VarType};
+use crate::presolve::{presolve, PresolveConfig, PresolveOutcome, PresolveStats};
 use crate::simplex::{LpConfig, LpEngine, LpSolver, LpStatus, PricingRule, WarmLpResult};
 use crate::solution::{IncumbentEvent, Solution};
 use rand::rngs::SmallRng;
@@ -55,6 +56,10 @@ pub struct SolverConfig {
     /// simplex reoptimisation). Disable to force cold solves everywhere —
     /// useful only for benchmarking the warm-start win itself.
     pub warm_lp: bool,
+    /// Presolve configuration: the model is reduced once at the root
+    /// (rows, columns and nonzeros removed; see [`crate::presolve`]) and
+    /// every incumbent/bound is mapped back through the postsolve stack.
+    pub presolve: PresolveConfig,
 }
 
 impl Default for SolverConfig {
@@ -69,6 +74,7 @@ impl Default for SolverConfig {
             branch_rule: BranchRule::MostFractional,
             lp: LpConfig::default(),
             warm_lp: true,
+            presolve: PresolveConfig::default(),
         }
     }
 }
@@ -118,6 +124,13 @@ impl SolverConfig {
         self.lp.refactor_interval = interval;
         self
     }
+
+    /// Returns a copy with the given presolve configuration.
+    #[must_use]
+    pub fn with_presolve(mut self, presolve: PresolveConfig) -> Self {
+        self.presolve = presolve;
+        self
+    }
 }
 
 /// Final status of a solve.
@@ -148,6 +161,11 @@ pub struct SolveResult {
     pub nodes: u64,
     /// Every improving solution in discovery order with timestamps.
     pub incumbents: Vec<IncumbentEvent>,
+    /// What root presolve achieved (all zeros when disabled).
+    pub presolve: PresolveStats,
+    /// LP relaxations that fell back to the dense two-phase tableau
+    /// (zero on healthy runs; the degeneracy-handling regression signal).
+    pub lp_fallbacks: u64,
 }
 
 impl SolveResult {
@@ -242,6 +260,8 @@ struct Search<'a> {
     /// Non-zero count of the constraint matrix (for pivot cost estimates).
     nnz: usize,
     nodes: u64,
+    /// LP solves served by the dense-tableau fallback.
+    lp_fallbacks: u64,
 }
 
 impl<'a> Search<'a> {
@@ -265,6 +285,7 @@ impl<'a> Search<'a> {
             lp: LpSolver::new(),
             nnz: model.csc().nnz(),
             nodes: 0,
+            lp_fallbacks: 0,
         }
     }
 
@@ -275,6 +296,9 @@ impl<'a> Search<'a> {
         let warm = if self.cfg.warm_lp { warm } else { None };
         let out = self.lp.solve(self.model, bounds, &config, warm);
         self.clock.charge(out.result.work_ticks);
+        if out.result.dense_fallback {
+            self.lp_fallbacks += 1;
+        }
         out
     }
 
@@ -319,6 +343,9 @@ impl<'a> Search<'a> {
         let iters = (remaining / per_pivot.max(1e-12)) as u64;
         LpConfig {
             max_iterations: iters.clamp(64, self.cfg.lp.max_iterations),
+            // The cold-start anti-degeneracy perturbation derives from the
+            // solver seed so whole solves stay reproducible.
+            perturb_seed: self.cfg.seed,
             ..self.cfg.lp
         }
     }
@@ -729,6 +756,13 @@ impl Solver {
 
     /// Solves, invoking `callback` for every improving incumbent as it is
     /// discovered (the paper's "intermediate solutions" stream).
+    ///
+    /// With presolve enabled (the default), the model is reduced once
+    /// here, the whole search runs on the reduced model, and every
+    /// incumbent — including those delivered through `callback` — is
+    /// mapped back to the original variable space via the recorded
+    /// postsolve stack. Objectives and bounds need no translation: the
+    /// reduced objective carries the substituted constant offset.
     #[must_use]
     pub fn solve_with_callback(
         &self,
@@ -737,7 +771,96 @@ impl Solver {
         mut callback: impl FnMut(&IncumbentEvent),
     ) -> SolveResult {
         model.validate().expect("model must validate");
+        if !self.config.presolve.enabled {
+            return self.run_search(model, warm, &mut callback, PresolveStats::default());
+        }
+        let presolved = match presolve(model, &self.config.presolve) {
+            PresolveOutcome::Infeasible(stats) => {
+                return SolveResult {
+                    status: SolveStatus::Infeasible,
+                    best: None,
+                    best_bound: f64::NEG_INFINITY,
+                    det_time: stats.work_ticks as f64 / TICKS_PER_SECOND as f64,
+                    nodes: 0,
+                    incumbents: Vec::new(),
+                    presolve: stats,
+                    lp_fallbacks: 0,
+                };
+            }
+            PresolveOutcome::Reduced(p) => p,
+        };
+        let det_time = presolved.stats.work_ticks as f64 / TICKS_PER_SECOND as f64;
+        if presolved.model.num_vars() == 0 {
+            // The reductions solved the model outright: the postsolve
+            // stack *is* the solution.
+            let values = presolved.postsolve.restore(&[]);
+            if !model.is_feasible(&values, FEAS_TOL) {
+                // Defensive: a reduction chain this aggressive should
+                // never fabricate an assignment, but never report one
+                // unverified.
+                return SolveResult {
+                    status: SolveStatus::Unknown,
+                    best: None,
+                    best_bound: f64::NEG_INFINITY,
+                    det_time,
+                    nodes: 0,
+                    incumbents: Vec::new(),
+                    presolve: presolved.stats,
+                    lp_fallbacks: 0,
+                };
+            }
+            let objective = model.objective_value(&values);
+            let solution = Solution::new(values, objective);
+            let event = IncumbentEvent {
+                objective,
+                det_time,
+                solution: solution.clone(),
+            };
+            callback(&event);
+            return SolveResult {
+                status: SolveStatus::Optimal,
+                best: Some(solution),
+                best_bound: objective,
+                det_time,
+                nodes: 0,
+                incumbents: vec![event],
+                presolve: presolved.stats,
+                lp_fallbacks: 0,
+            };
+        }
+        let warm_reduced = warm.map(|w| presolved.postsolve.project(w));
+        let mut forward = |event: &IncumbentEvent| {
+            callback(&presolved.postsolve.restore_event(event));
+        };
+        let mut result = self.run_search(
+            &presolved.model,
+            warm_reduced.as_deref(),
+            &mut forward,
+            presolved.stats,
+        );
+        result.best = result
+            .best
+            .map(|s| Solution::new(presolved.postsolve.restore(s.values()), s.objective()));
+        result.incumbents = result
+            .incumbents
+            .iter()
+            .map(|ev| presolved.postsolve.restore_event(ev))
+            .collect();
+        result
+    }
+
+    /// Branch-and-bound over `model` as given (already presolved, or
+    /// presolve disabled). Incumbents stay in `model`'s variable space;
+    /// the caller postsolves if needed.
+    fn run_search(
+        &self,
+        model: &Model,
+        warm: Option<&[f64]>,
+        mut callback: &mut dyn FnMut(&IncumbentEvent),
+        presolve_stats: PresolveStats,
+    ) -> SolveResult {
         let mut search = Search::new(model, &self.config);
+        search.clock.charge(presolve_stats.work_ticks);
         let root_bounds: Vec<(f64, f64)> = model
             .variables()
             .iter()
@@ -826,6 +949,8 @@ impl Solver {
             det_time,
             nodes,
             incumbents: search.events,
+            presolve: presolve_stats,
+            lp_fallbacks: search.lp_fallbacks,
         }
     }
 }

@@ -24,8 +24,9 @@ pub struct CscMatrix {
 impl CscMatrix {
     /// Builds a CSC matrix from per-column `(row, value)` entry lists.
     ///
-    /// Duplicate rows within a column must already be merged; zero values
-    /// are dropped. Entries are stored sorted by row within each column.
+    /// Duplicate rows within a column are coalesced by summation (dropping
+    /// the entry if the sum cancels to zero), and zero values are dropped.
+    /// Entries are stored sorted by row within each column.
     #[must_use]
     pub fn from_columns(m: usize, columns: &[Vec<(usize, f64)>]) -> Self {
         let n = columns.len();
@@ -43,9 +44,18 @@ impl CscMatrix {
                 })
                 .collect();
             entries.sort_unstable_by_key(|&(i, _)| i);
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(entries.len());
             for (i, v) in entries {
-                row_idx.push(i);
-                values.push(v);
+                match merged.last_mut() {
+                    Some((li, lv)) if *li == i => *lv += v,
+                    _ => merged.push((i, v)),
+                }
+            }
+            for (i, v) in merged {
+                if v != 0.0 {
+                    row_idx.push(i);
+                    values.push(v);
+                }
             }
             col_ptr.push(row_idx.len());
         }
@@ -158,6 +168,18 @@ mod tests {
         let mut out = vec![0.0; 2];
         a.axpy_col(&mut out, 2.0, 2);
         assert_eq!(out, vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn duplicate_entries_coalesce_by_summation() {
+        let a = CscMatrix::from_columns(
+            3,
+            &[vec![(1, 2.0), (0, 1.0), (1, 3.0), (2, 1.0), (2, -1.0)]],
+        );
+        let (rows, vals) = a.col(0);
+        assert_eq!(rows, &[0, 1]);
+        assert_eq!(vals, &[1.0, 5.0]);
+        assert_eq!(a.nnz(), 2);
     }
 
     #[test]

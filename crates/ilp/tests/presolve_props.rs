@@ -1,0 +1,179 @@
+//! Presolve/postsolve round-trip properties on seeded random 0/1 models:
+//! solving with presolve on and off — under every LP engine — must agree
+//! on status and optimum, every postsolved incumbent must be feasible in
+//! the *original* model, and direct presolve round-trips must preserve
+//! feasibility and objectives.
+
+use croxmap_ilp::presolve::{presolve, PresolveConfig, PresolveOutcome};
+use croxmap_ilp::{LpEngine, Model, SolveStatus, Solver, SolverConfig, VarId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random 0/1 model: n binaries, a few ≤/≥/= rows with small
+/// integer coefficients — the same family the warm-start suite uses, plus
+/// occasional equality rows so the presolve Eq paths get exercised.
+fn random_model(seed: u64) -> Model {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rng.gen_range(3usize..=9);
+    let rows = rng.gen_range(1usize..=6);
+    let mut m = Model::new();
+    let vars: Vec<VarId> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+    for r in 0..rows {
+        let coeffs: Vec<f64> = (0..n)
+            .map(|_| f64::from(rng.gen_range(-3i32..=3)))
+            .collect();
+        let rhs = f64::from(rng.gen_range(-4i32..=6));
+        let expr = m.expr(
+            vars.iter()
+                .zip(&coeffs)
+                .filter(|&(_, &c)| c != 0.0)
+                .map(|(&v, &c)| (v, c)),
+        );
+        let cmp = match rng.gen_range(0u32..4) {
+            0 => expr.geq(rhs),
+            1 if rhs >= 0.0 => expr.eq(rhs),
+            _ => expr.leq(rhs),
+        };
+        m.add_constraint(format!("r{r}"), cmp);
+    }
+    m.set_objective(
+        m.expr(
+            vars.iter()
+                .map(|&v| (v, f64::from(rng.gen_range(-5i32..=5)))),
+        ),
+    );
+    m
+}
+
+fn config(engine: LpEngine, presolve_on: bool) -> SolverConfig {
+    let presolve = if presolve_on {
+        PresolveConfig::default()
+    } else {
+        PresolveConfig::off()
+    };
+    SolverConfig {
+        det_time_limit: 5.0,
+        enable_lns: false,
+        ..SolverConfig::default()
+    }
+    .with_lp_engine(engine)
+    .with_presolve(presolve)
+}
+
+#[test]
+fn presolve_on_off_reach_identical_optima_across_engines() {
+    let engines = [
+        LpEngine::SparseLu,
+        LpEngine::DenseInverse,
+        LpEngine::DenseTableau,
+    ];
+    let mut optimal = 0u32;
+    let mut infeasible = 0u32;
+    for seed in 0..120u64 {
+        let model = random_model(seed);
+        // Reference: presolve off, dense tableau (the battle-tested oracle).
+        let reference = Solver::new(config(LpEngine::DenseTableau, false)).solve(&model);
+        for engine in engines {
+            for presolve_on in [true, false] {
+                let run = Solver::new(config(engine, presolve_on)).solve(&model);
+                assert_eq!(
+                    run.status, reference.status,
+                    "seed {seed}, {engine:?}, presolve {presolve_on}: status mismatch"
+                );
+                match run.status {
+                    SolveStatus::Optimal => {
+                        let got = run.best.as_ref().expect("optimal has incumbent");
+                        let want = reference.best.as_ref().expect("reference incumbent");
+                        assert!(
+                            (got.objective() - want.objective()).abs() <= 1e-6,
+                            "seed {seed}, {engine:?}, presolve {presolve_on}: {} vs {}",
+                            got.objective(),
+                            want.objective()
+                        );
+                        // The postsolved solution must be feasible for the
+                        // ORIGINAL model and have a consistent objective.
+                        assert!(
+                            model.is_feasible(got.values(), 1e-6),
+                            "seed {seed}, {engine:?}, presolve {presolve_on}: infeasible postsolve"
+                        );
+                        assert!(
+                            (model.objective_value(got.values()) - got.objective()).abs() <= 1e-6
+                        );
+                        // Every incumbent in the stream postsolves feasibly.
+                        for ev in &run.incumbents {
+                            assert!(
+                                model.is_feasible(ev.solution.values(), 1e-6),
+                                "seed {seed}, {engine:?}, presolve {presolve_on}: bad incumbent"
+                            );
+                        }
+                    }
+                    SolveStatus::Infeasible => assert!(run.best.is_none()),
+                    other => panic!("seed {seed}: unexpected status {other:?}"),
+                }
+            }
+        }
+        match reference.status {
+            SolveStatus::Optimal => optimal += 1,
+            SolveStatus::Infeasible => infeasible += 1,
+            _ => {}
+        }
+    }
+    // The family must exercise both outcomes meaningfully.
+    assert!(optimal >= 40, "only {optimal} optimal instances");
+    assert!(infeasible >= 5, "only {infeasible} infeasible instances");
+}
+
+#[test]
+fn direct_presolve_roundtrip_preserves_feasible_points() {
+    let cfg = PresolveConfig::default();
+    let mut checked = 0u32;
+    for seed in 200..320u64 {
+        let model = random_model(seed);
+        let p = match presolve(&model, &cfg) {
+            PresolveOutcome::Reduced(p) => p,
+            PresolveOutcome::Infeasible(_) => continue,
+        };
+        let nr = p.postsolve.num_reduced_vars();
+        assert_eq!(p.postsolve.num_original_vars(), model.num_vars());
+        if nr > 12 {
+            continue;
+        }
+        // Enumerate the reduced 0/1 cube: every reduced-feasible point must
+        // restore to an original-feasible point with the same objective.
+        for mask in 0..(1u32 << nr) {
+            let reduced_point: Vec<f64> = (0..nr).map(|j| f64::from((mask >> j) & 1)).collect();
+            if !p.model.is_feasible(&reduced_point, 1e-9) {
+                continue;
+            }
+            let restored = p.postsolve.restore(&reduced_point);
+            assert!(
+                model.is_feasible(&restored, 1e-6),
+                "seed {seed}, mask {mask}: restored point infeasible"
+            );
+            assert!(
+                (model.objective_value(&restored) - p.model.objective_value(&reduced_point)).abs()
+                    <= 1e-9,
+                "seed {seed}, mask {mask}: objective drift"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 200, "only {checked} roundtrips checked");
+}
+
+#[test]
+fn warm_start_projects_through_presolve() {
+    // A caller-supplied warm start survives presolve projection: the solver
+    // must still produce (at least) an equally good incumbent.
+    let mut m = Model::new();
+    let x = m.add_binary("x");
+    let y = m.add_binary("y");
+    let z = m.add_binary("z");
+    m.add_constraint("cover", m.expr([(x, 1.0), (y, 1.0), (z, 1.0)]).geq(1.0));
+    m.set_objective(m.expr([(x, 2.0), (y, 5.0), (z, 9.0)]));
+    let warm = vec![0.0, 1.0, 0.0]; // feasible, suboptimal
+    let run = Solver::new(config(LpEngine::SparseLu, true)).solve_with_warm_start(&m, &warm);
+    assert_eq!(run.status, SolveStatus::Optimal);
+    assert!((run.best.unwrap().objective() - 2.0).abs() < 1e-9);
+    assert!(!run.incumbents.is_empty());
+}
