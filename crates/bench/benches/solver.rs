@@ -37,7 +37,7 @@ use croxmap_core::{FormulationConfig, MappingIlp, MappingObjective};
 use croxmap_gen::calibrated::{generate, NetworkSpec};
 use croxmap_ilp::presolve::{presolve, PresolveConfig, PresolveOutcome, PresolveStats};
 use croxmap_ilp::simplex::{self, LpSolver, LpStatus};
-use croxmap_ilp::{Model, Solver, SolverConfig, TICKS_PER_SECOND};
+use croxmap_ilp::{FactorStats, Model, Solver, SolverConfig, TICKS_PER_SECOND};
 use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarPool};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -45,7 +45,14 @@ use std::time::Instant;
 /// Decimal places kept on reported objectives (documented tolerance).
 const OBJECTIVE_DECIMALS: i32 = 6;
 /// Warm `work_ticks` regression factor at which the smoke run fails.
+/// With Forrest–Tomlin updates as the default, the guarded warm
+/// `lp_chain` rows are exactly the Forrest–Tomlin warm ticks.
 const SMOKE_REGRESSION_LIMIT: f64 = 1.5;
+/// Peak `update file / refactor policy bound` ratio at which the smoke
+/// run fails. Ratios slightly above 1.0 are normal (the policy is
+/// checked after the pivot that crosses it); sustained growth past this
+/// limit means the eta/update file escaped the refactor policy.
+const SMOKE_GROWTH_LIMIT: f64 = 1.5;
 
 /// Set-cover instance over a ring: n elements, each covered by 2 sets.
 fn ring_cover(n: usize) -> Model {
@@ -171,6 +178,9 @@ struct WarmColdRecord {
     presolve: Option<PresolveStats>,
     /// Dense-tableau fallbacks paid during the run.
     fallbacks: u64,
+    /// Factorisation counters summed over the run's LP solves (None for
+    /// runs that only observe `SolveResult`-level aggregates).
+    factor: Option<FactorStats>,
 }
 
 impl WarmColdRecord {
@@ -207,6 +217,7 @@ fn measure_bb(name: &str, model: &Model, warm_lp: bool) -> WarmColdRecord {
         objective: result.best.as_ref().map(croxmap_ilp::Solution::objective),
         presolve: Some(result.presolve),
         fallbacks: result.lp_fallbacks,
+        factor: None,
     }
 }
 
@@ -237,6 +248,7 @@ fn measure_bb_presolve(name: &str, model: &Model, presolve_on: bool) -> WarmCold
         objective: result.best.as_ref().map(croxmap_ilp::Solution::objective),
         presolve: presolve_on.then_some(result.presolve),
         fallbacks: result.lp_fallbacks,
+        factor: None,
     }
 }
 
@@ -269,6 +281,7 @@ fn measure_cold_root(name: &str, model: &Model, mode: &'static str) -> WarmColdR
         objective: Some(result.objective),
         presolve: stats,
         fallbacks: u64::from(result.dense_fallback),
+        factor: Some(result.factor),
     }
 }
 
@@ -306,6 +319,7 @@ fn measure_lp_chain(
     let root = solver.solve(model, &bounds, &lp_cfg, None);
     let mut basis = root.basis;
     let mut ticks = root.result.work_ticks;
+    let mut factor = root.result.factor;
     let mut fallbacks = u64::from(root.result.dense_fallback);
     let mut solves = 1u64;
     let mut last_obj = root.result.objective;
@@ -325,6 +339,7 @@ fn measure_lp_chain(
             if warm { basis.as_ref() } else { None },
         );
         ticks += out.result.work_ticks;
+        factor.merge(&out.result.factor);
         fallbacks += u64::from(out.result.dense_fallback);
         solves += 1;
         if out.result.status != LpStatus::Optimal {
@@ -347,6 +362,7 @@ fn measure_lp_chain(
         objective: Some(last_obj),
         presolve: None,
         fallbacks,
+        factor: Some(factor),
     }
 }
 
@@ -375,6 +391,22 @@ fn render_json(records: &[WarmColdRecord]) -> String {
             obj,
             r.fallbacks,
         );
+        if let Some(f) = &r.factor {
+            let _ = write!(
+                out,
+                ", \"ftran_visited\": {}, \"btran_visited\": {}, \"ftran_hyper\": {}, \
+                 \"btran_hyper\": {}, \"lp_updates\": {}, \"update_nnz\": {}, \
+                 \"refactors\": {}, \"update_growth_peak\": {:.3}",
+                f.ftran_visited,
+                f.btran_visited,
+                f.ftran_hyper,
+                f.btran_hyper,
+                f.updates,
+                f.update_nnz,
+                f.refactors,
+                f.growth_peak,
+            );
+        }
         if let Some(p) = &r.presolve {
             let _ = write!(
                 out,
@@ -519,6 +551,20 @@ fn smoke_check() -> bool {
                 r.instance, r.mode, r.fallbacks
             );
             ok = false;
+        }
+        // The update file must never escape the refactor policy bound:
+        // peaks slightly above 1.0 are the normal one-pivot overshoot,
+        // sustained growth past SMOKE_GROWTH_LIMIT means refactorisation
+        // stopped firing.
+        if let Some(f) = &r.factor {
+            if f.growth_peak > SMOKE_GROWTH_LIMIT {
+                println!(
+                    "bench-smoke: {:<44} {} update file reached {:.2}x the \
+                     refactor policy bound REGRESSED",
+                    r.instance, r.mode, f.growth_peak
+                );
+                ok = false;
+            }
         }
         let Some((_, _, old_ticks)) = committed
             .iter()

@@ -137,7 +137,13 @@ fn presolve_shrinks_set_partition_and_kills_the_dense_fallback() {
 fn perturbation_cuts_unperturbed_cold_work() {
     // The perturbation alone (no presolve involved) must beat the
     // unperturbed cold solve on the degenerate family; measured ~3.6x on
-    // the root model and ~10x on restricted instances at larger scales.
+    // the root model under the product-form eta file (PR 3). The
+    // Forrest–Tomlin + hyper-sparse engine (PR 4) shrinks the *relative*
+    // win to ~2x because the unperturbed degenerate pivot storm no
+    // longer pays a linearly growing eta file — both absolute costs
+    // dropped, the unperturbed one by 2.3x — so the floor here is 1.5x:
+    // the perturbation must keep paying for itself, not hit a fixed
+    // ratio that penalises making the baseline faster.
     let model = set_partition(16);
     let perturbed = solve_model_relaxation(&model, &LpConfig::default());
     let plain = solve_model_relaxation(
@@ -165,8 +171,8 @@ fn perturbation_cuts_unperturbed_cold_work() {
     );
     assert!(!perturbed.dense_fallback);
     assert!(
-        perturbed.work_ticks * 2 <= plain.work_ticks,
-        "perturbed cold solve must be ≥2x cheaper: {} vs {}",
+        perturbed.work_ticks * 3 <= plain.work_ticks * 2,
+        "perturbed cold solve must be ≥1.5x cheaper: {} vs {}",
         perturbed.work_ticks,
         plain.work_ticks
     );

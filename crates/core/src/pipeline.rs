@@ -44,8 +44,10 @@ impl PipelineConfig {
 
     /// Returns a copy with the given solver configuration. This is how
     /// callers reach the LP-level knobs — engine selection (sparse LU vs
-    /// the dense oracles), pricing rule, refactorisation cadence, and the
-    /// presolve stack (`SolverConfig::with_presolve`) — e.g.
+    /// the dense oracles), basis-update rule (Forrest–Tomlin vs
+    /// product-form etas, `SolverConfig::with_update_rule`), pricing
+    /// rule, refactorisation cadence, and the presolve stack
+    /// (`SolverConfig::with_presolve`) — e.g.
     /// `cfg.with_solver(cfg.solver.clone().with_pricing(...))`.
     #[must_use]
     pub fn with_solver(mut self, solver: SolverConfig) -> Self {
@@ -708,6 +710,24 @@ mod tests {
             );
             let run = optimize_area(&net, &pool, &cfg);
             assert_eq!(run.best_objective(), Some(32.0), "engine {engine:?}");
+        }
+    }
+
+    #[test]
+    fn update_rule_options_plumb_through_pipeline() {
+        // Both basis-update schemes behind `PipelineConfig::with_solver`
+        // must reach the same area optimum on the clustered instance.
+        use croxmap_ilp::UpdateRule;
+        let net = clustered();
+        let pool = pool();
+        for update in [UpdateRule::ForrestTomlin, UpdateRule::ProductForm] {
+            let cfg = PipelineConfig::with_budget(10.0).with_solver(
+                SolverConfig::default()
+                    .with_det_time_limit(10.0)
+                    .with_update_rule(update),
+            );
+            let run = optimize_area(&net, &pool, &cfg);
+            assert_eq!(run.best_objective(), Some(32.0), "update {update:?}");
         }
     }
 

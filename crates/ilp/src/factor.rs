@@ -1,4 +1,5 @@
-//! Sparse LU basis factorisation with product-form eta updates.
+//! Sparse LU basis factorisation with Forrest–Tomlin or product-form
+//! updates and hyper-sparse triangular solves.
 //!
 //! The revised simplex needs four linear-algebra primitives on the basis
 //! matrix `B` (one column per constraint row, drawn from the structural
@@ -19,17 +20,43 @@
 //!    column the pivot row is chosen by *threshold partial pivoting*
 //!    biased towards sparse rows: among rows within 10× of the largest
 //!    eligible magnitude, the row with the fewest non-zeros in `B` wins.
-//!    Pivots are recorded as **product-form eta vectors**: after a pivot
-//!    with transformed column `w = B⁻¹ a_q` entering at row `r`, the new
-//!    basis satisfies `B' = B·E` with `E = I` except column `r = w`, so
-//!    FTRAN appends `E⁻¹` and BTRAN prepends `E⁻ᵀ`. The eta file grows
-//!    with every pivot; [`Factorization::needs_refactor`] triggers a
-//!    fresh factorisation when the file gets long
-//!    ([`FactorOpts::refactor_interval`]) or fat
-//!    ([`FactorOpts::eta_fill_factor`] × the LU fill). Solves skip work
-//!    on zero multipliers, so hyper-sparse right-hand sides (unit vectors
-//!    in BTRAN, single columns in FTRAN) touch only the non-zeros they
-//!    reach.
+//!
+//!    Pivots are applied through one of two update schemes, selected by
+//!    [`FactorOpts::update`]:
+//!
+//!    * [`UpdateRule::ForrestTomlin`] (the default): the stored `U` is
+//!      modified **in place**. The leaving column's slot `t` is emptied,
+//!      the transformed entering column (the *spike* `v = L̃⁻¹ a_q`) is
+//!      inserted in its place, slot `t` is moved to the end of the pivot
+//!      order, and the now out-of-place row `t` of `U` is eliminated by a
+//!      single row transform `R = I − e_t μᵀ` whose multipliers solve the
+//!      trailing triangular system `Ūᵀ μ = u_tᵀ`. `R` joins a short file
+//!      of row transforms applied between the `L` and `U` solves, so
+//!      FTRAN/BTRAN cost tracks `nnz(L) + nnz(U) + nnz(R-file)` — flat in
+//!      the number of pivots — instead of growing with one eta per pivot.
+//!    * [`UpdateRule::ProductForm`]: the classical eta file. After a
+//!      pivot with transformed column `w = B⁻¹ a_q` entering at row `r`,
+//!      the new basis satisfies `B' = B·E` with `E = I` except column
+//!      `r = w`, so FTRAN appends `E⁻¹` and BTRAN prepends `E⁻ᵀ`. The
+//!      file grows with every pivot; kept selectable so the two schemes
+//!      can be differentially tested against each other and against
+//!      [`DenseInverse`].
+//!
+//!    [`Factorization::needs_refactor`] triggers a fresh factorisation
+//!    when the update file gets long ([`FactorOpts::refactor_interval`])
+//!    or fat ([`FactorOpts::eta_fill_factor`] × the LU fill).
+//!
+//!    The triangular solves are **hyper-sparse**: when the right-hand
+//!    side is sparse enough (see the density cutover below), the solver
+//!    first computes the *reach* of the RHS pattern — a DFS over the
+//!    triangular factor's dependency graph, visited in topological
+//!    (pivot) order — and then runs the scatter-form solve over exactly
+//!    those columns, so work is proportional to the non-zeros actually
+//!    touched rather than to `m`. Dense right-hand sides cut over to the
+//!    scanning kernels, which sweep every elimination step and skip zero
+//!    multipliers. Both kernels execute bit-identical arithmetic (same
+//!    scatter operations in the same pivot order), so results do not
+//!    depend on which kernel a density estimate picks.
 //!
 //! 2. [`DenseInverse`]: the explicit dense `m × m` basis inverse of the
 //!    original engine — `O(m³)` refactorisation (Gauss–Jordan with
@@ -41,12 +68,13 @@
 //! Both meter deterministic work: every elementary floating-point
 //! operation charges ticks (see [`crate::DeterministicClock`]), harvested
 //! by the engine through [`take_work`](LuFactors::take_work), so budgets
-//! stay reproducible whichever representation runs.
+//! stay reproducible whichever representation runs. [`FactorStats`]
+//! additionally counts FTRAN/BTRAN visited non-zeros, kernel selections
+//! and update-file growth for the bench log.
 //!
-//! The remaining distance to a production factorisation — Forrest–Tomlin
-//! updates that modify `U` in place instead of appending etas, dynamic
-//! Markowitz ordering on the active submatrix, and topological-order
-//! hyper-sparse solves — is recorded in `ROADMAP.md`.
+//! The remaining distance to a production factorisation — dynamic
+//! Markowitz ordering on the active submatrix during refactorisation —
+//! is recorded in `ROADMAP.md`.
 
 use crate::sparse::CscMatrix;
 
@@ -55,20 +83,46 @@ const PIVOT_TOL: f64 = 1e-10;
 /// Threshold-pivoting relaxation: rows within this factor of the largest
 /// eligible magnitude may be preferred for sparsity.
 const PIVOT_THRESHOLD: f64 = 0.1;
+/// Default RHS density (pattern non-zeros / m) above which the
+/// hyper-sparse kernels cut over to the scanning kernels. DFS reach
+/// computation only pays off when the solution stays sparse, which an
+/// already-dense right-hand side rules out.
+const HYPER_DENSITY_CUTOFF: f64 = 0.125;
 
-/// Policy knobs for folding the eta file back into a fresh factorisation.
+/// How a pivot is folded into an existing [`LuFactors`] factorisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateRule {
+    /// Forrest–Tomlin: modify the stored `U` in place (spike insertion,
+    /// row elimination, pivot-order bookkeeping). Solve cost stays flat
+    /// in the number of pivots since the last refactorisation. The
+    /// default.
+    #[default]
+    ForrestTomlin,
+    /// Product-form eta file: append one eta per pivot. Solve cost grows
+    /// linearly with pivots since the last refactorisation; kept as the
+    /// differential-testing oracle for the Forrest–Tomlin path.
+    ProductForm,
+}
+
+/// Policy knobs for folding accumulated updates back into a fresh
+/// factorisation, plus the update scheme itself.
 ///
 /// Reached through [`LpConfig`](crate::simplex::LpConfig) (and from there
 /// [`SolverConfig`](crate::SolverConfig)); replaces the engine's old
 /// hard-coded `REFACTOR_EVERY = 64` constant.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FactorOpts {
-    /// Pivot (eta) updates tolerated — and hot basis reuses across solves
-    /// — before a hygiene refactorisation is forced.
+    /// Pivot updates tolerated — and hot basis reuses across solves —
+    /// before a hygiene refactorisation is forced.
     pub refactor_interval: u32,
-    /// Refactorise when the eta-file non-zeros exceed this multiple of
-    /// the LU fill (`nnz(L) + nnz(U) + m`).
+    /// Refactorise when the update file's non-zeros exceed this multiple
+    /// of the LU fill. The fill is `nnz(L) + nnz(U)` *including* both
+    /// diagonals (`lu_nnz`, which therefore already counts the `m` unit
+    /// diagonal entries of `L`): the trigger point is exactly
+    /// `update_nnz > eta_fill_factor · lu_nnz`.
     pub eta_fill_factor: f64,
+    /// Which update scheme [`LuFactors::update`] applies.
+    pub update: UpdateRule,
 }
 
 impl Default for FactorOpts {
@@ -76,8 +130,79 @@ impl Default for FactorOpts {
         FactorOpts {
             refactor_interval: 64,
             eta_fill_factor: 3.0,
+            update: UpdateRule::default(),
         }
     }
+}
+
+/// Counters for the factorisation work behind one (or more) solves:
+/// solve/kernel selections, visited non-zeros and update-file growth.
+/// Harvested by the engine via [`LuFactors::take_stats`] and surfaced on
+/// [`LpResult`](crate::simplex::LpResult) for the bench log.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FactorStats {
+    /// FTRAN solves performed.
+    pub ftran_solves: u64,
+    /// FTRAN solves served by the hyper-sparse (DFS reach) kernel.
+    pub ftran_hyper: u64,
+    /// Non-zeros visited across all FTRAN passes (reach nodes + scatter
+    /// entries + update-file entries).
+    pub ftran_visited: u64,
+    /// BTRAN solves performed.
+    pub btran_solves: u64,
+    /// BTRAN solves served by the hyper-sparse (DFS reach) kernel.
+    pub btran_hyper: u64,
+    /// Non-zeros visited across all BTRAN passes.
+    pub btran_visited: u64,
+    /// Pivot updates applied (either scheme).
+    pub updates: u64,
+    /// Entries added to the update file (etas, or spike fill + row
+    /// transform multipliers under Forrest–Tomlin).
+    pub update_nnz: u64,
+    /// Successful refactorisations performed.
+    pub refactors: u64,
+    /// Peak of `update file size / refactor policy bound` observed at an
+    /// update. Values slightly above 1.0 are normal (the policy is
+    /// checked after the pivot that crosses it); sustained growth beyond
+    /// that means the refactor policy is not being enforced.
+    pub growth_peak: f64,
+}
+
+impl FactorStats {
+    /// Accumulates `other` into `self` (sums counters, maxes peaks).
+    pub fn merge(&mut self, other: &FactorStats) {
+        self.ftran_solves += other.ftran_solves;
+        self.ftran_hyper += other.ftran_hyper;
+        self.ftran_visited += other.ftran_visited;
+        self.btran_solves += other.btran_solves;
+        self.btran_hyper += other.btran_hyper;
+        self.btran_visited += other.btran_visited;
+        self.updates += other.updates;
+        self.update_nnz += other.update_nnz;
+        self.refactors += other.refactors;
+        self.growth_peak = self.growth_peak.max(other.growth_peak);
+    }
+}
+
+/// Debug-build contract check for the `*_sparse` solve entry points:
+/// `pattern` must cover every non-zero of `x`, or the reach kernels
+/// silently drop values. The check is gated to the hyper path (the
+/// scanning fall-through ignores the pattern entirely) and to small
+/// systems — it sweeps the dense vector, which would drag the dev
+/// profile's optimised numeric kernels on bench-sized instances.
+#[inline]
+fn debug_check_superset(x: &[f64], pattern: &[usize]) {
+    #[cfg(debug_assertions)]
+    if x.len() <= 512 {
+        for (i, &v) in x.iter().enumerate() {
+            debug_assert!(
+                v == 0.0 || pattern.contains(&i),
+                "sparse-solve pattern misses non-zero row {i}"
+            );
+        }
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = (x, pattern);
 }
 
 /// One product-form eta transformation: the basis column of row `r` was
@@ -91,36 +216,110 @@ struct Eta {
     entries: Vec<(usize, f64)>,
 }
 
-/// Sparse LU factorisation of a simplex basis with an eta-file of
-/// product-form pivot updates. See the [module docs](self) for the
-/// algorithm and the update calculus.
+/// One Forrest–Tomlin row transform `R = I − e_t μᵀ`: applied between
+/// the `L` and `U` solves (in slot space), chronologically in FTRAN and
+/// transposed in reverse order in BTRAN.
+#[derive(Debug, Clone)]
+struct FtTransform {
+    /// Slot whose `U` row was eliminated (the update's pivot slot).
+    t: usize,
+    /// `(slot, multiplier)` pairs over the trailing slots.
+    entries: Vec<(usize, f64)>,
+}
+
+/// Which triangular dependency graph a hyper-sparse reach runs over.
+#[derive(Clone, Copy)]
+enum Phase {
+    /// Forward solve `L y = b`: slot `k` feeds slots `pinv[row]` for the
+    /// rows of `l_cols[k]`.
+    LowerFwd,
+    /// Backward solve `U z = y`: slot `k` feeds the earlier slots of
+    /// `u_cols[k]`.
+    UpperBwd,
+    /// Forward solve `Uᵀ z = c`: slot `k` feeds the later slots of
+    /// `u_rows[k]`.
+    UpperTFwd,
+    /// Backward solve `Lᵀ y = z`: slot `k` feeds the earlier slots of
+    /// `l_rows[p[k]]`.
+    LowerTBwd,
+}
+
+/// Sparse LU factorisation of a simplex basis with in-place
+/// Forrest–Tomlin updates (or a product-form eta file) and hyper-sparse
+/// triangular solves. See the [module docs](self) for the algorithm and
+/// the update calculus.
 #[derive(Debug, Clone)]
 pub struct LuFactors {
     m: usize,
-    /// Pivot row (original row index) per elimination step.
+    /// Pivot row (original row index) per elimination slot.
     p: Vec<usize>,
-    /// Inverse of `p`: elimination step of each original row.
+    /// Inverse of `p`: elimination slot of each original row.
     pinv: Vec<usize>,
-    /// Basis position eliminated at each step (column permutation `Q`).
+    /// Basis position eliminated at each slot (column permutation `Q`).
     q: Vec<usize>,
+    /// Inverse of `q`: elimination slot of each basis position.
+    qinv: Vec<usize>,
+    /// Slots in current pivotal order. After a factorisation this is the
+    /// identity; Forrest–Tomlin updates cyclically move the updated slot
+    /// to the end.
+    order: Vec<usize>,
+    /// Inverse of `order`: pivotal position of each slot.
+    pos: Vec<usize>,
     /// Columns of unit-lower-triangular `L`: `(original_row, value)`
-    /// pairs over rows not yet pivoted at that step.
+    /// pairs over rows not yet pivoted at that slot. Static between
+    /// refactorisations.
     l_cols: Vec<Vec<(usize, f64)>>,
-    /// Columns of `U` above the diagonal: `(earlier_step, value)` pairs.
+    /// Row-wise mirror of `L` for the transposed scatter solve:
+    /// `l_rows[row]` holds `(slot, value)` for every `l_cols[slot]`
+    /// entry at `row`.
+    l_rows: Vec<Vec<(usize, f64)>>,
+    /// Columns of `U` above the diagonal: `(slot, value)` pairs whose
+    /// slots come earlier in pivotal order.
     u_cols: Vec<Vec<(usize, f64)>>,
-    /// Diagonal of `U`, per step.
+    /// Row-wise mirror of `U`: `u_rows[i]` holds `(slot, value)` for
+    /// every `u_cols[slot]` entry at `i` (slots later in pivotal order).
+    /// Kept in lockstep with `u_cols` through Forrest–Tomlin updates.
+    u_rows: Vec<Vec<(usize, f64)>>,
+    /// Diagonal of `U`, per slot.
     u_diag: Vec<f64>,
     /// Product-form pivot updates since the last refactorisation,
-    /// applied after the LU solves in FTRAN order.
+    /// applied after the LU solves in FTRAN order (ProductForm rule).
     etas: Vec<Eta>,
+    /// Forrest–Tomlin row transforms since the last refactorisation,
+    /// applied between the `L` and `U` solves (ForrestTomlin rule).
+    ft: Vec<FtTransform>,
     /// `nnz(L) + nnz(U)` including the diagonals, at last factorisation.
     lu_nnz: usize,
-    /// Total entries across the eta file.
-    eta_nnz: usize,
-    /// Step-indexed scratch for the permuted triangular solves.
+    /// Current `nnz(U)` including the diagonal (changes under FT).
+    u_nnz: usize,
+    /// `nnz(U)` at the last factorisation.
+    u_nnz0: usize,
+    /// Total entries across the update file (etas, or FT multipliers).
+    file_nnz: usize,
+    /// Pivot updates applied since the last factorisation.
+    updates: u32,
+    /// RHS density above which solves use the scanning kernels.
+    hyper_cutoff: f64,
+    /// Slot-indexed scratch for the permuted triangular solves; zeroed
+    /// between calls.
     scratch: Vec<f64>,
+    /// Second slot-indexed scratch (spike / elimination work vectors);
+    /// zeroed between calls.
+    aux: Vec<f64>,
+    /// Scratch pattern buffers (row/position and slot space).
+    pat: Vec<usize>,
+    pat2: Vec<usize>,
+    /// DFS reach output (postorder, then sorted by pivotal position).
+    reach: Vec<usize>,
+    /// DFS stack of `(slot, next child index)`.
+    rstack: Vec<(usize, usize)>,
+    /// Visit stamps for the DFS and pattern tracking.
+    mark: Vec<u32>,
+    stamp: u32,
     /// Deterministic work accrued since the last harvest.
     work: u64,
+    /// Factorisation statistics since the last harvest.
+    stats: FactorStats,
 }
 
 impl LuFactors {
@@ -133,14 +332,32 @@ impl LuFactors {
             p: Vec::new(),
             pinv: Vec::new(),
             q: Vec::new(),
+            qinv: Vec::new(),
+            order: Vec::new(),
+            pos: Vec::new(),
             l_cols: Vec::new(),
+            l_rows: Vec::new(),
             u_cols: Vec::new(),
+            u_rows: Vec::new(),
             u_diag: Vec::new(),
             etas: Vec::new(),
+            ft: Vec::new(),
             lu_nnz: m,
-            eta_nnz: 0,
+            u_nnz: m,
+            u_nnz0: m,
+            file_nnz: 0,
+            updates: 0,
+            hyper_cutoff: HYPER_DENSITY_CUTOFF,
             scratch: vec![0.0; m],
+            aux: vec![0.0; m],
+            pat: Vec::new(),
+            pat2: Vec::new(),
+            reach: Vec::new(),
+            rstack: Vec::new(),
+            mark: vec![0; m],
+            stamp: 0,
             work: 0,
+            stats: FactorStats::default(),
         };
         lu.reset_identity();
         lu
@@ -152,25 +369,66 @@ impl LuFactors {
         self.p = (0..m).collect();
         self.pinv = (0..m).collect();
         self.q = (0..m).collect();
+        self.qinv = (0..m).collect();
+        self.order = (0..m).collect();
+        self.pos = (0..m).collect();
         self.l_cols = vec![Vec::new(); m];
+        self.l_rows = vec![Vec::new(); m];
         self.u_cols = vec![Vec::new(); m];
+        self.u_rows = vec![Vec::new(); m];
         self.u_diag = vec![1.0; m];
         self.etas.clear();
+        self.ft.clear();
         self.lu_nnz = m;
-        self.eta_nnz = 0;
+        self.u_nnz = m;
+        self.u_nnz0 = m;
+        self.file_nnz = 0;
+        self.updates = 0;
         self.work += m as u64;
     }
 
-    /// Number of eta updates accumulated since the last factorisation.
-    #[must_use]
-    pub fn eta_count(&self) -> usize {
-        self.etas.len()
+    /// Overrides the hyper-sparse density cutover: right-hand sides whose
+    /// pattern exceeds `cutoff · m` non-zeros use the scanning kernels.
+    /// `0.0` forces scanning everywhere, `1.0` forces the hyper-sparse
+    /// kernels; both produce bit-identical results (the kernels execute
+    /// the same scatter operations in the same pivot order), so this knob
+    /// only moves work accounting, never answers.
+    pub fn set_hyper_density_cutoff(&mut self, cutoff: f64) {
+        self.hyper_cutoff = cutoff.clamp(0.0, 1.0);
     }
 
-    /// Non-zeros across the eta file.
+    /// Largest RHS pattern (in non-zeros) the hyper-sparse kernels accept.
+    fn hyper_cap(&self) -> usize {
+        (self.m as f64 * self.hyper_cutoff) as usize
+    }
+
+    /// Number of pivot updates accumulated since the last factorisation
+    /// (etas under ProductForm, in-place updates under Forrest–Tomlin).
+    #[must_use]
+    pub fn update_count(&self) -> usize {
+        self.updates as usize
+    }
+
+    /// Alias for [`update_count`](Self::update_count), kept for callers
+    /// from the product-form era.
+    #[must_use]
+    pub fn eta_count(&self) -> usize {
+        self.update_count()
+    }
+
+    /// Non-zeros across the update file: eta entries under ProductForm;
+    /// row-transform multipliers plus any net `U` fill under
+    /// Forrest–Tomlin. This is the quantity the
+    /// [`FactorOpts::eta_fill_factor`] policy bounds.
+    #[must_use]
+    pub fn update_nnz(&self) -> usize {
+        self.file_nnz + self.u_nnz.saturating_sub(self.u_nnz0)
+    }
+
+    /// Alias for [`update_nnz`](Self::update_nnz).
     #[must_use]
     pub fn eta_nnz(&self) -> usize {
-        self.eta_nnz
+        self.update_nnz()
     }
 
     /// `nnz(L) + nnz(U)` of the last factorisation (diagonals included).
@@ -184,17 +442,24 @@ impl LuFactors {
         std::mem::take(&mut self.work)
     }
 
+    /// Drains the factorisation statistics gathered since the last call.
+    pub fn take_stats(&mut self) -> FactorStats {
+        std::mem::take(&mut self.stats)
+    }
+
     /// Factorises the basis whose column for row position `k` is
     /// `cols[k]`: structural CSC column `cols[k]` when `cols[k] <
     /// n_struct`, else the slack unit vector `e_{cols[k] − n_struct}`.
-    /// Clears the eta file. Returns `false` when the basis is singular
+    /// Clears the update file. Returns `false` when the basis is singular
     /// (or hopelessly ill-conditioned); the factors are then unusable
     /// until the next successful call.
     pub fn factorize(&mut self, cols: &[usize], a: &CscMatrix, n_struct: usize) -> bool {
         let m = self.m;
         assert_eq!(cols.len(), m, "one basis column per row required");
         self.etas.clear();
-        self.eta_nnz = 0;
+        self.ft.clear();
+        self.file_nnz = 0;
+        self.updates = 0;
         self.p.resize(m, 0);
         self.q.resize(m, 0);
         self.pinv.clear();
@@ -240,7 +505,7 @@ impl LuFactors {
                 x[c - n_struct] = 1.0;
                 ops += 1;
             }
-            // Sparse lower solve `x ← L⁻¹ x` over the steps so far; zero
+            // Sparse lower solve `x ← L⁻¹ x` over the slots so far; zero
             // multipliers are skipped, which is what keeps sparse columns
             // cheap (hyper-sparsity by value rather than by pattern).
             for k in 0..step {
@@ -269,6 +534,7 @@ impl LuFactors {
             ops += m as u64;
             if max_abs < PIVOT_TOL {
                 x.fill(0.0);
+                self.work += ops;
                 return false; // singular in exact or floating arithmetic
             }
             let cutoff = max_abs * PIVOT_THRESHOLD;
@@ -310,33 +576,173 @@ impl LuFactors {
             }
             ops += m as u64;
         }
-        self.lu_nnz = m + self
-            .l_cols
-            .iter()
-            .zip(&self.u_cols)
-            .map(|(l, u)| l.len() + u.len())
-            .sum::<usize>();
+        // Permutation inverses and the (identity) pivotal order.
+        self.qinv.clear();
+        self.qinv.resize(m, 0);
+        for (k, &pos) in self.q.iter().enumerate() {
+            self.qinv[pos] = k;
+        }
+        self.order.clear();
+        self.order.extend(0..m);
+        self.pos.clear();
+        self.pos.extend(0..m);
+        // Row-wise mirrors for the transposed scatter solves and the
+        // Forrest–Tomlin row eliminations.
+        self.l_rows.clear();
+        self.l_rows.resize(m, Vec::new());
+        for (k, col) in self.l_cols.iter().enumerate() {
+            for &(row, val) in col {
+                self.l_rows[row].push((k, val));
+            }
+        }
+        self.u_rows.clear();
+        self.u_rows.resize(m, Vec::new());
+        for (k, col) in self.u_cols.iter().enumerate() {
+            for &(i, val) in col {
+                self.u_rows[i].push((k, val));
+            }
+        }
+        let u_fill: usize = self.u_cols.iter().map(Vec::len).sum();
+        self.u_nnz = m + u_fill;
+        self.u_nnz0 = self.u_nnz;
+        self.lu_nnz = m + u_fill + self.l_cols.iter().map(Vec::len).sum::<usize>();
+        ops += self.lu_nnz as u64;
         self.work += ops;
+        self.stats.refactors += 1;
         true
     }
 
+    /// Computes the reach of the pattern in `self.pat2` (slot space) over
+    /// the dependency graph of `phase`, into `self.reach` (unsorted
+    /// postorder). Returns the number of edges examined, for metering.
+    fn compute_reach(&mut self, phase: Phase) -> u64 {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.mark.fill(0);
+            self.stamp = 1;
+        }
+        let LuFactors {
+            p,
+            pinv,
+            l_cols,
+            l_rows,
+            u_cols,
+            u_rows,
+            pat2,
+            reach,
+            rstack,
+            mark,
+            stamp,
+            ..
+        } = self;
+        let stamp = *stamp;
+        reach.clear();
+        let mut edges = 0u64;
+        for &s in pat2.iter() {
+            if mark[s] == stamp {
+                continue;
+            }
+            mark[s] = stamp;
+            rstack.push((s, 0));
+            while let Some(&mut (node, ref mut ci)) = rstack.last_mut() {
+                // Find the next unvisited successor of `node`.
+                let next = {
+                    let adj: &[(usize, f64)] = match phase {
+                        Phase::LowerFwd => &l_cols[node],
+                        Phase::UpperBwd => &u_cols[node],
+                        Phase::UpperTFwd => &u_rows[node],
+                        Phase::LowerTBwd => &l_rows[p[node]],
+                    };
+                    let mut found = None;
+                    while *ci < adj.len() {
+                        let raw = adj[*ci].0;
+                        *ci += 1;
+                        edges += 1;
+                        let child = match phase {
+                            Phase::LowerFwd => pinv[raw],
+                            _ => raw,
+                        };
+                        if mark[child] != stamp {
+                            found = Some(child);
+                            break;
+                        }
+                    }
+                    found
+                };
+                match next {
+                    Some(c) => {
+                        mark[c] = stamp;
+                        rstack.push((c, 0));
+                    }
+                    None => {
+                        rstack.pop();
+                        reach.push(node);
+                    }
+                }
+            }
+        }
+        edges
+    }
+
     /// FTRAN: overwrites `x` (indexed by constraint row) with `B⁻¹ x`
-    /// (indexed by basis position).
+    /// (indexed by basis position). Scans `x` for its non-zero pattern;
+    /// prefer [`ftran_sparse`](Self::ftran_sparse) when the caller knows
+    /// the pattern.
     pub fn ftran(&mut self, x: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.m);
+        let cap = self.hyper_cap();
+        self.pat.clear();
+        let mut hyper = true;
+        for (i, &v) in x.iter().enumerate() {
+            if v != 0.0 {
+                if self.pat.len() >= cap {
+                    hyper = false;
+                    break;
+                }
+                self.pat.push(i);
+            }
+        }
+        if hyper {
+            self.ftran_hyper(x);
+        } else {
+            self.ftran_scan(x);
+        }
+    }
+
+    /// FTRAN with a caller-supplied non-zero pattern: `pattern` must be a
+    /// superset of the non-zero row indices of `x` (duplicates allowed).
+    /// Skips the `O(m)` pattern scan of [`ftran`](Self::ftran).
+    pub fn ftran_sparse(&mut self, x: &mut [f64], pattern: &[usize]) {
+        debug_assert_eq!(x.len(), self.m);
+        if pattern.len() <= self.hyper_cap() {
+            debug_check_superset(x, pattern);
+            self.pat.clear();
+            self.pat.extend_from_slice(pattern);
+            self.ftran_hyper(x);
+        } else {
+            self.ftran_scan(x);
+        }
+    }
+
+    /// Scanning FTRAN kernel: sweeps every elimination slot, skipping
+    /// zero multipliers.
+    fn ftran_scan(&mut self, x: &mut [f64]) {
         let m = self.m;
-        debug_assert_eq!(x.len(), m);
         let mut ops = 0u64;
+        let mut visited = 0u64;
         let LuFactors {
             p,
             q,
+            order,
             l_cols,
             u_cols,
             u_diag,
             etas,
+            ft,
             scratch: z,
             ..
         } = self;
-        // Forward solve L y = x, in place in pivot order.
+        // Forward solve L y = x, in place in elimination order.
         for k in 0..m {
             let t = x[p[k]];
             if t == 0.0 {
@@ -345,26 +751,43 @@ impl LuFactors {
             for &(row, val) in &l_cols[k] {
                 x[row] -= val * t;
             }
-            ops += l_cols[k].len() as u64;
+            visited += l_cols[k].len() as u64;
         }
-        // Backward solve U z = y in step space.
+        // Gather into slot space.
         for k in 0..m {
             z[k] = x[p[k]];
+            x[p[k]] = 0.0;
         }
-        for k in (0..m).rev() {
-            let zk = z[k] / u_diag[k];
-            z[k] = zk;
+        // Forrest–Tomlin row transforms, chronologically.
+        for tr in ft.iter() {
+            let mut dot = 0.0;
+            for &(c, mu) in &tr.entries {
+                dot += mu * z[c];
+            }
+            if dot != 0.0 {
+                z[tr.t] -= dot;
+            }
+            visited += tr.entries.len() as u64;
+        }
+        // Backward solve U z = y in pivotal order.
+        for j in (0..m).rev() {
+            let k = order[j];
+            let zk = z[k];
             if zk == 0.0 {
                 continue;
             }
+            let zk = zk / u_diag[k];
+            z[k] = zk;
             for &(i, val) in &u_cols[k] {
                 z[i] -= val * zk;
             }
-            ops += u_cols[k].len() as u64;
+            visited += u_cols[k].len() as u64;
         }
-        // Undo the column permutation into basis-position space.
+        // Undo the column permutation into basis-position space, leaving
+        // the scratch zeroed for the hyper-sparse kernels.
         for k in 0..m {
             x[q[k]] = z[k];
+            z[k] = 0.0;
         }
         ops += 3 * m as u64;
         // Apply the eta file in pivot order: x ← E⁻¹ x per eta.
@@ -377,65 +800,418 @@ impl LuFactors {
             for &(i, val) in &eta.entries {
                 x[i] -= val * t;
             }
-            ops += eta.entries.len() as u64;
+            visited += eta.entries.len() as u64 + 1;
         }
-        ops += etas.len() as u64;
-        self.work += ops;
+        self.work += ops + visited;
+        self.stats.ftran_solves += 1;
+        self.stats.ftran_visited += visited;
     }
 
-    /// BTRAN: overwrites `x` (indexed by basis position) with `B⁻ᵀ x`
-    /// (indexed by constraint row).
-    pub fn btran(&mut self, x: &mut [f64]) {
-        let m = self.m;
-        debug_assert_eq!(x.len(), m);
-        let mut ops = 0u64;
+    /// Hyper-sparse FTRAN kernel over the reach of `self.pat` (row
+    /// indices). Executes the same scatter operations as the scanning
+    /// kernel, in the same pivot order, visiting only reached slots.
+    fn ftran_hyper(&mut self, x: &mut [f64]) {
+        // Pattern rows → starting slots of the L reach.
         let LuFactors {
-            p,
+            pat, pat2, pinv, ..
+        } = self;
+        pat2.clear();
+        for &row in pat.iter() {
+            pat2.push(pinv[row]);
+        }
+        let mut edges = self.compute_reach(Phase::LowerFwd);
+        self.reach.sort_unstable();
+        let mut visited = 0u64;
+        {
+            let LuFactors {
+                p,
+                l_cols,
+                reach,
+                scratch: z,
+                pat2,
+                mark,
+                stamp,
+                ft,
+                ..
+            } = self;
+            // Forward solve L y = x over the reach, ascending slots.
+            for &k in reach.iter() {
+                let t = x[p[k]];
+                if t == 0.0 {
+                    continue;
+                }
+                for &(row, val) in &l_cols[k] {
+                    x[row] -= val * t;
+                }
+                visited += l_cols[k].len() as u64;
+            }
+            // Gather the (superset) result pattern into slot space; mark
+            // the non-zero slots as the seed of the U reach.
+            *stamp = stamp.wrapping_add(1);
+            if *stamp == 0 {
+                mark.fill(0);
+                *stamp = 1;
+            }
+            pat2.clear();
+            for &k in reach.iter() {
+                let v = x[p[k]];
+                x[p[k]] = 0.0;
+                if v != 0.0 {
+                    z[k] = v;
+                    mark[k] = *stamp;
+                    pat2.push(k);
+                }
+            }
+            // Forrest–Tomlin row transforms, chronologically; targets may
+            // extend the pattern.
+            for tr in ft.iter() {
+                let mut dot = 0.0;
+                for &(c, mu) in &tr.entries {
+                    dot += mu * z[c];
+                }
+                if dot != 0.0 {
+                    z[tr.t] -= dot;
+                    if mark[tr.t] != *stamp {
+                        mark[tr.t] = *stamp;
+                        pat2.push(tr.t);
+                    }
+                }
+                visited += tr.entries.len() as u64;
+            }
+        }
+        // Backward solve U z = y over the reach, descending pivotal order.
+        edges += self.compute_reach(Phase::UpperBwd);
+        let LuFactors {
             q,
-            l_cols,
+            order: _,
+            pos,
             u_cols,
             u_diag,
             etas,
+            reach,
             scratch: z,
             ..
         } = self;
-        // Eta transposes first, in reverse pivot order.
+        reach.sort_unstable_by_key(|&k| pos[k]);
+        for &k in reach.iter().rev() {
+            let zk = z[k];
+            if zk == 0.0 {
+                continue;
+            }
+            let zk = zk / u_diag[k];
+            z[k] = zk;
+            for &(i, val) in &u_cols[k] {
+                z[i] -= val * zk;
+            }
+            visited += u_cols[k].len() as u64;
+        }
+        // Scatter into basis-position space and re-zero the scratch.
+        for &k in reach.iter() {
+            x[q[k]] = z[k];
+            z[k] = 0.0;
+        }
+        // Apply the eta file (ProductForm) on the dense result.
+        for eta in etas.iter() {
+            let t = x[eta.r] / eta.pivot;
+            x[eta.r] = t;
+            if t == 0.0 {
+                continue;
+            }
+            for &(i, val) in &eta.entries {
+                x[i] -= val * t;
+            }
+            visited += eta.entries.len() as u64 + 1;
+        }
+        self.work += visited + edges + self.reach.len() as u64;
+        self.stats.ftran_solves += 1;
+        self.stats.ftran_hyper += 1;
+        self.stats.ftran_visited += visited + edges;
+    }
+
+    /// BTRAN: overwrites `x` (indexed by basis position) with `B⁻ᵀ x`
+    /// (indexed by constraint row). Scans `x` for its non-zero pattern;
+    /// prefer [`btran_sparse`](Self::btran_sparse) when the caller knows
+    /// the pattern.
+    pub fn btran(&mut self, x: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.m);
+        let cap = self.hyper_cap();
+        self.pat.clear();
+        let mut hyper = true;
+        for (i, &v) in x.iter().enumerate() {
+            if v != 0.0 {
+                if self.pat.len() >= cap {
+                    hyper = false;
+                    break;
+                }
+                self.pat.push(i);
+            }
+        }
+        if hyper {
+            self.btran_hyper(x);
+        } else {
+            self.btran_scan(x);
+        }
+    }
+
+    /// BTRAN with a caller-supplied non-zero pattern: `pattern` must be a
+    /// superset of the non-zero basis positions of `x`.
+    pub fn btran_sparse(&mut self, x: &mut [f64], pattern: &[usize]) {
+        debug_assert_eq!(x.len(), self.m);
+        if pattern.len() <= self.hyper_cap() {
+            debug_check_superset(x, pattern);
+            self.pat.clear();
+            self.pat.extend_from_slice(pattern);
+            self.btran_hyper(x);
+        } else {
+            self.btran_scan(x);
+        }
+    }
+
+    /// Scanning BTRAN kernel: sweeps every slot in scatter form, skipping
+    /// zeros.
+    fn btran_scan(&mut self, x: &mut [f64]) {
+        let m = self.m;
+        let mut visited = 0u64;
+        let LuFactors {
+            p,
+            q,
+            order,
+            l_rows,
+            u_rows,
+            u_diag,
+            etas,
+            ft,
+            scratch: z,
+            ..
+        } = self;
+        // Eta transposes first, in reverse pivot order (ProductForm).
         for eta in etas.iter().rev() {
             let mut dot = 0.0;
             for &(i, val) in &eta.entries {
                 dot += val * x[i];
             }
             x[eta.r] = (x[eta.r] - dot) / eta.pivot;
-            ops += eta.entries.len() as u64 + 1;
+            visited += eta.entries.len() as u64 + 1;
         }
-        // Uᵀ z = Q x, forward in step space (gather form).
+        // Gather into slot space.
         for k in 0..m {
-            let mut v = x[q[k]];
-            for &(i, val) in &u_cols[k] {
-                v -= val * z[i];
-            }
-            z[k] = v / u_diag[k];
-            ops += u_cols[k].len() as u64;
+            z[k] = x[q[k]];
+            x[q[k]] = 0.0;
         }
-        // Lᵀ y = z, backward; every original row is written exactly once.
+        // Forward solve Uᵀ z = c in pivotal order, scatter form.
+        for j in 0..m {
+            let k = order[j];
+            let v = z[k];
+            if v == 0.0 {
+                continue;
+            }
+            let zk = v / u_diag[k];
+            z[k] = zk;
+            for &(i, val) in &u_rows[k] {
+                z[i] -= val * zk;
+            }
+            visited += u_rows[k].len() as u64;
+        }
+        // Transposed Forrest–Tomlin row transforms, reverse order.
+        for tr in ft.iter().rev() {
+            let zt = z[tr.t];
+            if zt == 0.0 {
+                continue;
+            }
+            for &(c, mu) in &tr.entries {
+                z[c] -= mu * zt;
+            }
+            visited += tr.entries.len() as u64;
+        }
+        // Backward solve Lᵀ y = z in scatter form; every original row is
+        // written exactly once and the scratch is left zeroed.
         for k in (0..m).rev() {
-            let mut v = z[k];
-            for &(row, val) in &l_cols[k] {
-                v -= val * x[row];
-            }
+            let v = z[k];
+            z[k] = 0.0;
             x[p[k]] = v;
-            ops += l_cols[k].len() as u64;
+            if v == 0.0 {
+                continue;
+            }
+            for &(j, val) in &l_rows[p[k]] {
+                z[j] -= val * v;
+            }
+            visited += l_rows[p[k]].len() as u64;
         }
-        ops += 2 * m as u64;
-        self.work += ops;
+        self.work += visited + 3 * m as u64;
+        self.stats.btran_solves += 1;
+        self.stats.btran_visited += visited;
+    }
+
+    /// Hyper-sparse BTRAN kernel over the reach of `self.pat` (basis
+    /// positions). Same scatter operations as the scanning kernel, same
+    /// pivot order, only reached slots visited.
+    fn btran_hyper(&mut self, x: &mut [f64]) {
+        let mut visited = 0u64;
+        {
+            let LuFactors { etas, pat, .. } = self;
+            // Eta transposes on the dense vector (ProductForm): identical
+            // to the scanning kernel; targets extend the pattern.
+            for eta in etas.iter().rev() {
+                let mut dot = 0.0;
+                for &(i, val) in &eta.entries {
+                    dot += val * x[i];
+                }
+                x[eta.r] = (x[eta.r] - dot) / eta.pivot;
+                pat.push(eta.r);
+                visited += eta.entries.len() as u64 + 1;
+            }
+        }
+        {
+            // Pattern positions → starting slots (deduped via marks).
+            let LuFactors {
+                pat,
+                pat2,
+                qinv,
+                q,
+                scratch: z,
+                mark,
+                stamp,
+                ..
+            } = self;
+            *stamp = stamp.wrapping_add(1);
+            if *stamp == 0 {
+                mark.fill(0);
+                *stamp = 1;
+            }
+            pat2.clear();
+            for &posn in pat.iter() {
+                let k = qinv[posn];
+                if mark[k] != *stamp {
+                    mark[k] = *stamp;
+                    pat2.push(k);
+                    z[k] = x[q[k]];
+                    x[q[k]] = 0.0;
+                }
+            }
+        }
+        let mut edges = self.compute_reach(Phase::UpperTFwd);
+        {
+            let LuFactors {
+                pos,
+                u_rows,
+                u_diag,
+                ft,
+                reach,
+                pat2,
+                scratch: z,
+                mark,
+                stamp,
+                ..
+            } = self;
+            reach.sort_unstable_by_key(|&k| pos[k]);
+            // Forward solve Uᵀ z = c over the reach, ascending pivotal
+            // order, scatter form.
+            for &k in reach.iter() {
+                let v = z[k];
+                if v == 0.0 {
+                    continue;
+                }
+                let zk = v / u_diag[k];
+                z[k] = zk;
+                for &(i, val) in &u_rows[k] {
+                    z[i] -= val * zk;
+                }
+                visited += u_rows[k].len() as u64;
+            }
+            // Seed the Lᵀ reach with every slot the Uᵀ phase may have
+            // touched, then the transposed row transforms (which may
+            // extend it further).
+            *stamp = stamp.wrapping_add(1);
+            if *stamp == 0 {
+                mark.fill(0);
+                *stamp = 1;
+            }
+            pat2.clear();
+            for &k in reach.iter() {
+                mark[k] = *stamp;
+                pat2.push(k);
+            }
+            for tr in ft.iter().rev() {
+                let zt = z[tr.t];
+                if zt == 0.0 {
+                    continue;
+                }
+                for &(c, mu) in &tr.entries {
+                    z[c] -= mu * zt;
+                    if mark[c] != *stamp {
+                        mark[c] = *stamp;
+                        pat2.push(c);
+                    }
+                }
+                visited += tr.entries.len() as u64;
+            }
+        }
+        edges += self.compute_reach(Phase::LowerTBwd);
+        let LuFactors {
+            p,
+            l_rows,
+            reach,
+            scratch: z,
+            ..
+        } = self;
+        reach.sort_unstable();
+        // Backward solve Lᵀ y = z over the reach, descending slots; the
+        // scratch is re-zeroed as each slot is consumed.
+        for &k in reach.iter().rev() {
+            let v = z[k];
+            z[k] = 0.0;
+            x[p[k]] = v;
+            if v == 0.0 {
+                continue;
+            }
+            for &(j, val) in &l_rows[p[k]] {
+                z[j] -= val * v;
+            }
+            visited += l_rows[p[k]].len() as u64;
+        }
+        self.work += visited + edges + self.reach.len() as u64;
+        self.stats.btran_solves += 1;
+        self.stats.btran_hyper += 1;
+        self.stats.btran_visited += visited + edges;
     }
 
     /// Records a pivot: the basic column at position `r` is replaced by a
     /// column whose FTRANed form is `w` (so `w[r]` is the pivot element).
-    /// Appends one eta to the file; `O(nnz(w))`.
-    pub fn update(&mut self, r: usize, w: &[f64]) {
+    ///
+    /// Under [`UpdateRule::ProductForm`] this appends one eta
+    /// (`O(nnz(w))`, never fails). Under [`UpdateRule::ForrestTomlin`]
+    /// the stored `U` is modified in place; returns `false` when the
+    /// updated diagonal would be numerically degenerate — the caller must
+    /// then refactorise from the (already updated) basis columns instead.
+    pub fn update(&mut self, r: usize, w: &[f64], opts: &FactorOpts) -> bool {
         debug_assert_eq!(w.len(), self.m);
         debug_assert!(w[r] != 0.0, "pivot element must be non-zero");
+        let ok = match opts.update {
+            UpdateRule::ProductForm => {
+                self.update_product_form(r, w);
+                true
+            }
+            UpdateRule::ForrestTomlin => self.update_forrest_tomlin(r, w),
+        };
+        if ok {
+            self.updates += 1;
+            self.stats.updates += 1;
+            // Record how close the update file came to the refactor
+            // policy bound; peaks past ~1.0 beyond one pivot's overshoot
+            // mean the policy is not being enforced.
+            let bound = opts.eta_fill_factor * self.lu_nnz as f64;
+            if bound > 0.0 {
+                let ratio = self.update_nnz() as f64 / bound;
+                if ratio > self.stats.growth_peak {
+                    self.stats.growth_peak = ratio;
+                }
+            }
+        }
+        ok
+    }
+
+    /// Product-form update: append one eta holding the transformed column.
+    fn update_product_form(&mut self, r: usize, w: &[f64]) {
         let entries: Vec<(usize, f64)> = w
             .iter()
             .enumerate()
@@ -443,7 +1219,8 @@ impl LuFactors {
             .map(|(i, &v)| (i, v))
             .collect();
         self.work += entries.len() as u64 + 1;
-        self.eta_nnz += entries.len() + 1;
+        self.file_nnz += entries.len() + 1;
+        self.stats.update_nnz += entries.len() as u64 + 1;
         self.etas.push(Eta {
             r,
             pivot: w[r],
@@ -451,12 +1228,205 @@ impl LuFactors {
         });
     }
 
-    /// Refactorisation trigger: a long eta file costs every solve, a fat
-    /// one costs memory and accuracy; either pays for a fresh LU.
+    /// Forrest–Tomlin update: replace the `U` column of the leaving
+    /// slot with the spike of the entering column, move the slot to the
+    /// end of the pivotal order, and eliminate the out-of-place `U` row
+    /// with a recorded row transform.
+    ///
+    /// Cost per pivot is `O(m + reach + fill)`: the *floating-point*
+    /// work (spike accumulation, μ elimination, structure edits) is
+    /// reach/fill-bounded, but three pointer-light `Θ(m)` sweeps remain
+    /// — the scan of `w` for the spike pattern, the zero-skipping walk
+    /// of the trailing pivotal positions, and the cyclic order shift.
+    /// What matters for the solve-cost story is that *FTRAN/BTRAN* stay
+    /// flat; the update itself is charged for what it touches.
+    ///
+    /// Returns `false` (leaving the factors untouched) when the new
+    /// diagonal is numerically degenerate.
+    fn update_forrest_tomlin(&mut self, r: usize, w: &[f64]) -> bool {
+        let m = self.m;
+        let t = self.qinv[r];
+        let mut ops = 0u64;
+
+        // --- Spike v = L̃⁻¹ a_q = U ẑ, where ẑ is `w` mapped to slot
+        // space (w = B⁻¹ a_q = U⁻¹ L̃⁻¹ a_q). Computed as a sparse
+        // combination of U's columns so the engine need not save the
+        // FTRAN intermediate. Scratch `aux` holds the spike. ---
+        self.pat2.clear();
+        {
+            let LuFactors {
+                q,
+                u_cols,
+                u_diag,
+                aux,
+                pat2,
+                mark,
+                stamp,
+                ..
+            } = self;
+            *stamp = stamp.wrapping_add(1);
+            if *stamp == 0 {
+                mark.fill(0);
+                *stamp = 1;
+            }
+            let mut mark_spike = |i: usize, pat2: &mut Vec<usize>| {
+                if mark[i] != *stamp {
+                    mark[i] = *stamp;
+                    pat2.push(i);
+                }
+            };
+            for k in 0..m {
+                let zv = w[q[k]];
+                if zv == 0.0 {
+                    continue;
+                }
+                mark_spike(k, pat2);
+                aux[k] += u_diag[k] * zv;
+                for &(i, val) in &u_cols[k] {
+                    mark_spike(i, pat2);
+                    aux[i] += val * zv;
+                }
+                ops += u_cols[k].len() as u64 + 1;
+            }
+        }
+
+        // --- Row elimination multipliers: solve Ūᵀ μ = u_tᵀ over the
+        // trailing principal submatrix (slots after `t` in pivotal
+        // order), forward in pivotal order, scatter form. The reach of
+        // u_t's pattern bounds the non-zero μ's; a zero-skipping sweep of
+        // the trailing positions visits exactly those slots. ---
+        let mut mu: Vec<(usize, f64)> = Vec::new();
+        {
+            // Scatter row t of U into scratch (slot space).
+            let LuFactors {
+                u_rows, scratch: z, ..
+            } = self;
+            for &(k, val) in &u_rows[t] {
+                z[k] = val;
+            }
+            ops += u_rows[t].len() as u64;
+        }
+        let pos_t = self.pos[t];
+        {
+            let LuFactors {
+                order,
+                u_rows,
+                u_diag,
+                scratch: z,
+                ..
+            } = self;
+            for j in pos_t + 1..m {
+                let c = order[j];
+                let v = z[c];
+                if v == 0.0 {
+                    continue;
+                }
+                z[c] = 0.0;
+                let mc = v / u_diag[c];
+                mu.push((c, mc));
+                for &(k, val) in &u_rows[c] {
+                    z[k] -= val * mc;
+                }
+                ops += u_rows[c].len() as u64;
+            }
+        }
+
+        // --- New diagonal d = v[t] − μᵀ v; reject degenerate pivots
+        // before any structural mutation so a failed update leaves the
+        // factors intact for the caller's refactorisation. ---
+        let mut d = self.aux[t];
+        let mut spike_max = 0.0f64;
+        for &k in &self.pat2 {
+            let a = self.aux[k].abs();
+            if a > spike_max {
+                spike_max = a;
+            }
+        }
+        for &(c, mc) in &mu {
+            d -= mc * self.aux[c];
+        }
+        ops += mu.len() as u64;
+        if d.abs() < PIVOT_TOL * (1.0 + spike_max) {
+            // Clean the scratches and bail; `aux` holds the spike.
+            for &k in &self.pat2 {
+                self.aux[k] = 0.0;
+            }
+            self.work += ops;
+            return false;
+        }
+
+        // --- Commit. Remove the old column t from U (and its row-wise
+        // mirror)... ---
+        let old_col = std::mem::take(&mut self.u_cols[t]);
+        for &(i, _) in &old_col {
+            let rowlist = &mut self.u_rows[i];
+            if let Some(at) = rowlist.iter().position(|&(k, _)| k == t) {
+                rowlist.swap_remove(at);
+            }
+            ops += rowlist.len() as u64;
+        }
+        self.u_nnz -= old_col.len();
+        // ...remove the eliminated row t from U's columns... ---
+        let old_row = std::mem::take(&mut self.u_rows[t]);
+        for &(k, _) in &old_row {
+            let collist = &mut self.u_cols[k];
+            if let Some(at) = collist.iter().position(|&(i, _)| i == t) {
+                collist.swap_remove(at);
+            }
+            ops += collist.len() as u64;
+        }
+        self.u_nnz -= old_row.len();
+        // ...insert the spike as the new column t (all other slots now
+        // precede t in pivotal order, so every entry is above the new
+        // diagonal)... ---
+        let mut spike_fill = 0usize;
+        for idx in 0..self.pat2.len() {
+            let i = self.pat2[idx];
+            let v = self.aux[i];
+            self.aux[i] = 0.0;
+            if i == t || v == 0.0 {
+                continue;
+            }
+            self.u_cols[t].push((i, v));
+            self.u_rows[i].push((t, v));
+            spike_fill += 1;
+        }
+        self.u_diag[t] = d;
+        self.u_nnz += spike_fill;
+        ops += spike_fill as u64;
+        // ...move slot t to the end of the pivotal order... ---
+        {
+            let LuFactors { order, pos, .. } = self;
+            for j in pos_t + 1..m {
+                let s = order[j];
+                order[j - 1] = s;
+                pos[s] = j - 1;
+            }
+            order[m - 1] = t;
+            pos[t] = m - 1;
+        }
+        // ...and record the row transform for the solves. ---
+        self.file_nnz += mu.len();
+        self.stats.update_nnz += mu.len() as u64 + spike_fill as u64;
+        if !mu.is_empty() {
+            self.ft.push(FtTransform { t, entries: mu });
+        }
+        self.work += ops;
+        true
+    }
+
+    /// Refactorisation trigger: a long update file costs every solve, a
+    /// fat one costs memory and accuracy; either pays for a fresh LU.
+    ///
+    /// The fill trigger is `update_nnz > eta_fill_factor · lu_nnz`, where
+    /// `lu_nnz = nnz(L) + nnz(U)` *including both diagonals* — it already
+    /// counts the `m` unit-diagonal entries of `L`, so no separate `+ m`
+    /// term belongs in the bound (an earlier version double-counted it,
+    /// firing refactorisations later than documented).
     #[must_use]
     pub fn needs_refactor(&self, opts: &FactorOpts) -> bool {
-        self.etas.len() >= opts.refactor_interval as usize
-            || self.eta_nnz as f64 > opts.eta_fill_factor * (self.lu_nnz + self.m) as f64
+        self.updates as usize >= opts.refactor_interval as usize
+            || self.update_nnz() as f64 > opts.eta_fill_factor * self.lu_nnz as f64
     }
 }
 
@@ -628,8 +1598,10 @@ impl DenseInverse {
 /// The engine-facing dispatch over the two representations.
 #[derive(Debug, Clone)]
 pub(crate) enum Factorization {
-    /// Sparse LU with an eta file.
-    Lu(LuFactors),
+    /// Sparse LU with Forrest–Tomlin or product-form updates (boxed:
+    /// the LU machinery is an order of magnitude larger than the dense
+    /// oracle's handle).
+    Lu(Box<LuFactors>),
     /// Explicit dense inverse (oracle / fallback representation).
     Dense(DenseInverse),
 }
@@ -656,9 +1628,22 @@ impl Factorization {
         }
     }
 
-    pub(crate) fn btran(&mut self, x: &mut [f64]) {
+    /// FTRAN with a known RHS pattern (superset of non-zero rows); the
+    /// dense oracle ignores the hint.
+    pub(crate) fn ftran_sparse(&mut self, x: &mut [f64], pattern: &[usize]) {
         match self {
-            Factorization::Lu(f) => f.btran(x),
+            Factorization::Lu(f) => f.ftran_sparse(x, pattern),
+            Factorization::Dense(f) => f.ftran(x),
+        }
+    }
+
+    /// BTRAN with a known RHS pattern (superset of non-zero positions);
+    /// the dense oracle ignores the hint. (The engine always knows its
+    /// BTRAN patterns — basic costs, unit rows — so no pattern-less
+    /// dispatch variant exists.)
+    pub(crate) fn btran_sparse(&mut self, x: &mut [f64], pattern: &[usize]) {
+        match self {
+            Factorization::Lu(f) => f.btran_sparse(x, pattern),
             Factorization::Dense(f) => f.btran(x),
         }
     }
@@ -669,23 +1654,30 @@ impl Factorization {
             Factorization::Lu(f) => {
                 out.fill(0.0);
                 out[r] = 1.0;
-                f.btran(out);
+                f.btran_sparse(out, &[r]);
             }
             Factorization::Dense(f) => f.btran_unit(r, out),
         }
     }
 
-    pub(crate) fn update(&mut self, r: usize, w: &[f64]) {
+    /// Applies a pivot update under the configured rule. Returns `false`
+    /// when the representation could not absorb the pivot (Forrest–Tomlin
+    /// degenerate diagonal) — the caller must refactorise from the
+    /// updated basis columns before the next solve.
+    pub(crate) fn update(&mut self, r: usize, w: &[f64], opts: &FactorOpts) -> bool {
         match self {
-            Factorization::Lu(f) => f.update(r, w),
-            Factorization::Dense(f) => f.update(r, w),
+            Factorization::Lu(f) => f.update(r, w, opts),
+            Factorization::Dense(f) => {
+                f.update(r, w);
+                true
+            }
         }
     }
 
     /// Whether the accumulated updates warrant a fresh factorisation.
     /// The dense inverse is updated in place and never refactorises
     /// mid-run (matching the original engine); the LU representation
-    /// follows the eta-file policy in `opts`.
+    /// follows the update-file policy in `opts`.
     pub(crate) fn needs_refactor(&self, opts: &FactorOpts) -> bool {
         match self {
             Factorization::Lu(f) => f.needs_refactor(opts),
@@ -699,11 +1691,33 @@ impl Factorization {
             Factorization::Dense(f) => f.take_work(),
         }
     }
+
+    /// Drains the LU statistics (zero for the dense oracle).
+    pub(crate) fn take_stats(&mut self) -> FactorStats {
+        match self {
+            Factorization::Lu(f) => f.take_stats(),
+            Factorization::Dense(_) => FactorStats::default(),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn pf_opts() -> FactorOpts {
+        FactorOpts {
+            update: UpdateRule::ProductForm,
+            ..FactorOpts::default()
+        }
+    }
+
+    fn ft_opts() -> FactorOpts {
+        FactorOpts {
+            update: UpdateRule::ForrestTomlin,
+            ..FactorOpts::default()
+        }
+    }
 
     /// 3×3 matrix with a sparse structure and a known inverse action.
     fn sample_csc() -> CscMatrix {
@@ -778,36 +1792,38 @@ mod tests {
     }
 
     #[test]
-    fn eta_update_tracks_dense_rank_one() {
-        let a = sample_csc();
-        let cols = vec![3, 4, 5]; // all-slack identity basis
-        let mut lu = LuFactors::identity(3);
-        let mut dense = DenseInverse::identity(3);
-        assert!(lu.factorize(&cols, &a, 3));
-        assert!(dense.factorize(&cols, &a, 3));
-        // Pivot structural column 0 into row 0.
-        let mut w1 = vec![0.0; 3];
-        a.axpy_col(&mut w1, 1.0, 0);
-        let mut w2 = w1.clone();
-        lu.ftran(&mut w1);
-        dense.ftran(&mut w2);
-        lu.update(0, &w1);
-        dense.update(0, &w2);
-        assert_eq!(lu.eta_count(), 1);
-        let rhs = [5.0, -1.0, 2.0];
-        let mut x1 = rhs;
-        let mut x2 = rhs;
-        lu.ftran(&mut x1);
-        dense.ftran(&mut x2);
-        for (a, b) in x1.iter().zip(&x2) {
-            assert!((a - b).abs() < 1e-12, "{x1:?} vs {x2:?}");
-        }
-        let mut y1 = rhs;
-        let mut y2 = rhs;
-        lu.btran(&mut y1);
-        dense.btran(&mut y2);
-        for (a, b) in y1.iter().zip(&y2) {
-            assert!((a - b).abs() < 1e-12, "{y1:?} vs {y2:?}");
+    fn updates_track_dense_rank_one_under_both_rules() {
+        for opts in [pf_opts(), ft_opts()] {
+            let a = sample_csc();
+            let cols = vec![3, 4, 5]; // all-slack identity basis
+            let mut lu = LuFactors::identity(3);
+            let mut dense = DenseInverse::identity(3);
+            assert!(lu.factorize(&cols, &a, 3));
+            assert!(dense.factorize(&cols, &a, 3));
+            // Pivot structural column 0 into row 0.
+            let mut w1 = vec![0.0; 3];
+            a.axpy_col(&mut w1, 1.0, 0);
+            let mut w2 = w1.clone();
+            lu.ftran(&mut w1);
+            dense.ftran(&mut w2);
+            assert!(lu.update(0, &w1, &opts), "{opts:?}");
+            dense.update(0, &w2);
+            assert_eq!(lu.update_count(), 1);
+            let rhs = [5.0, -1.0, 2.0];
+            let mut x1 = rhs;
+            let mut x2 = rhs;
+            lu.ftran(&mut x1);
+            dense.ftran(&mut x2);
+            for (a, b) in x1.iter().zip(&x2) {
+                assert!((a - b).abs() < 1e-12, "{opts:?}: {x1:?} vs {x2:?}");
+            }
+            let mut y1 = rhs;
+            let mut y2 = rhs;
+            lu.btran(&mut y1);
+            dense.btran(&mut y2);
+            for (a, b) in y1.iter().zip(&y2) {
+                assert!((a - b).abs() < 1e-12, "{opts:?}: {y1:?} vs {y2:?}");
+            }
         }
     }
 
@@ -817,10 +1833,133 @@ mod tests {
         let tight = FactorOpts {
             refactor_interval: 0,
             eta_fill_factor: 0.0,
+            update: UpdateRule::default(),
         };
         assert!(lu.needs_refactor(&tight));
         let loose = FactorOpts::default();
         assert!(!lu.needs_refactor(&loose));
+    }
+
+    /// Pins the fill-trigger point of the refactor policy: with
+    /// `lu_nnz = m` (identity basis) and `eta_fill_factor = 2.0`, the
+    /// bound is exactly `2m` update non-zeros — not `2·(m + m)` as the
+    /// old double-counted formula had it.
+    #[test]
+    fn refactor_fill_bound_is_exact() {
+        let m = 4;
+        let a = CscMatrix::from_columns(m, &[vec![(0, 1.0)]]);
+        let mut lu = LuFactors::identity(m);
+        assert!(lu.factorize(&[1, 2, 3, 4], &a, 1)); // all-slack: lu_nnz = m
+        assert_eq!(lu.lu_nnz(), m);
+        let opts = FactorOpts {
+            refactor_interval: 1000,
+            eta_fill_factor: 2.0,
+            update: UpdateRule::ProductForm,
+        };
+        // Each eta below carries exactly 2 nnz (pivot + 1 off-diagonal).
+        let mut w = vec![0.0; m];
+        w[0] = 2.0;
+        w[1] = 1.0;
+        for k in 0..4 {
+            assert!(
+                !lu.needs_refactor(&opts),
+                "fired early at {} nnz (bound {})",
+                lu.update_nnz(),
+                2 * m
+            );
+            assert!(lu.update(0, &w, &opts));
+            assert_eq!(lu.update_nnz(), 2 * (k + 1));
+        }
+        // 8 nnz = 2·m: the bound is inclusive (trigger is strict >).
+        assert_eq!(lu.update_nnz(), 2 * m);
+        assert!(!lu.needs_refactor(&opts));
+        assert!(lu.update(0, &w, &opts));
+        // 10 nnz > 2·m: must fire now. Under the old `+ m` double-count
+        // the bound would have been 16 and this would still be quiet.
+        assert!(lu.needs_refactor(&opts));
+    }
+
+    #[test]
+    fn forrest_tomlin_keeps_solves_flat_vs_product_form() {
+        // After many pivots on the same factorisation, FTRAN under FT
+        // must not grow with the pivot count the way the eta file does.
+        let m = 16;
+        let cols: Vec<Vec<(usize, f64)>> =
+            (0..m).map(|j| vec![(j, 2.0), ((j + 1) % m, 1.0)]).collect();
+        let a = CscMatrix::from_columns(m, &cols);
+        let slack: Vec<usize> = (m..2 * m).collect();
+        let mut pf = LuFactors::identity(m);
+        let mut ft = LuFactors::identity(m);
+        assert!(pf.factorize(&slack, &a, m));
+        assert!(ft.factorize(&slack, &a, m));
+        let popts = pf_opts();
+        let fopts = ft_opts();
+        for j in 0..m {
+            let mut w1 = vec![0.0; m];
+            a.axpy_col(&mut w1, 1.0, j);
+            let mut w2 = w1.clone();
+            pf.ftran(&mut w1);
+            ft.ftran(&mut w2);
+            for (x, y) in w1.iter().zip(&w2) {
+                assert!((x - y).abs() < 1e-9, "pivot {j}");
+            }
+            assert!(pf.update(j, &w1, &popts));
+            assert!(ft.update(j, &w2, &fopts));
+        }
+        // Eta file carries one eta per pivot; the FT update file stays
+        // bounded by the row-transform fill, far below the eta total.
+        assert_eq!(pf.update_count(), m);
+        assert_eq!(ft.update_count(), m);
+        assert!(
+            ft.update_nnz() < pf.update_nnz(),
+            "ft {} vs pf {}",
+            ft.update_nnz(),
+            pf.update_nnz()
+        );
+        // And the two still agree on solves.
+        let rhs: Vec<f64> = (0..m).map(|i| (i as f64) - 7.0).collect();
+        let mut x1 = rhs.clone();
+        let mut x2 = rhs.clone();
+        pf.ftran(&mut x1);
+        ft.ftran(&mut x2);
+        for (x, y) in x1.iter().zip(&x2) {
+            assert!((x - y).abs() < 1e-8, "{x1:?} vs {x2:?}");
+        }
+        let mut y1 = rhs.clone();
+        let mut y2 = rhs;
+        pf.btran(&mut y1);
+        ft.btran(&mut y2);
+        for (x, y) in y1.iter().zip(&y2) {
+            assert!((x - y).abs() < 1e-8, "{y1:?} vs {y2:?}");
+        }
+    }
+
+    #[test]
+    fn hyper_and_scanning_kernels_agree_exactly() {
+        let a = sample_csc();
+        let cols = vec![0, 4, 2];
+        let mut scan = LuFactors::identity(3);
+        let mut hyper = LuFactors::identity(3);
+        scan.set_hyper_density_cutoff(0.0);
+        hyper.set_hyper_density_cutoff(1.0);
+        assert!(scan.factorize(&cols, &a, 3));
+        assert!(hyper.factorize(&cols, &a, 3));
+        for r in 0..3 {
+            let mut x1 = vec![0.0; 3];
+            let mut x2 = vec![0.0; 3];
+            x1[r] = 1.0;
+            x2[r] = 1.0;
+            scan.ftran(&mut x1);
+            hyper.ftran(&mut x2);
+            assert_eq!(x1, x2, "ftran e{r}");
+            let mut y1 = vec![0.0; 3];
+            let mut y2 = vec![0.0; 3];
+            y1[r] = 1.0;
+            y2[r] = 1.0;
+            scan.btran(&mut y1);
+            hyper.btran(&mut y2);
+            assert_eq!(y1, y2, "btran e{r}");
+        }
     }
 
     #[test]
@@ -830,5 +1969,8 @@ mod tests {
         assert!(lu.factorize(&[0, 1, 2], &a, 3));
         assert!(lu.take_work() > 0);
         assert_eq!(lu.take_work(), 0);
+        let stats = lu.take_stats();
+        assert_eq!(stats.refactors, 1);
+        assert_eq!(lu.take_stats(), FactorStats::default());
     }
 }

@@ -107,7 +107,7 @@ pub mod sparse;
 pub use basis::{Basis, VarStatus};
 pub use clock::{DeterministicClock, TICKS_PER_SECOND};
 pub use expr::{Comparison, ConstraintSense, LinExpr, VarId};
-pub use factor::{DenseInverse, FactorOpts, LuFactors};
+pub use factor::{DenseInverse, FactorOpts, FactorStats, LuFactors, UpdateRule};
 pub use model::{Constraint, Model, ModelError, VarType, Variable};
 pub use presolve::{Postsolve, PresolveConfig, PresolveStats, PresolvedModel};
 pub use simplex::{LpEngine, PricingRule};

@@ -31,6 +31,7 @@
 
 use crate::basis::Basis;
 use crate::expr::ConstraintSense;
+use crate::factor::{FactorStats, UpdateRule};
 use crate::model::Model;
 use crate::revised;
 
@@ -68,6 +69,10 @@ pub struct LpResult {
     /// fallback the degeneracy work targets) or because the caller forced
     /// [`LpEngine::DenseTableau`].
     pub dense_fallback: bool,
+    /// Factorisation counters behind this solve (FTRAN/BTRAN visited
+    /// non-zeros, kernel selections, update-file growth). All zeros on
+    /// dense-tableau and trivial solves.
+    pub factor: FactorStats,
 }
 
 /// Which LP engine handles a solve.
@@ -113,9 +118,13 @@ pub struct LpConfig {
     /// Eta updates / hot basis reuses tolerated before a refactorisation
     /// (replaces the old hard-coded `REFACTOR_EVERY = 64`).
     pub refactor_interval: u32,
-    /// Refactorise when the eta file outgrows this multiple of the LU
+    /// Refactorise when the update file outgrows this multiple of the LU
     /// fill-in (see [`crate::factor::FactorOpts`]).
     pub eta_fill_factor: f64,
+    /// How pivots are folded into the sparse LU factorisation: in-place
+    /// Forrest–Tomlin updates (the default) or the product-form eta file
+    /// (kept as the differential-testing oracle).
+    pub update: UpdateRule,
     /// Enables the bound-flipping (long-step) dual ratio test.
     pub bound_flips: bool,
     /// Anti-degeneracy cost perturbation on *cold* revised-simplex starts:
@@ -139,6 +148,7 @@ impl Default for LpConfig {
             pricing: PricingRule::Devex,
             refactor_interval: 64,
             eta_fill_factor: 3.0,
+            update: UpdateRule::default(),
             bound_flips: true,
             perturb: true,
             perturb_seed: 0,
@@ -153,6 +163,7 @@ impl LpConfig {
         crate::factor::FactorOpts {
             refactor_interval: self.refactor_interval,
             eta_fill_factor: self.eta_fill_factor,
+            update: self.update,
         }
     }
 }
@@ -547,6 +558,7 @@ pub(crate) fn solve_relaxation_in(
                     iterations: 0,
                     work_ticks: 1,
                     dense_fallback: false,
+                    factor: FactorStats::default(),
                 },
                 basis: None,
             };
@@ -586,6 +598,7 @@ fn solve_relaxation_dense(model: &Model, bounds: &[(f64, f64)], config: &LpConfi
                 iterations: 0,
                 work_ticks: 1,
                 dense_fallback: false,
+                factor: FactorStats::default(),
             };
         }
     }
@@ -610,6 +623,7 @@ fn solve_relaxation_dense(model: &Model, bounds: &[(f64, f64)], config: &LpConfi
                     iterations: 0,
                     work_ticks: 1,
                     dense_fallback: false,
+                    factor: FactorStats::default(),
                 };
             };
         }
@@ -621,6 +635,7 @@ fn solve_relaxation_dense(model: &Model, bounds: &[(f64, f64)], config: &LpConfi
             iterations: 0,
             work_ticks: n as u64,
             dense_fallback: false,
+            factor: FactorStats::default(),
         };
     }
 
@@ -867,6 +882,7 @@ fn finish(model: &Model, tab: &Tableau, status: LpStatus) -> LpResult {
         iterations: tab.iterations,
         work_ticks: tab.work_ticks,
         dense_fallback: true,
+        factor: FactorStats::default(),
     }
 }
 

@@ -117,11 +117,19 @@ impl SolverConfig {
         self
     }
 
-    /// Returns a copy with the given refactorisation cadence (eta updates
-    /// / hot basis reuses tolerated before a fresh factorisation).
+    /// Returns a copy with the given refactorisation cadence (pivot
+    /// updates / hot basis reuses tolerated before a fresh factorisation).
     #[must_use]
     pub fn with_refactor_interval(mut self, interval: u32) -> Self {
         self.lp.refactor_interval = interval;
+        self
+    }
+
+    /// Returns a copy with the given basis-update rule (in-place
+    /// Forrest–Tomlin, the default, or the product-form eta file).
+    #[must_use]
+    pub fn with_update_rule(mut self, update: crate::factor::UpdateRule) -> Self {
+        self.lp.update = update;
         self
     }
 
@@ -774,6 +782,11 @@ impl Solver {
         if !self.config.presolve.enabled {
             return self.run_search(model, warm, &mut callback, PresolveStats::default());
         }
+        // The short-circuit exits below happen *before* the first LP
+        // relaxation — no `Search` (owner of the real `lp_fallbacks`
+        // counter) exists yet, so a dense fallback is impossible there;
+        // every path that runs LPs reports through `run_search`.
+        let pre_search_fallbacks = 0u64;
         let presolved = match presolve(model, &self.config.presolve) {
             PresolveOutcome::Infeasible(stats) => {
                 return SolveResult {
@@ -784,7 +797,7 @@ impl Solver {
                     nodes: 0,
                     incumbents: Vec::new(),
                     presolve: stats,
-                    lp_fallbacks: 0,
+                    lp_fallbacks: pre_search_fallbacks,
                 };
             }
             PresolveOutcome::Reduced(p) => p,
@@ -806,7 +819,7 @@ impl Solver {
                     nodes: 0,
                     incumbents: Vec::new(),
                     presolve: presolved.stats,
-                    lp_fallbacks: 0,
+                    lp_fallbacks: pre_search_fallbacks,
                 };
             }
             let objective = model.objective_value(&values);
@@ -825,7 +838,7 @@ impl Solver {
                 nodes: 0,
                 incumbents: vec![event],
                 presolve: presolved.stats,
-                lp_fallbacks: 0,
+                lp_fallbacks: pre_search_fallbacks,
             };
         }
         let warm_reduced = warm.map(|w| presolved.postsolve.project(w));
@@ -965,6 +978,36 @@ mod tests {
             det_time_limit: 5.0,
             ..SolverConfig::default()
         }
+    }
+
+    /// The presolve short-circuit exits (model solved outright, or proved
+    /// infeasible, before any LP relaxation runs) must report a zero
+    /// dense-fallback count — no `Search` ever exists on those paths, so
+    /// a fallback is impossible by construction.
+    #[test]
+    fn presolve_short_circuits_report_zero_lp_fallbacks() {
+        // Fully fixed by singleton equality rows: presolve solves it.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("fx", m.expr([(x, 1.0)]).eq(1.0));
+        m.add_constraint("fy", m.expr([(y, 1.0)]).eq(0.0));
+        m.set_objective(m.expr([(x, 2.0), (y, 3.0)]));
+        let r = Solver::new(quick_config()).solve(&m);
+        assert_eq!(r.status, SolveStatus::Optimal);
+        assert_eq!(r.nodes, 0, "expected the presolve short-circuit");
+        assert_eq!(r.lp_fallbacks, 0);
+
+        // Contradictory singleton rows: presolve proves infeasibility.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.add_constraint("on", m.expr([(x, 1.0)]).eq(1.0));
+        m.add_constraint("off", m.expr([(x, 1.0)]).eq(0.0));
+        m.set_objective(m.expr([(x, 1.0)]));
+        let r = Solver::new(quick_config()).solve(&m);
+        assert_eq!(r.status, SolveStatus::Infeasible);
+        assert_eq!(r.nodes, 0);
+        assert_eq!(r.lp_fallbacks, 0);
     }
 
     #[test]

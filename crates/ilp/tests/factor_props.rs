@@ -1,14 +1,25 @@
 //! Property suite for the sparse LU basis factorisation
 //! ([`croxmap_ilp::factor`]): FTRAN/BTRAN must agree with the explicit
 //! dense-inverse oracle on seeded random bases (structural and slack
-//! columns mixed, with pivot updates layered on top), singular and
-//! degenerate bases must be rejected by both representations, and the
-//! eta-accumulation + forced-refactorisation cycle must be bit-for-bit
-//! deterministic across runs.
+//! columns mixed, with pivot updates layered on top), the Forrest–Tomlin
+//! and product-form update schemes must track each other and the oracle
+//! through long (including near-singular and highly degenerate) pivot
+//! sequences, the hyper-sparse and scanning solve kernels must agree
+//! exactly, singular and degenerate bases must be rejected by both
+//! representations, and the update-accumulation + forced-refactorisation
+//! cycle must be bit-for-bit deterministic across runs under either
+//! update rule.
 
-use croxmap_ilp::{CscMatrix, DenseInverse, FactorOpts, LuFactors};
+use croxmap_ilp::{CscMatrix, DenseInverse, FactorOpts, LuFactors, UpdateRule};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+fn opts_for(rule: UpdateRule) -> FactorOpts {
+    FactorOpts {
+        update: rule,
+        ..FactorOpts::default()
+    }
+}
 
 /// A random sparse `m × n` structural matrix with small integer entries
 /// (2–4 non-zeros per column), the same texture the croxmap formulations
@@ -127,65 +138,262 @@ fn degenerate_bases_rejected() {
 }
 
 #[test]
-fn eta_updates_track_dense_rank_one_across_pivots() {
-    for seed in 300..360u64 {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let m = rng.gen_range(4usize..=10);
-        let n = rng.gen_range(m..=2 * m);
-        let a = random_csc(&mut rng, m, n);
-        // Start from the all-slack identity basis and pivot structural
-        // columns in one at a time, keeping LU (etas) and the dense
-        // inverse (rank-one sweeps) in lockstep.
-        let mut basis: Vec<usize> = (n..n + m).collect();
-        let mut lu = LuFactors::identity(m);
-        let mut dense = DenseInverse::identity(m);
-        assert!(lu.factorize(&basis, &a, n));
-        assert!(dense.factorize(&basis, &a, n));
-        let mut pivots = 0u32;
-        for q in 0..n {
-            let r = rng.gen_range(0..m);
-            // Transformed column w = B⁻¹ a_q via the LU path.
-            let mut w = vec![0.0; m];
-            a.axpy_col(&mut w, 1.0, q);
-            let mut w_dense = w.clone();
-            lu.ftran(&mut w);
-            dense.ftran(&mut w_dense);
-            assert_close(&w, &w_dense, 1e-8, &format!("seed {seed} col {q} w"));
-            if w[r].abs() < 1e-6 || basis.contains(&q) {
-                continue; // unusable pivot for this random row
+fn updates_track_dense_rank_one_across_pivots_under_both_rules() {
+    for rule in [UpdateRule::ProductForm, UpdateRule::ForrestTomlin] {
+        let opts = opts_for(rule);
+        for seed in 300..360u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let m = rng.gen_range(4usize..=10);
+            let n = rng.gen_range(m..=2 * m);
+            let a = random_csc(&mut rng, m, n);
+            // Start from the all-slack identity basis and pivot structural
+            // columns in one at a time, keeping the LU (under `rule`) and
+            // the dense inverse (rank-one sweeps) in lockstep.
+            let mut basis: Vec<usize> = (n..n + m).collect();
+            let mut lu = LuFactors::identity(m);
+            let mut dense = DenseInverse::identity(m);
+            assert!(lu.factorize(&basis, &a, n));
+            assert!(dense.factorize(&basis, &a, n));
+            let mut pivots = 0u32;
+            for q in 0..n {
+                let r = rng.gen_range(0..m);
+                // Transformed column w = B⁻¹ a_q via the LU path.
+                let mut w = vec![0.0; m];
+                a.axpy_col(&mut w, 1.0, q);
+                let mut w_dense = w.clone();
+                lu.ftran(&mut w);
+                dense.ftran(&mut w_dense);
+                assert_close(&w, &w_dense, 1e-8, &format!("seed {seed} col {q} w"));
+                if w[r].abs() < 1e-6 || basis.contains(&q) {
+                    continue; // unusable pivot for this random row
+                }
+                basis[r] = q;
+                if !lu.update(r, &w, &opts) {
+                    // A Forrest–Tomlin update the representation cannot
+                    // absorb refactorises from the updated basis — the
+                    // engine's recovery path.
+                    assert!(lu.factorize(&basis, &a, n), "seed {seed}: recovery");
+                }
+                dense.update(r, &w_dense);
+                pivots += 1;
+                let rhs: Vec<f64> = (0..m)
+                    .map(|_| f64::from(rng.gen_range(-4i32..=4)))
+                    .collect();
+                let mut x1 = rhs.clone();
+                let mut x2 = rhs.clone();
+                lu.ftran(&mut x1);
+                dense.ftran(&mut x2);
+                assert_close(
+                    &x1,
+                    &x2,
+                    1e-6,
+                    &format!("{rule:?} seed {seed} ftran after pivot on {q}"),
+                );
+                let mut y1 = rhs.clone();
+                let mut y2 = rhs;
+                lu.btran(&mut y1);
+                dense.btran(&mut y2);
+                assert_close(
+                    &y1,
+                    &y2,
+                    1e-6,
+                    &format!("{rule:?} seed {seed} btran after pivot on {q}"),
+                );
             }
-            lu.update(r, &w);
-            dense.update(r, &w_dense);
-            basis[r] = q;
-            pivots += 1;
-            let rhs: Vec<f64> = (0..m)
-                .map(|_| f64::from(rng.gen_range(-4i32..=4)))
-                .collect();
-            let mut x1 = rhs.clone();
-            let mut x2 = rhs;
-            lu.ftran(&mut x1);
-            dense.ftran(&mut x2);
-            assert_close(&x1, &x2, 1e-6, &format!("seed {seed} after pivot on {q}"));
-        }
-        if pivots > 0 {
-            assert_eq!(lu.eta_count() as u32, pivots);
-            // A forced refactorisation of the updated basis must agree
-            // with the eta-file representation it replaces.
-            let rhs: Vec<f64> = (0..m).map(|i| (i as f64) - 1.5).collect();
-            let mut before = rhs.clone();
-            lu.ftran(&mut before);
-            assert!(lu.factorize(&basis, &a, n), "seed {seed}: refactorise");
-            assert_eq!(lu.eta_count(), 0);
-            let mut after = rhs;
-            lu.ftran(&mut after);
-            assert_close(&before, &after, 1e-6, &format!("seed {seed} refactor"));
+            if pivots > 0 {
+                // A forced refactorisation of the updated basis must agree
+                // with the update-file representation it replaces.
+                let rhs: Vec<f64> = (0..m).map(|i| (i as f64) - 1.5).collect();
+                let mut before = rhs.clone();
+                lu.ftran(&mut before);
+                assert!(lu.factorize(&basis, &a, n), "seed {seed}: refactorise");
+                assert_eq!(lu.update_count(), 0);
+                let mut after = rhs;
+                lu.ftran(&mut after);
+                assert_close(&before, &after, 1e-6, &format!("seed {seed} refactor"));
+            }
         }
     }
 }
 
-/// Runs one eta-accumulation + forced-refactorisation cycle and returns
-/// every intermediate FTRAN image of a fixed probe vector.
-fn eta_refactor_trace(seed: u64) -> Vec<Vec<f64>> {
+/// Forrest–Tomlin, product-form and the dense oracle driven in lockstep
+/// through long pivot sequences that revisit the same rows over and over
+/// (the highly degenerate pattern set-partitioning bases produce), on
+/// matrices spiked with near-singular columns.
+#[test]
+fn three_representations_agree_on_degenerate_and_near_singular_sequences() {
+    let mut total_pivots = 0u32;
+    for seed in 500..540u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = rng.gen_range(6usize..=12);
+        let n = 2 * m;
+        let mut cols: Vec<Vec<(usize, f64)>> = Vec::new();
+        for j in 0..n {
+            let base = random_csc(&mut rng, m, 1);
+            let (rows, vals) = base.col(0);
+            let mut col: Vec<(usize, f64)> =
+                rows.iter().copied().zip(vals.iter().copied()).collect();
+            // Every fourth column is scaled close to the pivot tolerance:
+            // factorisation survives, but pivots get ill-conditioned.
+            if j % 4 == 3 {
+                for e in &mut col {
+                    e.1 *= 1e-7;
+                }
+            }
+            cols.push(col);
+        }
+        let a = CscMatrix::from_columns(m, &cols);
+        let mut basis: Vec<usize> = (n..n + m).collect();
+        let mut ft = LuFactors::identity(m);
+        let mut pf = LuFactors::identity(m);
+        let mut dense = DenseInverse::identity(m);
+        assert!(ft.factorize(&basis, &a, n));
+        assert!(pf.factorize(&basis, &a, n));
+        assert!(dense.factorize(&basis, &a, n));
+        let fopts = opts_for(UpdateRule::ForrestTomlin);
+        let popts = opts_for(UpdateRule::ProductForm);
+        let mut pivots = 0u32;
+        for step in 0..3 * m {
+            // Degenerate churn: a small set of rows is pivoted repeatedly.
+            let r = rng.gen_range(0..m.min(4));
+            let q = rng.gen_range(0..n);
+            if basis.contains(&q) {
+                continue;
+            }
+            let mut w_ft = vec![0.0; m];
+            a.axpy_col(&mut w_ft, 1.0, q);
+            let mut w_pf = w_ft.clone();
+            let mut w_dense = w_ft.clone();
+            ft.ftran(&mut w_ft);
+            pf.ftran(&mut w_pf);
+            dense.ftran(&mut w_dense);
+            assert_close(&w_ft, &w_pf, 1e-5, &format!("seed {seed} step {step} w"));
+            if w_ft[r].abs() < 1e-5 {
+                continue;
+            }
+            basis[r] = q;
+            if !ft.update(r, &w_ft, &fopts) {
+                assert!(ft.factorize(&basis, &a, n), "seed {seed}: ft recovery");
+            }
+            assert!(pf.update(r, &w_pf, &popts));
+            dense.update(r, &w_dense);
+            pivots += 1;
+            let rhs: Vec<f64> = (0..m)
+                .map(|_| f64::from(rng.gen_range(-4i32..=4)))
+                .collect();
+            let mut x_ft = rhs.clone();
+            let mut x_pf = rhs.clone();
+            let mut x_dense = rhs.clone();
+            ft.ftran(&mut x_ft);
+            pf.ftran(&mut x_pf);
+            dense.ftran(&mut x_dense);
+            assert_close(
+                &x_ft,
+                &x_dense,
+                1e-5,
+                &format!("seed {seed} step {step} ft-vs-dense ftran"),
+            );
+            assert_close(
+                &x_pf,
+                &x_dense,
+                1e-5,
+                &format!("seed {seed} step {step} pf-vs-dense ftran"),
+            );
+            let mut y_ft = rhs.clone();
+            let mut y_dense = rhs;
+            ft.btran(&mut y_ft);
+            dense.btran(&mut y_dense);
+            assert_close(
+                &y_ft,
+                &y_dense,
+                1e-5,
+                &format!("seed {seed} step {step} ft-vs-dense btran"),
+            );
+        }
+        total_pivots += pivots;
+    }
+    // The family as a whole must exercise a long pivot history.
+    assert!(total_pivots > 120, "too few pivots overall: {total_pivots}");
+}
+
+/// The hyper-sparse (DFS reach) and scanning kernels execute the same
+/// scatter arithmetic in the same pivot order, so forcing either via the
+/// density cutover must not change a single result — across both update
+/// rules, sparse and dense right-hand sides, and refactorisations.
+#[test]
+fn hyper_sparse_and_scanning_kernels_agree_exactly() {
+    for rule in [UpdateRule::ProductForm, UpdateRule::ForrestTomlin] {
+        let opts = opts_for(rule);
+        for seed in 700..740u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let m = rng.gen_range(6usize..=14);
+            let n = rng.gen_range(m..=2 * m);
+            let a = random_csc(&mut rng, m, n);
+            let mut basis: Vec<usize> = (n..n + m).collect();
+            let mut scan = LuFactors::identity(m);
+            let mut hyper = LuFactors::identity(m);
+            scan.set_hyper_density_cutoff(0.0); // always the scanning kernels
+            hyper.set_hyper_density_cutoff(1.0); // always the reach kernels
+            assert!(scan.factorize(&basis, &a, n));
+            assert!(hyper.factorize(&basis, &a, n));
+            for q in 0..n {
+                let r = rng.gen_range(0..m);
+                let mut w1 = vec![0.0; m];
+                a.axpy_col(&mut w1, 1.0, q);
+                let mut w2 = w1.clone();
+                scan.ftran(&mut w1);
+                hyper.ftran(&mut w2);
+                assert_eq!(w1, w2, "{rule:?} seed {seed} col {q}: pivot column");
+                if w1[r].abs() < 1e-6 || basis.contains(&q) {
+                    continue;
+                }
+                basis[r] = q;
+                let ok1 = scan.update(r, &w1, &opts);
+                let ok2 = hyper.update(r, &w2, &opts);
+                assert_eq!(ok1, ok2, "{rule:?} seed {seed}: update verdict");
+                if !ok1 {
+                    assert!(scan.factorize(&basis, &a, n));
+                    assert!(hyper.factorize(&basis, &a, n));
+                }
+                // Sparse probes (unit vectors: the hyper-sparse fast
+                // path) and a dense probe (forced through the reach
+                // kernel only on `hyper`).
+                for probe in 0..m.min(3) {
+                    let mut x1 = vec![0.0; m];
+                    let mut x2 = vec![0.0; m];
+                    x1[probe] = 1.0;
+                    x2[probe] = 1.0;
+                    scan.ftran(&mut x1);
+                    hyper.ftran(&mut x2);
+                    assert_eq!(x1, x2, "{rule:?} seed {seed} q {q}: unit ftran {probe}");
+                    let mut y1 = vec![0.0; m];
+                    let mut y2 = vec![0.0; m];
+                    y1[probe] = 1.0;
+                    y2[probe] = 1.0;
+                    scan.btran(&mut y1);
+                    hyper.btran(&mut y2);
+                    assert_eq!(y1, y2, "{rule:?} seed {seed} q {q}: unit btran {probe}");
+                }
+                let dense_rhs: Vec<f64> = (0..m).map(|i| 1.0 + (i % 5) as f64).collect();
+                let mut x1 = dense_rhs.clone();
+                let mut x2 = dense_rhs.clone();
+                scan.ftran(&mut x1);
+                hyper.ftran(&mut x2);
+                assert_eq!(x1, x2, "{rule:?} seed {seed} q {q}: dense ftran");
+                let mut y1 = dense_rhs.clone();
+                let mut y2 = dense_rhs;
+                scan.btran(&mut y1);
+                hyper.btran(&mut y2);
+                assert_eq!(y1, y2, "{rule:?} seed {seed} q {q}: dense btran");
+            }
+        }
+    }
+}
+
+/// Runs one update-accumulation + forced-refactorisation cycle under
+/// `rule` and returns every intermediate FTRAN image of a fixed probe
+/// vector.
+fn update_refactor_trace(seed: u64, rule: UpdateRule) -> Vec<Vec<f64>> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let m = 8;
     let n = 12;
@@ -198,6 +406,7 @@ fn eta_refactor_trace(seed: u64) -> Vec<Vec<f64>> {
     let opts = FactorOpts {
         refactor_interval: 3,
         eta_fill_factor: 8.0,
+        update: rule,
     };
     for q in 0..n {
         let r = rng.gen_range(0..m);
@@ -207,9 +416,8 @@ fn eta_refactor_trace(seed: u64) -> Vec<Vec<f64>> {
         if w[r].abs() < 1e-6 || basis.contains(&q) {
             continue;
         }
-        lu.update(r, &w);
         basis[r] = q;
-        if lu.needs_refactor(&opts) {
+        if !lu.update(r, &w, &opts) || lu.needs_refactor(&opts) {
             assert!(lu.factorize(&basis, &a, n));
         }
         let mut beta = probe.clone();
@@ -221,21 +429,24 @@ fn eta_refactor_trace(seed: u64) -> Vec<Vec<f64>> {
 }
 
 #[test]
-fn eta_accumulation_with_forced_refactorisation_is_bit_deterministic() {
+fn update_accumulation_with_forced_refactorisation_is_bit_deterministic() {
     // The deterministic clock meters this machinery, so two identical
     // runs must produce bit-identical β vectors — not merely close ones —
-    // through every eta append and every forced refactorisation.
-    for seed in [7u64, 42, 1234] {
-        let t1 = eta_refactor_trace(seed);
-        let t2 = eta_refactor_trace(seed);
-        assert_eq!(t1.len(), t2.len());
-        for (step, (b1, b2)) in t1.iter().zip(&t2).enumerate() {
-            for (i, (x, y)) in b1.iter().zip(b2).enumerate() {
-                assert_eq!(
-                    x.to_bits(),
-                    y.to_bits(),
-                    "seed {seed} step {step} entry {i}: {x} vs {y}"
-                );
+    // through every pivot update and every forced refactorisation, under
+    // either update rule.
+    for rule in [UpdateRule::ProductForm, UpdateRule::ForrestTomlin] {
+        for seed in [7u64, 42, 1234] {
+            let t1 = update_refactor_trace(seed, rule);
+            let t2 = update_refactor_trace(seed, rule);
+            assert_eq!(t1.len(), t2.len());
+            for (step, (b1, b2)) in t1.iter().zip(&t2).enumerate() {
+                for (i, (x, y)) in b1.iter().zip(b2).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{rule:?} seed {seed} step {step} entry {i}: {x} vs {y}"
+                    );
+                }
             }
         }
     }

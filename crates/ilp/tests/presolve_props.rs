@@ -5,7 +5,7 @@
 //! feasibility and objectives.
 
 use croxmap_ilp::presolve::{presolve, PresolveConfig, PresolveOutcome};
-use croxmap_ilp::{LpEngine, Model, SolveStatus, Solver, SolverConfig, VarId};
+use croxmap_ilp::{LpEngine, Model, SolveStatus, Solver, SolverConfig, UpdateRule, VarId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -46,6 +46,10 @@ fn random_model(seed: u64) -> Model {
 }
 
 fn config(engine: LpEngine, presolve_on: bool) -> SolverConfig {
+    config_with_update(engine, UpdateRule::default(), presolve_on)
+}
+
+fn config_with_update(engine: LpEngine, update: UpdateRule, presolve_on: bool) -> SolverConfig {
     let presolve = if presolve_on {
         PresolveConfig::default()
     } else {
@@ -57,15 +61,20 @@ fn config(engine: LpEngine, presolve_on: bool) -> SolverConfig {
         ..SolverConfig::default()
     }
     .with_lp_engine(engine)
+    .with_update_rule(update)
     .with_presolve(presolve)
 }
 
 #[test]
 fn presolve_on_off_reach_identical_optima_across_engines() {
+    // The sparse engine appears twice: once per basis-update rule, so the
+    // Forrest–Tomlin default and the product-form oracle are both held to
+    // the dense references.
     let engines = [
-        LpEngine::SparseLu,
-        LpEngine::DenseInverse,
-        LpEngine::DenseTableau,
+        (LpEngine::SparseLu, UpdateRule::ForrestTomlin),
+        (LpEngine::SparseLu, UpdateRule::ProductForm),
+        (LpEngine::DenseInverse, UpdateRule::default()),
+        (LpEngine::DenseTableau, UpdateRule::default()),
     ];
     let mut optimal = 0u32;
     let mut infeasible = 0u32;
@@ -73,9 +82,10 @@ fn presolve_on_off_reach_identical_optima_across_engines() {
         let model = random_model(seed);
         // Reference: presolve off, dense tableau (the battle-tested oracle).
         let reference = Solver::new(config(LpEngine::DenseTableau, false)).solve(&model);
-        for engine in engines {
+        for (engine, update) in engines {
             for presolve_on in [true, false] {
-                let run = Solver::new(config(engine, presolve_on)).solve(&model);
+                let run =
+                    Solver::new(config_with_update(engine, update, presolve_on)).solve(&model);
                 assert_eq!(
                     run.status, reference.status,
                     "seed {seed}, {engine:?}, presolve {presolve_on}: status mismatch"
