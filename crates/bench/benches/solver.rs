@@ -17,27 +17,34 @@
 //! heterogeneous crossbar pool) — the workload the ROADMAP cares about.
 //! The family includes a degenerate `cold_root/*` group (single cold root
 //! LPs, raw vs unperturbed vs presolved, with rows/cols/nnz removed in
-//! the JSON) and `presolve_bb/*` rows toggling presolve over the full
-//! branch-and-bound.
+//! the JSON), `presolve_bb/*` rows toggling presolve over the full
+//! branch-and-bound, and a `cuts_root/*` group driving the root
+//! cutting-plane loop through the public `LpSession` API (root bound
+//! before/after, rounds, rows added, in-place growth batches, and the
+//! root gap closed against a reference incumbent).
 //!
 //! ## CI smoke mode
 //!
 //! With `CROXMAP_BENCH_SMOKE=1` the harness skips the criterion timing
 //! loops and the large instances, re-measures the committed n ∈ {48, 96}
-//! `lp_chain` workloads plus the `cold_root` group, and **fails (exit 1)
-//! if any guarded `work_ticks` (warm lp_chain, or cold_root with presolve
-//! / perturbation enabled) regresses more than 1.5× against the committed
-//! `BENCH_solver.json`**, or if a presolve-enabled cold root pays a
-//! dense-tableau fallback. The committed file is left untouched in this
-//! mode.
+//! `lp_chain` workloads plus the `cold_root` and `cuts_root` groups, and
+//! **fails (exit 1) if any guarded `work_ticks` (warm lp_chain, cold_root
+//! with presolve / perturbation enabled, or cuts_root) regresses more
+//! than 1.5× against the committed `BENCH_solver.json`**, if a
+//! presolve-enabled cold root pays a dense-tableau fallback, if a cut
+//! round ever *worsens* the root objective bound (valid cuts can only
+//! raise it), or if the cut loop pays a dense fallback. The committed
+//! file is left untouched in this mode.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use croxmap_core::baseline::greedy_first_fit;
 use croxmap_core::{FormulationConfig, MappingIlp, MappingObjective};
 use croxmap_gen::calibrated::{generate, NetworkSpec};
 use croxmap_ilp::presolve::{presolve, PresolveConfig, PresolveOutcome, PresolveStats};
-use croxmap_ilp::simplex::{self, LpSolver, LpStatus};
-use croxmap_ilp::{FactorStats, Model, Solver, SolverConfig, TICKS_PER_SECOND};
+use croxmap_ilp::simplex::{self, LpStatus};
+use croxmap_ilp::{
+    Cut, CutSeparator, FactorStats, LpSession, Model, Solver, SolverConfig, TICKS_PER_SECOND,
+};
 use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarPool};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -142,7 +149,9 @@ fn bench_lp_relaxation(c: &mut Criterion) {
     for n in [16usize, 48, 96] {
         let model = ring_cover(n);
         group.bench_with_input(BenchmarkId::new("ring_cover", n), &model, |b, m| {
-            b.iter(|| simplex::solve_model_relaxation(m, &simplex::LpConfig::default()));
+            let bounds: Vec<(f64, f64)> =
+                m.variables().iter().map(|v| (v.lower, v.upper)).collect();
+            b.iter(|| LpSession::open(m, simplex::LpConfig::default()).solve(&bounds, None));
         });
     }
     group.finish();
@@ -181,6 +190,30 @@ struct WarmColdRecord {
     /// Factorisation counters summed over the run's LP solves (None for
     /// runs that only observe `SolveResult`-level aggregates).
     factor: Option<FactorStats>,
+    /// Root cutting-plane trajectory (cuts_root rows only).
+    cuts: Option<CutsRootInfo>,
+}
+
+/// What one root cut loop achieved, for the `cuts_root/*` rows.
+struct CutsRootInfo {
+    /// Root LP objective before any cut.
+    bound_before: f64,
+    /// Root LP objective after the last round.
+    bound_after: f64,
+    /// Rounds that added at least one cut.
+    rounds: u32,
+    /// Cut rows appended.
+    rows_added: usize,
+    /// `false` if any round *lowered* the root bound (valid cuts cannot;
+    /// the smoke gate fails on it).
+    monotone: bool,
+    /// Row batches the live engine absorbed in place (vs snapshot
+    /// reinstalls with a refactorisation).
+    incremental_batches: u64,
+    /// Percentage of the root integrality gap closed, measured against a
+    /// reference branch-and-bound incumbent (`None` when the reference
+    /// found no solution or there was no gap).
+    gap_closed_pct: Option<f64>,
 }
 
 impl WarmColdRecord {
@@ -218,6 +251,7 @@ fn measure_bb(name: &str, model: &Model, warm_lp: bool) -> WarmColdRecord {
         presolve: Some(result.presolve),
         fallbacks: result.lp_fallbacks,
         factor: None,
+        cuts: None,
     }
 }
 
@@ -249,6 +283,7 @@ fn measure_bb_presolve(name: &str, model: &Model, presolve_on: bool) -> WarmCold
         presolve: presolve_on.then_some(result.presolve),
         fallbacks: result.lp_fallbacks,
         factor: None,
+        cuts: None,
     }
 }
 
@@ -269,6 +304,9 @@ fn measure_cold_root(name: &str, model: &Model, mode: &'static str) -> WarmColdR
         (model.clone(), None)
     };
     let start = Instant::now();
+    // Deliberately measured through the deprecated shim: the cold_root
+    // rows are the committed oracle for shim-vs-session tick identity.
+    #[allow(deprecated)]
     let result = simplex::solve_model_relaxation(&target, &lp_cfg);
     let wall = start.elapsed().as_secs_f64();
     WarmColdRecord {
@@ -282,6 +320,7 @@ fn measure_cold_root(name: &str, model: &Model, mode: &'static str) -> WarmColdR
         presolve: stats,
         fallbacks: u64::from(result.dense_fallback),
         factor: Some(result.factor),
+        cuts: None,
     }
 }
 
@@ -314,9 +353,9 @@ fn measure_lp_chain(
         .iter()
         .map(|v| (v.lower, v.upper))
         .collect();
-    let mut solver = LpSolver::new();
+    let mut solver = LpSession::open(model, lp_cfg);
     let start = Instant::now();
-    let root = solver.solve(model, &bounds, &lp_cfg, None);
+    let root = solver.solve(&bounds, None);
     let mut basis = root.basis;
     let mut ticks = root.result.work_ticks;
     let mut factor = root.result.factor;
@@ -332,12 +371,7 @@ fn measure_lp_chain(
                 .map_or(0.0, |&x| x.round().clamp(0.0, 1.0)),
         };
         bounds[j] = (fix, fix);
-        let out = solver.solve(
-            model,
-            &bounds,
-            &lp_cfg,
-            if warm { basis.as_ref() } else { None },
-        );
+        let out = solver.solve(&bounds, if warm { basis.as_ref() } else { None });
         ticks += out.result.work_ticks;
         factor.merge(&out.result.factor);
         fallbacks += u64::from(out.result.dense_fallback);
@@ -363,6 +397,115 @@ fn measure_lp_chain(
         presolve: None,
         fallbacks,
         factor: Some(factor),
+        cuts: None,
+    }
+}
+
+/// Root cutting-plane loop driven entirely through the public
+/// [`LpSession`] API: presolve, solve the root, separate cover/clique
+/// cuts (conflict graph seeded with presolve's exported cliques), append
+/// them to the live session, re-solve; up to 8 rounds. The JSON row
+/// records the bound trajectory, growth behaviour and — against a
+/// reference branch-and-bound incumbent — the root gap closed.
+fn measure_cuts_root(name: &str, model: &Model) -> WarmColdRecord {
+    let lp_cfg = simplex::LpConfig::default();
+    let (target, cliques, pre_stats) = match presolve(model, &PresolveConfig::default()) {
+        PresolveOutcome::Reduced(p) => (p.model, p.cliques, p.stats),
+        PresolveOutcome::Infeasible(_) => unreachable!("bench instances are feasible"),
+    };
+    let bounds: Vec<(f64, f64)> = target
+        .variables()
+        .iter()
+        .map(|v| (v.lower, v.upper))
+        .collect();
+    let mut session = LpSession::open(&target, lp_cfg);
+    let start = Instant::now();
+    let root = session.solve(&bounds, None);
+    let mut ticks = root.result.work_ticks;
+    let mut factor = root.result.factor;
+    let mut fallbacks = u64::from(root.result.dense_fallback);
+    let mut solves = 1u64;
+    let bound_before = root.result.objective;
+    let mut bound_after = bound_before;
+    let mut rounds = 0u32;
+    let mut rows_added = 0usize;
+    let mut monotone = true;
+    let mut basis = root.basis;
+    let mut values = root.result.values.clone();
+    let mut separator = CutSeparator::new(&target, &cliques);
+    // The loop runs the *shipped* root-cut configuration — round limit,
+    // per-round cap and stall guard all come from `SolverConfig` — so
+    // the guarded rows measure what `Solver::solve` actually does.
+    let round_limit = SolverConfig::default().cut_rounds;
+    let mut stalled = 0u32;
+    if root.result.status == LpStatus::Optimal && !separator.is_empty() {
+        for _ in 0..round_limit {
+            if stalled >= SolverConfig::CUT_STALL_LIMIT {
+                break;
+            }
+            let cuts = separator.separate(&values, SolverConfig::MAX_CUTS_PER_ROUND);
+            if cuts.is_empty() {
+                break;
+            }
+            let rows: Vec<_> = cuts.into_iter().map(Cut::into_row).collect();
+            let added = session.add_rows(rows, basis.as_ref());
+            ticks += added.work_ticks;
+            rows_added += added.added;
+            let out = session.solve(&bounds, added.basis.as_ref());
+            ticks += out.result.work_ticks;
+            factor.merge(&out.result.factor);
+            fallbacks += u64::from(out.result.dense_fallback);
+            solves += 1;
+            if out.result.status != LpStatus::Optimal {
+                break;
+            }
+            rounds += 1;
+            if out.result.objective < bound_after - 1e-6 {
+                monotone = false;
+            }
+            if out.result.objective > bound_after + 1e-9 {
+                stalled = 0;
+            } else {
+                stalled += 1;
+            }
+            bound_after = bound_after.max(out.result.objective);
+            basis = out.basis;
+            values = out.result.values;
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    // Reference incumbent for the gap-closed figure (not timed into the
+    // cut loop's wall clock; its determinism makes the figure stable).
+    let reference = Solver::new(SolverConfig {
+        det_time_limit: 5.0,
+        enable_lns: false,
+        ..SolverConfig::default()
+    })
+    .solve(model);
+    let gap_closed_pct = reference.best.as_ref().and_then(|best| {
+        let gap = best.objective() - bound_before;
+        (gap > 1e-9).then(|| 100.0 * (bound_after - bound_before) / gap)
+    });
+    WarmColdRecord {
+        instance: format!("cuts_root/{name}"),
+        mode: "cuts",
+        nodes: solves,
+        det_seconds: ticks as f64 / TICKS_PER_SECOND as f64,
+        work_ticks: ticks,
+        wall_seconds: wall,
+        objective: Some(bound_after),
+        presolve: Some(pre_stats),
+        fallbacks,
+        factor: Some(factor),
+        cuts: Some(CutsRootInfo {
+            bound_before,
+            bound_after,
+            rounds,
+            rows_added,
+            monotone,
+            incremental_batches: session.stats().incremental_row_batches,
+            gap_closed_pct,
+        }),
     }
 }
 
@@ -416,6 +559,23 @@ fn render_json(records: &[WarmColdRecord]) -> String {
                 p.cols_removed,
                 p.nnz_removed(),
                 p.nnz_before,
+            );
+        }
+        if let Some(c) = &r.cuts {
+            let gap = c
+                .gap_closed_pct
+                .map_or_else(|| "null".to_owned(), |g| format!("{g:.1}"));
+            let _ = write!(
+                out,
+                ", \"root_bound_before\": {}, \"root_bound_after\": {}, \"cut_rounds\": {}, \
+                 \"cut_rows_added\": {}, \"bound_monotone\": {}, \
+                 \"incremental_row_batches\": {}, \"root_gap_closed_pct\": {gap}",
+                round_objective(c.bound_before),
+                round_objective(c.bound_after),
+                c.rounds,
+                c.rows_added,
+                c.monotone,
+                c.incremental_batches,
             );
         }
         out.push('}');
@@ -502,7 +662,12 @@ fn collect_records(smoke: bool) -> Vec<WarmColdRecord> {
         for mode in ["raw", "noperturb", "presolved"] {
             records.push(measure_cold_root(&name, &model, mode));
         }
+        // Root cutting planes through the live-session API: the smoke
+        // gate fails any row whose cut rounds worsen the root bound or
+        // pay a dense fallback.
+        records.push(measure_cuts_root(&name, &model));
     }
+    records.push(measure_cuts_root("knapsack/96", &knapsack(96)));
     if !smoke {
         // Scale divisors: 16 ≈ 14 neurons, 8 ≈ 28 neurons (larger models
         // explode the cold chain's wall time without adding signal). The
@@ -541,9 +706,30 @@ fn smoke_check() -> bool {
     let mut ok = true;
     for r in &records {
         let guarded = (r.mode == "warm" && r.instance.starts_with("lp_chain/"))
-            || (r.instance.starts_with("cold_root/") && r.mode != "noperturb");
+            || (r.instance.starts_with("cold_root/") && r.mode != "noperturb")
+            || r.instance.starts_with("cuts_root/");
         if !guarded {
             continue;
+        }
+        // Cut-round invariants are measured live, not diffed: valid cuts
+        // can only raise the root bound, and the in-place growth path
+        // must never push a solve onto the dense tableau.
+        if let Some(c) = &r.cuts {
+            if !c.monotone {
+                println!(
+                    "bench-smoke: {:<44} {} cut round worsened the root bound \
+                     ({} -> {}) REGRESSED",
+                    r.instance, r.mode, c.bound_before, c.bound_after
+                );
+                ok = false;
+            }
+            if r.fallbacks > 0 {
+                println!(
+                    "bench-smoke: {:<44} {} cut loop paid {} dense fallback(s) REGRESSED",
+                    r.instance, r.mode, r.fallbacks
+                );
+                ok = false;
+            }
         }
         if r.instance.starts_with("cold_root/") && r.fallbacks > 0 {
             println!(
@@ -632,6 +818,21 @@ fn bench_warm_vs_cold(c: &mut Criterion) {
                         / (bc.nodes as f64 / bc.det_seconds.max(1e-9)),
                 );
             }
+        }
+    }
+    for r in &records {
+        if let Some(c) = &r.cuts {
+            println!(
+                "cuts_root {}: bound {} -> {} in {} rounds (+{} rows, {} in-place), gap closed {}",
+                r.instance,
+                c.bound_before,
+                c.bound_after,
+                c.rounds,
+                c.rows_added,
+                c.incremental_batches,
+                c.gap_closed_pct
+                    .map_or_else(|| "n/a".to_owned(), |g| format!("{g:.1}%")),
+            );
         }
     }
     for window in records.windows(3) {

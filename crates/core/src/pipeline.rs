@@ -46,8 +46,9 @@ impl PipelineConfig {
     /// callers reach the LP-level knobs — engine selection (sparse LU vs
     /// the dense oracles), basis-update rule (Forrest–Tomlin vs
     /// product-form etas, `SolverConfig::with_update_rule`), pricing
-    /// rule, refactorisation cadence, and the presolve stack
-    /// (`SolverConfig::with_presolve`) — e.g.
+    /// rule, refactorisation cadence, the presolve stack
+    /// (`SolverConfig::with_presolve`), and the root cutting-plane round
+    /// limit (`SolverConfig::with_cuts`) — e.g.
     /// `cfg.with_solver(cfg.solver.clone().with_pricing(...))`.
     #[must_use]
     pub fn with_solver(mut self, solver: SolverConfig) -> Self {
@@ -756,6 +757,24 @@ mod tests {
             for inc in &run.incumbents {
                 inc.mapping.validate(&net, &pool).unwrap();
             }
+        }
+    }
+
+    #[test]
+    fn cut_rounds_plumb_through_pipeline() {
+        // The root cutting-plane loop behind `SolverConfig::with_cuts`
+        // must not change the area optimum, with the loop disabled or
+        // deepened relative to the default.
+        let net = clustered();
+        let pool = pool();
+        for rounds in [0u32, 8] {
+            let cfg = PipelineConfig::with_budget(10.0).with_solver(
+                SolverConfig::default()
+                    .with_det_time_limit(10.0)
+                    .with_cuts(rounds),
+            );
+            let run = optimize_area(&net, &pool, &cfg);
+            assert_eq!(run.best_objective(), Some(32.0), "cut rounds {rounds}");
         }
     }
 

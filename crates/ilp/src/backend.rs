@@ -1,0 +1,600 @@
+//! The unified, capability-based LP backend API: [`LpBackend`] +
+//! [`LpSession`].
+//!
+//! Three generations of LP engines grew up in this crate — the dense
+//! two-phase tableau, the revised simplex over an explicit dense inverse,
+//! and the sparse LU engine under product-form and Forrest–Tomlin updates
+//! — each reached through its own entry point. This module folds them
+//! behind one **object-safe trait**, [`LpBackend`], whose capability
+//! flags ([`BackendCaps`]) say what a backend can absorb *incrementally*
+//! (without discarding its warm state): warm starts, bound deltas,
+//! objective deltas, and — new with this API — **dynamic row addition**,
+//! the primitive cutting planes and lazy constraints are built on.
+//!
+//! An [`LpSession`] owns everything one LP conversation needs:
+//!
+//! * the **model view** — a private copy of the caller's [`Model`] that
+//!   grows rows as cuts are appended ([`Model::append_row`], grow-only:
+//!   columns and existing rows never move),
+//! * the **backend** holding the live basis/factorisation between solves,
+//! * the dense-tableau **fallback ladder** every solve runs through (any
+//!   solve a backend declines lands on the battle-tested two-phase
+//!   tableau, exactly like the pre-session entry points), and
+//! * cumulative [`SessionStats`].
+//!
+//! ```
+//! use croxmap_ilp::{LpSession, Model};
+//! use croxmap_ilp::simplex::{LpConfig, LpStatus};
+//!
+//! let mut m = Model::new();
+//! let x = m.add_binary("x");
+//! let y = m.add_binary("y");
+//! m.add_constraint("cover", m.expr([(x, 1.0), (y, 1.0)]).geq(1.0));
+//! m.set_objective(m.expr([(x, 1.0), (y, 2.0)]));
+//!
+//! let mut session = LpSession::open(&m, LpConfig::default());
+//! let root = session.solve(&[(0.0, 1.0), (0.0, 1.0)], None);
+//! assert_eq!(root.result.status, LpStatus::Optimal);
+//!
+//! // Tighten the live relaxation with an extra row — no rebuild, the
+//! // engine's factorisation absorbs the growth in place.
+//! let basis = root.basis;
+//! let grown = session.add_rows(
+//!     vec![("cut".into(), m.expr([(x, 1.0)]).leq(0.0))],
+//!     basis.as_ref(),
+//! );
+//! let cut = session.solve(&[(0.0, 1.0), (0.0, 1.0)], grown.basis.as_ref());
+//! assert_eq!(cut.result.status, LpStatus::Optimal);
+//! assert!((cut.result.objective - 2.0).abs() < 1e-6);
+//! ```
+
+use crate::basis::{Basis, VarStatus};
+use crate::expr::Comparison;
+use crate::model::Model;
+use crate::revised::LpContext;
+use crate::simplex::{
+    solve_relaxation_dense, LpConfig, LpEngine, LpResult, LpStatus, WarmLpResult, TOL,
+};
+
+/// What an [`LpBackend`] can absorb **incrementally** — i.e. while
+/// keeping its warm state (basis, factorisation, reduced costs) alive.
+/// Anything a backend cannot absorb is still *correct* through the
+/// session's fallback ladder; the flags only describe what stays warm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(clippy::struct_excessive_bools)] // independent capability flags
+pub struct BackendCaps {
+    /// Re-optimises from a caller-supplied [`Basis`] snapshot.
+    pub warm_start: bool,
+    /// Applies bound changes to a live basis (dual reoptimisation)
+    /// instead of starting over.
+    pub bound_deltas: bool,
+    /// Re-prices a live basis after an objective change, keeping it when
+    /// it stays dual feasible.
+    pub objective_deltas: bool,
+    /// Grows a live basis by appended rows (new logical slacks enter the
+    /// basis; the factorisation absorbs the growth in place).
+    pub row_addition: bool,
+}
+
+impl BackendCaps {
+    /// A backend with no incremental capabilities (every solve is cold).
+    #[must_use]
+    pub const fn none() -> Self {
+        BackendCaps {
+            warm_start: false,
+            bound_deltas: false,
+            objective_deltas: false,
+            row_addition: false,
+        }
+    }
+
+    /// A fully incremental backend.
+    #[must_use]
+    pub const fn full() -> Self {
+        BackendCaps {
+            warm_start: true,
+            bound_deltas: true,
+            objective_deltas: true,
+            row_addition: true,
+        }
+    }
+}
+
+/// One LP engine behind the unified API. Object safe: sessions and tests
+/// hold backends as `Box<dyn LpBackend>` and drive every engine — dense
+/// tableau, dense inverse, sparse LU under either update rule — through
+/// the same calls.
+pub trait LpBackend {
+    /// Short engine name for diagnostics and bench logs.
+    fn name(&self) -> &'static str;
+
+    /// The backend's incremental capabilities.
+    fn caps(&self) -> BackendCaps;
+
+    /// Solves the relaxation of `view` under `bounds`, warm-starting from
+    /// `warm` when supported. `Err(spent_ticks)` declines the solve (the
+    /// session then runs the dense fallback, charging the declined
+    /// attempt's deterministic work on top).
+    ///
+    /// # Errors
+    ///
+    /// Returns the deterministic work burnt by the failed attempt when
+    /// the backend cannot finish the solve (numerical trouble, unbounded
+    /// dual start, failed verification).
+    fn solve(
+        &mut self,
+        view: &Model,
+        bounds: &[(f64, f64)],
+        config: &LpConfig,
+        warm: Option<&Basis>,
+    ) -> Result<(LpResult, Option<Basis>), u64>;
+
+    /// `view` already contains the appended rows `old_m..`; a backend
+    /// with [`BackendCaps::row_addition`] grows its live state in place
+    /// when that state is exactly `warm`, returning the grown snapshot.
+    /// `(None, spent)` means the growth was not absorbed — the caller
+    /// falls back to reinstalling a grown snapshot (one refactorisation).
+    fn absorb_rows(&mut self, view: &Model, old_m: usize, warm: &Basis) -> (Option<Basis>, u64) {
+        let _ = (view, old_m, warm);
+        (None, 0)
+    }
+
+    /// The objective in `view` changed; a backend with
+    /// [`BackendCaps::objective_deltas`] re-prices its live basis and
+    /// keeps it when dual feasible. Returns whether warm state survived,
+    /// plus the work spent.
+    fn absorb_objective(&mut self, view: &Model) -> (bool, u64) {
+        let _ = view;
+        (false, 0)
+    }
+}
+
+/// The revised-simplex backend: sparse LU (either update rule, per
+/// [`LpConfig::update`]) or the explicit dense inverse, with the full
+/// incremental capability set. Wraps the engine context that keeps the
+/// factorisation hot between solves.
+pub struct RevisedBackend {
+    engine: LpEngine,
+    ctx: LpContext,
+}
+
+impl RevisedBackend {
+    /// A backend over the given revised engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`LpEngine::DenseTableau`], which is not a revised
+    /// engine — use [`TableauBackend`].
+    #[must_use]
+    pub fn new(engine: LpEngine) -> Self {
+        assert_ne!(
+            engine,
+            LpEngine::DenseTableau,
+            "the tableau is not a revised engine; use TableauBackend"
+        );
+        RevisedBackend {
+            engine,
+            ctx: LpContext::default(),
+        }
+    }
+}
+
+impl LpBackend for RevisedBackend {
+    fn name(&self) -> &'static str {
+        match self.engine {
+            LpEngine::SparseLu => "sparse-lu",
+            LpEngine::DenseInverse => "dense-inverse",
+            LpEngine::DenseTableau => unreachable!("rejected in RevisedBackend::new"),
+        }
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps::full()
+    }
+
+    fn solve(
+        &mut self,
+        view: &Model,
+        bounds: &[(f64, f64)],
+        config: &LpConfig,
+        warm: Option<&Basis>,
+    ) -> Result<(LpResult, Option<Basis>), u64> {
+        // The engine choice is pinned at construction; per-solve configs
+        // only vary the tuning knobs.
+        let cfg = LpConfig {
+            engine: self.engine,
+            ..*config
+        };
+        self.ctx.solve(view, bounds, &cfg, warm)
+    }
+
+    fn absorb_rows(&mut self, view: &Model, old_m: usize, warm: &Basis) -> (Option<Basis>, u64) {
+        self.ctx.add_rows(view, old_m, warm)
+    }
+
+    fn absorb_objective(&mut self, view: &Model) -> (bool, u64) {
+        self.ctx.set_objective(view)
+    }
+}
+
+/// The dense two-phase primal tableau as a backend: stateless, no
+/// incremental capabilities, never declines. The terminal rung of every
+/// session's fallback ladder, and the slowest, most battle-tested oracle
+/// when selected outright ([`LpEngine::DenseTableau`]).
+#[derive(Default)]
+pub struct TableauBackend;
+
+impl LpBackend for TableauBackend {
+    fn name(&self) -> &'static str {
+        "dense-tableau"
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps::none()
+    }
+
+    fn solve(
+        &mut self,
+        view: &Model,
+        bounds: &[(f64, f64)],
+        config: &LpConfig,
+        _warm: Option<&Basis>,
+    ) -> Result<(LpResult, Option<Basis>), u64> {
+        Ok((solve_relaxation_dense(view, bounds, config), None))
+    }
+}
+
+/// Cumulative counters over one session's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Solves served (any rung of the ladder).
+    pub solves: u64,
+    /// Solves that landed on the dense-tableau rung — either because the
+    /// primary backend declined or because the tableau *is* the backend.
+    pub dense_fallbacks: u64,
+    /// Rows appended over the session's lifetime.
+    pub rows_added: u64,
+    /// Row batches the backend absorbed in place (live factorisation
+    /// growth — no refactorisation from scratch).
+    pub incremental_row_batches: u64,
+    /// Row batches that fell back to a snapshot reinstall (one
+    /// refactorisation at the grown dimensions on the next solve).
+    pub rebuilt_row_batches: u64,
+}
+
+/// Outcome of [`LpSession::add_rows`].
+#[derive(Debug, Clone)]
+pub struct RowAddition {
+    /// Rows actually appended to the view.
+    pub added: usize,
+    /// Basis to warm-start the next solve from: the live engine's grown
+    /// basis when the growth was absorbed in place, otherwise the
+    /// caller's snapshot extended with the new basic slacks (installed
+    /// with one refactorisation on the next solve). `None` when no
+    /// snapshot was supplied.
+    pub basis: Option<Basis>,
+    /// Whether a live factorisation absorbed the growth in place.
+    pub absorbed: bool,
+    /// Deterministic work spent growing (border BTRANs, any forced
+    /// refactorisation). Charge it to your clock like a solve's ticks.
+    pub work_ticks: u64,
+}
+
+/// An owning, incremental LP solving session: the model view, the live
+/// backend state (basis + factorisation), and stats. See the
+/// [module docs](self) for an example and
+/// [`Solver`](crate::Solver) for the primary consumer — branch-and-bound
+/// threads one session through an entire search, and the root cut loop
+/// tightens it in place through [`LpSession::add_rows`].
+pub struct LpSession {
+    view: Model,
+    config: LpConfig,
+    backend: Box<dyn LpBackend>,
+    stats: SessionStats,
+    base_rows: usize,
+}
+
+impl LpSession {
+    /// Opens a session on a snapshot of `model`, choosing the backend
+    /// from [`LpConfig::engine`]. Later mutations of the caller's model
+    /// do not affect the session; rows added through
+    /// [`LpSession::add_rows`] live only in the session's view.
+    #[must_use]
+    pub fn open(model: &Model, config: LpConfig) -> Self {
+        let backend: Box<dyn LpBackend> = match config.engine {
+            LpEngine::DenseTableau => Box::new(TableauBackend),
+            engine => Box::new(RevisedBackend::new(engine)),
+        };
+        LpSession::with_backend(model, config, backend)
+    }
+
+    /// Opens a session over an explicit backend — the trait-object entry
+    /// point the backend-equivalence property suite drives every engine
+    /// through.
+    #[must_use]
+    pub fn with_backend(model: &Model, config: LpConfig, backend: Box<dyn LpBackend>) -> Self {
+        LpSession {
+            view: model.clone(),
+            config,
+            backend,
+            stats: SessionStats::default(),
+            base_rows: model.num_constraints(),
+        }
+    }
+
+    /// The session's model view, including every appended row.
+    #[must_use]
+    pub fn model(&self) -> &Model {
+        &self.view
+    }
+
+    /// The active backend's name.
+    #[must_use]
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// The active backend's incremental capabilities.
+    #[must_use]
+    pub fn caps(&self) -> BackendCaps {
+        self.backend.caps()
+    }
+
+    /// Rows appended since the session opened.
+    #[must_use]
+    pub fn added_rows(&self) -> usize {
+        self.view.num_constraints() - self.base_rows
+    }
+
+    /// Cumulative session statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The session's current LP configuration.
+    #[must_use]
+    pub fn config(&self) -> &LpConfig {
+        &self.config
+    }
+
+    /// Updates the per-solve tuning knobs (iteration caps, refactor
+    /// cadence, perturbation seed, …). The engine choice is pinned at
+    /// [`LpSession::open`]; a differing [`LpConfig::engine`] is ignored.
+    pub fn configure(&mut self, config: LpConfig) {
+        self.config = LpConfig {
+            engine: self.config.engine,
+            ..config
+        };
+    }
+
+    /// Solves the relaxation of the current view under `bounds`
+    /// (one pair per structural variable), warm-starting from `warm`
+    /// when the backend supports it. Any solve the backend declines
+    /// falls through to the dense two-phase tableau, with the declined
+    /// attempt's deterministic work charged on top.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds.len()` differs from the view's variable count.
+    pub fn solve(&mut self, bounds: &[(f64, f64)], warm: Option<&Basis>) -> WarmLpResult {
+        let n = self.view.num_vars();
+        assert_eq!(bounds.len(), n, "one bound pair per variable required");
+        self.stats.solves += 1;
+        // Crossed overrides mean an infeasible node; no engine needed.
+        for &(l, u) in bounds {
+            if l > u + TOL {
+                return WarmLpResult {
+                    result: LpResult {
+                        status: LpStatus::Infeasible,
+                        objective: f64::INFINITY,
+                        values: Vec::new(),
+                        iterations: 0,
+                        work_ticks: 1,
+                        dense_fallback: false,
+                        factor: crate::factor::FactorStats::default(),
+                    },
+                    basis: None,
+                };
+            }
+        }
+        // The capability flags have teeth: a backend that declares no
+        // warm-start support never sees a basis.
+        let warm = if self.backend.caps().warm_start {
+            warm
+        } else {
+            None
+        };
+        let mut spent = 0u64;
+        if self.view.num_constraints() > 0 {
+            match self.backend.solve(&self.view, bounds, &self.config, warm) {
+                Ok((result, basis)) => {
+                    if result.dense_fallback {
+                        self.stats.dense_fallbacks += 1;
+                    }
+                    return WarmLpResult { result, basis };
+                }
+                Err(s) => spent = s,
+            }
+        }
+        let mut result = solve_relaxation_dense(&self.view, bounds, &self.config);
+        result.work_ticks += spent;
+        if result.dense_fallback {
+            self.stats.dense_fallbacks += 1;
+        }
+        WarmLpResult {
+            result,
+            basis: None,
+        }
+    }
+
+    /// Appends rows to the live relaxation — the cutting-plane / lazy
+    /// constraint primitive. Rows are grow-only: they may reference only
+    /// existing variables.
+    ///
+    /// With a `basis` from this session's latest optimal solve, a
+    /// backend with [`BackendCaps::row_addition`] grows its live
+    /// factorisation in place (new logical slacks enter the basis; dual
+    /// feasibility is preserved by construction) and returns the grown
+    /// basis; otherwise the snapshot is extended with the new basic
+    /// slacks and the next solve reinstalls it with one refactorisation
+    /// at the grown dimensions. Either way the next
+    /// [`LpSession::solve`] re-optimises only the violated cuts instead
+    /// of starting from scratch.
+    pub fn add_rows(
+        &mut self,
+        rows: Vec<(String, Comparison)>,
+        basis: Option<&Basis>,
+    ) -> RowAddition {
+        if rows.is_empty() {
+            return RowAddition {
+                added: 0,
+                basis: basis.cloned(),
+                absorbed: false,
+                work_ticks: 0,
+            };
+        }
+        let old_m = self.view.num_constraints();
+        let k = rows.len();
+        for (name, cmp) in rows {
+            self.view.append_row(name, cmp);
+        }
+        self.stats.rows_added += k as u64;
+        let Some(warm) = basis else {
+            self.stats.rebuilt_row_batches += 1;
+            return RowAddition {
+                added: k,
+                basis: None,
+                absorbed: false,
+                work_ticks: 0,
+            };
+        };
+        let (grown, work) = if self.backend.caps().row_addition {
+            self.backend.absorb_rows(&self.view, old_m, warm)
+        } else {
+            (None, 0)
+        };
+        match grown {
+            Some(b) => {
+                self.stats.incremental_row_batches += 1;
+                RowAddition {
+                    added: k,
+                    basis: Some(b),
+                    absorbed: true,
+                    work_ticks: work,
+                }
+            }
+            None => {
+                // Universal fallback: extend the snapshot with the new
+                // basic slacks; installing it refactorises at the grown
+                // dimensions.
+                self.stats.rebuilt_row_batches += 1;
+                let n = self.view.num_vars();
+                let mut cols = warm.cols.clone();
+                let mut status = warm.status.clone();
+                for row in old_m..old_m + k {
+                    cols.push(n + row);
+                    status.push(VarStatus::Basic);
+                }
+                RowAddition {
+                    added: k,
+                    basis: Some(Basis { cols, status }),
+                    absorbed: false,
+                    work_ticks: work,
+                }
+            }
+        }
+    }
+
+    /// Replaces the view's objective. A backend with
+    /// [`BackendCaps::objective_deltas`] re-prices its live basis and
+    /// keeps it warm when the basis stays dual feasible; otherwise the
+    /// next solve runs cold. Returns `(kept_warm, work_ticks)`.
+    pub fn set_objective(&mut self, objective: crate::expr::LinExpr) -> (bool, u64) {
+        self.view.set_objective(objective);
+        if self.backend.caps().objective_deltas {
+            self.backend.absorb_objective(&self.view)
+        } else {
+            (false, 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover_model() -> Model {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("cover", m.expr([(x, 1.0), (y, 1.0)]).geq(1.0));
+        m.set_objective(m.expr([(x, 1.0), (y, 2.0)]));
+        m
+    }
+
+    #[test]
+    fn session_solves_and_reports_backend() {
+        let m = cover_model();
+        let mut s = LpSession::open(&m, LpConfig::default());
+        assert_eq!(s.backend_name(), "sparse-lu");
+        assert!(s.caps().row_addition);
+        let out = s.solve(&[(0.0, 1.0), (0.0, 1.0)], None);
+        assert_eq!(out.result.status, LpStatus::Optimal);
+        assert!((out.result.objective - 1.0).abs() < 1e-9);
+        assert_eq!(s.stats().solves, 1);
+    }
+
+    #[test]
+    fn tableau_backend_has_no_caps_but_solves() {
+        let m = cover_model();
+        let cfg = LpConfig {
+            engine: LpEngine::DenseTableau,
+            ..LpConfig::default()
+        };
+        let mut s = LpSession::open(&m, cfg);
+        assert_eq!(s.backend_name(), "dense-tableau");
+        assert_eq!(s.caps(), BackendCaps::none());
+        let out = s.solve(&[(0.0, 1.0), (0.0, 1.0)], None);
+        assert_eq!(out.result.status, LpStatus::Optimal);
+        assert!(out.result.dense_fallback);
+        assert_eq!(s.stats().dense_fallbacks, 1);
+    }
+
+    #[test]
+    fn add_rows_absorbs_on_live_engine() {
+        let m = cover_model();
+        let bounds = [(0.0, 1.0), (0.0, 1.0)];
+        let mut s = LpSession::open(&m, LpConfig::default());
+        let root = s.solve(&bounds, None);
+        let x = crate::expr::VarId(0);
+        let grown = s.add_rows(
+            vec![("cut".into(), m.expr([(x, 1.0)]).leq(0.0))],
+            root.basis.as_ref(),
+        );
+        assert_eq!(grown.added, 1);
+        assert!(grown.absorbed, "live engine must grow in place");
+        let out = s.solve(&bounds, grown.basis.as_ref());
+        assert_eq!(out.result.status, LpStatus::Optimal);
+        assert!((out.result.objective - 2.0).abs() < 1e-9, "x forced off");
+        assert_eq!(s.added_rows(), 1);
+        assert_eq!(s.stats().incremental_row_batches, 1);
+    }
+
+    #[test]
+    fn objective_delta_keeps_warm_state_when_dual_feasible() {
+        let m = cover_model();
+        let bounds = [(0.0, 1.0), (0.0, 1.0)];
+        let mut s = LpSession::open(&m, LpConfig::default());
+        let root = s.solve(&bounds, None);
+        assert_eq!(root.result.status, LpStatus::Optimal);
+        // Raising y's cost keeps (x basic at 1, y at lower) dual feasible.
+        let x = crate::expr::VarId(0);
+        let y = crate::expr::VarId(1);
+        let (kept, _) = s.set_objective(m.expr([(x, 1.0), (y, 5.0)]));
+        assert!(kept);
+        let out = s.solve(&bounds, root.basis.as_ref());
+        assert_eq!(out.result.status, LpStatus::Optimal);
+        assert!((out.result.objective - 1.0).abs() < 1e-9);
+    }
+}

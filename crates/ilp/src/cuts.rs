@@ -1,0 +1,558 @@
+//! Cutting planes over binary models: knapsack **cover cuts** and
+//! conflict-graph **clique cuts**, separated at the branch-and-bound root
+//! and appended to the live relaxation through
+//! [`LpSession::add_rows`](crate::LpSession::add_rows).
+//!
+//! Both families are *globally valid*: they cut off fractional vertices
+//! of the LP relaxation but never an integer-feasible point, so rows
+//! added at the root stay correct throughout the whole search tree.
+//!
+//! * **Cover cuts** — a binary knapsack row `Σ a_j x_j ≤ b` (all
+//!   `a_j > 0`) admits, for every *minimal cover* `C`
+//!   (`Σ_{C} a_j > b`, minimal under removal), the inequality
+//!   `Σ_{C} x_j ≤ |C| − 1`; the separator greedily builds a cover around
+//!   the fractional point, minimises it, and *extends* it with every
+//!   column at least as heavy as the cover's heaviest member (the classic
+//!   extended cover, valid for minimal covers).
+//! * **Clique cuts** — set-packing rows (`Σ x_j ≤ 1`, including the `≤`
+//!   direction of partition equalities) define a conflict graph; any
+//!   clique `K` in that graph yields `Σ_{K} x_j ≤ 1`. The separator
+//!   greedily grows cliques around high-valued fractional variables,
+//!   merging conflicts from *different* rows into inequalities no single
+//!   row implies. The cliques presolve extracts
+//!   ([`PresolvedModel::cliques`](crate::presolve::PresolvedModel)) seed
+//!   the graph on reduced models.
+//!
+//! A violated cut is only ever *newly* violated: the LP optimum satisfies
+//! every row already in the session, so re-separating after a round can
+//! not regenerate an added cut.
+
+use crate::expr::{Comparison, ConstraintSense, LinExpr, VarId};
+use crate::model::{Model, VarType};
+use std::collections::HashSet;
+
+/// Violation below which a candidate cut is not worth adding.
+const CUT_TOL: f64 = 1e-6;
+/// Fractional-value floor for clique-growth candidates.
+const FRAC_TOL: f64 = 1e-6;
+
+/// Which separator produced a cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutKind {
+    /// Extended knapsack cover cut from a binary `≤` row.
+    Cover,
+    /// Clique cut from the packing-row conflict graph.
+    Clique,
+}
+
+/// One separated, globally valid cutting plane (always a `≤` row).
+#[derive(Debug, Clone)]
+pub struct Cut {
+    /// Diagnostic row name (`cover…` / `clique…`).
+    pub name: String,
+    /// Left-hand side terms (unit coefficients for both families).
+    pub terms: Vec<(VarId, f64)>,
+    /// Right-hand side.
+    pub rhs: f64,
+    /// Violation at the point it was separated against.
+    pub violation: f64,
+    /// Producing family.
+    pub kind: CutKind,
+}
+
+impl Cut {
+    /// The cut as a session row.
+    #[must_use]
+    pub fn into_row(self) -> (String, Comparison) {
+        let cmp = LinExpr::from_terms(self.terms).leq(self.rhs);
+        (self.name, cmp)
+    }
+}
+
+/// One column of a (complemented) knapsack row: weight is always
+/// positive; `complemented` marks a column whose original coefficient was
+/// negative, entering the knapsack as `x̄ = 1 − x`. Complementation is
+/// what lets the cover separator engage **mixed-sign** binary `≤` rows —
+/// in particular the gated capacity rows `Σ aⱼxⱼ − c·y ≤ 0` of the
+/// set-partitioning formulation, where a cover containing `ȳ` yields the
+/// disaggregated `x ≤ y` strengthening the aggregated linking rows lack.
+#[derive(Clone, Copy)]
+struct KnapItem {
+    col: u32,
+    weight: f64,
+    complemented: bool,
+}
+
+/// A binary `≤` row in complemented (all-positive) knapsack form.
+struct KnapRow {
+    items: Vec<KnapItem>,
+    /// Complemented right-hand side `b + Σ_{aⱼ<0} |aⱼ|` (always > 0).
+    rhs: f64,
+}
+
+/// Stateful separator for one model: built once at the root (knapsack
+/// rows + conflict graph), then queried with successive fractional
+/// points. Tracks emitted supports so no cut is produced twice.
+pub struct CutSeparator {
+    /// Binary `≤` rows in complemented knapsack form.
+    knap_rows: Vec<KnapRow>,
+    /// Conflict-graph adjacency per column (binary columns only).
+    adj: Vec<HashSet<u32>>,
+    /// Columns with any conflict, for the clique growth candidate sweep.
+    in_graph: Vec<u32>,
+    /// Supports already emitted (family tag + sign-encoded columns).
+    seen: HashSet<Vec<u32>>,
+    /// Monotone name counter.
+    emitted: usize,
+}
+
+impl CutSeparator {
+    /// Builds the separator for `model`, seeding the conflict graph with
+    /// `cliques` (e.g. the packing cliques presolve exports) in addition
+    /// to the packing rows found in the model itself.
+    #[must_use]
+    pub fn new(model: &Model, cliques: &[Vec<VarId>]) -> Self {
+        let n = model.num_vars();
+        let binary: Vec<bool> = model
+            .variables()
+            .iter()
+            .map(|v| v.ty == VarType::Binary)
+            .collect();
+        let mut knap_rows: Vec<KnapRow> = Vec::new();
+        let mut adj: Vec<HashSet<u32>> = vec![HashSet::new(); n];
+        let add_clique = |members: &[u32], adj: &mut Vec<HashSet<u32>>| {
+            for (i, &u) in members.iter().enumerate() {
+                for &v in &members[i + 1..] {
+                    if u != v {
+                        adj[u as usize].insert(v);
+                        adj[v as usize].insert(u);
+                    }
+                }
+            }
+        };
+        for con in model.constraints() {
+            if con.terms.len() < 2 || !con.terms.iter().all(|&(v, _)| binary[v.index()]) {
+                continue;
+            }
+            // Binary `≤` rows feed the cover separator in complemented
+            // form: negative-coefficient columns enter as `1 − x`, the
+            // right-hand side absorbs their magnitude.
+            if con.sense == ConstraintSense::Le {
+                let items: Vec<KnapItem> = con
+                    .terms
+                    .iter()
+                    .filter(|&&(_, a)| a != 0.0)
+                    .map(|&(v, a)| KnapItem {
+                        col: v.0,
+                        weight: a.abs(),
+                        complemented: a < 0.0,
+                    })
+                    .collect();
+                let rhs = con.rhs
+                    + con
+                        .terms
+                        .iter()
+                        .filter(|&&(_, a)| a < 0.0)
+                        .map(|&(_, a)| -a)
+                        .sum::<f64>();
+                let total: f64 = items.iter().map(|i| i.weight).sum();
+                if rhs > CUT_TOL && total > rhs + CUT_TOL {
+                    knap_rows.push(KnapRow { items, rhs });
+                }
+            }
+            // Packing rows (and the ≤ side of partition equalities) are
+            // conflict-graph cliques.
+            let packing = matches!(con.sense, ConstraintSense::Le | ConstraintSense::Eq)
+                && con.rhs <= 1.0 + CUT_TOL
+                && con.terms.iter().all(|&(_, a)| a >= 1.0 - CUT_TOL);
+            if packing {
+                let members: Vec<u32> = con.terms.iter().map(|&(v, _)| v.0).collect();
+                add_clique(&members, &mut adj);
+            }
+        }
+        for clique in cliques {
+            let members: Vec<u32> = clique
+                .iter()
+                .filter(|v| v.index() < n && binary[v.index()])
+                .map(|v| v.0)
+                .collect();
+            add_clique(&members, &mut adj);
+        }
+        // Pairwise knapsack conflicts: in a positive binary row
+        // `Σ a_j x_j ≤ b`, two columns with `a_u + a_v > b` can never both
+        // be 1, so they are conflict-graph edges — the cross-row edges
+        // that let clique growth merge capacity conflicts with packing
+        // rows (set-partitioning's capacity rows produce exactly these).
+        // Descending-coefficient order makes each column's conflict set a
+        // prefix, so a two-pointer sweep enumerates only real edges; a
+        // global cap bounds pathological rows.
+        let mut edge_budget = 50_000usize;
+        for row in &knap_rows {
+            if edge_budget == 0 {
+                break;
+            }
+            // Only original (non-complemented) columns make clique edges:
+            // `a_u + a_v > rhs'` means both at 1 overflows the row even
+            // with every negative column helping.
+            let mut order: Vec<(u32, f64)> = row
+                .items
+                .iter()
+                .filter(|i| !i.complemented)
+                .map(|i| (i.col, i.weight))
+                .collect();
+            order.sort_by(|p, q| {
+                q.1.partial_cmp(&p.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(p.0.cmp(&q.0))
+            });
+            let mut t = order.len();
+            for i in 0..order.len() {
+                // Conflicts of item i: the heaviest items j (j > i) with
+                // a_i + a_j > rhs; as a_i shrinks the prefix shrinks too.
+                while t > i + 1 && order[i].1 + order[t - 1].1 <= row.rhs + CUT_TOL {
+                    t -= 1;
+                }
+                if t <= i + 1 {
+                    // Coefficients only shrink from here: no pair left.
+                    break;
+                }
+                for &(v, _) in &order[i + 1..t] {
+                    let u = order[i].0;
+                    if adj[u as usize].insert(v) {
+                        adj[v as usize].insert(u);
+                        edge_budget = edge_budget.saturating_sub(1);
+                    }
+                }
+                if edge_budget == 0 {
+                    break;
+                }
+            }
+        }
+        let in_graph: Vec<u32> = (0..n as u32)
+            .filter(|&j| !adj[j as usize].is_empty())
+            .collect();
+        CutSeparator {
+            knap_rows,
+            adj,
+            in_graph,
+            seen: HashSet::new(),
+            emitted: 0,
+        }
+    }
+
+    /// Whether any separation is possible at all on this model.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.knap_rows.is_empty() && self.in_graph.is_empty()
+    }
+
+    /// Separates up to `max_cuts` cuts violated by the fractional point
+    /// `x`, most violated first. Cuts whose support was emitted before
+    /// are suppressed, so successive rounds only ever return new rows.
+    #[must_use]
+    pub fn separate(&mut self, x: &[f64], max_cuts: usize) -> Vec<Cut> {
+        let mut cuts = Vec::new();
+        self.separate_covers(x, &mut cuts);
+        self.separate_cliques(x, &mut cuts);
+        cuts.sort_by(|a, b| {
+            b.violation
+                .partial_cmp(&a.violation)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        cuts.truncate(max_cuts);
+        // Only now commit the survivors' supports, so capped-out cuts can
+        // return in a later round.
+        let mut out = Vec::with_capacity(cuts.len());
+        for mut cut in cuts {
+            // Family tag + sign-encoded columns, so a cover over `1 − x`
+            // never collides with a clique or a cover over `x`.
+            let mut key: Vec<u32> = vec![match cut.kind {
+                CutKind::Cover => 0,
+                CutKind::Clique => 1,
+            }];
+            let mut cols: Vec<u32> = cut
+                .terms
+                .iter()
+                .map(|&(v, c)| v.0 * 2 + u32::from(c < 0.0))
+                .collect();
+            cols.sort_unstable();
+            key.extend(cols);
+            if !self.seen.insert(key) {
+                continue;
+            }
+            let tag = self.emitted;
+            self.emitted += 1;
+            cut.name = match cut.kind {
+                CutKind::Cover => format!("cover{tag}"),
+                CutKind::Clique => format!("clique{tag}"),
+            };
+            out.push(cut);
+        }
+        out
+    }
+
+    /// Greedy minimal-cover separation with the classic extension, over
+    /// the complemented (all-positive) row form: a complemented member
+    /// contributes `1 − x` to the cover inequality, i.e. a `−x` term and
+    /// a unit off the right-hand side.
+    fn separate_covers(&self, x: &[f64], out: &mut Vec<Cut>) {
+        // ỹ: the complemented value of an item at the point `x`.
+        let val = |it: &KnapItem| {
+            let v = x[it.col as usize];
+            if it.complemented {
+                1.0 - v
+            } else {
+                v
+            }
+        };
+        for row in &self.knap_rows {
+            let items = &row.items;
+            // Greedy cover: take items by descending complemented value
+            // (ties towards heavy items) until the weights overflow the
+            // capacity.
+            let mut order: Vec<usize> = (0..items.len()).collect();
+            order.sort_by(|&p, &q| {
+                let kp = (1.0 - val(&items[p])) / items[p].weight;
+                let kq = (1.0 - val(&items[q])) / items[q].weight;
+                kp.partial_cmp(&kq)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(items[p].col.cmp(&items[q].col))
+            });
+            let mut cover: Vec<usize> = Vec::new();
+            let mut weight = 0.0;
+            for &p in &order {
+                if weight > row.rhs + CUT_TOL {
+                    break;
+                }
+                cover.push(p);
+                weight += items[p].weight;
+            }
+            if weight <= row.rhs + CUT_TOL {
+                continue; // the whole row cannot overflow: no cover
+            }
+            // Minimise: drop members whose removal keeps the overflow,
+            // so the extension below stays valid.
+            let mut i = 0;
+            while i < cover.len() {
+                let a = items[cover[i]].weight;
+                if weight - a > row.rhs + CUT_TOL {
+                    weight -= a;
+                    cover.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            // Extended cover: every column at least as heavy as the
+            // cover's heaviest member joins with coefficient one.
+            let a_max = cover
+                .iter()
+                .map(|&p| items[p].weight)
+                .fold(0.0f64, f64::max);
+            let in_cover: HashSet<usize> = cover.iter().copied().collect();
+            let mut support: Vec<usize> = cover.clone();
+            for (p, it) in items.iter().enumerate() {
+                if !in_cover.contains(&p) && it.weight >= a_max - CUT_TOL {
+                    support.push(p);
+                }
+            }
+            // Σ_{support} ỹ ≤ |C| − 1, expanded back to original
+            // variables: complemented members flip sign and shift rhs.
+            let lhs: f64 = support.iter().map(|&p| val(&items[p])).sum();
+            let violation = lhs - (cover.len() as f64 - 1.0);
+            if violation > CUT_TOL {
+                let mut terms = Vec::with_capacity(support.len());
+                let mut rhs_cut = cover.len() as f64 - 1.0;
+                for &p in &support {
+                    let it = &items[p];
+                    if it.complemented {
+                        terms.push((VarId(it.col), -1.0));
+                        rhs_cut -= 1.0;
+                    } else {
+                        terms.push((VarId(it.col), 1.0));
+                    }
+                }
+                terms.sort_by_key(|&(v, _)| v);
+                out.push(Cut {
+                    name: String::new(),
+                    terms,
+                    rhs: rhs_cut,
+                    violation,
+                    kind: CutKind::Cover,
+                });
+            }
+        }
+    }
+
+    /// Greedy clique growth around every fractional seed.
+    fn separate_cliques(&self, x: &[f64], out: &mut Vec<Cut>) {
+        // Candidates: conflict-graph members with meaningful value,
+        // descending, so the greedy extension favours violation.
+        let mut cand: Vec<u32> = self
+            .in_graph
+            .iter()
+            .copied()
+            .filter(|&j| x[j as usize] > FRAC_TOL)
+            .collect();
+        if cand.len() < 2 {
+            return;
+        }
+        cand.sort_by(|&p, &q| {
+            x[q as usize]
+                .partial_cmp(&x[p as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(p.cmp(&q))
+        });
+        let mut local: HashSet<Vec<u32>> = HashSet::new();
+        for seed_at in 0..cand.len() {
+            let seed = cand[seed_at];
+            let mut clique = vec![seed];
+            let mut lhs = x[seed as usize];
+            for &v in &cand {
+                if v == seed {
+                    continue;
+                }
+                if clique.iter().all(|&u| self.adj[u as usize].contains(&v)) {
+                    clique.push(v);
+                    lhs += x[v as usize];
+                }
+            }
+            let violation = lhs - 1.0;
+            if clique.len() >= 2 && violation > CUT_TOL {
+                clique.sort_unstable();
+                if local.insert(clique.clone()) {
+                    out.push(Cut {
+                        name: String::new(),
+                        terms: clique.iter().map(|&j| (VarId(j), 1.0)).collect(),
+                        rhs: 1.0,
+                        violation,
+                        kind: CutKind::Clique,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_cut_separates_fractional_knapsack_point() {
+        // 3x + 4y + 2z ≤ 6: {x, y} is a minimal cover (7 > 6).
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary("z");
+        m.add_constraint("w", m.expr([(x, 3.0), (y, 4.0), (z, 2.0)]).leq(6.0));
+        m.set_objective(m.expr([(x, -10.0), (y, -13.0), (z, -7.0)]));
+        let mut sep = CutSeparator::new(&m, &[]);
+        assert!(!sep.is_empty());
+        // LP-style point: x = 1, y = 0.75, z = 0 violates x + y ≤ 1.
+        let cuts = sep.separate(&[1.0, 0.75, 0.0], 8);
+        assert!(!cuts.is_empty());
+        let cover = &cuts[0];
+        assert_eq!(cover.kind, CutKind::Cover);
+        assert!(cover.violation > 0.5);
+        // Validity on every integer-feasible point of the knapsack.
+        for bits in 0..8u32 {
+            let pt = [
+                f64::from(bits & 1),
+                f64::from((bits >> 1) & 1),
+                f64::from((bits >> 2) & 1),
+            ];
+            if m.is_feasible(&pt, 1e-9) {
+                let lhs: f64 = cover.terms.iter().map(|&(v, c)| c * pt[v.index()]).sum();
+                assert!(lhs <= cover.rhs + 1e-9, "cut off integer point {pt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn clique_cut_merges_conflicts_across_rows() {
+        // Pairwise packing rows a+b ≤ 1, b+c ≤ 1, a+c ≤ 1: the triangle
+        // {a, b, c} is a clique no single row states; x = ½ everywhere
+        // violates a + b + c ≤ 1 by ½.
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint("p1", m.expr([(a, 1.0), (b, 1.0)]).leq(1.0));
+        m.add_constraint("p2", m.expr([(b, 1.0), (c, 1.0)]).leq(1.0));
+        m.add_constraint("p3", m.expr([(a, 1.0), (c, 1.0)]).leq(1.0));
+        m.set_objective(m.expr([(a, -1.0), (b, -1.0), (c, -1.0)]));
+        let mut sep = CutSeparator::new(&m, &[]);
+        let cuts = sep.separate(&[0.5, 0.5, 0.5], 8);
+        assert!(!cuts.is_empty());
+        let clique = &cuts[0];
+        assert_eq!(clique.kind, CutKind::Clique);
+        assert_eq!(clique.terms.len(), 3);
+        assert!((clique.violation - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pairwise_knapsack_conflicts_build_clique_cuts() {
+        // 6x + 5y + 4z ≤ 8: every pair overflows, so {x, y, z} is a
+        // clique purely from knapsack conflicts — no packing row states
+        // it. The fractional point (0.5, 0.4, 0.3) violates
+        // x + y + z ≤ 1 by 0.2.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary("z");
+        m.add_constraint("cap", m.expr([(x, 6.0), (y, 5.0), (z, 4.0)]).leq(8.0));
+        m.set_objective(m.expr([(x, -3.0), (y, -2.0), (z, -1.0)]));
+        let mut sep = CutSeparator::new(&m, &[]);
+        let cuts = sep.separate(&[0.5, 0.4, 0.3], 8);
+        let clique = cuts
+            .iter()
+            .find(|c| c.kind == CutKind::Clique && c.terms.len() == 3)
+            .expect("triangle clique from knapsack conflicts");
+        // Validity: exactly the single-item points are feasible.
+        for bits in 0..8u32 {
+            let pt = [
+                f64::from(bits & 1),
+                f64::from((bits >> 1) & 1),
+                f64::from((bits >> 2) & 1),
+            ];
+            if m.is_feasible(&pt, 1e-9) {
+                let lhs: f64 = clique.terms.iter().map(|&(v, c)| c * pt[v.index()]).sum();
+                assert!(lhs <= clique.rhs + 1e-9, "cut off {pt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn emitted_supports_are_never_repeated() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint("p1", m.expr([(a, 1.0), (b, 1.0)]).leq(1.0));
+        m.add_constraint("p2", m.expr([(b, 1.0), (c, 1.0)]).leq(1.0));
+        m.add_constraint("p3", m.expr([(a, 1.0), (c, 1.0)]).leq(1.0));
+        m.set_objective(m.expr([(a, -1.0)]));
+        let mut sep = CutSeparator::new(&m, &[]);
+        let first = sep.separate(&[0.5, 0.5, 0.5], 8);
+        assert!(!first.is_empty());
+        let again = sep.separate(&[0.5, 0.5, 0.5], 8);
+        assert!(again.is_empty(), "same point must not re-emit {again:?}");
+    }
+
+    #[test]
+    fn integral_point_separates_nothing() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("w", m.expr([(x, 3.0), (y, 4.0)]).leq(6.0));
+        m.add_constraint("p", m.expr([(x, 1.0), (y, 1.0)]).leq(1.0));
+        m.set_objective(m.expr([(x, -1.0), (y, -1.0)]));
+        let mut sep = CutSeparator::new(&m, &[]);
+        for pt in [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]] {
+            assert!(
+                sep.separate(&pt, 8).is_empty(),
+                "integer-feasible {pt:?} must separate nothing"
+            );
+        }
+    }
+}

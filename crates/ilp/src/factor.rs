@@ -42,7 +42,7 @@
 //!      can be differentially tested against each other and against
 //!      [`DenseInverse`].
 //!
-//!    [`Factorization::needs_refactor`] triggers a fresh factorisation
+//!    [`LuFactors::needs_refactor`] triggers a fresh factorisation
 //!    when the update file gets long ([`FactorOpts::refactor_interval`])
 //!    or fat ([`FactorOpts::eta_fill_factor`] × the LU fill).
 //!
@@ -227,6 +227,26 @@ struct FtTransform {
     entries: Vec<(usize, f64)>,
 }
 
+/// One bordered-growth row transform, recorded when the basis is grown in
+/// place by appended constraint rows (cutting planes): with the new basis
+/// `B' = [[B, 0], [N, I]]` (new logical slacks basic in the new rows), the
+/// inverse factors as `B'⁻¹ = diag(B⁻¹, I) · T` with
+/// `T = [[I, 0], [−N B⁻¹, I]]` — one transform per new row, whose
+/// multipliers `μ = B⁻ᵀ n` (`n` = the new row over the current basic
+/// columns) are computed once at growth time. `T` is applied *first* in
+/// FTRAN (newest growth first) and its transpose *last* in BTRAN (oldest
+/// growth first); everything downstream — L, the update files, U, etas —
+/// composes against it unchanged, so Forrest–Tomlin and product-form
+/// pivots keep absorbing updates on the grown basis without a
+/// refactorisation from scratch.
+#[derive(Debug, Clone)]
+struct Border {
+    /// The appended row this transform targets.
+    row: usize,
+    /// `(row, multiplier)` pairs over rows that existed before the growth.
+    entries: Vec<(usize, f64)>,
+}
+
 /// Which triangular dependency graph a hyper-sparse reach runs over.
 #[derive(Clone, Copy)]
 enum Phase {
@@ -288,6 +308,10 @@ pub struct LuFactors {
     /// Forrest–Tomlin row transforms since the last refactorisation,
     /// applied between the `L` and `U` solves (ForrestTomlin rule).
     ft: Vec<FtTransform>,
+    /// Bordered-growth transforms since the last refactorisation, in
+    /// growth order; applied ahead of everything in FTRAN (newest first)
+    /// and after everything in BTRAN (oldest first). See [`Border`].
+    border: Vec<Border>,
     /// `nnz(L) + nnz(U)` including the diagonals, at last factorisation.
     lu_nnz: usize,
     /// Current `nnz(U)` including the diagonal (changes under FT).
@@ -342,6 +366,7 @@ impl LuFactors {
             u_diag: Vec::new(),
             etas: Vec::new(),
             ft: Vec::new(),
+            border: Vec::new(),
             lu_nnz: m,
             u_nnz: m,
             u_nnz0: m,
@@ -379,12 +404,124 @@ impl LuFactors {
         self.u_diag = vec![1.0; m];
         self.etas.clear();
         self.ft.clear();
+        self.border.clear();
         self.lu_nnz = m;
         self.u_nnz = m;
         self.u_nnz0 = m;
         self.file_nnz = 0;
         self.updates = 0;
         self.work += m as u64;
+    }
+
+    /// Grows the factorisation in place by `borders.len()` appended
+    /// constraint rows whose basic columns are the new logical slacks —
+    /// the incremental-row (cutting plane) path. `borders[i]` holds the
+    /// multipliers `μ_i = B⁻ᵀ n_i` of the new row `i` over the
+    /// *pre-growth* rows (`n_i` = the appended row's coefficients on the
+    /// current basic columns, by row position); the caller computes them
+    /// with [`btran_sparse`](Self::btran_sparse) **before** calling this.
+    ///
+    /// The grown basis `B' = [[B, 0], [N, I]]` is represented exactly as
+    /// the old factors extended by unit rows/columns plus one border
+    /// transform per new row, so no refactorisation happens here; the
+    /// border non-zeros count towards the update file, which means the
+    /// [`needs_refactor`](Self::needs_refactor) policy eventually folds
+    /// them into a fresh LU like any other accumulated update.
+    pub fn grow(&mut self, borders: Vec<Vec<(usize, f64)>>) {
+        let k = borders.len();
+        let m0 = self.m;
+        let m = m0 + k;
+        self.m = m;
+        for s in m0..m {
+            // New slot `s` pivots the new row `s` at the new basis
+            // position `s`, last in pivotal order, with a unit diagonal
+            // and no off-diagonal fill — exactly the slack unit column.
+            self.p.push(s);
+            self.pinv.push(s);
+            self.q.push(s);
+            self.qinv.push(s);
+            self.order.push(s);
+            self.pos.push(s);
+            self.l_cols.push(Vec::new());
+            self.l_rows.push(Vec::new());
+            self.u_cols.push(Vec::new());
+            self.u_rows.push(Vec::new());
+            self.u_diag.push(1.0);
+        }
+        self.scratch.resize(m, 0.0);
+        self.aux.resize(m, 0.0);
+        self.mark.resize(m, 0);
+        self.lu_nnz += k;
+        self.u_nnz += k;
+        self.u_nnz0 += k;
+        let mut border_nnz = 0usize;
+        for (i, entries) in borders.into_iter().enumerate() {
+            debug_assert!(entries.iter().all(|&(j, _)| j < m0));
+            border_nnz += entries.len();
+            if !entries.is_empty() {
+                self.border.push(Border {
+                    row: m0 + i,
+                    entries,
+                });
+            }
+        }
+        self.file_nnz += border_nnz;
+        self.stats.update_nnz += border_nnz as u64;
+        self.work += (border_nnz + k) as u64;
+    }
+
+    /// Applies the bordered-growth transforms to an FTRAN right-hand side
+    /// (row space), newest growth first. When `pat` is `Some`, rows the
+    /// border turned non-zero are pushed onto it so the hyper-sparse
+    /// kernels keep a superset pattern.
+    fn apply_border_ftran(&mut self, x: &mut [f64], track: bool) {
+        if self.border.is_empty() {
+            return;
+        }
+        let LuFactors {
+            border,
+            pat,
+            work,
+            stats,
+            ..
+        } = self;
+        let mut visited = 0u64;
+        for b in border.iter().rev() {
+            let mut dot = 0.0;
+            for &(j, mu) in &b.entries {
+                dot += mu * x[j];
+            }
+            visited += b.entries.len() as u64;
+            if dot != 0.0 {
+                x[b.row] -= dot;
+                if track {
+                    pat.push(b.row);
+                }
+            }
+        }
+        *work += visited;
+        stats.ftran_visited += visited;
+    }
+
+    /// Applies the transposed bordered-growth transforms to a BTRAN
+    /// result (row space), oldest growth first.
+    fn apply_border_btran(&mut self, x: &mut [f64]) {
+        if self.border.is_empty() {
+            return;
+        }
+        let mut visited = 0u64;
+        for b in &self.border {
+            let v = x[b.row];
+            if v == 0.0 {
+                continue;
+            }
+            for &(j, mu) in &b.entries {
+                x[j] -= mu * v;
+            }
+            visited += b.entries.len() as u64;
+        }
+        self.work += visited;
+        self.stats.btran_visited += visited;
     }
 
     /// Overrides the hyper-sparse density cutover: right-hand sides whose
@@ -458,6 +595,7 @@ impl LuFactors {
         assert_eq!(cols.len(), m, "one basis column per row required");
         self.etas.clear();
         self.ft.clear();
+        self.border.clear();
         self.file_nnz = 0;
         self.updates = 0;
         self.p.resize(m, 0);
@@ -690,6 +828,7 @@ impl LuFactors {
     /// the pattern.
     pub fn ftran(&mut self, x: &mut [f64]) {
         debug_assert_eq!(x.len(), self.m);
+        self.apply_border_ftran(x, false);
         let cap = self.hyper_cap();
         self.pat.clear();
         let mut hyper = true;
@@ -714,10 +853,25 @@ impl LuFactors {
     /// Skips the `O(m)` pattern scan of [`ftran`](Self::ftran).
     pub fn ftran_sparse(&mut self, x: &mut [f64], pattern: &[usize]) {
         debug_assert_eq!(x.len(), self.m);
-        if pattern.len() <= self.hyper_cap() {
-            debug_check_superset(x, pattern);
-            self.pat.clear();
-            self.pat.extend_from_slice(pattern);
+        if self.border.is_empty() {
+            if pattern.len() <= self.hyper_cap() {
+                debug_check_superset(x, pattern);
+                self.pat.clear();
+                self.pat.extend_from_slice(pattern);
+                self.ftran_hyper(x);
+            } else {
+                self.ftran_scan(x);
+            }
+            return;
+        }
+        // The border transforms may light up appended rows outside the
+        // caller's pattern: apply them first, tracking the touched rows
+        // so the kernel still sees a superset pattern.
+        self.pat.clear();
+        self.pat.extend_from_slice(pattern);
+        self.apply_border_ftran(x, true);
+        if self.pat.len() <= self.hyper_cap() {
+            debug_check_superset(x, &self.pat);
             self.ftran_hyper(x);
         } else {
             self.ftran_scan(x);
@@ -951,6 +1105,7 @@ impl LuFactors {
         } else {
             self.btran_scan(x);
         }
+        self.apply_border_btran(x);
     }
 
     /// BTRAN with a caller-supplied non-zero pattern: `pattern` must be a
@@ -965,6 +1120,7 @@ impl LuFactors {
         } else {
             self.btran_scan(x);
         }
+        self.apply_border_btran(x);
     }
 
     /// Scanning BTRAN kernel: sweeps every slot in scatter form, skipping
@@ -1471,6 +1627,34 @@ impl DenseInverse {
         std::mem::take(&mut self.work)
     }
 
+    /// Grows the inverse in place by `borders.len()` appended rows whose
+    /// basic columns are the new logical slacks: with
+    /// `B' = [[B, 0], [N, I]]`, the inverse is exactly
+    /// `[[B⁻¹, 0], [−N B⁻¹, I]]`, so each new row of `binv` is the
+    /// negated multiplier vector `μ_i = B⁻ᵀ n_i` (same convention as
+    /// [`LuFactors::grow`]) followed by the unit diagonal — no
+    /// refactorisation, `O((m + k)²)` for the copy.
+    pub fn grow(&mut self, borders: &[Vec<(usize, f64)>]) {
+        let k = borders.len();
+        let m0 = self.m;
+        let m = m0 + k;
+        let mut binv = vec![0.0f64; m * m];
+        for i in 0..m0 {
+            binv[i * m..i * m + m0].copy_from_slice(&self.binv[i * m0..(i + 1) * m0]);
+        }
+        for (i, entries) in borders.iter().enumerate() {
+            let r = m0 + i;
+            for &(j, mu) in entries {
+                binv[r * m + j] = -mu;
+            }
+            binv[r * m + r] = 1.0;
+        }
+        self.m = m;
+        self.binv = binv;
+        self.scratch.resize(m, 0.0);
+        self.work += (m * m) as u64;
+    }
+
     /// Gauss–Jordan inversion of the basis matrix with partial pivoting;
     /// the column convention matches [`LuFactors::factorize`]. Returns
     /// `false` on a singular basis.
@@ -1637,10 +1821,19 @@ impl Factorization {
         }
     }
 
+    /// BTRAN with the pattern discovered by scanning `x` (property-test
+    /// entry point; the engine always knows its patterns and calls
+    /// [`btran_sparse`](Self::btran_sparse)).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn btran(&mut self, x: &mut [f64]) {
+        match self {
+            Factorization::Lu(f) => f.btran(x),
+            Factorization::Dense(f) => f.btran(x),
+        }
+    }
+
     /// BTRAN with a known RHS pattern (superset of non-zero positions);
-    /// the dense oracle ignores the hint. (The engine always knows its
-    /// BTRAN patterns — basic costs, unit rows — so no pattern-less
-    /// dispatch variant exists.)
+    /// the dense oracle ignores the hint.
     pub(crate) fn btran_sparse(&mut self, x: &mut [f64], pattern: &[usize]) {
         match self {
             Factorization::Lu(f) => f.btran_sparse(x, pattern),
@@ -1671,6 +1864,19 @@ impl Factorization {
                 f.update(r, w);
                 true
             }
+        }
+    }
+
+    /// Grows the representation in place by appended rows (new logical
+    /// slacks basic); `borders[i]` holds `μ_i = B⁻ᵀ n_i` computed by the
+    /// caller against the *pre-growth* factors. Exact under both
+    /// representations — the LU keeps the border as a recorded transform
+    /// (counted against the update-file policy), the dense inverse
+    /// materialises the grown inverse outright.
+    pub(crate) fn grow(&mut self, borders: Vec<Vec<(usize, f64)>>) {
+        match self {
+            Factorization::Lu(f) => f.grow(borders),
+            Factorization::Dense(f) => f.grow(&borders),
         }
     }
 
@@ -1960,6 +2166,175 @@ mod tests {
             hyper.btran(&mut y2);
             assert_eq!(y1, y2, "btran e{r}");
         }
+    }
+
+    /// Multipliers `μ_i = B⁻ᵀ n_i` for appending `rows` (structural
+    /// `(col, val)` lists) below a basis `cols` already factorised in
+    /// `fac`: `n_i` scatters each new row's coefficients on the basic
+    /// structural columns by their basis position.
+    fn borders_for(
+        fac: &mut Factorization,
+        cols: &[usize],
+        n_struct: usize,
+        rows: &[Vec<(usize, f64)>],
+    ) -> Vec<Vec<(usize, f64)>> {
+        let m = cols.len();
+        rows.iter()
+            .map(|row| {
+                let mut n = vec![0.0f64; m];
+                let mut pat = Vec::new();
+                for &(j, v) in row {
+                    if let Some(r) = cols.iter().position(|&c| c == j) {
+                        assert!(j < n_struct);
+                        n[r] = v;
+                        pat.push(r);
+                    }
+                }
+                fac.btran_sparse(&mut n, &pat);
+                n.iter()
+                    .enumerate()
+                    .filter(|&(_, &v)| v != 0.0)
+                    .map(|(j, &v)| (j, v))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// In-place growth must agree with a from-scratch factorisation of
+    /// the grown basis — on solves immediately after the growth *and*
+    /// after further pivot updates under both update rules, for both
+    /// representations. This is the exactness contract behind
+    /// `LpSession::add_rows` absorbing cutting planes without a
+    /// refactorisation.
+    #[test]
+    fn grow_matches_refactorised_basis_under_further_updates() {
+        let a = sample_csc(); // 3×3
+                              // Append rows [1 2 0] and [0 1 1]: grown matrix is 5×3.
+        let new_rows = vec![vec![(0, 1.0), (1, 2.0)], vec![(1, 1.0), (2, 1.0)]];
+        let big = a.append_rows(&new_rows);
+        let cols = vec![0, 4, 2]; // structural 0, slack of row 1, structural 2
+        let grown_cols = vec![0, 4, 2, 3 + 3, 3 + 4]; // + new slacks
+        for opts in [pf_opts(), ft_opts()] {
+            let mut lu = Factorization::Lu(Box::new(LuFactors::identity(3)));
+            let mut dn = Factorization::Dense(DenseInverse::identity(3));
+            assert!(lu.factorize(&cols, &a, 3));
+            assert!(dn.factorize(&cols, &a, 3));
+            let lb = borders_for(&mut lu, &cols, 3, &new_rows);
+            let db = borders_for(&mut dn, &cols, 3, &new_rows);
+            lu.grow(lb);
+            dn.grow(db);
+            let mut fresh = Factorization::Lu(Box::new(LuFactors::identity(5)));
+            assert!(fresh.factorize(&grown_cols, &big, 3));
+            let rhs = [3.0, -1.0, 2.0, 0.5, -4.0];
+            for fac in [&mut lu, &mut dn] {
+                let mut x1 = rhs;
+                let mut x2 = rhs;
+                fac.ftran(&mut x1);
+                fresh.ftran(&mut x2);
+                for (p, q) in x1.iter().zip(&x2) {
+                    assert!(
+                        (p - q).abs() < 1e-9,
+                        "{opts:?}: grown ftran {x1:?} vs {x2:?}"
+                    );
+                }
+                let mut y1 = rhs;
+                let mut y2 = rhs;
+                fac.btran(&mut y1);
+                fresh.btran(&mut y2);
+                for (p, q) in y1.iter().zip(&y2) {
+                    assert!(
+                        (p - q).abs() < 1e-9,
+                        "{opts:?}: grown btran {y1:?} vs {y2:?}"
+                    );
+                }
+            }
+            // Pivot structural column 1 into the last (appended) row on
+            // every representation: updates must keep composing exactly
+            // against the border.
+            let mut w_big: Vec<f64> = vec![0.0; 5];
+            big.axpy_col(&mut w_big, 1.0, 1);
+            let mut w_lu = w_big.clone();
+            let mut w_dn = w_big.clone();
+            let mut w_fresh = w_big;
+            lu.ftran(&mut w_lu);
+            dn.ftran(&mut w_dn);
+            fresh.ftran(&mut w_fresh);
+            assert!(lu.update(4, &w_lu, &opts));
+            assert!(dn.update(4, &w_dn, &opts));
+            assert!(fresh.update(4, &w_fresh, &opts));
+            let rhs = [1.0, 0.0, -2.0, 3.0, 1.5];
+            let mut want_f = rhs;
+            fresh.ftran(&mut want_f);
+            let mut want_b = rhs;
+            fresh.btran(&mut want_b);
+            for fac in [&mut lu, &mut dn] {
+                let mut x = rhs;
+                fac.ftran(&mut x);
+                for (p, q) in x.iter().zip(&want_f) {
+                    assert!((p - q).abs() < 1e-9, "{opts:?}: post-update ftran");
+                }
+                let mut y = rhs;
+                fac.btran(&mut y);
+                for (p, q) in y.iter().zip(&want_b) {
+                    assert!((p - q).abs() < 1e-9, "{opts:?}: post-update btran");
+                }
+            }
+        }
+    }
+
+    /// Two growth batches compose: the second border's multipliers are
+    /// computed against the once-grown factors and may reference the
+    /// first batch's rows.
+    #[test]
+    fn repeated_growth_batches_compose() {
+        let a = sample_csc();
+        let rows1 = vec![vec![(0, 1.0), (1, 2.0)]];
+        let rows2 = vec![vec![(1, 1.0), (2, 1.0)]];
+        let mid = a.append_rows(&rows1);
+        let big = mid.append_rows(&rows2);
+        let cols = vec![0, 4, 2];
+        let mut lu = Factorization::Lu(Box::new(LuFactors::identity(3)));
+        assert!(lu.factorize(&cols, &a, 3));
+        let b1 = borders_for(&mut lu, &cols, 3, &rows1);
+        lu.grow(b1);
+        let cols_mid = vec![0, 4, 2, 6];
+        let b2 = borders_for(&mut lu, &cols_mid, 3, &rows2);
+        lu.grow(b2);
+        let mut fresh = Factorization::Lu(Box::new(LuFactors::identity(5)));
+        assert!(fresh.factorize(&[0, 4, 2, 6, 7], &big, 3));
+        let rhs = [2.0, 1.0, -1.0, 4.0, 0.25];
+        let mut x1 = rhs;
+        let mut x2 = rhs;
+        lu.ftran(&mut x1);
+        fresh.ftran(&mut x2);
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-9, "{x1:?} vs {x2:?}");
+        }
+        let mut y1 = rhs;
+        let mut y2 = rhs;
+        lu.btran(&mut y1);
+        fresh.btran(&mut y2);
+        for (p, q) in y1.iter().zip(&y2) {
+            assert!((p - q).abs() < 1e-9, "{y1:?} vs {y2:?}");
+        }
+    }
+
+    /// Border multipliers count towards the update file, so the refactor
+    /// policy eventually folds a long border into a fresh LU.
+    #[test]
+    fn border_counts_towards_refactor_policy() {
+        let a = sample_csc();
+        let mut lu = LuFactors::identity(3);
+        assert!(lu.factorize(&[0, 4, 2], &a, 3));
+        let before = lu.update_nnz();
+        lu.grow(vec![vec![(0, 1.0), (2, -2.0)]]);
+        assert_eq!(lu.update_nnz(), before + 2);
+        let opts = FactorOpts {
+            refactor_interval: 1000,
+            eta_fill_factor: 0.0,
+            update: UpdateRule::default(),
+        };
+        assert!(lu.needs_refactor(&opts));
     }
 
     #[test]

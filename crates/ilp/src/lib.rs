@@ -15,20 +15,33 @@
 //!   solution losslessly back to the original variable space — so the
 //!   whole model → presolve → factor → simplex pipeline operates on fewer
 //!   rows, columns and nonzeros,
-//! * a **sparse revised simplex** for LP relaxations ([`simplex`]): the
-//!   constraint matrix is stored once in CSC form ([`sparse`]), the basis
-//!   is held as a sparse LU factorisation ([`factor`]), and columns are
-//!   priced by sparse dot products — with a deterministic anti-degeneracy
-//!   cost perturbation on cold starts (stripped exactly before results
-//!   are reported) and the original dense two-phase tableau kept as a
-//!   robustness fallback,
+//! * a **unified LP backend API** ([`backend`]): every engine — the
+//!   dense two-phase tableau, the dense-inverse revised simplex, and the
+//!   sparse LU engine under product-form or Forrest–Tomlin updates —
+//!   sits behind one object-safe [`LpBackend`] trait with capability
+//!   flags (warm starts, bound deltas, objective deltas, row addition),
+//!   driven through an owning [`LpSession`] that holds the model view,
+//!   the live basis/factorisation and stats,
+//! * a **sparse revised simplex** as the default backend ([`simplex`],
+//!   [`sparse`], [`factor`]): CSC matrix stored once, basis held as a
+//!   sparse LU with Forrest–Tomlin updates and hyper-sparse triangular
+//!   solves, deterministic anti-degeneracy cost perturbation on cold
+//!   starts, and the dense two-phase tableau as the terminal fallback of
+//!   every session's ladder,
 //! * a **warm-start API** ([`Basis`]): optimal solves return a basis
 //!   snapshot that related solves (same matrix and objective, different
 //!   bounds) resume from via dual-simplex reoptimisation, skipping phase 1
 //!   entirely,
+//! * **incremental row addition** ([`LpSession::add_rows`]): a live
+//!   session accepts appended rows without refactorising from scratch —
+//!   new logical slacks enter the basis and the factorisation absorbs
+//!   the growth through bordered transforms — which is the primitive
+//!   behind the **root cutting planes** ([`cuts`]: knapsack cover and
+//!   clique cuts, [`SolverConfig::with_cuts`]),
 //! * **branch and bound** with best-first exploration, LP-guided diving
-//!   and most-fractional / pseudo-cost branching — every child node
-//!   re-optimises from its parent's basis,
+//!   and most-fractional / pseudo-cost branching — the whole search
+//!   threads one session, and every child node re-optimises from its
+//!   parent's basis,
 //! * **large-neighbourhood search** for anytime improvement on instances
 //!   too large to enumerate,
 //! * an *incumbent stream*: every improving solution is reported through a
@@ -39,14 +52,14 @@
 //! fixed seed: identical inputs produce identical incumbent streams, which
 //! the experiment harness relies on.
 //!
-//! ## Warm-starting LP relaxations
+//! ## LP sessions: warm starts and dynamic rows
 //!
-//! [`simplex::solve_relaxation_warm`] accepts an optional [`Basis`] and
-//! returns a new snapshot on optimal solves:
+//! An [`LpSession`] owns one LP conversation: open it on a model, solve,
+//! change bounds, append rows — the engine state stays hot throughout.
 //!
 //! ```
-//! use croxmap_ilp::simplex::{solve_relaxation_warm, LpConfig, LpStatus};
-//! use croxmap_ilp::Model;
+//! use croxmap_ilp::simplex::{LpConfig, LpStatus};
+//! use croxmap_ilp::{LpSession, Model};
 //!
 //! let mut m = Model::new();
 //! let x = m.add_binary("x");
@@ -54,21 +67,41 @@
 //! m.add_constraint("cover", m.expr([(x, 1.0), (y, 1.0)]).geq(1.0));
 //! m.set_objective(m.expr([(x, 1.0), (y, 2.0)]));
 //!
+//! let mut session = LpSession::open(&m, LpConfig::default());
+//!
 //! // Root relaxation, cold.
-//! let root = solve_relaxation_warm(&m, &[(0.0, 1.0), (0.0, 1.0)], &LpConfig::default(), None);
+//! let root = session.solve(&[(0.0, 1.0), (0.0, 1.0)], None);
 //! assert_eq!(root.result.status, LpStatus::Optimal);
 //! let basis = root.basis.expect("optimal solves return a basis");
 //!
-//! // Child node (x fixed to 0) re-optimises from the parent's basis.
-//! let child = solve_relaxation_warm(
-//!     &m,
-//!     &[(0.0, 0.0), (0.0, 1.0)],
-//!     &LpConfig::default(),
-//!     Some(&basis),
-//! );
+//! // Child node (x fixed to 0) re-optimises from the parent's basis —
+//! // bound deltas fold into one FTRAN on the live engine.
+//! let child = session.solve(&[(0.0, 0.0), (0.0, 1.0)], Some(&basis));
 //! assert_eq!(child.result.status, LpStatus::Optimal);
 //! assert!((child.result.objective - 2.0).abs() < 1e-6);
+//!
+//! // Tighten the live relaxation with an extra row (a cutting plane):
+//! // the factorisation grows in place, no rebuild.
+//! let grown = session.add_rows(
+//!     vec![("cut".into(), m.expr([(y, 1.0)]).leq(0.0))],
+//!     child.basis.as_ref(),
+//! );
+//! let cut = session.solve(&[(0.0, 1.0), (0.0, 1.0)], grown.basis.as_ref());
+//! assert_eq!(cut.result.status, LpStatus::Optimal);
+//! assert!((cut.result.objective - 1.0).abs() < 1e-6);
 //! ```
+//!
+//! ### Migrating from the pre-session entry points
+//!
+//! The free functions `simplex::solve_relaxation*` and the stateful
+//! `simplex::LpSolver` are **deprecated shims** over [`LpSession`], kept
+//! for one release as differential-test oracles:
+//!
+//! * `solve_relaxation(_warm)(model, bounds, cfg, warm)` →
+//!   `LpSession::open(model, cfg).solve(bounds, warm)`,
+//! * `LpSolver::solve(model, …)` → open one session per model and call
+//!   [`LpSession::solve`] (the session keeps the engine hot exactly like
+//!   the old handle, and additionally accepts rows).
 //!
 //! ## Example
 //!
@@ -92,8 +125,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod basis;
 mod clock;
+pub mod cuts;
 mod expr;
 pub mod factor;
 mod model;
@@ -104,13 +139,17 @@ mod solution;
 mod solver;
 pub mod sparse;
 
+pub use backend::{
+    BackendCaps, LpBackend, LpSession, RevisedBackend, RowAddition, SessionStats, TableauBackend,
+};
 pub use basis::{Basis, VarStatus};
 pub use clock::{DeterministicClock, TICKS_PER_SECOND};
+pub use cuts::{Cut, CutSeparator};
 pub use expr::{Comparison, ConstraintSense, LinExpr, VarId};
 pub use factor::{DenseInverse, FactorOpts, FactorStats, LuFactors, UpdateRule};
 pub use model::{Constraint, Model, ModelError, VarType, Variable};
 pub use presolve::{Postsolve, PresolveConfig, PresolveStats, PresolvedModel};
 pub use simplex::{LpEngine, PricingRule};
 pub use solution::{IncumbentEvent, Solution};
-pub use solver::{BranchRule, SolveResult, SolveStatus, Solver, SolverConfig};
+pub use solver::{BranchRule, CutSummary, SolveResult, SolveStatus, Solver, SolverConfig};
 pub use sparse::CscMatrix;

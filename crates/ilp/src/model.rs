@@ -210,6 +210,47 @@ impl Model {
         });
     }
 
+    /// Appends a constraint **row** without touching existing columns —
+    /// the grow-only mutation behind
+    /// [`LpSession::add_rows`](crate::LpSession::add_rows) (cutting
+    /// planes, lazy constraints).
+    ///
+    /// Unlike [`Model::add_constraint`], which invalidates the cached CSC
+    /// matrix wholesale, this keeps the cache alive by extending it in
+    /// place via [`CscMatrix::append_rows`] — an `O(nnz + row)` merge with
+    /// no re-sort — so a live LP engine can absorb the new row without
+    /// rebuilding its column view of the matrix. The expression is
+    /// normalised exactly like `add_constraint` (terms merged and sorted,
+    /// the constant folded into the right-hand side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term references a variable this model does not have —
+    /// rows may grow, columns may not.
+    pub fn append_row(&mut self, name: impl Into<String>, cmp: Comparison) {
+        let expr = cmp.expr.normalize();
+        let rhs = cmp.rhs - expr.constant_part();
+        for &(v, _) in expr.terms() {
+            assert!(
+                v.index() < self.vars.len(),
+                "append_row is grow-only: variable {v} does not exist"
+            );
+        }
+        let terms = expr.terms().to_vec();
+        if let Some(csc) = self.csc_cache.get() {
+            let added: Vec<(usize, f64)> = terms.iter().map(|&(v, c)| (v.index(), c)).collect();
+            let grown = Arc::new(csc.append_rows(&[added]));
+            self.csc_cache = OnceLock::new();
+            let _ = self.csc_cache.set(grown);
+        }
+        self.constraints.push(Constraint {
+            name: name.into(),
+            terms,
+            sense: cmp.sense,
+            rhs,
+        });
+    }
+
     /// Sets the (minimisation) objective.
     pub fn set_objective(&mut self, expr: LinExpr) {
         let expr = expr.normalize();
@@ -453,6 +494,42 @@ mod tests {
         assert_eq!(m.objective_coefficient(x), 3.0);
         assert_eq!(m.objective_coefficient(y), 1.0);
         m.validate().unwrap();
+    }
+
+    #[test]
+    fn append_row_grows_cached_csc_in_place() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("c", m.expr([(x, 1.0), (y, 2.0)]).leq(3.0));
+        m.set_objective(m.expr([(x, 1.0)]));
+        let before = m.csc();
+        assert_eq!(before.rows(), 1);
+        m.append_row("cut", m.expr([(x, 1.0), (y, 1.0)]).leq(1.0));
+        let after = m.csc();
+        assert_eq!(after.rows(), 2);
+        assert_eq!(after.nnz(), 4);
+        assert_eq!(m.num_constraints(), 2);
+        // The grown matrix equals a cold rebuild of the same model.
+        let rebuilt = {
+            let mut fresh = m.clone();
+            fresh.csc_cache = OnceLock::new();
+            fresh.csc()
+        };
+        assert_eq!(*after, *rebuilt);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "grow-only")]
+    fn append_row_rejects_unknown_columns() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let mut other = Model::new();
+        let _ = other.add_binary("a");
+        let ghost = other.add_binary("ghost");
+        m.set_objective(m.expr([(x, 1.0)]));
+        m.append_row("bad", m.expr([(ghost, 1.0)]).leq(1.0));
     }
 
     #[test]

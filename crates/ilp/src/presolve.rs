@@ -56,10 +56,14 @@ use std::collections::HashMap;
 
 /// Bound-tightening tolerance: changes smaller than this are ignored.
 const TOL: f64 = 1e-9;
-/// Violation above which presolve declares the model infeasible. Kept
-/// below the solver's 1e-6 feasibility tolerance so presolve never calls
-/// "infeasible" on a model the solver would accept.
-const VIOL: f64 = 1e-7;
+/// Violation above which presolve declares the model infeasible.
+/// **Aligned with the solver's 1e-6 feasibility tolerance**: a smaller
+/// threshold here would be *more* aggressive, declaring infeasible a
+/// marginal model (violations in `(VIOL, 1e-6]`) that the solver's own
+/// feasibility check would still accept — exactly the drift the old
+/// `1e-7` value exhibited (flagged by the PR 4 review, pre-existing
+/// since PR 3; pinned by `marginal_violation_within_solver_tolerance_*`).
+const VIOL: f64 = 1e-6;
 /// Integrality tolerance when rounding binary bounds.
 const INT_TOL: f64 = 1e-6;
 
@@ -247,6 +251,12 @@ pub struct PresolvedModel {
     pub postsolve: Postsolve,
     /// What the reductions achieved.
     pub stats: PresolveStats,
+    /// The set-packing cliques found by clique extraction, in **reduced**
+    /// variable space (the same cliques that refine branching
+    /// priorities). The solver's root cut loop seeds its conflict graph
+    /// with them ([`crate::cuts::CutSeparator`]); empty when extraction
+    /// is disabled or found nothing.
+    pub cliques: Vec<Vec<VarId>>,
 }
 
 /// Outcome of [`presolve`].
@@ -1072,6 +1082,21 @@ impl Reduction for CoefficientTightening {
     }
 }
 
+/// The set-packing clique criterion shared by [`CliqueExtraction`]
+/// (membership counts into branching priorities) and the clique export
+/// on [`PresolvedModel`] — one predicate so the two can never drift: a
+/// live row of ≥ 2 binary, unremoved columns with coefficients ≥ 1 and a
+/// right-hand side ≤ 1 (which covers the `≤` direction of partition
+/// equalities).
+fn is_packing_clique(row: &Row, ty: &[VarType], removed: &[bool]) -> bool {
+    row.alive
+        && row.terms.len() >= 2
+        && row.rhs <= 1.0 + TOL
+        && row.terms.iter().all(|&(j, a)| {
+            ty[j as usize] == VarType::Binary && !removed[j as usize] && a >= 1.0 - TOL
+        })
+}
+
 /// Counts set-packing cliques into per-column membership counts.
 struct CliqueExtraction;
 
@@ -1086,13 +1111,7 @@ impl Reduction for CliqueExtraction {
             *count = 0;
         }
         for row in &ws.rows {
-            if !row.alive || row.terms.len() < 2 || row.rhs > 1.0 + TOL {
-                continue;
-            }
-            let clique = row.terms.iter().all(|&(j, a)| {
-                ws.ty[j as usize] == VarType::Binary && !ws.removed[j as usize] && a >= 1.0 - TOL
-            });
-            if !clique {
+            if !is_packing_clique(row, &ws.ty, &ws.removed) {
                 continue;
             }
             ws.stats.cliques += 1;
@@ -1236,6 +1255,22 @@ fn build_reduced(model: &Model, ws: Workspace, config: &PresolveConfig) -> Preso
             reduced.set_branch_priority(VarId(new_j as u32), p);
         }
     }
+    // Export the packing cliques in reduced variable space: the same
+    // criterion clique extraction counts, materialised for the root cut
+    // separator's conflict graph.
+    let mut cliques = Vec::new();
+    if config.clique_priorities && ws.stats.cliques > 0 {
+        for row in &ws.rows {
+            if is_packing_clique(row, &ws.ty, &ws.removed) {
+                cliques.push(
+                    row.terms
+                        .iter()
+                        .map(|&(j, _)| VarId(col_map[j as usize]))
+                        .collect(),
+                );
+            }
+        }
+    }
     PresolvedModel {
         model: reduced,
         postsolve: Postsolve {
@@ -1244,6 +1279,7 @@ fn build_reduced(model: &Model, ws: Workspace, config: &PresolveConfig) -> Preso
             actions: ws.actions,
         },
         stats: ws.stats,
+        cliques,
     }
 }
 
@@ -1256,6 +1292,72 @@ mod tests {
         match presolve(model, &PresolveConfig::default()) {
             PresolveOutcome::Reduced(p) => p,
             PresolveOutcome::Infeasible(_) => panic!("unexpected infeasibility"),
+        }
+    }
+
+    /// Boundary case for the `VIOL`/solver-tolerance alignment: a
+    /// violation of 5e-7 sits *between* the old 1e-7 threshold and the
+    /// solver's 1e-6 feasibility tolerance. Presolve must not declare
+    /// infeasible what the solver would accept — and a clear 2e-6
+    /// violation must still be caught.
+    #[test]
+    fn marginal_violation_within_solver_tolerance_not_infeasible() {
+        // x fixed to 1 by bounds; the row x ≤ 1 − 5e-7 is violated by
+        // exactly 5e-7 after substitution. The solver accepts x = 1
+        // (violation below its 1e-6 tolerance), so presolve must too.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.fix_binary(x, true);
+        m.add_constraint("tight", m.expr([(x, 1.0)]).leq(1.0 - 5e-7));
+        m.set_objective(m.expr([(x, 1.0)]));
+        assert!(m.is_feasible(&[1.0], 1e-6), "solver-side check accepts");
+        match presolve(&m, &PresolveConfig::default()) {
+            PresolveOutcome::Reduced(p) => {
+                let restored = p
+                    .postsolve
+                    .restore(&vec![0.0; p.postsolve.num_reduced_vars()]);
+                assert!((restored[0] - 1.0).abs() < 1e-9);
+            }
+            PresolveOutcome::Infeasible(_) => {
+                panic!("presolve declared infeasible below the solver tolerance")
+            }
+        }
+        // A violation clearly above the tolerance is still infeasible.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.fix_binary(x, true);
+        m.add_constraint("tight", m.expr([(x, 1.0)]).leq(1.0 - 2e-6));
+        m.set_objective(m.expr([(x, 1.0)]));
+        assert!(matches!(
+            presolve(&m, &PresolveConfig::default()),
+            PresolveOutcome::Infeasible(_)
+        ));
+    }
+
+    #[test]
+    fn exported_cliques_are_in_reduced_space() {
+        // A partition row over three binaries plus an extra variable the
+        // reductions remove ahead of them: exported clique ids must refer
+        // to the *reduced* columns.
+        let mut m = Model::new();
+        let dead = m.add_binary("dead");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.fix_binary(dead, false);
+        m.add_constraint("pick", m.expr([(a, 1.0), (b, 1.0), (c, 1.0)]).eq(1.0));
+        // A second row keeps the trio alive through dominated-column
+        // checks.
+        m.add_constraint("use", m.expr([(a, 2.0), (b, 3.0), (c, 4.0)]).leq(4.0));
+        m.set_objective(m.expr([(a, -1.0), (b, -2.0), (c, -3.0)]));
+        let p = reduced(&m);
+        assert!(p.stats.cliques >= 1);
+        assert!(!p.cliques.is_empty(), "clique export missing");
+        for clique in &p.cliques {
+            assert!(clique.len() >= 2);
+            for v in clique {
+                assert!(v.index() < p.model.num_vars(), "stale original-space id");
+            }
         }
     }
 

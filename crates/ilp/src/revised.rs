@@ -363,6 +363,130 @@ impl Engine {
         flips_ok
     }
 
+    /// Grows the live engine in place after `model` gained rows
+    /// `old_m..` — the incremental-row (cutting plane) path behind
+    /// [`LpSession::add_rows`](crate::LpSession::add_rows). The new
+    /// logical slacks enter the basis in the new rows, so the basis
+    /// stays square and **dual feasibility is untouched**: the duals of
+    /// the new rows are zero (slack costs are zero), every existing
+    /// reduced cost keeps its value, and the only thing the next solve
+    /// has to repair is the primal infeasibility of whichever appended
+    /// rows the current point violates — exactly the cut reoptimisation
+    /// the dual simplex is made for.
+    ///
+    /// The factorisation absorbs the growth without starting over: one
+    /// sparse BTRAN per new row computes the bordered-growth multipliers
+    /// `μ = B⁻ᵀ n` (see [`crate::factor`]), and the update-file policy
+    /// decides when the border is folded into a fresh LU — the forced
+    /// refactorisation fallback. Returns `false` only when that fallback
+    /// refactorisation itself fails (numerically singular grown basis).
+    fn add_rows(&mut self, model: &Model, old_m: usize) -> bool {
+        let new_m = model.num_constraints();
+        debug_assert_eq!(self.m, old_m);
+        debug_assert!(new_m > old_m);
+        let k = new_m - old_m;
+        // Border multipliers against the *pre-growth* factors.
+        let mut borders = Vec::with_capacity(k);
+        for con in &model.constraints()[old_m..] {
+            self.rho.fill(0.0);
+            self.pat.clear();
+            for &(v, c) in &con.terms {
+                let r = self.in_row[v.index()];
+                if r != usize::MAX {
+                    self.rho[r] = c;
+                    self.pat.push(r);
+                }
+            }
+            if self.pat.is_empty() {
+                borders.push(Vec::new());
+                continue;
+            }
+            self.factor.btran_sparse(&mut self.rho, &self.pat);
+            let mu: Vec<(usize, f64)> = self
+                .rho
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != 0.0)
+                .map(|(i, &v)| (i, v))
+                .collect();
+            self.work += (con.terms.len() + mu.len()) as u64 + self.factor.take_work();
+            borders.push(mu);
+        }
+        self.rho.fill(0.0);
+        // Column space grows by k logicals (indices n+old_m..), row space
+        // by k — both strictly appended, so no existing index moves.
+        self.a = model.csc();
+        self.m = new_m;
+        self.n_total += k;
+        for (i, con) in model.constraints()[old_m..].iter().enumerate() {
+            let row = old_m + i;
+            let (sl, su) = match con.sense {
+                ConstraintSense::Le => (0.0, f64::INFINITY),
+                ConstraintSense::Ge => (f64::NEG_INFINITY, 0.0),
+                ConstraintSense::Eq => (0.0, 0.0),
+            };
+            self.lower.push(sl);
+            self.upper.push(su);
+            self.cost.push(0.0);
+            if let Some(base) = &mut self.base_cost {
+                base.push(0.0);
+            }
+            self.d.push(0.0);
+            self.alpha.push(0.0);
+            self.status.push(VarStatus::Basic);
+            self.in_row.push(row);
+            self.basis.push(self.n + row);
+            self.rhs.push(con.rhs);
+            self.devex.push(1.0);
+            // β for the new basic slack: the row's residual at the
+            // current point. A violated cut lands outside the slack
+            // bounds and becomes the dual simplex's next leaving row.
+            let mut s_val = con.rhs;
+            for &(v, c) in &con.terms {
+                let j = v.index();
+                let x = match self.status[j] {
+                    VarStatus::Basic => self.beta[self.in_row[j]],
+                    _ => self.nonbasic_value(j),
+                };
+                s_val -= c * x;
+            }
+            self.beta.push(s_val);
+            self.work += con.terms.len() as u64 + 1;
+        }
+        self.w.resize(new_m, 0.0);
+        self.rho.resize(new_m, 0.0);
+        self.flip_rhs.resize(new_m, 0.0);
+        self.factor.grow(borders);
+        self.work += self.factor.take_work();
+        // Forced-refactorisation fallback: the border counts towards the
+        // update file, so a growth the policy deems too fat is folded
+        // into a fresh LU immediately.
+        if self.factor.needs_refactor(&self.opts) {
+            if !self.refactorize() {
+                return false;
+            }
+            self.refresh_beta();
+        }
+        true
+    }
+
+    /// Objective-delta retarget: reloads the structural costs from the
+    /// model and reprices. Returns `false` when the current basis is dual
+    /// infeasible for the new objective — the caller must then restart
+    /// cold (the dual simplex cannot run from a dual-infeasible point).
+    fn retarget_objective(&mut self, model: &Model) -> bool {
+        debug_assert!(self.base_cost.is_none(), "no perturbation between solves");
+        for c in &mut self.cost[..self.n] {
+            *c = 0.0;
+        }
+        for &(v, c) in model.objective() {
+            self.cost[v.index()] = c;
+        }
+        self.cost_nnz = self.cost[..self.n].iter().filter(|&&c| c != 0.0).count();
+        self.work += self.n as u64;
+        self.reprice()
+    }
+
     /// Applies the anti-degeneracy cost perturbation: every structural
     /// cost gains a tiny positive, seed-derived amount, breaking the
     /// reduced-cost ties that make set-partitioning cold solves stall on
@@ -1048,6 +1172,61 @@ impl LpContext {
             None
         };
     }
+
+    /// Incremental row addition: `model` is the session's view *after*
+    /// appending rows `old_m..` (grow-only — same columns, same
+    /// objective, same leading rows). When the live engine's state is
+    /// exactly `warm` for the pre-growth problem, the engine absorbs the
+    /// new rows in place (new slacks basic, bordered factor growth) and
+    /// the grown snapshot is returned; otherwise the context is cleared
+    /// and the caller's next warm solve reinstalls with a full
+    /// refactorisation at the grown dimensions. The second tuple element
+    /// is the deterministic work spent either way.
+    pub(crate) fn add_rows(
+        &mut self,
+        model: &Model,
+        old_m: usize,
+        warm: &Basis,
+    ) -> (Option<Basis>, u64) {
+        let Some(engine) = self.engine.as_mut() else {
+            return (None, 0);
+        };
+        let usable = engine.m == old_m
+            && engine.n == model.num_vars()
+            && warm.cols == engine.basis
+            && warm.status == engine.status
+            && engine.cost_matches(model);
+        if !usable {
+            self.engine = None;
+            return (None, 0);
+        }
+        engine.work = 0;
+        if engine.add_rows(model, old_m) {
+            let spent = engine.work;
+            (Some(engine.snapshot()), spent)
+        } else {
+            let spent = engine.work;
+            self.engine = None;
+            (None, spent)
+        }
+    }
+
+    /// Objective-delta retarget on the live engine. Returns whether the
+    /// warm state survived (dual-feasible reprice) plus the work spent;
+    /// on failure the context is cleared and the next solve runs cold.
+    pub(crate) fn set_objective(&mut self, model: &Model) -> (bool, u64) {
+        let Some(engine) = self.engine.as_mut() else {
+            return (false, 0);
+        };
+        engine.work = 0;
+        if engine.retarget_objective(model) {
+            (true, engine.work)
+        } else {
+            let spent = engine.work;
+            self.engine = None;
+            (false, spent)
+        }
+    }
 }
 
 /// One-shot convenience over [`LpContext::solve`] (no state reuse).
@@ -1123,6 +1302,7 @@ fn run(engine: &mut Engine, model: &Model, config: &LpConfig) -> Option<(LpResul
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated shims as oracles
 mod tests {
     use super::*;
     use crate::factor::UpdateRule;

@@ -1,8 +1,17 @@
 //! LP relaxations: sparse revised simplex fast path, dense fallback.
 //!
-//! Two engines sit behind [`solve_relaxation`] / [`solve_relaxation_warm`]:
+//! The unified entry point to the engines is
+//! [`LpSession`](crate::LpSession) (see [`crate::backend`]); this module
+//! keeps the configuration types ([`LpConfig`], [`LpEngine`],
+//! [`PricingRule`]), the result types, the dense two-phase tableau
+//! implementation, and the deprecated pre-session shims
+//! ([`solve_relaxation_warm`], [`LpSolver`]) retained for one release as
+//! differential-test oracles.
 //!
-//! 1. **Sparse revised simplex** ([`crate::revised`], the default): the
+//! Two engines sit behind every session's fallback ladder:
+//!
+//! 1. **Sparse revised simplex** (the private `revised` module, the
+//!    default): the
 //!    constraint matrix lives once in CSC form on the [`Model`]
 //!    ([`Model::csc`]); the basis is held as a sparse LU factorisation
 //!    with product-form eta updates ([`crate::factor`]) — or, behind
@@ -33,7 +42,6 @@ use crate::basis::Basis;
 use crate::expr::ConstraintSense;
 use crate::factor::{FactorStats, UpdateRule};
 use crate::model::Model;
-use crate::revised;
 
 /// Numerical tolerance for feasibility and pricing decisions.
 pub const TOL: f64 = 1e-7;
@@ -463,21 +471,23 @@ pub struct WarmLpResult {
 /// `bounds` must have one `(lower, upper)` pair per model variable; it is
 /// how branch-and-bound tightens and fixes binaries without rebuilding the
 /// model. Integrality is ignored — binaries are relaxed to their bounds.
-///
-/// Compatibility wrapper over [`solve_relaxation_warm`] with no warm basis
-/// and the snapshot discarded.
+#[deprecated(
+    note = "open an `LpSession` instead; kept for one release as the differential-test oracle"
+)]
 #[must_use]
 pub fn solve_relaxation(model: &Model, bounds: &[(f64, f64)], config: &LpConfig) -> LpResult {
+    #[allow(deprecated)]
     solve_relaxation_warm(model, bounds, config, None).result
 }
 
 /// Solves the LP relaxation, optionally warm-starting from a [`Basis`].
 ///
-/// The revised simplex handles the solve whenever it can (always starting
-/// dual feasible — see the module docs); the dense two-phase primal
-/// simplex picks up anything the revised engine declines. A warm basis
-/// from a *related* solve of the same model (same matrix and objective,
-/// any bounds) lets the engine skip straight to dual reoptimisation.
+/// Thin shim over a one-shot [`LpSession`](crate::LpSession); sessions
+/// additionally keep the engine hot across solves and accept incremental
+/// rows.
+#[deprecated(
+    note = "open an `LpSession` instead; kept for one release as the differential-test oracle"
+)]
 #[must_use]
 pub fn solve_relaxation_warm(
     model: &Model,
@@ -485,24 +495,27 @@ pub fn solve_relaxation_warm(
     config: &LpConfig,
     warm: Option<&Basis>,
 ) -> WarmLpResult {
-    LpSolver::new().solve(model, bounds, config, warm)
+    crate::backend::LpSession::open(model, *config).solve(bounds, warm)
 }
 
 /// A stateful LP solver handle that keeps the revised-simplex engine warm
-/// between solves.
+/// between solves — the pre-session API, now a thin shim over
+/// [`LpSession`](crate::LpSession).
 ///
-/// When consecutive [`LpSolver::solve`] calls pass a warm [`Basis`] that is
-/// exactly the engine's live basis (the usual case when each solve's warm
-/// basis comes from the previous solve), the engine re-optimises *in
-/// place*: only the changed bounds are applied to the primal values and the
-/// dual simplex runs from there — no refactorisation, no rebuild. This is
-/// what makes branch-and-bound nodes cheap; the solver threads one
-/// `LpSolver` through an entire search.
+/// The shim keeps one session alive and reopens it whenever the model's
+/// matrix identity or the engine selection changes, which reproduces the
+/// old context behaviour exactly (a context never matched across models
+/// either). Unlike a session it cannot accept incremental rows; migrate
+/// to [`LpSession`](crate::LpSession) for that.
+#[deprecated(
+    note = "open an `LpSession` instead; kept for one release as the differential-test oracle"
+)]
 #[derive(Default)]
 pub struct LpSolver {
-    ctx: revised::LpContext,
+    session: Option<crate::backend::LpSession>,
 }
 
+#[allow(deprecated)]
 impl LpSolver {
     /// Creates a solver with no live engine.
     #[must_use]
@@ -526,64 +539,31 @@ impl LpSolver {
         config: &LpConfig,
         warm: Option<&Basis>,
     ) -> WarmLpResult {
-        solve_relaxation_in(&mut self.ctx, model, bounds, config, warm)
+        let matrix = model.csc();
+        let stale = match &self.session {
+            Some(s) => {
+                s.config().engine != config.engine
+                    || !std::sync::Arc::ptr_eq(&s.model().csc(), &matrix)
+            }
+            None => true,
+        };
+        if stale {
+            self.session = Some(crate::backend::LpSession::open(model, *config));
+        }
+        let session = self.session.as_mut().expect("session opened above");
+        session.configure(*config);
+        session.solve(bounds, warm)
     }
 }
 
-/// Context-reusing variant of [`solve_relaxation_warm`].
-///
-/// The [`revised::LpContext`] keeps the previous solve's engine alive, so
-/// a warm basis matching the context's live state re-optimises in place
-/// without any refactorisation. The solver threads one context through a
-/// whole branch-and-bound search.
-pub(crate) fn solve_relaxation_in(
-    ctx: &mut revised::LpContext,
+/// Dense two-phase primal fallback (the original engine). The terminal
+/// rung of every session's and shim's fallback ladder.
+#[must_use]
+pub(crate) fn solve_relaxation_dense(
     model: &Model,
     bounds: &[(f64, f64)],
     config: &LpConfig,
-    warm: Option<&Basis>,
-) -> WarmLpResult {
-    let n = model.num_vars();
-    assert_eq!(bounds.len(), n, "one bound pair per variable required");
-    let m = model.num_constraints();
-
-    // Quick bound-sanity: crossed overrides mean an infeasible node.
-    for &(l, u) in bounds {
-        if l > u + TOL {
-            return WarmLpResult {
-                result: LpResult {
-                    status: LpStatus::Infeasible,
-                    objective: f64::INFINITY,
-                    values: Vec::new(),
-                    iterations: 0,
-                    work_ticks: 1,
-                    dense_fallback: false,
-                    factor: FactorStats::default(),
-                },
-                basis: None,
-            };
-        }
-    }
-    let mut revised_spent = 0;
-    if m > 0 && config.engine != LpEngine::DenseTableau {
-        match ctx.solve(model, bounds, config, warm) {
-            Ok((result, basis)) => return WarmLpResult { result, basis },
-            // The revised engine declined but already burnt deterministic
-            // work; charge it on top of the dense solve below.
-            Err(spent) => revised_spent = spent,
-        }
-    }
-    let mut result = solve_relaxation_dense(model, bounds, config);
-    result.work_ticks += revised_spent;
-    WarmLpResult {
-        result,
-        basis: None,
-    }
-}
-
-/// Dense two-phase primal fallback (the original engine).
-#[must_use]
-fn solve_relaxation_dense(model: &Model, bounds: &[(f64, f64)], config: &LpConfig) -> LpResult {
+) -> LpResult {
     let n = model.num_vars();
     assert_eq!(bounds.len(), n, "one bound pair per variable required");
     let m = model.num_constraints();
@@ -887,6 +867,9 @@ fn finish(model: &Model, tab: &Tableau, status: LpStatus) -> LpResult {
 }
 
 /// Convenience: solve the relaxation with the model's own bounds.
+#[deprecated(
+    note = "open an `LpSession` instead; kept for one release as the differential-test oracle"
+)]
 #[must_use]
 pub fn solve_model_relaxation(model: &Model, config: &LpConfig) -> LpResult {
     let bounds: Vec<(f64, f64)> = model
@@ -894,10 +877,12 @@ pub fn solve_model_relaxation(model: &Model, config: &LpConfig) -> LpResult {
         .iter()
         .map(|v| (v.lower, v.upper))
         .collect();
+    #[allow(deprecated)]
     solve_relaxation(model, &bounds, config)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // oracle tests for the deprecated shims
 mod tests {
     use super::*;
     use crate::Model;

@@ -1,12 +1,19 @@
-//! Anytime branch-and-bound solver with diving and LNS heuristics.
+//! Anytime branch-and-bound solver with root cutting planes, diving and
+//! LNS heuristics. Every LP relaxation in the search — node
+//! re-optimisations, dives, LNS sub-searches — runs through one
+//! [`LpSession`], so the whole tree shares a single live engine and the
+//! root cut loop can tighten the relaxation in place
+//! ([`LpSession::add_rows`]) before the first branch.
 
+use crate::backend::LpSession;
 use crate::basis::Basis;
 use crate::clock::DeterministicClock;
 use crate::clock::TICKS_PER_SECOND;
-use crate::expr::VarId;
+use crate::cuts::{Cut, CutSeparator};
+use crate::expr::{Comparison, VarId};
 use crate::model::{Model, VarType};
 use crate::presolve::{presolve, PresolveConfig, PresolveOutcome, PresolveStats};
-use crate::simplex::{LpConfig, LpEngine, LpSolver, LpStatus, PricingRule, WarmLpResult};
+use crate::simplex::{LpConfig, LpEngine, LpStatus, PricingRule, WarmLpResult};
 use crate::solution::{IncumbentEvent, Solution};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -60,6 +67,11 @@ pub struct SolverConfig {
     /// (rows, columns and nonzeros removed; see [`crate::presolve`]) and
     /// every incumbent/bound is mapped back through the postsolve stack.
     pub presolve: PresolveConfig,
+    /// Root cutting-plane rounds: before the tree search, knapsack cover
+    /// and clique cuts ([`crate::cuts`]) violated by the root relaxation
+    /// are appended to the live session — up to this many
+    /// separate/re-solve rounds. `0` disables the cut loop.
+    pub cut_rounds: u32,
 }
 
 impl Default for SolverConfig {
@@ -75,11 +87,22 @@ impl Default for SolverConfig {
             lp: LpConfig::default(),
             warm_lp: true,
             presolve: PresolveConfig::default(),
+            cut_rounds: 4,
         }
     }
 }
 
 impl SolverConfig {
+    /// Most-violated cuts kept per root separation round. Shared with
+    /// the bench harness so the guarded `cuts_root/*` rows measure the
+    /// same per-round cap the solver ships.
+    pub const MAX_CUTS_PER_ROUND: usize = 32;
+    /// Consecutive cut rounds without root-bound movement before the
+    /// loop stops (degenerate roots admit endless violated-but-useless
+    /// cuts). Shared with the bench harness like
+    /// [`SolverConfig::MAX_CUTS_PER_ROUND`].
+    pub const CUT_STALL_LIMIT: u32 = 2;
+
     /// Returns a copy with the given deterministic-time budget.
     #[must_use]
     pub fn with_det_time_limit(mut self, seconds: f64) -> Self {
@@ -139,6 +162,14 @@ impl SolverConfig {
         self.presolve = presolve;
         self
     }
+
+    /// Returns a copy with the given number of root cutting-plane rounds
+    /// (`0` disables the cut loop).
+    #[must_use]
+    pub fn with_cuts(mut self, rounds: u32) -> Self {
+        self.cut_rounds = rounds;
+        self
+    }
 }
 
 /// Final status of a solve.
@@ -152,6 +183,41 @@ pub enum SolveStatus {
     Infeasible,
     /// Budget exhausted with no feasible solution and no infeasibility proof.
     Unknown,
+}
+
+/// What the root cutting-plane loop achieved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CutSummary {
+    /// Separate/re-solve rounds that added at least one cut.
+    pub rounds: u32,
+    /// Cut rows appended to the session.
+    pub cuts_added: usize,
+    /// Root LP objective before any cut.
+    pub root_bound_before: f64,
+    /// Root LP objective after the last cut round — with valid cuts this
+    /// can only move up (towards the integer optimum).
+    pub root_bound_after: f64,
+    /// `false` if any cut round *lowered* the root objective, which valid
+    /// cuts cannot do — the bench smoke gate fails on it.
+    pub bound_monotone: bool,
+    /// `true` when a cut reoptimisation blew its LP budget slice and the
+    /// solver dropped **all** cuts (sessions are grow-only, so the only
+    /// way back is a fresh session on the base model) — the search then
+    /// proceeds exactly as it would have without a cut loop.
+    pub abandoned: bool,
+}
+
+impl Default for CutSummary {
+    fn default() -> Self {
+        CutSummary {
+            rounds: 0,
+            cuts_added: 0,
+            root_bound_before: f64::NEG_INFINITY,
+            root_bound_after: f64::NEG_INFINITY,
+            bound_monotone: true,
+            abandoned: false,
+        }
+    }
 }
 
 /// Result of [`Solver::solve`].
@@ -174,6 +240,9 @@ pub struct SolveResult {
     /// LP relaxations that fell back to the dense two-phase tableau
     /// (zero on healthy runs; the degeneracy-handling regression signal).
     pub lp_fallbacks: u64,
+    /// What the root cutting-plane loop achieved (all defaults when
+    /// disabled or never reached).
+    pub cuts: CutSummary,
 }
 
 impl SolveResult {
@@ -262,10 +331,12 @@ struct Search<'a> {
     pseudo_down: Vec<(f64, u32)>,
     /// Per-variable branching priority (higher = decided first).
     priorities: Vec<i32>,
-    /// Reusable LP engine: consecutive solves that share a basis skip
-    /// refactorisation entirely.
-    lp: LpSolver,
-    /// Non-zero count of the constraint matrix (for pivot cost estimates).
+    /// The one LP session the whole search runs through: holds the live
+    /// engine (consecutive solves sharing a basis skip refactorisation)
+    /// and the cut-grown model view.
+    session: LpSession,
+    /// Non-zero count of the session's constraint matrix, including cut
+    /// rows (for pivot cost estimates).
     nnz: usize,
     nodes: u64,
     /// LP solves served by the dense-tableau fallback.
@@ -290,24 +361,116 @@ impl<'a> Search<'a> {
             pseudo_up: vec![(0.0, 0); model.num_vars()],
             pseudo_down: vec![(0.0, 0); model.num_vars()],
             priorities: model.branch_priorities(),
-            lp: LpSolver::new(),
+            session: LpSession::open(model, cfg.lp),
             nnz: model.csc().nnz(),
             nodes: 0,
             lp_fallbacks: 0,
         }
     }
 
-    /// Solves one LP relaxation, warm-starting from `warm` when enabled,
-    /// and charges its deterministic work to the clock.
+    /// Solves one LP relaxation through the session, warm-starting from
+    /// `warm` when enabled, and charges its deterministic work to the
+    /// clock.
     fn solve_lp(&mut self, bounds: &[(f64, f64)], warm: Option<&Basis>) -> WarmLpResult {
         let config = self.lp_config();
+        self.session.configure(config);
         let warm = if self.cfg.warm_lp { warm } else { None };
-        let out = self.lp.solve(self.model, bounds, &config, warm);
+        let out = self.session.solve(bounds, warm);
         self.clock.charge(out.result.work_ticks);
         if out.result.dense_fallback {
             self.lp_fallbacks += 1;
         }
         out
+    }
+
+    /// Root cutting-plane loop: separate knapsack cover and clique cuts
+    /// violated by the root relaxation, append them to the live session
+    /// ([`LpSession::add_rows`] — the engine grows in place), re-solve,
+    /// repeat up to the configured round limit. Valid cuts only ever
+    /// *raise* the root bound; every node below the root then inherits
+    /// the tightened relaxation for free. The returned basis is the last
+    /// optimal root basis (over the cut-grown session), handed to the
+    /// dives and the tree search so the root relaxation is never solved
+    /// again from scratch.
+    ///
+    /// `Err(())` reports that the cut-strengthened root LP is infeasible:
+    /// since both cut families preserve every integer-feasible point,
+    /// that proves the model has no integer solution.
+    fn root_cuts(
+        &mut self,
+        root_bounds: &[(f64, f64)],
+        cliques: &[Vec<VarId>],
+    ) -> Result<(CutSummary, Option<Basis>), ()> {
+        let mut summary = CutSummary::default();
+        if self.cfg.cut_rounds == 0 || self.out_of_budget() {
+            return Ok((summary, None));
+        }
+        let mut separator = CutSeparator::new(self.model, cliques);
+        if separator.is_empty() {
+            return Ok((summary, None));
+        }
+        let out = self.solve_lp(root_bounds, None);
+        if out.result.status != LpStatus::Optimal {
+            return Ok((summary, None));
+        }
+        let mut basis = out.basis;
+        let mut values = out.result.values;
+        summary.root_bound_before = out.result.objective;
+        summary.root_bound_after = out.result.objective;
+        // Stall guard: on a degenerate root with alternate optima the
+        // separator can keep finding violated-but-useless cuts forever;
+        // two consecutive rounds without bound movement end the loop.
+        let mut stalled = 0u32;
+        for _ in 0..self.cfg.cut_rounds {
+            if self.out_of_budget() || stalled >= SolverConfig::CUT_STALL_LIMIT {
+                break;
+            }
+            let cuts = separator.separate(&values, SolverConfig::MAX_CUTS_PER_ROUND);
+            if cuts.is_empty() {
+                break;
+            }
+            let rows: Vec<(String, Comparison)> = cuts.into_iter().map(Cut::into_row).collect();
+            let added = self.session.add_rows(rows, basis.as_ref());
+            self.clock.charge(added.work_ticks);
+            summary.cuts_added += added.added;
+            let out = self.solve_lp(root_bounds, added.basis.as_ref());
+            match out.result.status {
+                LpStatus::Optimal => {}
+                LpStatus::Infeasible => return Err(()),
+                LpStatus::Unbounded | LpStatus::IterLimit => {
+                    // The reoptimisation blew its LP budget slice —
+                    // massive dual degeneracy can make even valid cuts
+                    // uneconomical. Sessions are grow-only, so drop
+                    // *every* cut by reopening on the base model; the
+                    // search then runs exactly as without a cut loop,
+                    // and the summary reports what the search actually
+                    // has (no cuts, the original root bound) rather
+                    // than what was tried and dropped.
+                    self.session = LpSession::open(self.model, self.cfg.lp);
+                    summary = CutSummary {
+                        abandoned: true,
+                        root_bound_before: summary.root_bound_before,
+                        root_bound_after: summary.root_bound_before,
+                        ..CutSummary::default()
+                    };
+                    return Ok((summary, None));
+                }
+            }
+            summary.rounds += 1;
+            if out.result.objective < summary.root_bound_after - 1e-6 {
+                summary.bound_monotone = false;
+            }
+            if out.result.objective > summary.root_bound_after + 1e-9 {
+                stalled = 0;
+            } else {
+                stalled += 1;
+            }
+            summary.root_bound_after = summary.root_bound_after.max(out.result.objective);
+            basis = out.basis;
+            values = out.result.values;
+        }
+        self.nnz = self.session.model().csc().nnz();
+        Ok((summary, basis))
     }
 
     /// Highest branching priority among fractional binaries, if any.
@@ -332,7 +495,8 @@ impl<'a> Search<'a> {
     /// subproblems always make progress).
     fn lp_config(&self) -> LpConfig {
         let remaining = (self.cfg.det_time_limit - self.clock.seconds()).max(0.0);
-        let m = self.model.num_constraints().max(1);
+        // Size against the session's view: cut rows count like any other.
+        let m = self.session.model().num_constraints().max(1);
         let n_total = self.model.num_vars() + m;
         // Size by the *most expensive* engine so none can overshoot the
         // budget. Explicit-inverse revised pivots cost ≈ m² + nnz + n
@@ -408,12 +572,14 @@ impl<'a> Search<'a> {
         &mut self,
         base_bounds: &[(f64, f64)],
         deadline: f64,
+        root_warm: Option<&Basis>,
         callback: &mut dyn FnMut(&IncumbentEvent),
     ) -> bool {
         let mut bounds = base_bounds.to_vec();
         // Each round differs from the last by a few bound fixings, so the
-        // previous optimal basis is the natural warm start.
-        let mut warm: Option<Basis> = None;
+        // previous optimal basis is the natural warm start; the first
+        // round starts from the root basis the cut loop left behind.
+        let mut warm: Option<Basis> = root_warm.cloned();
         for _ in 0..self.model.num_vars() + 1 {
             if self.out_of_budget() || self.clock.seconds() >= deadline {
                 return false;
@@ -468,10 +634,11 @@ impl<'a> Search<'a> {
     fn dive_assign(
         &mut self,
         base_bounds: &[(f64, f64)],
+        root_warm: Option<&Basis>,
         callback: &mut dyn FnMut(&IncumbentEvent),
     ) -> bool {
         let mut bounds = base_bounds.to_vec();
-        let out = self.solve_lp(&bounds, None);
+        let out = self.solve_lp(&bounds, root_warm);
         let mut lp = out.result;
         let mut warm = out.basis;
         if lp.status != LpStatus::Optimal || lp.objective >= self.cutoff() {
@@ -595,7 +762,7 @@ impl<'a> Search<'a> {
         // Mini branch-and-bound on the restricted problem.
         let budget = (self.cfg.det_time_limit - self.clock.seconds()).max(0.0);
         let mini_budget = (budget * 0.2).min(2.0);
-        self.branch_and_bound(&bounds, 256, mini_budget, callback);
+        self.branch_and_bound(&bounds, 256, mini_budget, None, callback);
     }
 
     /// Core branch-and-bound over the given root bounds. Returns the best
@@ -606,6 +773,7 @@ impl<'a> Search<'a> {
         root_bounds: &[(f64, f64)],
         node_cap: u64,
         det_budget: f64,
+        root_warm: Option<Rc<Basis>>,
         callback: &mut dyn FnMut(&IncumbentEvent),
     ) -> f64 {
         let start_time = self.clock.seconds();
@@ -617,7 +785,7 @@ impl<'a> Search<'a> {
             upper: 0.0,
             bound: f64::NEG_INFINITY,
             depth: 0,
-            warm: None,
+            warm: root_warm,
         }];
         let mut heap = BinaryHeap::new();
         let mut seq = 0u64;
@@ -780,7 +948,7 @@ impl Solver {
     ) -> SolveResult {
         model.validate().expect("model must validate");
         if !self.config.presolve.enabled {
-            return self.run_search(model, warm, &mut callback, PresolveStats::default());
+            return self.run_search(model, warm, &mut callback, PresolveStats::default(), &[]);
         }
         // The short-circuit exits below happen *before* the first LP
         // relaxation — no `Search` (owner of the real `lp_fallbacks`
@@ -798,6 +966,7 @@ impl Solver {
                     incumbents: Vec::new(),
                     presolve: stats,
                     lp_fallbacks: pre_search_fallbacks,
+                    cuts: CutSummary::default(),
                 };
             }
             PresolveOutcome::Reduced(p) => p,
@@ -820,6 +989,7 @@ impl Solver {
                     incumbents: Vec::new(),
                     presolve: presolved.stats,
                     lp_fallbacks: pre_search_fallbacks,
+                    cuts: CutSummary::default(),
                 };
             }
             let objective = model.objective_value(&values);
@@ -839,6 +1009,7 @@ impl Solver {
                 incumbents: vec![event],
                 presolve: presolved.stats,
                 lp_fallbacks: pre_search_fallbacks,
+                cuts: CutSummary::default(),
             };
         }
         let warm_reduced = warm.map(|w| presolved.postsolve.project(w));
@@ -850,6 +1021,7 @@ impl Solver {
             warm_reduced.as_deref(),
             &mut forward,
             presolved.stats,
+            &presolved.cliques,
         );
         result.best = result
             .best
@@ -871,6 +1043,7 @@ impl Solver {
         warm: Option<&[f64]>,
         mut callback: &mut dyn FnMut(&IncumbentEvent),
         presolve_stats: PresolveStats,
+        cliques: &[Vec<VarId>],
     ) -> SolveResult {
         let mut search = Search::new(model, &self.config);
         search.clock.charge(presolve_stats.work_ticks);
@@ -888,14 +1061,40 @@ impl Solver {
             search.try_accept(w.to_vec(), &mut callback);
         }
 
+        // 1b. Root cutting planes: tighten the session's relaxation once,
+        //     before any dive or branch runs on it. An infeasible
+        //     cut-strengthened root (with no incumbent in hand) proves the
+        //     model integer-infeasible — cuts never remove integer points.
+        //     The loop's final root basis seeds the dives and the tree
+        //     search, so the root relaxation is never re-solved cold.
+        let (cut_summary, root_warm) = match search.root_cuts(&root_bounds, cliques) {
+            Ok(out) => out,
+            Err(()) => {
+                if search.incumbent.is_none() {
+                    return SolveResult {
+                        status: SolveStatus::Infeasible,
+                        best: None,
+                        best_bound: f64::NEG_INFINITY,
+                        det_time: search.clock.seconds(),
+                        nodes: search.nodes,
+                        incumbents: search.events,
+                        presolve: presolve_stats,
+                        lp_fallbacks: search.lp_fallbacks,
+                        cuts: CutSummary::default(),
+                    };
+                }
+                (CutSummary::default(), None)
+            }
+        };
+
         // 2. Root dives for a first incumbent: fast batch rounding on a
         //    quarter of the budget, then the more robust assignment dive.
         if search.incumbent.is_none() {
             let deadline = search.clock.seconds() + 0.25 * self.config.det_time_limit;
-            search.dive(&root_bounds, deadline, &mut callback);
+            search.dive(&root_bounds, deadline, root_warm.as_ref(), &mut callback);
         }
         if search.incumbent.is_none() {
-            search.dive_assign(&root_bounds, &mut callback);
+            search.dive_assign(&root_bounds, root_warm.as_ref(), &mut callback);
         }
 
         // 3. Main branch-and-bound with periodic LNS.
@@ -908,6 +1107,7 @@ impl Solver {
                     &root_bounds,
                     self.config.node_limit,
                     remaining,
+                    root_warm.map(Rc::new),
                     &mut callback,
                 );
                 proved = proved.max(bound.min(f64::INFINITY));
@@ -964,6 +1164,7 @@ impl Solver {
             incumbents: search.events,
             presolve: presolve_stats,
             lp_fallbacks: search.lp_fallbacks,
+            cuts: cut_summary,
         }
     }
 }
@@ -1008,6 +1209,120 @@ mod tests {
         assert_eq!(r.status, SolveStatus::Infeasible);
         assert_eq!(r.nodes, 0);
         assert_eq!(r.lp_fallbacks, 0);
+    }
+
+    /// The three public entry points (`solve`, `solve_with_callback`,
+    /// `solve_with_warm_start`) must run the exact same session path: a
+    /// rejected warm start and a no-op callback may not perturb a single
+    /// pivot. Deterministic ticks equal ⇒ pivot sequences equal.
+    #[test]
+    fn entry_points_cannot_drift() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..8).map(|i| m.add_binary(format!("x{i}"))).collect();
+        for i in 0..4 {
+            m.add_constraint(
+                format!("c{i}"),
+                m.expr([(vars[2 * i], 1.0), (vars[2 * i + 1], 1.0)])
+                    .geq(1.0),
+            );
+        }
+        m.add_constraint(
+            "w",
+            m.expr(vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + i as f64)))
+                .leq(20.0),
+        );
+        m.set_objective(
+            m.expr(
+                vars.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, (i % 3 + 1) as f64)),
+            ),
+        );
+        let solver = Solver::new(quick_config());
+        let plain = solver.solve(&m);
+        let with_cb = solver.solve_with_callback(&m, None, |_| {});
+        // An infeasible warm assignment is rejected before the search, so
+        // the third entry point must replay the same solve bit-for-bit.
+        let rejected_warm = vec![0.0; 8];
+        let warm = solver.solve_with_warm_start(&m, &rejected_warm);
+        for other in [&with_cb, &warm] {
+            assert_eq!(plain.status, other.status);
+            assert_eq!(plain.nodes, other.nodes, "node counts diverged");
+            assert_eq!(plain.det_time, other.det_time, "tick streams diverged");
+            assert_eq!(
+                plain.best.as_ref().map(Solution::objective),
+                other.best.as_ref().map(Solution::objective)
+            );
+            assert_eq!(plain.incumbents.len(), other.incumbents.len());
+            assert_eq!(plain.cuts, other.cuts);
+        }
+    }
+
+    /// Clique cuts must close the odd-cycle packing gap at the root: the
+    /// pairwise-packing triangle relaxes to 1.5, the merged clique cut
+    /// `a + b + c ≤ 1` closes it to the integer optimum outright.
+    #[test]
+    fn clique_cuts_close_triangle_root_gap() {
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint("p1", m.expr([(a, 1.0), (b, 1.0)]).leq(1.0));
+        m.add_constraint("p2", m.expr([(b, 1.0), (c, 1.0)]).leq(1.0));
+        m.add_constraint("p3", m.expr([(a, 1.0), (c, 1.0)]).leq(1.0));
+        m.set_objective(m.expr([(a, -1.0), (b, -1.0), (c, -1.0)]));
+        // Presolve off isolates the cut loop (no reductions interfering).
+        let cfg = quick_config().with_presolve(PresolveConfig::off());
+        let r = Solver::new(cfg).solve(&m);
+        assert_eq!(r.status, SolveStatus::Optimal);
+        assert!((r.best.unwrap().objective() + 1.0).abs() < 1e-6);
+        assert!(r.cuts.cuts_added >= 1, "expected a clique cut");
+        assert!(r.cuts.bound_monotone);
+        assert!(
+            r.cuts.root_bound_after > r.cuts.root_bound_before + 0.49,
+            "root gap not closed: {} -> {}",
+            r.cuts.root_bound_before,
+            r.cuts.root_bound_after
+        );
+        assert_eq!(r.lp_fallbacks, 0, "cut rows must not cause dense fallbacks");
+    }
+
+    /// Cuts may never change the optimum, only the route to it.
+    #[test]
+    fn cuts_preserve_optimal_objectives() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..9).map(|i| m.add_binary(format!("x{i}"))).collect();
+        for r in 0..2 {
+            let cap = 9.0;
+            m.add_constraint(
+                format!("r{r}"),
+                m.expr(
+                    vars.iter()
+                        .enumerate()
+                        .map(|(i, &v)| (v, 1.0 + ((i + r) % 4) as f64)),
+                )
+                .leq(cap),
+            );
+        }
+        m.set_objective(
+            m.expr(
+                vars.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, -(1.0 + ((i * 5) % 7) as f64))),
+            ),
+        );
+        let with_cuts = Solver::new(quick_config()).solve(&m);
+        let without = Solver::new(quick_config().with_cuts(0)).solve(&m);
+        assert_eq!(with_cuts.status, SolveStatus::Optimal);
+        assert_eq!(without.status, SolveStatus::Optimal);
+        assert!(
+            (with_cuts.best.as_ref().unwrap().objective()
+                - without.best.as_ref().unwrap().objective())
+            .abs()
+                < 1e-6
+        );
+        assert_eq!(without.cuts.cuts_added, 0);
+        assert!(with_cuts.cuts.bound_monotone);
     }
 
     #[test]

@@ -132,6 +132,70 @@ impl CscMatrix {
             out[i] = v;
         }
     }
+
+    /// Grow-only row extension: returns a new matrix with `added` rows
+    /// appended below the existing ones (`added[i]` holds row `m + i` as
+    /// `(col, value)` entries). The column count is unchanged.
+    ///
+    /// Because the new row indices are strictly larger than every existing
+    /// index, each column's entries stay sorted when the additions are
+    /// appended at its end — the whole build is a single `O(nnz + k)`
+    /// merge with no re-sorting, which is what makes incremental row
+    /// addition on a live [`crate::Model`] cheap. Duplicate columns within
+    /// one added row are coalesced by summation, zeros dropped (the same
+    /// normalisation as [`CscMatrix::from_columns`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an added entry's column is out of range.
+    #[must_use]
+    pub fn append_rows(&self, added: &[Vec<(usize, f64)>]) -> CscMatrix {
+        let m_new = self.m + added.len();
+        // Per-column additions, normalised per row (sorted by column after
+        // the transpose below; entries within one column arrive in row
+        // order because `added` is iterated in row order).
+        let mut extra: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.n];
+        for (i, row) in added.iter().enumerate() {
+            let mut terms: Vec<(usize, f64)> =
+                row.iter().copied().filter(|&(_, v)| v != 0.0).collect();
+            terms.sort_unstable_by_key(|&(j, _)| j);
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+            for (j, v) in terms {
+                assert!(j < self.n, "column index out of range");
+                match merged.last_mut() {
+                    Some((lj, lv)) if *lj == j => *lv += v,
+                    _ => merged.push((j, v)),
+                }
+            }
+            for (j, v) in merged {
+                if v != 0.0 {
+                    extra[j].push((self.m + i, v));
+                }
+            }
+        }
+        let extra_nnz: usize = extra.iter().map(Vec::len).sum();
+        let mut col_ptr = Vec::with_capacity(self.n + 1);
+        let mut row_idx = Vec::with_capacity(self.values.len() + extra_nnz);
+        let mut values = Vec::with_capacity(self.values.len() + extra_nnz);
+        col_ptr.push(0);
+        for j in 0..self.n {
+            let (rows, vals) = self.col(j);
+            row_idx.extend_from_slice(rows);
+            values.extend_from_slice(vals);
+            for &(i, v) in &extra[j] {
+                row_idx.push(i);
+                values.push(v);
+            }
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix {
+            m: m_new,
+            n: self.n,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +244,46 @@ mod tests {
         assert_eq!(rows, &[0, 1]);
         assert_eq!(vals, &[1.0, 5.0]);
         assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn append_rows_preserves_columns_and_sorts() {
+        let a = sample();
+        // Append rows [ 5 0 -1 ] and [ 0 2 0 ] below the 2×3 sample.
+        let b = a.append_rows(&[vec![(2, -1.0), (0, 5.0)], vec![(1, 2.0), (1, 0.0)]]);
+        assert_eq!(b.rows(), 4);
+        assert_eq!(b.cols(), 3);
+        assert_eq!(b.nnz(), 6);
+        let (rows, vals) = b.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 5.0]);
+        let (rows, vals) = b.col(1);
+        assert_eq!(rows, &[1, 3]);
+        assert_eq!(vals, &[3.0, 2.0]);
+        let (rows, vals) = b.col(2);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[2.0, -1.0]);
+        // Matches a from-scratch build of the same 4×3 matrix.
+        let full = CscMatrix::from_columns(
+            4,
+            &[
+                vec![(0, 1.0), (2, 5.0)],
+                vec![(1, 3.0), (3, 2.0)],
+                vec![(0, 2.0), (2, -1.0)],
+            ],
+        );
+        assert_eq!(b, full);
+    }
+
+    #[test]
+    fn append_rows_coalesces_duplicates_in_added_rows() {
+        let a = sample();
+        let b = a.append_rows(&[vec![(0, 1.0), (0, 2.0), (1, 1.0), (1, -1.0)]]);
+        assert_eq!(b.rows(), 3);
+        let (rows, vals) = b.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 3.0]);
+        assert_eq!(b.col_nnz(1), 1, "cancelled duplicate dropped");
     }
 
     #[test]

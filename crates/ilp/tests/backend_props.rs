@@ -1,0 +1,310 @@
+//! Backend-equivalence and cut-correctness properties.
+//!
+//! * Every [`LpBackend`] implementation — dense tableau, dense inverse,
+//!   sparse LU under both update rules — must agree on the LP optimum of
+//!   seeded random 0/1 models **through the trait object** (the session
+//!   API), to 1e-6.
+//! * [`LpSession::add_rows`] must be exact: appending separated cuts to a
+//!   live session (in-place factorisation growth) must reach the same
+//!   optimum as cold-solving a rebuilt model that carries the same rows.
+//! * Separated cuts must be *valid*: no knapsack cover or clique cut may
+//!   ever cut off an integer-feasible point (checked by exhaustive
+//!   enumeration) — and an integer-feasible LP optimum separates nothing.
+
+use croxmap_ilp::backend::{LpBackend, LpSession, RevisedBackend, TableauBackend};
+use croxmap_ilp::cuts::CutSeparator;
+use croxmap_ilp::simplex::{LpConfig, LpStatus};
+use croxmap_ilp::{LpEngine, Model, UpdateRule, VarId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random 0/1 model with mixed ≤/≥/= rows, the family the
+/// warm-start and presolve suites use.
+fn random_model(seed: u64) -> Model {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rng.gen_range(3usize..=9);
+    let rows = rng.gen_range(1usize..=6);
+    let mut m = Model::new();
+    let vars: Vec<VarId> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+    for r in 0..rows {
+        let coeffs: Vec<f64> = (0..n)
+            .map(|_| f64::from(rng.gen_range(-3i32..=3)))
+            .collect();
+        let rhs = f64::from(rng.gen_range(-4i32..=6));
+        let expr = m.expr(
+            vars.iter()
+                .zip(&coeffs)
+                .filter(|&(_, &c)| c != 0.0)
+                .map(|(&v, &c)| (v, c)),
+        );
+        let cmp = match rng.gen_range(0u32..4) {
+            0 => expr.geq(rhs),
+            1 if rhs >= 0.0 => expr.eq(rhs),
+            _ => expr.leq(rhs),
+        };
+        m.add_constraint(format!("r{r}"), cmp);
+    }
+    m.set_objective(
+        m.expr(
+            vars.iter()
+                .map(|&v| (v, f64::from(rng.gen_range(-5i32..=5)))),
+        ),
+    );
+    m
+}
+
+/// A seeded random knapsack/packing model — all-positive `≤` rows plus
+/// occasional packing rows, the shapes the cover and clique separators
+/// target, with a maximising (negative-cost) objective so the LP optimum
+/// lands on fractional vertices.
+fn random_cut_model(seed: u64) -> Model {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9) | 1);
+    let n = rng.gen_range(4usize..=9);
+    let mut m = Model::new();
+    let vars: Vec<VarId> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+    let rows = rng.gen_range(1usize..=3);
+    for r in 0..rows {
+        let coeffs: Vec<f64> = (0..n).map(|_| f64::from(rng.gen_range(1i32..=5))).collect();
+        let total: f64 = coeffs.iter().sum();
+        let rhs = (total * rng.gen_range(0.35..0.7)).floor().max(1.0);
+        m.add_constraint(
+            format!("k{r}"),
+            m.expr(vars.iter().zip(&coeffs).map(|(&v, &c)| (v, c)))
+                .leq(rhs),
+        );
+    }
+    if rng.gen_bool(0.6) {
+        // One packing row over a random subset of ≥ 2 variables.
+        let mut subset: Vec<VarId> = vars.clone();
+        while subset.len() > 2 && rng.gen_bool(0.4) {
+            let at = rng.gen_range(0..subset.len());
+            subset.remove(at);
+        }
+        m.add_constraint("pack", m.expr(subset.iter().map(|&v| (v, 1.0))).leq(1.0));
+    }
+    m.set_objective(
+        m.expr(
+            vars.iter()
+                .map(|&v| (v, -f64::from(rng.gen_range(1i32..=9)))),
+        ),
+    );
+    m
+}
+
+fn model_bounds(m: &Model) -> Vec<(f64, f64)> {
+    m.variables().iter().map(|v| (v.lower, v.upper)).collect()
+}
+
+/// Every backend × update-rule combination as `(label, session)`, all
+/// held as trait objects through [`LpSession::with_backend`].
+fn all_backends(model: &Model) -> Vec<(String, LpSession)> {
+    let mut out = Vec::new();
+    for update in [UpdateRule::ForrestTomlin, UpdateRule::ProductForm] {
+        let cfg = LpConfig {
+            engine: LpEngine::SparseLu,
+            update,
+            ..LpConfig::default()
+        };
+        let backend: Box<dyn LpBackend> = Box::new(RevisedBackend::new(LpEngine::SparseLu));
+        out.push((
+            format!("sparse-lu/{update:?}"),
+            LpSession::with_backend(model, cfg, backend),
+        ));
+    }
+    let cfg = LpConfig {
+        engine: LpEngine::DenseInverse,
+        ..LpConfig::default()
+    };
+    let backend: Box<dyn LpBackend> = Box::new(RevisedBackend::new(LpEngine::DenseInverse));
+    out.push((
+        "dense-inverse".to_owned(),
+        LpSession::with_backend(model, cfg, backend),
+    ));
+    let cfg = LpConfig {
+        engine: LpEngine::DenseTableau,
+        ..LpConfig::default()
+    };
+    let backend: Box<dyn LpBackend> = Box::new(TableauBackend);
+    out.push((
+        "dense-tableau".to_owned(),
+        LpSession::with_backend(model, cfg, backend),
+    ));
+    out
+}
+
+/// All integer-feasible points of a small binary model.
+fn feasible_points(m: &Model) -> Vec<Vec<f64>> {
+    let n = m.num_vars();
+    assert!(n <= 16, "enumeration only");
+    let mut out = Vec::new();
+    for bits in 0..(1u32 << n) {
+        let pt: Vec<f64> = (0..n).map(|j| f64::from((bits >> j) & 1)).collect();
+        if m.is_feasible(&pt, 1e-9) {
+            out.push(pt);
+        }
+    }
+    out
+}
+
+#[test]
+fn all_backends_agree_on_relaxation_optimum() {
+    let mut optimal = 0u32;
+    let mut infeasible = 0u32;
+    for seed in 0..40u64 {
+        let model = random_model(seed);
+        let bounds = model_bounds(&model);
+        let mut results = Vec::new();
+        for (label, mut session) in all_backends(&model) {
+            let out = session.solve(&bounds, None);
+            results.push((label, out.result.status, out.result.objective));
+        }
+        let (ref label0, status0, obj0) = results[0];
+        for (label, status, obj) in &results[1..] {
+            assert_eq!(
+                status0, *status,
+                "seed {seed}: {label0} vs {label} disagree on status"
+            );
+            if *status == LpStatus::Optimal {
+                assert!(
+                    (obj0 - obj).abs() < 1e-6,
+                    "seed {seed}: {label0} gives {obj0}, {label} gives {obj}"
+                );
+            }
+        }
+        match status0 {
+            LpStatus::Optimal => optimal += 1,
+            LpStatus::Infeasible => infeasible += 1,
+            other => panic!("seed {seed}: unexpected status {other:?}"),
+        }
+    }
+    assert!(optimal >= 10, "family too degenerate: {optimal} optimal");
+    assert!(infeasible >= 1, "family never infeasible");
+}
+
+#[test]
+fn incremental_rows_match_rebuilt_model_on_every_backend() {
+    let mut exercised = 0u32;
+    for seed in 0..60u64 {
+        let model = if seed % 2 == 0 {
+            random_cut_model(seed)
+        } else {
+            random_model(seed)
+        };
+        let bounds = model_bounds(&model);
+        // Reference fractional point + cuts from the default engine.
+        let mut probe = LpSession::open(&model, LpConfig::default());
+        let root = probe.solve(&bounds, None);
+        if root.result.status != LpStatus::Optimal {
+            continue;
+        }
+        let mut separator = CutSeparator::new(&model, &[]);
+        let cuts = separator.separate(&root.result.values, 8);
+        if cuts.is_empty() {
+            continue;
+        }
+        exercised += 1;
+        // Oracle: rebuild the model with the cut rows baked in, solve
+        // cold on the dense tableau.
+        let mut rebuilt = model.clone();
+        let rows: Vec<_> = cuts.into_iter().map(croxmap_ilp::Cut::into_row).collect();
+        for (name, cmp) in &rows {
+            rebuilt.add_constraint(name.clone(), cmp.clone());
+        }
+        let tableau_cfg = LpConfig {
+            engine: LpEngine::DenseTableau,
+            ..LpConfig::default()
+        };
+        let want = LpSession::open(&rebuilt, tableau_cfg).solve(&bounds, None);
+        assert_eq!(want.result.status, LpStatus::Optimal, "cuts are valid");
+        // Every backend: solve, append the same rows to the live session,
+        // re-solve warm; the grown session must match the oracle.
+        for (label, mut session) in all_backends(&model) {
+            let out = session.solve(&bounds, None);
+            assert_eq!(out.result.status, LpStatus::Optimal, "{label}");
+            let grown = session.add_rows(rows.clone(), out.basis.as_ref());
+            assert_eq!(grown.added, rows.len(), "{label}");
+            let cut_out = session.solve(&bounds, grown.basis.as_ref());
+            assert_eq!(cut_out.result.status, LpStatus::Optimal, "{label}");
+            assert!(
+                (cut_out.result.objective - want.result.objective).abs() < 1e-6,
+                "seed {seed}: {label} grown session gives {}, oracle {}",
+                cut_out.result.objective,
+                want.result.objective
+            );
+        }
+    }
+    assert!(exercised >= 5, "only {exercised} seeds produced cuts");
+}
+
+#[test]
+fn cuts_never_cut_off_integer_feasible_points() {
+    let mut cuts_checked = 0u32;
+    for seed in 0..80u64 {
+        let model = if seed % 2 == 0 {
+            random_cut_model(seed)
+        } else {
+            random_model(seed)
+        };
+        let bounds = model_bounds(&model);
+        let feasible = feasible_points(&model);
+        let mut session = LpSession::open(&model, LpConfig::default());
+        let root = session.solve(&bounds, None);
+        if root.result.status != LpStatus::Optimal {
+            continue;
+        }
+        let mut separator = CutSeparator::new(&model, &[]);
+        // Separate both at the LP optimum and at seeded random fractional
+        // points — broader coverage than the optimum alone.
+        let mut points = vec![root.result.values.clone()];
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
+        for _ in 0..3 {
+            points.push(
+                (0..model.num_vars())
+                    .map(|_| rng.gen_range(0.0..1.0))
+                    .collect(),
+            );
+        }
+        for point in &points {
+            for cut in separator.separate(point, 16) {
+                cuts_checked += 1;
+                for pt in &feasible {
+                    let lhs: f64 = cut.terms.iter().map(|&(v, c)| c * pt[v.index()]).sum();
+                    assert!(
+                        lhs <= cut.rhs + 1e-9,
+                        "seed {seed}: {:?} cut {} cuts off feasible {pt:?}",
+                        cut.kind,
+                        cut.name
+                    );
+                }
+            }
+        }
+    }
+    assert!(cuts_checked >= 20, "only {cuts_checked} cuts exercised");
+}
+
+#[test]
+fn integral_optimum_separates_nothing() {
+    for seed in 0..40u64 {
+        let model = random_model(seed);
+        let bounds = model_bounds(&model);
+        let mut session = LpSession::open(&model, LpConfig::default());
+        let root = session.solve(&bounds, None);
+        if root.result.status != LpStatus::Optimal {
+            continue;
+        }
+        let integral = root
+            .result
+            .values
+            .iter()
+            .all(|x| (x - x.round()).abs() < 1e-9);
+        if !integral {
+            continue;
+        }
+        let mut separator = CutSeparator::new(&model, &[]);
+        let cuts = separator.separate(&root.result.values, 16);
+        assert!(
+            cuts.is_empty(),
+            "seed {seed}: integral point separated {cuts:?}"
+        );
+    }
+}

@@ -3,6 +3,11 @@
 //! from snapshot, and hot in-place reuse via [`LpSolver`]), and the
 //! warm-started branch-and-bound must reach the same optima as the cold
 //! one.
+//!
+//! Runs through the **deprecated shims** on purpose: they are the
+//! retained differential-test oracles over the session path, so this
+//! suite pins shim-vs-session equivalence for free.
+#![allow(deprecated)]
 
 use croxmap_ilp::simplex::{solve_relaxation_warm, LpConfig, LpEngine, LpSolver, LpStatus};
 use croxmap_ilp::{Model, Solver, SolverConfig, VarId};
