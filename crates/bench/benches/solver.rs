@@ -18,10 +18,13 @@
 //! The family includes a degenerate `cold_root/*` group (single cold root
 //! LPs, raw vs unperturbed vs presolved, with rows/cols/nnz removed in
 //! the JSON), `presolve_bb/*` rows toggling presolve over the full
-//! branch-and-bound, and a `cuts_root/*` group driving the root
+//! branch-and-bound, a `cuts_root/*` group driving the root
 //! cutting-plane loop through the public `LpSession` API (root bound
 //! before/after, rounds, rows added, in-place growth batches, and the
-//! root gap closed against a reference incumbent).
+//! root gap closed against a reference incumbent), and a `parallel_bb/*`
+//! group running the tree-heavy instances through the parallel driver
+//! (sequential `t1` baseline, deterministic 4-thread schedule measured
+//! twice as `t4_det`/`t4_det_rerun`, and work-stealing `t4_ws`).
 //!
 //! ## CI smoke mode
 //!
@@ -33,8 +36,12 @@
 //! than 1.5× against the committed `BENCH_solver.json`**, if a
 //! presolve-enabled cold root pays a dense-tableau fallback, if a cut
 //! round ever *worsens* the root objective bound (valid cuts can only
-//! raise it), or if the cut loop pays a dense fallback. The committed
-//! file is left untouched in this mode.
+//! raise it), or if the cut loop pays a dense fallback. The freshly
+//! measured `parallel_bb/*` rows are gated live: the deterministic
+//! 4-thread schedule must not diverge between its two runs, every mode
+//! must land on the sequential objective, and (only on ≥ 4-core
+//! machines) the best 4-thread wall time must beat sequential by 1.5×.
+//! The committed file is left untouched in this mode.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use croxmap_core::baseline::greedy_first_fit;
@@ -43,7 +50,8 @@ use croxmap_gen::calibrated::{generate, NetworkSpec};
 use croxmap_ilp::presolve::{presolve, PresolveConfig, PresolveOutcome, PresolveStats};
 use croxmap_ilp::simplex::{self, LpStatus};
 use croxmap_ilp::{
-    Cut, CutSeparator, FactorStats, LpSession, Model, Solver, SolverConfig, TICKS_PER_SECOND,
+    Cut, CutSeparator, FactorStats, LpSession, Model, ParallelMode, Solver, SolverConfig,
+    TICKS_PER_SECOND,
 };
 use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarPool};
 use std::fmt::Write as _;
@@ -60,6 +68,11 @@ const SMOKE_REGRESSION_LIMIT: f64 = 1.5;
 /// checked after the pivot that crosses it); sustained growth past this
 /// limit means the eta/update file escaped the refactor policy.
 const SMOKE_GROWTH_LIMIT: f64 = 1.5;
+/// Minimum `t1 wall / best 4-thread wall` ratio the smoke gate demands
+/// from the `parallel_bb/*` rows — checked only on machines that
+/// actually expose ≥ 4 cores (single-core CI runners print a skip note;
+/// the determinism gate on those rows always runs).
+const PARALLEL_SPEEDUP_FLOOR: f64 = 1.5;
 
 /// Set-cover instance over a ring: n elements, each covered by 2 sets.
 fn ring_cover(n: usize) -> Model {
@@ -283,6 +296,43 @@ fn measure_bb_presolve(name: &str, model: &Model, presolve_on: bool) -> WarmCold
         presolve: presolve_on.then_some(result.presolve),
         fallbacks: result.lp_fallbacks,
         factor: None,
+        cuts: None,
+    }
+}
+
+/// Full branch-and-bound through the parallel tree driver: one row per
+/// (instance, threading mode) for the `parallel_bb/*` group. `t1` is the
+/// sequential baseline; the deterministic 4-thread schedule is measured
+/// twice (`t4_det` / `t4_det_rerun`) so the smoke gate can diff the two
+/// runs exactly.
+fn measure_parallel_bb(
+    name: &str,
+    model: &Model,
+    mode: &'static str,
+    threads: usize,
+    parallel_mode: ParallelMode,
+) -> WarmColdRecord {
+    let cfg = SolverConfig {
+        det_time_limit: 2.0,
+        enable_lns: false,
+        ..SolverConfig::default()
+    }
+    .with_threads(threads)
+    .with_parallel_mode(parallel_mode);
+    let start = Instant::now();
+    let result = Solver::new(cfg).solve(model);
+    let wall = start.elapsed().as_secs_f64();
+    WarmColdRecord {
+        instance: format!("parallel_bb/{name}"),
+        mode,
+        nodes: result.nodes,
+        det_seconds: result.det_time,
+        work_ticks: (result.det_time * TICKS_PER_SECOND as f64) as u64,
+        wall_seconds: wall,
+        objective: result.best.as_ref().map(croxmap_ilp::Solution::objective),
+        presolve: None,
+        fallbacks: result.lp_fallbacks,
+        factor: Some(result.factor),
         cuts: None,
     }
 }
@@ -668,6 +718,46 @@ fn collect_records(smoke: bool) -> Vec<WarmColdRecord> {
         records.push(measure_cuts_root(&name, &model));
     }
     records.push(measure_cuts_root("knapsack/96", &knapsack(96)));
+    // Parallel tree-search rows on the two instances whose sequential
+    // solves are tree-heavy enough for worker threads to matter. Always
+    // measured (smoke included): the run-to-run determinism diff needs
+    // fresh rows, not committed ones.
+    for (name, model) in [
+        ("knapsack/384".to_owned(), knapsack(384)),
+        (
+            "set_partition_restricted/scaled_a_16".to_owned(),
+            set_partition_restricted(16),
+        ),
+    ] {
+        records.push(measure_parallel_bb(
+            &name,
+            &model,
+            "t1",
+            1,
+            ParallelMode::Deterministic,
+        ));
+        records.push(measure_parallel_bb(
+            &name,
+            &model,
+            "t4_det",
+            4,
+            ParallelMode::Deterministic,
+        ));
+        records.push(measure_parallel_bb(
+            &name,
+            &model,
+            "t4_det_rerun",
+            4,
+            ParallelMode::Deterministic,
+        ));
+        records.push(measure_parallel_bb(
+            &name,
+            &model,
+            "t4_ws",
+            4,
+            ParallelMode::WorkStealing,
+        ));
+    }
     if !smoke {
         // Scale divisors: 16 ≈ 14 neurons, 8 ≈ 28 neurons (larger models
         // explode the cold chain's wall time without adding signal). The
@@ -771,6 +861,83 @@ fn smoke_check() -> bool {
             r.instance, r.mode, r.work_ticks, old_ticks
         );
     }
+    if !parallel_smoke_check(&records) {
+        ok = false;
+    }
+    ok
+}
+
+/// Live invariants on the freshly measured `parallel_bb/*` rows (never
+/// diffed against the committed file — wall clocks are machine-bound and
+/// the determinism contract is between the two runs of *this* machine):
+///
+/// * the deterministic 4-thread schedule must be reproducible run-to-run
+///   (node count, work ticks, objective — always checked),
+/// * every parallel mode must land on the sequential objective,
+/// * on machines exposing ≥ 4 cores, the best 4-thread wall time must
+///   beat sequential by [`PARALLEL_SPEEDUP_FLOOR`]; fewer cores print a
+///   skip note instead (the container cannot demonstrate a speedup).
+fn parallel_smoke_check(records: &[WarmColdRecord]) -> bool {
+    let find = |inst: &str, mode: &str| {
+        records
+            .iter()
+            .find(|r| r.instance == inst && r.mode == mode)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut ok = true;
+    for name in [
+        "parallel_bb/knapsack/384",
+        "parallel_bb/set_partition_restricted/scaled_a_16",
+    ] {
+        let (Some(t1), Some(det), Some(rerun), Some(ws)) = (
+            find(name, "t1"),
+            find(name, "t4_det"),
+            find(name, "t4_det_rerun"),
+            find(name, "t4_ws"),
+        ) else {
+            println!("bench-smoke: {name:<44} rows missing, skipped");
+            continue;
+        };
+        if det.nodes != rerun.nodes
+            || det.work_ticks != rerun.work_ticks
+            || det.objective != rerun.objective
+        {
+            println!(
+                "bench-smoke: {name:<44} deterministic mode diverged run-to-run \
+                 (nodes {} vs {}, ticks {} vs {}) REGRESSED",
+                det.nodes, rerun.nodes, det.work_ticks, rerun.work_ticks
+            );
+            ok = false;
+        }
+        for r in [det, ws] {
+            match (t1.objective, r.objective) {
+                (Some(a), Some(b)) if (a - b).abs() <= 1e-6 => {}
+                _ => {
+                    println!(
+                        "bench-smoke: {name:<44} {} objective {:?} != sequential {:?} REGRESSED",
+                        r.mode, r.objective, t1.objective
+                    );
+                    ok = false;
+                }
+            }
+        }
+        if cores >= 4 {
+            let best = det.wall_seconds.min(ws.wall_seconds).max(1e-9);
+            let speedup = t1.wall_seconds / best;
+            let verdict = if speedup < PARALLEL_SPEEDUP_FLOOR {
+                ok = false;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "bench-smoke: {name:<44} 4-thread speedup {speedup:.2}x \
+                 (floor {PARALLEL_SPEEDUP_FLOOR}x) {verdict}"
+            );
+        } else {
+            println!("bench-smoke: {name:<44} speedup check skipped: {cores} core(s) available");
+        }
+    }
     ok
 }
 
@@ -833,6 +1000,21 @@ fn bench_warm_vs_cold(c: &mut Criterion) {
                 c.gap_closed_pct
                     .map_or_else(|| "n/a".to_owned(), |g| format!("{g:.1}%")),
             );
+        }
+    }
+    for window in records.windows(4) {
+        if let [t1, det, _rerun, ws] = window {
+            if t1.instance.starts_with("parallel_bb/") && t1.mode == "t1" {
+                println!(
+                    "parallel_bb {}: t1 {:.2}s, t4_det {:.2}s, t4_ws {:.2}s \
+                     (best speedup {:.2}x)",
+                    t1.instance,
+                    t1.wall_seconds,
+                    det.wall_seconds,
+                    ws.wall_seconds,
+                    t1.wall_seconds / det.wall_seconds.min(ws.wall_seconds).max(1e-9),
+                );
+            }
         }
     }
     for window in records.windows(3) {

@@ -55,6 +55,17 @@ impl PipelineConfig {
         self.solver = solver;
         self
     }
+
+    /// Returns a copy with the tree search running on `threads` worker
+    /// threads (shorthand for rebuilding the inner
+    /// [`SolverConfig::with_threads`]). `1` keeps the sequential solver;
+    /// the deterministic parallel mode stays the default, so pipeline
+    /// results remain reproducible run-to-run at a fixed thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.solver = self.solver.with_threads(threads);
+        self
+    }
 }
 
 /// One timestamped mapping in an optimisation run.

@@ -104,7 +104,12 @@ impl BackendCaps {
 /// hold backends as `Box<dyn LpBackend>` and drive every engine — dense
 /// tableau, dense inverse, sparse LU under either update rule — through
 /// the same calls.
-pub trait LpBackend {
+///
+/// `Send` is a supertrait: parallel tree workers each own a session (and
+/// thus a boxed backend) on their own thread, so an engine that cannot
+/// move across threads cannot implement the API —
+/// [`crate::parallel`] asserts this at compile time.
+pub trait LpBackend: Send {
     /// Short engine name for diagnostics and bench logs.
     fn name(&self) -> &'static str;
 

@@ -41,9 +41,23 @@ impl DeterministicClock {
         DeterministicClock::default()
     }
 
+    /// A clock pre-charged with `ticks` — how the parallel drivers
+    /// rebuild the aggregate clock from per-worker tick totals.
+    #[must_use]
+    pub fn from_ticks(ticks: u64) -> Self {
+        DeterministicClock { ticks }
+    }
+
     /// Charges `ticks` units of work.
     pub fn charge(&mut self, ticks: u64) {
         self.ticks = self.ticks.saturating_add(ticks);
+    }
+
+    /// Folds another clock's ticks into this one: work done by parallel
+    /// workers aggregates into one deterministic total, exactly as if it
+    /// had run sequentially.
+    pub fn merge(&mut self, other: &DeterministicClock) {
+        self.charge(other.ticks);
     }
 
     /// Total ticks charged so far.
@@ -75,6 +89,14 @@ mod tests {
         c.charge(10);
         c.charge(5);
         assert_eq!(c.ticks(), 15);
+    }
+
+    #[test]
+    fn from_ticks_and_merge_aggregate() {
+        let mut total = DeterministicClock::from_ticks(7);
+        let worker = DeterministicClock::from_ticks(5);
+        total.merge(&worker);
+        assert_eq!(total.ticks(), 12);
     }
 
     #[test]

@@ -39,18 +39,56 @@
 //!   behind the **root cutting planes** ([`cuts`]: knapsack cover and
 //!   clique cuts, [`SolverConfig::with_cuts`]),
 //! * **branch and bound** with best-first exploration, LP-guided diving
-//!   and most-fractional / pseudo-cost branching — the whole search
+//!   and most-fractional / pseudo-cost branching — a search context
 //!   threads one session, and every child node re-optimises from its
 //!   parent's basis,
+//! * **parallel tree search** ([`parallel`],
+//!   [`SolverConfig::with_threads`]): after the sequential root phase,
+//!   the open tree is explored by worker threads — work-stealing deques
+//!   or an epoch-synchronised deterministic schedule — with racing
+//!   dive/LNS workers feeding a shared incumbent exchange,
 //! * **large-neighbourhood search** for anytime improvement on instances
 //!   too large to enumerate,
 //! * an *incumbent stream*: every improving solution is reported through a
 //!   callback together with its [`DeterministicClock`] timestamp, mirroring
 //!   the deterministic timing OR-Tools exposes and the paper reports.
 //!
-//! The solver is deliberately single-threaded and fully deterministic for a
-//! fixed seed: identical inputs produce identical incumbent streams, which
-//! the experiment harness relies on.
+//! ## Threading model and determinism
+//!
+//! By default (`threads = 1`) the solver is single-threaded and fully
+//! deterministic for a fixed seed: identical inputs produce identical
+//! incumbent streams, which the experiment harness relies on.
+//!
+//! With [`SolverConfig::with_threads`]`(n)` for `n > 1`, the phases split
+//! as follows:
+//!
+//! * **Shared, read-only:** the (presolved, cut-grown) model view — the
+//!   CSC matrix is built once and shared by [`std::sync::Arc`] — plus the
+//!   solver configuration and the final root basis every worker seeds
+//!   from.
+//! * **Per-worker:** an [`LpSession`] (live basis, factorisation and
+//!   fallback ladder), a [`DeterministicClock`], an RNG stream offset
+//!   from the solver seed, and pseudo-cost tables. Workers never share
+//!   mutable LP state; `LpBackend: Send` (compile-time asserted in
+//!   [`parallel`]) is what lets each boxed engine move onto its thread.
+//! * **Shared, synchronised:** the incumbent. Pruning reads an atomic
+//!   objective cutoff on every node; accepted solutions pass through a
+//!   mutex-protected exchange that arbitrates races and stamps events
+//!   with the *aggregate* work clock, so `det_time` totals mean the same
+//!   thing at any thread count.
+//!
+//! Determinism guarantees by [`ParallelMode`]:
+//!
+//! * [`ParallelMode::Deterministic`] (default): reproducible run-to-run
+//!   at a fixed thread count — node ordering and incumbent acceptance are
+//!   resolved by (bound, node-id) priority at an epoch barrier, so the
+//!   incumbent-event sequence, node count, bound and deterministic time
+//!   are identical across runs. Results may differ *across* thread
+//!   counts (a different-but-valid exploration order).
+//! * [`ParallelMode::WorkStealing`]: the final objective is unchanged,
+//!   but node counts and incumbent timing vary run-to-run.
+//! * `threads = 1` always takes the historical sequential path,
+//!   bit-identical to previous releases.
 //!
 //! ## LP sessions: warm starts and dynamic rows
 //!
@@ -132,6 +170,7 @@ pub mod cuts;
 mod expr;
 pub mod factor;
 mod model;
+pub mod parallel;
 pub mod presolve;
 mod revised;
 pub mod simplex;
@@ -148,6 +187,7 @@ pub use cuts::{Cut, CutSeparator};
 pub use expr::{Comparison, ConstraintSense, LinExpr, VarId};
 pub use factor::{DenseInverse, FactorOpts, FactorStats, LuFactors, UpdateRule};
 pub use model::{Constraint, Model, ModelError, VarType, Variable};
+pub use parallel::{ParallelMode, ParallelStats};
 pub use presolve::{Postsolve, PresolveConfig, PresolveStats, PresolvedModel};
 pub use simplex::{LpEngine, PricingRule};
 pub use solution::{IncumbentEvent, Solution};

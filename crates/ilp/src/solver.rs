@@ -1,9 +1,15 @@
 //! Anytime branch-and-bound solver with root cutting planes, diving and
 //! LNS heuristics. Every LP relaxation in the search — node
-//! re-optimisations, dives, LNS sub-searches — runs through one
-//! [`LpSession`], so the whole tree shares a single live engine and the
+//! re-optimisations, dives, LNS sub-searches — runs through an
+//! [`LpSession`], so a search thread shares a single live engine and the
 //! root cut loop can tighten the relaxation in place
 //! ([`LpSession::add_rows`]) before the first branch.
+//!
+//! With [`SolverConfig::with_threads`] the tree phase runs on the
+//! parallel driver ([`crate::parallel`]): the sequential root phase
+//! (presolve → root LP → root cuts → root dives) is unchanged, then the
+//! open tree is explored by worker threads, each owning a private
+//! `LpSession` over the cut-grown root relaxation.
 
 use crate::backend::LpSession;
 use crate::basis::Basis;
@@ -11,7 +17,9 @@ use crate::clock::DeterministicClock;
 use crate::clock::TICKS_PER_SECOND;
 use crate::cuts::{Cut, CutSeparator};
 use crate::expr::{Comparison, VarId};
+use crate::factor::FactorStats;
 use crate::model::{Model, VarType};
+use crate::parallel::{self, Exchange, ParallelMode, ParallelStats};
 use crate::presolve::{presolve, PresolveConfig, PresolveOutcome, PresolveStats};
 use crate::simplex::{LpConfig, LpEngine, LpStatus, PricingRule, WarmLpResult};
 use crate::solution::{IncumbentEvent, Solution};
@@ -21,6 +29,7 @@ use rand::SeedableRng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Tolerance under which a relaxation value counts as integral.
 const INT_TOL: f64 = 1e-6;
@@ -72,6 +81,14 @@ pub struct SolverConfig {
     /// are appended to the live session — up to this many
     /// separate/re-solve rounds. `0` disables the cut loop.
     pub cut_rounds: u32,
+    /// Worker threads for the tree phase. `1` (the default) runs the
+    /// sequential search unchanged — bit-identical to previous releases.
+    /// With `n > 1` the root phase still runs sequentially, then the open
+    /// tree is explored by `n` workers ([`crate::parallel`]), each owning
+    /// a private [`LpSession`] seeded from the cut-grown root relaxation.
+    pub threads: usize,
+    /// How the parallel tree phase coordinates (ignored at `threads = 1`).
+    pub parallel_mode: ParallelMode,
 }
 
 impl Default for SolverConfig {
@@ -88,6 +105,8 @@ impl Default for SolverConfig {
             warm_lp: true,
             presolve: PresolveConfig::default(),
             cut_rounds: 4,
+            threads: 1,
+            parallel_mode: ParallelMode::default(),
         }
     }
 }
@@ -170,6 +189,21 @@ impl SolverConfig {
         self.cut_rounds = rounds;
         self
     }
+
+    /// Returns a copy running the tree phase on `threads` workers
+    /// (clamped to at least 1; `1` is the sequential path).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Returns a copy with the given parallel coordination mode.
+    #[must_use]
+    pub fn with_parallel_mode(mut self, mode: ParallelMode) -> Self {
+        self.parallel_mode = mode;
+        self
+    }
 }
 
 /// Final status of a solve.
@@ -243,6 +277,12 @@ pub struct SolveResult {
     /// What the root cutting-plane loop achieved (all defaults when
     /// disabled or never reached).
     pub cuts: CutSummary,
+    /// Factorisation statistics aggregated over every LP solve of the
+    /// search — across all workers in parallel runs.
+    pub factor: FactorStats,
+    /// Parallel-driver statistics; `None` on sequential (`threads = 1`)
+    /// runs and the pre-search short circuits.
+    pub parallel: Option<ParallelStats>,
 }
 
 impl SolveResult {
@@ -317,12 +357,17 @@ impl Ord for OpenNode {
     }
 }
 
-struct Search<'a> {
+/// One search context: a model view, a private [`LpSession`], a clock and
+/// an RNG stream. The sequential solver owns exactly one; every parallel
+/// worker thread owns its own (over the shared cut-grown root view).
+pub(crate) struct Search<'a> {
     model: &'a Model,
-    cfg: &'a SolverConfig,
-    clock: DeterministicClock,
-    incumbent: Option<Solution>,
-    events: Vec<IncumbentEvent>,
+    pub(crate) cfg: &'a SolverConfig,
+    pub(crate) clock: DeterministicClock,
+    /// Current incumbent, shared by reference so LNS rounds and the
+    /// parallel exchange never deep-copy the assignment on the hot path.
+    pub(crate) incumbent: Option<Arc<Solution>>,
+    pub(crate) events: Vec<IncumbentEvent>,
     rng: SmallRng,
     /// True when every objective coefficient is integral, enabling the
     /// stronger `incumbent − 1` cutoff.
@@ -331,20 +376,45 @@ struct Search<'a> {
     pseudo_down: Vec<(f64, u32)>,
     /// Per-variable branching priority (higher = decided first).
     priorities: Vec<i32>,
-    /// The one LP session the whole search runs through: holds the live
-    /// engine (consecutive solves sharing a basis skip refactorisation)
-    /// and the cut-grown model view.
-    session: LpSession,
+    /// The one LP session this search context runs through: holds the
+    /// live engine (consecutive solves sharing a basis skip
+    /// refactorisation) and the cut-grown model view.
+    pub(crate) session: LpSession,
     /// Non-zero count of the session's constraint matrix, including cut
     /// rows (for pivot cost estimates).
     nnz: usize,
-    nodes: u64,
+    pub(crate) nodes: u64,
     /// LP solves served by the dense-tableau fallback.
-    lp_fallbacks: u64,
+    pub(crate) lp_fallbacks: u64,
+    /// Factorisation statistics aggregated over this context's LP solves.
+    pub(crate) factor: FactorStats,
+    /// Local deterministic deadline: the config budget sequentially, a
+    /// per-task slice on deterministic workers, unbounded on free-running
+    /// workers (the shared exchange enforces the global budget there).
+    det_limit: f64,
+    /// Externally imposed objective cutoff (deterministic epochs freeze
+    /// the global incumbent objective here); `+inf` when unused.
+    cutoff_hint: f64,
+    /// The parallel exchange, for free-running workers only: pruning
+    /// reads its atomic incumbent cutoff, accepted incumbents publish
+    /// through it, and solve work is charged to its aggregate clock.
+    shared: Option<&'a Exchange>,
 }
 
 impl<'a> Search<'a> {
     fn new(model: &'a Model, cfg: &'a SolverConfig) -> Self {
+        Search::with_context(model, cfg, cfg.seed, None)
+    }
+
+    /// A search context with an explicit RNG seed and (for free-running
+    /// parallel workers) a shared exchange. Workers diversify by seed so
+    /// their dives and LNS rounds explore different neighbourhoods.
+    pub(crate) fn with_context(
+        model: &'a Model,
+        cfg: &'a SolverConfig,
+        seed: u64,
+        shared: Option<&'a Exchange>,
+    ) -> Self {
         let integral_objective = model
             .objective()
             .iter()
@@ -356,7 +426,7 @@ impl<'a> Search<'a> {
             clock: DeterministicClock::new(),
             incumbent: None,
             events: Vec::new(),
-            rng: SmallRng::seed_from_u64(cfg.seed),
+            rng: SmallRng::seed_from_u64(seed),
             integral_objective,
             pseudo_up: vec![(0.0, 0); model.num_vars()],
             pseudo_down: vec![(0.0, 0); model.num_vars()],
@@ -365,7 +435,32 @@ impl<'a> Search<'a> {
             nnz: model.csc().nnz(),
             nodes: 0,
             lp_fallbacks: 0,
+            factor: FactorStats::default(),
+            det_limit: if shared.is_some() {
+                f64::INFINITY
+            } else {
+                cfg.det_time_limit
+            },
+            cutoff_hint: f64::INFINITY,
+            shared,
         }
+    }
+
+    /// Caps this context's deterministic deadline at `remaining` seconds
+    /// from its current clock (deterministic workers get one per task).
+    pub(crate) fn set_task_budget(&mut self, remaining: f64) {
+        self.det_limit = self.clock.seconds() + remaining.max(0.0);
+    }
+
+    /// Imposes an external objective cutoff (`+inf` clears it).
+    pub(crate) fn set_cutoff_hint(&mut self, objective: f64) {
+        self.cutoff_hint = objective;
+    }
+
+    /// Replaces the local incumbent reference (no event is recorded; the
+    /// caller owns the authoritative stream).
+    pub(crate) fn set_incumbent(&mut self, incumbent: Option<Arc<Solution>>) {
+        self.incumbent = incumbent;
     }
 
     /// Solves one LP relaxation through the session, warm-starting from
@@ -377,6 +472,10 @@ impl<'a> Search<'a> {
         let warm = if self.cfg.warm_lp { warm } else { None };
         let out = self.session.solve(bounds, warm);
         self.clock.charge(out.result.work_ticks);
+        if let Some(x) = self.shared {
+            x.charge(out.result.work_ticks);
+        }
+        self.factor.merge(&out.result.factor);
         if out.result.dense_fallback {
             self.lp_fallbacks += 1;
         }
@@ -485,8 +584,20 @@ impl<'a> Search<'a> {
             .max()
     }
 
-    fn out_of_budget(&self) -> bool {
-        self.clock.seconds() >= self.cfg.det_time_limit || self.nodes >= self.cfg.node_limit
+    pub(crate) fn out_of_budget(&self) -> bool {
+        self.clock.seconds() >= self.det_limit
+            || self.nodes >= self.cfg.node_limit
+            || self.shared.is_some_and(Exchange::exhausted)
+    }
+
+    /// Deterministic seconds left before the local deadline (and, for
+    /// free-running workers, before the exchange's global budget).
+    fn remaining_budget(&self) -> f64 {
+        let local = (self.det_limit - self.clock.seconds()).max(0.0);
+        match self.shared {
+            None => local,
+            Some(x) => local.min(x.remaining()),
+        }
     }
 
     /// LP configuration whose iteration cap cannot blow the remaining
@@ -494,7 +605,7 @@ impl<'a> Search<'a> {
     /// for a worst-case per-pivot cost (with a small floor so tiny
     /// subproblems always make progress).
     fn lp_config(&self) -> LpConfig {
-        let remaining = (self.cfg.det_time_limit - self.clock.seconds()).max(0.0);
+        let remaining = self.remaining_budget();
         // Size against the session's view: cut rows count like any other.
         let m = self.session.model().num_constraints().max(1);
         let n_total = self.model.num_vars() + m;
@@ -522,21 +633,33 @@ impl<'a> Search<'a> {
         }
     }
 
-    /// Objective value any new incumbent must beat.
-    fn cutoff(&self) -> f64 {
-        match &self.incumbent {
-            None => f64::INFINITY,
-            Some(s) => {
-                if self.integral_objective {
-                    s.objective() - 1.0 + 1e-6
-                } else {
-                    s.objective() - 1e-9
-                }
-            }
+    /// Objective value any new incumbent must beat: the best of the local
+    /// incumbent, the external hint and (for free-running workers) the
+    /// exchange's atomic global incumbent, read on every node.
+    pub(crate) fn cutoff(&self) -> f64 {
+        let mut obj = self
+            .incumbent
+            .as_ref()
+            .map_or(f64::INFINITY, |s| s.objective());
+        obj = obj.min(self.cutoff_hint);
+        if let Some(x) = self.shared {
+            obj = obj.min(x.best_objective());
+        }
+        if obj == f64::INFINITY {
+            return f64::INFINITY;
+        }
+        if self.integral_objective {
+            obj - 1.0 + 1e-6
+        } else {
+            obj - 1e-9
         }
     }
 
-    fn try_accept(&mut self, values: Vec<f64>, callback: &mut dyn FnMut(&IncumbentEvent)) -> bool {
+    pub(crate) fn try_accept(
+        &mut self,
+        values: Vec<f64>,
+        callback: &mut dyn FnMut(&IncumbentEvent),
+    ) -> bool {
         // Round binaries defensively before the feasibility check.
         let mut values = values;
         for v in self.model.binary_vars() {
@@ -554,16 +677,30 @@ impl<'a> Search<'a> {
         {
             return false;
         }
-        let sol = Solution::new(values, obj);
-        let event = IncumbentEvent {
-            objective: obj,
-            det_time: self.clock.seconds(),
-            solution: sol.clone(),
-        };
-        callback(&event);
-        self.events.push(event);
-        self.incumbent = Some(sol);
-        true
+        if let Some(x) = self.shared {
+            // The exchange is the authority on acceptance: it re-checks
+            // against the *global* incumbent under the lock and stamps
+            // the event with the aggregate clock. The worker-local event
+            // list stays empty — the global stream is the record.
+            match x.publish(values, obj) {
+                Some(sol) => {
+                    self.incumbent = Some(sol);
+                    true
+                }
+                None => false,
+            }
+        } else {
+            let sol = Arc::new(Solution::new(values, obj));
+            let event = IncumbentEvent {
+                objective: obj,
+                det_time: self.clock.seconds(),
+                solution: Solution::clone(&sol),
+            };
+            callback(&event);
+            self.events.push(event);
+            self.incumbent = Some(sol);
+            true
+        }
     }
 
     /// LP-guided dive: repeatedly fix the most integral fractional binary
@@ -736,8 +873,13 @@ impl<'a> Search<'a> {
     }
 
     /// Large-neighbourhood search: release a random subset of binaries and
-    /// re-optimise the rest around the incumbent.
-    fn lns_round(&mut self, base_bounds: &[(f64, f64)], callback: &mut dyn FnMut(&IncumbentEvent)) {
+    /// re-optimise the rest around the incumbent. The incumbent is held by
+    /// [`Arc`], so this clone is a reference bump, not a deep copy.
+    pub(crate) fn lns_round(
+        &mut self,
+        base_bounds: &[(f64, f64)],
+        callback: &mut dyn FnMut(&IncumbentEvent),
+    ) {
         let Some(incumbent) = self.incumbent.clone() else {
             return;
         };
@@ -760,9 +902,73 @@ impl<'a> Search<'a> {
             }
         }
         // Mini branch-and-bound on the restricted problem.
-        let budget = (self.cfg.det_time_limit - self.clock.seconds()).max(0.0);
+        let budget = self.remaining_budget();
         let mini_budget = (budget * 0.2).min(2.0);
         self.branch_and_bound(&bounds, 256, mini_budget, None, callback);
+    }
+
+    /// Expands one branch-and-bound node: solve the relaxation at
+    /// `bounds` (warm-starting from `warm`), account the node, classify
+    /// the outcome and — on a fractional optimum — pick the branching
+    /// variable. `edge` is the branching decision that created this node
+    /// (variable, up-branch?, parent bound), feeding pseudo-costs; the
+    /// root passes `None`. `inherited` is the bound the node carried when
+    /// queued, returned as the conservative subtree bound when the LP
+    /// blows its iteration slice.
+    ///
+    /// Every tree driver — the sequential heap, the work-stealing deques
+    /// and the deterministic epoch batches — runs nodes through this one
+    /// method, so the per-node operation order is identical everywhere.
+    pub(crate) fn expand_node(
+        &mut self,
+        bounds: &[(f64, f64)],
+        warm: Option<&Basis>,
+        edge: Option<(VarId, bool, f64)>,
+        inherited: f64,
+    ) -> NodeExpansion {
+        let out = self.solve_lp(bounds, warm);
+        let lp = out.result;
+        self.nodes += 1;
+        if let Some(x) = self.shared {
+            x.count_node();
+        }
+        match lp.status {
+            LpStatus::Infeasible => return NodeExpansion::Infeasible,
+            LpStatus::Unbounded => {
+                // A bounded-binary model cannot be unbounded unless it
+                // has unbounded continuous vars; treat as no information.
+                return NodeExpansion::NoInfo;
+            }
+            LpStatus::IterLimit => {
+                // No valid bound; keep the subtree conservatively open.
+                return NodeExpansion::Dropped(inherited.max(f64::NEG_INFINITY));
+            }
+            LpStatus::Optimal => {}
+        }
+        let node_bound = lp.objective;
+        if node_bound >= self.cutoff() {
+            return NodeExpansion::CutOff;
+        }
+        // Update parent pseudo costs from the realised bound change.
+        if let Some((var, up, parent_bound)) = edge {
+            if parent_bound.is_finite() {
+                let gain = (node_bound - parent_bound).max(0.0);
+                // The fraction at branching is unknown here; approximate
+                // with 0.5 which keeps scores comparable.
+                self.record_pseudo_cost(var, 0.5, up, gain);
+            }
+        }
+        match self.choose_branch(&lp.values) {
+            None => NodeExpansion::Integral {
+                values: lp.values,
+                bound: node_bound,
+            },
+            Some((v, _x)) => NodeExpansion::Branch {
+                var: v,
+                bound: node_bound,
+                basis: out.basis,
+            },
+        }
     }
 
     /// Core branch-and-bound over the given root bounds. Returns the best
@@ -777,7 +983,7 @@ impl<'a> Search<'a> {
         callback: &mut dyn FnMut(&IncumbentEvent),
     ) -> f64 {
         let start_time = self.clock.seconds();
-        let deadline = (start_time + det_budget).min(self.cfg.det_time_limit);
+        let deadline = (start_time + det_budget).min(self.det_limit);
         let mut arena: Vec<Node> = vec![Node {
             parent: usize::MAX,
             var: 0,
@@ -827,63 +1033,39 @@ impl<'a> Search<'a> {
                     at = n.parent;
                 }
             }
-            let out = self.solve_lp(&bounds_buf, warm.as_deref());
-            let lp = out.result;
-            self.nodes += 1;
-            local_nodes += 1;
-            match lp.status {
-                LpStatus::Infeasible => continue,
-                LpStatus::Unbounded => {
-                    // A bounded-binary model cannot be unbounded unless it
-                    // has unbounded continuous vars; treat as no information.
-                    subtree_bound = f64::NEG_INFINITY;
-                    continue;
-                }
-                LpStatus::IterLimit => {
-                    // No valid bound; keep the subtree conservatively open.
-                    subtree_bound = subtree_bound.min(open.bound.max(f64::NEG_INFINITY));
-                    continue;
-                }
-                LpStatus::Optimal => {}
-            }
-            let node_bound = lp.objective;
-            if node_bound >= self.cutoff() {
-                continue;
-            }
-            // Update parent pseudo costs from the realised bound change.
-            if open.node != 0 {
+            let edge = if open.node == 0 {
+                None
+            } else {
                 let n = &arena[open.node];
-                let parent_bound = n.bound;
-                if parent_bound.is_finite() {
-                    let gain = (node_bound - parent_bound).max(0.0);
-                    let up = n.lower > 0.5;
-                    let var = VarId(n.var);
-                    // The fraction at branching is unknown here; approximate
-                    // with 0.5 which keeps scores comparable.
-                    self.record_pseudo_cost(var, 0.5, up, gain);
+                Some((VarId(n.var), n.lower > 0.5, n.bound))
+            };
+            local_nodes += 1;
+            match self.expand_node(&bounds_buf, warm.as_deref(), edge, open.bound) {
+                NodeExpansion::Infeasible | NodeExpansion::CutOff => {}
+                NodeExpansion::NoInfo => subtree_bound = f64::NEG_INFINITY,
+                NodeExpansion::Dropped(bound) => {
+                    subtree_bound = subtree_bound.min(bound);
                 }
-            }
-            match self.choose_branch(&lp.values) {
-                None => {
+                NodeExpansion::Integral { values, bound } => {
                     // Integral relaxation: candidate incumbent.
-                    self.try_accept(lp.values, callback);
-                    subtree_bound = subtree_bound.min(node_bound);
+                    self.try_accept(values, callback);
+                    subtree_bound = subtree_bound.min(bound);
                 }
-                Some((v, _x)) => {
-                    let snapshot = out.basis.map(Rc::new);
+                NodeExpansion::Branch { var, bound, basis } => {
+                    let snapshot = basis.map(Rc::new);
                     for (lo, hi) in [(0.0, 0.0), (1.0, 1.0)] {
                         arena.push(Node {
                             parent: open.node,
-                            var: v.0,
+                            var: var.0,
                             lower: lo,
                             upper: hi,
-                            bound: node_bound,
+                            bound,
                             depth: arena[open.node].depth + 1,
                             warm: snapshot.clone(),
                         });
                         seq += 1;
                         heap.push(OpenNode {
-                            bound: node_bound,
+                            bound,
                             seq,
                             node: arena.len() - 1,
                         });
@@ -895,9 +1077,41 @@ impl<'a> Search<'a> {
         subtree_bound.min(
             self.incumbent
                 .as_ref()
-                .map_or(f64::INFINITY, Solution::objective),
+                .map_or(f64::INFINITY, |s| s.objective()),
         )
     }
+}
+
+/// What expanding one branch-and-bound node produced
+/// ([`Search::expand_node`]). The tree drivers layer bookkeeping —
+/// pruning, child creation, bound accounting — on top of this.
+pub(crate) enum NodeExpansion {
+    /// The relaxation is infeasible: the subtree is exhausted.
+    Infeasible,
+    /// The LP blew its iteration slice: no valid bound; the carried value
+    /// is the node's inherited bound, kept conservatively open.
+    Dropped(f64),
+    /// Unbounded relaxation: no bound information at all.
+    NoInfo,
+    /// The node's relaxation meets the incumbent cutoff: pruned.
+    CutOff,
+    /// Integral relaxation: a candidate incumbent at `bound`.
+    Integral {
+        /// The integral relaxation values.
+        values: Vec<f64>,
+        /// The node's LP bound (the candidate objective).
+        bound: f64,
+    },
+    /// Fractional optimum: branch on `var`, both children inheriting
+    /// `bound` and warm-starting from `basis`.
+    Branch {
+        /// The branching variable.
+        var: VarId,
+        /// The node's LP bound, inherited by both children.
+        bound: f64,
+        /// The node's optimal basis (the children's warm start).
+        basis: Option<Basis>,
+    },
 }
 
 impl Solver {
@@ -967,6 +1181,8 @@ impl Solver {
                     presolve: stats,
                     lp_fallbacks: pre_search_fallbacks,
                     cuts: CutSummary::default(),
+                    factor: FactorStats::default(),
+                    parallel: None,
                 };
             }
             PresolveOutcome::Reduced(p) => p,
@@ -990,6 +1206,8 @@ impl Solver {
                     presolve: presolved.stats,
                     lp_fallbacks: pre_search_fallbacks,
                     cuts: CutSummary::default(),
+                    factor: FactorStats::default(),
+                    parallel: None,
                 };
             }
             let objective = model.objective_value(&values);
@@ -1010,6 +1228,8 @@ impl Solver {
                 presolve: presolved.stats,
                 lp_fallbacks: pre_search_fallbacks,
                 cuts: CutSummary::default(),
+                factor: FactorStats::default(),
+                parallel: None,
             };
         }
         let warm_reduced = warm.map(|w| presolved.postsolve.project(w));
@@ -1081,6 +1301,8 @@ impl Solver {
                         presolve: presolve_stats,
                         lp_fallbacks: search.lp_fallbacks,
                         cuts: CutSummary::default(),
+                        factor: search.factor,
+                        parallel: None,
                     };
                 }
                 (CutSummary::default(), None)
@@ -1097,32 +1319,49 @@ impl Solver {
             search.dive_assign(&root_bounds, root_warm.as_ref(), &mut callback);
         }
 
-        // 3. Main branch-and-bound with periodic LNS.
+        // 3. Main tree search with periodic LNS: sequential heap at
+        //    `threads = 1` (the historical path, bit-identical), the
+        //    parallel driver otherwise.
         let mut proved = f64::NEG_INFINITY;
         let mut infeasible_proved = false;
+        let mut parallel_stats = None;
+        let parallel_tree = self.config.threads > 1;
         {
             let remaining = self.config.det_time_limit - search.clock.seconds();
             if remaining > 0.0 {
-                let bound = search.branch_and_bound(
-                    &root_bounds,
-                    self.config.node_limit,
-                    remaining,
-                    root_warm.map(Rc::new),
-                    &mut callback,
-                );
+                let bound = if parallel_tree {
+                    let outcome = parallel::run_tree(
+                        &mut search,
+                        &root_bounds,
+                        root_warm.as_ref(),
+                        &mut callback,
+                    );
+                    parallel_stats = Some(outcome.stats);
+                    outcome.bound
+                } else {
+                    search.branch_and_bound(
+                        &root_bounds,
+                        self.config.node_limit,
+                        remaining,
+                        root_warm.map(Rc::new),
+                        &mut callback,
+                    )
+                };
                 proved = proved.max(bound.min(f64::INFINITY));
                 if bound == f64::INFINITY && search.incumbent.is_none() {
                     infeasible_proved = true;
                 }
             }
         }
-        // 4. LNS polishing while budget remains.
-        if self.config.enable_lns {
+        // 4. LNS polishing while budget remains. In parallel runs the
+        //    heuristic workers already raced LNS against the tree, so the
+        //    sequential polish loop only runs on the `threads = 1` path.
+        if self.config.enable_lns && !parallel_tree {
             let mut stale_rounds = 0u32;
             while !search.out_of_budget() && search.incumbent.is_some() && stale_rounds < 8 {
-                let before = search.incumbent.as_ref().map(Solution::objective);
+                let before = search.incumbent.as_ref().map(|s| s.objective());
                 search.lns_round(&root_bounds, &mut callback);
-                let after = search.incumbent.as_ref().map(Solution::objective);
+                let after = search.incumbent.as_ref().map(|s| s.objective());
                 if after >= before {
                     stale_rounds += 1;
                 } else {
@@ -1135,7 +1374,7 @@ impl Solver {
 
         let det_time = search.clock.seconds();
         let nodes = search.nodes;
-        let best = search.incumbent.clone();
+        let best = search.incumbent.as_deref().cloned();
         let status = match (&best, infeasible_proved) {
             (None, true) => SolveStatus::Infeasible,
             (None, false) => SolveStatus::Unknown,
@@ -1165,6 +1404,8 @@ impl Solver {
             presolve: presolve_stats,
             lp_fallbacks: search.lp_fallbacks,
             cuts: cut_summary,
+            factor: search.factor,
+            parallel: parallel_stats,
         }
     }
 }

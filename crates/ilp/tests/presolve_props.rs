@@ -55,6 +55,13 @@ fn config_with_update(engine: LpEngine, update: UpdateRule, presolve_on: bool) -
     } else {
         PresolveConfig::off()
     };
+    // `CROXMAP_TEST_THREADS=n` re-runs the whole suite through the
+    // parallel tree driver (CI exercises n = 4): every equivalence
+    // property here must hold at any thread count.
+    let threads = std::env::var("CROXMAP_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     SolverConfig {
         det_time_limit: 5.0,
         enable_lns: false,
@@ -63,6 +70,7 @@ fn config_with_update(engine: LpEngine, update: UpdateRule, presolve_on: bool) -
     .with_lp_engine(engine)
     .with_update_rule(update)
     .with_presolve(presolve)
+    .with_threads(threads)
 }
 
 #[test]
