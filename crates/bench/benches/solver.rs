@@ -21,10 +21,13 @@
 //! branch-and-bound, a `cuts_root/*` group driving the root
 //! cutting-plane loop through the public `LpSession` API (root bound
 //! before/after, rounds, rows added, in-place growth batches, and the
-//! root gap closed against a reference incumbent), and a `parallel_bb/*`
+//! root gap closed against a reference incumbent), a `parallel_bb/*`
 //! group running the tree-heavy instances through the parallel driver
 //! (sequential `t1` baseline, deterministic 4-thread schedule measured
-//! twice as `t4_det`/`t4_det_rerun`, and work-stealing `t4_ws`).
+//! twice as `t4_det`/`t4_det_rerun`, and work-stealing `t4_ws`), and a
+//! `pricing_ablation/*` group re-running the warm ring-cover chain and
+//! the presolved partition cold root under each dual pricing rule
+//! (Devex, exact steepest edge, Dantzig).
 //!
 //! ## CI smoke mode
 //!
@@ -50,8 +53,8 @@ use croxmap_gen::calibrated::{generate, NetworkSpec};
 use croxmap_ilp::presolve::{presolve, PresolveConfig, PresolveOutcome, PresolveStats};
 use croxmap_ilp::simplex::{self, LpStatus};
 use croxmap_ilp::{
-    Cut, CutSeparator, FactorStats, LpSession, Model, ParallelMode, Solver, SolverConfig,
-    TICKS_PER_SECOND,
+    Cut, CutSeparator, FactorStats, LpSession, Model, ParallelMode, PricingRule, Solver,
+    SolverConfig, TICKS_PER_SECOND,
 };
 use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarPool};
 use std::fmt::Write as _;
@@ -397,7 +400,27 @@ fn measure_lp_chain(
     rule: FixRule,
     max_steps: usize,
 ) -> WarmColdRecord {
-    let lp_cfg = simplex::LpConfig::default();
+    measure_lp_chain_with(
+        simplex::LpConfig::default(),
+        name,
+        model,
+        warm,
+        rule,
+        max_steps,
+    )
+}
+
+/// [`measure_lp_chain`] under an explicit LP configuration (the pricing
+/// ablation varies the pricing rule; everything else stays the shipped
+/// default).
+fn measure_lp_chain_with(
+    lp_cfg: simplex::LpConfig,
+    name: &str,
+    model: &Model,
+    warm: bool,
+    rule: FixRule,
+    max_steps: usize,
+) -> WarmColdRecord {
     let mut bounds: Vec<(f64, f64)> = model
         .variables()
         .iter()
@@ -484,9 +507,22 @@ fn measure_cuts_root(name: &str, model: &Model) -> WarmColdRecord {
     let mut values = root.result.values.clone();
     let mut separator = CutSeparator::new(&target, &cliques);
     // The loop runs the *shipped* root-cut configuration — round limit,
-    // per-round cap and stall guard all come from `SolverConfig` — so
-    // the guarded rows measure what `Solver::solve` actually does.
+    // per-round cut cap, stall guard and per-round tick budget all come
+    // from `SolverConfig` — so the guarded rows measure what
+    // `Solver::solve` actually does.
     let round_limit = SolverConfig::default().cut_rounds;
+    // Each round's re-solve gets a tick budget sized off the root solve
+    // (a blown budget reports `IterLimit`, ending the loop exactly like
+    // the solver abandoning its cut loop).
+    let round_budget = root
+        .result
+        .work_ticks
+        .saturating_mul(SolverConfig::CUT_ROUND_TICK_FACTOR)
+        .max(SolverConfig::CUT_ROUND_TICK_FLOOR);
+    session.configure(simplex::LpConfig {
+        work_limit: round_budget,
+        ..lp_cfg
+    });
     let mut stalled = 0u32;
     if root.result.status == LpStatus::Optimal && !separator.is_empty() {
         for _ in 0..round_limit {
@@ -670,6 +706,66 @@ fn parse_committed(json: &str) -> Vec<(String, String, u64)> {
         .collect()
 }
 
+/// Pricing-rule ablation: the same warm branching chain and presolved
+/// cold root under each dual pricing rule — Devex, exact steepest edge
+/// and Dantzig — as `pricing_ablation/*` rows. Cheap and deterministic,
+/// so the smoke gate re-measures them and fails any rule whose ticks
+/// regress > 1.5x against the committed baseline (a pricing change that
+/// helps one rule must not silently wreck another).
+fn measure_pricing_ablation(records: &mut Vec<WarmColdRecord>) {
+    let rules: [(&'static str, PricingRule); 3] = [
+        ("devex", PricingRule::Devex),
+        ("steepest", PricingRule::SteepestEdge),
+        ("dantzig", PricingRule::Dantzig),
+    ];
+    let ring = ring_cover(96);
+    let (sp_target, sp_stats) = match presolve(&set_partition(16), &PresolveConfig::default()) {
+        PresolveOutcome::Reduced(p) => (p.model, p.stats),
+        PresolveOutcome::Infeasible(_) => unreachable!("bench instances are feasible"),
+    };
+    let sp_bounds: Vec<(f64, f64)> = sp_target
+        .variables()
+        .iter()
+        .map(|v| (v.lower, v.upper))
+        .collect();
+    for (label, pricing) in rules {
+        let lp_cfg = simplex::LpConfig {
+            pricing,
+            ..simplex::LpConfig::default()
+        };
+        // Warm branching chain (the dive workload pricing exists for).
+        let mut row = measure_lp_chain_with(
+            lp_cfg,
+            "ring_cover/96",
+            &ring,
+            true,
+            FixRule::Ones,
+            usize::MAX,
+        );
+        row.instance = format!("pricing_ablation/{}", row.instance);
+        row.mode = label;
+        records.push(row);
+        // Presolved cold root on the degenerate partition family (the
+        // cold workload where leaving-row choice decides the pivot count).
+        let start = Instant::now();
+        let out = LpSession::open(&sp_target, lp_cfg).solve(&sp_bounds, None);
+        let wall = start.elapsed().as_secs_f64();
+        records.push(WarmColdRecord {
+            instance: "pricing_ablation/cold_root/set_partition/scaled_a_16".to_owned(),
+            mode: label,
+            nodes: 1,
+            det_seconds: out.result.work_ticks as f64 / TICKS_PER_SECOND as f64,
+            work_ticks: out.result.work_ticks,
+            wall_seconds: wall,
+            objective: Some(round_objective(out.result.objective)),
+            presolve: Some(sp_stats),
+            fallbacks: u64::from(out.result.dense_fallback),
+            factor: Some(out.result.factor),
+            cuts: None,
+        });
+    }
+}
+
 /// All instance measurements for the JSON log. `smoke` restricts the run
 /// to the small, committed lp_chain/bb sizes plus the (cheap,
 /// deterministic) cold-root group.
@@ -718,6 +814,9 @@ fn collect_records(smoke: bool) -> Vec<WarmColdRecord> {
         records.push(measure_cuts_root(&name, &model));
     }
     records.push(measure_cuts_root("knapsack/96", &knapsack(96)));
+    // Pricing-rule ablation rows, always measured (smoke included): the
+    // gate guards each rule's ticks against the committed baseline.
+    measure_pricing_ablation(&mut records);
     // Parallel tree-search rows on the two instances whose sequential
     // solves are tree-heavy enough for worker threads to matter. Always
     // measured (smoke included): the run-to-run determinism diff needs
@@ -797,7 +896,8 @@ fn smoke_check() -> bool {
     for r in &records {
         let guarded = (r.mode == "warm" && r.instance.starts_with("lp_chain/"))
             || (r.instance.starts_with("cold_root/") && r.mode != "noperturb")
-            || r.instance.starts_with("cuts_root/");
+            || r.instance.starts_with("cuts_root/")
+            || r.instance.starts_with("pricing_ablation/");
         if !guarded {
             continue;
         }

@@ -13,13 +13,19 @@
 //! Two interchangeable representations implement them:
 //!
 //! 1. [`LuFactors`] (the default): a sparse LU factorisation `B·Q = L·U`
-//!    (columns permuted by `Q`, rows by partial pivoting) computed with a
-//!    left-looking elimination in the style of Gilbert–Peierls. Columns
-//!    are eliminated in a **static Markowitz order** — ascending non-zero
-//!    count, the column half of the Markowitz merit — and within each
-//!    column the pivot row is chosen by *threshold partial pivoting*
-//!    biased towards sparse rows: among rows within 10× of the largest
-//!    eligible magnitude, the row with the fewest non-zeros in `B` wins.
+//!    (columns permuted by `Q`, rows by partial pivoting). The default
+//!    [`MarkowitzOrdering::Dynamic`] runs a right-looking elimination
+//!    that picks every pivot by **live Markowitz merit on the active
+//!    submatrix**: column candidates come out of non-zero-count buckets
+//!    (lazily rebucketed as elimination changes the counts), and among
+//!    the entries of a candidate column that pass *threshold partial
+//!    pivoting* — within 10× of the column's largest magnitude — the one
+//!    minimising `(col_count − 1) · (row_count − 1)` wins. Both counts
+//!    are the *current* active-submatrix counts, maintained under fill,
+//!    so the ordering adapts to the elimination instead of freezing the
+//!    input structure. [`MarkowitzOrdering::StaticColCount`] keeps the
+//!    PR 2 left-looking Gilbert–Peierls elimination in ascending static
+//!    column count as the differential-testing oracle.
 //!
 //!    Pivots are applied through one of two update schemes, selected by
 //!    [`FactorOpts::update`]:
@@ -72,9 +78,11 @@
 //! additionally counts FTRAN/BTRAN visited non-zeros, kernel selections
 //! and update-file growth for the bench log.
 //!
-//! The remaining distance to a production factorisation — dynamic
-//! Markowitz ordering on the active submatrix during refactorisation —
-//! is recorded in `ROADMAP.md`.
+//! Callers that know a solve's right-hand-side pattern ahead of time use
+//! the `*_sparse` entry points; the `*_tracked` variants additionally
+//! return the **result** pattern discovered by the DFS reach, so
+//! consecutive solves can thread patterns (FTRAN result → update → next
+//! FTRAN seed) without ever scanning a dense vector.
 
 use crate::sparse::CscMatrix;
 
@@ -88,6 +96,27 @@ const PIVOT_THRESHOLD: f64 = 0.1;
 /// computation only pays off when the solution stays sparse, which an
 /// already-dense right-hand side rules out.
 const HYPER_DENSITY_CUTOFF: f64 = 0.125;
+
+/// How [`LuFactors::factorize`] orders the elimination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MarkowitzOrdering {
+    /// Right-looking elimination choosing each pivot by live Markowitz
+    /// merit `(col_count − 1)·(row_count − 1)` on the active submatrix,
+    /// with count buckets and lazy rebucketing. Threshold partial
+    /// pivoting is unchanged. The default.
+    #[default]
+    Dynamic,
+    /// The PR 2 left-looking elimination in ascending *static* column
+    /// count, with the sparsest-row tie-break frozen at the input
+    /// counts. Kept as the differential-testing oracle for the dynamic
+    /// ordering.
+    StaticColCount,
+}
+
+/// Bounded candidate search of the dynamic ordering: how many usable
+/// pivot columns are examined (in ascending active count) before the
+/// best Markowitz merit seen so far is accepted.
+const MARKOWITZ_CANDIDATES: usize = 4;
 
 /// How a pivot is folded into an existing [`LuFactors`] factorisation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -123,14 +152,17 @@ pub struct FactorOpts {
     pub eta_fill_factor: f64,
     /// Which update scheme [`LuFactors::update`] applies.
     pub update: UpdateRule,
+    /// Which pivot-ordering strategy [`LuFactors::factorize`] runs.
+    pub ordering: MarkowitzOrdering,
 }
 
 impl Default for FactorOpts {
     fn default() -> Self {
         FactorOpts {
-            refactor_interval: 64,
+            refactor_interval: 96,
             eta_fill_factor: 3.0,
             update: UpdateRule::default(),
+            ordering: MarkowitzOrdering::default(),
         }
     }
 }
@@ -324,6 +356,8 @@ pub struct LuFactors {
     updates: u32,
     /// RHS density above which solves use the scanning kernels.
     hyper_cutoff: f64,
+    /// Pivot-ordering strategy for `factorize`.
+    ordering: MarkowitzOrdering,
     /// Slot-indexed scratch for the permuted triangular solves; zeroed
     /// between calls.
     scratch: Vec<f64>,
@@ -340,6 +374,11 @@ pub struct LuFactors {
     /// Visit stamps for the DFS and pattern tracking.
     mark: Vec<u32>,
     stamp: u32,
+    /// When set, the hyper kernels record the result's (superset)
+    /// pattern into `result_pat` — the `*_tracked` entry points.
+    track: bool,
+    /// Result pattern captured by the last tracked solve.
+    result_pat: Vec<usize>,
     /// Deterministic work accrued since the last harvest.
     work: u64,
     /// Factorisation statistics since the last harvest.
@@ -373,6 +412,7 @@ impl LuFactors {
             file_nnz: 0,
             updates: 0,
             hyper_cutoff: HYPER_DENSITY_CUTOFF,
+            ordering: MarkowitzOrdering::default(),
             scratch: vec![0.0; m],
             aux: vec![0.0; m],
             pat: Vec::new(),
@@ -381,6 +421,8 @@ impl LuFactors {
             rstack: Vec::new(),
             mark: vec![0; m],
             stamp: 0,
+            track: false,
+            result_pat: Vec::new(),
             work: 0,
             stats: FactorStats::default(),
         };
@@ -510,18 +552,36 @@ impl LuFactors {
             return;
         }
         let mut visited = 0u64;
-        for b in &self.border {
+        let LuFactors {
+            border,
+            track,
+            result_pat,
+            ..
+        } = self;
+        for b in border.iter() {
             let v = x[b.row];
             if v == 0.0 {
                 continue;
             }
             for &(j, mu) in &b.entries {
                 x[j] -= mu * v;
+                if *track {
+                    result_pat.push(j);
+                }
             }
             visited += b.entries.len() as u64;
         }
         self.work += visited;
         self.stats.btran_visited += visited;
+    }
+
+    /// Selects the pivot-ordering strategy for subsequent
+    /// [`factorize`](Self::factorize) calls. Both orderings produce a
+    /// valid LU of the same basis (they generally differ in pivot
+    /// sequence and therefore in round-off); each is individually
+    /// deterministic.
+    pub fn set_ordering(&mut self, ordering: MarkowitzOrdering) {
+        self.ordering = ordering;
     }
 
     /// Overrides the hyper-sparse density cutover: right-hand sides whose
@@ -591,8 +651,16 @@ impl LuFactors {
     /// (or hopelessly ill-conditioned); the factors are then unusable
     /// until the next successful call.
     pub fn factorize(&mut self, cols: &[usize], a: &CscMatrix, n_struct: usize) -> bool {
+        match self.ordering {
+            MarkowitzOrdering::Dynamic => self.factorize_dynamic(cols, a, n_struct),
+            MarkowitzOrdering::StaticColCount => self.factorize_static(cols, a, n_struct),
+        }
+    }
+
+    /// Shared prologue of both factorisation paths: clears the update
+    /// files and sizes the permutation/factor arrays for a fresh LU.
+    fn factorize_reset(&mut self) {
         let m = self.m;
-        assert_eq!(cols.len(), m, "one basis column per row required");
         self.etas.clear();
         self.ft.clear();
         self.border.clear();
@@ -602,12 +670,281 @@ impl LuFactors {
         self.q.resize(m, 0);
         self.pinv.clear();
         self.pinv.resize(m, usize::MAX);
+        // The dynamic path flags pivoted columns through `qinv`; the
+        // epilogue rebuilds it from `q` either way.
+        self.qinv.clear();
+        self.qinv.resize(m, usize::MAX);
         self.l_cols.clear();
         self.l_cols.resize(m, Vec::new());
         self.u_cols.clear();
         self.u_cols.resize(m, Vec::new());
         self.u_diag.clear();
         self.u_diag.resize(m, 0.0);
+    }
+
+    /// Shared epilogue: permutation inverses, identity pivotal order and
+    /// the row-wise mirrors; refreshes the fill counters and stats.
+    fn factorize_finish(&mut self, mut ops: u64) {
+        let m = self.m;
+        self.qinv.clear();
+        self.qinv.resize(m, 0);
+        for (k, &pos) in self.q.iter().enumerate() {
+            self.qinv[pos] = k;
+        }
+        self.order.clear();
+        self.order.extend(0..m);
+        self.pos.clear();
+        self.pos.extend(0..m);
+        self.l_rows.clear();
+        self.l_rows.resize(m, Vec::new());
+        for (k, col) in self.l_cols.iter().enumerate() {
+            for &(row, val) in col {
+                self.l_rows[row].push((k, val));
+            }
+        }
+        self.u_rows.clear();
+        self.u_rows.resize(m, Vec::new());
+        for (k, col) in self.u_cols.iter().enumerate() {
+            for &(i, val) in col {
+                self.u_rows[i].push((k, val));
+            }
+        }
+        let u_fill: usize = self.u_cols.iter().map(Vec::len).sum();
+        self.u_nnz = m + u_fill;
+        self.u_nnz0 = self.u_nnz;
+        self.lu_nnz = m + u_fill + self.l_cols.iter().map(Vec::len).sum::<usize>();
+        ops += self.lu_nnz as u64;
+        self.work += ops;
+        self.stats.refactors += 1;
+    }
+
+    /// Right-looking elimination under the live Markowitz ordering: the
+    /// working matrix (column values + row patterns + active counts) is
+    /// updated as pivots are taken, so every pivot choice sees the
+    /// *current* active submatrix. Work is proportional to the non-zeros
+    /// actually touched (entries, fill and the bounded candidate scans),
+    /// not to `m²` — on the very sparse bases the simplex produces this
+    /// is the difference between a refactorisation costing `O(nnz)` and
+    /// one costing `O(m²)`.
+    fn factorize_dynamic(&mut self, cols: &[usize], a: &CscMatrix, n_struct: usize) -> bool {
+        let m = self.m;
+        assert_eq!(cols.len(), m, "one basis column per row required");
+        self.factorize_reset();
+        if m == 0 {
+            self.factorize_finish(0);
+            return true;
+        }
+
+        // Working matrix: column-wise values, row-wise patterns, live
+        // active-submatrix counts. `rows_pat[i]` is a superset of the
+        // active columns with an entry at row `i` (stale only through
+        // already-pivoted columns, which are skipped on sight); columns
+        // hold no stale entries — eliminated rows are compacted out the
+        // moment their pivot row is processed.
+        let mut wcols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut rows_pat: Vec<Vec<usize>> = vec![Vec::new(); m];
+        let mut row_count = vec![0usize; m];
+        let mut ops = a.nnz() as u64 + m as u64;
+        for (pos, &c) in cols.iter().enumerate() {
+            let col: Vec<(usize, f64)> = if c < n_struct {
+                let (ri, vv) = a.col(c);
+                ri.iter().zip(vv).map(|(&i, &v)| (i, v)).collect()
+            } else {
+                vec![(c - n_struct, 1.0)]
+            };
+            for &(i, _) in &col {
+                rows_pat[i].push(pos);
+                row_count[i] += 1;
+            }
+            wcols.push(col);
+        }
+        // Column-count buckets; entries go stale when elimination moves
+        // a count and are lazily rebucketed on examination.
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); m + 1];
+        for (pos, col) in wcols.iter().enumerate() {
+            if col.is_empty() {
+                self.work += ops;
+                return false; // structurally singular (empty column)
+            }
+            buckets[col.len()].push(pos);
+        }
+        // Dense scratch for one column update at a time.
+        let mut x = vec![0.0f64; m];
+        let mut occ = vec![0u32; m];
+        let mut occ_stamp = 0u32;
+        // U entries recorded row-wise at pivot time (basis-position
+        // column ids); mapped to slots in the epilogue once `qinv` of
+        // every position is known.
+        let mut u_tmp: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        let mut patk: Vec<usize> = Vec::new();
+
+        for step in 0..m {
+            // --- Pivot selection: ascending active column count, best
+            // Markowitz merit among threshold-eligible entries, bounded
+            // candidate scan. ---
+            let mut best_cost = u64::MAX;
+            let mut best_col = usize::MAX;
+            let mut best_row = usize::MAX;
+            let mut examined = 0usize;
+            'count: for count in 1..=m {
+                if best_cost <= ((count - 1) * (count - 1)) as u64 {
+                    break;
+                }
+                let mut idx = 0;
+                while idx < buckets[count].len() {
+                    let pos = buckets[count][idx];
+                    if self.qinv[pos] != usize::MAX {
+                        buckets[count].swap_remove(idx);
+                        continue; // already pivoted
+                    }
+                    let cc = wcols[pos].len();
+                    if cc != count {
+                        buckets[count].swap_remove(idx);
+                        buckets[cc].push(pos);
+                        continue; // stale count: rebucket, re-examined later
+                    }
+                    idx += 1;
+                    let col = &wcols[pos];
+                    let mut max_abs = 0.0f64;
+                    for &(_, v) in col {
+                        let av = v.abs();
+                        if av > max_abs {
+                            max_abs = av;
+                        }
+                    }
+                    ops += col.len() as u64;
+                    if max_abs < PIVOT_TOL {
+                        continue; // numerically nil column: unusable
+                    }
+                    let cutoff = max_abs * PIVOT_THRESHOLD;
+                    let mut cand_row = usize::MAX;
+                    let mut cand_cost = u64::MAX;
+                    for &(i, v) in col {
+                        if v.abs() >= cutoff {
+                            let cost = ((count - 1) * (row_count[i] - 1)) as u64;
+                            if cost < cand_cost {
+                                cand_cost = cost;
+                                cand_row = i;
+                            }
+                        }
+                    }
+                    ops += col.len() as u64;
+                    examined += 1;
+                    if cand_cost < best_cost {
+                        best_cost = cand_cost;
+                        best_col = pos;
+                        best_row = cand_row;
+                    }
+                    if best_cost == 0
+                        || (examined >= MARKOWITZ_CANDIDATES && best_col != usize::MAX)
+                    {
+                        break 'count;
+                    }
+                }
+            }
+            if best_col == usize::MAX {
+                self.work += ops;
+                return false; // every remaining column numerically nil
+            }
+            let (pcol, prow) = (best_col, best_row);
+
+            // --- Eliminate pivot (prow, pcol) at slot `step`. ---
+            self.p[step] = prow;
+            self.pinv[prow] = step;
+            self.q[step] = pcol;
+            self.qinv[pcol] = step;
+            let pivot_col = std::mem::take(&mut wcols[pcol]);
+            let mut diag = 0.0f64;
+            for &(i, v) in &pivot_col {
+                if i == prow {
+                    diag = v;
+                }
+            }
+            self.u_diag[step] = diag;
+            let inv = 1.0 / diag;
+            let mut lcol: Vec<(usize, f64)> = Vec::with_capacity(pivot_col.len() - 1);
+            for &(i, v) in &pivot_col {
+                if i != prow {
+                    lcol.push((i, v * inv));
+                    row_count[i] -= 1; // entry leaves with the pivot column
+                }
+            }
+            ops += pivot_col.len() as u64;
+            row_count[prow] = 0;
+            // Schur-complement update: every active column with an entry
+            // in the pivot row absorbs `−l · u` fill, sees its pivot-row
+            // entry removed, and is rebucketed at its new count.
+            let rp = std::mem::take(&mut rows_pat[prow]);
+            for &k in &rp {
+                if self.qinv[k] != usize::MAX {
+                    continue; // stale: column already pivoted
+                }
+                let colk = &mut wcols[k];
+                occ_stamp = occ_stamp.wrapping_add(1);
+                if occ_stamp == 0 {
+                    occ.fill(0);
+                    occ_stamp = 1;
+                }
+                patk.clear();
+                let mut ukval = 0.0f64;
+                for &(i, v) in colk.iter() {
+                    if i == prow {
+                        ukval = v;
+                    } else {
+                        x[i] = v;
+                        occ[i] = occ_stamp;
+                        patk.push(i);
+                    }
+                }
+                ops += colk.len() as u64;
+                if ukval != 0.0 {
+                    u_tmp[step].push((k, ukval));
+                    for &(i, lv) in &lcol {
+                        if occ[i] == occ_stamp {
+                            x[i] -= lv * ukval;
+                        } else {
+                            occ[i] = occ_stamp;
+                            x[i] = -lv * ukval;
+                            patk.push(i);
+                            rows_pat[i].push(k);
+                            row_count[i] += 1;
+                        }
+                    }
+                    ops += lcol.len() as u64;
+                }
+                colk.clear();
+                for &i in &patk {
+                    // Exact cancellations keep their (zero) entry: the
+                    // row patterns and counts stay consistent without
+                    // searching `rows_pat` for removals.
+                    colk.push((i, x[i]));
+                }
+                ops += patk.len() as u64;
+                buckets[colk.len().min(m)].push(k);
+            }
+            self.l_cols[step] = lcol;
+        }
+
+        // Map the recorded U rows into slot space now that every basis
+        // position has its elimination slot.
+        for (s, entries) in u_tmp.iter().enumerate() {
+            for &(k, val) in entries {
+                let t = self.qinv[k];
+                debug_assert!(t > s, "U entry below the diagonal");
+                self.u_cols[t].push((s, val));
+            }
+        }
+        self.factorize_finish(ops);
+        true
+    }
+
+    /// The PR 2 left-looking elimination in static column-count order —
+    /// the differential-testing oracle for
+    /// [`factorize_dynamic`](Self::factorize_dynamic).
+    fn factorize_static(&mut self, cols: &[usize], a: &CscMatrix, n_struct: usize) -> bool {
+        let m = self.m;
+        assert_eq!(cols.len(), m, "one basis column per row required");
+        self.factorize_reset();
 
         // Static Markowitz data: column non-zero counts order the
         // elimination; row counts break pivot ties towards sparse rows.
@@ -714,39 +1051,7 @@ impl LuFactors {
             }
             ops += m as u64;
         }
-        // Permutation inverses and the (identity) pivotal order.
-        self.qinv.clear();
-        self.qinv.resize(m, 0);
-        for (k, &pos) in self.q.iter().enumerate() {
-            self.qinv[pos] = k;
-        }
-        self.order.clear();
-        self.order.extend(0..m);
-        self.pos.clear();
-        self.pos.extend(0..m);
-        // Row-wise mirrors for the transposed scatter solves and the
-        // Forrest–Tomlin row eliminations.
-        self.l_rows.clear();
-        self.l_rows.resize(m, Vec::new());
-        for (k, col) in self.l_cols.iter().enumerate() {
-            for &(row, val) in col {
-                self.l_rows[row].push((k, val));
-            }
-        }
-        self.u_rows.clear();
-        self.u_rows.resize(m, Vec::new());
-        for (k, col) in self.u_cols.iter().enumerate() {
-            for &(i, val) in col {
-                self.u_rows[i].push((k, val));
-            }
-        }
-        let u_fill: usize = self.u_cols.iter().map(Vec::len).sum();
-        self.u_nnz = m + u_fill;
-        self.u_nnz0 = self.u_nnz;
-        self.lu_nnz = m + u_fill + self.l_cols.iter().map(Vec::len).sum::<usize>();
-        ops += self.lu_nnz as u64;
-        self.work += ops;
-        self.stats.refactors += 1;
+        self.factorize_finish(ops);
         true
     }
 
@@ -876,6 +1181,75 @@ impl LuFactors {
         } else {
             self.ftran_scan(x);
         }
+    }
+
+    /// [`ftran_sparse`](Self::ftran_sparse) that additionally captures
+    /// the **result's** non-zero pattern (basis positions, a superset,
+    /// sorted and duplicate-free) into `result` — the
+    /// solve-pattern-threading primitive: the caller seeds the next
+    /// dependent solve's DFS from it instead of scanning the dense
+    /// vector. Returns `false` when the solve ran on the scanning
+    /// kernel (dense RHS), in which case `result` is left empty and the
+    /// result must be treated as dense.
+    pub fn ftran_sparse_tracked(
+        &mut self,
+        x: &mut [f64],
+        pattern: &[usize],
+        result: &mut Vec<usize>,
+    ) -> bool {
+        debug_assert_eq!(x.len(), self.m);
+        result.clear();
+        self.pat.clear();
+        self.pat.extend_from_slice(pattern);
+        if !self.border.is_empty() {
+            self.apply_border_ftran(x, true);
+        }
+        if self.pat.len() > self.hyper_cap() {
+            self.ftran_scan(x);
+            return false;
+        }
+        debug_check_superset(x, &self.pat);
+        self.track = true;
+        self.result_pat.clear();
+        self.ftran_hyper(x);
+        self.track = false;
+        std::mem::swap(result, &mut self.result_pat);
+        // Eta/transform targets can repeat reach positions; consumers
+        // apply pattern-indexed updates exactly once per position, so
+        // canonicalise here (sorted order also keeps them deterministic).
+        result.sort_unstable();
+        result.dedup();
+        true
+    }
+
+    /// `x ← e_rᵀ B⁻¹` with the result's non-zero pattern (constraint
+    /// rows, a sorted duplicate-free superset) captured into `result`;
+    /// `x` must be all-zero on entry (it is overwritten in place).
+    /// Returns `false` when the solve cut over to the scanning kernel
+    /// (then `result` is empty and the result must be treated as dense).
+    pub fn btran_unit_tracked(&mut self, r: usize, x: &mut [f64], result: &mut Vec<usize>) -> bool {
+        debug_assert_eq!(x.len(), self.m);
+        debug_assert!(x.iter().all(|&v| v == 0.0), "x must be all-zero");
+        result.clear();
+        x[r] = 1.0;
+        if self.hyper_cap() < 1 {
+            self.btran_scan(x);
+            self.apply_border_btran(x);
+            return false;
+        }
+        self.pat.clear();
+        self.pat.push(r);
+        self.track = true;
+        self.result_pat.clear();
+        self.btran_hyper(x);
+        self.apply_border_btran(x);
+        self.track = false;
+        std::mem::swap(result, &mut self.result_pat);
+        // Border targets can repeat reach positions; see
+        // `ftran_sparse_tracked` for why the pattern is canonicalised.
+        result.sort_unstable();
+        result.dedup();
+        true
     }
 
     /// Scanning FTRAN kernel: sweeps every elimination slot, skipping
@@ -1044,6 +1418,8 @@ impl LuFactors {
             etas,
             reach,
             scratch: z,
+            track,
+            result_pat,
             ..
         } = self;
         reach.sort_unstable_by_key(|&k| pos[k]);
@@ -1059,20 +1435,31 @@ impl LuFactors {
             }
             visited += u_cols[k].len() as u64;
         }
-        // Scatter into basis-position space and re-zero the scratch.
+        // Scatter into basis-position space and re-zero the scratch;
+        // the reach is the tracked result pattern.
         for &k in reach.iter() {
             x[q[k]] = z[k];
             z[k] = 0.0;
+            if *track {
+                result_pat.push(q[k]);
+            }
         }
-        // Apply the eta file (ProductForm) on the dense result.
+        // Apply the eta file (ProductForm) on the dense result; eta
+        // targets extend the result pattern.
         for eta in etas.iter() {
             let t = x[eta.r] / eta.pivot;
             x[eta.r] = t;
+            if *track {
+                result_pat.push(eta.r);
+            }
             if t == 0.0 {
                 continue;
             }
             for &(i, val) in &eta.entries {
                 x[i] -= val * t;
+                if *track {
+                    result_pat.push(i);
+                }
             }
             visited += eta.entries.len() as u64 + 1;
         }
@@ -1308,15 +1695,21 @@ impl LuFactors {
             l_rows,
             reach,
             scratch: z,
+            track,
+            result_pat,
             ..
         } = self;
         reach.sort_unstable();
         // Backward solve Lᵀ y = z over the reach, descending slots; the
-        // scratch is re-zeroed as each slot is consumed.
+        // scratch is re-zeroed as each slot is consumed. The reach is
+        // the tracked result pattern (constraint rows).
         for &k in reach.iter().rev() {
             let v = z[k];
             z[k] = 0.0;
             x[p[k]] = v;
+            if *track {
+                result_pat.push(p[k]);
+            }
             if v == 0.0 {
                 continue;
             }
@@ -1812,15 +2205,6 @@ impl Factorization {
         }
     }
 
-    /// FTRAN with a known RHS pattern (superset of non-zero rows); the
-    /// dense oracle ignores the hint.
-    pub(crate) fn ftran_sparse(&mut self, x: &mut [f64], pattern: &[usize]) {
-        match self {
-            Factorization::Lu(f) => f.ftran_sparse(x, pattern),
-            Factorization::Dense(f) => f.ftran(x),
-        }
-    }
-
     /// BTRAN with the pattern discovered by scanning `x` (property-test
     /// entry point; the engine always knows its patterns and calls
     /// [`btran_sparse`](Self::btran_sparse)).
@@ -1841,15 +2225,40 @@ impl Factorization {
         }
     }
 
-    /// `out ← e_rᵀ B⁻¹` (the tableau row's dual direction).
-    pub(crate) fn btran_unit(&mut self, r: usize, out: &mut [f64]) {
+    /// FTRAN that also records the result's non-zero pattern into
+    /// `result` (a superset; exact zeros may appear). Returns `true` when
+    /// the pattern is valid — `false` means a dense kernel ran and the
+    /// caller must fall back to scanning the dense result.
+    pub(crate) fn ftran_sparse_tracked(
+        &mut self,
+        x: &mut [f64],
+        pattern: &[usize],
+        result: &mut Vec<usize>,
+    ) -> bool {
         match self {
-            Factorization::Lu(f) => {
-                out.fill(0.0);
-                out[r] = 1.0;
-                f.btran_sparse(out, &[r]);
+            Factorization::Lu(f) => f.ftran_sparse_tracked(x, pattern, result),
+            Factorization::Dense(f) => {
+                f.ftran(x);
+                false
             }
-            Factorization::Dense(f) => f.btran_unit(r, out),
+        }
+    }
+
+    /// Unit-vector BTRAN (row `r` of `B⁻¹`) that also records the
+    /// result's non-zero pattern into `result`. `out` must be all-zero on
+    /// entry. Returns `false` when a dense kernel ran (no pattern).
+    pub(crate) fn btran_unit_tracked(
+        &mut self,
+        r: usize,
+        out: &mut [f64],
+        result: &mut Vec<usize>,
+    ) -> bool {
+        match self {
+            Factorization::Lu(f) => f.btran_unit_tracked(r, out, result),
+            Factorization::Dense(f) => {
+                f.btran_unit(r, out);
+                false
+            }
         }
     }
 
@@ -2039,7 +2448,7 @@ mod tests {
         let tight = FactorOpts {
             refactor_interval: 0,
             eta_fill_factor: 0.0,
-            update: UpdateRule::default(),
+            ..FactorOpts::default()
         };
         assert!(lu.needs_refactor(&tight));
         let loose = FactorOpts::default();
@@ -2061,6 +2470,7 @@ mod tests {
             refactor_interval: 1000,
             eta_fill_factor: 2.0,
             update: UpdateRule::ProductForm,
+            ..FactorOpts::default()
         };
         // Each eta below carries exactly 2 nnz (pivot + 1 off-diagonal).
         let mut w = vec![0.0; m];
@@ -2332,7 +2742,7 @@ mod tests {
         let opts = FactorOpts {
             refactor_interval: 1000,
             eta_fill_factor: 0.0,
-            update: UpdateRule::default(),
+            ..FactorOpts::default()
         };
         assert!(lu.needs_refactor(&opts));
     }

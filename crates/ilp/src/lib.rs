@@ -24,10 +24,20 @@
 //!   the live basis/factorisation and stats,
 //! * a **sparse revised simplex** as the default backend ([`simplex`],
 //!   [`sparse`], [`factor`]): CSC matrix stored once, basis held as a
-//!   sparse LU with Forrest–Tomlin updates and hyper-sparse triangular
-//!   solves, deterministic anti-degeneracy cost perturbation on cold
-//!   starts, and the dense two-phase tableau as the terminal fallback of
-//!   every session's ladder,
+//!   sparse LU refactorised under **dynamic Markowitz ordering**
+//!   ([`MarkowitzOrdering::Dynamic`] — pivot merit recomputed on the
+//!   shrinking active submatrix; the static column-count ordering stays
+//!   selectable as a differential oracle) with Forrest–Tomlin updates
+//!   and hyper-sparse triangular solves whose tracked variants capture
+//!   result patterns for reuse by the next solve in a pivot chain,
+//!   **dual steepest-edge pricing** ([`PricingRule::SteepestEdge`]:
+//!   exact reference weights from hyper-sparse unit BTRANs, updated per
+//!   pivot by the Forrest–Goldfarb recurrence, re-initialised when
+//!   drift exceeds a guard band; Devex and Dantzig remain available),
+//!   deterministic anti-degeneracy cost perturbation on cold starts, a
+//!   per-solve deterministic work budget (`LpConfig::work_limit`), and
+//!   the dense two-phase tableau as the terminal fallback of every
+//!   session's ladder,
 //! * a **warm-start API** ([`Basis`]): optimal solves return a basis
 //!   snapshot that related solves (same matrix and objective, different
 //!   bounds) resume from via dual-simplex reoptimisation, skipping phase 1
@@ -185,7 +195,7 @@ pub use basis::{Basis, VarStatus};
 pub use clock::{DeterministicClock, TICKS_PER_SECOND};
 pub use cuts::{Cut, CutSeparator};
 pub use expr::{Comparison, ConstraintSense, LinExpr, VarId};
-pub use factor::{DenseInverse, FactorOpts, FactorStats, LuFactors, UpdateRule};
+pub use factor::{DenseInverse, FactorOpts, FactorStats, LuFactors, MarkowitzOrdering, UpdateRule};
 pub use model::{Constraint, Model, ModelError, VarType, Variable};
 pub use parallel::{ParallelMode, ParallelStats};
 pub use presolve::{Postsolve, PresolveConfig, PresolveStats, PresolvedModel};

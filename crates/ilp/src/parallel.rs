@@ -14,13 +14,18 @@
 //! * **[`ParallelMode::Deterministic`]** (the default) — an epoch-barrier
 //!   scheme. A coordinator keeps the one global open-node heap, ordered
 //!   by (bound, node-id) exactly like the sequential best-first heap, and
-//!   each epoch deals the best nodes round-robin to the workers, waits
-//!   for *all* results, then folds them back in fixed worker order:
-//!   node ids, incumbent acceptance, clock aggregation and child creation
-//!   are all resolved deterministically, so two runs at the same thread
-//!   count produce identical incumbent streams, node counts and bounds.
-//!   Every few epochs one worker races an LNS round (seed-offset from the
-//!   solver seed) against the tree instead of expanding nodes.
+//!   each epoch deals the best nodes round-robin to the workers. Each
+//!   worker plunges depth-first through its dealt batch under the
+//!   epoch-frozen cutoff — up to a fixed node quota, children expanded
+//!   newest-first like the sequential tie-break — so deep integral
+//!   leaves are reached within an epoch instead of one level per
+//!   barrier. The coordinator waits for *all* results, then folds them
+//!   back in fixed worker order: node ids, incumbent acceptance, clock
+//!   aggregation and frontier re-queuing are all resolved
+//!   deterministically, so two runs at the same thread count produce
+//!   identical incumbent streams, node counts and bounds. Every few
+//!   epochs one worker races an LNS round (seed-offset from the solver
+//!   seed) against the tree instead of expanding nodes.
 //! * **[`ParallelMode::WorkStealing`]** — free-running workers over
 //!   per-worker deques (LIFO locally for a plunging bias, FIFO steals of
 //!   the best untouched subtrees). Pruning reads the atomic incumbent
@@ -534,6 +539,14 @@ fn ws_worker(
 /// fresh (the cutoff is frozen for the epoch), large enough to amortise
 /// the barrier.
 const DET_BATCH: usize = 4;
+/// Nodes a worker may *expand* per epoch while plunging depth-first
+/// through its dealt batch. Without the plunge every dealt node's
+/// children would wait for the next barrier, so reaching an integral
+/// leaf at depth `d` would cost `d` epochs (and `d × threads ×
+/// DET_BATCH` node expansions tree-wide) — on deep binary models the
+/// first incumbent would effectively never arrive. The quota bounds the
+/// staleness of the frozen epoch cutoff instead of the dive depth.
+const DET_NODE_QUOTA: u64 = 64;
 /// Every this-many epochs, one worker runs an LNS round instead of
 /// expanding nodes (once an incumbent exists).
 const LNS_PERIOD: u64 = 4;
@@ -562,22 +575,17 @@ enum DetTask {
     Stop,
 }
 
-/// Per-node outcome a deterministic worker reports (the thread-safe echo
-/// of [`NodeExpansion`], with the basis shared instead of owned).
+/// Per-node outcome a deterministic worker reports. Terminal variants
+/// echo [`NodeExpansion`]; `Open` hands an unexpanded frontier node —
+/// a child created during the worker's plunge, or a dealt node the
+/// quota/budget left untouched — back to the coordinator's heap, with
+/// its root-relative fix list so the coordinator needs no echo of the
+/// dealt jobs.
 enum DetNodeOut {
-    Infeasible,
-    CutOff,
     NoInfo,
     Dropped(f64),
-    Integral {
-        values: Vec<f64>,
-        bound: f64,
-    },
-    Branch {
-        var: u32,
-        bound: f64,
-        basis: Option<Arc<Basis>>,
-    },
+    Integral { values: Vec<f64>, bound: f64 },
+    Open(DetJob),
 }
 
 /// One worker's reply for one epoch. Tallies are cumulative over the
@@ -644,36 +652,55 @@ fn det_worker(
             } => {
                 search.set_cutoff_hint(cutoff_obj);
                 search.set_task_budget(remaining);
-                for job in jobs {
-                    if search.out_of_budget() {
-                        // Budget ran out mid-batch: retire the node
-                        // unresolved, deterministically.
-                        results.push(DetNodeOut::Dropped(job.bound));
+                // Depth-first plunge over the dealt batch: a local LIFO
+                // stack seeded with the jobs in reverse deal order (so
+                // the first-dealt — best-bound — job dives first), each
+                // branch pushing its down-child then up-child exactly
+                // like the sequential heap's newest-first tie-break.
+                // Expansion stops at the epoch quota or the budget;
+                // whatever the stack still holds goes back as `Open`.
+                let mut stack: Vec<DetJob> = jobs.into_iter().rev().collect();
+                let mut expanded = 0u64;
+                while let Some(job) = stack.pop() {
+                    if expanded >= DET_NODE_QUOTA || search.out_of_budget() {
+                        // Quota or budget spent: retire the rest of the
+                        // frontier unexpanded, deterministically.
+                        results.push(DetNodeOut::Open(job));
                         continue;
                     }
+                    // Prune against the frozen epoch cutoff on pop, like
+                    // the coordinator does when dealing.
+                    if job.bound >= search.cutoff() {
+                        continue;
+                    }
+                    expanded += 1;
                     bounds_buf.copy_from_slice(root_bounds);
                     for &(v, lo, hi) in &job.fixes {
                         let (l, u) = bounds_buf[v as usize];
                         bounds_buf[v as usize] = (l.max(lo), u.min(hi));
                     }
                     let edge = job.edge.map(|(v, up)| (VarId(v), up, job.bound));
-                    results.push(
-                        match search.expand_node(&bounds_buf, job.warm.as_deref(), edge, job.bound)
-                        {
-                            NodeExpansion::Infeasible => DetNodeOut::Infeasible,
-                            NodeExpansion::CutOff => DetNodeOut::CutOff,
-                            NodeExpansion::NoInfo => DetNodeOut::NoInfo,
-                            NodeExpansion::Dropped(b) => DetNodeOut::Dropped(b),
-                            NodeExpansion::Integral { values, bound } => {
-                                DetNodeOut::Integral { values, bound }
+                    match search.expand_node(&bounds_buf, job.warm.as_deref(), edge, job.bound) {
+                        NodeExpansion::Infeasible | NodeExpansion::CutOff => {}
+                        NodeExpansion::NoInfo => results.push(DetNodeOut::NoInfo),
+                        NodeExpansion::Dropped(b) => results.push(DetNodeOut::Dropped(b)),
+                        NodeExpansion::Integral { values, bound } => {
+                            results.push(DetNodeOut::Integral { values, bound });
+                        }
+                        NodeExpansion::Branch { var, bound, basis } => {
+                            let warm = basis.map(Arc::new);
+                            for (lo, hi) in [(0.0, 0.0), (1.0, 1.0)] {
+                                let mut fixes = job.fixes.clone();
+                                fixes.push((var.0, lo, hi));
+                                stack.push(DetJob {
+                                    fixes,
+                                    bound,
+                                    edge: Some((var.0, hi > 0.5)),
+                                    warm: warm.clone(),
+                                });
                             }
-                            NodeExpansion::Branch { var, bound, basis } => DetNodeOut::Branch {
-                                var: var.0,
-                                bound,
-                                basis: basis.map(Arc::new),
-                            },
-                        },
-                    );
+                        }
+                    }
                 }
             }
             DetTask::Lns { best, remaining } => {
@@ -784,9 +811,6 @@ fn run_deterministic(
             for (j, job) in jobs.into_iter().enumerate() {
                 batches[j % tree_workers].push(job);
             }
-            // Keep a copy of each dealt job: child nodes extend the
-            // parent's fix list, which the result echo doesn't carry.
-            let sent: Vec<Vec<DetJob>> = batches.clone();
             let mut expected = 0usize;
             for (w, batch) in batches.into_iter().enumerate() {
                 if batch.is_empty() {
@@ -826,32 +850,21 @@ fn run_deterministic(
                 prev_nodes[w] = out.nodes;
                 last_fallbacks[w] = out.fallbacks;
                 last_factor[w] = out.factor;
-                for (slot, res) in out.results.into_iter().enumerate() {
+                for res in out.results {
                     match res {
-                        DetNodeOut::Infeasible | DetNodeOut::CutOff => {}
                         DetNodeOut::NoInfo => dropped = f64::NEG_INFINITY,
                         DetNodeOut::Dropped(b) => dropped = dropped.min(b),
                         DetNodeOut::Integral { values, bound } => {
                             search.try_accept(values, callback);
                             dropped = dropped.min(bound);
                         }
-                        DetNodeOut::Branch { var, bound, basis } => {
-                            let parent = &sent[w][slot];
-                            for (lo, hi) in [(0.0, 0.0), (1.0, 1.0)] {
-                                let mut fixes = parent.fixes.clone();
-                                fixes.push((var, lo, hi));
-                                heap.push(DetOpen {
-                                    bound,
-                                    id: next_id,
-                                    job: DetJob {
-                                        fixes,
-                                        bound,
-                                        edge: Some((var, hi > 0.5)),
-                                        warm: basis.clone(),
-                                    },
-                                });
-                                next_id += 1;
-                            }
+                        DetNodeOut::Open(job) => {
+                            heap.push(DetOpen {
+                                bound: job.bound,
+                                id: next_id,
+                                job,
+                            });
+                            next_id += 1;
                         }
                     }
                 }

@@ -14,11 +14,26 @@
 //!
 //! The dual simplex selects its leaving row with **Devex
 //! reference-framework pricing** (violation² over an evolving row weight;
-//! Dantzig largest-violation selectable via [`PricingRule`], Bland-style
-//! lowest-index selection under stalls) and runs a **bound-flipping dual
-//! ratio test**: boxed candidates whose dual ratio is passed by the step
-//! are flipped to their other bound — one FTRAN folds all flips into `β`
-//! — which lets one iteration absorb many would-be degenerate pivots.
+//! the default), exact **dual steepest-edge** weights
+//! ([`PricingRule::SteepestEdge`]: `violation² / ‖e_r B⁻¹‖²`, maintained
+//! by the Forrest–Goldfarb recurrence at the cost of one extra FTRAN per
+//! pivot, degrading to the Devex framework when weight drift is
+//! detected), or plain Dantzig largest-violation — with Bland-style
+//! lowest-index selection under stalls in every mode. It then runs a
+//! **bound-flipping dual ratio test**: boxed candidates whose dual ratio
+//! is passed by the step are flipped to their other bound — one FTRAN
+//! folds all flips into `β` — which lets one iteration absorb many
+//! would-be degenerate pivots.
+//!
+//! Per-iteration work is kept proportional to what the iteration touches,
+//! not to the problem size: the BTRAN/FTRAN results carry their non-zero
+//! patterns out of the factorisation (see `*_tracked` in
+//! [`crate::factor`]), the dual row is priced **row-wise over `ρ`'s
+//! support** against a CSR companion view of the matrix (sparse PRICE)
+//! instead of a dense sweep over all columns, and the β/weight/reduced-
+//! cost updates and scratch re-zeroing all walk those patterns. One
+//! solve's result pattern seeds the next dependent solve's DFS (the DSE
+//! FTRAN reuses the BTRAN's pattern directly).
 //!
 //! The engine always starts **dual feasible** and drives out primal
 //! infeasibility with the dual simplex:
@@ -52,7 +67,7 @@ use crate::expr::ConstraintSense;
 use crate::factor::{DenseInverse, FactorOpts, Factorization, LuFactors};
 use crate::model::Model;
 use crate::simplex::{LpConfig, LpEngine, LpResult, LpStatus, PricingRule, TOL};
-use crate::sparse::CscMatrix;
+use crate::sparse::{CscMatrix, RowMajor};
 use std::sync::Arc;
 
 /// Primal feasibility tolerance for basic values.
@@ -65,6 +80,14 @@ const VERIFY_TOL: f64 = 1e-5;
 const STALL_LIMIT: u32 = 64;
 /// Devex weights above this trigger a reference-framework reset.
 const DEVEX_RESET: f64 = 1e8;
+/// Lower clamp on dual steepest-edge weights (guards the score division
+/// and the recurrence against cancellation-driven negatives).
+const DSE_FLOOR: f64 = 1e-4;
+/// Drift gate for the steepest-edge recurrence: when the maintained
+/// weight of the leaving row and its exact norm `‖ρ‖²` disagree by more
+/// than this factor, the weights are abandoned for the rest of the solve
+/// (the Devex framework takes over).
+const DSE_DRIFT: f64 = 16.0;
 /// Remaining-slope floor for accepting another bound flip in the dual
 /// ratio test.
 const FLIP_SLOPE_TOL: f64 = 1e-9;
@@ -107,6 +130,9 @@ enum RunStatus {
 /// [`LpContext`] can keep it alive between solves.
 struct Engine {
     a: Arc<CscMatrix>,
+    /// Row-major companion of `a` for sparse PRICE (pricing the dual row
+    /// against the columns adjacent to its support).
+    rows: RowMajor,
     m: usize,
     /// Structural column count.
     n: usize,
@@ -140,12 +166,30 @@ struct Engine {
     bound_flips: bool,
     /// Devex reference-framework weight per row.
     devex: Vec<f64>,
+    /// Running maximum of the Devex weights — the reference-framework
+    /// reset trigger, maintained incrementally so the weight update can
+    /// stay on the pivot column's pattern. (It may briefly overestimate
+    /// after a leaving-row weight shrinks, triggering a reset at worst
+    /// one framework early — a policy choice, not a correctness issue.)
+    devex_max: f64,
+    /// Dual steepest-edge weight per row (`γᵢ ≈ ‖eᵢB⁻¹‖²`); only
+    /// maintained under [`PricingRule::SteepestEdge`].
+    dse: Vec<f64>,
+    /// `false` once steepest-edge weight drift was detected: scoring and
+    /// maintenance degrade to the Devex framework until the next
+    /// install/cold start restores exact weights.
+    dse_ok: bool,
     /// Values of basic variables per row.
     beta: Vec<f64>,
     /// Reduced costs per column (zero on basic columns).
     d: Vec<f64>,
     /// Scratch: tableau row `α = e_r B⁻¹ A` of the leaving row.
     alpha: Vec<f64>,
+    /// `true` while `alpha` holds a stale dense sweep. The dense PRICE
+    /// branch overwrites every entry anyway, so back-to-back dense
+    /// iterations skip the re-zeroing sweep; the sparse branch (which
+    /// accumulates with `+=`) clears the vector first when this is set.
+    alpha_dirty: bool,
     /// Scratch: pivot column `w = B⁻¹ A_q`.
     w: Vec<f64>,
     /// Scratch: `ρ = e_r B⁻¹` (row space), also reused for BTRAN rhs.
@@ -161,6 +205,19 @@ struct Engine {
     /// Scratch: sparse right-hand-side pattern handed to the
     /// factorisation's hyper-sparse solves.
     pat: Vec<usize>,
+    /// Scratch: result pattern of the leaving row's BTRAN (`ρ`'s
+    /// support) — drives sparse PRICE and seeds the DSE FTRAN.
+    rpat: Vec<usize>,
+    /// Scratch: result pattern of the pivot column's FTRAN (`w`'s
+    /// support) — drives the β/weight updates and re-zeroing.
+    wpat: Vec<usize>,
+    /// Scratch: result pattern of the DSE FTRAN (`τ`'s support).
+    tpat: Vec<usize>,
+    /// Scratch: columns touched by sparse PRICE (`α`'s support).
+    apat: Vec<usize>,
+    /// Column marks + stamp deduplicating sparse PRICE touches.
+    amark: Vec<u32>,
+    astamp: u32,
     /// Hot reuses since the last factorisation (numerical hygiene).
     age: u32,
     iterations: u64,
@@ -214,7 +271,11 @@ impl Engine {
         }
         let cost_nnz = cost.iter().filter(|&&c| c != 0.0).count();
         let factor = match config.engine {
-            LpEngine::SparseLu => Factorization::Lu(Box::new(LuFactors::identity(m))),
+            LpEngine::SparseLu => {
+                let mut lu = Box::new(LuFactors::identity(m));
+                lu.set_ordering(config.factor_opts().ordering);
+                Factorization::Lu(lu)
+            }
             // The tableau-only engine never reaches this code path (it is
             // gated in `solve_relaxation_in`); map it to the dense oracle
             // so a stray construction still behaves.
@@ -222,8 +283,10 @@ impl Engine {
                 Factorization::Dense(DenseInverse::identity(m))
             }
         };
+        let rows = a.to_row_major();
         Engine {
             a,
+            rows,
             m,
             n,
             n_total,
@@ -242,15 +305,25 @@ impl Engine {
             pricing: config.pricing,
             bound_flips: config.bound_flips,
             devex: vec![1.0; m],
+            devex_max: 1.0,
+            dse: vec![1.0; m],
+            dse_ok: true,
             beta: vec![0.0; m],
             d: vec![0.0; n_total],
             alpha: vec![0.0; n_total],
+            alpha_dirty: false,
             w: vec![0.0; m],
             rho: vec![0.0; m],
             flip_rhs: vec![0.0; m],
             cands: Vec::new(),
             flips: Vec::new(),
             pat: Vec::new(),
+            rpat: Vec::new(),
+            wpat: Vec::new(),
+            tpat: Vec::new(),
+            apat: Vec::new(),
+            amark: vec![0; n_total],
+            astamp: 0,
             age: 0,
             iterations: 0,
             work: 0,
@@ -399,6 +472,7 @@ impl Engine {
             }
             if self.pat.is_empty() {
                 borders.push(Vec::new());
+                self.dse.push(1.0);
                 continue;
             }
             self.factor.btran_sparse(&mut self.rho, &self.pat);
@@ -410,6 +484,12 @@ impl Engine {
                 .map(|(i, &v)| (i, v))
                 .collect();
             self.work += (con.terms.len() + mu.len()) as u64 + self.factor.take_work();
+            // Steepest-edge weight of the new basic slack's row: with the
+            // bordered basis, `e_newᵀ B'⁻¹ = (−μᵀ, 1)`, so its squared
+            // norm is `1 + ‖μ‖²` exactly — the old rows' weights are
+            // untouched by the growth.
+            let g: f64 = 1.0 + mu.iter().map(|&(_, v)| v * v).sum::<f64>();
+            self.dse.push(g.max(DSE_FLOOR));
             borders.push(mu);
         }
         self.rho.fill(0.0);
@@ -456,6 +536,9 @@ impl Engine {
         self.w.resize(new_m, 0.0);
         self.rho.resize(new_m, 0.0);
         self.flip_rhs.resize(new_m, 0.0);
+        self.amark.resize(self.n_total, 0);
+        self.rows = self.a.to_row_major();
+        self.work += self.a.nnz() as u64;
         self.factor.grow(borders);
         self.work += self.factor.take_work();
         // Forced-refactorisation fallback: the border counts towards the
@@ -547,6 +630,11 @@ impl Engine {
         }
         self.factor.reset_identity();
         self.devex.fill(1.0);
+        self.devex_max = 1.0;
+        // With B = I every row of B⁻¹ is a unit vector, so the all-ones
+        // steepest-edge weights are *exact* — no solves needed.
+        self.dse.fill(1.0);
+        self.dse_ok = true;
         // β = b − N x_N; with B = I (slacks) no solve is needed.
         self.beta.copy_from_slice(&self.rhs);
         let mut acc = std::mem::take(&mut self.beta);
@@ -603,11 +691,156 @@ impl Engine {
             return false;
         }
         self.devex.fill(1.0);
+        self.devex_max = 1.0;
+        if self.pricing == PricingRule::SteepestEdge {
+            self.init_dse_exact();
+        }
         if !self.reprice() {
             return false;
         }
         self.refresh_beta();
         true
+    }
+
+    /// Recomputes the steepest-edge weights exactly from the installed
+    /// basis: `γᵢ = ‖eᵢB⁻¹‖²` via one hyper-sparse unit BTRAN per row.
+    /// Affordable at install cadence precisely because the BTRANs are
+    /// hyper-sparse; the dual loop then only pays the recurrence.
+    fn init_dse_exact(&mut self) {
+        self.rho.fill(0.0);
+        for i in 0..self.m {
+            let tracked = self
+                .factor
+                .btran_unit_tracked(i, &mut self.rho, &mut self.rpat);
+            let mut g = 0.0;
+            if tracked {
+                for &k in &self.rpat {
+                    let v = self.rho[k];
+                    g += v * v;
+                    self.rho[k] = 0.0;
+                }
+                self.work += self.rpat.len() as u64 + 1;
+            } else {
+                for v in &mut self.rho {
+                    g += *v * *v;
+                    *v = 0.0;
+                }
+                self.work += self.m as u64;
+            }
+            self.dse[i] = g.max(DSE_FLOOR);
+        }
+        self.dse_ok = true;
+        self.work += self.factor.take_work();
+    }
+
+    /// Whether the Devex framework is the active leaving-row weighting —
+    /// either as the configured rule or as the fallback for drifted
+    /// steepest-edge weights.
+    fn devex_active(&self) -> bool {
+        match self.pricing {
+            PricingRule::Devex => true,
+            PricingRule::SteepestEdge => !self.dse_ok,
+            PricingRule::Dantzig => false,
+        }
+    }
+
+    /// Forrest–Goldfarb steepest-edge recurrence for one pivot: row `r`
+    /// leaves with pivot element `wr = α_r`, `rho` holds `ρ = e_r B⁻¹`
+    /// (pattern `rpat` when `rho_tracked`) and `w` holds `α = B⁻¹A_q`
+    /// (pattern `wpat` when `w_tracked`). With `τ = B⁻¹ρ` (the one extra
+    /// FTRAN this rule costs, seeded by ρ's tracked pattern):
+    ///
+    /// ```text
+    ///   γ_r' = γ_r / α_r²
+    ///   γ_i' = γ_i − 2(α_i/α_r)τ_i + (α_i/α_r)²γ_r     (i ≠ r)
+    /// ```
+    ///
+    /// The exact `γ_r = ‖ρ‖²` is free here and is used both in the
+    /// recurrence and as a drift detector against the maintained weight;
+    /// on drift the weights are abandoned (Devex framework takes over
+    /// until the next install). `rho` is consumed either way — it leaves
+    /// this method all-zero.
+    fn update_dse_weights(&mut self, r: usize, wr: f64, rho_tracked: bool, w_tracked: bool) {
+        // Exact squared norm of the leaving row of B⁻¹.
+        let mut gr_exact = 0.0;
+        if rho_tracked {
+            for &i in &self.rpat {
+                let v = self.rho[i];
+                gr_exact += v * v;
+            }
+            self.work += self.rpat.len() as u64;
+        } else {
+            for &v in &self.rho {
+                gr_exact += v * v;
+            }
+            self.work += self.m as u64;
+        }
+        let est = self.dse[r];
+        if gr_exact <= 0.0
+            || gr_exact.is_nan()
+            || est > gr_exact * DSE_DRIFT
+            || gr_exact > est * DSE_DRIFT
+        {
+            // Drifted recurrence: degrade to the Devex framework for the
+            // rest of this solve (fresh reference basis).
+            self.dse_ok = false;
+            self.devex.fill(1.0);
+            self.devex_max = 1.0;
+            if rho_tracked {
+                for &i in &self.rpat {
+                    self.rho[i] = 0.0;
+                }
+            } else {
+                self.rho.fill(0.0);
+            }
+            self.work += 2 * self.m as u64;
+            return;
+        }
+        // τ = B⁻¹ρ, computed in place (ρ has no further use this
+        // iteration); the BTRAN's result pattern seeds the FTRAN's DFS.
+        let tau_tracked = if rho_tracked {
+            self.factor
+                .ftran_sparse_tracked(&mut self.rho, &self.rpat, &mut self.tpat)
+        } else {
+            self.factor.ftran(&mut self.rho);
+            false
+        };
+        self.work += self.factor.take_work();
+        let ar_inv = 1.0 / wr;
+        if w_tracked {
+            for &i in &self.wpat {
+                let wi = self.w[i];
+                if i == r || wi == 0.0 {
+                    continue;
+                }
+                let ratio = wi * ar_inv;
+                let g = self.dse[i] + ratio * (ratio * gr_exact - 2.0 * self.rho[i]);
+                self.dse[i] = g.max(DSE_FLOOR);
+            }
+            self.work += self.wpat.len() as u64;
+        } else {
+            for i in 0..self.m {
+                let wi = self.w[i];
+                if i == r || wi == 0.0 {
+                    continue;
+                }
+                let ratio = wi * ar_inv;
+                let g = self.dse[i] + ratio * (ratio * gr_exact - 2.0 * self.rho[i]);
+                self.dse[i] = g.max(DSE_FLOOR);
+            }
+            self.work += self.m as u64;
+        }
+        self.dse[r] = (gr_exact * ar_inv * ar_inv).max(DSE_FLOOR);
+        // Consume τ: restore the all-zero scratch invariant.
+        if tau_tracked {
+            for &i in &self.tpat {
+                self.rho[i] = 0.0;
+            }
+            self.work += self.tpat.len() as u64;
+        } else {
+            self.rho.fill(0.0);
+            self.work += self.m as u64;
+        }
     }
 
     /// Recomputes reduced costs `d = c − c_B B⁻¹ A` and gates on dual
@@ -628,6 +861,7 @@ impl Engine {
         if !self.pat.is_empty() {
             self.factor.btran_sparse(&mut self.rho, &self.pat);
         }
+        let mut feasible = true;
         for j in 0..self.n_total {
             if self.status[j] == VarStatus::Basic {
                 self.d[j] = 0.0;
@@ -647,11 +881,41 @@ impl Engine {
                 VarStatus::Basic => unreachable!(),
             };
             if !ok {
-                return false;
+                feasible = false;
+                break;
             }
         }
-        self.work += (self.m + self.a.nnz() + self.n_total) as u64 + self.factor.take_work();
-        true
+        // The dual loop keeps `rho` all-zero between uses; restore the
+        // invariant after borrowing it for the dual prices — on the
+        // infeasible exit too, since the caller restarts through paths
+        // that assume clean scratch.
+        self.rho.fill(0.0);
+        self.work += (2 * self.m + self.a.nnz() + self.n_total) as u64 + self.factor.take_work();
+        feasible
+    }
+
+    /// Restores the all-zero invariant on the pricing scratch (`rho` and
+    /// `alpha`) after an iteration that aborted between PRICE and the
+    /// end-of-iteration cleanup. Zeroes over the tracked patterns when
+    /// the solves were hyper-sparse, densely otherwise.
+    fn clear_price_scratch(&mut self, rho_tracked: bool, price_sparse: bool) {
+        if rho_tracked {
+            for &i in &self.rpat {
+                self.rho[i] = 0.0;
+            }
+            self.work += self.rpat.len() as u64;
+        } else {
+            self.rho.fill(0.0);
+            self.work += self.m as u64;
+        }
+        if price_sparse {
+            for &j in &self.apat {
+                self.alpha[j] = 0.0;
+            }
+            self.work += self.apat.len() as u64;
+        }
+        // Dense sweeps stay parked under `alpha_dirty` (set when the
+        // sweep ran); whoever needs clean α clears it lazily.
     }
 
     /// Recomputes `β = B⁻¹ (b − N x_N)` from scratch.
@@ -673,7 +937,10 @@ impl Engine {
         }
         self.factor.ftran(&mut self.rho);
         self.beta.copy_from_slice(&self.rho);
-        self.work += (self.m + self.a.nnz()) as u64 + self.factor.take_work();
+        // The dual loop keeps `rho` all-zero between uses; restore the
+        // invariant after borrowing it as dense scratch.
+        self.rho.fill(0.0);
+        self.work += (2 * self.m + self.a.nnz()) as u64 + self.factor.take_work();
     }
 
     /// Rebuilds the factorisation from the current basis columns.
@@ -703,10 +970,23 @@ impl Engine {
     /// admits no entering column (infeasible), or a budget/stability limit
     /// trips.
     #[allow(clippy::too_many_lines)]
-    fn dual_simplex(&mut self, max_iterations: u64) -> RunStatus {
+    fn dual_simplex(&mut self, max_iterations: u64, work_limit: u64) -> RunStatus {
         let mut stall = 0u32;
         let mut was_bland = false;
         let mut last_infeasibility = f64::INFINITY;
+        // The iteration kernels keep `rho`, `w` and `alpha` all-zero
+        // between uses, scattering and re-zeroing over the tracked solve
+        // patterns instead of sweeping dense vectors. Every path into
+        // here maintains the invariant (constructors and resizes start
+        // zeroed; `reprice`/`refresh_beta`/`init_dse_exact` restore it;
+        // the dirty mid-iteration exits below clean up before returning),
+        // so entry costs nothing — just assert it in debug builds.
+        debug_assert!(self.rho.iter().all(|&v| v == 0.0), "rho scratch dirty");
+        debug_assert!(self.w.iter().all(|&v| v == 0.0), "w scratch dirty");
+        debug_assert!(
+            self.alpha_dirty || self.alpha.iter().all(|&v| v == 0.0),
+            "alpha scratch dirty without its flag"
+        );
         loop {
             // --- Leaving row: Devex-weighted (or plain largest) violation;
             // under stall, the violated row with the smallest basic column
@@ -719,11 +999,14 @@ impl Engine {
             // still valid), but a Bland-guard episode pivots without
             // regard for the weights — reset the framework on entry so
             // the degenerate thrash does not distort it, and again on
-            // exit so Devex resumes from a fresh reference basis.
+            // exit so Devex resumes from a fresh reference basis. (Exact
+            // steepest-edge weights need no reset: their recurrence runs
+            // through Bland episodes unchanged.)
             if bland != was_bland {
                 was_bland = bland;
-                if self.pricing == PricingRule::Devex {
+                if self.devex_active() {
                     self.devex.fill(1.0);
+                    self.devex_max = 1.0;
                     self.work += self.m as u64;
                 }
             }
@@ -738,6 +1021,13 @@ impl Engine {
                 let score = match self.pricing {
                     PricingRule::Devex => v * v / self.devex[i],
                     PricingRule::Dantzig => v,
+                    PricingRule::SteepestEdge => {
+                        if self.dse_ok {
+                            v * v / self.dse[i]
+                        } else {
+                            v * v / self.devex[i]
+                        }
+                    }
                 };
                 let better = if bland {
                     leave.is_none_or(|(r, _)| self.basis[i] < self.basis[r])
@@ -752,7 +1042,12 @@ impl Engine {
             let Some((r, _)) = leave else {
                 return RunStatus::Optimal;
             };
-            if self.iterations >= max_iterations {
+            // Budget checks live here, after the leaving-row scan: the
+            // scratch invariant still holds (no tracked solve has run this
+            // iteration), so bailing out needs no cleanup. `work` counts
+            // any carried-over ticks from failed warm/perturbed attempts,
+            // making `work_limit` a cap on the *whole* solve.
+            if self.iterations >= max_iterations || self.work >= work_limit {
                 return RunStatus::IterLimit;
             }
             if total_infeasibility < last_infeasibility - 1e-9 {
@@ -771,38 +1066,111 @@ impl Engine {
             };
 
             // --- Entering column: dual ratio test over eligible nonbasics.
-            // α is the leaving row of the tableau: ρ = e_r B⁻¹ via BTRAN,
-            // then priced sparsely. ---
-            self.factor.btran_unit(r, &mut self.rho);
+            // α is the leaving row of the tableau: ρ = e_r B⁻¹ via a
+            // pattern-tracked BTRAN (`rho` is all-zero on entry), then
+            // priced row-wise over ρ's support (sparse PRICE) — only the
+            // columns adjacent to ρ's non-zero rows can price non-zero.
+            let rho_tracked = self
+                .factor
+                .btran_unit_tracked(r, &mut self.rho, &mut self.rpat);
+            self.work += self.factor.take_work();
+            // Sparse PRICE only pays when ρ's adjacency is genuinely
+            // sparser than one dense sweep: on small dense bases (a
+            // handful of rows touching every column) the row walk visits
+            // the whole matrix anyway and the dense sweep is cheaper.
+            let price_sparse = rho_tracked && {
+                let support: usize = self.rpat.iter().map(|&i| self.rows.row_nnz(i) + 1).sum();
+                2 * support <= self.a.nnz() + self.n_total
+            };
             self.cands.clear();
-            for j in 0..self.n_total {
-                if self.status[j] == VarStatus::Basic {
-                    self.alpha[j] = 0.0;
-                    continue;
+            if price_sparse {
+                if self.alpha_dirty {
+                    // A previous dense sweep left α populated; the
+                    // accumulation below needs a clean slate.
+                    self.alpha.fill(0.0);
+                    self.alpha_dirty = false;
+                    self.work += self.n_total as u64;
                 }
-                let aj = if j < self.n {
-                    self.a.dot_col(&self.rho, j)
-                } else {
-                    self.rho[j - self.n]
-                };
-                self.alpha[j] = aj;
-                if self.upper[j] - self.lower[j] <= TOL {
-                    continue; // fixed: can never enter
+                self.astamp = self.astamp.wrapping_add(1);
+                if self.astamp == 0 {
+                    self.amark.fill(0);
+                    self.astamp = 1;
                 }
-                // Sign-normalised entry: positive means "x_j must rise".
-                let ap = if delta0 > 0.0 { aj } else { -aj };
-                let eligible = match self.status[j] {
-                    VarStatus::AtLower => ap > TOL,
-                    VarStatus::AtUpper => ap < -TOL,
-                    VarStatus::Basic => unreachable!(),
-                };
-                if eligible {
-                    self.cands.push((self.d[j] / ap, j, ap));
+                self.apat.clear();
+                let mut visited = 0u64;
+                for &i in &self.rpat {
+                    let ri = self.rho[i];
+                    if ri == 0.0 {
+                        continue;
+                    }
+                    // Row i's logical column prices to ρᵢ directly.
+                    self.alpha[self.n + i] = ri;
+                    self.apat.push(self.n + i);
+                    let (cols, vals) = self.rows.row(i);
+                    for (&j, &v) in cols.iter().zip(vals) {
+                        self.alpha[j] += ri * v;
+                        if self.amark[j] != self.astamp {
+                            self.amark[j] = self.astamp;
+                            self.apat.push(j);
+                        }
+                    }
+                    visited += cols.len() as u64 + 1;
                 }
+                // Canonical (ascending column) candidate order, so the
+                // ratio-test tie-breaks are independent of ρ's pattern
+                // order.
+                self.apat.sort_unstable();
+                for &j in &self.apat {
+                    if self.status[j] == VarStatus::Basic || self.upper[j] - self.lower[j] <= TOL {
+                        continue; // basic, or fixed: can never enter
+                    }
+                    let aj = self.alpha[j];
+                    // Sign-normalised entry: positive = "x_j must rise".
+                    let ap = if delta0 > 0.0 { aj } else { -aj };
+                    let eligible = match self.status[j] {
+                        VarStatus::AtLower => ap > TOL,
+                        VarStatus::AtUpper => ap < -TOL,
+                        VarStatus::Basic => unreachable!(),
+                    };
+                    if eligible {
+                        self.cands.push((self.d[j] / ap, j, ap));
+                    }
+                }
+                self.work += visited + 2 * self.apat.len() as u64;
+            } else {
+                // Dense ρ (or the dense oracle): the classic column sweep.
+                for j in 0..self.n_total {
+                    if self.status[j] == VarStatus::Basic {
+                        self.alpha[j] = 0.0;
+                        continue;
+                    }
+                    let aj = if j < self.n {
+                        self.a.dot_col(&self.rho, j)
+                    } else {
+                        self.rho[j - self.n]
+                    };
+                    self.alpha[j] = aj;
+                    if self.upper[j] - self.lower[j] <= TOL {
+                        continue; // fixed: can never enter
+                    }
+                    let ap = if delta0 > 0.0 { aj } else { -aj };
+                    let eligible = match self.status[j] {
+                        VarStatus::AtLower => ap > TOL,
+                        VarStatus::AtUpper => ap < -TOL,
+                        VarStatus::Basic => unreachable!(),
+                    };
+                    if eligible {
+                        self.cands.push((self.d[j] / ap, j, ap));
+                    }
+                }
+                self.work += (self.a.nnz() + self.n_total) as u64;
+                self.alpha_dirty = true;
             }
-            self.work += (self.a.nnz() + self.n_total) as u64 + self.factor.take_work();
             if self.cands.is_empty() {
                 // The violated row proves the bound system inconsistent.
+                // ρ and α are live at this point: restore the all-zero
+                // scratch invariant before handing the engine back.
+                self.clear_price_scratch(rho_tracked, price_sparse);
                 return RunStatus::Infeasible;
             }
 
@@ -880,36 +1248,62 @@ impl Engine {
             }
 
             // --- Pivot. w = B⁻¹ A_q gives the primal update column; the
-            // entering column's row pattern seeds the hyper-sparse FTRAN.
-            self.w.fill(0.0);
-            if q < self.n {
+            // entering column's row pattern seeds the hyper-sparse FTRAN
+            // and the result pattern drives every consumer below (`w` is
+            // all-zero on entry).
+            let w_tracked = if q < self.n {
                 self.a.axpy_col(&mut self.w, 1.0, q);
-                self.factor.ftran_sparse(&mut self.w, self.a.col(q).0);
+                self.factor
+                    .ftran_sparse_tracked(&mut self.w, self.a.col(q).0, &mut self.wpat)
             } else {
                 let slack_row = [q - self.n];
                 self.w[slack_row[0]] = 1.0;
-                self.factor.ftran_sparse(&mut self.w, &slack_row);
-            }
+                self.factor
+                    .ftran_sparse_tracked(&mut self.w, &slack_row, &mut self.wpat)
+            };
             self.work += self.factor.take_work();
             let wr = self.w[r];
             if wr.abs() < 1e-9 {
+                // ρ, α and w are live: restore the all-zero scratch
+                // invariant before handing the engine back.
+                self.clear_price_scratch(rho_tracked, price_sparse);
+                if w_tracked {
+                    for &i in &self.wpat {
+                        self.w[i] = 0.0;
+                    }
+                    self.work += self.wpat.len() as u64;
+                } else {
+                    self.w.fill(0.0);
+                    self.work += self.m as u64;
+                }
                 return RunStatus::Unstable;
             }
 
-            // Dual price update keeps d consistent without repricing.
+            // Dual price update keeps d consistent without repricing;
+            // α is zero outside its support, so its pattern suffices.
             let theta_d = self.d[q] / self.alpha[q];
             if theta_d != 0.0 {
-                for j in 0..self.n_total {
-                    if self.status[j] != VarStatus::Basic {
-                        self.d[j] -= theta_d * self.alpha[j];
+                if price_sparse {
+                    for &j in &self.apat {
+                        if self.status[j] != VarStatus::Basic {
+                            self.d[j] -= theta_d * self.alpha[j];
+                        }
                     }
+                    self.work += self.apat.len() as u64;
+                } else {
+                    for j in 0..self.n_total {
+                        if self.status[j] != VarStatus::Basic {
+                            self.d[j] -= theta_d * self.alpha[j];
+                        }
+                    }
+                    self.work += self.n_total as u64;
                 }
             }
             self.d[q] = 0.0;
             self.d[bcol] = -theta_d;
 
             // Primal step from the post-flip violation: entering moves by
-            // t, basics move against w.
+            // t, basics move against w (over w's support).
             let delta = if below {
                 self.beta[r] - self.lower[bcol]
             } else {
@@ -917,32 +1311,71 @@ impl Engine {
             };
             let t = delta / wr;
             let x_q = self.nonbasic_value(q);
-            for (bi, &wi) in self.beta.iter_mut().zip(self.w.iter()) {
-                *bi -= t * wi;
+            if w_tracked {
+                for &i in &self.wpat {
+                    self.beta[i] -= t * self.w[i];
+                }
+                self.work += self.wpat.len() as u64;
+            } else {
+                for (bi, &wi) in self.beta.iter_mut().zip(self.w.iter()) {
+                    *bi -= t * wi;
+                }
+                self.work += self.m as u64;
             }
             self.beta[r] = x_q + t;
 
-            // Devex weight maintenance within the reference framework.
-            if self.pricing == PricingRule::Devex {
+            // Steepest-edge weight recurrence (consumes ρ as the RHS of
+            // its extra FTRAN), falling back to the Devex framework when
+            // the weights have drifted.
+            let mut rho_consumed = false;
+            if self.pricing == PricingRule::SteepestEdge && self.dse_ok {
+                self.update_dse_weights(r, wr, rho_tracked, w_tracked);
+                rho_consumed = true;
+            }
+
+            // Devex weight maintenance within the reference framework
+            // (only w's support can raise a weight; the reset trigger is
+            // the incrementally maintained running maximum).
+            if self.devex_active() {
                 let wr2 = wr * wr;
                 let gr = self.devex[r].max(1.0);
-                let mut max_w = 0.0f64;
-                for (i, wi) in self.w.iter().enumerate() {
-                    if i != r && *wi != 0.0 {
-                        let cand = (wi * wi / wr2) * gr;
-                        if cand > self.devex[i] {
-                            self.devex[i] = cand;
+                if w_tracked {
+                    for &i in &self.wpat {
+                        let wi = self.w[i];
+                        if i != r && wi != 0.0 {
+                            let cand = (wi * wi / wr2) * gr;
+                            if cand > self.devex[i] {
+                                self.devex[i] = cand;
+                                if cand > self.devex_max {
+                                    self.devex_max = cand;
+                                }
+                            }
                         }
                     }
-                    if self.devex[i] > max_w {
-                        max_w = self.devex[i];
+                    self.work += self.wpat.len() as u64;
+                } else {
+                    for (i, wi) in self.w.iter().enumerate() {
+                        if i != r && *wi != 0.0 {
+                            let cand = (wi * wi / wr2) * gr;
+                            if cand > self.devex[i] {
+                                self.devex[i] = cand;
+                                if cand > self.devex_max {
+                                    self.devex_max = cand;
+                                }
+                            }
+                        }
                     }
+                    self.work += self.m as u64;
                 }
                 self.devex[r] = (gr / wr2).max(1.0);
-                if max_w > DEVEX_RESET {
-                    self.devex.fill(1.0); // new reference framework
+                if self.devex[r] > self.devex_max {
+                    self.devex_max = self.devex[r];
                 }
-                self.work += self.m as u64;
+                if self.devex_max > DEVEX_RESET {
+                    self.devex.fill(1.0); // new reference framework
+                    self.devex_max = 1.0;
+                    self.work += self.m as u64;
+                }
             }
 
             // Basis bookkeeping before the representation update: a
@@ -965,7 +1398,40 @@ impl Engine {
             // Forrest–Tomlin diagonal) forces an immediate
             // refactorisation, exactly like the update-file policy.
             let absorbed = self.factor.update(r, &self.w, &self.opts);
-            self.work += (2 * self.m + self.n_total) as u64 + self.factor.take_work();
+            self.work += self.factor.take_work();
+
+            // Restore the all-zero scratch invariants over the patterns
+            // the iteration actually touched.
+            if w_tracked {
+                for &i in &self.wpat {
+                    self.w[i] = 0.0;
+                }
+                self.work += self.wpat.len() as u64;
+            } else {
+                self.w.fill(0.0);
+                self.work += self.m as u64;
+            }
+            if !rho_consumed {
+                if rho_tracked {
+                    for &i in &self.rpat {
+                        self.rho[i] = 0.0;
+                    }
+                    self.work += self.rpat.len() as u64;
+                } else {
+                    self.rho.fill(0.0);
+                    self.work += self.m as u64;
+                }
+            }
+            if price_sparse {
+                for &j in &self.apat {
+                    self.alpha[j] = 0.0;
+                }
+                self.work += self.apat.len() as u64;
+            }
+            // Dense sweeps leave α populated (`alpha_dirty`): the next
+            // dense sweep overwrites it wholesale, and a sparse one
+            // clears it first — re-zeroing here would charge m-sized
+            // work the old dense kernel never paid.
 
             // Periodic refactorisation folds the update file back into a
             // fresh LU and recomputes β against it. (The Devex weights
@@ -1243,7 +1709,7 @@ pub(crate) fn solve(
 /// Runs the dual simplex and packages the outcome; `None` requests the
 /// caller to fall back (numerical trouble or failed verification).
 fn run(engine: &mut Engine, model: &Model, config: &LpConfig) -> Option<(LpResult, Option<Basis>)> {
-    match engine.dual_simplex(config.max_iterations) {
+    match engine.dual_simplex(config.max_iterations, config.work_limit) {
         RunStatus::Optimal => {
             // An active cost perturbation must come off before anything is
             // reported: restoring the true costs and repricing proves the
@@ -1537,5 +2003,84 @@ mod tests {
         let (res, _) = solve(&m, &bounds, &config, None).expect("revised path");
         assert_eq!(res.status, LpStatus::Optimal);
         assert!((res.objective + 14.0 / 5.0).abs() < 1e-6);
+    }
+
+    /// Ring cover: every element covered by two adjacent sets — small
+    /// integer data, heavy degeneracy, lots of dual pivots under bound
+    /// fixing (the bench harness family).
+    fn ring_cover_model(n: usize) -> Model {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+        for e in 0..n {
+            m.add_constraint(
+                format!("e{e}"),
+                m.expr([(vars[e], 1.0), (vars[(e + 1) % n], 1.0)]).geq(1.0),
+            );
+        }
+        m.set_objective(m.expr(vars.iter().map(|&v| (v, 1.0))));
+        m
+    }
+
+    /// The Forrest–Goldfarb recurrence maintains `γᵢ = ‖eᵢB⁻¹‖²`
+    /// incrementally; after random pivot sequences (warm re-solves under
+    /// random bound fixes) the maintained weights must still match a
+    /// from-scratch recompute — under both factorisation update rules,
+    /// since the recurrence consumes ρ and τ straight from the update
+    /// files. `init_dse_exact` *is* the from-scratch recompute (one unit
+    /// BTRAN per row), so the comparison pins the recurrence against it.
+    #[test]
+    fn steepest_edge_weights_match_exact_recompute_under_both_update_rules() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for update in [UpdateRule::ForrestTomlin, UpdateRule::ProductForm] {
+            let mut checked = 0u64;
+            for seed in 0..8u64 {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let n = 10 + 2 * (seed as usize);
+                let model = ring_cover_model(n);
+                let config = LpConfig {
+                    pricing: PricingRule::SteepestEdge,
+                    update,
+                    ..LpConfig::default()
+                };
+                let mut bounds: Vec<(f64, f64)> = vec![(0.0, 1.0); n];
+                let mut ctx = LpContext::default();
+                let (root, mut basis) = ctx.solve(&model, &bounds, &config, None).expect("root");
+                assert_eq!(root.status, LpStatus::Optimal);
+                for _ in 0..2 * n {
+                    let j = rng.gen_range(0..n);
+                    let fix = f64::from(rng.gen_range(0..=1i32));
+                    let old = bounds[j];
+                    bounds[j] = (fix, fix);
+                    let out = ctx.solve(&model, &bounds, &config, basis.as_ref());
+                    match out {
+                        Ok((res, b)) if res.status == LpStatus::Optimal => {
+                            basis = b;
+                            let eng = ctx.engine.as_mut().expect("engine kept on optimal");
+                            if eng.pricing == PricingRule::SteepestEdge && eng.dse_ok {
+                                let maintained = eng.dse.clone();
+                                eng.init_dse_exact();
+                                for (i, (&got, &want)) in
+                                    maintained.iter().zip(&eng.dse).enumerate()
+                                {
+                                    assert!(
+                                        (got - want).abs()
+                                            <= 1e-6 * (1.0 + got.abs().max(want.abs())),
+                                        "{update:?} seed {seed} row {i}: \
+                                         maintained {got} vs exact {want}"
+                                    );
+                                    checked += 1;
+                                }
+                            }
+                        }
+                        _ => bounds[j] = old, // infeasible fix: undo and go on
+                    }
+                }
+            }
+            assert!(
+                checked > 500,
+                "{update:?}: too few weights checked: {checked}"
+            );
+        }
     }
 }

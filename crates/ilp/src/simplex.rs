@@ -40,7 +40,7 @@
 
 use crate::basis::Basis;
 use crate::expr::ConstraintSense;
-use crate::factor::{FactorStats, UpdateRule};
+use crate::factor::{FactorStats, MarkowitzOrdering, UpdateRule};
 use crate::model::Model;
 
 /// Numerical tolerance for feasibility and pricing decisions.
@@ -111,6 +111,14 @@ pub enum PricingRule {
     /// Classic Dantzig pricing: the largest violation leaves. Cheapest
     /// per iteration, often more iterations overall.
     Dantzig,
+    /// Exact dual steepest-edge (Forrest–Goldfarb): rows are scored by
+    /// `violation² / ‖B⁻ᵀeᵢ‖²` with exact reference weights, maintained
+    /// under basis changes by the standard recurrence (one extra FTRAN
+    /// per pivot). The engine falls back to Devex-style unit weights for
+    /// the rest of a solve if drift between the recurrence and the exact
+    /// leaving-row norm is detected. Fewest iterations; highest
+    /// per-iteration cost.
+    SteepestEdge,
 }
 
 /// Configuration for the simplex.
@@ -118,6 +126,14 @@ pub enum PricingRule {
 pub struct LpConfig {
     /// Hard cap on simplex iterations across both phases.
     pub max_iterations: u64,
+    /// Deterministic-tick budget for one solve: both engines report
+    /// [`LpStatus::IterLimit`] once the solve's metered work reaches this
+    /// many ticks (`u64::MAX`, the default, disables the cap). Unlike
+    /// `max_iterations` this bounds actual *work*, so callers can slice a
+    /// deterministic budget fairly across solves whose per-iteration cost
+    /// varies wildly — the root cut loop caps each separation round's
+    /// re-solve at a multiple of the root solve's ticks this way.
+    pub work_limit: u64,
     /// Engine selection (sparse LU, explicit inverse, or dense tableau).
     pub engine: LpEngine,
     /// Dual pricing rule; a Bland-style anti-cycling guard overrides
@@ -133,6 +149,10 @@ pub struct LpConfig {
     /// Forrest–Tomlin updates (the default) or the product-form eta file
     /// (kept as the differential-testing oracle).
     pub update: UpdateRule,
+    /// How refactorisation picks pivots: live Markowitz counts on the
+    /// active submatrix (the default) or the legacy static column-count
+    /// preorder (kept as the differential-testing oracle).
+    pub ordering: MarkowitzOrdering,
     /// Enables the bound-flipping (long-step) dual ratio test.
     pub bound_flips: bool,
     /// Anti-degeneracy cost perturbation on *cold* revised-simplex starts:
@@ -152,11 +172,13 @@ impl Default for LpConfig {
     fn default() -> Self {
         LpConfig {
             max_iterations: 200_000,
+            work_limit: u64::MAX,
             engine: LpEngine::SparseLu,
             pricing: PricingRule::Devex,
-            refactor_interval: 64,
+            refactor_interval: 96,
             eta_fill_factor: 3.0,
             update: UpdateRule::default(),
+            ordering: MarkowitzOrdering::default(),
             bound_flips: true,
             perturb: true,
             perturb_seed: 0,
@@ -172,6 +194,7 @@ impl LpConfig {
             refactor_interval: self.refactor_interval,
             eta_fill_factor: self.eta_fill_factor,
             update: self.update,
+            ordering: self.ordering,
         }
     }
 }
@@ -754,7 +777,7 @@ pub(crate) fn solve_relaxation_dense(
         if phase1_obj <= TOL * (1.0 + m as f64) {
             break;
         }
-        if iters_left == 0 {
+        if iters_left == 0 || tab.work_ticks >= config.work_limit {
             return finish(model, &tab, LpStatus::IterLimit);
         }
         if phase1_obj < last_obj - TOL {
@@ -800,7 +823,7 @@ pub(crate) fn solve_relaxation_dense(
     stall = 0;
     last_obj = f64::INFINITY;
     loop {
-        if iters_left == 0 {
+        if iters_left == 0 || tab.work_ticks >= config.work_limit {
             return finish(model, &tab, LpStatus::IterLimit);
         }
         let obj: f64 = current_objective(model, &tab);

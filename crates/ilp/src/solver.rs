@@ -121,6 +121,20 @@ impl SolverConfig {
     /// cuts). Shared with the bench harness like
     /// [`SolverConfig::MAX_CUTS_PER_ROUND`].
     pub const CUT_STALL_LIMIT: u32 = 2;
+    /// Deterministic-tick budget for each cut round's re-solve, as a
+    /// multiple of the root solve's own ticks. Massively degenerate roots
+    /// (set partitioning) can make the re-solve after a cut batch orders
+    /// of magnitude costlier than the root solve itself while moving the
+    /// bound not at all; the stall guard only reacts *after* paying for
+    /// two such rounds. This cap bounds the damage per round: a re-solve
+    /// that exceeds it reports `IterLimit` and the loop abandons cutting
+    /// (reopening the base session), exactly like a blown LP iteration
+    /// budget. Shared with the bench harness like
+    /// [`SolverConfig::MAX_CUTS_PER_ROUND`].
+    pub const CUT_ROUND_TICK_FACTOR: u64 = 32;
+    /// Floor under the per-round tick budget, so cheap root solves still
+    /// leave every cut round a workable slice.
+    pub const CUT_ROUND_TICK_FLOOR: u64 = 1 << 22;
 
     /// Returns a copy with the given deterministic-time budget.
     #[must_use]
@@ -467,7 +481,21 @@ impl<'a> Search<'a> {
     /// `warm` when enabled, and charges its deterministic work to the
     /// clock.
     fn solve_lp(&mut self, bounds: &[(f64, f64)], warm: Option<&Basis>) -> WarmLpResult {
-        let config = self.lp_config();
+        self.solve_lp_budgeted(bounds, warm, u64::MAX)
+    }
+
+    /// [`Search::solve_lp`] with a per-solve deterministic-tick cap layered
+    /// on the budget-derived iteration cap. The root cut loop slices its
+    /// re-solves this way; the engine reports [`LpStatus::IterLimit`] when
+    /// the cap trips.
+    fn solve_lp_budgeted(
+        &mut self,
+        bounds: &[(f64, f64)],
+        warm: Option<&Basis>,
+        work_limit: u64,
+    ) -> WarmLpResult {
+        let mut config = self.lp_config();
+        config.work_limit = work_limit;
         self.session.configure(config);
         let warm = if self.cfg.warm_lp { warm } else { None };
         let out = self.session.solve(bounds, warm);
@@ -516,6 +544,23 @@ impl<'a> Search<'a> {
         let mut values = out.result.values;
         summary.root_bound_before = out.result.objective;
         summary.root_bound_after = out.result.objective;
+        // No-gap guard: cuts only ever tighten the *bound*, so once the
+        // root bound already prunes against the incumbent/integral cutoff
+        // (a warm-started heuristic or an external hint may have closed
+        // the gap before the cut loop runs) there is nothing left for
+        // them to close — skip separation entirely and keep the root
+        // basis for the dives.
+        if summary.root_bound_before >= self.cutoff() {
+            return Ok((summary, basis));
+        }
+        // Per-round re-solve budget, sized off the root solve's actual
+        // cost (see [`SolverConfig::CUT_ROUND_TICK_FACTOR`]): a blown
+        // budget surfaces as `IterLimit` and abandons cutting below.
+        let round_budget = out
+            .result
+            .work_ticks
+            .saturating_mul(SolverConfig::CUT_ROUND_TICK_FACTOR)
+            .max(SolverConfig::CUT_ROUND_TICK_FLOOR);
         // Stall guard: on a degenerate root with alternate optima the
         // separator can keep finding violated-but-useless cuts forever;
         // two consecutive rounds without bound movement end the loop.
@@ -532,12 +577,13 @@ impl<'a> Search<'a> {
             let added = self.session.add_rows(rows, basis.as_ref());
             self.clock.charge(added.work_ticks);
             summary.cuts_added += added.added;
-            let out = self.solve_lp(root_bounds, added.basis.as_ref());
+            let out = self.solve_lp_budgeted(root_bounds, added.basis.as_ref(), round_budget);
             match out.result.status {
                 LpStatus::Optimal => {}
                 LpStatus::Infeasible => return Err(()),
                 LpStatus::Unbounded | LpStatus::IterLimit => {
-                    // The reoptimisation blew its LP budget slice —
+                    // The reoptimisation blew its round tick budget or
+                    // its LP iteration slice —
                     // massive dual degeneracy can make even valid cuts
                     // uneconomical. Sessions are grow-only, so drop
                     // *every* cut by reopening on the base model; the

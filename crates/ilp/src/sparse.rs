@@ -196,6 +196,73 @@ impl CscMatrix {
             values,
         }
     }
+
+    /// Builds the row-major ([`RowMajor`]) companion view of this matrix
+    /// — a counting sort over the row indices, `O(nnz + m + n)`. Columns
+    /// come out ascending within each row because the columns are visited
+    /// in order.
+    #[must_use]
+    pub fn to_row_major(&self) -> RowMajor {
+        let mut row_ptr = vec![0usize; self.m + 1];
+        for &i in &self.row_idx {
+            row_ptr[i + 1] += 1;
+        }
+        for i in 0..self.m {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut next = row_ptr.clone();
+        let mut col_idx = vec![0usize; self.values.len()];
+        let mut values = vec![0.0f64; self.values.len()];
+        for j in 0..self.n {
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                let slot = next[i];
+                next[i] += 1;
+                col_idx[slot] = j;
+                values[slot] = v;
+            }
+        }
+        RowMajor {
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// Row-major (CSR) companion view of a [`CscMatrix`].
+///
+/// The revised simplex prices the dual row `ρ = e_r B⁻¹` against the
+/// structural columns. Column-wise that is a dense sweep — `αⱼ = ρ·Aⱼ`
+/// for every column — but row-wise only the columns adjacent to `ρ`'s
+/// non-zero rows can produce a non-zero `αⱼ`, which needs the row
+/// adjacency the CSC layout cannot provide. The engine builds this view
+/// once per install and rebuilds it after row growth.
+#[derive(Debug, Clone, Default)]
+pub struct RowMajor {
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl RowMajor {
+    /// The `(col_indices, values)` slices of row `i` (columns ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Non-zero count of row `i`.
+    #[must_use]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +351,27 @@ mod tests {
         assert_eq!(rows, &[0, 2]);
         assert_eq!(vals, &[1.0, 3.0]);
         assert_eq!(b.col_nnz(1), 1, "cancelled duplicate dropped");
+    }
+
+    #[test]
+    fn row_major_matches_column_view() {
+        let a = CscMatrix::from_columns(
+            3,
+            &[
+                vec![(0, 1.0), (2, 5.0)],
+                vec![(1, 3.0)],
+                vec![(0, 2.0), (1, -1.0), (2, 4.0)],
+                vec![],
+            ],
+        );
+        let r = a.to_row_major();
+        assert_eq!(r.row(0), (&[0usize, 2][..], &[1.0, 2.0][..]));
+        assert_eq!(r.row(1), (&[1usize, 2][..], &[3.0, -1.0][..]));
+        assert_eq!(r.row(2), (&[0usize, 2][..], &[5.0, 4.0][..]));
+        assert_eq!(r.row_nnz(2), 2);
+        // Every stored entry appears exactly once, at the same value.
+        let total: usize = (0..3).map(|i| r.row_nnz(i)).sum();
+        assert_eq!(total, a.nnz());
     }
 
     #[test]

@@ -14,9 +14,29 @@
 use croxmap_ilp::backend::{LpBackend, LpSession, RevisedBackend, TableauBackend};
 use croxmap_ilp::cuts::CutSeparator;
 use croxmap_ilp::simplex::{LpConfig, LpStatus};
-use croxmap_ilp::{LpEngine, Model, UpdateRule, VarId};
+use croxmap_ilp::{LpEngine, Model, PricingRule, UpdateRule, VarId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Pricing rule under test: `CROXMAP_TEST_PRICING` selects `devex` (the
+/// default), `steepest` or `dantzig`, so CI re-runs this whole suite
+/// under each pricing rule without a code change — every property here
+/// must hold regardless of how the dual loop picks its leaving row.
+fn test_pricing() -> PricingRule {
+    match std::env::var("CROXMAP_TEST_PRICING").as_deref() {
+        Ok("steepest") => PricingRule::SteepestEdge,
+        Ok("dantzig") => PricingRule::Dantzig,
+        _ => PricingRule::Devex,
+    }
+}
+
+/// [`LpConfig::default`] with the suite's pricing override applied.
+fn default_cfg() -> LpConfig {
+    LpConfig {
+        pricing: test_pricing(),
+        ..LpConfig::default()
+    }
+}
 
 /// A seeded random 0/1 model with mixed ≤/≥/= rows, the family the
 /// warm-start and presolve suites use.
@@ -103,7 +123,7 @@ fn all_backends(model: &Model) -> Vec<(String, LpSession)> {
         let cfg = LpConfig {
             engine: LpEngine::SparseLu,
             update,
-            ..LpConfig::default()
+            ..default_cfg()
         };
         let backend: Box<dyn LpBackend> = Box::new(RevisedBackend::new(LpEngine::SparseLu));
         out.push((
@@ -113,7 +133,7 @@ fn all_backends(model: &Model) -> Vec<(String, LpSession)> {
     }
     let cfg = LpConfig {
         engine: LpEngine::DenseInverse,
-        ..LpConfig::default()
+        ..default_cfg()
     };
     let backend: Box<dyn LpBackend> = Box::new(RevisedBackend::new(LpEngine::DenseInverse));
     out.push((
@@ -122,7 +142,7 @@ fn all_backends(model: &Model) -> Vec<(String, LpSession)> {
     ));
     let cfg = LpConfig {
         engine: LpEngine::DenseTableau,
-        ..LpConfig::default()
+        ..default_cfg()
     };
     let backend: Box<dyn LpBackend> = Box::new(TableauBackend);
     out.push((
@@ -192,7 +212,7 @@ fn incremental_rows_match_rebuilt_model_on_every_backend() {
         };
         let bounds = model_bounds(&model);
         // Reference fractional point + cuts from the default engine.
-        let mut probe = LpSession::open(&model, LpConfig::default());
+        let mut probe = LpSession::open(&model, default_cfg());
         let root = probe.solve(&bounds, None);
         if root.result.status != LpStatus::Optimal {
             continue;
@@ -212,7 +232,7 @@ fn incremental_rows_match_rebuilt_model_on_every_backend() {
         }
         let tableau_cfg = LpConfig {
             engine: LpEngine::DenseTableau,
-            ..LpConfig::default()
+            ..default_cfg()
         };
         let want = LpSession::open(&rebuilt, tableau_cfg).solve(&bounds, None);
         assert_eq!(want.result.status, LpStatus::Optimal, "cuts are valid");
@@ -247,7 +267,7 @@ fn cuts_never_cut_off_integer_feasible_points() {
         };
         let bounds = model_bounds(&model);
         let feasible = feasible_points(&model);
-        let mut session = LpSession::open(&model, LpConfig::default());
+        let mut session = LpSession::open(&model, default_cfg());
         let root = session.solve(&bounds, None);
         if root.result.status != LpStatus::Optimal {
             continue;
@@ -287,7 +307,7 @@ fn integral_optimum_separates_nothing() {
     for seed in 0..40u64 {
         let model = random_model(seed);
         let bounds = model_bounds(&model);
-        let mut session = LpSession::open(&model, LpConfig::default());
+        let mut session = LpSession::open(&model, default_cfg());
         let root = session.solve(&bounds, None);
         if root.result.status != LpStatus::Optimal {
             continue;

@@ -10,7 +10,7 @@
 //! cycle must be bit-for-bit deterministic across runs under either
 //! update rule.
 
-use croxmap_ilp::{CscMatrix, DenseInverse, FactorOpts, LuFactors, UpdateRule};
+use croxmap_ilp::{CscMatrix, DenseInverse, FactorOpts, LuFactors, MarkowitzOrdering, UpdateRule};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -390,6 +390,182 @@ fn hyper_sparse_and_scanning_kernels_agree_exactly() {
     }
 }
 
+/// The pattern-threading entry points ([`LuFactors::ftran_sparse_tracked`]
+/// and [`LuFactors::btran_unit_tracked`]) run the same hyper-sparse
+/// kernels as the scanning path and merely capture the result pattern on
+/// the side — so their numeric results must match the scanning oracle
+/// **exactly**, the captured pattern must be a sorted duplicate-free
+/// superset of the result's non-zeros, and feeding a captured pattern
+/// into the *next* dependent solve (the reuse the engine performs every
+/// iteration) must again match the oracle exactly.
+#[test]
+fn tracked_kernels_match_scan_kernels_and_chain_patterns() {
+    for rule in [UpdateRule::ProductForm, UpdateRule::ForrestTomlin] {
+        let opts = opts_for(rule);
+        let mut tracked_solves = 0u32;
+        for seed in 800..840u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let m = rng.gen_range(6usize..=14);
+            let n = rng.gen_range(m..=2 * m);
+            let a = random_csc(&mut rng, m, n);
+            let mut basis: Vec<usize> = (n..n + m).collect();
+            let mut scan = LuFactors::identity(m);
+            let mut track = LuFactors::identity(m);
+            scan.set_hyper_density_cutoff(0.0); // always the scanning kernels
+            track.set_hyper_density_cutoff(1.0); // always the reach kernels
+            assert!(scan.factorize(&basis, &a, n));
+            assert!(track.factorize(&basis, &a, n));
+            let mut result_pat = Vec::new();
+            let mut next_pat = Vec::new();
+            for q in 0..n {
+                let r = rng.gen_range(0..m);
+                // FTRAN of the raw column, tracked vs oracle.
+                let mut x1 = vec![0.0; m];
+                a.axpy_col(&mut x1, 1.0, q);
+                let mut x2 = x1.clone();
+                let (rows, _) = a.col(q);
+                let hit = track.ftran_sparse_tracked(&mut x1, rows, &mut result_pat);
+                scan.ftran(&mut x2);
+                assert_eq!(x1, x2, "{rule:?} seed {seed} col {q}: tracked ftran");
+                if hit {
+                    tracked_solves += 1;
+                    assert!(
+                        result_pat.windows(2).all(|w| w[0] < w[1]),
+                        "{rule:?} seed {seed} col {q}: pattern not sorted/deduped"
+                    );
+                    for (i, &v) in x1.iter().enumerate() {
+                        assert!(
+                            v == 0.0 || result_pat.contains(&i),
+                            "{rule:?} seed {seed} col {q}: non-zero {i} outside pattern"
+                        );
+                    }
+                    // Thread the captured pattern into a dependent solve,
+                    // exactly like the engine seeding its next FTRAN.
+                    let mut y1 = x1.clone();
+                    let mut y2 = x1.clone();
+                    let rehit = track.ftran_sparse_tracked(&mut y1, &result_pat, &mut next_pat);
+                    scan.ftran(&mut y2);
+                    assert_eq!(y1, y2, "{rule:?} seed {seed} col {q}: chained ftran");
+                    if rehit {
+                        tracked_solves += 1;
+                    }
+                }
+                // Unit BTRAN, tracked vs oracle.
+                let mut u1 = vec![0.0; m];
+                let mut u2 = vec![0.0; m];
+                u2[r] = 1.0;
+                let bhit = track.btran_unit_tracked(r, &mut u1, &mut result_pat);
+                scan.btran(&mut u2);
+                assert_eq!(u1, u2, "{rule:?} seed {seed} row {r}: tracked btran");
+                if bhit {
+                    tracked_solves += 1;
+                    assert!(
+                        result_pat.windows(2).all(|w| w[0] < w[1]),
+                        "{rule:?} seed {seed} row {r}: btran pattern not sorted/deduped"
+                    );
+                    for (i, &v) in u1.iter().enumerate() {
+                        assert!(
+                            v == 0.0 || result_pat.contains(&i),
+                            "{rule:?} seed {seed} row {r}: non-zero {i} outside btran pattern"
+                        );
+                    }
+                }
+                // Layer a pivot update so the kernels run over a growing
+                // eta/transform file, where the duplicate-pattern hazard
+                // actually lives.
+                if x1[r].abs() < 1e-6 || basis.contains(&q) {
+                    continue;
+                }
+                basis[r] = q;
+                let ok1 = scan.update(r, &x2, &opts);
+                let ok2 = track.update(r, &x1, &opts);
+                assert_eq!(ok1, ok2, "{rule:?} seed {seed}: update verdict");
+                if !ok1 {
+                    assert!(scan.factorize(&basis, &a, n));
+                    assert!(track.factorize(&basis, &a, n));
+                }
+            }
+        }
+        assert!(
+            tracked_solves > 400,
+            "{rule:?}: too few tracked solves: {tracked_solves}"
+        );
+    }
+}
+
+/// Runs one pivot/refactorisation cycle under `ordering` (refactorising
+/// every third update, so the ordering actually decides pivots) and
+/// returns every intermediate FTRAN image of a fixed probe vector.
+fn ordering_trace(seed: u64, ordering: MarkowitzOrdering) -> Vec<Vec<f64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m = 10;
+    let n = 16;
+    let a = random_csc(&mut rng, m, n);
+    let mut basis: Vec<usize> = (n..n + m).collect();
+    let opts = FactorOpts {
+        refactor_interval: 3,
+        ordering,
+        ..FactorOpts::default()
+    };
+    let mut lu = LuFactors::identity(m);
+    lu.set_ordering(ordering);
+    assert!(lu.factorize(&basis, &a, n));
+    let probe: Vec<f64> = (0..m).map(|i| 1.0 + i as f64).collect();
+    let mut trace = Vec::new();
+    for q in 0..n {
+        let r = rng.gen_range(0..m);
+        let mut w = vec![0.0; m];
+        a.axpy_col(&mut w, 1.0, q);
+        lu.ftran(&mut w);
+        if w[r].abs() < 1e-6 || basis.contains(&q) {
+            continue;
+        }
+        basis[r] = q;
+        if !lu.update(r, &w, &opts) || lu.needs_refactor(&opts) {
+            assert!(lu.factorize(&basis, &a, n));
+        }
+        let mut beta = probe.clone();
+        lu.ftran(&mut beta);
+        trace.push(beta);
+    }
+    assert!(trace.len() >= 4, "seed {seed}: trace too short");
+    trace
+}
+
+#[test]
+fn markowitz_orderings_bit_deterministic_and_numerically_agree() {
+    for seed in [11u64, 77, 4242] {
+        // Each ordering must be bit-for-bit reproducible at a fixed seed —
+        // the dynamic ordering's tie-breaks are deterministic, not
+        // hash-order accidents.
+        for ordering in [
+            MarkowitzOrdering::Dynamic,
+            MarkowitzOrdering::StaticColCount,
+        ] {
+            let t1 = ordering_trace(seed, ordering);
+            let t2 = ordering_trace(seed, ordering);
+            assert_eq!(t1.len(), t2.len());
+            for (step, (b1, b2)) in t1.iter().zip(&t2).enumerate() {
+                for (i, (x, y)) in b1.iter().zip(b2).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{ordering:?} seed {seed} step {step} entry {i}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+        // And across orderings the *results* must agree numerically: the
+        // pivot sequences differ, the factorised operator does not.
+        let dynamic = ordering_trace(seed, MarkowitzOrdering::Dynamic);
+        let fixed = ordering_trace(seed, MarkowitzOrdering::StaticColCount);
+        assert_eq!(dynamic.len(), fixed.len());
+        for (step, (b1, b2)) in dynamic.iter().zip(&fixed).enumerate() {
+            assert_close(b1, b2, 1e-8, &format!("seed {seed} step {step} orderings"));
+        }
+    }
+}
+
 /// Runs one update-accumulation + forced-refactorisation cycle under
 /// `rule` and returns every intermediate FTRAN image of a fixed probe
 /// vector.
@@ -407,6 +583,7 @@ fn update_refactor_trace(seed: u64, rule: UpdateRule) -> Vec<Vec<f64>> {
         refactor_interval: 3,
         eta_fill_factor: 8.0,
         update: rule,
+        ..FactorOpts::default()
     };
     for q in 0..n {
         let r = rng.gen_range(0..m);
