@@ -53,8 +53,8 @@ use croxmap_gen::calibrated::{generate, NetworkSpec};
 use croxmap_ilp::presolve::{presolve, PresolveConfig, PresolveOutcome, PresolveStats};
 use croxmap_ilp::simplex::{self, LpStatus};
 use croxmap_ilp::{
-    Cut, CutSeparator, FactorStats, LpSession, Model, ParallelMode, PricingRule, Solver,
-    SolverConfig, TICKS_PER_SECOND,
+    Cut, CutSeparator, DeterministicClock, FactorStats, LpSession, Model, ParallelMode, Phase,
+    PhaseBreakdown, PricingRule, Solver, SolverConfig,
 };
 use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarPool};
 use std::fmt::Write as _;
@@ -208,6 +208,9 @@ struct WarmColdRecord {
     factor: Option<FactorStats>,
     /// Root cutting-plane trajectory (cuts_root rows only).
     cuts: Option<CutsRootInfo>,
+    /// Deterministic-tick split across solver phases. All-zero on rows
+    /// that never enter `Solver::solve` (LP chains, cold roots).
+    phases: PhaseBreakdown,
 }
 
 /// What one root cut loop achieved, for the `cuts_root/*` rows.
@@ -261,13 +264,14 @@ fn measure_bb(name: &str, model: &Model, warm_lp: bool) -> WarmColdRecord {
         mode: if warm_lp { "warm" } else { "cold" },
         nodes: result.nodes,
         det_seconds: result.det_time,
-        work_ticks: (result.det_time * TICKS_PER_SECOND as f64) as u64,
+        work_ticks: DeterministicClock::seconds_to_ticks(result.det_time),
         wall_seconds: wall,
         objective: result.best.as_ref().map(croxmap_ilp::Solution::objective),
         presolve: Some(result.presolve),
         fallbacks: result.lp_fallbacks,
         factor: None,
         cuts: None,
+        phases: result.phases,
     }
 }
 
@@ -293,13 +297,14 @@ fn measure_bb_presolve(name: &str, model: &Model, presolve_on: bool) -> WarmCold
         mode: if presolve_on { "on" } else { "off" },
         nodes: result.nodes,
         det_seconds: result.det_time,
-        work_ticks: (result.det_time * TICKS_PER_SECOND as f64) as u64,
+        work_ticks: DeterministicClock::seconds_to_ticks(result.det_time),
         wall_seconds: wall,
         objective: result.best.as_ref().map(croxmap_ilp::Solution::objective),
         presolve: presolve_on.then_some(result.presolve),
         fallbacks: result.lp_fallbacks,
         factor: None,
         cuts: None,
+        phases: result.phases,
     }
 }
 
@@ -330,13 +335,14 @@ fn measure_parallel_bb(
         mode,
         nodes: result.nodes,
         det_seconds: result.det_time,
-        work_ticks: (result.det_time * TICKS_PER_SECOND as f64) as u64,
+        work_ticks: DeterministicClock::seconds_to_ticks(result.det_time),
         wall_seconds: wall,
         objective: result.best.as_ref().map(croxmap_ilp::Solution::objective),
         presolve: None,
         fallbacks: result.lp_fallbacks,
         factor: Some(result.factor),
         cuts: None,
+        phases: result.phases,
     }
 }
 
@@ -366,7 +372,7 @@ fn measure_cold_root(name: &str, model: &Model, mode: &'static str) -> WarmColdR
         instance: format!("cold_root/{name}"),
         mode,
         nodes: 1,
-        det_seconds: result.work_ticks as f64 / TICKS_PER_SECOND as f64,
+        det_seconds: DeterministicClock::ticks_to_seconds(result.work_ticks),
         work_ticks: result.work_ticks,
         wall_seconds: wall,
         objective: Some(result.objective),
@@ -374,6 +380,7 @@ fn measure_cold_root(name: &str, model: &Model, mode: &'static str) -> WarmColdR
         fallbacks: u64::from(result.dense_fallback),
         factor: Some(result.factor),
         cuts: None,
+        phases: PhaseBreakdown::default(),
     }
 }
 
@@ -463,7 +470,7 @@ fn measure_lp_chain_with(
         instance: format!("lp_chain/{name}"),
         mode: if warm { "warm" } else { "cold" },
         nodes: solves,
-        det_seconds: ticks as f64 / TICKS_PER_SECOND as f64,
+        det_seconds: DeterministicClock::ticks_to_seconds(ticks),
         work_ticks: ticks,
         wall_seconds: wall,
         objective: Some(last_obj),
@@ -471,6 +478,7 @@ fn measure_lp_chain_with(
         fallbacks,
         factor: Some(factor),
         cuts: None,
+        phases: PhaseBreakdown::default(),
     }
 }
 
@@ -576,7 +584,7 @@ fn measure_cuts_root(name: &str, model: &Model) -> WarmColdRecord {
         instance: format!("cuts_root/{name}"),
         mode: "cuts",
         nodes: solves,
-        det_seconds: ticks as f64 / TICKS_PER_SECOND as f64,
+        det_seconds: DeterministicClock::ticks_to_seconds(ticks),
         work_ticks: ticks,
         wall_seconds: wall,
         objective: Some(bound_after),
@@ -592,6 +600,7 @@ fn measure_cuts_root(name: &str, model: &Model) -> WarmColdRecord {
             incremental_batches: session.stats().incremental_row_batches,
             gap_closed_pct,
         }),
+        phases: PhaseBreakdown::default(),
     }
 }
 
@@ -662,6 +671,16 @@ fn render_json(records: &[WarmColdRecord]) -> String {
                 c.rows_added,
                 c.monotone,
                 c.incremental_batches,
+            );
+        }
+        // Deterministic-tick phase split (satellite of the observability
+        // PR): all-zero on rows that never enter `Solver::solve`.
+        for phase in Phase::ALL {
+            let _ = write!(
+                out,
+                ", \"phase_{}_ticks\": {}",
+                phase.name(),
+                r.phases.ticks(phase)
             );
         }
         out.push('}');
@@ -754,7 +773,7 @@ fn measure_pricing_ablation(records: &mut Vec<WarmColdRecord>) {
             instance: "pricing_ablation/cold_root/set_partition/scaled_a_16".to_owned(),
             mode: label,
             nodes: 1,
-            det_seconds: out.result.work_ticks as f64 / TICKS_PER_SECOND as f64,
+            det_seconds: DeterministicClock::ticks_to_seconds(out.result.work_ticks),
             work_ticks: out.result.work_ticks,
             wall_seconds: wall,
             objective: Some(round_objective(out.result.objective)),
@@ -762,6 +781,7 @@ fn measure_pricing_ablation(records: &mut Vec<WarmColdRecord>) {
             fallbacks: u64::from(out.result.dense_fallback),
             factor: Some(out.result.factor),
             cuts: None,
+            phases: PhaseBreakdown::default(),
         });
     }
 }

@@ -1,0 +1,111 @@
+//! Validates solver JSONL traces and prints a top-k span/phase tick
+//! table.
+//!
+//! ```text
+//! trace_report [--top K] <file.jsonl | dir>...
+//! ```
+//!
+//! Every argument is a trace file or a directory scanned (non-recursively)
+//! for `*.jsonl`. Each file is validated against the trace schema
+//! (`croxmap_bench::trace_check`); any violation prints the offending
+//! file and line and exits 1 — this is the CI gate behind
+//! `CROXMAP_TEST_TRACE=jsonl`. On success the aggregated summary renders
+//! two tables: span kinds by total deterministic ticks, and the phase
+//! breakdown summed over every traced solve.
+
+use croxmap_bench::trace_check::{validate_jsonl, TraceSummary};
+use croxmap_ilp::DeterministicClock;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn collect_inputs(args: &[String]) -> (Vec<PathBuf>, usize) {
+    let mut files = Vec::new();
+    let mut top = 10usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--top" {
+            if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                top = v;
+            }
+            continue;
+        }
+        let path = Path::new(a);
+        if path.is_dir() {
+            let mut found: Vec<PathBuf> = std::fs::read_dir(path)
+                .into_iter()
+                .flatten()
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+                .collect();
+            found.sort();
+            files.extend(found);
+        } else {
+            files.push(path.to_path_buf());
+        }
+    }
+    (files, top)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: trace_report [--top K] <file.jsonl | dir>...");
+        return ExitCode::FAILURE;
+    }
+    let (files, top) = collect_inputs(&args);
+    if files.is_empty() {
+        eprintln!("trace_report: no .jsonl inputs found");
+        return ExitCode::FAILURE;
+    }
+    let mut summary = TraceSummary::default();
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace_report: {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = validate_jsonl(&text, &mut summary) {
+            eprintln!("trace_report: {}: schema violation: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "trace_report: {} file(s), {} line(s), {} solve(s), {} progress row(s) — schema ok",
+        files.len(),
+        summary.lines,
+        summary.solves,
+        summary.progress_rows
+    );
+    println!("\ntop {top} span kinds by deterministic ticks:");
+    println!(
+        "{:>14} {:>14} {:>12} {:>12}",
+        "kind", "ticks", "det-sec", "events"
+    );
+    for (kind, ticks, events) in summary.spans_by_ticks().into_iter().take(top) {
+        println!(
+            "{:>14} {:>14} {:>12.4} {:>12}",
+            kind.name(),
+            ticks,
+            DeterministicClock::ticks_to_seconds(ticks),
+            events
+        );
+    }
+    println!("\nphase breakdown over all solves:");
+    println!(
+        "{:>14} {:>14} {:>12} {:>12}",
+        "phase", "ticks", "det-sec", "ops"
+    );
+    for (phase, ticks, counts) in summary.phases_by_ticks().into_iter().take(top) {
+        println!(
+            "{:>14} {:>14} {:>12.4} {:>12}",
+            phase.name(),
+            ticks,
+            DeterministicClock::ticks_to_seconds(ticks),
+            counts
+        );
+    }
+    ExitCode::SUCCESS
+}

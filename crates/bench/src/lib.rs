@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod trace_check;
+
 use croxmap_core::pipeline::PipelineConfig;
 use croxmap_gen::calibrated::{generate, NetworkSpec};
 use croxmap_mca::{ArchitectureSpec, AreaModel, CrossbarDim, CrossbarPool};

@@ -265,6 +265,10 @@ pub struct SessionStats {
     /// Row batches that fell back to a snapshot reinstall (one
     /// refactorisation at the grown dimensions on the next solve).
     pub rebuilt_row_batches: u64,
+    /// Deterministic work ticks metered through the session (solves, row
+    /// growth and objective swaps combined) — the session's own slice of
+    /// the solver's clock, for per-session observability.
+    pub work_ticks: u64,
 }
 
 /// Outcome of [`LpSession::add_rows`].
@@ -389,6 +393,7 @@ impl LpSession {
         // Crossed overrides mean an infeasible node; no engine needed.
         for &(l, u) in bounds {
             if l > u + TOL {
+                self.stats.work_ticks += 1;
                 return WarmLpResult {
                     result: LpResult {
                         status: LpStatus::Infeasible,
@@ -417,6 +422,7 @@ impl LpSession {
                     if result.dense_fallback {
                         self.stats.dense_fallbacks += 1;
                     }
+                    self.stats.work_ticks += result.work_ticks;
                     return WarmLpResult { result, basis };
                 }
                 Err(s) => spent = s,
@@ -427,6 +433,7 @@ impl LpSession {
         if result.dense_fallback {
             self.stats.dense_fallbacks += 1;
         }
+        self.stats.work_ticks += result.work_ticks;
         WarmLpResult {
             result,
             basis: None,
@@ -479,6 +486,7 @@ impl LpSession {
         } else {
             (None, 0)
         };
+        self.stats.work_ticks += work;
         match grown {
             Some(b) => {
                 self.stats.incremental_row_batches += 1;
@@ -517,11 +525,13 @@ impl LpSession {
     /// next solve runs cold. Returns `(kept_warm, work_ticks)`.
     pub fn set_objective(&mut self, objective: crate::expr::LinExpr) -> (bool, u64) {
         self.view.set_objective(objective);
-        if self.backend.caps().objective_deltas {
+        let out = if self.backend.caps().objective_deltas {
             self.backend.absorb_objective(&self.view)
         } else {
             (false, 0)
-        }
+        };
+        self.stats.work_ticks += out.1;
+        out
     }
 }
 

@@ -69,7 +69,21 @@ impl DeterministicClock {
     /// Elapsed deterministic seconds.
     #[must_use]
     pub fn seconds(&self) -> f64 {
-        self.ticks as f64 / TICKS_PER_SECOND as f64
+        DeterministicClock::ticks_to_seconds(self.ticks)
+    }
+
+    /// Converts raw tick counts to deterministic seconds — the one
+    /// sanctioned `/ 1e9`, so harness code never hand-rolls the rate.
+    #[must_use]
+    pub fn ticks_to_seconds(ticks: u64) -> f64 {
+        ticks as f64 / TICKS_PER_SECOND as f64
+    }
+
+    /// Converts a deterministic-second budget to ticks (saturating at
+    /// zero for negative inputs).
+    #[must_use]
+    pub fn seconds_to_ticks(seconds: f64) -> u64 {
+        (seconds.max(0.0) * TICKS_PER_SECOND as f64) as u64
     }
 }
 
@@ -97,6 +111,13 @@ mod tests {
         let worker = DeterministicClock::from_ticks(5);
         total.merge(&worker);
         assert_eq!(total.ticks(), 12);
+    }
+
+    #[test]
+    fn second_tick_conversions_round_trip() {
+        assert_eq!(DeterministicClock::ticks_to_seconds(TICKS_PER_SECOND), 1.0);
+        assert_eq!(DeterministicClock::seconds_to_ticks(2.5), 2_500_000_000);
+        assert_eq!(DeterministicClock::seconds_to_ticks(-1.0), 0);
     }
 
     #[test]

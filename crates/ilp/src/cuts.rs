@@ -69,6 +69,21 @@ impl Cut {
     }
 }
 
+/// Cumulative separation counters for one [`CutSeparator`], surfaced for
+/// observability (trace spans, bench logs). Purely observational: reading
+/// or ignoring them never changes which cuts are produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeparationStats {
+    /// Separation rounds run ([`CutSeparator::separate`] calls).
+    pub rounds: u64,
+    /// Violated candidates found before ranking/dedup truncation.
+    pub candidates: u64,
+    /// Cover cuts actually emitted.
+    pub cover_cuts: u64,
+    /// Clique cuts actually emitted.
+    pub clique_cuts: u64,
+}
+
 /// One column of a (complemented) knapsack row: weight is always
 /// positive; `complemented` marks a column whose original coefficient was
 /// negative, entering the knapsack as `x̄ = 1 − x`. Complementation is
@@ -104,6 +119,8 @@ pub struct CutSeparator {
     seen: HashSet<Vec<u32>>,
     /// Monotone name counter.
     emitted: usize,
+    /// Observational separation counters.
+    stats: SeparationStats,
 }
 
 impl CutSeparator {
@@ -237,7 +254,14 @@ impl CutSeparator {
             in_graph,
             seen: HashSet::new(),
             emitted: 0,
+            stats: SeparationStats::default(),
         }
+    }
+
+    /// The cumulative separation counters so far.
+    #[must_use]
+    pub fn stats(&self) -> SeparationStats {
+        self.stats
     }
 
     /// Whether any separation is possible at all on this model.
@@ -254,6 +278,8 @@ impl CutSeparator {
         let mut cuts = Vec::new();
         self.separate_covers(x, &mut cuts);
         self.separate_cliques(x, &mut cuts);
+        self.stats.rounds += 1;
+        self.stats.candidates += cuts.len() as u64;
         cuts.sort_by(|a, b| {
             b.violation
                 .partial_cmp(&a.violation)
@@ -283,8 +309,14 @@ impl CutSeparator {
             let tag = self.emitted;
             self.emitted += 1;
             cut.name = match cut.kind {
-                CutKind::Cover => format!("cover{tag}"),
-                CutKind::Clique => format!("clique{tag}"),
+                CutKind::Cover => {
+                    self.stats.cover_cuts += 1;
+                    format!("cover{tag}")
+                }
+                CutKind::Clique => {
+                    self.stats.clique_cuts += 1;
+                    format!("clique{tag}")
+                }
             };
             out.push(cut);
         }

@@ -193,6 +193,12 @@ pub struct FactorStats {
     pub update_nnz: u64,
     /// Successful refactorisations performed.
     pub refactors: u64,
+    /// Deterministic work ticks metered inside those refactorisations
+    /// (elimination + triangular-extraction ops) — the slice of the LP
+    /// engine's `work_ticks` that
+    /// [`SpanKind::Refactor`](crate::trace::SpanKind::Refactor) spans
+    /// report.
+    pub refactor_ticks: u64,
     /// Peak of `update file size / refactor policy bound` observed at an
     /// update. Values slightly above 1.0 are normal (the policy is
     /// checked after the pivot that crosses it); sustained growth beyond
@@ -212,6 +218,7 @@ impl FactorStats {
         self.updates += other.updates;
         self.update_nnz += other.update_nnz;
         self.refactors += other.refactors;
+        self.refactor_ticks += other.refactor_ticks;
         self.growth_peak = self.growth_peak.max(other.growth_peak);
     }
 }
@@ -651,10 +658,15 @@ impl LuFactors {
     /// (or hopelessly ill-conditioned); the factors are then unusable
     /// until the next successful call.
     pub fn factorize(&mut self, cols: &[usize], a: &CscMatrix, n_struct: usize) -> bool {
-        match self.ordering {
+        let work_before = self.work;
+        let ok = match self.ordering {
             MarkowitzOrdering::Dynamic => self.factorize_dynamic(cols, a, n_struct),
             MarkowitzOrdering::StaticColCount => self.factorize_static(cols, a, n_struct),
-        }
+        };
+        // Attribute the metered elimination work to the refactorisation
+        // bucket so traces can split solve vs refactor time.
+        self.stats.refactor_ticks += self.work - work_before;
+        ok
     }
 
     /// Shared prologue of both factorisation paths: clears the update
@@ -2756,6 +2768,7 @@ mod tests {
         assert_eq!(lu.take_work(), 0);
         let stats = lu.take_stats();
         assert_eq!(stats.refactors, 1);
+        assert!(stats.refactor_ticks > 0);
         assert_eq!(lu.take_stats(), FactorStats::default());
     }
 }

@@ -139,6 +139,65 @@
 //! assert!((cut.result.objective - 1.0).abs() < 1e-6);
 //! ```
 //!
+//! ## Observability
+//!
+//! The [`trace`] module is a std-only deterministic observability layer
+//! (no `tracing`-crate dependency — the image builds offline, so like
+//! `crates/compat` everything here is hand-rolled on `std`):
+//!
+//! * **Span taxonomy** ([`trace::SpanKind`]): `PresolvePass`, `RootLp`,
+//!   `CutRound`, `Dive`, `NodeExpand`, `Refactor` and `LnsRound` events,
+//!   each stamped with the emitting worker's deterministic clock
+//!   (*start_ticks* + metered *ticks*), never wall time.
+//! * **Sinks** ([`trace::TraceSink`]): install one via
+//!   [`SolverConfig::with_trace`] wrapped in a [`trace::TraceHandle`] —
+//!   a bounded [`trace::RingSink`], a [`trace::JsonlSink`] streaming
+//!   JSON Lines, or a [`trace::ProgressLog`] rendering the
+//!   SCIP/HiGHS-style periodic table (nodes, open, incumbent, bound,
+//!   gap, det-sec).
+//! * **Phase breakdown** ([`trace::PhaseBreakdown`]): every
+//!   [`SolveResult`] reports its deterministic ticks split across
+//!   presolve / root LP / cuts / dives / tree / LNS, summing exactly to
+//!   `det_time` (an `Other` bucket absorbs unattributed driver
+//!   overhead). The breakdown is computed whether or not a sink is
+//!   installed.
+//!
+//! Determinism guarantees:
+//!
+//! * **Tracing is observation only.** Span emission never charges the
+//!   clock and never touches an RNG stream, so a traced solve produces
+//!   bit-identical nodes, `det_time`, incumbent stream and
+//!   [`FactorStats`] to the same solve untraced (pinned by regression
+//!   tests).
+//! * **No sink, no cost.** With `SolverConfig::trace = None` the solver
+//!   buffers nothing and locks nothing.
+//! * **Parallel merge order is fixed.** Workers buffer spans privately
+//!   and the driver merges the buffers in worker order (`0` = the
+//!   root/sequential context, then worker `1..=n`), so
+//!   [`ParallelMode::Deterministic`] runs at a fixed thread count emit
+//!   byte-identical JSONL run-to-run.
+//!
+//! ```
+//! use croxmap_ilp::trace::{RingSink, TraceHandle, TraceSink};
+//! use croxmap_ilp::{Model, Solver, SolverConfig};
+//! use std::sync::{Arc, Mutex};
+//!
+//! let mut m = Model::new();
+//! let x = m.add_binary("x");
+//! m.add_constraint("on", m.expr([(x, 1.0)]).geq(1.0));
+//! m.set_objective(m.expr([(x, 1.0)]));
+//!
+//! let sink: Arc<Mutex<dyn TraceSink>> = Arc::new(Mutex::new(RingSink::new(1024)));
+//! let cfg = SolverConfig::default().with_trace(TraceHandle::shared(Arc::clone(&sink)));
+//! let result = Solver::new(cfg).solve(&m);
+//! // The phase ticks sum exactly to the run's deterministic total.
+//! assert_eq!(
+//!     croxmap_ilp::DeterministicClock::ticks_to_seconds(result.phases.total_ticks()),
+//!     result.det_time,
+//! );
+//! # let _ = sink;
+//! ```
+//!
 //! ### Migrating from the pre-session entry points
 //!
 //! The free functions `simplex::solve_relaxation*` and the stateful
@@ -187,13 +246,14 @@ pub mod simplex;
 mod solution;
 mod solver;
 pub mod sparse;
+pub mod trace;
 
 pub use backend::{
     BackendCaps, LpBackend, LpSession, RevisedBackend, RowAddition, SessionStats, TableauBackend,
 };
 pub use basis::{Basis, VarStatus};
 pub use clock::{DeterministicClock, TICKS_PER_SECOND};
-pub use cuts::{Cut, CutSeparator};
+pub use cuts::{Cut, CutSeparator, SeparationStats};
 pub use expr::{Comparison, ConstraintSense, LinExpr, VarId};
 pub use factor::{DenseInverse, FactorOpts, FactorStats, LuFactors, MarkowitzOrdering, UpdateRule};
 pub use model::{Constraint, Model, ModelError, VarType, Variable};
@@ -203,3 +263,7 @@ pub use simplex::{LpEngine, PricingRule};
 pub use solution::{IncumbentEvent, Solution};
 pub use solver::{BranchRule, CutSummary, SolveResult, SolveStatus, Solver, SolverConfig};
 pub use sparse::CscMatrix;
+pub use trace::{
+    JsonlSink, Phase, PhaseBreakdown, ProgressLog, ProgressRow, RingSink, SpanEvent, SpanKind,
+    TraceHandle, TraceSink,
+};

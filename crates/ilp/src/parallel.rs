@@ -45,12 +45,13 @@
 //! [`DeterministicClock`]: crate::DeterministicClock
 
 use crate::basis::Basis;
-use crate::clock::TICKS_PER_SECOND;
+use crate::clock::DeterministicClock;
 use crate::expr::VarId;
 use crate::factor::FactorStats;
 use crate::model::Model;
 use crate::solution::{IncumbentEvent, Solution};
 use crate::solver::{NodeExpansion, Search, SolverConfig};
+use crate::trace::{Phase, PhaseBreakdown, SpanEvent};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering as AtomicOrd};
@@ -140,7 +141,7 @@ impl Exchange {
     fn new(cfg: &SolverConfig, root_ticks: u64, incumbent: Option<Arc<Solution>>) -> Self {
         let best = incumbent.as_ref().map_or(f64::INFINITY, |s| s.objective());
         let limit_ticks = if cfg.det_time_limit.is_finite() {
-            (cfg.det_time_limit * TICKS_PER_SECOND as f64) as u64
+            DeterministicClock::seconds_to_ticks(cfg.det_time_limit)
         } else {
             u64::MAX
         };
@@ -172,14 +173,15 @@ impl Exchange {
     }
 
     fn seconds(&self) -> f64 {
-        self.ticks.load(AtomicOrd::Relaxed) as f64 / TICKS_PER_SECOND as f64
+        DeterministicClock::ticks_to_seconds(self.ticks.load(AtomicOrd::Relaxed))
     }
 
     /// Aggregate deterministic seconds left in the global budget.
     pub(crate) fn remaining(&self) -> f64 {
-        self.limit_ticks
-            .saturating_sub(self.ticks.load(AtomicOrd::Relaxed)) as f64
-            / TICKS_PER_SECOND as f64
+        DeterministicClock::ticks_to_seconds(
+            self.limit_ticks
+                .saturating_sub(self.ticks.load(AtomicOrd::Relaxed)),
+        )
     }
 
     /// True once the shared budget is spent or a stop was requested.
@@ -306,6 +308,10 @@ struct WorkerOut {
     fallbacks: u64,
     factor: FactorStats,
     lns_hits: u64,
+    phases: PhaseBreakdown,
+    /// The worker's whole span buffer, appended to the root's in worker
+    /// order after the join (empty when tracing is off).
+    trace: Vec<SpanEvent>,
 }
 
 fn run_work_stealing(
@@ -369,10 +375,16 @@ fn run_work_stealing(
     }
     search.events.extend(events);
     let mut lns_hits = 0;
-    for out in &outs {
+    // `outs` joins in spawn (worker-id) order, so the trace merge order
+    // is fixed even though the events' relative timing is not.
+    for out in outs {
         search.nodes += out.nodes;
         search.lp_fallbacks += out.fallbacks;
         search.factor.merge(&out.factor);
+        search.phases.merge(&out.phases);
+        if let Some(buf) = search.trace.as_mut() {
+            buf.events.extend(out.trace);
+        }
         lns_hits += out.lns_hits;
     }
     let steals = exchange.steals.load(AtomicOrd::Relaxed);
@@ -432,6 +444,8 @@ fn ws_worker(
     deques: &[Mutex<VecDeque<PNode>>],
 ) -> WorkerOut {
     let mut search = Search::with_context(view, cfg, worker_seed(cfg.seed, id), Some(exchange));
+    search.set_trace_worker(id as u32 + 1);
+    search.set_phase(Phase::Tree);
     // The last worker races diversified LNS against the tree once an
     // incumbent exists (it helps expand the tree until then).
     let heuristic = cfg.enable_lns && id == n - 1 && view.binary_vars().next().is_some();
@@ -466,6 +480,7 @@ fn ws_worker(
             // LNS rounds always consume clock; guard against zero-cost
             // loops exactly like the sequential polish loop.
             search.clock.charge(1_000);
+            search.phases.add(Phase::Lns, 1_000, 0);
             exchange.charge(1_000);
             if exchange.best_objective() < before - 1e-9 {
                 lns_hits += 1;
@@ -528,6 +543,8 @@ fn ws_worker(
         fallbacks: search.lp_fallbacks,
         factor: search.factor,
         lns_hits,
+        phases: search.phases,
+        trace: search.trace.take().map_or_else(Vec::new, |buf| buf.events),
     }
 }
 
@@ -598,6 +615,11 @@ struct DetOut {
     nodes: u64,
     fallbacks: u64,
     factor: FactorStats,
+    /// Cumulative phase attribution (folded like `factor`).
+    phases: PhaseBreakdown,
+    /// Span events buffered since the last epoch (drained each reply, so
+    /// the coordinator accumulates them per worker in deal order).
+    trace: Vec<SpanEvent>,
 }
 
 /// Coordinator heap entry: min bound first, then *newest* node id —
@@ -638,6 +660,8 @@ fn det_worker(
     tx: &mpsc::Sender<DetOut>,
 ) {
     let mut search = Search::with_context(view, cfg, worker_seed(cfg.seed, id), None);
+    search.set_trace_worker(id as u32 + 1);
+    search.set_phase(Phase::Tree);
     let mut bounds_buf = root_bounds.to_vec();
     let mut events_seen = 0usize;
     while let Ok(task) = rx.recv() {
@@ -709,6 +733,7 @@ fn det_worker(
                 search.set_task_budget(remaining);
                 search.lns_round(root_bounds, &mut |_| {});
                 search.clock.charge(1_000);
+                search.phases.add(Phase::Lns, 1_000, 0);
                 // Report the round's local improvements; the coordinator
                 // re-verifies them against the global incumbent.
                 lns_events.extend(search.events[events_seen..].iter().cloned());
@@ -723,6 +748,11 @@ fn det_worker(
             nodes: search.nodes,
             fallbacks: search.lp_fallbacks,
             factor: search.factor,
+            phases: search.phases,
+            trace: search
+                .trace
+                .as_mut()
+                .map_or_else(Vec::new, |buf| std::mem::take(&mut buf.events)),
         };
         if tx.send(out).is_err() {
             break;
@@ -772,6 +802,8 @@ fn run_deterministic(
         let mut prev_nodes = vec![0u64; n];
         let mut last_fallbacks = vec![0u64; n];
         let mut last_factor = vec![FactorStats::default(); n];
+        let mut last_phases = vec![PhaseBreakdown::default(); n];
+        let mut worker_trace: Vec<Vec<SpanEvent>> = vec![Vec::new(); n];
 
         loop {
             if search.out_of_budget() {
@@ -850,6 +882,8 @@ fn run_deterministic(
                 prev_nodes[w] = out.nodes;
                 last_fallbacks[w] = out.fallbacks;
                 last_factor[w] = out.factor;
+                last_phases[w] = out.phases;
+                worker_trace[w].extend(out.trace);
                 for res in out.results {
                     match res {
                         DetNodeOut::NoInfo => dropped = f64::NEG_INFINITY,
@@ -877,6 +911,13 @@ fn run_deterministic(
                 }
             }
             epochs += 1;
+            // One progress row per epoch, from coordinator state only —
+            // every input is deterministic at a fixed thread count, so
+            // traced runs stay byte-identical.
+            search.emit_progress(
+                heap.len() as u64,
+                heap.peek().map_or(f64::INFINITY, |o| o.bound),
+            );
         }
         for tx in &txs {
             let _ = tx.send(DetTask::Stop);
@@ -884,6 +925,10 @@ fn run_deterministic(
         for w in 0..n {
             search.lp_fallbacks += last_fallbacks[w];
             search.factor.merge(&last_factor[w]);
+            search.phases.merge(&last_phases[w]);
+            if let Some(buf) = search.trace.as_mut() {
+                buf.events.append(&mut worker_trace[w]);
+            }
         }
     });
 
@@ -929,10 +974,13 @@ const _: () = {
     assert_send::<PNode>();
     assert_send::<DetTask>();
     assert_send::<DetOut>();
+    assert_send::<crate::trace::SpanEvent>();
+    assert_send::<crate::trace::TraceHandle>();
     // Shared by reference across worker threads.
     assert_sync::<crate::model::Model>();
     assert_sync::<crate::solver::SolverConfig>();
     assert_sync::<Exchange>();
+    assert_sync::<crate::trace::TraceHandle>();
 };
 
 #[cfg(test)]

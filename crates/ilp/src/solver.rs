@@ -14,7 +14,6 @@
 use crate::backend::LpSession;
 use crate::basis::Basis;
 use crate::clock::DeterministicClock;
-use crate::clock::TICKS_PER_SECOND;
 use crate::cuts::{Cut, CutSeparator};
 use crate::expr::{Comparison, VarId};
 use crate::factor::FactorStats;
@@ -23,6 +22,7 @@ use crate::parallel::{self, Exchange, ParallelMode, ParallelStats};
 use crate::presolve::{presolve, PresolveConfig, PresolveOutcome, PresolveStats};
 use crate::simplex::{LpConfig, LpEngine, LpStatus, PricingRule, WarmLpResult};
 use crate::solution::{IncumbentEvent, Solution};
+use crate::trace::{Phase, PhaseBreakdown, ProgressRow, SpanKind, TraceBuf, TraceHandle};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -89,6 +89,11 @@ pub struct SolverConfig {
     pub threads: usize,
     /// How the parallel tree phase coordinates (ignored at `threads = 1`).
     pub parallel_mode: ParallelMode,
+    /// Observability sink ([`crate::trace`]): when set, the solver
+    /// delivers tick-stamped span events, periodic progress rows and the
+    /// final [`PhaseBreakdown`] to it. `None` (the default) records
+    /// nothing and leaves the solve bit-identical to an untraced build.
+    pub trace: Option<TraceHandle>,
 }
 
 impl Default for SolverConfig {
@@ -107,6 +112,7 @@ impl Default for SolverConfig {
             cut_rounds: 4,
             threads: 1,
             parallel_mode: ParallelMode::default(),
+            trace: None,
         }
     }
 }
@@ -135,6 +141,9 @@ impl SolverConfig {
     /// Floor under the per-round tick budget, so cheap root solves still
     /// leave every cut round a workable slice.
     pub const CUT_ROUND_TICK_FLOOR: u64 = 1 << 22;
+    /// Nodes between progress rows in the sequential tree phase (the
+    /// deterministic coordinator emits one row per epoch instead).
+    pub const PROGRESS_NODE_INTERVAL: u64 = 256;
 
     /// Returns a copy with the given deterministic-time budget.
     #[must_use]
@@ -218,6 +227,15 @@ impl SolverConfig {
         self.parallel_mode = mode;
         self
     }
+
+    /// Returns a copy delivering trace events (spans, progress rows, the
+    /// final phase breakdown) to `trace`. See [`crate::trace`] for the
+    /// available sinks and the determinism guarantees.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = Some(trace);
+        self
+    }
 }
 
 /// Final status of a solve.
@@ -297,6 +315,12 @@ pub struct SolveResult {
     /// Parallel-driver statistics; `None` on sequential (`threads = 1`)
     /// runs and the pre-search short circuits.
     pub parallel: Option<ParallelStats>,
+    /// Deterministic ticks and operation counts split by solver phase
+    /// (presolve / root LP / cuts / dives / tree / LNS); the phase ticks
+    /// sum exactly to [`SolveResult::det_time`]'s total, with `Other`
+    /// holding unattributed driver overhead. Always populated, traced or
+    /// not.
+    pub phases: PhaseBreakdown,
 }
 
 impl SolveResult {
@@ -413,6 +437,15 @@ pub(crate) struct Search<'a> {
     /// reads its atomic incumbent cutoff, accepted incumbents publish
     /// through it, and solve work is charged to its aggregate clock.
     shared: Option<&'a Exchange>,
+    /// Which phase the clock charges currently attribute to.
+    phase: Phase,
+    /// Per-phase tick/count attribution for this context. Maintained
+    /// unconditionally (a handful of array adds per LP solve) so every
+    /// [`SolveResult`] carries a breakdown, traced or not.
+    pub(crate) phases: PhaseBreakdown,
+    /// Span-event buffer; `None` when no trace sink is configured, which
+    /// keeps the no-sink path free of any event work.
+    pub(crate) trace: Option<TraceBuf>,
 }
 
 impl<'a> Search<'a> {
@@ -457,6 +490,69 @@ impl<'a> Search<'a> {
             },
             cutoff_hint: f64::INFINITY,
             shared,
+            phase: Phase::Other,
+            phases: PhaseBreakdown::default(),
+            trace: cfg.trace.as_ref().map(|_| TraceBuf::new(0)),
+        }
+    }
+
+    /// Switches the phase subsequent clock charges attribute to,
+    /// returning the previous phase (restore it for nested scopes — LNS
+    /// runs a mini tree search inside the LNS phase).
+    pub(crate) fn set_phase(&mut self, phase: Phase) -> Phase {
+        std::mem::replace(&mut self.phase, phase)
+    }
+
+    /// Stamps this context's trace buffer with a parallel worker id
+    /// (`0` stays the root/sequential context).
+    pub(crate) fn set_trace_worker(&mut self, worker: u32) {
+        if let Some(buf) = self.trace.as_mut() {
+            buf.set_worker(worker);
+        }
+    }
+
+    /// Buffers one span event ending at the current clock; no-op without
+    /// a configured sink.
+    fn emit_span(&mut self, kind: SpanKind, start_ticks: u64, count: u64, value: f64) {
+        if let Some(buf) = self.trace.as_mut() {
+            let end = self.clock.ticks();
+            buf.emit(
+                kind,
+                start_ticks,
+                end.saturating_sub(start_ticks),
+                count,
+                value,
+            );
+        }
+    }
+
+    /// Closes the phase breakdown against this context's clock total and
+    /// delivers the buffered span stream plus the breakdown to the
+    /// configured sink, if any. Call exactly once, when the solve ends.
+    pub(crate) fn finish_trace(&mut self) -> PhaseBreakdown {
+        let mut phases = self.phases;
+        phases.finalize(self.clock.ticks());
+        if let Some(handle) = self.cfg.trace.as_ref() {
+            if let Some(buf) = self.trace.as_ref() {
+                handle.record_all(&buf.events);
+            }
+            handle.finish(&phases);
+        }
+        phases
+    }
+
+    /// Delivers one progress row straight to the configured sink (rows
+    /// are rendered live, not buffered — their inputs are deterministic,
+    /// so traced streams stay reproducible).
+    pub(crate) fn emit_progress(&self, open: u64, bound: f64) {
+        if let Some(handle) = self.cfg.trace.as_ref() {
+            handle.progress(&ProgressRow {
+                det_seconds: self.clock.seconds(),
+                nodes: self.nodes,
+                open,
+                incumbent: self.incumbent.as_ref().map(|s| s.objective()),
+                bound,
+            });
         }
     }
 
@@ -498,12 +594,29 @@ impl<'a> Search<'a> {
         config.work_limit = work_limit;
         self.session.configure(config);
         let warm = if self.cfg.warm_lp { warm } else { None };
+        let start = self.clock.ticks();
         let out = self.session.solve(bounds, warm);
         self.clock.charge(out.result.work_ticks);
+        self.phases.add(self.phase, out.result.work_ticks, 1);
         if let Some(x) = self.shared {
             x.charge(out.result.work_ticks);
         }
         self.factor.merge(&out.result.factor);
+        // The per-solve factor stats are a drained delta, so any
+        // refactorisations metered there belong to *this* solve — span
+        // them (the ticks are a slice of the solve's own charge, not an
+        // extra charge).
+        if out.result.factor.refactors > 0 {
+            if let Some(buf) = self.trace.as_mut() {
+                buf.emit(
+                    SpanKind::Refactor,
+                    start,
+                    out.result.factor.refactor_ticks,
+                    out.result.factor.refactors,
+                    f64::NAN,
+                );
+            }
+        }
         if out.result.dense_fallback {
             self.lp_fallbacks += 1;
         }
@@ -536,7 +649,14 @@ impl<'a> Search<'a> {
         if separator.is_empty() {
             return Ok((summary, None));
         }
+        let root_start = self.clock.ticks();
         let out = self.solve_lp(root_bounds, None);
+        self.emit_span(
+            SpanKind::RootLp,
+            root_start,
+            out.result.iterations,
+            out.result.objective,
+        );
         if out.result.status != LpStatus::Optimal {
             return Ok((summary, None));
         }
@@ -565,10 +685,14 @@ impl<'a> Search<'a> {
         // separator can keep finding violated-but-useless cuts forever;
         // two consecutive rounds without bound movement end the loop.
         let mut stalled = 0u32;
+        // The caller re-sets the phase after the cut loop either way, so
+        // the previous phase need not be restored on the early exits.
+        let _ = self.set_phase(Phase::Cuts);
         for _ in 0..self.cfg.cut_rounds {
             if self.out_of_budget() || stalled >= SolverConfig::CUT_STALL_LIMIT {
                 break;
             }
+            let round_start = self.clock.ticks();
             let cuts = separator.separate(&values, SolverConfig::MAX_CUTS_PER_ROUND);
             if cuts.is_empty() {
                 break;
@@ -576,8 +700,16 @@ impl<'a> Search<'a> {
             let rows: Vec<(String, Comparison)> = cuts.into_iter().map(Cut::into_row).collect();
             let added = self.session.add_rows(rows, basis.as_ref());
             self.clock.charge(added.work_ticks);
+            self.phases.add(Phase::Cuts, added.work_ticks, 0);
             summary.cuts_added += added.added;
+            let appended = added.added as u64;
             let out = self.solve_lp_budgeted(root_bounds, added.basis.as_ref(), round_budget);
+            self.emit_span(
+                SpanKind::CutRound,
+                round_start,
+                appended,
+                out.result.objective,
+            );
             match out.result.status {
                 LpStatus::Optimal => {}
                 LpStatus::Infeasible => return Err(()),
@@ -668,7 +800,7 @@ impl<'a> Search<'a> {
         let revised_pivot = m * m + self.nnz + n_total;
         let dense_pivot = 2 * m * (n_total + m);
         let worst = lu_pivot.max(revised_pivot).max(dense_pivot);
-        let per_pivot = worst as f64 / TICKS_PER_SECOND as f64;
+        let per_pivot = DeterministicClock::ticks_to_seconds(worst as u64);
         let iters = (remaining / per_pivot.max(1e-12)) as u64;
         LpConfig {
             max_iterations: iters.clamp(64, self.cfg.lp.max_iterations),
@@ -950,7 +1082,15 @@ impl<'a> Search<'a> {
         // Mini branch-and-bound on the restricted problem.
         let budget = self.remaining_budget();
         let mini_budget = (budget * 0.2).min(2.0);
+        // The mini search runs entirely inside the LNS phase (its node
+        // expansions are neighbourhood repair, not tree progress).
+        let prev_phase = self.set_phase(Phase::Lns);
+        let start = self.clock.ticks();
         self.branch_and_bound(&bounds, 256, mini_budget, None, callback);
+        let after = self.incumbent.as_ref().map_or(f64::NAN, |s| s.objective());
+        let improved = after < incumbent.objective() - 1e-9;
+        self.emit_span(SpanKind::LnsRound, start, u64::from(improved), after);
+        self.set_phase(prev_phase);
     }
 
     /// Expands one branch-and-bound node: solve the relaxation at
@@ -972,11 +1112,20 @@ impl<'a> Search<'a> {
         edge: Option<(VarId, bool, f64)>,
         inherited: f64,
     ) -> NodeExpansion {
+        let start = self.clock.ticks();
         let out = self.solve_lp(bounds, warm);
         let lp = out.result;
         self.nodes += 1;
         if let Some(x) = self.shared {
             x.count_node();
+        }
+        if self.trace.is_some() {
+            let value = if lp.status == LpStatus::Optimal {
+                lp.objective
+            } else {
+                f64::NAN
+            };
+            self.emit_span(SpanKind::NodeExpand, start, lp.iterations, value);
         }
         match lp.status {
             LpStatus::Infeasible => return NodeExpansion::Infeasible,
@@ -1086,6 +1235,14 @@ impl<'a> Search<'a> {
                 Some((VarId(n.var), n.lower > 0.5, n.bound))
             };
             local_nodes += 1;
+            // Periodic progress table for the sequential main tree (the
+            // LNS mini searches run under Phase::Lns and stay silent;
+            // parallel runs report from the coordinator instead).
+            if self.phase == Phase::Tree
+                && local_nodes.is_multiple_of(SolverConfig::PROGRESS_NODE_INTERVAL)
+            {
+                self.emit_progress(heap.len() as u64 + 1, open.bound);
+            }
             match self.expand_node(&bounds_buf, warm.as_deref(), edge, open.bound) {
                 NodeExpansion::Infeasible | NodeExpansion::CutOff => {}
                 NodeExpansion::NoInfo => subtree_bound = f64::NEG_INFINITY,
@@ -1173,6 +1330,29 @@ impl Solver {
         &self.config
     }
 
+    /// Phase breakdown for the presolve short circuits (no `Search` ever
+    /// existed: all ticks are presolve's), delivering the trace — one
+    /// `PresolvePass` span plus the final breakdown — when a sink is
+    /// configured.
+    fn short_circuit_phases(&self, stats: &PresolveStats) -> PhaseBreakdown {
+        let mut phases = PhaseBreakdown::default();
+        phases.add(Phase::Presolve, stats.work_ticks, u64::from(stats.rounds));
+        phases.finalize(stats.work_ticks);
+        if let Some(handle) = self.config.trace.as_ref() {
+            let mut buf = TraceBuf::new(0);
+            buf.emit(
+                SpanKind::PresolvePass,
+                0,
+                stats.work_ticks,
+                u64::from(stats.rounds),
+                f64::NAN,
+            );
+            handle.record_all(&buf.events);
+            handle.finish(&phases);
+        }
+        phases
+    }
+
     /// Solves `model` to the configured budget.
     ///
     /// # Panics
@@ -1221,7 +1401,7 @@ impl Solver {
                     status: SolveStatus::Infeasible,
                     best: None,
                     best_bound: f64::NEG_INFINITY,
-                    det_time: stats.work_ticks as f64 / TICKS_PER_SECOND as f64,
+                    det_time: DeterministicClock::ticks_to_seconds(stats.work_ticks),
                     nodes: 0,
                     incumbents: Vec::new(),
                     presolve: stats,
@@ -1229,11 +1409,12 @@ impl Solver {
                     cuts: CutSummary::default(),
                     factor: FactorStats::default(),
                     parallel: None,
+                    phases: self.short_circuit_phases(&stats),
                 };
             }
             PresolveOutcome::Reduced(p) => p,
         };
-        let det_time = presolved.stats.work_ticks as f64 / TICKS_PER_SECOND as f64;
+        let det_time = DeterministicClock::ticks_to_seconds(presolved.stats.work_ticks);
         if presolved.model.num_vars() == 0 {
             // The reductions solved the model outright: the postsolve
             // stack *is* the solution.
@@ -1254,6 +1435,7 @@ impl Solver {
                     cuts: CutSummary::default(),
                     factor: FactorStats::default(),
                     parallel: None,
+                    phases: self.short_circuit_phases(&presolved.stats),
                 };
             }
             let objective = model.objective_value(&values);
@@ -1276,6 +1458,7 @@ impl Solver {
                 cuts: CutSummary::default(),
                 factor: FactorStats::default(),
                 parallel: None,
+                phases: self.short_circuit_phases(&presolved.stats),
             };
         }
         let warm_reduced = warm.map(|w| presolved.postsolve.project(w));
@@ -1313,6 +1496,19 @@ impl Solver {
     ) -> SolveResult {
         let mut search = Search::new(model, &self.config);
         search.clock.charge(presolve_stats.work_ticks);
+        search.phases.add(
+            Phase::Presolve,
+            presolve_stats.work_ticks,
+            u64::from(presolve_stats.rounds),
+        );
+        if presolve_stats.work_ticks > 0 {
+            search.emit_span(
+                SpanKind::PresolvePass,
+                0,
+                u64::from(presolve_stats.rounds),
+                f64::NAN,
+            );
+        }
         let root_bounds: Vec<(f64, f64)> = model
             .variables()
             .iter()
@@ -1333,10 +1529,12 @@ impl Solver {
         //     model integer-infeasible — cuts never remove integer points.
         //     The loop's final root basis seeds the dives and the tree
         //     search, so the root relaxation is never re-solved cold.
+        search.set_phase(Phase::RootLp);
         let (cut_summary, root_warm) = match search.root_cuts(&root_bounds, cliques) {
             Ok(out) => out,
             Err(()) => {
                 if search.incumbent.is_none() {
+                    let phases = search.finish_trace();
                     return SolveResult {
                         status: SolveStatus::Infeasible,
                         best: None,
@@ -1349,6 +1547,7 @@ impl Solver {
                         cuts: CutSummary::default(),
                         factor: search.factor,
                         parallel: None,
+                        phases,
                     };
                 }
                 (CutSummary::default(), None)
@@ -1357,12 +1556,25 @@ impl Solver {
 
         // 2. Root dives for a first incumbent: fast batch rounding on a
         //    quarter of the budget, then the more robust assignment dive.
+        search.set_phase(Phase::Dive);
         if search.incumbent.is_none() {
             let deadline = search.clock.seconds() + 0.25 * self.config.det_time_limit;
-            search.dive(&root_bounds, deadline, root_warm.as_ref(), &mut callback);
+            let start = search.clock.ticks();
+            let found = search.dive(&root_bounds, deadline, root_warm.as_ref(), &mut callback);
+            let value = search
+                .incumbent
+                .as_ref()
+                .map_or(f64::NAN, |s| s.objective());
+            search.emit_span(SpanKind::Dive, start, u64::from(found), value);
         }
         if search.incumbent.is_none() {
-            search.dive_assign(&root_bounds, root_warm.as_ref(), &mut callback);
+            let start = search.clock.ticks();
+            let found = search.dive_assign(&root_bounds, root_warm.as_ref(), &mut callback);
+            let value = search
+                .incumbent
+                .as_ref()
+                .map_or(f64::NAN, |s| s.objective());
+            search.emit_span(SpanKind::Dive, start, u64::from(found), value);
         }
 
         // 3. Main tree search with periodic LNS: sequential heap at
@@ -1372,6 +1584,7 @@ impl Solver {
         let mut infeasible_proved = false;
         let mut parallel_stats = None;
         let parallel_tree = self.config.threads > 1;
+        search.set_phase(Phase::Tree);
         {
             let remaining = self.config.det_time_limit - search.clock.seconds();
             if remaining > 0.0 {
@@ -1415,9 +1628,11 @@ impl Solver {
                 }
                 // LNS rounds always consume clock; guard against zero-cost loops.
                 search.clock.charge(1_000);
+                search.phases.add(Phase::Lns, 1_000, 0);
             }
         }
 
+        let phases = search.finish_trace();
         let det_time = search.clock.seconds();
         let nodes = search.nodes;
         let best = search.incumbent.as_deref().cloned();
@@ -1452,6 +1667,7 @@ impl Solver {
             cuts: cut_summary,
             factor: search.factor,
             parallel: parallel_stats,
+            phases,
         }
     }
 }

@@ -12,10 +12,36 @@
 //!   improving objectives, nondecreasing timestamps.
 
 use croxmap_ilp::{
-    LpEngine, Model, ParallelMode, SolveStatus, Solver, SolverConfig, UpdateRule, VarId,
+    JsonlSink, LpEngine, Model, ParallelMode, SolveStatus, Solver, SolverConfig, TraceHandle,
+    UpdateRule, VarId,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// `CROXMAP_TEST_TRACE=jsonl` re-runs the whole suite with a JSONL trace
+/// sink attached (CI validates the emitted stream with the bench
+/// harness's `trace_report` schema checker). Every solve of this test
+/// binary appends to one file under `CROXMAP_TRACE_DIR` (default
+/// `target/trace`).
+fn test_trace_handle() -> Option<TraceHandle> {
+    use std::sync::OnceLock;
+    static HANDLE: OnceLock<Option<TraceHandle>> = OnceLock::new();
+    HANDLE
+        .get_or_init(|| {
+            if std::env::var("CROXMAP_TEST_TRACE").ok().as_deref() != Some("jsonl") {
+                return None;
+            }
+            let dir =
+                std::env::var("CROXMAP_TRACE_DIR").unwrap_or_else(|_| "target/trace".to_owned());
+            std::fs::create_dir_all(&dir).ok()?;
+            let path = format!("{dir}/parallel_props-{}.jsonl", std::process::id());
+            let file = std::fs::File::create(path).ok()?;
+            Some(TraceHandle::new(JsonlSink::new(std::io::BufWriter::new(
+                file,
+            ))))
+        })
+        .clone()
+}
 
 /// The seeded random 0/1 family the presolve/backend suites use: mixed
 /// ≤/≥/= rows over 3–9 binaries.
@@ -53,13 +79,17 @@ fn random_model(seed: u64) -> Model {
 }
 
 fn base_config(engine: LpEngine, update: UpdateRule, seed: u64) -> SolverConfig {
-    SolverConfig {
+    let cfg = SolverConfig {
         det_time_limit: 5.0,
         ..SolverConfig::default()
     }
     .with_lp_engine(engine)
     .with_update_rule(update)
-    .with_seed(seed)
+    .with_seed(seed);
+    match test_trace_handle() {
+        Some(trace) => cfg.with_trace(trace),
+        None => cfg,
+    }
 }
 
 const ENGINES: [(LpEngine, UpdateRule); 3] = [

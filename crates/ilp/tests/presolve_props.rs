@@ -5,9 +5,36 @@
 //! feasibility and objectives.
 
 use croxmap_ilp::presolve::{presolve, PresolveConfig, PresolveOutcome};
-use croxmap_ilp::{LpEngine, Model, SolveStatus, Solver, SolverConfig, UpdateRule, VarId};
+use croxmap_ilp::{
+    JsonlSink, LpEngine, Model, SolveStatus, Solver, SolverConfig, TraceHandle, UpdateRule, VarId,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// `CROXMAP_TEST_TRACE=jsonl` re-runs the whole suite with a JSONL trace
+/// sink attached (CI validates the emitted stream with the bench
+/// harness's `trace_report` schema checker). Every solve of this test
+/// binary appends to one file under `CROXMAP_TRACE_DIR` (default
+/// `target/trace`).
+fn test_trace_handle() -> Option<TraceHandle> {
+    use std::sync::OnceLock;
+    static HANDLE: OnceLock<Option<TraceHandle>> = OnceLock::new();
+    HANDLE
+        .get_or_init(|| {
+            if std::env::var("CROXMAP_TEST_TRACE").ok().as_deref() != Some("jsonl") {
+                return None;
+            }
+            let dir =
+                std::env::var("CROXMAP_TRACE_DIR").unwrap_or_else(|_| "target/trace".to_owned());
+            std::fs::create_dir_all(&dir).ok()?;
+            let path = format!("{dir}/presolve_props-{}.jsonl", std::process::id());
+            let file = std::fs::File::create(path).ok()?;
+            Some(TraceHandle::new(JsonlSink::new(std::io::BufWriter::new(
+                file,
+            ))))
+        })
+        .clone()
+}
 
 /// A seeded random 0/1 model: n binaries, a few ≤/≥/= rows with small
 /// integer coefficients — the same family the warm-start suite uses, plus
@@ -62,7 +89,7 @@ fn config_with_update(engine: LpEngine, update: UpdateRule, presolve_on: bool) -
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
-    SolverConfig {
+    let cfg = SolverConfig {
         det_time_limit: 5.0,
         enable_lns: false,
         ..SolverConfig::default()
@@ -70,7 +97,11 @@ fn config_with_update(engine: LpEngine, update: UpdateRule, presolve_on: bool) -
     .with_lp_engine(engine)
     .with_update_rule(update)
     .with_presolve(presolve)
-    .with_threads(threads)
+    .with_threads(threads);
+    match test_trace_handle() {
+        Some(trace) => cfg.with_trace(trace),
+        None => cfg,
+    }
 }
 
 #[test]
