@@ -544,6 +544,7 @@ pub fn pack_mccs(
         let j = zg
             .iter()
             .position(|&v| best.is_one(v))
+            // lint: allow(panic-path) — the model carries Σ_j z_gj = 1 per MCC, so any feasible solution places every group exactly once
             .expect("every MCC placed in feasible solution");
         for &i in &mccs[g].neurons {
             assignment[i.index()] = j;

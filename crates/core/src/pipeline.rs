@@ -323,6 +323,7 @@ fn resolve_slot_group(
         let sj = sub_slots
             .iter()
             .position(|&j| j == mapping.crossbar_of(i))
+            // lint: allow(panic-path) — `x` was built from exactly the neurons mapped onto `sub_slots`; a miss means the sub-problem extraction is inconsistent, a bug to stop on
             .expect("freed neuron lives on a freed slot");
         warm[xi[sj].index()] = 1.0;
         if let Some(&yj) = y.get(&sj) {
@@ -337,6 +338,7 @@ fn resolve_slot_group(
                 sub_slots
                     .iter()
                     .position(|&j| j == mapping.crossbar_of(t))
+                    // lint: allow(panic-path) — `t` passed the freed_set filter one line up, and freed neurons sit on freed slots by construction of the sub-problem
                     .expect("freed target on freed slot")
             })
             .collect();
@@ -361,6 +363,7 @@ fn resolve_slot_group(
         let sj = xi
             .iter()
             .position(|&v| best.is_one(v))
+            // lint: allow(panic-path) — the assignment constraint Σ_j x_ij = 1 is in the model, so any feasible solution sets exactly one x to 1
             .expect("feasible solutions place every neuron");
         assignment[i.index()] = sub_slots[sj];
     }

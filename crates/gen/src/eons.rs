@@ -196,8 +196,10 @@ impl Genome {
             .collect();
         for &(src, dst, w, d) in &self.edges {
             b.add_edge(ids[src], ids[dst], w, d)
+                // lint: allow(panic-path) — genome edges are produced by mutation operators that stay within node_count and dedupe; invalid ids mean a corrupted genome, a bug to stop on
                 .expect("genome ids valid");
         }
+        // lint: allow(panic-path) — decoding only replays edges the mutation operators validated; failure here is genome corruption, not user input
         b.build().expect("genome decodes to valid network")
     }
 }
@@ -309,6 +311,7 @@ fn tournament<'a>(scored: &'a [(f64, f64, Genome)], k: usize, rng: &mut SmallRng
             best = Some(cand);
         }
     }
+    // lint: allow(panic-path) — the tournament loop runs k.max(1) ≥ 1 times over a non-empty `scored`, so `best` is always Some
     &best.expect("non-empty population").2
 }
 

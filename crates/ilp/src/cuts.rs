@@ -29,7 +29,7 @@
 
 use crate::expr::{Comparison, ConstraintSense, LinExpr, VarId};
 use crate::model::{Model, VarType};
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// Violation below which a candidate cut is not worth adding.
 const CUT_TOL: f64 = 1e-6;
@@ -112,11 +112,20 @@ pub struct CutSeparator {
     /// Binary `≤` rows in complemented knapsack form.
     knap_rows: Vec<KnapRow>,
     /// Conflict-graph adjacency per column (binary columns only).
+    ///
+    /// **Membership-only by contract**: these sets are probed with
+    /// `insert`/`contains`/`is_empty` and never iterated — every
+    /// traversal that feeds cut emission walks the sorted `in_graph` /
+    /// candidate vectors instead, so the hash order can never leak into
+    /// results. The workspace `hash-iteration` lint enforces this; an
+    /// iteration added here must switch the field to `BTreeSet` first.
     adj: Vec<HashSet<u32>>,
     /// Columns with any conflict, for the clique growth candidate sweep.
     in_graph: Vec<u32>,
     /// Supports already emitted (family tag + sign-encoded columns).
-    seen: HashSet<Vec<u32>>,
+    /// Ordered set: dedup keys, but safe to iterate (e.g. when dumping
+    /// separator state) without a determinism hazard.
+    seen: BTreeSet<Vec<u32>>,
     /// Monotone name counter.
     emitted: usize,
     /// Observational separation counters.
@@ -252,7 +261,7 @@ impl CutSeparator {
             knap_rows,
             adj,
             in_graph,
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             emitted: 0,
             stats: SeparationStats::default(),
         }
@@ -380,6 +389,9 @@ impl CutSeparator {
                 .iter()
                 .map(|&p| items[p].weight)
                 .fold(0.0f64, f64::max);
+            // Membership-only probe set (contains below); the emission
+            // order comes from the enumerate over `items`, never from
+            // this set's internal order.
             let in_cover: HashSet<usize> = cover.iter().copied().collect();
             let mut support: Vec<usize> = cover.clone();
             for (p, it) in items.iter().enumerate() {
@@ -434,7 +446,7 @@ impl CutSeparator {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(p.cmp(&q))
         });
-        let mut local: HashSet<Vec<u32>> = HashSet::new();
+        let mut local: BTreeSet<Vec<u32>> = BTreeSet::new();
         for seed_at in 0..cand.len() {
             let seed = cand[seed_at];
             let mut clique = vec![seed];

@@ -177,6 +177,9 @@
 //!   [`ParallelMode::Deterministic`] runs at a fixed thread count emit
 //!   byte-identical JSONL run-to-run.
 //!
+//! These guarantees are not just documented — they are statically
+//! enforced; see [Determinism discipline](#determinism-discipline).
+//!
 //! ```
 //! use croxmap_ilp::trace::{RingSink, TraceHandle, TraceSink};
 //! use croxmap_ilp::{Model, Solver, SolverConfig};
@@ -209,6 +212,42 @@
 //! * `LpSolver::solve(model, …)` → open one session per model and call
 //!   [`LpSession::solve`] (the session keeps the engine hot exactly like
 //!   the old handle, and additionally accepts rows).
+//!
+//! ## Determinism discipline
+//!
+//! The properties above (and the threading model's bit-identical
+//! replays) are enforced *statically* by `croxmap-lint`
+//! (`crates/lint`), a std-only analysis pass that runs over the whole
+//! workspace in tier-1 (`tests/lint_clean.rs`) and CI
+//! (`cargo run -p croxmap-lint -- --deny`). The rules it holds this
+//! crate (and `croxmap-core`) to:
+//!
+//! * **`determinism-time`** — no `std::time::Instant`/`SystemTime`:
+//!   results must be a function of (model, config, seed), never wall
+//!   time. All metering goes through [`DeterministicClock`].
+//! * **`determinism-rng`** — no `thread_rng`/`from_entropy`: every RNG
+//!   stream derives from the solver seed (workers get golden-ratio
+//!   offsets of it).
+//! * **`hash-iteration`** — `HashMap`/`HashSet` may be *probed*
+//!   (keyed lookups stay legal) but never *iterated*: iteration order
+//!   would leak the hasher's per-process state into results. Anything
+//!   traversed is a `Vec`/`BTreeMap`/`BTreeSet` — see
+//!   `CutSeparator::adj`'s membership-only contract in `cuts.rs`.
+//! * **`relaxed-ordering`** / **`thread-spawn`** — every
+//!   `Ordering::Relaxed` and any threading outside `parallel.rs` needs
+//!   a written justification; `parallel.rs`'s module docs carry the
+//!   full happens-before contract the waivers appeal to.
+//! * **`panic-path`** — library `unwrap()`/`expect()` must state an
+//!   invariant or be converted to an error path.
+//! * **`ticks-arithmetic`** — the `1e9` ticks-per-det-second ratio is
+//!   defined once, in [`DeterministicClock`]; everyone else converts
+//!   through [`DeterministicClock::ticks_to_seconds`] /
+//!   [`DeterministicClock::seconds_to_ticks`].
+//!
+//! A violation is suppressed only by an inline
+//! `// lint: allow(<rule>) — <reason>` waiver (reason mandatory) or a
+//! path entry in the workspace `lint.toml`; `croxmap-lint` reports
+//! anything unwaived with file, line and snippet.
 //!
 //! ## Example
 //!

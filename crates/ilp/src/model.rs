@@ -164,6 +164,7 @@ impl Model {
     /// Adds a binary variable and returns its id.
     pub fn add_binary(&mut self, name: impl Into<String>) -> VarId {
         self.csc_cache = OnceLock::new();
+        // lint: allow(panic-path) — u32 overflow needs 4 billion variables; the largest paper instance has ~10^5, and VarId is u32 across the whole solver by design
         let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
         self.vars.push(Variable {
             name: name.into(),
@@ -177,6 +178,7 @@ impl Model {
     /// Adds a continuous variable with the given bounds and returns its id.
     pub fn add_continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
         self.csc_cache = OnceLock::new();
+        // lint: allow(panic-path) — u32 overflow needs 4 billion variables; the largest paper instance has ~10^5, and VarId is u32 across the whole solver by design
         let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
         self.vars.push(Variable {
             name: name.into(),

@@ -40,6 +40,40 @@
 //! the same amount of *work* at any thread count — parallelism spends it
 //! in less wall time.
 //!
+//! # Memory-ordering contract
+//!
+//! The `Exchange` atomics split into two classes, and the split is
+//! what every `Ordering` choice below follows (each `Relaxed` site
+//! carries a `lint: allow(relaxed-ordering)` waiver restating its case):
+//!
+//! * **Monotone statistics counters** — `ticks`, `nodes`, `steals`.
+//!   These only ever increase, no control decision needs the *latest*
+//!   value, and no data is published through them: a stale read of
+//!   `ticks`/`nodes` merely delays a budget stop by one node, and the
+//!   final totals are read after the `thread::scope` join (which is
+//!   itself a full happens-before edge covering every worker write).
+//!   `Relaxed` is therefore sound for every access — there is no
+//!   payload whose visibility an `Acquire`/`Release` pair would order.
+//! * **Protocol state** — everything a worker *acts on*:
+//!   - `stop` is written with `Release` and read with `Acquire`: the
+//!     store must not sink below the budget check that triggered it,
+//!     and a reader that observes it must also observe the writer's
+//!     preceding bound drops.
+//!   - `in_flight` uses `Release` on the initial store, `AcqRel` on
+//!     every decrement and `Acquire` on reads. The protocol is
+//!     *children enqueued before the parent retires*, so the count can
+//!     only reach zero when the tree is truly exhausted; the `AcqRel`
+//!     decrement makes each retirement synchronize with the reader
+//!     that concludes "exhausted" and tears the search down.
+//!   - `best_bits` / `dropped_bits` go through `atomic_min_f64`
+//!     (`Acquire` load, `AcqRel` compare-exchange): the cutoff a
+//!     worker prunes against must be at least as fresh as the
+//!     incumbent publication it raced with, and the publishing side
+//!     pairs the CAS with the mutex-protected `ExchangeInner` update.
+//!   - the `alive` worker counter (scope-local) is `Release` on
+//!     decrement / `Acquire` on read so the streaming loop's exit
+//!     happens-after every worker's final incumbent publication.
+//!
 //! [`LpSession`]: crate::backend::LpSession
 //! [`SolverConfig::with_threads`]: crate::SolverConfig::with_threads
 //! [`DeterministicClock`]: crate::DeterministicClock
@@ -165,14 +199,17 @@ impl Exchange {
 
     /// Charges worker LP work to the aggregate clock.
     pub(crate) fn charge(&self, ticks: u64) {
+        // lint: allow(relaxed-ordering) — monotone statistics counter; no payload is published through it and a stale read only delays a budget stop by one node
         self.ticks.fetch_add(ticks, AtomicOrd::Relaxed);
     }
 
     pub(crate) fn count_node(&self) {
+        // lint: allow(relaxed-ordering) — monotone statistics counter; final total is read after the scope join, which already orders every worker write
         self.nodes.fetch_add(1, AtomicOrd::Relaxed);
     }
 
     fn seconds(&self) -> f64 {
+        // lint: allow(relaxed-ordering) — event timestamps tolerate counter staleness; the mutex in publish() orders the event stream itself
         DeterministicClock::ticks_to_seconds(self.ticks.load(AtomicOrd::Relaxed))
     }
 
@@ -180,6 +217,7 @@ impl Exchange {
     pub(crate) fn remaining(&self) -> f64 {
         DeterministicClock::ticks_to_seconds(
             self.limit_ticks
+                // lint: allow(relaxed-ordering) — budget check on a monotone counter; a stale read admits at most one extra node, never unsoundness
                 .saturating_sub(self.ticks.load(AtomicOrd::Relaxed)),
         )
     }
@@ -187,7 +225,9 @@ impl Exchange {
     /// True once the shared budget is spent or a stop was requested.
     pub(crate) fn exhausted(&self) -> bool {
         self.stop.load(AtomicOrd::Acquire)
+            // lint: allow(relaxed-ordering) — monotone budget counter; the stop *decision* publishes via the Release store to `stop` above, not via this read
             || self.ticks.load(AtomicOrd::Relaxed) >= self.limit_ticks
+            // lint: allow(relaxed-ordering) — same as the tick counter: monotone, decision-tolerant of staleness by one node
             || self.nodes.load(AtomicOrd::Relaxed) >= self.node_limit
     }
 
@@ -203,6 +243,7 @@ impl Exchange {
     /// solution for the worker to adopt locally, or `None` if a better
     /// incumbent landed first.
     pub(crate) fn publish(&self, values: Vec<f64>, objective: f64) -> Option<Arc<Solution>> {
+        // lint: allow(panic-path) — a poisoned exchange means a worker already panicked; propagating the panic is the correct teardown
         let mut inner = self.inner.lock().expect("exchange lock poisoned");
         if inner
             .best
@@ -231,6 +272,7 @@ impl Exchange {
     /// Events published since the last drain (streamed to the user
     /// callback by the driver's main thread).
     fn drain_new(&self) -> Vec<IncumbentEvent> {
+        // lint: allow(panic-path) — a poisoned exchange means a worker already panicked; propagating the panic is the correct teardown
         let mut inner = self.inner.lock().expect("exchange lock poisoned");
         let fresh = inner.events[inner.published..].to_vec();
         inner.published = inner.events.len();
@@ -239,6 +281,7 @@ impl Exchange {
 
     /// Final state: the global incumbent and the full event stream.
     fn take_all(&self) -> (Option<Arc<Solution>>, Vec<IncumbentEvent>) {
+        // lint: allow(panic-path) — a poisoned exchange means a worker already panicked; propagating the panic is the correct teardown
         let mut inner = self.inner.lock().expect("exchange lock poisoned");
         let events = std::mem::take(&mut inner.events);
         (inner.best.take(), events)
@@ -327,6 +370,7 @@ fn run_work_stealing(
     let deques: Vec<Mutex<VecDeque<PNode>>> = (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
     deques[0]
         .lock()
+        // lint: allow(panic-path) — the deque was created two lines up and no other thread exists yet; the lock cannot be poisoned
         .expect("fresh deque lock")
         .push_back(PNode {
             fixes: Vec::new(),
@@ -361,6 +405,7 @@ fn run_work_stealing(
         }
         outs = handles
             .into_iter()
+            // lint: allow(panic-path) — join fails only if the worker panicked; re-raising that panic on the driver thread is the intended propagation
             .map(|h| h.join().expect("tree worker panicked"))
             .collect();
     });
@@ -387,8 +432,10 @@ fn run_work_stealing(
         }
         lns_hits += out.lns_hits;
     }
+    // lint: allow(relaxed-ordering) — read after the thread::scope join, which is a full happens-before edge over every worker write; ordering is already guaranteed
     let steals = exchange.steals.load(AtomicOrd::Relaxed);
     // The aggregate exchange clock already includes the root phase.
+    // lint: allow(relaxed-ordering) — same post-join read; the scope join already ordered every worker's tick charge
     let total = exchange.ticks.load(AtomicOrd::Relaxed);
     search.clock = crate::clock::DeterministicClock::from_ticks(total);
 
@@ -420,12 +467,15 @@ fn pop_or_steal(
     deques: &[Mutex<VecDeque<PNode>>],
     exchange: &Exchange,
 ) -> Option<PNode> {
+    // lint: allow(panic-path) — deque poisoning means another worker panicked mid-push; propagating is the correct teardown
     if let Some(node) = deques[id].lock().expect("deque lock").pop_back() {
         return Some(node);
     }
     for k in 1..n {
         let j = (id + k) % n;
+        // lint: allow(panic-path) — deque poisoning means another worker panicked mid-push; propagating is the correct teardown
         if let Some(node) = deques[j].lock().expect("deque lock").pop_front() {
+            // lint: allow(relaxed-ordering) — monotone statistics counter; the stolen node's payload travelled through the deque mutex, not this counter
             exchange.steals.fetch_add(1, AtomicOrd::Relaxed);
             return Some(node);
         }
@@ -456,6 +506,7 @@ fn ws_worker(
             // Budget or node limit: tell everyone, then retire this
             // worker's queued nodes as unresolved bounds.
             exchange.stop.store(true, AtomicOrd::Release);
+            // lint: allow(panic-path) — deque poisoning means another worker panicked mid-push; propagating is the correct teardown
             let mut q = deques[id].lock().expect("deque lock");
             while let Some(node) = q.pop_back() {
                 exchange.drop_bound(node.bound);
@@ -472,6 +523,7 @@ fn ws_worker(
             let best = exchange
                 .inner
                 .lock()
+                // lint: allow(panic-path) — a poisoned exchange means a worker already panicked; propagating the panic is the correct teardown
                 .expect("exchange lock poisoned")
                 .best
                 .clone();
@@ -519,6 +571,7 @@ fn ws_worker(
             NodeExpansion::Branch { var, bound, basis } => {
                 let warm = basis.map(Arc::new);
                 {
+                    // lint: allow(panic-path) — deque poisoning means another worker panicked mid-push; propagating is the correct teardown
                     let mut q = deques[id].lock().expect("deque lock");
                     for (lo, hi) in [(0.0, 0.0), (1.0, 1.0)] {
                         let mut fixes = node.fixes.clone();
@@ -854,13 +907,16 @@ fn run_deterministic(
                         cutoff_obj,
                         remaining,
                     })
+                    // lint: allow(panic-path) — the receiver lives until the coordinator sends Stop; a closed channel means the worker panicked and the panic should propagate
                     .expect("deterministic worker hung up");
                 expected += 1;
             }
             if lns_due {
+                // lint: allow(panic-path) — lns_due is only set after an incumbent is accepted; the Option is Some by construction
                 let best = search.incumbent.clone().expect("lns_due implies incumbent");
                 txs[n - 1]
                     .send(DetTask::Lns { best, remaining })
+                    // lint: allow(panic-path) — the receiver lives until the coordinator sends Stop; a closed channel means the worker panicked and the panic should propagate
                     .expect("deterministic worker hung up");
                 expected += 1;
             }
@@ -870,6 +926,7 @@ fn run_deterministic(
             // on thread scheduling.
             let mut slots: Vec<Option<DetOut>> = (0..n).map(|_| None).collect();
             for _ in 0..expected {
+                // lint: allow(panic-path) — every dealt task produces exactly one reply; a dead sender means the worker panicked and the panic should propagate
                 let out = rrx.recv().expect("deterministic worker died");
                 let w = out.id;
                 slots[w] = Some(out);

@@ -1204,6 +1204,7 @@ impl Engine {
                         break;
                     }
                 }
+                // lint: allow(panic-path) — the walk's final iteration unconditionally sets `chosen` (both branch arms do); reaching here with None is impossible
                 chosen.expect("candidate walk always selects an entering column")
             } else {
                 let mut best: Option<(f64, usize)> = None;
@@ -1212,6 +1213,7 @@ impl Engine {
                         best = Some((ratio, j));
                     }
                 }
+                // lint: allow(panic-path) — this arm is only entered when `self.cands` is non-empty, so the fold found at least one candidate
                 best.expect("candidates are non-empty").1
             };
 

@@ -573,6 +573,7 @@ impl LpSolver {
         if stale {
             self.session = Some(crate::backend::LpSession::open(model, *config));
         }
+        // lint: allow(panic-path) — the `stale` branch directly above stores Some; the Option is never None here by construction
         let session = self.session.as_mut().expect("session opened above");
         session.configure(*config);
         session.solve(bounds, warm)

@@ -1386,7 +1386,12 @@ impl Solver {
         warm: Option<&[f64]>,
         mut callback: impl FnMut(&IncumbentEvent),
     ) -> SolveResult {
-        model.validate().expect("model must validate");
+        if let Err(e) = model.validate() {
+            // Documented API contract (see `solve`): solving an invalid
+            // model has no defined result, so fail loudly naming the
+            // concrete defect instead of a bare unwrap.
+            panic!("solve called with an invalid model: {e}");
+        }
         if !self.config.presolve.enabled {
             return self.run_search(model, warm, &mut callback, PresolveStats::default(), &[]);
         }

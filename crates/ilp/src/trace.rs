@@ -565,6 +565,11 @@ impl<W: Write + Send> TraceSink for ProgressLog<W> {
 /// in [`SolverConfig`](crate::SolverConfig). The solver locks the sink
 /// briefly per delivery; per-worker span buffers keep the hot path free
 /// of this lock entirely.
+///
+/// Delivery recovers from lock poisoning instead of panicking: a sink
+/// that panicked once already propagated that panic on its own thread,
+/// and observability must not compound the crash by taking down the
+/// threads that merely try to report afterwards.
 #[derive(Clone)]
 pub struct TraceHandle {
     sink: Arc<Mutex<dyn TraceSink>>,
@@ -594,12 +599,18 @@ impl TraceHandle {
 
     /// Delivers one progress row.
     pub fn progress(&self, row: &ProgressRow) {
-        self.sink.lock().expect("trace sink poisoned").progress(row);
+        self.sink
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .progress(row);
     }
 
     /// Delivers the merged span stream, in order.
     pub fn record_all(&self, events: &[SpanEvent]) {
-        let mut sink = self.sink.lock().expect("trace sink poisoned");
+        let mut sink = self
+            .sink
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for ev in events {
             sink.record(ev);
         }
@@ -609,7 +620,7 @@ impl TraceHandle {
     pub fn finish(&self, phases: &PhaseBreakdown) {
         self.sink
             .lock()
-            .expect("trace sink poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .finish(phases);
     }
 }

@@ -1,0 +1,368 @@
+//! A minimal Rust lexer for rule passes: produces an identifier /
+//! number / punctuation token stream with string, char and comment
+//! bodies stripped, plus the comment stream (for waiver parsing) and a
+//! per-line map of `#[cfg(test)]` scopes.
+//!
+//! This is deliberately *not* a full Rust lexer — it only has to be
+//! right about the token boundaries the rule passes match on, and to
+//! never report a match from inside a string literal, comment or doc
+//! comment. Raw strings (`r"…"`, `r#"…"#`, byte/raw-byte variants),
+//! nested block comments, escapes and lifetimes-vs-char-literals are
+//! all handled; macro expansion and type inference are (intentionally)
+//! not.
+
+/// What a token is, as far as the rule passes care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `for`, `r#async`).
+    Ident,
+    /// Numeric literal (`1e9`, `1_000_000_000`, `0x1F`, `2.5`).
+    Num,
+    /// A single punctuation character (`.`, `:`, `{`, …).
+    Punct,
+    /// Lifetime (`'a`, `'static`); kept so token adjacency stays real.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token text; for `Punct` a single character.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Token class.
+    pub kind: TokKind,
+    /// Whether the token sits inside a `#[cfg(test)]` item or a
+    /// `#[test]` function body (filled by the test-region marking pass
+    /// inside [`lex`]).
+    pub in_test: bool,
+}
+
+/// One comment (line or block), with its starting line. Doc comments
+/// are included — they are comments to the rule passes either way.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Body text, without the `//` / `/*` markers.
+    pub text: String,
+    /// True for `//`-style comments that are the only thing on their
+    /// line (after whitespace) — the positions a waiver may occupy
+    /// besides trailing a code line.
+    pub own_line: bool,
+}
+
+/// Lexer output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream with strings/comments stripped.
+    pub tokens: Vec<Tok>,
+    /// All comments, in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments, then marks `cfg(test)` scopes.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let mut lexed = raw_lex(src);
+    mark_test_regions(&mut lexed.tokens);
+    lexed
+}
+
+fn raw_lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut line_has_code = false;
+    let mut out = Lexed::default();
+    let push = |out: &mut Lexed, text: String, line: u32, kind: TokKind| {
+        out.tokens.push(Tok {
+            text,
+            line,
+            kind,
+            in_test: false,
+        });
+    };
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            line_has_code = false;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. /// and //! doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: b[start..j].iter().collect(),
+                own_line: !line_has_code,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start_line = line;
+            let start = i + 2;
+            let mut depth = 1u32;
+            let mut j = start;
+            while j < n && depth > 0 {
+                if b[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(start);
+            out.comments.push(Comment {
+                line: start_line,
+                text: b[start..end].iter().collect(),
+                own_line: !line_has_code,
+            });
+            i = j;
+            continue;
+        }
+        line_has_code = true;
+        // Raw strings / raw identifiers: r"…", r#"…"#, br#"…"#, r#ident.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (r_at, prefix_ok) = if c == 'r' {
+                (i, true)
+            } else {
+                // b"…" byte string, br"…" raw byte string.
+                (i + 1, b[i + 1] == 'r' || b[i + 1] == '"')
+            };
+            if prefix_ok && c == 'b' && b[i + 1] == '"' {
+                i = skip_string(&b, i + 1, &mut line);
+                continue;
+            }
+            if prefix_ok && r_at < n && b[r_at] == 'r' {
+                let mut j = r_at + 1;
+                let mut hashes = 0usize;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    // Raw string: read until `"` + `hashes` hashes.
+                    j += 1;
+                    'raw: while j < n {
+                        if b[j] == '\n' {
+                            line += 1;
+                        } else if b[j] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                    continue;
+                }
+                if hashes == 1 && j < n && is_ident_start(b[j]) {
+                    // Raw identifier r#foo: lex as the identifier foo.
+                    let (word, k) = read_ident(&b, j);
+                    push(&mut out, word, line, TokKind::Ident);
+                    i = k;
+                    continue;
+                }
+            }
+        }
+        if c == '"' {
+            i = skip_string(&b, i, &mut line);
+            continue;
+        }
+        if c == '\'' {
+            // Char literal vs lifetime.
+            if i + 1 < n && b[i + 1] == '\\' {
+                // Escaped char literal: skip to closing quote.
+                let mut j = i + 2;
+                while j < n && b[j] != '\'' {
+                    j += 1;
+                }
+                i = j + 1;
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == '\'' {
+                i += 3; // plain char literal 'x'
+                continue;
+            }
+            // Lifetime: 'ident.
+            let (word, j) = read_ident(&b, i + 1);
+            push(&mut out, format!("'{word}"), line, TokKind::Lifetime);
+            i = j;
+            continue;
+        }
+        if is_ident_start(c) {
+            let (word, j) = read_ident(&b, i);
+            push(&mut out, word, line, TokKind::Ident);
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            // Numeric literal: digits, `_`, hex/alpha suffixes, a `.`
+            // only when followed by a digit (so `0..n` stays three
+            // tokens), and an exponent sign directly after e/E.
+            let mut j = i;
+            let mut text = String::new();
+            while j < n {
+                let d = b[j];
+                let continues = d.is_ascii_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && j + 1 < n && b[j + 1].is_ascii_digit())
+                    || ((d == '+' || d == '-')
+                        && matches!(text.chars().last(), Some('e' | 'E'))
+                        && j + 1 < n
+                        && b[j + 1].is_ascii_digit());
+                if !continues {
+                    break;
+                }
+                text.push(d);
+                j += 1;
+            }
+            push(&mut out, text, line, TokKind::Num);
+            i = j;
+            continue;
+        }
+        push(&mut out, c.to_string(), line, TokKind::Punct);
+        i += 1;
+    }
+    out
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the index
+/// past the closing quote, counting newlines into `line`.
+fn skip_string(b: &[char], at: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    let mut j = at + 1;
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn read_ident(b: &[char], at: usize) -> (String, usize) {
+    let mut j = at;
+    let mut s = String::new();
+    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+        s.push(b[j]);
+        j += 1;
+    }
+    (s, j)
+}
+
+/// Marks every token inside a `#[cfg(test)]` item body or a `#[test]`
+/// function body as `in_test`. The scope of a test attribute is the
+/// next balanced `{ … }` block; `#[cfg(not(test))]` is explicitly *not*
+/// a test scope.
+fn mark_test_regions(toks: &mut [Tok]) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && i + 1 < toks.len() && toks[i + 1].text == "[" {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut attr: Vec<usize> = Vec::new();
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => attr.push(j),
+                }
+                j += 1;
+            }
+            if attr_is_test(toks, &attr) {
+                // Scope: the next balanced brace block after the
+                // attribute (skipping further attributes, signatures…).
+                let mut k = j + 1;
+                while k < toks.len() && toks[k].text != "{" {
+                    if toks[k].text == ";" {
+                        break; // `#[cfg(test)] mod tests;` — no body here
+                    }
+                    k += 1;
+                }
+                if k < toks.len() && toks[k].text == "{" {
+                    let mut bdepth = 0i32;
+                    let mut e = k;
+                    while e < toks.len() {
+                        match toks[e].text.as_str() {
+                            "{" => bdepth += 1,
+                            "}" => {
+                                bdepth -= 1;
+                                if bdepth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        e += 1;
+                    }
+                    let end = e.min(toks.len() - 1);
+                    for t in &mut toks[k..=end] {
+                        t.in_test = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Does an attribute token list mean "test-only code"? True for
+/// `#[test]` and any `#[cfg(…)]` containing `test` *not* under `not(`.
+fn attr_is_test(toks: &[Tok], attr: &[usize]) -> bool {
+    for (pos, &ti) in attr.iter().enumerate() {
+        if toks[ti].text == "test" && toks[ti].kind == TokKind::Ident {
+            let negated =
+                pos >= 2 && toks[attr[pos - 1]].text == "(" && toks[attr[pos - 2]].text == "not";
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}

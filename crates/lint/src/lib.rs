@@ -1,0 +1,355 @@
+//! # croxmap-lint — workspace determinism & concurrency static analysis
+//!
+//! The stack's cardinal guarantee — bit-identical results at
+//! `threads = 1`, byte-identical deterministic-mode traces, seed-derived
+//! randomness everywhere — was protected only by runtime pinning tests,
+//! which catch a violation *after* someone introduces one, and only on a
+//! workload that happens to exercise it. This crate turns the
+//! determinism discipline into machine-checked rules that run over the
+//! whole workspace source in tier-1 (`tests/lint_clean.rs`) and CI
+//! (`cargo run -p croxmap-lint -- --deny`).
+//!
+//! Like `crates/compat` and the trace toolchain, everything here is
+//! hand-rolled on `std` (the build image has no registry access): a
+//! real lexer ([`lexer`]) strips comments, strings and doc comments,
+//! resolves `use` aliases and `#[cfg(test)]` scopes, and the rule
+//! passes ([`rules`]) walk the token stream per file.
+//!
+//! ## Rules
+//!
+//! | id | what it catches |
+//! |----|-----------------|
+//! | `determinism-time` | `std::time::Instant` / `SystemTime` (wall clock) in solver code |
+//! | `determinism-rng` | `thread_rng` / `from_entropy` (entropy-seeded randomness) |
+//! | `hash-iteration` | iterating a `HashMap`/`HashSet` (`.iter()`, `.keys()`, `.values()`, `.drain()`, `.retain()`, `for … in &map`) — keyed lookups stay legal |
+//! | `relaxed-ordering` | any `Ordering::Relaxed` atomic access — must justify why relaxed is sound |
+//! | `thread-spawn` | `thread::spawn` / `thread::scope` outside `parallel.rs` |
+//! | `panic-path` | `unwrap()` / `expect()` in library (non-test) code |
+//! | `ticks-arithmetic` | hand-rolled `1e9` / `1_000_000_000` tick↔second conversion outside `DeterministicClock` |
+//! | `forbid-unsafe` | crate root missing `#![forbid(unsafe_code)]` |
+//! | `malformed-waiver` | a `lint:` marker that fails to parse, names an unknown rule, or carries no reason |
+//!
+//! ## Waivers
+//!
+//! A finding is suppressed by an inline waiver on the same line or in
+//! the comment block directly above —
+//!
+//! ```text
+//! // lint: allow(panic-path) — mutex poisoning propagates the panic
+//! ```
+//!
+//! — or by a `[[allow]]` entry in the committed `lint.toml` for whole
+//! files/crates whose purpose conflicts with a rule. Both mechanisms
+//! require a non-empty reason; an empty one is itself a finding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod waiver;
+
+use rules::FileCtx;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use waiver::{find_waiver, parse_waivers, Allowlist};
+
+/// Every rule the pass enforces. Ids are the names used in waivers and
+/// `lint.toml`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock types (`Instant`, `SystemTime`) in solver code.
+    DeterminismTime,
+    /// Entropy-seeded randomness (`thread_rng`, `from_entropy`).
+    DeterminismRng,
+    /// Iteration over `HashMap`/`HashSet` contents.
+    HashIteration,
+    /// `Ordering::Relaxed` atomic access without justification.
+    RelaxedOrdering,
+    /// Thread creation outside the sanctioned `parallel.rs`.
+    ThreadSpawn,
+    /// `unwrap()`/`expect()` in library code.
+    PanicPath,
+    /// Hand-rolled tick↔second arithmetic outside `DeterministicClock`.
+    TicksArithmetic,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+    /// A `lint:` waiver that does not parse or has no reason.
+    MalformedWaiver,
+}
+
+impl Rule {
+    /// All enforceable rules, in report order.
+    pub const ALL: [Rule; 9] = [
+        Rule::DeterminismTime,
+        Rule::DeterminismRng,
+        Rule::HashIteration,
+        Rule::RelaxedOrdering,
+        Rule::ThreadSpawn,
+        Rule::PanicPath,
+        Rule::TicksArithmetic,
+        Rule::ForbidUnsafe,
+        Rule::MalformedWaiver,
+    ];
+
+    /// The kebab-case id used in waivers, `lint.toml` and reports.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::DeterminismTime => "determinism-time",
+            Rule::DeterminismRng => "determinism-rng",
+            Rule::HashIteration => "hash-iteration",
+            Rule::RelaxedOrdering => "relaxed-ordering",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::PanicPath => "panic-path",
+            Rule::TicksArithmetic => "ticks-arithmetic",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::MalformedWaiver => "malformed-waiver",
+        }
+    }
+
+    /// Resolves an id back to the rule.
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == id)
+    }
+
+    /// One-line description for reports.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::DeterminismTime => {
+                "wall-clock time in solver code; results must depend on (model, config, seed) only"
+            }
+            Rule::DeterminismRng => {
+                "entropy-seeded randomness; derive every RNG stream from the solver seed"
+            }
+            Rule::HashIteration => {
+                "iteration order of a hash container is not deterministic; traverse a sorted structure instead"
+            }
+            Rule::RelaxedOrdering => {
+                "Relaxed atomic access must justify why no happens-before edge is needed"
+            }
+            Rule::ThreadSpawn => {
+                "thread creation outside parallel.rs bypasses deterministic scheduling and clock aggregation"
+            }
+            Rule::PanicPath => {
+                "library unwrap()/expect() must state its invariant or become an error path"
+            }
+            Rule::TicksArithmetic => {
+                "tick<->second conversion is defined once in DeterministicClock; use ticks_to_seconds/seconds_to_ticks"
+            }
+            Rule::ForbidUnsafe => "crate roots must carry #![forbid(unsafe_code)]",
+            Rule::MalformedWaiver => "waiver does not parse, names an unknown rule, or has no reason",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One unwaived finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Violated rule.
+    pub rule: Rule,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} [{}] {}",
+            self.file, self.line, self.rule, self.snippet
+        )
+    }
+}
+
+/// Scan result for one file or a whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings neither waived nor allowlisted — these fail `--deny`.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by an inline waiver, with the reason.
+    pub waived: Vec<(Finding, String)>,
+    /// Findings suppressed by the `lint.toml` allowlist.
+    pub allowlisted: usize,
+    /// Files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// Whether the workspace is clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the findings report: `file:line [rule] snippet` plus the
+    /// waiver hint per finding, then a summary line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            s.push_str(&format!("{f}\n"));
+            s.push_str(&format!("    {}\n", f.rule.describe()));
+            if f.rule != Rule::MalformedWaiver && f.rule != Rule::ForbidUnsafe {
+                s.push_str(&format!(
+                    "    waive with: // lint: allow({}) — <reason>\n",
+                    f.rule.id()
+                ));
+            }
+        }
+        s.push_str(&format!(
+            "{} finding(s), {} waived, {} allowlisted, {} files scanned\n",
+            self.findings.len(),
+            self.waived.len(),
+            self.allowlisted,
+            self.files
+        ));
+        s
+    }
+
+    fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+        self.waived.extend(other.waived);
+        self.allowlisted += other.allowlisted;
+        self.files += other.files;
+    }
+}
+
+/// Classifies and scans one file's source text against `allowlist`.
+/// `rel_path` must use forward slashes. This is the unit the fixture
+/// tests drive directly.
+#[must_use]
+pub fn scan_source(rel_path: &str, text: &str, allowlist: &Allowlist) -> Report {
+    let lexed = lexer::lex(text);
+    let ctx = FileCtx {
+        rel_path,
+        is_test_file: rel_path
+            .split('/')
+            .any(|seg| matches!(seg, "tests" | "benches" | "examples" | "fixtures")),
+        is_crate_root: rel_path.ends_with("src/lib.rs") || rel_path.ends_with("src/main.rs"),
+    };
+    let mut raw = rules::run(&lexed.tokens, &ctx);
+    let wset = parse_waivers(&lexed.comments);
+    for &(line, _) in &wset.malformed {
+        raw.push((Rule::MalformedWaiver, line));
+    }
+    let comment_lines: BTreeSet<u32> = lexed
+        .comments
+        .iter()
+        .filter(|c| c.own_line)
+        .map(|c| c.line)
+        .collect();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut report = Report {
+        files: 1,
+        ..Report::default()
+    };
+    for (rule, line) in raw {
+        if allowlist.covers(rel_path, rule) {
+            report.allowlisted += 1;
+            continue;
+        }
+        let finding = Finding {
+            file: rel_path.to_string(),
+            line,
+            rule,
+            snippet: lines
+                .get(line as usize - 1)
+                .map_or(String::new(), |l| l.trim().to_string()),
+        };
+        // Malformed waivers cannot themselves be waived — fix the waiver.
+        if rule != Rule::MalformedWaiver {
+            if let Some(w) = find_waiver(&wset, &comment_lines, rule, line) {
+                report.waived.push((finding, w.reason.clone()));
+                continue;
+            }
+        }
+        report.findings.push(finding);
+    }
+    report
+}
+
+/// Scans every `.rs` file under `root` (skipping `target/` and hidden
+/// directories) against the root's `lint.toml` allowlist.
+///
+/// # Errors
+///
+/// Returns a message if `lint.toml` fails to parse or the tree cannot
+/// be read.
+pub fn scan_workspace(root: &Path) -> Result<Report, String> {
+    let allowlist = match std::fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => Allowlist::parse(&text)?,
+        Err(_) => Allowlist::default(),
+    };
+    let mut files: Vec<PathBuf> = Vec::new();
+    walk(root, &mut files).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    files.sort();
+    let mut report = Report::default();
+    for path in files {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        report.merge(scan_source(&rel, &text, &allowlist));
+    }
+    Ok(report)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if std::path::Path::new(&name)
+            .extension()
+            .is_some_and(|ext| ext.eq_ignore_ascii_case("rs"))
+        {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory holding a `lint.toml` or a `Cargo.toml` with a
+/// `[workspace]` table.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if let Ok(manifest) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+            if manifest.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

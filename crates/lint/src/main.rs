@@ -1,0 +1,67 @@
+//! `croxmap-lint` CLI: scans the workspace and prints the findings
+//! report. `--deny` exits non-zero on any unwaived finding (the CI
+//! mode); `--root PATH` overrides workspace-root autodetection.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => {
+                let Some(p) = args.next() else {
+                    eprintln!("croxmap-lint: --root needs a path");
+                    return ExitCode::from(2);
+                };
+                root = Some(PathBuf::from(p));
+            }
+            "--help" | "-h" => {
+                println!("usage: croxmap-lint [--deny] [--root PATH]");
+                println!("  --deny   exit 1 if any unwaived finding remains (CI mode)");
+                println!("  --root   workspace root (default: walk up from cwd)");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("croxmap-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|e| {
+                // lint: allow(panic-path) — no cwd means nothing to scan; abort with the OS error
+                panic!("croxmap-lint: cannot read current dir: {e}")
+            });
+            match croxmap_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("croxmap-lint: no workspace root above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match croxmap_lint::scan_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if deny && !report.is_clean() {
+                eprintln!("croxmap-lint: denying {} finding(s)", report.findings.len());
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("croxmap-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

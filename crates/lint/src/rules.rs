@@ -1,0 +1,439 @@
+//! The rule passes: each walks a file's token stream (strings and
+//! comments already stripped by [`crate::lexer`]) and reports raw
+//! `(rule, line)` findings, before waivers and the allowlist are
+//! applied.
+//!
+//! The passes are *name-based* static analysis — no type inference.
+//! `use`-alias tracking resolves renamed imports (`use std::time::Instant
+//! as Clock`), and hash-container bindings are tracked through `let`
+//! bindings, struct fields and function parameters whose written type
+//! names a hash container. Anything the name-level analysis cannot see
+//! (a `&HashMap` passed through a generic, a trait object) is out of
+//! scope by design: the runtime determinism suites remain the backstop,
+//! this pass catches the overwhelmingly common spellings before review.
+
+use crate::lexer::{Tok, TokKind};
+use crate::Rule;
+use std::collections::BTreeSet;
+
+/// Per-file context the passes need.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: &'a str,
+    /// Under a `tests/`, `benches/` or `examples/` directory — whole
+    /// file is test/demo context.
+    pub is_test_file: bool,
+    /// `src/lib.rs` or `src/main.rs` — must carry
+    /// `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+}
+
+/// Import aliases resolved from `use` statements, plus the built-in
+/// names each rule matches.
+struct Aliases {
+    /// Names meaning `std::time::Instant` / `SystemTime`.
+    time: BTreeSet<String>,
+    /// Names meaning entropy-seeded randomness.
+    rng: BTreeSet<String>,
+    /// Names meaning `std::collections::HashMap` / `HashSet`.
+    hash: BTreeSet<String>,
+}
+
+/// Iterator-producing methods banned on hash containers. Keyed lookups
+/// (`get`, `contains`, `insert`, `remove`, `entry`, `len`, `is_empty`,
+/// `clear`) stay legal: only *order-exposing* traversal is the hazard.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Runs every token-level rule over one file.
+#[must_use]
+pub fn run(toks: &[Tok], ctx: &FileCtx<'_>) -> Vec<(Rule, u32)> {
+    let mut out: Vec<(Rule, u32)> = Vec::new();
+    let aliases = resolve_aliases(toks);
+    if !ctx.is_test_file {
+        determinism_names(toks, &aliases, &mut out);
+        hash_iteration(toks, &aliases, &mut out);
+        relaxed_ordering(toks, &mut out);
+        thread_spawn(toks, &mut out);
+        panic_path(toks, &mut out);
+        ticks_arithmetic(toks, &mut out);
+    }
+    if ctx.is_crate_root {
+        forbid_unsafe(toks, &mut out);
+    }
+    out.sort_by_key(|&(r, l)| (l, r.id()));
+    out.dedup();
+    out
+}
+
+/// Resolves `use` statements into the alias sets. Handles nested
+/// groups (`use std::collections::{HashMap, HashSet};`), renames
+/// (`as`), and ignores globs.
+fn resolve_aliases(toks: &[Tok]) -> Aliases {
+    let mut bindings: Vec<(String, String)> = Vec::new(); // (full path, local name)
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "use" {
+            i = parse_use_tree(toks, i + 1, &mut Vec::new(), &mut bindings);
+        } else {
+            i += 1;
+        }
+    }
+    let mut aliases = Aliases {
+        time: ["Instant", "SystemTime"].map(String::from).into(),
+        rng: ["thread_rng", "from_entropy", "ThreadRng"]
+            .map(String::from)
+            .into(),
+        hash: ["HashMap", "HashSet"].map(String::from).into(),
+    };
+    for (path, name) in bindings {
+        if path.ends_with("time::Instant") || path.ends_with("time::SystemTime") {
+            aliases.time.insert(name);
+        } else if path.ends_with("::thread_rng") || path.ends_with("::ThreadRng") {
+            aliases.rng.insert(name);
+        } else if path.ends_with("collections::HashMap") || path.ends_with("collections::HashSet") {
+            aliases.hash.insert(name);
+        }
+    }
+    aliases
+}
+
+/// Parses one use-tree starting at `i` (after `use` or a group comma),
+/// appending `(full_path, bound_name)` pairs; returns the index past
+/// the tree's end.
+fn parse_use_tree(
+    toks: &[Tok],
+    mut i: usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<(String, String)>,
+) -> usize {
+    let depth_at_entry = prefix.len();
+    while i < toks.len() {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "as") => {
+                // `path as name`: rebind the just-pushed segment chain.
+                if let Some(alias) = toks.get(i + 1) {
+                    out.push((prefix.join("::"), alias.text.clone()));
+                }
+                prefix.truncate(depth_at_entry);
+                i += 2;
+            }
+            (TokKind::Ident, _) => {
+                prefix.push(t.text.clone());
+                // Leaf unless followed by `::`.
+                let is_path_sep = toks.get(i + 1).is_some_and(|n| n.text == ":")
+                    && toks.get(i + 2).is_some_and(|n| n.text == ":");
+                if is_path_sep {
+                    i += 3;
+                } else if toks.get(i + 1).is_some_and(|n| n.text == "as") {
+                    i += 1; // handled by the `as` arm next iteration
+                } else {
+                    out.push((prefix.join("::"), t.text.clone()));
+                    prefix.truncate(depth_at_entry);
+                    i += 1;
+                }
+            }
+            (_, "{") => {
+                i += 1;
+                loop {
+                    i = parse_use_tree(toks, i, prefix, out);
+                    match toks.get(i).map(|t| t.text.as_str()) {
+                        Some(",") => i += 1,
+                        Some("}") => {
+                            i += 1;
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                prefix.truncate(depth_at_entry);
+            }
+            (_, "*") => i += 1,
+            _ => {
+                // `;`, `,`, `}` — end of this tree.
+                prefix.truncate(depth_at_entry);
+                return i;
+            }
+        }
+        // After a leaf or group we are done unless a separator keeps us
+        // inside (handled by the group loop / caller).
+        if matches!(
+            toks.get(i).map(|t| t.text.as_str()),
+            Some(";" | "," | "}") | None
+        ) {
+            prefix.truncate(depth_at_entry);
+            return i;
+        }
+    }
+    i
+}
+
+/// `determinism-time` / `determinism-rng`: wall-clock types and
+/// entropy-seeded RNG constructors are banned outright — solver results
+/// must be functions of (model, config, seed) alone.
+fn determinism_names(toks: &[Tok], aliases: &Aliases, out: &mut Vec<(Rule, u32)>) {
+    for t in toks.iter().filter(|t| !t.in_test) {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if aliases.time.contains(&t.text) {
+            out.push((Rule::DeterminismTime, t.line));
+        }
+        if aliases.rng.contains(&t.text) {
+            out.push((Rule::DeterminismRng, t.line));
+        }
+    }
+}
+
+/// `hash-iteration`: iterating a `HashMap`/`HashSet` observes the
+/// hasher's bucket order — nondeterministic across std versions and, if
+/// anyone ever swaps the hasher, across runs. Keyed lookups stay legal;
+/// traversal must go through a sorted structure instead.
+fn hash_iteration(toks: &[Tok], aliases: &Aliases, out: &mut Vec<(Rule, u32)>) {
+    // Bindings whose written type *is* a hash container…
+    let mut direct: BTreeSet<String> = BTreeSet::new();
+    // …or a container *of* hash containers (flag indexed traversal).
+    let mut nested: BTreeSet<String> = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `name: <type…>` — let bindings, struct fields, fn params and
+        // struct-literal fields (`seen: HashSet::new()`) all match.
+        let colon_type = toks.get(i + 1).is_some_and(|t| t.text == ":")
+            && toks.get(i + 2).is_some_and(|t| t.text != ":")
+            && i.checked_sub(1)
+                .and_then(|p| toks.get(p))
+                .is_none_or(|t| t.text != ":");
+        if colon_type {
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            let mut first_ident: Option<&str> = None;
+            let mut any_hash = false;
+            while let Some(t) = toks.get(j) {
+                match t.text.as_str() {
+                    "<" => angle += 1,
+                    ">" => {
+                        if angle == 0 {
+                            break;
+                        }
+                        angle -= 1;
+                    }
+                    "=" | ";" | "{" | "}" | ")" if angle == 0 => break,
+                    "," if angle == 0 => break,
+                    // Type qualifiers before the head type name.
+                    "mut" | "dyn" | "impl" | "ref" => {}
+                    _ => {
+                        if t.kind == TokKind::Ident {
+                            if first_ident.is_none() {
+                                first_ident = Some(&t.text);
+                            }
+                            if aliases.hash.contains(&t.text) {
+                                any_hash = true;
+                            }
+                        }
+                    }
+                }
+                j += 1;
+            }
+            if let Some(first) = first_ident {
+                if aliases.hash.contains(first) {
+                    direct.insert(toks[i].text.clone());
+                } else if any_hash {
+                    nested.insert(toks[i].text.clone());
+                }
+            }
+        }
+        // `name = HashMap::new()` — inferred-type bindings.
+        if toks.get(i + 1).is_some_and(|t| t.text == "=")
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| aliases.hash.contains(&t.text))
+            && toks.get(i + 3).is_some_and(|t| t.text == ":")
+        {
+            direct.insert(toks[i].text.clone());
+        }
+    }
+    if direct.is_empty() && nested.is_empty() {
+        return;
+    }
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        // `name.iter()` and friends.
+        if direct.contains(&t.text)
+            && toks.get(i + 1).is_some_and(|n| n.text == ".")
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| ITER_METHODS.contains(&n.text.as_str()))
+            && toks.get(i + 3).is_some_and(|n| n.text == "(")
+        {
+            out.push((Rule::HashIteration, t.line));
+        }
+        // `nested[idx].iter()` — indexing into a Vec of hash sets.
+        if nested.contains(&t.text) && toks.get(i + 1).is_some_and(|n| n.text == "[") {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while let Some(n) = toks.get(j) {
+                match n.text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if toks.get(j + 1).is_some_and(|n| n.text == ".")
+                && toks
+                    .get(j + 2)
+                    .is_some_and(|n| ITER_METHODS.contains(&n.text.as_str()))
+                && toks.get(j + 3).is_some_and(|n| n.text == "(")
+            {
+                out.push((Rule::HashIteration, t.line));
+            }
+        }
+        // `for … in [&][mut] name {` — direct for-loop traversal.
+        if t.text == "for" {
+            let mut j = i + 1;
+            while j < toks.len() && toks[j].text != "in" && toks[j].text != "{" {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|n| n.text == "in") {
+                let mut expr: Vec<&Tok> = Vec::new();
+                let mut k = j + 1;
+                while let Some(n) = toks.get(k) {
+                    if n.text == "{" {
+                        break;
+                    }
+                    expr.push(n);
+                    k += 1;
+                }
+                let names: Vec<&str> = expr
+                    .iter()
+                    .filter(|n| !matches!(n.text.as_str(), "&" | "mut"))
+                    .map(|n| n.text.as_str())
+                    .collect();
+                if let [name] = names.as_slice() {
+                    if direct.contains(*name) {
+                        out.push((Rule::HashIteration, toks[j].line));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `relaxed-ordering`: every `Ordering::Relaxed` use must carry a
+/// waiver explaining why the weakest ordering is sound at that site
+/// (monotone counter, happens-before provided elsewhere, …).
+/// Conservative by construction: the analysis cannot tell which loads
+/// feed control flow, so all of them justify themselves.
+fn relaxed_ordering(toks: &[Tok], out: &mut Vec<(Rule, u32)>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokKind::Ident || t.text != "Relaxed" {
+            continue;
+        }
+        // Only as a path segment (`…::Relaxed`) — a local identifier
+        // named `Relaxed` alone is not an atomic ordering.
+        let path_prefixed = i >= 2 && toks[i - 1].text == ":" && toks[i - 2].text == ":";
+        if path_prefixed {
+            out.push((Rule::RelaxedOrdering, t.line));
+        }
+    }
+}
+
+/// `thread-spawn`: thread creation lives in `parallel.rs` (allowlisted
+/// there); anywhere else it needs a waiver — ad-hoc threads bypass the
+/// deterministic scheduling and clock-aggregation machinery.
+fn thread_spawn(toks: &[Tok], out: &mut Vec<(Rule, u32)>) {
+    for i in 0..toks.len() {
+        if toks[i].in_test {
+            continue;
+        }
+        if toks[i].text == "thread"
+            && toks.get(i + 1).is_some_and(|t| t.text == ":")
+            && toks.get(i + 2).is_some_and(|t| t.text == ":")
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| t.text == "spawn" || t.text == "scope")
+        {
+            out.push((Rule::ThreadSpawn, toks[i + 3].line));
+        }
+    }
+}
+
+/// `panic-path`: `unwrap()`/`expect()` in library code needs a waiver
+/// stating the invariant that makes it unreachable (or should become a
+/// real error path). `unwrap_or*` / `expect_err` etc. do not match.
+fn panic_path(toks: &[Tok], out: &mut Vec<(Rule, u32)>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        if (t.text == "unwrap" || t.text == "expect")
+            && i >= 1
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            out.push((Rule::PanicPath, t.line));
+        }
+    }
+}
+
+/// `ticks-arithmetic`: the tick↔second exchange rate is defined once in
+/// `DeterministicClock` (`TICKS_PER_SECOND`, `ticks_to_seconds`,
+/// `seconds_to_ticks`). Hand-rolled `1e9` conversions drift when the
+/// rate changes; the literal is banned outside `clock.rs`.
+fn ticks_arithmetic(toks: &[Tok], out: &mut Vec<(Rule, u32)>) {
+    for t in toks.iter().filter(|t| !t.in_test) {
+        if t.kind != TokKind::Num {
+            continue;
+        }
+        let mut plain: String = t.text.chars().filter(|&c| c != '_').collect();
+        // A type suffix (`1_000_000_000u64`) must not hide the literal.
+        for suffix in [
+            "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+            "f32", "f64",
+        ] {
+            if let Some(stripped) = plain.strip_suffix(suffix) {
+                plain = stripped.to_string();
+                break;
+            }
+        }
+        if matches!(
+            plain.as_str(),
+            "1e9" | "1E9" | "1e+9" | "1000000000" | "1000000000.0"
+        ) {
+            out.push((Rule::TicksArithmetic, t.line));
+        }
+    }
+}
+
+/// `forbid-unsafe`: every crate root carries `#![forbid(unsafe_code)]`.
+fn forbid_unsafe(toks: &[Tok], out: &mut Vec<(Rule, u32)>) {
+    let want = ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
+    let found = toks
+        .windows(want.len())
+        .any(|w| w.iter().zip(want.iter()).all(|(t, s)| t.text == *s));
+    if !found {
+        out.push((Rule::ForbidUnsafe, 1));
+    }
+}

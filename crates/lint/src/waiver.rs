@@ -1,0 +1,258 @@
+//! Waiver and allowlist machinery.
+//!
+//! Two fix-site mechanisms suppress a finding:
+//!
+//! * **Inline waiver** — `// lint: allow(<rule>) — <reason>` on the
+//!   finding's line (trailing comment) or on a comment-only line in the
+//!   contiguous comment block directly above it. The reason is
+//!   mandatory; an empty reason or an unknown rule name is itself a
+//!   finding ([`Rule::MalformedWaiver`](crate::Rule)).
+//! * **Allowlist** — a committed `lint.toml` at the workspace root with
+//!   `[[allow]]` blocks naming a path prefix, the rules it is exempt
+//!   from (or `"*"`), and a reason. Meant for whole files or crates
+//!   whose *purpose* conflicts with a rule (the bench harness measures
+//!   wall time; `DeterministicClock` defines the tick rate).
+
+use crate::lexer::Comment;
+use crate::Rule;
+use std::collections::BTreeSet;
+
+/// One parsed inline waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Line the waiver comment starts on.
+    pub line: u32,
+    /// Rule it waives.
+    pub rule: Rule,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Whether the comment is alone on its line (may then cover the
+    /// next code line below the comment block).
+    pub own_line: bool,
+}
+
+/// Result of scanning a file's comments for waivers.
+#[derive(Debug, Default)]
+pub struct WaiverSet {
+    /// Well-formed waivers.
+    pub waivers: Vec<Waiver>,
+    /// Lines carrying a `lint:` marker that failed to parse, with the
+    /// failure cause (reported as `malformed-waiver` findings).
+    pub malformed: Vec<(u32, String)>,
+}
+
+/// Extracts every waiver from a file's comment stream.
+#[must_use]
+pub fn parse_waivers(comments: &[Comment]) -> WaiverSet {
+    let mut set = WaiverSet::default();
+    for c in comments {
+        // Only a comment *starting* with `lint:` is a waiver attempt;
+        // prose that merely mentions the marker (like these docs) is not.
+        let Some(rest) = c.text.trim_start().strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            set.malformed
+                .push((c.line, "expected `allow(<rule>)` after `lint:`".into()));
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            set.malformed
+                .push((c.line, "unclosed `allow(` in waiver".into()));
+            continue;
+        };
+        let rule_name = args[..close].trim();
+        let Some(rule) = Rule::from_id(rule_name) else {
+            set.malformed
+                .push((c.line, format!("unknown rule `{rule_name}` in waiver")));
+            continue;
+        };
+        // Reason: everything after the `)`, shorn of separator dashes.
+        let reason = args[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '-', ':', '–'])
+            .trim()
+            .to_string();
+        if reason.is_empty() {
+            set.malformed.push((
+                c.line,
+                format!("waiver for `{rule_name}` carries no reason"),
+            ));
+            continue;
+        }
+        set.waivers.push(Waiver {
+            line: c.line,
+            rule,
+            reason,
+            own_line: c.own_line,
+        });
+    }
+    set
+}
+
+/// Looks up a waiver covering `rule` at `line`: either a trailing
+/// comment on the same line, or an own-line waiver in the contiguous
+/// run of comment-only lines directly above.
+#[must_use]
+pub fn find_waiver<'w>(
+    set: &'w WaiverSet,
+    comment_lines: &BTreeSet<u32>,
+    rule: Rule,
+    line: u32,
+) -> Option<&'w Waiver> {
+    if let Some(w) = set
+        .waivers
+        .iter()
+        .find(|w| w.rule == rule && w.line == line)
+    {
+        return Some(w);
+    }
+    // Walk up through the contiguous comment-only block above.
+    let mut l = line;
+    while l > 1 && comment_lines.contains(&(l - 1)) {
+        l -= 1;
+        if let Some(w) = set
+            .waivers
+            .iter()
+            .find(|w| w.rule == rule && w.line == l && w.own_line)
+        {
+            return Some(w);
+        }
+    }
+    None
+}
+
+/// One `[[allow]]` block of the committed allowlist.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Workspace-relative path prefix (forward slashes).
+    pub path: String,
+    /// Rule ids exempted under the prefix; `"*"` exempts everything.
+    pub rules: Vec<String>,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// The parsed `lint.toml` allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// Entries in file order (order is irrelevant: any match exempts).
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Does the allowlist exempt `rule` for the file at `rel_path`?
+    #[must_use]
+    pub fn covers(&self, rel_path: &str, rule: Rule) -> bool {
+        self.entries.iter().any(|e| {
+            rel_path.starts_with(&e.path)
+                && e.rules
+                    .iter()
+                    .any(|r| r == "*" || Rule::from_id(r) == Some(rule))
+        })
+    }
+
+    /// Parses the `lint.toml` format: `[[allow]]` blocks of
+    /// `key = "value"` / `key = ["a", "b"]` lines, `#` comments.
+    /// Hand-rolled like every parser in this workspace (no registry
+    /// access), accepting exactly the subset the committed file uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for anything outside
+    /// that subset, an entry missing `path`/`rules`, or an empty
+    /// `reason` — an allowlist exemption without a reason is as illegal
+    /// as an inline waiver without one.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut cur: Option<AllowEntry> = None;
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(e) = cur.take() {
+                    entries.push(validate(e, ln)?);
+                }
+                cur = Some(AllowEntry {
+                    path: String::new(),
+                    rules: Vec::new(),
+                    reason: String::new(),
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml line {}: expected `key = value`", ln + 1));
+            };
+            let Some(e) = cur.as_mut() else {
+                return Err(format!(
+                    "lint.toml line {}: key outside an [[allow]] block",
+                    ln + 1
+                ));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "path" => e.path = parse_str(value, ln)?,
+                "reason" => e.reason = parse_str(value, ln)?,
+                "rules" => e.rules = parse_list(value, ln)?,
+                other => {
+                    return Err(format!("lint.toml line {}: unknown key `{other}`", ln + 1));
+                }
+            }
+        }
+        if let Some(e) = cur.take() {
+            entries.push(validate(e, text.lines().count())?);
+        }
+        Ok(Allowlist { entries })
+    }
+}
+
+fn validate(e: AllowEntry, ln: usize) -> Result<AllowEntry, String> {
+    if e.path.is_empty() {
+        return Err(format!(
+            "lint.toml entry ending line {}: missing `path`",
+            ln
+        ));
+    }
+    if e.rules.is_empty() {
+        return Err(format!(
+            "lint.toml entry `{}`: missing `rules` (line {ln})",
+            e.path
+        ));
+    }
+    for r in &e.rules {
+        if r != "*" && Rule::from_id(r).is_none() {
+            return Err(format!("lint.toml entry `{}`: unknown rule `{r}`", e.path));
+        }
+    }
+    if e.reason.trim().is_empty() {
+        return Err(format!(
+            "lint.toml entry `{}`: every exemption needs a non-empty `reason`",
+            e.path
+        ));
+    }
+    Ok(e)
+}
+
+fn parse_str(value: &str, ln: usize) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("lint.toml line {}: expected a quoted string", ln + 1))
+}
+
+fn parse_list(value: &str, ln: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("lint.toml line {}: expected `[ … ]`", ln + 1))?;
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_str(s, ln))
+        .collect()
+}

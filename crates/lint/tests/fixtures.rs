@@ -1,0 +1,475 @@
+//! Fixture tests: every rule must catch its seeded violation, and every
+//! exemption (strings, `cfg(test)`, aliases, waivers, the allowlist)
+//! must hold. Sources are inline strings fed through [`scan_source`],
+//! exactly the path the workspace scan takes per file.
+
+use croxmap_lint::lexer::{lex, TokKind};
+use croxmap_lint::waiver::Allowlist;
+use croxmap_lint::{scan_source, Report, Rule};
+
+fn scan(path: &str, src: &str) -> Report {
+    scan_source(path, src, &Allowlist::default())
+}
+
+fn rules_of(report: &Report) -> Vec<Rule> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[test]
+fn lexer_strips_strings_and_comments() {
+    let src = "fn f() { let s = \"HashMap.iter() thread::spawn Instant\"; // Instant here too\n /* and Relaxed\n in a block */ }";
+    let lexed = lex(src);
+    assert!(
+        !lexed.tokens.iter().any(|t| t.text.contains("Instant")
+            || t.text.contains("Relaxed")
+            || t.text.contains("HashMap")),
+        "string/comment contents must not become tokens"
+    );
+    assert_eq!(lexed.comments.len(), 2);
+    assert!(!lexed.comments[0].own_line, "trailing comment");
+    assert!(
+        lexed.comments[1].own_line,
+        "block comment alone on its line"
+    );
+}
+
+#[test]
+fn lexer_handles_raw_strings_and_chars() {
+    let src = "let a = r#\"Instant \"quoted\" inside\"#; let b = b\"SystemTime\"; let c = '\\n'; let d: &'static str = \"x\";";
+    let lexed = lex(src);
+    assert!(
+        !lexed
+            .tokens
+            .iter()
+            .any(|t| t.text.contains("Instant") || t.text.contains("SystemTime")),
+        "raw and byte string bodies must be stripped"
+    );
+    assert!(
+        lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'static"),
+        "lifetimes survive as tokens"
+    );
+}
+
+#[test]
+fn lexer_keeps_range_expressions_apart() {
+    let lexed = lex("for i in 0..n { let x = 1e9; let y = 2.5; }");
+    let nums: Vec<&str> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Num)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(
+        nums,
+        ["0", "1e9", "2.5"],
+        "`0..n` must not fuse into one number"
+    );
+}
+
+#[test]
+fn lexer_marks_cfg_test_regions() {
+    let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}";
+    let lexed = lex(src);
+    let unwrap_tok = lexed
+        .tokens
+        .iter()
+        .find(|t| t.text == "unwrap")
+        .expect("unwrap token present");
+    assert!(unwrap_tok.in_test, "tokens under #[cfg(test)] are marked");
+    let lib2 = lexed.tokens.iter().find(|t| t.text == "lib2").unwrap();
+    assert!(!lib2.in_test, "marking ends with the balanced brace");
+}
+
+#[test]
+fn lexer_does_not_mark_cfg_not_test() {
+    let src = "#[cfg(not(test))]\nfn real() { x.unwrap(); }";
+    let lexed = lex(src);
+    let unwrap_tok = lexed.tokens.iter().find(|t| t.text == "unwrap").unwrap();
+    assert!(!unwrap_tok.in_test, "#[cfg(not(test))] is library code");
+}
+
+// ---------------------------------------------------------- determinism
+
+#[test]
+fn determinism_time_caught_and_alias_resolved() {
+    let direct = scan(
+        "crates/ilp/src/x.rs",
+        "use std::time::Instant;\nfn f() { let t = Instant::now(); }",
+    );
+    assert!(rules_of(&direct).contains(&Rule::DeterminismTime));
+
+    let aliased = scan(
+        "crates/ilp/src/x.rs",
+        "use std::time::Instant as Clock;\nfn f() { let t = Clock::now(); }",
+    );
+    assert!(
+        rules_of(&aliased).contains(&Rule::DeterminismTime),
+        "`use … as` rename must still be caught"
+    );
+}
+
+#[test]
+fn determinism_rng_caught() {
+    let r = scan(
+        "crates/ilp/src/x.rs",
+        "use rand::thread_rng;\nfn f() { let mut rng = thread_rng(); }",
+    );
+    assert!(rules_of(&r).contains(&Rule::DeterminismRng));
+}
+
+#[test]
+fn string_mentioning_banned_names_is_clean() {
+    let r = scan(
+        "crates/ilp/src/x.rs",
+        "fn f() -> &'static str { \"HashMap iteration and Instant and thread_rng\" }",
+    );
+    assert!(r.is_clean(), "strings are not code: {}", r.render());
+}
+
+#[test]
+fn cfg_test_code_is_exempt() {
+    let r = scan(
+        "crates/ilp/src/x.rs",
+        "#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n    #[test]\n    fn t() { let _ = Instant::now(); x.unwrap(); }\n}",
+    );
+    assert!(r.is_clean(), "cfg(test) is exempt: {}", r.render());
+}
+
+#[test]
+fn test_directory_files_are_exempt() {
+    let r = scan(
+        "crates/ilp/tests/determinism.rs",
+        "use std::time::Instant;\nfn f() { let t = Instant::now(); x.unwrap(); }",
+    );
+    assert!(r.is_clean(), "tests/ files are exempt: {}", r.render());
+}
+
+// ------------------------------------------------------- hash iteration
+
+#[test]
+fn hash_iteration_methods_caught_lookups_legal() {
+    let src = "use std::collections::HashMap;\nfn f(m: HashMap<u32, u32>) {\n    let _ = m.get(&1);\n    let _ = m.len();\n    for k in m.keys() { let _ = k; }\n}";
+    let r = scan("crates/ilp/src/x.rs", src);
+    let hits: Vec<u32> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::HashIteration)
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(
+        hits,
+        [5],
+        "keys() flagged, get()/len() legal: {}",
+        r.render()
+    );
+}
+
+#[test]
+fn hash_iteration_for_loop_caught() {
+    let src = "use std::collections::HashSet;\nfn f() {\n    let mut s: HashSet<u32> = HashSet::new();\n    s.insert(1);\n    for v in &s { let _ = v; }\n}";
+    let r = scan("crates/ilp/src/x.rs", src);
+    assert!(
+        rules_of(&r).contains(&Rule::HashIteration),
+        "`for … in &set` must be flagged: {}",
+        r.render()
+    );
+}
+
+#[test]
+fn hash_iteration_through_alias_and_nested() {
+    let aliased = scan(
+        "crates/ilp/src/x.rs",
+        "use std::collections::HashMap as Map;\nfn f(m: Map<u32, u32>) { for v in m.values() { let _ = v; } }",
+    );
+    assert!(rules_of(&aliased).contains(&Rule::HashIteration));
+
+    let nested = scan(
+        "crates/ilp/src/x.rs",
+        "use std::collections::HashSet;\nfn f(adj: Vec<HashSet<u32>>) {\n    for v in adj[0].iter() { let _ = v; }\n}",
+    );
+    assert!(
+        rules_of(&nested).contains(&Rule::HashIteration),
+        "indexed element of a Vec<HashSet> must be flagged: {}",
+        nested.render()
+    );
+}
+
+#[test]
+fn hash_iteration_inferred_binding_caught() {
+    let r = scan(
+        "crates/ilp/src/x.rs",
+        "use std::collections::HashMap;\nfn f() {\n    let m = HashMap::<u32, u32>::new();\n    let _: Vec<_> = m.drain().collect();\n}",
+    );
+    assert!(rules_of(&r).contains(&Rule::HashIteration));
+}
+
+#[test]
+fn vec_iteration_is_legal() {
+    let r = scan(
+        "crates/ilp/src/x.rs",
+        "fn f(v: Vec<u32>) { for x in v.iter() { let _ = x; } for y in &v {} }",
+    );
+    assert!(r.is_clean(), "Vec traversal is fine: {}", r.render());
+}
+
+// ---------------------------------------------------------- concurrency
+
+#[test]
+fn relaxed_ordering_caught_bare_ident_legal() {
+    let caught = scan(
+        "crates/ilp/src/x.rs",
+        "use std::sync::atomic::{AtomicU64, Ordering};\nfn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }",
+    );
+    assert!(rules_of(&caught).contains(&Rule::RelaxedOrdering));
+
+    let bare = scan(
+        "crates/ilp/src/x.rs",
+        "struct Relaxed;\nfn f() { let _ = Relaxed; }",
+    );
+    assert!(
+        !rules_of(&bare).contains(&Rule::RelaxedOrdering),
+        "only `…::Relaxed` path uses count"
+    );
+}
+
+#[test]
+fn thread_spawn_caught() {
+    let r = scan(
+        "crates/core/src/x.rs",
+        "use std::thread;\nfn f() { thread::spawn(|| {}); }",
+    );
+    assert!(rules_of(&r).contains(&Rule::ThreadSpawn));
+    let scoped = scan(
+        "crates/core/src/x.rs",
+        "fn f() { std::thread::scope(|_| {}); }",
+    );
+    assert!(rules_of(&scoped).contains(&Rule::ThreadSpawn));
+}
+
+// ----------------------------------------------------------- panic path
+
+#[test]
+fn panic_path_caught_unwrap_or_legal() {
+    let r = scan(
+        "crates/ilp/src/x.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }\nfn g(x: Option<u32>) -> u32 { x.unwrap_or(0) }\nfn h(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }",
+    );
+    let hits: Vec<u32> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::PanicPath)
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(
+        hits,
+        [1],
+        "unwrap() flagged, unwrap_or* legal: {}",
+        r.render()
+    );
+}
+
+// ------------------------------------------------------ ticks arithmetic
+
+#[test]
+fn ticks_arithmetic_caught_in_all_spellings() {
+    for lit in [
+        "1e9",
+        "1E9",
+        "1_000_000_000",
+        "1000000000",
+        "1_000_000_000u64",
+    ] {
+        let src = format!("fn f(n: u64) -> u64 {{ n * {lit} as u64 }}");
+        let r = scan("crates/ilp/src/x.rs", &src);
+        assert!(
+            rules_of(&r).contains(&Rule::TicksArithmetic),
+            "`{lit}` must be caught"
+        );
+    }
+    let other = scan("crates/ilp/src/x.rs", "fn f() -> u64 { 2_000_000_000 }");
+    assert!(other.is_clean(), "other constants stay legal");
+}
+
+// -------------------------------------------------------- forbid unsafe
+
+#[test]
+fn forbid_unsafe_required_in_crate_roots_only() {
+    let missing = scan("crates/ilp/src/lib.rs", "//! docs\npub fn f() {}");
+    assert_eq!(rules_of(&missing), [Rule::ForbidUnsafe]);
+    assert_eq!(missing.findings[0].line, 1);
+
+    let present = scan(
+        "crates/ilp/src/lib.rs",
+        "//! docs\n#![forbid(unsafe_code)]\npub fn f() {}",
+    );
+    assert!(present.is_clean());
+
+    let module = scan("crates/ilp/src/solver.rs", "pub fn f() {}");
+    assert!(module.is_clean(), "non-root modules need no attribute");
+}
+
+// --------------------------------------------------------------- waivers
+
+#[test]
+fn same_line_waiver_suppresses_with_reason() {
+    let r = scan(
+        "crates/ilp/src/x.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint: allow(panic-path) — x checked by caller",
+    );
+    assert!(r.is_clean(), "{}", r.render());
+    assert_eq!(r.waived.len(), 1);
+    assert_eq!(r.waived[0].1, "x checked by caller");
+}
+
+#[test]
+fn own_line_waiver_covers_code_below_through_comment_block() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // lint: allow(panic-path) — invariant: caller checked\n    // more commentary between waiver and code\n    x.unwrap()\n}";
+    let r = scan("crates/ilp/src/x.rs", src);
+    assert!(
+        r.is_clean(),
+        "contiguous comment block must carry the waiver: {}",
+        r.render()
+    );
+    assert_eq!(r.waived.len(), 1);
+}
+
+#[test]
+fn waiver_does_not_cross_code_lines_or_rules() {
+    let gap = scan(
+        "crates/ilp/src/x.rs",
+        "fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n    // lint: allow(panic-path) — only covers the next line\n    let a = x.unwrap();\n    a + y.unwrap()\n}",
+    );
+    assert_eq!(
+        gap.findings.len(),
+        1,
+        "second unwrap stays flagged: {}",
+        gap.render()
+    );
+    assert_eq!(gap.findings[0].line, 4);
+
+    let wrong_rule = scan(
+        "crates/ilp/src/x.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint: allow(hash-iteration) — wrong rule",
+    );
+    assert_eq!(
+        rules_of(&wrong_rule),
+        [Rule::PanicPath],
+        "a waiver only covers its own rule"
+    );
+}
+
+#[test]
+fn malformed_waivers_are_findings() {
+    // Empty reason.
+    let empty = scan(
+        "crates/ilp/src/x.rs",
+        "// lint: allow(panic-path)\nfn f() {}",
+    );
+    assert_eq!(rules_of(&empty), [Rule::MalformedWaiver]);
+    // Unknown rule name.
+    let unknown = scan(
+        "crates/ilp/src/x.rs",
+        "// lint: allow(no-such-rule) — reason\nfn f() {}",
+    );
+    assert_eq!(rules_of(&unknown), [Rule::MalformedWaiver]);
+    // Not the allow(…) form at all.
+    let garbled = scan(
+        "crates/ilp/src/x.rs",
+        "// lint: disable everything\nfn f() {}",
+    );
+    assert_eq!(rules_of(&garbled), [Rule::MalformedWaiver]);
+    // Prose merely *mentioning* the marker is not a waiver attempt.
+    let prose = scan(
+        "crates/ilp/src/x.rs",
+        "// the `lint:` marker is described here\nfn f() {}",
+    );
+    assert!(prose.is_clean(), "{}", prose.render());
+}
+
+// ------------------------------------------------------------- allowlist
+
+#[test]
+fn allowlist_covers_by_prefix_and_rule() {
+    let toml = "[[allow]]\npath = \"crates/bench/\"\nrules = [\"determinism-time\"]\nreason = \"bench measures wall time by design\"\n";
+    let allow = Allowlist::parse(toml).expect("valid allowlist");
+    let covered = scan_source(
+        "crates/bench/src/x.rs",
+        "use std::time::Instant;\nfn f() { let _ = Instant::now(); }",
+        &allow,
+    );
+    assert!(covered.is_clean(), "{}", covered.render());
+    assert!(covered.allowlisted >= 1);
+
+    // Same source outside the prefix still fails.
+    let outside = scan_source(
+        "crates/ilp/src/x.rs",
+        "use std::time::Instant;\nfn f() { let _ = Instant::now(); }",
+        &allow,
+    );
+    assert!(!outside.is_clean());
+
+    // Same prefix, different rule still fails.
+    let other_rule = scan_source(
+        "crates/bench/src/x.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+        &allow,
+    );
+    assert_eq!(rules_of(&other_rule), [Rule::PanicPath]);
+}
+
+#[test]
+fn allowlist_wildcard_and_validation() {
+    let wild = Allowlist::parse(
+        "[[allow]]\npath = \"crates/compat/\"\nrules = [\"*\"]\nreason = \"offline stubs\"\n",
+    )
+    .expect("wildcard parses");
+    let r = scan_source(
+        "crates/compat/rand/src/lib.rs",
+        "pub fn thread_rng() -> u32 { 4 }",
+        &wild,
+    );
+    assert!(r.is_clean(), "{}", r.render());
+
+    // Reason is mandatory.
+    assert!(Allowlist::parse("[[allow]]\npath = \"x\"\nrules = [\"*\"]\nreason = \"\"\n").is_err());
+    // Unknown rules are rejected.
+    assert!(
+        Allowlist::parse("[[allow]]\npath = \"x\"\nrules = [\"bogus\"]\nreason = \"r\"\n").is_err()
+    );
+    // Keys outside a block are rejected.
+    assert!(Allowlist::parse("path = \"x\"\n").is_err());
+}
+
+// ------------------------------------------------------------ reporting
+
+#[test]
+fn report_carries_location_snippet_and_hint() {
+    let r = scan(
+        "crates/ilp/src/x.rs",
+        "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}",
+    );
+    assert_eq!(r.findings.len(), 1);
+    let f = &r.findings[0];
+    assert_eq!((f.file.as_str(), f.line), ("crates/ilp/src/x.rs", 2));
+    assert_eq!(f.snippet, "x.unwrap()");
+    let rendered = r.render();
+    assert!(rendered.contains("crates/ilp/src/x.rs:2 [panic-path]"));
+    assert!(
+        rendered.contains("// lint: allow(panic-path)"),
+        "waiver hint present"
+    );
+}
+
+#[test]
+fn rule_ids_round_trip() {
+    for rule in Rule::ALL {
+        assert_eq!(Rule::from_id(rule.id()), Some(rule));
+        assert!(!rule.describe().is_empty());
+    }
+    assert_eq!(Rule::from_id("not-a-rule"), None);
+}

@@ -22,6 +22,7 @@ impl NeuronId {
     /// Creates a neuron id from a dense index.
     #[must_use]
     pub fn new(index: usize) -> Self {
+        // lint: allow(panic-path) — ids are u32 across the whole stack by design; 4 billion neurons is far beyond any crossbar instance and the message names the limit
         NeuronId(u32::try_from(index).expect("neuron index exceeds u32 range"))
     }
 
@@ -54,6 +55,7 @@ impl EdgeId {
     /// Creates an edge id from a dense index.
     #[must_use]
     pub fn new(index: usize) -> Self {
+        // lint: allow(panic-path) — ids are u32 across the whole stack by design; 4 billion edges is far beyond any crossbar instance and the message names the limit
         EdgeId(u32::try_from(index).expect("edge index exceeds u32 range"))
     }
 

@@ -1,0 +1,37 @@
+//! Tier-1 gate: the workspace must scan clean under `croxmap-lint`.
+//!
+//! This is the same analysis `cargo run -p croxmap-lint -- --deny` runs
+//! in CI, wired into plain `cargo test -q` so a determinism or
+//! concurrency-hygiene violation fails the suite the moment it is
+//! introduced — with the finding's file, line, snippet and the waiver
+//! syntax in the assertion message.
+
+use std::path::Path;
+
+#[test]
+fn workspace_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = croxmap_lint::scan_workspace(root).expect("workspace scan runs");
+    assert!(
+        report.is_clean(),
+        "croxmap-lint found unwaived violations:\n{}",
+        report.render()
+    );
+    // Sanity-check the scan actually covered the tree: the workspace has
+    // dozens of sources, and a walker bug that scanned nothing would
+    // otherwise pass vacuously.
+    assert!(
+        report.files > 50,
+        "suspiciously few files scanned ({}); walker broken?",
+        report.files
+    );
+    // Every suppression carries a non-empty reason by construction
+    // (malformed waivers are findings, the allowlist parser rejects
+    // empty reasons) — assert it end-to-end anyway.
+    for (finding, reason) in &report.waived {
+        assert!(
+            !reason.trim().is_empty(),
+            "waiver without reason at {finding}"
+        );
+    }
+}
