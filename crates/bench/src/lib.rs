@@ -142,7 +142,7 @@ pub fn section(title: &str) {
 /// Formats a percentage improvement `old → new` (positive = better).
 #[must_use]
 pub fn improvement_pct(old: f64, new: f64) -> f64 {
-    if old.abs() < 1e-12 {
+    if old.abs() < croxmap_ilp::tol::ZERO {
         0.0
     } else {
         100.0 * (old - new) / old

@@ -98,8 +98,7 @@ pub fn greedy_first_fit(network: &Network, pool: &CrossbarPool) -> Result<Mappin
         candidates.sort_by(|&a, &b| {
             pool.slot(a)
                 .cost
-                .partial_cmp(&pool.slot(b).cost)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&pool.slot(b).cost)
                 .then(a.cmp(&b))
         });
         match candidates.first() {
@@ -247,12 +246,9 @@ pub fn local_search_area(
         used.sort_by(|&a, &b| {
             let fill_a = members_of(&assignment, a).len();
             let fill_b = members_of(&assignment, b).len();
-            fill_a.cmp(&fill_b).then(
-                pool.slot(b)
-                    .cost
-                    .partial_cmp(&pool.slot(a).cost)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+            fill_a
+                .cmp(&fill_b)
+                .then(pool.slot(b).cost.total_cmp(&pool.slot(a).cost))
         });
 
         // Move 1: empty a slot.
@@ -583,7 +579,7 @@ pub fn spikehard_iterate(
         };
         total_det_time += det_time;
         let area = mapping.area(pool);
-        if area >= current_area - 1e-9 {
+        if area >= current_area - croxmap_ilp::tol::OBJ_AGREE {
             break; // converged
         }
         current = mapping.clone();

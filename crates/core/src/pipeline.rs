@@ -355,7 +355,7 @@ fn resolve_slot_group(
     let Some(best) = result.best else {
         return (None, det_time);
     };
-    if best.objective() >= current_area - 1e-9 {
+    if best.objective() >= current_area - croxmap_ilp::tol::OBJ_AGREE {
         return (None, det_time);
     }
     let mut assignment = mapping.assignment().to_vec();
@@ -412,9 +412,7 @@ pub fn refine_pairwise(
         groups.sort_by(|g1, g2| {
             let f1 = g1.iter().map(|&j| fill(j)).sum::<f64>() / g1.len() as f64;
             let f2 = g2.iter().map(|&j| fill(j)).sum::<f64>() / g2.len() as f64;
-            g1.len()
-                .cmp(&g2.len())
-                .then(f1.partial_cmp(&f2).unwrap_or(std::cmp::Ordering::Equal))
+            g1.len().cmp(&g2.len()).then(f1.total_cmp(&f2))
         });
         for group in groups {
             if spent >= det_budget {
@@ -519,7 +517,7 @@ fn optimize_area_seeded(
     // echoes of the warm start itself (same objective).
     let best_so_far = incumbents.last().map(|t| t.objective);
     for inc in run.incumbents {
-        if best_so_far.is_some_and(|b| inc.objective >= b - 1e-9) {
+        if best_so_far.is_some_and(|b| inc.objective >= b - croxmap_ilp::tol::OBJ_AGREE) {
             continue;
         }
         incumbents.push(TimedMapping {

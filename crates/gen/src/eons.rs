@@ -250,7 +250,7 @@ pub fn evolve(config: &EonsConfig, mut fitness: impl FnMut(&Network) -> f64) -> 
                 (sel, raw, g.clone())
             })
             .collect();
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
         history.push(GenerationStats {
             generation,
             best_fitness: scored[0].1,
@@ -294,7 +294,7 @@ pub fn evolve(config: &EonsConfig, mut fitness: impl FnMut(&Network) -> f64) -> 
         })
         .collect();
     final_scored.extend(scored);
-    final_scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    final_scored.sort_by(|a, b| b.0.total_cmp(&a.0));
     let (_, best_fitness, best) = final_scored.swap_remove(0);
     EonsRun {
         best,

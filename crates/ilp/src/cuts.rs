@@ -32,9 +32,9 @@ use crate::model::{Model, VarType};
 use std::collections::{BTreeSet, HashSet};
 
 /// Violation below which a candidate cut is not worth adding.
-const CUT_TOL: f64 = 1e-6;
+const CUT_TOL: f64 = crate::tol::FEAS;
 /// Fractional-value floor for clique-growth candidates.
-const FRAC_TOL: f64 = 1e-6;
+const FRAC_TOL: f64 = crate::tol::INT_FEAS;
 
 /// Which separator produced a cut.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,11 +226,7 @@ impl CutSeparator {
                 .filter(|i| !i.complemented)
                 .map(|i| (i.col, i.weight))
                 .collect();
-            order.sort_by(|p, q| {
-                q.1.partial_cmp(&p.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(p.0.cmp(&q.0))
-            });
+            order.sort_by(|p, q| q.1.total_cmp(&p.1).then(p.0.cmp(&q.0)));
             let mut t = order.len();
             for i in 0..order.len() {
                 // Conflicts of item i: the heaviest items j (j > i) with
@@ -289,11 +285,7 @@ impl CutSeparator {
         self.separate_cliques(x, &mut cuts);
         self.stats.rounds += 1;
         self.stats.candidates += cuts.len() as u64;
-        cuts.sort_by(|a, b| {
-            b.violation
-                .partial_cmp(&a.violation)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        cuts.sort_by(|a, b| b.violation.total_cmp(&a.violation));
         cuts.truncate(max_cuts);
         // Only now commit the survivors' supports, so capped-out cuts can
         // return in a later round.
@@ -355,9 +347,7 @@ impl CutSeparator {
             order.sort_by(|&p, &q| {
                 let kp = (1.0 - val(&items[p])) / items[p].weight;
                 let kq = (1.0 - val(&items[q])) / items[q].weight;
-                kp.partial_cmp(&kq)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(items[p].col.cmp(&items[q].col))
+                kp.total_cmp(&kq).then(items[p].col.cmp(&items[q].col))
             });
             let mut cover: Vec<usize> = Vec::new();
             let mut weight = 0.0;
@@ -440,12 +430,7 @@ impl CutSeparator {
         if cand.len() < 2 {
             return;
         }
-        cand.sort_by(|&p, &q| {
-            x[q as usize]
-                .partial_cmp(&x[p as usize])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(p.cmp(&q))
-        });
+        cand.sort_by(|&p, &q| x[q as usize].total_cmp(&x[p as usize]).then(p.cmp(&q)));
         let mut local: BTreeSet<Vec<u32>> = BTreeSet::new();
         for seed_at in 0..cand.len() {
             let seed = cand[seed_at];

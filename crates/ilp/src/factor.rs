@@ -87,7 +87,7 @@
 use crate::sparse::CscMatrix;
 
 /// Magnitude below which a pivot candidate counts as numerically zero.
-const PIVOT_TOL: f64 = 1e-10;
+const PIVOT_TOL: f64 = crate::tol::PIVOT;
 /// Threshold-pivoting relaxation: rows within this factor of the largest
 /// eligible magnitude may be preferred for sparsity.
 const PIVOT_THRESHOLD: f64 = 0.1;

@@ -243,6 +243,27 @@
 //!   defined once, in [`DeterministicClock`]; everyone else converts
 //!   through [`DeterministicClock::ticks_to_seconds`] /
 //!   [`DeterministicClock::seconds_to_ticks`].
+//! * **`float-equality`** — no `==`/`!=` between float-typed
+//!   expressions and no NaN-unaware `partial_cmp(..).unwrap*()`
+//!   comparators: a float compare must state its intent as
+//!   `total_cmp` (ordering), `to_bits` (bit identity) or a named
+//!   tolerance. Structural-zero checks (`x == 0.0`) and the exact
+//!   `±INFINITY` no-bound sentinel stay legal.
+//! * **`tolerance-drift`** — any float literal with magnitude in
+//!   `[1e-12, 1e-3)` outside [`tol`] is an unnamed tolerance; every
+//!   feasibility/pivot/gap threshold lives in [`tol`] exactly once, so
+//!   two modules can never silently disagree on what "feasible" means.
+//! * **`lock-order`** — every `Mutex`/`RwLock` guard's hold span is
+//!   tracked across the workspace (including through direct callees)
+//!   into an acquisition graph; any cycle fails the build, and the
+//!   proven acyclic order is committed as `docs/lock_order.md` (kept
+//!   fresh by `tests/lint_clean.rs`).
+//! * **`tick-charge`** — in the solver hot path (`revised.rs`,
+//!   `factor.rs`, `cuts.rs`, `solver.rs`), a loop driving
+//!   FTRAN/BTRAN/pivot/separation kernels must charge the
+//!   deterministic clock or check a work budget, so no work can run
+//!   outside the tick accounting that `PhaseBreakdown` and the det
+//!   budget rest on.
 //!
 //! A violation is suppressed only by an inline
 //! `// lint: allow(<rule>) — <reason>` waiver (reason mandatory) or a
@@ -285,6 +306,7 @@ pub mod simplex;
 mod solution;
 mod solver;
 pub mod sparse;
+pub mod tol;
 pub mod trace;
 
 pub use backend::{

@@ -74,6 +74,21 @@
 //!     decrement / `Acquire` on read so the streaming loop's exit
 //!     happens-after every worker's final incumbent publication.
 //!
+//! # Lock-order contract
+//!
+//! This module owns two of the workspace's three locks: the per-worker
+//! steal `deques` (`Vec<Mutex<VecDeque<..>>>`) and the incumbent
+//! exchange `inner` (`Mutex<ExchangeInner>`); the third is the trace
+//! `sink` (`trace.rs`). The contract, statically proven by
+//! `croxmap-lint`'s `lock-order` pass and committed as
+//! `docs/lock_order.md`, is that **no code path acquires a second lock
+//! while holding one**: every critical section here is self-contained
+//! (push/pop/steal under one deque guard, publish/read under the one
+//! exchange guard), and trace emission never happens under a deque or
+//! exchange guard. The acquisition graph therefore has no edges, any
+//! nesting someone introduces shows up as a new edge in the committed
+//! contract, and any cyclic nesting fails the build outright.
+//!
 //! [`LpSession`]: crate::backend::LpSession
 //! [`SolverConfig::with_threads`]: crate::SolverConfig::with_threads
 //! [`DeterministicClock`]: crate::DeterministicClock
@@ -85,6 +100,7 @@ use crate::factor::FactorStats;
 use crate::model::Model;
 use crate::solution::{IncumbentEvent, Solution};
 use crate::solver::{NodeExpansion, Search, SolverConfig};
+use crate::tol;
 use crate::trace::{Phase, PhaseBreakdown, SpanEvent};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -248,7 +264,7 @@ impl Exchange {
         if inner
             .best
             .as_ref()
-            .is_some_and(|b| objective >= b.objective() - 1e-9)
+            .is_some_and(|b| objective >= b.objective() - tol::OBJ_AGREE)
         {
             return None;
         }
@@ -534,7 +550,7 @@ fn ws_worker(
             search.clock.charge(1_000);
             search.phases.add(Phase::Lns, 1_000, 0);
             exchange.charge(1_000);
-            if exchange.best_objective() < before - 1e-9 {
+            if exchange.best_objective() < before - tol::OBJ_AGREE {
                 lns_hits += 1;
             }
             continue;
@@ -685,7 +701,7 @@ struct DetOpen {
 
 impl PartialEq for DetOpen {
     fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound && self.id == other.id
+        self.bound.to_bits() == other.bound.to_bits() && self.id == other.id
     }
 }
 impl Eq for DetOpen {}
@@ -698,8 +714,7 @@ impl Ord for DetOpen {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .bound
-            .partial_cmp(&self.bound)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.bound)
             .then(self.id.cmp(&other.id))
     }
 }

@@ -55,7 +55,7 @@ use crate::solution::{IncumbentEvent, Solution};
 use std::collections::HashMap;
 
 /// Bound-tightening tolerance: changes smaller than this are ignored.
-const TOL: f64 = 1e-9;
+const TOL: f64 = crate::tol::OBJ_AGREE;
 /// Violation above which presolve declares the model infeasible.
 /// **Aligned with the solver's 1e-6 feasibility tolerance**: a smaller
 /// threshold here would be *more* aggressive, declaring infeasible a
@@ -63,9 +63,9 @@ const TOL: f64 = 1e-9;
 /// feasibility check would still accept — exactly the drift the old
 /// `1e-7` value exhibited (flagged by the PR 4 review, pre-existing
 /// since PR 3; pinned by `marginal_violation_within_solver_tolerance_*`).
-const VIOL: f64 = 1e-6;
+const VIOL: f64 = crate::tol::FEAS;
 /// Integrality tolerance when rounding binary bounds.
-const INT_TOL: f64 = 1e-6;
+const INT_TOL: f64 = crate::tol::INT_FEAS;
 
 /// Configuration of the presolve stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -584,7 +584,7 @@ impl Reduction for SingletonRows {
             }
             let (j, a) = row.terms[0];
             let j = j as usize;
-            if a.abs() < 1e-12 {
+            if a.abs() < crate::tol::ZERO {
                 continue; // degenerate coefficient: leave to redundancy pass
             }
             let bound = row.rhs / a;

@@ -68,21 +68,22 @@ use crate::factor::{DenseInverse, FactorOpts, Factorization, LuFactors};
 use crate::model::Model;
 use crate::simplex::{LpConfig, LpEngine, LpResult, LpStatus, PricingRule, TOL};
 use crate::sparse::{CscMatrix, RowMajor};
+use crate::tol;
 use std::sync::Arc;
 
 /// Primal feasibility tolerance for basic values.
-const PFEAS: f64 = 1e-7;
+const PFEAS: f64 = tol::PRIMAL_FEAS;
 /// Dual feasibility tolerance when accepting a warm basis.
-const DFEAS: f64 = 1e-6;
+const DFEAS: f64 = tol::DUAL_FEAS;
 /// Post-solve verification tolerance against the original constraints.
-const VERIFY_TOL: f64 = 1e-5;
+const VERIFY_TOL: f64 = tol::VERIFY;
 /// Consecutive non-improving iterations before anti-cycling kicks in.
 const STALL_LIMIT: u32 = 64;
 /// Devex weights above this trigger a reference-framework reset.
 const DEVEX_RESET: f64 = 1e8;
 /// Lower clamp on dual steepest-edge weights (guards the score division
 /// and the recurrence against cancellation-driven negatives).
-const DSE_FLOOR: f64 = 1e-4;
+const DSE_FLOOR: f64 = tol::DSE_FLOOR;
 /// Drift gate for the steepest-edge recurrence: when the maintained
 /// weight of the leaving row and its exact norm `‖ρ‖²` disagree by more
 /// than this factor, the weights are abandoned for the rest of the solve
@@ -90,14 +91,14 @@ const DSE_FLOOR: f64 = 1e-4;
 const DSE_DRIFT: f64 = 16.0;
 /// Remaining-slope floor for accepting another bound flip in the dual
 /// ratio test.
-const FLIP_SLOPE_TOL: f64 = 1e-9;
+const FLIP_SLOPE_TOL: f64 = tol::FLIP_SLOPE;
 /// Relative scale of the anti-degeneracy cost perturbation applied on
 /// cold starts (see [`Engine::apply_perturbation`]). Large enough to
 /// break exact reduced-cost ties in the dual ratio test, small enough
 /// that the perturbed optimum is (in practice) also an optimum of the
 /// true costs — which [`Engine::strip_perturbation`] verifies exactly
 /// before any result is reported.
-const PERTURB_SCALE: f64 = 1e-7;
+const PERTURB_SCALE: f64 = tol::PERTURB;
 
 /// SplitMix64: cheap, high-quality deterministic hash for the per-column
 /// perturbation stream.
@@ -361,7 +362,7 @@ impl Engine {
         model
             .objective()
             .iter()
-            .all(|&(v, c)| self.cost[v.index()] == c)
+            .all(|&(v, c)| self.cost[v.index()].to_bits() == c.to_bits())
             && self.cost_nnz == model.objective().len()
     }
 
@@ -378,7 +379,7 @@ impl Engine {
         let mut any = false;
         for j in 0..self.n {
             let (nl, nu) = norm_bounds(bounds[j].0, bounds[j].1);
-            if nl == self.lower[j] && nu == self.upper[j] {
+            if nl.to_bits() == self.lower[j].to_bits() && nu.to_bits() == self.upper[j].to_bits() {
                 continue;
             }
             let was_fixed = self.upper[j] - self.lower[j] <= TOL;
@@ -1050,7 +1051,7 @@ impl Engine {
             if self.iterations >= max_iterations || self.work >= work_limit {
                 return RunStatus::IterLimit;
             }
-            if total_infeasibility < last_infeasibility - 1e-9 {
+            if total_infeasibility < last_infeasibility - tol::OBJ_AGREE {
                 stall = 0;
                 last_infeasibility = total_infeasibility;
             } else {
@@ -1182,11 +1183,8 @@ impl Engine {
             // Under the Bland guard the plain min-ratio test runs. ---
             self.flips.clear();
             let q = if self.bound_flips && !bland && self.cands.len() > 1 {
-                self.cands.sort_unstable_by(|x, y| {
-                    x.0.partial_cmp(&y.0)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(x.1.cmp(&y.1))
-                });
+                self.cands
+                    .sort_unstable_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
                 let mut slope = delta0.abs();
                 let mut chosen = None;
                 for (idx, &(_, j, ap)) in self.cands.iter().enumerate() {
@@ -1209,7 +1207,7 @@ impl Engine {
             } else {
                 let mut best: Option<(f64, usize)> = None;
                 for &(ratio, j, _) in &self.cands {
-                    if best.is_none_or(|(br, _)| ratio < br - 1e-12) {
+                    if best.is_none_or(|(br, _)| ratio < br - tol::ZERO) {
                         best = Some((ratio, j));
                     }
                 }
@@ -1265,7 +1263,7 @@ impl Engine {
             };
             self.work += self.factor.take_work();
             let wr = self.w[r];
-            if wr.abs() < 1e-9 {
+            if wr.abs() < tol::PIVOT_MIN {
                 // ρ, α and w are live: restore the all-zero scratch
                 // invariant before handing the engine back.
                 self.clear_price_scratch(rho_tracked, price_sparse);

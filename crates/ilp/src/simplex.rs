@@ -44,7 +44,7 @@ use crate::factor::{FactorStats, MarkowitzOrdering, UpdateRule};
 use crate::model::Model;
 
 /// Numerical tolerance for feasibility and pricing decisions.
-pub const TOL: f64 = 1e-7;
+pub const TOL: f64 = crate::tol::PRIMAL_FEAS;
 
 /// Outcome of an LP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -332,7 +332,7 @@ impl Tableau {
                 }
                 (self.beta[i] - self.upper[b]).min(0.0) / delta
             };
-            if step < best_step - 1e-12 || (pivot_row.is_none() && step <= best_step) {
+            if step < best_step - crate::tol::ZERO || (pivot_row.is_none() && step <= best_step) {
                 best_step = step;
                 pivot_row = Some(i);
             }
@@ -429,7 +429,9 @@ impl Tableau {
             // Find a non-artificial column with a usable pivot in this row.
             let mut replacement = None;
             for j in 0..self.art_start {
-                if self.status[j] != ColStatus::Basic && self.t[r * self.n_cols + j].abs() > 1e-6 {
+                if self.status[j] != ColStatus::Basic
+                    && self.t[r * self.n_cols + j].abs() > crate::tol::FEAS
+                {
                     replacement = Some(j);
                     break;
                 }
@@ -802,7 +804,7 @@ pub(crate) fn solve_relaxation_dense(
             0.0,
             |acc, (&b, &col)| if col >= art_start { acc + b } else { acc },
         );
-    if phase1_obj > 1e-6 {
+    if phase1_obj > crate::tol::FEAS {
         return finish(model, &tab, LpStatus::Infeasible);
     }
     tab.expel_artificials();

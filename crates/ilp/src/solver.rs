@@ -22,6 +22,7 @@ use crate::parallel::{self, Exchange, ParallelMode, ParallelStats};
 use crate::presolve::{presolve, PresolveConfig, PresolveOutcome, PresolveStats};
 use crate::simplex::{LpConfig, LpEngine, LpStatus, PricingRule, WarmLpResult};
 use crate::solution::{IncumbentEvent, Solution};
+use crate::tol;
 use crate::trace::{Phase, PhaseBreakdown, ProgressRow, SpanKind, TraceBuf, TraceHandle};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -32,9 +33,9 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 /// Tolerance under which a relaxation value counts as integral.
-const INT_TOL: f64 = 1e-6;
+const INT_TOL: f64 = tol::INT_FEAS;
 /// Feasibility tolerance for accepting solutions.
-const FEAS_TOL: f64 = 1e-6;
+const FEAS_TOL: f64 = tol::FEAS;
 
 /// Branching variable selection rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -101,7 +102,7 @@ impl Default for SolverConfig {
         SolverConfig {
             det_time_limit: 30.0,
             node_limit: 200_000,
-            gap_tolerance: 1e-6,
+            gap_tolerance: tol::GAP_REL,
             seed: 0,
             enable_lns: true,
             lns_destroy_fraction: 0.3,
@@ -331,10 +332,10 @@ impl SolveResult {
             None => f64::INFINITY,
             Some(s) => {
                 let inc = s.objective();
-                if inc.abs() < 1e-12 {
+                if inc.abs() < tol::ZERO {
                     (inc - self.best_bound).abs()
                 } else {
-                    (inc - self.best_bound).abs() / inc.abs().max(1e-12)
+                    (inc - self.best_bound).abs() / inc.abs().max(tol::ZERO)
                 }
             }
         }
@@ -374,7 +375,7 @@ struct OpenNode {
 
 impl PartialEq for OpenNode {
     fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound && self.seq == other.seq
+        self.bound.to_bits() == other.bound.to_bits() && self.seq == other.seq
     }
 }
 impl Eq for OpenNode {}
@@ -389,8 +390,7 @@ impl Ord for OpenNode {
         // tie-break on recency for a mild plunging bias.
         other
             .bound
-            .partial_cmp(&self.bound)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.bound)
             .then(self.seq.cmp(&other.seq))
     }
 }
@@ -465,8 +465,8 @@ impl<'a> Search<'a> {
         let integral_objective = model
             .objective()
             .iter()
-            .all(|&(_, c)| (c - c.round()).abs() < 1e-9)
-            && (model.objective_offset() - model.objective_offset().round()).abs() < 1e-9;
+            .all(|&(_, c)| (c - c.round()).abs() < tol::OBJ_AGREE)
+            && (model.objective_offset() - model.objective_offset().round()).abs() < tol::OBJ_AGREE;
         Search {
             model,
             cfg,
@@ -734,10 +734,10 @@ impl<'a> Search<'a> {
                 }
             }
             summary.rounds += 1;
-            if out.result.objective < summary.root_bound_after - 1e-6 {
+            if out.result.objective < summary.root_bound_after - tol::FEAS {
                 summary.bound_monotone = false;
             }
-            if out.result.objective > summary.root_bound_after + 1e-9 {
+            if out.result.objective > summary.root_bound_after + tol::OBJ_AGREE {
                 stalled = 0;
             } else {
                 stalled += 1;
@@ -801,7 +801,7 @@ impl<'a> Search<'a> {
         let dense_pivot = 2 * m * (n_total + m);
         let worst = lu_pivot.max(revised_pivot).max(dense_pivot);
         let per_pivot = DeterministicClock::ticks_to_seconds(worst as u64);
-        let iters = (remaining / per_pivot.max(1e-12)) as u64;
+        let iters = (remaining / per_pivot.max(tol::ZERO)) as u64;
         LpConfig {
             max_iterations: iters.clamp(64, self.cfg.lp.max_iterations),
             // The cold-start anti-degeneracy perturbation derives from the
@@ -827,9 +827,9 @@ impl<'a> Search<'a> {
             return f64::INFINITY;
         }
         if self.integral_objective {
-            obj - 1.0 + 1e-6
+            obj - 1.0 + tol::INT_FEAS
         } else {
-            obj - 1e-9
+            obj - tol::OBJ_AGREE
         }
     }
 
@@ -851,7 +851,7 @@ impl<'a> Search<'a> {
         if self
             .incumbent
             .as_ref()
-            .is_some_and(|s| obj >= s.objective() - 1e-9)
+            .is_some_and(|s| obj >= s.objective() - tol::OBJ_AGREE)
         {
             return false;
         }
@@ -916,7 +916,7 @@ impl<'a> Search<'a> {
                 let x = lp.values[v.index()];
                 let frac = (x - x.round()).abs();
                 let (l, u) = bounds[v.index()];
-                if (u - l).abs() < 1e-12 {
+                if (u - l).abs() < tol::ZERO {
                     continue; // already fixed
                 }
                 if frac <= 0.02 {
@@ -926,10 +926,7 @@ impl<'a> Search<'a> {
                     fractional.push((v, x, frac));
                 }
             }
-            match fractional
-                .iter()
-                .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
-            {
+            match fractional.iter().min_by(|a, b| a.2.total_cmp(&b.2)) {
                 None => {
                     return self.try_accept(lp.values, callback);
                 }
@@ -1026,7 +1023,7 @@ impl<'a> Search<'a> {
                     } else {
                         let up = (up_sum / f64::from(up_n)) * (1.0 - frac);
                         let dn = (dn_sum / f64::from(dn_n)) * frac;
-                        up.max(1e-6) * dn.max(1e-6)
+                        up.max(tol::PSEUDOCOST_FLOOR) * dn.max(tol::PSEUDOCOST_FLOOR)
                     }
                 }
             };
@@ -1044,7 +1041,7 @@ impl<'a> Search<'a> {
             &mut self.pseudo_down[var.index()]
         };
         let denom = if up { 1.0 - frac } else { frac };
-        if denom > 1e-6 && gain.is_finite() {
+        if denom > tol::PSEUDOCOST_FLOOR && gain.is_finite() {
             slot.0 += (gain / denom).max(0.0);
             slot.1 += 1;
         }
@@ -1088,7 +1085,7 @@ impl<'a> Search<'a> {
         let start = self.clock.ticks();
         self.branch_and_bound(&bounds, 256, mini_budget, None, callback);
         let after = self.incumbent.as_ref().map_or(f64::NAN, |s| s.objective());
-        let improved = after < incumbent.objective() - 1e-9;
+        let improved = after < incumbent.objective() - tol::OBJ_AGREE;
         self.emit_span(SpanKind::LnsRound, start, u64::from(improved), after);
         self.set_phase(prev_phase);
     }
@@ -1648,7 +1645,7 @@ impl Solver {
                 let gap_closed = proved.is_finite()
                     && (sol.objective() - proved).abs()
                         <= self.config.gap_tolerance * sol.objective().abs().max(1.0);
-                let exhausted = proved >= sol.objective() - 1e-9;
+                let exhausted = proved >= sol.objective() - tol::OBJ_AGREE;
                 if gap_closed || exhausted {
                     SolveStatus::Optimal
                 } else {

@@ -30,6 +30,17 @@
 //! The std-only constraint is deliberate: like the `crates/compat` stubs,
 //! this subsystem must build without the `tracing` ecosystem, so the
 //! event model is a plain struct and the JSONL writer is hand-rolled.
+//!
+//! # Lock-order contract
+//!
+//! The shared `sink` (`Mutex<dyn TraceSink>` inside [`TraceHandle`]) is
+//! the only lock this module touches, and per the workspace lock-order
+//! contract (`docs/lock_order.md`, proven by `croxmap-lint`'s
+//! `lock-order` pass) it is acquired **only while holding no other
+//! lock**: sink emission happens after worker buffers are drained, never
+//! under `parallel.rs`'s deque or exchange guards. Keep it that way —
+//! a sink callback that reached back into the exchange would add a
+//! `sink → inner` edge to the committed graph and invite a cycle.
 
 use crate::clock::DeterministicClock;
 use std::collections::VecDeque;
@@ -303,7 +314,7 @@ impl ProgressRow {
         if !self.bound.is_finite() {
             return None;
         }
-        let denom = inc.abs().max(1e-12);
+        let denom = inc.abs().max(crate::tol::ZERO);
         Some(100.0 * (inc - self.bound).abs() / denom)
     }
 

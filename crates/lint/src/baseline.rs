@@ -1,0 +1,315 @@
+//! Machine-readable report output (`--json`) and the baseline diff
+//! mode (`--baseline lint-baseline.json`).
+//!
+//! The baseline file *is* a previous `--json` output, committed at the
+//! workspace root: CI fails only on findings not present in it, so a
+//! rule can be introduced (or tightened) before every historical site
+//! is fixed, without letting new violations ride in behind the old
+//! ones. A finding matches a baseline entry on `(file, rule, snippet)`
+//! — not line number, so unrelated edits shifting code around do not
+//! invalidate the baseline.
+//!
+//! Both the writer and the reader are hand-rolled on `std` like every
+//! parser in this workspace (the build image has no registry access).
+//! The reader accepts general JSON syntax but only extracts the shape
+//! the writer emits.
+
+use crate::{Finding, Report};
+use std::collections::BTreeMap;
+
+/// Serialises a report to the committed JSON shape:
+///
+/// ```json
+/// {
+///   "findings": [ {"file": "...", "line": 3, "rule": "...", "snippet": "..."} ],
+///   "waived": 12, "allowlisted": 34, "files": 56
+/// }
+/// ```
+#[must_use]
+pub fn report_to_json(report: &Report) -> String {
+    let mut s = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"snippet\": {}}}",
+            escape(&f.file),
+            f.line,
+            escape(f.rule.id()),
+            escape(&f.snippet)
+        ));
+    }
+    if !report.findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str(&format!(
+        "],\n  \"waived\": {},\n  \"allowlisted\": {},\n  \"files\": {}\n}}\n",
+        report.waived.len(),
+        report.allowlisted.len(),
+        report.files
+    ));
+    s
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed baseline: a multiset of `(file, rule, snippet)` keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    keys: BTreeMap<(String, String, String), usize>,
+}
+
+impl Baseline {
+    /// Parses a baseline from a previous `--json` output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the defect for malformed JSON or a
+    /// findings entry missing `file`/`rule`.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = JsonParser::new(text).parse()?;
+        let Json::Object(top) = value else {
+            return Err("baseline: top level is not an object".into());
+        };
+        let Some(Json::Array(findings)) = top.get("findings") else {
+            return Err("baseline: missing \"findings\" array".into());
+        };
+        let mut base = Baseline::default();
+        for entry in findings {
+            let Json::Object(obj) = entry else {
+                return Err("baseline: findings entry is not an object".into());
+            };
+            let get = |key: &str| -> Result<String, String> {
+                match obj.get(key) {
+                    Some(Json::String(s)) => Ok(s.clone()),
+                    _ => Err(format!("baseline: findings entry missing \"{key}\"")),
+                }
+            };
+            let key = (
+                get("file")?,
+                get("rule")?,
+                get("snippet").unwrap_or_default(),
+            );
+            *base.keys.entry(key).or_insert(0) += 1;
+        }
+        Ok(base)
+    }
+
+    /// Splits `findings` into `(new, baselined)`: each finding consumes
+    /// at most one matching baseline entry, so *additional* occurrences
+    /// of a baselined pattern still count as new.
+    #[must_use]
+    pub fn partition<'f>(&self, findings: &'f [Finding]) -> (Vec<&'f Finding>, Vec<&'f Finding>) {
+        let mut remaining = self.keys.clone();
+        let mut new = Vec::new();
+        let mut old = Vec::new();
+        for f in findings {
+            let key = (f.file.clone(), f.rule.id().to_string(), f.snippet.clone());
+            match remaining.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    old.push(f);
+                }
+                _ => new.push(f),
+            }
+        }
+        (new, old)
+    }
+}
+
+/// The JSON subset the baseline reader understands.
+enum Json {
+    Object(BTreeMap<String, Json>),
+    Array(Vec<Json>),
+    String(String),
+    /// Numbers and booleans are validated but never read — the baseline
+    /// consumer only extracts strings out of the findings array.
+    Number,
+    Bool,
+    Null,
+}
+
+struct JsonParser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonParser {
+            b: text.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn parse(mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.ws();
+        if self.i != self.b.len() {
+            return Err(format!("baseline: trailing data at byte {}", self.i));
+        }
+        Ok(v)
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool),
+            Some(b'f') => self.lit("false", Json::Bool),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(format!("baseline: unexpected byte at {}", self.i)),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("baseline: bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(|_| Json::Number)
+            .ok_or_else(|| format!("baseline: bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.i += 1; // opening quote
+        let mut out = String::new();
+        while let Some(&c) = self.b.get(self.i) {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| {
+                                    format!("baseline: bad \\u escape at byte {}", self.i)
+                                })?;
+                            out.push(hex);
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("baseline: bad escape at byte {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| "baseline: invalid utf-8".to_string())?;
+                    let ch = rest.chars().next().unwrap_or('\u{fffd}');
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+        Err("baseline: unterminated string".into())
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.i += 1; // {
+        let mut map = BTreeMap::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            if self.b.get(self.i) != Some(&b':') {
+                return Err(format!("baseline: expected `:` at byte {}", self.i));
+            }
+            self.i += 1;
+            let v = self.value()?;
+            map.insert(key, v);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(format!("baseline: expected `,`/`}}` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.i += 1; // [
+        let mut items = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("baseline: expected `,`/`]` at byte {}", self.i)),
+            }
+        }
+    }
+}

@@ -225,7 +225,13 @@ fn raw_lex(src: &str) -> Lexed {
         if c.is_ascii_digit() {
             // Numeric literal: digits, `_`, hex/alpha suffixes, a `.`
             // only when followed by a digit (so `0..n` stays three
-            // tokens), and an exponent sign directly after e/E.
+            // tokens), and an exponent sign directly after e/E — so
+            // `1_000e-6f64` and `2.5E-8` stay single tokens the
+            // tolerance rules can evaluate. Radix-prefixed literals
+            // (`0xE`, `0b1`, `0o7`) have no exponent: a sign after them
+            // is an operator (`0xE-1` must stay three tokens).
+            let radix_prefixed =
+                c == '0' && i + 1 < n && matches!(b[i + 1], 'x' | 'X' | 'b' | 'B' | 'o' | 'O');
             let mut j = i;
             let mut text = String::new();
             while j < n {
@@ -234,6 +240,7 @@ fn raw_lex(src: &str) -> Lexed {
                     || d == '_'
                     || (d == '.' && j + 1 < n && b[j + 1].is_ascii_digit())
                     || ((d == '+' || d == '-')
+                        && !radix_prefixed
                         && matches!(text.chars().last(), Some('e' | 'E'))
                         && j + 1 < n
                         && b[j + 1].is_ascii_digit());
@@ -251,6 +258,31 @@ fn raw_lex(src: &str) -> Lexed {
         i += 1;
     }
     out
+}
+
+/// Evaluates a [`TokKind::Num`] token's text as a *float* literal:
+/// strips `_` separators and an `f32`/`f64` suffix, then parses —
+/// returning `None` for integer-shaped literals (no fraction dot or
+/// exponent) and for radix-prefixed ones (`0x1F`). This is what lets
+/// the tolerance rules see `1_000e-6f64` and `2.5E-8` as the values
+/// `1e-3` and `2.5e-8` rather than as opaque spellings.
+#[must_use]
+pub fn float_value(text: &str) -> Option<f64> {
+    let plain: String = text.chars().filter(|&c| c != '_').collect();
+    if plain.len() >= 2
+        && plain.starts_with('0')
+        && matches!(plain.as_bytes()[1], b'x' | b'X' | b'b' | b'B' | b'o' | b'O')
+    {
+        return None;
+    }
+    let plain = plain
+        .strip_suffix("f64")
+        .or_else(|| plain.strip_suffix("f32"))
+        .unwrap_or(&plain);
+    if !plain.contains(['.', 'e', 'E']) {
+        return None;
+    }
+    plain.parse::<f64>().ok()
 }
 
 /// Skips a `"…"` string starting at the opening quote; returns the index
@@ -365,4 +397,57 @@ fn attr_is_test(toks: &[Tok], attr: &[usize]) -> bool {
         }
     }
     false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{float_value, lex, TokKind};
+
+    /// Lexes `src` and returns the Num tokens' texts.
+    fn nums(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn exponent_floats_are_single_tokens() {
+        assert_eq!(nums("let a = 1e-6;"), ["1e-6"]);
+        assert_eq!(nums("let a = 2.5E-8;"), ["2.5E-8"]);
+        assert_eq!(nums("let a = 1e+9;"), ["1e+9"]);
+    }
+
+    #[test]
+    fn underscores_and_suffixes_stay_in_the_token() {
+        assert_eq!(nums("let a = 1_000e-6f64;"), ["1_000e-6f64"]);
+        assert_eq!(nums("let a = 1_000_000_000u64;"), ["1_000_000_000u64"]);
+        assert_eq!(nums("let a = 2.5e-8_f32;"), ["2.5e-8_f32"]);
+    }
+
+    #[test]
+    fn operators_after_literals_are_not_exponents() {
+        // `1e` is not followed by a digit after the sign-less `-`… the
+        // minus binds as subtraction when the mantissa has no e/E tail.
+        assert_eq!(nums("let a = 1 - 6;"), ["1", "6"]);
+        // Hex digits end in `E` but radix-prefixed literals have no
+        // exponent: `0xE-1` must stay a subtraction.
+        assert_eq!(nums("let a = 0xE-1;"), ["0xE", "1"]);
+        assert_eq!(nums("let r = 0..9;"), ["0", "9"]);
+    }
+
+    #[test]
+    fn float_value_evaluates_spellings() {
+        assert_eq!(float_value("1e-6"), Some(1e-6));
+        assert_eq!(float_value("1_000e-6f64"), Some(1e-3));
+        assert_eq!(float_value("2.5E-8"), Some(2.5e-8));
+        assert_eq!(float_value("0.0"), Some(0.0));
+        assert_eq!(float_value("1e+9"), Some(1e9));
+        // Integer-shaped and radix literals are not float literals.
+        assert_eq!(float_value("42"), None);
+        assert_eq!(float_value("1_000u64"), None);
+        assert_eq!(float_value("0x1F"), None);
+    }
 }

@@ -12,7 +12,8 @@
 //! scope by design: the runtime determinism suites remain the backstop,
 //! this pass catches the overwhelmingly common spellings before review.
 
-use crate::lexer::{Tok, TokKind};
+use crate::flow;
+use crate::lexer::{self, Tok, TokKind};
 use crate::Rule;
 use std::collections::BTreeSet;
 
@@ -67,6 +68,8 @@ pub fn run(toks: &[Tok], ctx: &FileCtx<'_>) -> Vec<(Rule, u32)> {
         thread_spawn(toks, &mut out);
         panic_path(toks, &mut out);
         ticks_arithmetic(toks, &mut out);
+        float_equality(toks, &mut out);
+        tolerance_drift(toks, &mut out);
     }
     if ctx.is_crate_root {
         forbid_unsafe(toks, &mut out);
@@ -201,70 +204,13 @@ fn determinism_names(toks: &[Tok], aliases: &Aliases, out: &mut Vec<(Rule, u32)>
 /// anyone ever swaps the hasher, across runs. Keyed lookups stay legal;
 /// traversal must go through a sorted structure instead.
 fn hash_iteration(toks: &[Tok], aliases: &Aliases, out: &mut Vec<(Rule, u32)>) {
-    // Bindings whose written type *is* a hash container…
-    let mut direct: BTreeSet<String> = BTreeSet::new();
-    // …or a container *of* hash containers (flag indexed traversal).
-    let mut nested: BTreeSet<String> = BTreeSet::new();
-    for i in 0..toks.len() {
-        if toks[i].kind != TokKind::Ident {
-            continue;
-        }
-        // `name: <type…>` — let bindings, struct fields, fn params and
-        // struct-literal fields (`seen: HashSet::new()`) all match.
-        let colon_type = toks.get(i + 1).is_some_and(|t| t.text == ":")
-            && toks.get(i + 2).is_some_and(|t| t.text != ":")
-            && i.checked_sub(1)
-                .and_then(|p| toks.get(p))
-                .is_none_or(|t| t.text != ":");
-        if colon_type {
-            let mut j = i + 2;
-            let mut angle = 0i32;
-            let mut first_ident: Option<&str> = None;
-            let mut any_hash = false;
-            while let Some(t) = toks.get(j) {
-                match t.text.as_str() {
-                    "<" => angle += 1,
-                    ">" => {
-                        if angle == 0 {
-                            break;
-                        }
-                        angle -= 1;
-                    }
-                    "=" | ";" | "{" | "}" | ")" if angle == 0 => break,
-                    "," if angle == 0 => break,
-                    // Type qualifiers before the head type name.
-                    "mut" | "dyn" | "impl" | "ref" => {}
-                    _ => {
-                        if t.kind == TokKind::Ident {
-                            if first_ident.is_none() {
-                                first_ident = Some(&t.text);
-                            }
-                            if aliases.hash.contains(&t.text) {
-                                any_hash = true;
-                            }
-                        }
-                    }
-                }
-                j += 1;
-            }
-            if let Some(first) = first_ident {
-                if aliases.hash.contains(first) {
-                    direct.insert(toks[i].text.clone());
-                } else if any_hash {
-                    nested.insert(toks[i].text.clone());
-                }
-            }
-        }
-        // `name = HashMap::new()` — inferred-type bindings.
-        if toks.get(i + 1).is_some_and(|t| t.text == "=")
-            && toks
-                .get(i + 2)
-                .is_some_and(|t| aliases.hash.contains(&t.text))
-            && toks.get(i + 3).is_some_and(|t| t.text == ":")
-        {
-            direct.insert(toks[i].text.clone());
-        }
-    }
+    // Bindings whose written type *is* a hash container (`direct`), or a
+    // container *of* hash containers (`nested` — flag indexed traversal).
+    // The tracking itself lives in [`flow::track_bindings`], shared with
+    // the float and lock passes.
+    let tracked = flow::track_bindings(toks, &aliases.hash);
+    let direct = &tracked.direct;
+    let nested = &tracked.nested;
     if direct.is_empty() && nested.is_empty() {
         return;
     }
@@ -274,7 +220,7 @@ fn hash_iteration(toks: &[Tok], aliases: &Aliases, out: &mut Vec<(Rule, u32)>) {
             continue;
         }
         // `name.iter()` and friends.
-        if direct.contains(&t.text)
+        if direct.contains_key(&t.text)
             && toks.get(i + 1).is_some_and(|n| n.text == ".")
             && toks
                 .get(i + 2)
@@ -284,7 +230,7 @@ fn hash_iteration(toks: &[Tok], aliases: &Aliases, out: &mut Vec<(Rule, u32)>) {
             out.push((Rule::HashIteration, t.line));
         }
         // `nested[idx].iter()` — indexing into a Vec of hash sets.
-        if nested.contains(&t.text) && toks.get(i + 1).is_some_and(|n| n.text == "[") {
+        if nested.contains_key(&t.text) && toks.get(i + 1).is_some_and(|n| n.text == "[") {
             let mut depth = 0i32;
             let mut j = i + 1;
             while let Some(n) = toks.get(j) {
@@ -331,7 +277,7 @@ fn hash_iteration(toks: &[Tok], aliases: &Aliases, out: &mut Vec<(Rule, u32)>) {
                     .map(|n| n.text.as_str())
                     .collect();
                 if let [name] = names.as_slice() {
-                    if direct.contains(*name) {
+                    if direct.contains_key(*name) {
                         out.push((Rule::HashIteration, toks[j].line));
                     }
                 }
@@ -423,6 +369,246 @@ fn ticks_arithmetic(toks: &[Tok], out: &mut Vec<(Rule, u32)>) {
             "1e9" | "1E9" | "1e+9" | "1000000000" | "1000000000.0"
         ) {
             out.push((Rule::TicksArithmetic, t.line));
+        }
+    }
+}
+
+/// What an `==`/`!=` operand is, as far as `float-equality` cares.
+#[derive(PartialEq)]
+enum Operand {
+    /// A float literal with value exactly zero — the idiomatic
+    /// structural-zero check on sparse data; exempts the comparison.
+    ZeroLit,
+    /// An `INFINITY`/`NEG_INFINITY` path — the exact sentinel for "no
+    /// bound"; equality against it is intentional, exempts likewise.
+    Sentinel,
+    /// A non-zero float literal.
+    FloatLit,
+    /// An identifier (or field/index chain ending in one) whose written
+    /// type is `f32`/`f64`.
+    FloatIdent,
+    /// Anything the name-level analysis cannot type.
+    Unknown,
+}
+
+/// Classifies the operand ending at `toks[end]` (the token directly
+/// before the operator). Walks back over one balanced `[…]` index.
+fn classify_left(toks: &[Tok], end: usize, floats: &flow::TrackedBindings) -> Operand {
+    let mut e = end;
+    let mut indexed = false;
+    if toks[e].text == "]" {
+        let mut depth = 0i32;
+        loop {
+            match toks[e].text.as_str() {
+                "]" => depth += 1,
+                "[" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if e == 0 {
+                return Operand::Unknown;
+            }
+            e -= 1;
+        }
+        if e == 0 {
+            return Operand::Unknown;
+        }
+        e -= 1;
+        indexed = true;
+    }
+    let t = &toks[e];
+    match t.kind {
+        TokKind::Num => match lexer::float_value(&t.text) {
+            Some(0.0) => Operand::ZeroLit,
+            Some(_) => Operand::FloatLit,
+            None => Operand::Unknown,
+        },
+        TokKind::Ident if is_infinity_path(&t.text) => Operand::Sentinel,
+        TokKind::Ident if indexed && floats.contains(&t.text) => Operand::FloatIdent,
+        TokKind::Ident if !indexed && floats.direct.contains_key(&t.text) => Operand::FloatIdent,
+        _ => Operand::Unknown,
+    }
+}
+
+/// `INFINITY`/`NEG_INFINITY` — the last segment of `f64::INFINITY` etc.
+fn is_infinity_path(text: &str) -> bool {
+    matches!(text, "INFINITY" | "NEG_INFINITY")
+}
+
+/// Classifies the operand starting at `toks[start]` (directly after the
+/// operator): skips unary `-`/`&`, follows a `.`-chain to its last
+/// identifier (a trailing `(` makes it a call — untyped).
+fn classify_right(toks: &[Tok], mut start: usize, floats: &flow::TrackedBindings) -> Operand {
+    while toks
+        .get(start)
+        .is_some_and(|t| t.text == "-" || t.text == "&")
+    {
+        start += 1;
+    }
+    let Some(t) = toks.get(start) else {
+        return Operand::Unknown;
+    };
+    match t.kind {
+        TokKind::Num => match lexer::float_value(&t.text) {
+            Some(0.0) => Operand::ZeroLit,
+            Some(_) => Operand::FloatLit,
+            None => Operand::Unknown,
+        },
+        TokKind::Ident => {
+            // Follow `a.b.c` / `f64::INFINITY` / `a.b[i].c` to the last
+            // segment, skipping balanced `[…]` index expressions.
+            let mut last = start;
+            let mut j = start + 1;
+            let mut indexed = false;
+            loop {
+                if toks.get(j).is_some_and(|n| n.text == ".")
+                    && toks.get(j + 1).is_some_and(|n| n.kind == TokKind::Ident)
+                {
+                    last = j + 1;
+                    j += 2;
+                } else if toks.get(j).is_some_and(|n| n.text == ":")
+                    && toks.get(j + 1).is_some_and(|n| n.text == ":")
+                    && toks.get(j + 2).is_some_and(|n| n.kind == TokKind::Ident)
+                {
+                    last = j + 2;
+                    j += 3;
+                } else if toks.get(j).is_some_and(|n| n.text == "[") {
+                    let mut depth = 0i32;
+                    while let Some(n) = toks.get(j) {
+                        match n.text.as_str() {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    j += 1;
+                    indexed = true;
+                } else {
+                    break;
+                }
+            }
+            if is_infinity_path(&toks[last].text) {
+                return Operand::Sentinel;
+            }
+            match toks.get(j).map(|n| n.text.as_str()) {
+                Some("(") => Operand::Unknown, // method/function call
+                _ if indexed && floats.contains(&toks[last].text) => Operand::FloatIdent,
+                _ if !indexed && floats.direct.contains_key(&toks[last].text) => {
+                    Operand::FloatIdent
+                }
+                _ => Operand::Unknown,
+            }
+        }
+        _ => Operand::Unknown,
+    }
+}
+
+/// `float-equality`: `==`/`!=` where either side is a non-zero float
+/// literal or an f32/f64-typed binding — and NaN-unaware comparator
+/// chains (`partial_cmp(..).unwrap()` and friends). Bitwise equality on
+/// floats conflates "same value" with "same rounding history", and a
+/// single NaN makes `partial_cmp` panic or silently collapse an order;
+/// `total_cmp` / `to_bits` state the intent. Comparisons against a
+/// *zero* literal are exempt — `x == 0.0` is the structural-zero test
+/// the sparse kernels are built on — as are comparisons against the
+/// `±INFINITY` no-bound sentinel, which is exact by construction.
+fn float_equality(toks: &[Tok], out: &mut Vec<(Rule, u32)>) {
+    let floats = flow::track_bindings(toks, &["f32", "f64"].map(String::from).into());
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test {
+            continue;
+        }
+        // `partial_cmp(…).unwrap()` — NaN panics; `.unwrap_or(Equal)`
+        // — NaN silently compares equal to everything, corrupting sorts.
+        if t.text == "partial_cmp"
+            && t.kind == TokKind::Ident
+            && i >= 1
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            let close = matching_paren_at(toks, i + 1);
+            if toks.get(close + 1).is_some_and(|n| n.text == ".")
+                && toks.get(close + 2).is_some_and(|n| {
+                    matches!(
+                        n.text.as_str(),
+                        "unwrap" | "expect" | "unwrap_or" | "unwrap_or_else"
+                    )
+                })
+            {
+                out.push((Rule::FloatEquality, t.line));
+            }
+        }
+        // `==` (at the first `=`) and `!=`.
+        let is_eq = t.text == "="
+            && toks.get(i + 1).is_some_and(|n| n.text == "=")
+            && toks.get(i + 2).is_some_and(|n| n.text != "=")
+            && i >= 1
+            && !matches!(toks[i - 1].text.as_str(), "=" | "!" | "<" | ">");
+        let is_ne = t.text == "!"
+            && toks.get(i + 1).is_some_and(|n| n.text == "=")
+            && toks.get(i + 2).is_some_and(|n| n.text != "=");
+        if (is_eq || is_ne) && i >= 1 {
+            let left = classify_left(toks, i - 1, &floats);
+            let right = classify_right(toks, i + 2, &floats);
+            let exempt = matches!(left, Operand::ZeroLit | Operand::Sentinel)
+                || matches!(right, Operand::ZeroLit | Operand::Sentinel);
+            let floaty = matches!(left, Operand::FloatLit | Operand::FloatIdent)
+                || matches!(right, Operand::FloatLit | Operand::FloatIdent);
+            if floaty && !exempt {
+                out.push((Rule::FloatEquality, t.line));
+            }
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open` (saturating).
+fn matching_paren_at(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// `tolerance-drift`: any float literal whose magnitude sits in the
+/// tolerance band (`1e-12 ≤ |v| < 1e-3`) outside `croxmap_ilp::tol` is
+/// an unnamed tolerance. PR 5 had to reconcile a 1e-7 vs 1e-6 mismatch
+/// between two modules by hand; naming every tolerance once makes that
+/// class of drift unrepresentable. The band is evaluated by *value*, so
+/// `1_000e-6f64` (= 1e-3) is legal and `2.5E-8` is not.
+fn tolerance_drift(toks: &[Tok], out: &mut Vec<(Rule, u32)>) {
+    for t in toks.iter().filter(|t| !t.in_test) {
+        if t.kind != TokKind::Num {
+            continue;
+        }
+        let Some(v) = lexer::float_value(&t.text) else {
+            continue;
+        };
+        // lint: allow(tolerance-drift) — the band definition itself
+        if (1e-12..1e-3).contains(&v.abs()) {
+            out.push((Rule::ToleranceDrift, t.line));
         }
     }
 }

@@ -97,7 +97,7 @@ pub fn gini_index(values: &[f64]) -> f64 {
     }
     let mut sorted = values.to_vec();
     // lint: allow(panic-path) — inputs are fan-in/fan-out counts and synapse weights produced by the builders, which reject NaN at construction; the message states the contract
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("gini input must not contain NaN"));
+    sorted.sort_by(f64::total_cmp);
     // G = (2 Σ_i i·x_(i) / (n Σ x)) − (n+1)/n  with 1-based ranks i.
     let weighted: f64 = sorted
         .iter()

@@ -4,14 +4,17 @@
 //! in CI, wired into plain `cargo test -q` so a determinism or
 //! concurrency-hygiene violation fails the suite the moment it is
 //! introduced — with the finding's file, line, snippet and the waiver
-//! syntax in the assertion message.
+//! syntax in the assertion message. Beyond cleanliness, the committed
+//! artifacts are checked for freshness: `docs/lock_order.md` must match
+//! the graph the scan just built, and `lint-baseline.json` must parse.
 
 use std::path::Path;
 
 #[test]
 fn workspace_scans_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let report = croxmap_lint::scan_workspace(root).expect("workspace scan runs");
+    let out = croxmap_lint::scan_workspace_full(root).expect("workspace scan runs");
+    let report = &out.report;
     assert!(
         report.is_clean(),
         "croxmap-lint found unwaived violations:\n{}",
@@ -34,4 +37,41 @@ fn workspace_scans_clean() {
             "waiver without reason at {finding}"
         );
     }
+}
+
+#[test]
+fn lock_order_contract_is_acyclic_and_fresh() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let out = croxmap_lint::scan_workspace_full(root).expect("workspace scan runs");
+    assert!(
+        out.lock_graph.find_cycle().is_none(),
+        "lock graph has a cycle: {:?}",
+        out.lock_graph.find_cycle()
+    );
+    // The committed contract must be exactly what the scan proves now —
+    // regenerate with `cargo run -p croxmap-lint -- --lock-graph`.
+    let committed = std::fs::read_to_string(root.join("docs/lock_order.md"))
+        .expect("docs/lock_order.md is committed");
+    assert_eq!(
+        committed.trim(),
+        out.lock_graph.render_contract().trim(),
+        "docs/lock_order.md is stale; regenerate with `cargo run -p croxmap-lint -- --lock-graph > docs/lock_order.md`"
+    );
+}
+
+#[test]
+fn lint_baseline_parses_and_matches_schema() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json is committed");
+    let baseline =
+        croxmap_lint::baseline::Baseline::parse(&text).expect("committed baseline parses");
+    // The baseline and the live scan agree through the same partition
+    // CI's `--baseline` step uses: no finding may be new.
+    let out = croxmap_lint::scan_workspace_full(root).expect("workspace scan runs");
+    let (new, _old) = baseline.partition(&out.report.findings);
+    assert!(
+        new.is_empty(),
+        "findings not covered by lint-baseline.json: {new:?}"
+    );
 }
